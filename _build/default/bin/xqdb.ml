@@ -1,0 +1,176 @@
+(** xqdb — interactive shell for the XML database.
+
+    Accepts SQL/XML statements and stand-alone XQuery, prints results,
+    EXPLAIN traces and advisor output.
+
+    Meta commands:
+    - [\q] quit
+    - [\explain on|off]   print plan notes after each statement
+    - [\indexes off|on]   disable/enable index usage
+    - [\advise <query>]   run the Tips 1-12 advisor
+    - [\tables] [\idx]    catalog listings
+    - [\demo]             load a small orders/customer/products demo db *)
+
+let explain = ref false
+
+let print_result (r : Sqlxml.Sql_exec.result) =
+  if r.Sqlxml.Sql_exec.rcols <> [] then
+    print_endline (String.concat " | " r.Sqlxml.Sql_exec.rcols);
+  List.iter
+    (fun row ->
+      print_endline
+        (String.concat " | "
+           (List.map Storage.Sql_value.to_display row)))
+    r.Sqlxml.Sql_exec.rrows;
+  Printf.printf "(%d rows)\n" (List.length r.Sqlxml.Sql_exec.rrows)
+
+let load_demo db =
+  ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
+  ignore (Engine.sql db "CREATE TABLE customer (cid integer, cdoc XML)");
+  ignore
+    (Engine.sql db "CREATE TABLE products (id varchar(13), name varchar(32))");
+  let p = { Workload.Orders_gen.default with n_customers = 50; n_products = 40 } in
+  Engine.load_documents db ~table:"orders" ~column:"orddoc"
+    (Workload.Orders_gen.orders p 500);
+  Engine.load_documents db ~table:"customer" ~column:"cdoc"
+    (Workload.Orders_gen.customers p);
+  List.iter
+    (fun (id, name) ->
+      ignore
+        (Engine.sql db
+           (Printf.sprintf "INSERT INTO products VALUES ('%s', '%s')" id name)))
+    (Workload.Orders_gen.products p);
+  print_endline
+    "demo loaded: orders(500 docs), customer(50 docs), products(40 rows)"
+
+let exec_one db (line : string) =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = "\\q" then raise Exit
+  else if line = "\\demo" then load_demo db
+  else if line = "\\explain on" then explain := true
+  else if line = "\\explain off" then explain := false
+  else if line = "\\indexes off" then Engine.set_use_indexes db false
+  else if line = "\\indexes on" then Engine.set_use_indexes db true
+  else if line = "\\tables" then
+    List.iter
+      (fun (t : Storage.Table.t) ->
+        Printf.printf "%s (%d rows): %s\n" t.Storage.Table.name
+          (Storage.Table.row_count t)
+          (String.concat ", "
+             (List.map
+                (fun (c : Storage.Table.col_def) ->
+                  c.Storage.Table.col_name ^ " "
+                  ^ Storage.Sql_value.type_name c.Storage.Table.col_type)
+                t.Storage.Table.cols)))
+      (Storage.Database.tables (Engine.database db))
+  else if line = "\\idx" then begin
+    List.iter
+      (fun (i : Xmlindex.Xindex.t) ->
+        Printf.printf "%s ON %s(%s) XMLPATTERN %s AS %s (%d entries)\n"
+          i.Xmlindex.Xindex.def.Xmlindex.Xindex.iname
+          i.Xmlindex.Xindex.def.Xmlindex.Xindex.table
+          i.Xmlindex.Xindex.def.Xmlindex.Xindex.column
+          (Xmlindex.Pattern.to_string i.Xmlindex.Xindex.def.Xmlindex.Xindex.pattern)
+          (Xmlindex.Xindex.vtype_to_string
+             i.Xmlindex.Xindex.def.Xmlindex.Xindex.vtype)
+          (Xmlindex.Xindex.entry_count i))
+      (Engine.xml_indexes db);
+    List.iter
+      (fun (i : Xmlindex.Rel_index.t) ->
+        Printf.printf "%s ON %s(%s) relational (%d entries)\n"
+          i.Xmlindex.Rel_index.iname i.Xmlindex.Rel_index.table
+          i.Xmlindex.Rel_index.column
+          (Xmlindex.Rel_index.entry_count i))
+      (Engine.rel_indexes db)
+  end
+  else if String.length line > 8 && String.sub line 0 8 = "\\advise " then begin
+    let q = String.sub line 8 (String.length line - 8) in
+    match Engine.advise db q with
+    | [] -> print_endline "no advice: the query follows the guidelines"
+    | advs -> List.iter (fun a -> print_endline (Engine.Advisor.to_string a)) advs
+  end
+  else begin
+    (* SQL first; if it does not parse as SQL, try stand-alone XQuery *)
+    match Sqlxml.Sql_parser.parse line with
+    | stmt ->
+        let r = Sqlxml.Sql_exec.exec db.Engine.sqlctx stmt in
+        print_result r;
+        if !explain then
+          List.iter (fun n -> Printf.printf "-- %s\n" n) (Engine.last_notes db)
+    | exception Sqlxml.Sql_lexer.Sql_syntax_error _ ->
+        let items, plan = Engine.xquery db line in
+        List.iter
+          (fun it -> print_endline (Engine.to_xml [ it ]))
+          items;
+        Printf.printf "(%d items)\n" (List.length items);
+        if !explain then
+          List.iter (fun n -> Printf.printf "-- %s\n" n) plan.Planner.notes
+  end
+
+let repl db =
+  (try
+     while true do
+       print_string "xqdb> ";
+       flush stdout;
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line -> (
+           try exec_one db line with
+           | Exit -> raise Exit
+           | Xdm.Xerror.Error { code; msg } ->
+               Printf.printf "ERROR [%s] %s\n" code msg
+           | Sqlxml.Sql_exec.Sql_runtime_error m ->
+               Printf.printf "SQL ERROR: %s\n" m
+           | Sqlxml.Sql_lexer.Sql_syntax_error m ->
+               Printf.printf "SYNTAX ERROR: %s\n" m
+           | Failure m -> Printf.printf "ERROR: %s\n" m)
+     done
+   with Exit | End_of_file -> ());
+  print_endline "bye"
+
+open Cmdliner
+
+let script =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Execute statements from $(docv) (one per line), then exit.")
+
+let demo =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Preload the demo database.")
+
+let do_explain =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Print plan notes after each statement.")
+
+let main script demo do_explain =
+  let db = Engine.create () in
+  explain := do_explain;
+  if demo then load_demo db;
+  match script with
+  | Some f ->
+      In_channel.with_open_text f (fun ic ->
+          try
+            while true do
+              match In_channel.input_line ic with
+              | None -> raise Exit
+              | Some line -> (
+                  try exec_one db line with
+                  | Exit -> raise Exit
+                  | Xdm.Xerror.Error { code; msg } ->
+                      Printf.printf "ERROR [%s] %s\n" code msg
+                  | Sqlxml.Sql_exec.Sql_runtime_error m ->
+                      Printf.printf "SQL ERROR: %s\n" m
+                  | Sqlxml.Sql_lexer.Sql_syntax_error m ->
+                      Printf.printf "SYNTAX ERROR: %s\n" m
+                  | Failure m -> Printf.printf "ERROR: %s\n" m)
+            done
+          with Exit -> ())
+  | None -> repl db
+
+let cmd =
+  Cmd.v
+    (Cmd.info "xqdb" ~doc:"XML database shell (XQuery + SQL/XML + XML indexes)")
+    Term.(const main $ script $ demo $ do_explain)
+
+let () = exit (Cmd.eval cmd)

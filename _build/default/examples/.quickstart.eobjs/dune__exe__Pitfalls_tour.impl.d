@@ -1,0 +1,1 @@
+examples/pitfalls_tour.ml: Engine List Planner Printf Sqlxml String Workload Xdm

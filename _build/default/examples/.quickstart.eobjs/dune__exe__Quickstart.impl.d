@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine List Planner Printf Sqlxml Storage String Unix Workload Xmlparse

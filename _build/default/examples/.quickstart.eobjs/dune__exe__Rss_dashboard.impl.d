@@ -1,0 +1,1 @@
+examples/rss_dashboard.ml: Engine List Planner Printf Sqlxml Storage String Workload Xdm

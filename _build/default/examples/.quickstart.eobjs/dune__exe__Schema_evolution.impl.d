@@ -1,0 +1,1 @@
+examples/schema_evolution.ml: Engine List Planner Printf Storage String Workload Xdm Xmlindex Xmlparse Xschema

@@ -1,0 +1,88 @@
+(** The codified guidelines: feed the paper's "bad" queries to the Tips
+    1–12 advisor and print its diagnoses.
+
+    Run with: [dune exec examples/advisor_demo.exe] *)
+
+let bad_queries =
+  [
+    ( "Query 4 without casts (Tip 1)",
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order for $j in \
+       db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer where $i/custid = $j/id \
+       return $i" );
+    ( "Query 5 (Tip 2)",
+      "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as \
+       \"order\") FROM orders" );
+    ( "Query 9 (Tip 3)",
+      "SELECT ordid, orddoc FROM orders WHERE XMLExists('$order \
+       //lineitem/@price > 100' passing orddoc as \"order\")" );
+    ( "Query 12 (Tip 4)",
+      "SELECT o.ordid, t.price FROM orders o, XMLTable('$order//lineitem' \
+       passing o.orddoc as \"order\" COLUMNS \"price\" DECIMAL(6,3) PATH \
+       '@price[. > 100]') as t(price)" );
+    ( "Query 14 (Tip 5)",
+      "SELECT p.name FROM products p, orders o WHERE p.id = \
+       XMLCast(XMLQuery('$order//lineitem/product/id' passing o.orddoc as \
+       \"order\") as VARCHAR(13))" );
+    ( "Query 15 (Tip 6)",
+      "SELECT c.cid FROM orders o, customer c WHERE \
+       XMLCast(XMLQuery('$order/order/custid' passing o.orddoc as \
+       \"order\") as DOUBLE) = XMLCast(XMLQuery('$cust/customer/id' \
+       passing c.cdoc as \"cust\") as DOUBLE)" );
+    ( "Query 19 (Tip 7)",
+      "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+       <result>{$ord/lineitem[@price > 100]}</result>" );
+    ( "Query 25 (Tip 8)",
+      "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+       /order[custid > 1001]}</neworder> return $order[//customer/name]" );
+    ( "Query 26 (Tip 9)",
+      "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+       /order/lineitem return <item><pid>{$i/product/id/data(.)}</pid>\
+       </item> for $j in $view where $j/pid = '17' return $j" );
+    ( "Query 28's c_nation mismatch (Tip 10)",
+      "declare namespace c=\"http://ournamespaces.com/customer\"; \
+       db2-fn:xmlcolumn('CUSTOMER.CDOC')/c:customer[c:nation = 1]" );
+    ( "Query 29 (Tip 11)",
+      "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+       /order[lineitem/price/text() = \"99.50\"] return $ord" );
+    ( "attribute predicate with only a //* index (Tip 12)",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"100\"]" );
+    ( "element between (Section 3.10)",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/price > 100 and \
+       lineitem/price < 200]" );
+    ( "the good Query 1 (no advice expected)",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 100]" );
+  ]
+
+let () =
+  let db = Engine.create () in
+  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.sql db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore
+    (Engine.sql db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+        '//lineitem/@price' AS DOUBLE");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX price_el ON orders(orddoc) USING XMLPATTERN '//price' \
+        AS VARCHAR(30)");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX broad ON orders(orddoc) USING XMLPATTERN '//*' AS \
+        VARCHAR(50)");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX c_nation ON customer(cdoc) USING XMLPATTERN \
+        '//nation' AS DOUBLE");
+  List.iter
+    (fun (caption, src) ->
+      Printf.printf "\n--- %s\n    %s\n" caption
+        (if String.length src > 100 then String.sub src 0 100 ^ "..." else src);
+      match Engine.advise db src with
+      | [] -> print_endline "    ✓ no advice: follows the guidelines"
+      | advs ->
+          List.iter
+            (fun a -> Printf.printf "    ⚠ %s\n" (Engine.Advisor.to_string a))
+            advs)
+    bad_queries

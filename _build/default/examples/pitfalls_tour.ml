@@ -1,0 +1,128 @@
+(** A guided tour of the paper's ten pitfalls (Sections 3.1–3.10), running
+    the paper's own queries against a live database and showing the
+    result-count and index-usage differences side by side.
+
+    Run with: [dune exec examples/pitfalls_tour.exe] *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let db = Engine.create ()
+
+let show_sql caption src =
+  (try
+     let r = Engine.sql db src in
+     Printf.printf "%-52s -> %4d rows  [indexes: %s]\n" caption
+       (List.length r.Sqlxml.Sql_exec.rrows)
+       (String.concat "," (Engine.last_indexes_used db))
+   with
+  | Sqlxml.Sql_exec.Sql_runtime_error m ->
+      Printf.printf "%-52s -> runtime error: %s\n" caption m);
+  ()
+
+let show_xq caption src =
+  try
+    let items, plan = Engine.xquery db src in
+    Printf.printf "%-52s -> %4d items [indexes: %s]\n" caption
+      (List.length items)
+      (String.concat "," plan.Planner.indexes_used)
+  with Xdm.Xerror.Error e ->
+    Printf.printf "%-52s -> error [%s] %s\n" caption e.code e.msg
+
+let () =
+  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.sql db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore (Engine.sql db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
+  let p =
+    { Workload.Orders_gen.default with n_customers = 40; n_products = 60 }
+  in
+  Engine.load_documents db ~table:"orders" ~column:"orddoc"
+    (Workload.Orders_gen.orders p 1000);
+  Engine.load_documents db ~table:"customer" ~column:"cdoc"
+    (Workload.Orders_gen.customers p);
+  List.iter
+    (fun (id, name) ->
+      ignore
+        (Engine.sql db
+           (Printf.sprintf "INSERT INTO products VALUES ('%s', '%s')" id name)))
+    (Workload.Orders_gen.products p);
+  ignore
+    (Engine.sql db
+       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+        '//lineitem/@price' AS DOUBLE");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX c_custid ON customer(cdoc) USING XMLPATTERN \
+        '/customer/id' AS DOUBLE");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX li_pid ON orders(orddoc) USING XMLPATTERN \
+        '//lineitem/product/id' AS VARCHAR(20)");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX price_el ON orders(orddoc) USING XMLPATTERN \
+        '//lineitem/price' AS DOUBLE");
+
+  section "3.1 Matching index and predicate data types";
+  show_xq "Query 1:  @price > 100 (numeric)"
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>900]";
+  show_xq "Query 3:  @price > \"100\" (string!)"
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"900\"]";
+
+  section "3.2 SQL/XML query functions";
+  show_sql "Query 5:  XMLQuery in select list"
+    "SELECT XMLQuery('$o//lineitem[@price > 900]' passing orddoc as \"o\") \
+     FROM orders";
+  show_sql "Query 8:  XMLExists in WHERE"
+    "SELECT ordid, orddoc FROM orders WHERE XMLExists('$o//lineitem[@price \
+     > 900]' passing orddoc as \"o\")";
+  show_sql "Query 9:  boolean inside XMLExists (trap!)"
+    "SELECT ordid, orddoc FROM orders WHERE XMLExists('$o//lineitem/@price \
+     > 900' passing orddoc as \"o\")";
+  show_sql "Query 11: XMLTable row-producer"
+    "SELECT o.ordid, t.li FROM orders o, XMLTable('$o//lineitem[@price > \
+     900]' passing o.orddoc as \"o\" COLUMNS \"li\" XML BY REF PATH '.') \
+     as t(li)";
+
+  section "3.3 Joining XML values";
+  show_sql "Query 13: join in XQuery (XML index)"
+    "SELECT p.name FROM products p, orders o WHERE XMLExists('$o \
+     //lineitem/product[id eq $pid]' passing o.orddoc as \"o\", p.id as \
+     \"pid\")";
+  show_sql "Query 16: XML-XML join with casts"
+    "SELECT c.cid FROM orders o, customer c WHERE \
+     XMLExists('$o/order[custid/xs:double(.) = \
+     $c/customer/id/xs:double(.)]' passing o.orddoc as \"o\", c.cdoc as \
+     \"c\")";
+
+  section "3.4 let vs for";
+  show_xq "Query 17: for (indexable)"
+    "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') for $i in \
+     $d//lineitem[@price > 900] return <result>{$i}</result>";
+  show_xq "Query 18: let (not indexable, different result!)"
+    "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') let $i := \
+     $d//lineitem[@price > 900] return <result>{$i}</result>";
+  show_xq "Query 21: let rescued by where"
+    "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order let $p := \
+     $o/lineitem/@price where $p > 900 return <result>{$o/lineitem}</result>";
+
+  section "3.5/3.6 Construction";
+  show_xq "Query 19: predicate inside constructor"
+    "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+     <result>{$o/lineitem[@price > 900]}</result>";
+  show_xq "Query 22: bare path in return"
+    "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+     $o/lineitem[@price > 900]";
+  show_xq "Query 25: absolute path under constructed element"
+    "let $o := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order}</neworder> \
+     return $o[//customer/name]";
+
+  section "3.10 Between";
+  show_xq "Query 30: attribute between (1 range scan)"
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price>400 and \
+     @price<500]]";
+  show_xq "element between (2 scans + IXAND)"
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/price > 400 and \
+     lineitem/price < 500]";
+
+  print_endline "\ndone.";
+  ()

@@ -1,0 +1,1 @@
+lib/eligibility/extract.ml: Int64 List Map Option Predicate Printf String Xdm Xmlindex Xquery

@@ -1,0 +1,1 @@
+lib/eligibility/match_index.ml: Predicate Printf String Xdm Xmlindex

@@ -1,0 +1,1 @@
+lib/eligibility/predicate.ml: Hashtbl List Marshal Printf String Xdm Xmlindex Xquery

@@ -1,0 +1,110 @@
+(** Index eligibility decision (paper Definition 1 + Section 3.1).
+
+    Given an index definition and an extracted predicate leaf, decide
+    whether the index is eligible and, if so, how to probe it. Rejections
+    carry the paper's reason so EXPLAIN and the advisor can say *why* an
+    index was not used. *)
+
+module P = Predicate
+
+type reject =
+  | RWrongColumn
+  | RNotContained
+      (** the index pattern is more restrictive than the query path
+          (Section 2.2, Query 2; namespaces, Section 3.7; text() steps,
+          Section 3.8; attributes, Section 3.9) *)
+  | RTypeMismatch of P.cmp_class * Xmlindex.Xindex.vtype
+      (** comparison type vs index type (Section 3.1) *)
+  | RUnknownType
+      (** comparison type unprovable — e.g. a cast-less join (Tip 1) *)
+  | ROpNotIndexable  (** [!=] cannot be answered by a range scan *)
+  | RStructuralNeedsVarchar
+      (** only a VARCHAR index contains *all* matching nodes
+          (Section 2.2) *)
+
+let reject_to_string = function
+  | RWrongColumn -> "index is on a different table/column"
+  | RNotContained ->
+      "index pattern does not contain the query path (index more \
+       restrictive than query)"
+  | RTypeMismatch (c, v) ->
+      Printf.sprintf
+        "comparison type %s incompatible with index type %s"
+        (P.cmp_class_to_string c)
+        (Xmlindex.Xindex.vtype_to_string v)
+  | RUnknownType ->
+      "comparison data type cannot be proven (add explicit casts — Tip 1)"
+  | ROpNotIndexable -> "operator not answerable by an index range scan"
+  | RStructuralNeedsVarchar ->
+      "structural predicates need a VARCHAR index (contains all values)"
+
+(** How to probe an eligible index. *)
+type probe_spec =
+  | SpecRange of Xmlindex.Xindex.range  (** constant operand *)
+  | SpecParam of string * P.cmp_op
+      (** externally bound parameter: value known per evaluation *)
+  | SpecJoin of P.cmp_op  (** per-outer-row join probe *)
+  | SpecStructural
+
+let class_compatible (c : P.cmp_class) (v : Xmlindex.Xindex.vtype) =
+  match (c, v) with
+  | P.CNumeric, Xmlindex.Xindex.VDouble -> true
+  | P.CString, Xmlindex.Xindex.VVarchar -> true
+  | P.CDate, Xmlindex.Xindex.VDate -> true
+  | P.CDateTime, Xmlindex.Xindex.VTimestamp -> true
+  | _ -> false
+
+let norm = String.lowercase_ascii
+
+let column_of_def (def : Xmlindex.Xindex.def) =
+  norm (def.Xmlindex.Xindex.table ^ "." ^ def.Xmlindex.Xindex.column)
+
+(** Constant-operand range for an index of type [vt]. *)
+let range_of (op : P.cmp_op) (c : Xdm.Atomic.t) (vt : Xmlindex.Xindex.vtype)
+    : (Xmlindex.Xindex.range, reject) result =
+  match Xdm.Atomic.cast_opt c (Xmlindex.Xindex.vtype_to_atomic vt) with
+  | None ->
+      (* the constant is not even representable in the index's value
+         space; a conservative full-range scan would still be sound for
+         VARCHAR, but for simplicity reject *)
+      Error (RTypeMismatch (P.class_of_atomic_type (Xdm.Atomic.type_of c), vt))
+  | Some v -> (
+      match op with
+      | P.CEq -> Ok (Xmlindex.Xindex.eq_range v)
+      | P.CLt -> Ok { Xmlindex.Xindex.lo = None; hi = Some (v, false) }
+      | P.CLe -> Ok { Xmlindex.Xindex.lo = None; hi = Some (v, true) }
+      | P.CGt -> Ok { Xmlindex.Xindex.lo = Some (v, false); hi = None }
+      | P.CGe -> Ok { Xmlindex.Xindex.lo = Some (v, true); hi = None }
+      | P.CNe -> Error ROpNotIndexable)
+
+(** Decide eligibility of [def] for a value-predicate leaf. *)
+let check_leaf (def : Xmlindex.Xindex.def) (leaf : P.leaf) :
+    (probe_spec, reject) result =
+  if column_of_def def <> norm leaf.P.collection then Error RWrongColumn
+  else if leaf.P.op = P.CNe then Error ROpNotIndexable
+  else
+    let cls = P.leaf_class leaf in
+    if cls = P.CUnknown then Error RUnknownType
+    else if not (class_compatible cls def.Xmlindex.Xindex.vtype) then
+      Error (RTypeMismatch (cls, def.Xmlindex.Xindex.vtype))
+    else if not (Xmlindex.Containment.contains def.Xmlindex.Xindex.pattern leaf.P.path)
+    then Error RNotContained
+    else
+      match leaf.P.operand with
+      | P.OConst c -> (
+          match range_of leaf.P.op c def.Xmlindex.Xindex.vtype with
+          | Ok r -> Ok (SpecRange r)
+          | Error e -> Error e)
+      | P.OParam (v, _) -> Ok (SpecParam (v, leaf.P.op))
+      | P.OJoin _ -> Ok (SpecJoin leaf.P.op)
+
+(** Decide eligibility for a structural (existence) leaf: only VARCHAR
+    indexes, which by definition contain every matching node. *)
+let check_structural (def : Xmlindex.Xindex.def) (s : P.struct_leaf) :
+    (probe_spec, reject) result =
+  if column_of_def def <> norm s.P.s_collection then Error RWrongColumn
+  else if def.Xmlindex.Xindex.vtype <> Xmlindex.Xindex.VVarchar then
+    Error RStructuralNeedsVarchar
+  else if not (Xmlindex.Containment.contains def.Xmlindex.Xindex.pattern s.P.s_path)
+  then Error RNotContained
+  else Ok SpecStructural

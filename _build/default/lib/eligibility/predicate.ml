@@ -1,0 +1,191 @@
+(** Normal form for *filtering predicates* extracted from queries.
+
+    A predicate tree describes, for each document of a collection, a
+    condition that is **necessary** for the document to contribute to the
+    query result. Definition 1 of the paper: an index [I] is eligible for
+    predicate [P] of query [Q] iff [Q(D) = Q(I(P, D))] — so every leaf we
+    emit must be implied by "this document affects the result". The
+    extractor is deliberately conservative: when in doubt it emits [PTrue]
+    ("cannot eliminate documents through this expression"). *)
+
+type cmp_op = CEq | CNe | CLt | CLe | CGt | CGe
+
+let cmp_op_to_string = function
+  | CEq -> "="
+  | CNe -> "!="
+  | CLt -> "<"
+  | CLe -> "<="
+  | CGt -> ">"
+  | CGe -> ">="
+
+let flip = function
+  | CEq -> CEq
+  | CNe -> CNe
+  | CLt -> CGt
+  | CLe -> CGe
+  | CGt -> CLt
+  | CGe -> CLe
+
+(** The non-path side of a comparison. *)
+type operand =
+  | OConst of Xdm.Atomic.t
+      (** literal or constant-folded value; its dynamic type decides the
+          comparison type (paper Section 3.1) *)
+  | OParam of string * Xdm.Atomic.atomic_type option
+      (** an externally bound variable (SQL/XML [PASSING]); the type, when
+          known, is inherited from the SQL side — the paper's Query 13 *)
+  | OJoin of {
+      jexpr : Xquery.Ast.expr;
+          (** the other side of the comparison — evaluable at probe time
+              when its free variables are bound (index nested-loop join) *)
+      jcast : Xdm.Atomic.atomic_type option;
+          (** type proven by a cast; without one the comparison type is
+              unknown and no index is eligible (Tip 1) *)
+    }
+
+let operand_to_string = function
+  | OConst a -> Printf.sprintf "%s" (Xdm.Atomic.string_value a)
+  | OParam (v, Some t) -> Printf.sprintf "$%s:%s" v (Xdm.Atomic.type_name t)
+  | OParam (v, None) -> Printf.sprintf "$%s:?" v
+  | OJoin { jexpr; jcast = Some t } ->
+      Printf.sprintf "join(%s):%s"
+        (Xquery.Ast.expr_to_string jexpr)
+        (Xdm.Atomic.type_name t)
+  | OJoin { jexpr; jcast = None } ->
+      Printf.sprintf "join(%s):?" (Xquery.Ast.expr_to_string jexpr)
+
+(** Comparison type classes, deciding which index data types can serve
+    the predicate (paper Section 3.1). *)
+type cmp_class = CNumeric | CString | CDate | CDateTime | CUnknown
+
+let cmp_class_to_string = function
+  | CNumeric -> "numeric"
+  | CString -> "string"
+  | CDate -> "date"
+  | CDateTime -> "dateTime"
+  | CUnknown -> "unknown"
+
+let class_of_atomic_type : Xdm.Atomic.atomic_type -> cmp_class = function
+  | Xdm.Atomic.TInteger | Xdm.Atomic.TDecimal | Xdm.Atomic.TDouble -> CNumeric
+  | Xdm.Atomic.TString -> CString
+  | Xdm.Atomic.TDate -> CDate
+  | Xdm.Atomic.TDateTime -> CDateTime
+  | Xdm.Atomic.TBoolean | Xdm.Atomic.TUntyped -> CUnknown
+
+type leaf = {
+  collection : string;  (** "TABLE.COLUMN" *)
+  path : Xmlindex.Pattern.t;  (** derived absolute path of the compared node *)
+  op : cmp_op;
+  operand : operand;
+  path_cast : Xdm.Atomic.atomic_type option;
+      (** cast applied on the path side, e.g. [custid/xs:double(.)] *)
+  value_cmp : bool;  (** value comparison ([eq], [gt], ...) *)
+  anchor : int;
+      (** identity of the navigation anchor (variable binding or predicate
+          focus) this comparison hangs from; two comparisons with the same
+          anchor test the same context node *)
+  singleton_path : bool;
+      (** the compared value is provably at most one per anchor node:
+          a single attribute step, or a self-axis ([.]) comparison from
+          the anchor — Section 3.10's "between" preconditions *)
+  source : string;  (** printable origin, for EXPLAIN *)
+}
+
+(** A structural (existence) predicate: the document must contain at least
+    one node on this path. Answerable by a full-range scan of a VARCHAR
+    index (paper Section 2.2). *)
+type struct_leaf = {
+  s_collection : string;
+  s_path : Xmlindex.Pattern.t;
+  s_source : string;
+}
+
+type t =
+  | PAnd of t list
+  | POr of t list
+  | PLeaf of leaf
+  | PStructural of struct_leaf
+  | PTrue  (** no document can be eliminated through this branch *)
+
+(** Effective comparison class of a leaf: a cast on the path side wins;
+    otherwise the operand's type decides. *)
+let leaf_class (l : leaf) : cmp_class =
+  match l.path_cast with
+  | Some t -> class_of_atomic_type t
+  | None -> (
+      match l.operand with
+      | OConst a -> class_of_atomic_type (Xdm.Atomic.type_of a)
+      | OParam (_, Some t) | OJoin { jcast = Some t; _ } ->
+          class_of_atomic_type t
+      | OParam (_, None) | OJoin { jcast = None; _ } -> CUnknown)
+
+let mk_and = function [] -> PTrue | [ t ] -> t | ts -> PAnd ts
+let mk_or = function [] -> PTrue | [ t ] -> t | ts -> POr ts
+
+(** Drop [PTrue] children of conjunctions (and duplicate conjuncts); a
+    [PTrue] branch poisons a disjunction entirely. *)
+let rec simplify = function
+  | PAnd ts -> (
+      let ts = List.map simplify ts in
+      let ts =
+        List.concat_map (function PAnd inner -> inner | t -> [ t ]) ts
+      in
+      let ts = List.filter (fun t -> t <> PTrue) ts in
+      let ts =
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun t ->
+            let k = Marshal.to_string t [] in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          ts
+      in
+      match ts with [] -> PTrue | [ t ] -> t | ts -> PAnd ts)
+  | POr ts -> (
+      let ts = List.map simplify ts in
+      if List.exists (fun t -> t = PTrue) ts then PTrue
+      else match ts with [] -> PTrue | [ t ] -> t | ts -> POr ts)
+  | t -> t
+
+(** Restrict a tree to the leaves of one collection; leaves of other
+    collections become [PTrue] (they cannot restrict this collection). *)
+let rec for_collection coll = function
+  | PAnd ts -> mk_and (List.map (for_collection coll) ts)
+  | POr ts -> POr (List.map (for_collection coll) ts)
+  | PLeaf l when String.lowercase_ascii l.collection = String.lowercase_ascii coll -> PLeaf l
+  | PStructural s
+    when String.lowercase_ascii s.s_collection = String.lowercase_ascii coll
+    ->
+      PStructural s
+  | PLeaf _ | PStructural _ -> PTrue
+  | PTrue -> PTrue
+
+let rec collections = function
+  | PAnd ts | POr ts -> List.concat_map collections ts
+  | PLeaf l -> [ l.collection ]
+  | PStructural s -> [ s.s_collection ]
+  | PTrue -> []
+
+let rec leaves = function
+  | PAnd ts | POr ts -> List.concat_map leaves ts
+  | PLeaf l -> [ l ]
+  | PStructural _ | PTrue -> []
+
+let rec to_string = function
+  | PAnd ts -> "(" ^ String.concat " AND " (List.map to_string ts) ^ ")"
+  | POr ts -> "(" ^ String.concat " OR " (List.map to_string ts) ^ ")"
+  | PLeaf l ->
+      Printf.sprintf "%s:%s %s %s [%s%s%s]" l.collection
+        (Xmlindex.Pattern.canonical_string l.path)
+        (cmp_op_to_string l.op)
+        (operand_to_string l.operand)
+        (cmp_class_to_string (leaf_class l))
+        (if l.value_cmp then ",value-cmp" else "")
+        (if l.singleton_path then ",singleton" else "")
+  | PStructural s ->
+      Printf.sprintf "%s:exists(%s)" s.s_collection
+        (Xmlindex.Pattern.canonical_string s.s_path)
+  | PTrue -> "TRUE"

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Advisor Int64 List Planner Sqlxml Storage Xdm Xmlparse Xschema

@@ -1,0 +1,1 @@
+lib/engine/advisor.ml: Eligibility Format Hashtbl List Option Planner Printf Sqlxml Xdm Xmlindex Xquery

@@ -1,0 +1,110 @@
+(** The database facade: one handle for DDL, SQL/XML, stand-alone XQuery,
+    EXPLAIN and the advisor.
+
+    {[
+      let db = Engine.create () in
+      Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)" |> ignore;
+      Engine.sql db "CREATE INDEX li_price ON orders(orddoc) \
+                     USING XMLPATTERN '//lineitem/@price' AS DOUBLE" |> ignore;
+      let items, plan =
+        Engine.xquery db
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]"
+      in
+      ...
+    ]} *)
+
+(** Re-export: the Tips 1–12 advisor. *)
+module Advisor = Advisor
+
+type t = { sqlctx : Sqlxml.Sql_exec.ctx }
+
+let create () = { sqlctx = Sqlxml.Sql_exec.create (Storage.Database.create ()) }
+
+let database t = t.sqlctx.Sqlxml.Sql_exec.db
+
+let catalog t : Planner.catalog =
+  { Planner.db = database t; indexes = t.sqlctx.Sqlxml.Sql_exec.xindexes }
+
+let xml_indexes t = t.sqlctx.Sqlxml.Sql_exec.xindexes
+let rel_indexes t = t.sqlctx.Sqlxml.Sql_exec.rindexes
+
+(** Enable/disable index usage (for baselines and A/B benchmarks). *)
+let set_use_indexes t b = t.sqlctx.Sqlxml.Sql_exec.use_indexes <- b
+let use_indexes t = t.sqlctx.Sqlxml.Sql_exec.use_indexes
+
+(* ------------------------------------------------------------------ *)
+(* SQL/XML                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Execute a SQL/XML statement. *)
+let sql t (src : string) : Sqlxml.Sql_exec.result =
+  Sqlxml.Sql_exec.exec_string t.sqlctx src
+
+(** EXPLAIN trace of the last SQL statement. *)
+let last_notes t = List.rev t.sqlctx.Sqlxml.Sql_exec.notes
+
+(** Indexes used by the last SQL statement. *)
+let last_indexes_used t = t.sqlctx.Sqlxml.Sql_exec.used
+
+(* ------------------------------------------------------------------ *)
+(* Stand-alone XQuery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a stand-alone XQuery, using eligible indexes to pre-filter
+    collections. Returns the result and the plan (with EXPLAIN notes). *)
+let xquery t (src : string) : Xdm.Item.seq * Planner.t =
+  if use_indexes t then Planner.run_xquery (catalog t) src
+  else
+    ( Planner.run_xquery_noindex (catalog t) src,
+      { Planner.restrictions = []; notes = [ "index use disabled" ]; indexes_used = [] } )
+
+(** Run a stand-alone XQuery with a full collection scan (baseline). *)
+let xquery_noindex t (src : string) : Xdm.Item.seq =
+  Planner.run_xquery_noindex (catalog t) src
+
+(** Serialize a result sequence the way a query shell would. *)
+let to_xml (seq : Xdm.Item.seq) : string = Xmlparse.Xml_writer.seq_to_string seq
+
+(* ------------------------------------------------------------------ *)
+(* Bulk loading                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Insert pre-rendered XML documents into [table]; non-XML columns get
+    the row number / NULLs. Faster than going through INSERT parsing. *)
+let load_documents t ~table ~column (docs : string list) : unit =
+  let tbl = Storage.Database.table_exn (database t) table in
+  let coli = Storage.Table.col_index_exn tbl column in
+  List.iteri
+    (fun i doc ->
+      let values =
+        List.mapi
+          (fun j (c : Storage.Table.col_def) ->
+            if j = coli then Storage.Sql_value.Varchar doc
+            else
+              match c.Storage.Table.col_type with
+              | Storage.Sql_value.TInt ->
+                  Storage.Sql_value.Int (Int64.of_int (i + 1))
+              | _ -> Storage.Sql_value.Null)
+          tbl.Storage.Table.cols
+      in
+      ignore (Storage.Table.insert tbl values))
+    docs
+
+(** Validate every document of an XML column against [schema] in place
+    (per-document typing, Section 2.1 of the paper). Returns the number of
+    annotated nodes. *)
+let validate_column t ~table ~column (schema : Xschema.t) : int =
+  let tbl = Storage.Database.table_exn (database t) table in
+  List.fold_left
+    (fun acc (_, doc) -> acc + Xschema.validate schema doc)
+    0
+    (Storage.Table.xml_docs tbl column)
+
+(* ------------------------------------------------------------------ *)
+(* Advice                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the codified Tips 1–12 advisor on a statement (auto-detects SQL vs
+    stand-alone XQuery by attempting the SQL parser first). *)
+let advise t (src : string) : Advisor.advice list =
+  Advisor.advise ~catalog:(catalog t) src

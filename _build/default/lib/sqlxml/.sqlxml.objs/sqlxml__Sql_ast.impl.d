@@ -1,0 +1,1 @@
+lib/sqlxml/sql_ast.ml: List Storage Xmlindex Xquery

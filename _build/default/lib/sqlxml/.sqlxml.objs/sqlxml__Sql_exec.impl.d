@@ -1,0 +1,1 @@
+lib/sqlxml/sql_exec.ml: Array Eligibility Format Hashtbl Int64 List Option Planner Printf Sql_ast Sql_parser Storage String Xdm Xmlindex Xquery

@@ -1,0 +1,1 @@
+lib/sqlxml/sql_lexer.ml: Buffer Format Int64 String

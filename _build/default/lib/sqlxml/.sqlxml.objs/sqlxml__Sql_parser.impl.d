@@ -1,0 +1,1 @@
+lib/sqlxml/sql_parser.ml: Format Int64 List Printf Sql_ast Sql_lexer Storage String Xdm Xmlindex Xquery

@@ -1,0 +1,169 @@
+(** Lexer for the SQL/XML subset. Keywords are case-insensitive bare
+    words; ["..."]-quoted identifiers preserve case (the paper's XMLTable
+    COLUMNS use them); ['...']-quoted strings carry embedded XQuery. *)
+
+type token =
+  | Word of string  (** bare identifier / keyword, as written *)
+  | QIdent of string  (** "quoted" identifier *)
+  | Str of string  (** '...' string literal *)
+  | Int of int64
+  | Num of float
+  | LPar
+  | RPar
+  | Comma
+  | Dot
+  | Semi
+  | Star
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+exception Sql_syntax_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Sql_syntax_error m)) fmt
+
+type t = { src : string; mutable pos : int; mutable tok : token }
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_digit c = c >= '0' && c <= '9'
+
+let is_word_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_word_char c = is_word_start c || is_digit c || c = '-'
+
+let peek l = if l.pos < String.length l.src then Some l.src.[l.pos] else None
+
+let peek_at l k =
+  if l.pos + k < String.length l.src then Some l.src.[l.pos + k] else None
+
+let rec skip_trivia l =
+  match peek l with
+  | Some c when is_space c ->
+      l.pos <- l.pos + 1;
+      skip_trivia l
+  | Some '-' when peek_at l 1 = Some '-' ->
+      while peek l <> None && peek l <> Some '\n' do
+        l.pos <- l.pos + 1
+      done;
+      skip_trivia l
+  | _ -> ()
+
+let next l =
+  skip_trivia l;
+  let adv n = l.pos <- l.pos + n in
+  let tok =
+    match peek l with
+    | None -> Eof
+    | Some '(' -> adv 1; LPar
+    | Some ')' -> adv 1; RPar
+    | Some ',' -> adv 1; Comma
+    | Some '.' -> adv 1; Dot
+    | Some ';' -> adv 1; Semi
+    | Some '*' -> adv 1; Star
+    | Some '=' -> adv 1; Eq
+    | Some '<' ->
+        if peek_at l 1 = Some '>' then begin adv 2; Ne end
+        else if peek_at l 1 = Some '=' then begin adv 2; Le end
+        else begin adv 1; Lt end
+    | Some '>' ->
+        if peek_at l 1 = Some '=' then begin adv 2; Ge end
+        else begin adv 1; Gt end
+    | Some '!' when peek_at l 1 = Some '=' -> adv 2; Ne
+    | Some '\'' ->
+        adv 1;
+        let buf = Buffer.create 32 in
+        let rec go () =
+          match peek l with
+          | None -> fail "unterminated string literal"
+          | Some '\'' when peek_at l 1 = Some '\'' ->
+              Buffer.add_char buf '\'';
+              adv 2;
+              go ()
+          | Some '\'' -> adv 1
+          | Some c ->
+              Buffer.add_char buf c;
+              adv 1;
+              go ()
+        in
+        go ();
+        Str (Buffer.contents buf)
+    | Some '"' ->
+        adv 1;
+        let start = l.pos in
+        while peek l <> Some '"' && peek l <> None do
+          adv 1
+        done;
+        if peek l = None then fail "unterminated quoted identifier";
+        let s = String.sub l.src start (l.pos - start) in
+        adv 1;
+        QIdent s
+    | Some c when is_digit c ->
+        let start = l.pos in
+        while (match peek l with Some c -> is_digit c | None -> false) do
+          adv 1
+        done;
+        let isfloat =
+          match (peek l, peek_at l 1) with
+          | Some '.', Some d when is_digit d ->
+              adv 1;
+              while (match peek l with Some c -> is_digit c | None -> false) do
+                adv 1
+              done;
+              true
+          | _ -> false
+        in
+        let isfloat =
+          match peek l with
+          | Some ('e' | 'E') ->
+              adv 1;
+              (match peek l with
+              | Some ('+' | '-') -> adv 1
+              | _ -> ());
+              while (match peek l with Some c -> is_digit c | None -> false) do
+                adv 1
+              done;
+              true
+          | _ -> isfloat
+        in
+        let text = String.sub l.src start (l.pos - start) in
+        if isfloat then Num (float_of_string text)
+        else Int (Int64.of_string text)
+    | Some c when is_word_start c ->
+        let start = l.pos in
+        while (match peek l with Some c -> is_word_char c | None -> false) do
+          adv 1
+        done;
+        Word (String.sub l.src start (l.pos - start))
+    | Some c -> fail "unexpected character %C in SQL" c
+  in
+  l.tok <- tok
+
+let init src =
+  let l = { src; pos = 0; tok = Eof } in
+  next l;
+  l
+
+let token_to_string = function
+  | Word w -> w
+  | QIdent s -> "\"" ^ s ^ "\""
+  | Str s -> "'" ^ s ^ "'"
+  | Int i -> Int64.to_string i
+  | Num f -> string_of_float f
+  | LPar -> "("
+  | RPar -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Semi -> ";"
+  | Star -> "*"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eof -> "<eof>"

@@ -1,0 +1,585 @@
+(** Recursive-descent parser for the SQL/XML subset. *)
+
+open Sql_ast
+module L = Sql_lexer
+
+type p = { lx : L.t }
+
+let cur p = p.lx.L.tok
+let advance p = L.next p.lx
+
+let fail p fmt =
+  Format.kasprintf
+    (fun m ->
+      raise
+        (L.Sql_syntax_error
+           (Printf.sprintf "%s (at %s)" m (L.token_to_string (cur p)))))
+    fmt
+
+let is_kw p kw =
+  match cur p with
+  | L.Word w -> String.uppercase_ascii w = kw
+  | _ -> false
+
+let eat_kw p kw =
+  if is_kw p kw then advance p else fail p "expected keyword %s" kw
+
+let accept_kw p kw =
+  if is_kw p kw then begin
+    advance p;
+    true
+  end
+  else false
+
+let expect p tok =
+  if cur p = tok then advance p
+  else fail p "expected %s" (L.token_to_string tok)
+
+let ident p =
+  match cur p with
+  | L.Word w ->
+      advance p;
+      w
+  | L.QIdent s ->
+      advance p;
+      s
+  | _ -> fail p "expected an identifier"
+
+let string_lit p =
+  match cur p with
+  | L.Str s ->
+      advance p;
+      s
+  | _ -> fail p "expected a string literal"
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sqltype p : sqltype =
+  match cur p with
+  | L.Word w -> (
+      advance p;
+      match String.uppercase_ascii w with
+      | "INTEGER" | "INT" | "BIGINT" -> Storage.Sql_value.TInt
+      | "DOUBLE" ->
+          ignore (accept_kw p "PRECISION");
+          Storage.Sql_value.TDouble
+      | "FLOAT" -> Storage.Sql_value.TDouble
+      | "DECIMAL" | "NUMERIC" ->
+          if cur p = L.LPar then begin
+            advance p;
+            let prec =
+              match cur p with
+              | L.Int i ->
+                  advance p;
+                  Int64.to_int i
+              | _ -> fail p "expected precision"
+            in
+            let scale =
+              if cur p = L.Comma then begin
+                advance p;
+                match cur p with
+                | L.Int i ->
+                    advance p;
+                    Int64.to_int i
+                | _ -> fail p "expected scale"
+              end
+              else 0
+            in
+            expect p L.RPar;
+            Storage.Sql_value.TDecimal (prec, scale)
+          end
+          else Storage.Sql_value.TDecimal (31, 6)
+      | "VARCHAR" | "CHAR" ->
+          if cur p = L.LPar then begin
+            advance p;
+            let n =
+              match cur p with
+              | L.Int i ->
+                  advance p;
+                  Int64.to_int i
+              | _ -> fail p "expected length"
+            in
+            expect p L.RPar;
+            Storage.Sql_value.TVarchar n
+          end
+          else Storage.Sql_value.TVarchar 254
+      | "DATE" -> Storage.Sql_value.TDate
+      | "TIMESTAMP" -> Storage.Sql_value.TTimestamp
+      | "XML" -> Storage.Sql_value.TXml
+      | other -> fail p "unknown SQL type %S" other)
+  | _ -> fail p "expected a type name"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_embedded_query p (src : string) : Xquery.Ast.query =
+  try Xquery.Parser.parse_query src
+  with Xdm.Xerror.Error { code; msg } ->
+    fail p "embedded XQuery error [%s]: %s" code msg
+
+let rec passing_clause p : (string * sexpr) list =
+  if accept_kw p "PASSING" then begin
+    let one () =
+      let e = sexpr p in
+      eat_kw p "AS";
+      let name = ident p in
+      (name, e)
+    in
+    let items = ref [ one () ] in
+    while cur p = L.Comma do
+      advance p;
+      items := one () :: !items
+    done;
+    List.rev !items
+  end
+  else []
+
+and xq_embed_body p : xq_embed =
+  (* after the opening '(' of XMLQuery/XMLExists/XMLTable *)
+  let src = string_lit p in
+  let q = parse_embedded_query p src in
+  let passing = passing_clause p in
+  { xq_src = src; xq_query = q; xq_passing = passing }
+
+and sexpr p : sexpr =
+  match cur p with
+  | L.Str s ->
+      advance p;
+      SLitString s
+  | L.Int i ->
+      advance p;
+      SLitInt i
+  | L.Num f ->
+      advance p;
+      SLitDouble f
+  | L.Word w when String.uppercase_ascii w = "NULL" ->
+      advance p;
+      SNull
+  | L.Word w
+    when List.mem
+           (String.uppercase_ascii w)
+           [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "XMLAGG" ] ->
+      let agg =
+        match String.uppercase_ascii w with
+        | "COUNT" -> ACount
+        | "SUM" -> ASum
+        | "AVG" -> AAvg
+        | "MIN" -> AMin
+        | "XMLAGG" -> AXmlAgg
+        | _ -> AMax
+      in
+      advance p;
+      expect p L.LPar;
+      let arg =
+        if cur p = L.Star then begin
+          advance p;
+          None
+        end
+        else Some (sexpr p)
+      in
+      expect p L.RPar;
+      SAgg (agg, arg)
+  | L.Word w when String.uppercase_ascii w = "XMLQUERY" ->
+      advance p;
+      expect p L.LPar;
+      let e = xq_embed_body p in
+      (* optional RETURNING SEQUENCE etc. ignored *)
+      expect p L.RPar;
+      SXmlQuery e
+  | L.Word w when String.uppercase_ascii w = "XMLCAST" ->
+      advance p;
+      expect p L.LPar;
+      let e = sexpr p in
+      eat_kw p "AS";
+      let ty = sqltype p in
+      expect p L.RPar;
+      SXmlCast (e, ty)
+  | L.Word w when String.uppercase_ascii w = "XMLELEMENT" ->
+      advance p;
+      expect p L.LPar;
+      ignore (accept_kw p "NAME");
+      let name = ident p in
+      let args = ref [] in
+      while cur p = L.Comma do
+        advance p;
+        args := sexpr p :: !args
+      done;
+      expect p L.RPar;
+      SXmlElement (name, List.rev !args)
+  | L.Word _ | L.QIdent _ -> (
+      let first = ident p in
+      if cur p = L.Dot then begin
+        advance p;
+        let col = ident p in
+        SCol (Some first, col)
+      end
+      else SCol (None, first))
+  | _ -> fail p "expected an expression"
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_of_token = function
+  | L.Eq -> Some SEq
+  | L.Ne -> Some SNe
+  | L.Lt -> Some SLt
+  | L.Le -> Some SLe
+  | L.Gt -> Some SGt
+  | L.Ge -> Some SGe
+  | _ -> None
+
+let rec cond p : cond =
+  let a = ref (and_cond p) in
+  while is_kw p "OR" do
+    advance p;
+    a := COr (!a, and_cond p)
+  done;
+  !a
+
+and and_cond p : cond =
+  let a = ref (not_cond p) in
+  while is_kw p "AND" do
+    advance p;
+    a := CAnd (!a, not_cond p)
+  done;
+  !a
+
+and not_cond p : cond =
+  if is_kw p "NOT" then begin
+    advance p;
+    CNot (not_cond p)
+  end
+  else primary_cond p
+
+and primary_cond p : cond =
+  if cur p = L.LPar then begin
+    advance p;
+    let c = cond p in
+    expect p L.RPar;
+    c
+  end
+  else if is_kw p "XMLEXISTS" then begin
+    advance p;
+    expect p L.LPar;
+    let e = xq_embed_body p in
+    expect p L.RPar;
+    CXmlExists e
+  end
+  else begin
+    let a = sexpr p in
+    match cmp_of_token (cur p) with
+    | Some op ->
+        advance p;
+        CCmp (op, a, sexpr p)
+    | None ->
+        if is_kw p "IS" then begin
+          advance p;
+          let neg = accept_kw p "NOT" in
+          eat_kw p "NULL";
+          CIsNull (a, not neg)
+        end
+        else fail p "expected a comparison operator"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Table references                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let xmltable p : xmltable =
+  (* after the XMLTABLE keyword *)
+  expect p L.LPar;
+  let embed = xq_embed_body p in
+  let cols = ref [] in
+  if accept_kw p "COLUMNS" then begin
+    let one () =
+      let name = ident p in
+      let ty = sqltype p in
+      let by_ref =
+        if accept_kw p "BY" then
+          if accept_kw p "REF" then true
+          else begin
+            eat_kw p "VALUE";
+            false
+          end
+        else true
+      in
+      eat_kw p "PATH";
+      let path = string_lit p in
+      let q = parse_embedded_query p path in
+      { xc_name = name; xc_type = ty; xc_by_ref = by_ref; xc_path_src = path; xc_query = q }
+    in
+    cols := [ one () ];
+    while cur p = L.Comma do
+      advance p;
+      cols := one () :: !cols
+    done
+  end;
+  expect p L.RPar;
+  ignore (accept_kw p "AS");
+  let alias = ident p in
+  let colnames =
+    if cur p = L.LPar then begin
+      advance p;
+      let names = ref [ ident p ] in
+      while cur p = L.Comma do
+        advance p;
+        names := ident p :: !names
+      done;
+      expect p L.RPar;
+      List.rev !names
+    end
+    else []
+  in
+  {
+    xt_embed = embed;
+    xt_cols = List.rev !cols;
+    xt_alias = alias;
+    xt_colnames = colnames;
+  }
+
+let table_ref p : table_ref =
+  if is_kw p "XMLTABLE" then begin
+    advance p;
+    TRXmlTable (xmltable p)
+  end
+  else begin
+    let name = ident p in
+    let alias =
+      if accept_kw p "AS" then ident p
+      else
+        match cur p with
+        | L.Word w
+          when not
+                 (List.mem
+                    (String.uppercase_ascii w)
+                    [ "WHERE"; "ORDER"; "GROUP"; "ON"; "XMLTABLE"; "LIMIT";
+                      "FETCH" ]) ->
+            advance p;
+            w
+        | L.QIdent s ->
+            advance p;
+            s
+        | _ -> name
+    in
+    TRTable { name; alias }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let select_stmt p : select =
+  (* after SELECT *)
+  let sel_item () =
+    if cur p = L.Star then begin
+      advance p;
+      SelStar
+    end
+    else begin
+      let e = sexpr p in
+      let alias = if accept_kw p "AS" then Some (ident p) else None in
+      SelExpr (e, alias)
+    end
+  in
+  let items = ref [ sel_item () ] in
+  while cur p = L.Comma do
+    advance p;
+    items := sel_item () :: !items
+  done;
+  eat_kw p "FROM";
+  let from = ref [ table_ref p ] in
+  while cur p = L.Comma do
+    advance p;
+    from := table_ref p :: !from
+  done;
+  let where = if accept_kw p "WHERE" then Some (cond p) else None in
+  let group_by =
+    if accept_kw p "GROUP" then begin
+      eat_kw p "BY";
+      let keys = ref [ sexpr p ] in
+      while cur p = L.Comma do
+        advance p;
+        keys := sexpr p :: !keys
+      done;
+      List.rev !keys
+    end
+    else []
+  in
+  let order_by =
+    if accept_kw p "ORDER" then begin
+      eat_kw p "BY";
+      let key () =
+        let e = sexpr p in
+        let asc =
+          if accept_kw p "DESC" then false
+          else begin
+            ignore (accept_kw p "ASC");
+            true
+          end
+        in
+        (e, asc)
+      in
+      let keys = ref [ key () ] in
+      while cur p = L.Comma do
+        advance p;
+        keys := key () :: !keys
+      done;
+      List.rev !keys
+    end
+    else []
+  in
+  let limit =
+    if accept_kw p "FETCH" then begin
+      eat_kw p "FIRST";
+      let n =
+        match cur p with
+        | L.Int i ->
+            advance p;
+            Int64.to_int i
+        | _ -> fail p "expected a row count"
+      in
+      ignore (accept_kw p "ROWS");
+      ignore (accept_kw p "ROW");
+      eat_kw p "ONLY";
+      Some n
+    end
+    else if accept_kw p "LIMIT" then begin
+      match cur p with
+      | L.Int i ->
+          advance p;
+          Some (Int64.to_int i)
+      | _ -> fail p "expected a row count"
+    end
+    else None
+  in
+  {
+    sel_list = List.rev !items;
+    from = List.rev !from;
+    where;
+    group_by;
+    order_by;
+    limit;
+  }
+
+let create_stmt p : stmt =
+  (* after CREATE *)
+  if accept_kw p "TABLE" then begin
+    let name = ident p in
+    expect p L.LPar;
+    let coldef () =
+      let c = ident p in
+      let ty = sqltype p in
+      (c, ty)
+    in
+    let cols = ref [ coldef () ] in
+    while cur p = L.Comma do
+      advance p;
+      cols := coldef () :: !cols
+    done;
+    expect p L.RPar;
+    CreateTable (name, List.rev !cols)
+  end
+  else begin
+    ignore (accept_kw p "UNIQUE");
+    eat_kw p "INDEX";
+    let iname = ident p in
+    eat_kw p "ON";
+    let table = ident p in
+    expect p L.LPar;
+    let column = ident p in
+    expect p L.RPar;
+    if accept_kw p "USING" then begin
+      eat_kw p "XMLPATTERN";
+      let pattern = string_lit p in
+      eat_kw p "AS";
+      ignore (accept_kw p "SQL");
+      let vtype =
+        match cur p with
+        | L.Word w -> (
+            advance p;
+            match String.uppercase_ascii w with
+            | "VARCHAR" ->
+                (* optional length *)
+                if cur p = L.LPar then begin
+                  advance p;
+                  (match cur p with
+                  | L.Int _ -> advance p
+                  | _ -> fail p "expected length");
+                  expect p L.RPar
+                end;
+                Xmlindex.Xindex.VVarchar
+            | "DOUBLE" -> Xmlindex.Xindex.VDouble
+            | "DATE" -> Xmlindex.Xindex.VDate
+            | "TIMESTAMP" -> Xmlindex.Xindex.VTimestamp
+            | t -> fail p "unknown XML index type %S" t)
+        | _ -> fail p "expected an index type"
+      in
+      CreateXmlIndex
+        { ci_name = iname; ci_table = table; ci_column = column;
+          ci_pattern = pattern; ci_vtype = vtype }
+    end
+    else CreateRelIndex { cr_name = iname; cr_table = table; cr_column = column }
+  end
+
+let insert_stmt p : stmt =
+  (* after INSERT *)
+  eat_kw p "INTO";
+  let name = ident p in
+  eat_kw p "VALUES";
+  let row () =
+    expect p L.LPar;
+    let vals = ref [ sexpr p ] in
+    while cur p = L.Comma do
+      advance p;
+      vals := sexpr p :: !vals
+    done;
+    expect p L.RPar;
+    List.rev !vals
+  in
+  let rows = ref [ row () ] in
+  while cur p = L.Comma do
+    advance p;
+    rows := row () :: !rows
+  done;
+  Insert (name, List.rev !rows)
+
+(** Parse one SQL/XML statement. *)
+let parse (src : string) : stmt =
+  let p = { lx = L.init src } in
+  let stmt =
+    if accept_kw p "EXPLAIN" then begin
+      eat_kw p "SELECT";
+      Explain (Select (select_stmt p))
+    end
+    else if accept_kw p "SELECT" then Select (select_stmt p)
+    else if accept_kw p "VALUES" then begin
+      expect p L.LPar;
+      let vals = ref [ sexpr p ] in
+      while cur p = L.Comma do
+        advance p;
+        vals := sexpr p :: !vals
+      done;
+      expect p L.RPar;
+      Values (List.rev !vals)
+    end
+    else if accept_kw p "CREATE" then create_stmt p
+    else if accept_kw p "INSERT" then insert_stmt p
+    else if accept_kw p "DELETE" then begin
+      eat_kw p "FROM";
+      let name = ident p in
+      let del_where = if accept_kw p "WHERE" then Some (cond p) else None in
+      Delete { del_table = name; del_where }
+    end
+    else if accept_kw p "DROP" then begin
+      eat_kw p "INDEX";
+      DropIndex (ident p)
+    end
+    else fail p "expected SELECT / VALUES / CREATE / INSERT / DELETE / DROP"
+  in
+  if cur p = L.Semi then advance p;
+  if cur p <> L.Eof then fail p "trailing tokens after statement";
+  stmt

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Hashtbl List Printf String Table Xdm

@@ -1,0 +1,1 @@
+lib/storage/path_table.ml: Hashtbl List Node Xdm

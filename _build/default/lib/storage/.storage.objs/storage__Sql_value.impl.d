@@ -1,0 +1,1 @@
+lib/storage/sql_value.ml: Float Int64 Printf String Xdm Xmlparse

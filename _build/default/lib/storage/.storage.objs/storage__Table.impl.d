@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Hashtbl List Path_table Printf Sql_value String Xdm

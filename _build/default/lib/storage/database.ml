@@ -1,0 +1,62 @@
+(** The database catalog: named tables plus the collection resolver that
+    backs [db2-fn:xmlcolumn('TABLE.COLUMN')]. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 8 }
+
+let norm = String.lowercase_ascii
+
+let create_table db name cols =
+  let key = norm name in
+  if Hashtbl.mem db.tables key then
+    failwith (Printf.sprintf "table %S already exists" name);
+  let t = Table.create name cols in
+  Hashtbl.add db.tables key t;
+  t
+
+let drop_table db name = Hashtbl.remove db.tables (norm name)
+
+let find_table db name = Hashtbl.find_opt db.tables (norm name)
+
+let table_exn db name =
+  match find_table db name with
+  | Some t -> t
+  | None -> failwith (Printf.sprintf "unknown table %S" name)
+
+let tables db =
+  Hashtbl.fold (fun _ t acc -> t :: acc) db.tables []
+  |> List.sort (fun (a : Table.t) b -> compare a.Table.name b.Table.name)
+
+(** Parse a ['TABLE.COLUMN'] reference (as used by db2-fn:xmlcolumn). *)
+let split_colref (s : string) : (string * string) option =
+  match String.index_opt s '.' with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(** Collection resolver for the XQuery engine: returns the document nodes
+    of an XML column as a sequence. An optional [restrict_to] set of row
+    ids implements Definition 1's [I(P, D)] pre-filtering. *)
+let resolver ?(restrict_to : (string * Xdm.Int_set.t) list = []) db :
+    string -> Xdm.Item.seq =
+ fun name ->
+  match split_colref name with
+  | None ->
+      Xdm.Xerror.raise_err "FODC0002"
+        "db2-fn:xmlcolumn expects 'TABLE.COLUMN', got %S" name
+  | Some (tname, cname) ->
+      let t =
+        match find_table db tname with
+        | Some t -> t
+        | None ->
+            Xdm.Xerror.raise_err "FODC0002" "unknown XML column %S" name
+      in
+      let docs = Table.xml_docs t cname in
+      let docs =
+        match List.assoc_opt (norm name) (List.map (fun (k, v) -> (norm k, v)) restrict_to) with
+        | None -> docs
+        | Some keep ->
+            List.filter (fun (rid, _) -> Xdm.Int_set.mem rid keep) docs
+      in
+      List.map (fun (_, d) -> Xdm.Item.N d) docs

@@ -1,0 +1,46 @@
+(** The path table: distinct rooted paths of an XML column, interned to
+    small integer ids.
+
+    This mirrors the DB2 design the paper builds on: index entries carry a
+    path id rather than the path itself, and an index probe first computes
+    the set of path ids that satisfy the query's path expression, then
+    scans the B+Tree filtering on (value, path id). *)
+
+open Xdm
+
+type t = {
+  by_key : (string, int) Hashtbl.t;
+  steps_of : (int, Node.path_step list) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () = { by_key = Hashtbl.create 64; steps_of = Hashtbl.create 64; next = 0 }
+
+(** Intern the rooted path of [node]; returns its path id. *)
+let intern t (node : Node.t) : int =
+  let key = Node.path_key node in
+  match Hashtbl.find_opt t.by_key key with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      Hashtbl.add t.by_key key id;
+      Hashtbl.add t.steps_of id (Node.rooted_path node);
+      id
+
+let find t (node : Node.t) : int option =
+  Hashtbl.find_opt t.by_key (Node.path_key node)
+
+let steps t id = Hashtbl.find t.steps_of id
+
+let cardinality t = t.next
+
+(** All path ids whose step list satisfies [pred]. *)
+let matching t (pred : Node.path_step list -> bool) : int list =
+  Hashtbl.fold
+    (fun id steps acc -> if pred steps then id :: acc else acc)
+    t.steps_of []
+  |> List.sort compare
+
+let fold t f init =
+  Hashtbl.fold (fun id steps acc -> f acc id steps) t.steps_of init

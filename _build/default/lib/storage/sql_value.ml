@@ -1,0 +1,148 @@
+(** SQL values and SQL comparison semantics.
+
+    The paper's Section 3.3/3.6 point out divergences between SQL and
+    XQuery comparison: SQL ignores trailing blanks in strings, XQuery does
+    not; SQL is strongly typed, XQuery has untypedAtomic. Keeping the two
+    value systems separate in the code makes those divergences real. *)
+
+type sqltype =
+  | TInt
+  | TDouble
+  | TDecimal of int * int  (** DECIMAL(p, s); stored as a float *)
+  | TVarchar of int
+  | TDate
+  | TTimestamp
+  | TXml
+
+type t =
+  | Null
+  | Int of int64
+  | Double of float
+  | Varchar of string
+  | Date of Xdm.Xdate.date
+  | Timestamp of Xdm.Xdate.datetime
+  | Xml of Xdm.Item.seq
+
+let type_name = function
+  | TInt -> "INTEGER"
+  | TDouble -> "DOUBLE"
+  | TDecimal (p, s) -> Printf.sprintf "DECIMAL(%d,%d)" p s
+  | TVarchar n -> Printf.sprintf "VARCHAR(%d)" n
+  | TDate -> "DATE"
+  | TTimestamp -> "TIMESTAMP"
+  | TXml -> "XML"
+
+(** SQL VARCHAR comparison ignores trailing spaces. *)
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+exception Incomparable of string
+
+let describe = function
+  | Null -> "NULL"
+  | Int _ -> "INTEGER"
+  | Double _ -> "DOUBLE"
+  | Varchar _ -> "VARCHAR"
+  | Date _ -> "DATE"
+  | Timestamp _ -> "TIMESTAMP"
+  | Xml _ -> "XML"
+
+(** Three-valued SQL comparison: [None] = UNKNOWN (a NULL operand).
+    Raises [Incomparable] on a type mismatch (SQL is strongly typed; there
+    is no untyped-to-number magic here — that is the paper's point). *)
+let compare_sql (a : t) (b : t) : int option =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (Int64.compare x y)
+  | Int x, Double y -> Some (Float.compare (Int64.to_float x) y)
+  | Double x, Int y -> Some (Float.compare x (Int64.to_float y))
+  | Double x, Double y -> Some (Float.compare x y)
+  | Varchar x, Varchar y -> Some (String.compare (rtrim x) (rtrim y))
+  | Date x, Date y -> Some (Xdm.Xdate.compare_date x y)
+  | Timestamp x, Timestamp y -> Some (Xdm.Xdate.compare_datetime x y)
+  (* SQL coerces string literals against date/timestamp columns *)
+  | Date x, Varchar s -> (
+      match Xdm.Xdate.date_of_string_opt s with
+      | Some y -> Some (Xdm.Xdate.compare_date x y)
+      | None ->
+          raise (Incomparable (Printf.sprintf "invalid DATE literal %S" s)))
+  | Varchar s, Date y -> (
+      match Xdm.Xdate.date_of_string_opt s with
+      | Some x -> Some (Xdm.Xdate.compare_date x y)
+      | None ->
+          raise (Incomparable (Printf.sprintf "invalid DATE literal %S" s)))
+  | Timestamp x, Varchar s -> (
+      match Xdm.Xdate.datetime_of_string_opt s with
+      | Some y -> Some (Xdm.Xdate.compare_datetime x y)
+      | None ->
+          raise
+            (Incomparable (Printf.sprintf "invalid TIMESTAMP literal %S" s)))
+  | Varchar s, Timestamp y -> (
+      match Xdm.Xdate.datetime_of_string_opt s with
+      | Some x -> Some (Xdm.Xdate.compare_datetime x y)
+      | None ->
+          raise
+            (Incomparable (Printf.sprintf "invalid TIMESTAMP literal %S" s)))
+  | _ ->
+      raise
+        (Incomparable
+           (Printf.sprintf "cannot compare %s with %s" (describe a) (describe b)))
+
+let to_display = function
+  | Null -> "NULL"
+  | Int i -> Int64.to_string i
+  | Double f -> Xdm.Atomic.string_of_double f
+  | Varchar s -> s
+  | Date d -> Xdm.Xdate.date_to_string d
+  | Timestamp t -> Xdm.Xdate.datetime_to_string t
+  | Xml seq -> Xmlparse.Xml_writer.seq_to_string seq
+
+(** Check (and lightly coerce) a value against a column type. Raises
+    [Failure] on incompatibility; VARCHAR(n) truncation is an error like
+    in a strict SQL implementation. *)
+let coerce (ty : sqltype) (v : t) : t =
+  match (ty, v) with
+  | _, Null -> Null
+  | TInt, Int _ -> v
+  | TInt, Double f -> Int (Int64.of_float f)
+  | (TDouble | TDecimal _), Double _ -> v
+  | (TDouble | TDecimal _), Int i -> Double (Int64.to_float i)
+  | TVarchar n, Varchar s ->
+      if String.length s > n then
+        failwith
+          (Printf.sprintf "value too long for VARCHAR(%d): %S" n s)
+      else v
+  | TDate, Date _ -> v
+  | TDate, Varchar s -> (
+      match Xdm.Xdate.date_of_string_opt s with
+      | Some d -> Date d
+      | None -> failwith (Printf.sprintf "invalid DATE literal %S" s))
+  | TTimestamp, Timestamp _ -> v
+  | TTimestamp, Varchar s -> (
+      match Xdm.Xdate.datetime_of_string_opt s with
+      | Some d -> Timestamp d
+      | None -> failwith (Printf.sprintf "invalid TIMESTAMP literal %S" s))
+  | TXml, Xml _ -> v
+  | TXml, Varchar s -> Xml [ Xdm.Item.N (Xmlparse.Xml_parser.parse_document s) ]
+  | ty, v ->
+      failwith
+        (Printf.sprintf "cannot store %s in a %s column" (describe v)
+           (type_name ty))
+
+(** Convert a SQL value into the XQuery data model (for PASSING clauses).
+    The XQuery variable inherits a precise XML schema subtype — the paper
+    notes the [$pid] variable in Query 13 inherits [xs:string] from the
+    SQL side. *)
+let to_xdm (v : t) : Xdm.Item.seq =
+  match v with
+  | Null -> []
+  | Int i -> [ Xdm.Item.A (Xdm.Atomic.Integer i) ]
+  | Double f -> [ Xdm.Item.A (Xdm.Atomic.Double f) ]
+  | Varchar s -> [ Xdm.Item.A (Xdm.Atomic.Str s) ]
+  | Date d -> [ Xdm.Item.A (Xdm.Atomic.Date d) ]
+  | Timestamp t -> [ Xdm.Item.A (Xdm.Atomic.DateTime t) ]
+  | Xml seq -> seq

@@ -1,0 +1,152 @@
+(** Tables: relational rows with native XML-type columns.
+
+    Every row gets a stable integer [row id]; XML index entries reference
+    (row id, node id) pairs, so an index probe yields a set of row ids —
+    the "set of documents pre-filtered by the index" of the paper's
+    Definition 1. Deleting marks the row slot absent and fires hooks so
+    indexes stay transactionally consistent. *)
+
+type col_def = { col_name : string; col_type : Sql_value.sqltype }
+
+type row = { row_id : int; values : Sql_value.t array }
+
+type hook = {
+  on_insert : row -> unit;
+  on_delete : row -> unit;
+}
+
+type t = {
+  name : string;
+  cols : col_def list;
+  mutable rows : (int, row) Hashtbl.t;  (** row_id → row *)
+  mutable next_row_id : int;
+  mutable hooks : hook list;
+  path_tables : (string, Path_table.t) Hashtbl.t;
+      (** per XML column: its path table *)
+}
+
+let create name cols =
+  let t =
+    {
+      name;
+      cols;
+      rows = Hashtbl.create 256;
+      next_row_id = 0;
+      hooks = [];
+      path_tables = Hashtbl.create 4;
+    }
+  in
+  List.iter
+    (fun c ->
+      if c.col_type = Sql_value.TXml then
+        Hashtbl.add t.path_tables c.col_name (Path_table.create ()))
+    cols;
+  t
+
+let col_index t name =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when String.lowercase_ascii c.col_name = String.lowercase_ascii name ->
+        Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.cols
+
+let col_index_exn t name =
+  match col_index t name with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "no column %S in table %S" name t.name)
+
+let col_type t name = (List.nth t.cols (col_index_exn t name)).col_type
+
+let path_table t col =
+  match Hashtbl.find_opt t.path_tables (String.lowercase_ascii col) with
+  | Some pt -> Some pt
+  | None ->
+      (* column names are stored as written in CREATE TABLE; try exact *)
+      Hashtbl.find_opt t.path_tables col
+
+let path_table_exn t col =
+  match path_table t col with
+  | Some pt -> pt
+  | None ->
+      (* fall back to locating by column definition *)
+      let def = List.nth t.cols (col_index_exn t col) in
+      Hashtbl.find t.path_tables def.col_name
+
+let add_hook t h = t.hooks <- h :: t.hooks
+
+(** Register all rooted paths of an inserted document's nodes in the
+    owning column's path table. *)
+let intern_row_paths t (r : row) =
+  List.iteri
+    (fun i c ->
+      if c.col_type = Sql_value.TXml then
+        let pt = Hashtbl.find t.path_tables c.col_name in
+        match r.values.(i) with
+        | Sql_value.Xml seq ->
+            List.iter
+              (function
+                | Xdm.Item.N doc ->
+                    List.iter
+                      (fun (n : Xdm.Node.t) ->
+                        (* document nodes have no rooted path *)
+                        if n.Xdm.Node.kind <> Xdm.Node.Document then begin
+                          ignore (Path_table.intern pt n);
+                          List.iter
+                            (fun a -> ignore (Path_table.intern pt a))
+                            n.Xdm.Node.attrs
+                        end)
+                      (Xdm.Node.descendants_or_self doc)
+                | Xdm.Item.A _ -> ())
+              seq
+        | _ -> ())
+    t.cols
+
+(** Insert a row (values in column order); returns the new row id. *)
+let insert t (values : Sql_value.t list) : int =
+  if List.length values <> List.length t.cols then
+    failwith
+      (Printf.sprintf "table %s: expected %d values, got %d" t.name
+         (List.length t.cols) (List.length values));
+  let values =
+    List.map2 (fun c v -> Sql_value.coerce c.col_type v) t.cols values
+  in
+  let id = t.next_row_id in
+  t.next_row_id <- id + 1;
+  let row = { row_id = id; values = Array.of_list values } in
+  Hashtbl.replace t.rows id row;
+  intern_row_paths t row;
+  List.iter (fun h -> h.on_insert row) t.hooks;
+  id
+
+let delete t row_id =
+  match Hashtbl.find_opt t.rows row_id with
+  | None -> false
+  | Some row ->
+      Hashtbl.remove t.rows row_id;
+      List.iter (fun h -> h.on_delete row) t.hooks;
+      true
+
+let row_count t = Hashtbl.length t.rows
+
+let find_row t row_id = Hashtbl.find_opt t.rows row_id
+
+(** Rows in stable (insertion) order. *)
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.rows []
+  |> List.sort (fun a b -> compare a.row_id b.row_id)
+
+let value_of t (r : row) col = r.values.(col_index_exn t col)
+
+(** All (row id, document node) pairs of an XML column, insertion order. *)
+let xml_docs t col : (int * Xdm.Node.t) list =
+  let i = col_index_exn t col in
+  rows t
+  |> List.concat_map (fun r ->
+         match r.values.(i) with
+         | Sql_value.Xml seq ->
+             List.filter_map
+               (function Xdm.Item.N n -> Some (r.row_id, n) | _ -> None)
+               seq
+         | _ -> [])

@@ -1,0 +1,1 @@
+lib/workload/feeds_gen.ml: Buffer Char List Printf Rand

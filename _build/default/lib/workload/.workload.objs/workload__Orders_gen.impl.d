@@ -1,0 +1,1 @@
+lib/workload/orders_gen.ml: Buffer List Printf Rand

@@ -1,0 +1,95 @@
+(** RSS/Atom-style feed documents with extensibility points.
+
+    The paper's introduction names RSS as the prime example of extensible
+    schemas: "elements of any namespace anywhere in the document". Feed
+    items here carry a random mix of extension elements from foreign
+    namespaces plus [xsi:type]-annotated fields, driving the namespace
+    (Section 3.7) and dynamic-typing experiments. *)
+
+let dc_ns = "http://purl.org/dc/elements/1.1/"
+let geo_ns = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+let media_ns = "http://search.yahoo.com/mrss/"
+let xsi_ns = "http://www.w3.org/2001/XMLSchema-instance"
+let xs_ns = "http://www.w3.org/2001/XMLSchema"
+
+type params = { seed : int; items_mean : int; extension_frac : float }
+
+let default = { seed = 7; items_mean = 5; extension_frac = 0.4 }
+
+let item (p : params) (rng : Rand.t) (feed : int) (i : int) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<item>";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>Feed %d story %d</title>" feed i);
+  Buffer.add_string buf
+    (Printf.sprintf "<link>http://example.com/%d/%d</link>" feed i);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<pubDate xsi:type=\"xs:date\">%04d-%02d-%02d</pubDate>"
+       (2005 + Rand.int rng 2)
+       (1 + Rand.int rng 12)
+       (1 + Rand.int rng 28));
+  if Rand.bool rng p.extension_frac then
+    Buffer.add_string buf
+      (Printf.sprintf "<dc:creator>author%d</dc:creator>" (Rand.int rng 50));
+  if Rand.bool rng p.extension_frac then
+    Buffer.add_string buf
+      (Printf.sprintf "<geo:lat>%.4f</geo:lat><geo:long>%.4f</geo:long>"
+         (Rand.float rng *. 180. -. 90.)
+         (Rand.float rng *. 360. -. 180.));
+  if Rand.bool rng p.extension_frac then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<media:content url=\"http://cdn.example.com/%d.jpg\" \
+          fileSize=\"%d\"/>"
+         i
+         (1000 + Rand.int rng 100000));
+  Buffer.add_string buf "</item>";
+  Buffer.contents buf
+
+let feed_doc (p : params) (rng : Rand.t) (i : int) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rss version=\"2.0\" xmlns:dc=\"%s\" xmlns:geo=\"%s\" \
+        xmlns:media=\"%s\" xmlns:xsi=\"%s\" xmlns:xs=\"%s\"><channel>"
+       dc_ns geo_ns media_ns xsi_ns xs_ns);
+  Buffer.add_string buf (Printf.sprintf "<title>Channel %d</title>" i);
+  let n = 1 + Rand.int rng (max 1 ((2 * p.items_mean) - 1)) in
+  for j = 1 to n do
+    Buffer.add_string buf (item p rng i j)
+  done;
+  Buffer.add_string buf "</channel></rss>";
+  Buffer.contents buf
+
+let feeds (p : params) (n : int) : string list =
+  let rng = Rand.create p.seed in
+  List.init n (fun i -> feed_doc p rng (i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Schema-evolution postal codes (paper Section 2.1)                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Address documents whose postal codes start numeric (US) and, after
+    "the company begins shipping to Canada", include Canadian codes like
+    "K1A 0B1" — the paper's motivating case for tolerant indexes. *)
+let address_doc (rng : Rand.t) ~(canadian_frac : float) (i : int) : string =
+  let postal =
+    if Rand.bool rng canadian_frac then
+      Printf.sprintf "%c%d%c %d%c%d"
+        (Char.chr (65 + Rand.int rng 26))
+        (Rand.int rng 10)
+        (Char.chr (65 + Rand.int rng 26))
+        (Rand.int rng 10)
+        (Char.chr (65 + Rand.int rng 26))
+        (Rand.int rng 10)
+    else Printf.sprintf "%05d" (Rand.int rng 100000)
+  in
+  Printf.sprintf
+    "<address><name>Resident %d</name><street>%d Main St</street>\
+     <postalcode>%s</postalcode></address>"
+    i (1 + Rand.int rng 9999) postal
+
+let addresses ?(seed = 13) ~canadian_frac n : string list =
+  let rng = Rand.create seed in
+  List.init n (fun i -> address_doc rng ~canadian_frac (i + 1))

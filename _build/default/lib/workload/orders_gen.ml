@@ -1,0 +1,126 @@
+(** Synthetic order/customer/product documents.
+
+    These generators bake in the data anomalies that drive the paper's
+    examples, each individually dialable:
+
+    - multi-lineitem orders and *multi-price* lineitems (the Section 3.10
+      false-positive "between" example: prices 250 and 50);
+    - string prices like "99.50USD" (the Section 3.8 text-node example and
+      the Section 3.1 string-vs-number pitfall);
+    - missing price attributes (Section 2.2's Query 2 document);
+    - optional namespaces on elements (Section 3.7);
+    - multiple product ids per product (the Section 3.6 concatenation
+      divergence). *)
+
+type params = {
+  seed : int;
+  n_customers : int;
+  n_products : int;
+  lineitems_mean : int;  (** mean lineitems per order (≥1) *)
+  multi_price_frac : float;  (** lineitems with a second price child *)
+  string_price_frac : float;  (** prices rendered as "NN.NNUSD" *)
+  missing_price_frac : float;  (** lineitems with no price at all *)
+  multi_id_frac : float;  (** products with two id children *)
+  price_max : float;
+  namespace : string option;  (** default element namespace for the doc *)
+}
+
+let default =
+  {
+    seed = 42;
+    n_customers = 100;
+    n_products = 200;
+    lineitems_mean = 3;
+    multi_price_frac = 0.0;
+    string_price_frac = 0.0;
+    missing_price_frac = 0.0;
+    multi_id_frac = 0.0;
+    price_max = 1000.;
+    namespace = None;
+  }
+
+(** One order document as XML text; [i] is the order number. *)
+let order_doc (p : params) (rng : Rand.t) (i : int) : string =
+  let buf = Buffer.create 512 in
+  let xmlns =
+    match p.namespace with
+    | Some ns -> Printf.sprintf " xmlns=\"%s\"" ns
+    | None -> ""
+  in
+  Buffer.add_string buf (Printf.sprintf "<order%s id=\"o%d\">" xmlns i);
+  Buffer.add_string buf
+    (Printf.sprintf "<date>%04d-%02d-%02d</date>"
+       (2000 + Rand.int rng 7)
+       (1 + Rand.int rng 12)
+       (1 + Rand.int rng 28));
+  Buffer.add_string buf
+    (Printf.sprintf "<custid>%d</custid>" (1000 + Rand.int rng p.n_customers));
+  let n_items = 1 + Rand.int rng (max 1 ((2 * p.lineitems_mean) - 1)) in
+  for _ = 1 to n_items do
+    let price = Rand.float rng *. p.price_max in
+    let pid = Rand.zipf rng ~n:p.n_products ~s:1.1 in
+    if Rand.bool rng p.missing_price_frac then
+      Buffer.add_string buf "<lineitem>"
+    else if Rand.bool rng p.string_price_frac then
+      Buffer.add_string buf
+        (Printf.sprintf "<lineitem price=\"%.2fUSD\">" price)
+    else
+      Buffer.add_string buf (Printf.sprintf "<lineitem price=\"%.2f\">" price);
+    (* price also as a child element, for element-path experiments *)
+    if Rand.bool rng p.multi_price_frac then
+      (* two price children straddling typical range predicates *)
+      Buffer.add_string buf
+        (Printf.sprintf "<price>%.2f</price><price>%.2f</price>"
+           (price +. p.price_max)
+           (price /. 10.))
+    else if Rand.bool rng p.string_price_frac then
+      Buffer.add_string buf (Printf.sprintf "<price>%.2fUSD</price>" price)
+    else
+      Buffer.add_string buf (Printf.sprintf "<price>%.2f</price>" price);
+    Buffer.add_string buf
+      (Printf.sprintf "<quantity>%d</quantity>" (1 + Rand.int rng 20));
+    if Rand.bool rng p.multi_id_frac then
+      Buffer.add_string buf
+        (Printf.sprintf "<product><id>p%d</id><id>alt%d</id></product>" pid pid)
+    else
+      Buffer.add_string buf (Printf.sprintf "<product><id>p%d</id></product>" pid);
+    Buffer.add_string buf "</lineitem>"
+  done;
+  Buffer.add_string buf "</order>";
+  Buffer.contents buf
+
+(** The paper's Section 2.2 counterexample document: an order whose
+    lineitem has no price attribute at all (but does have a quantity
+    attribute that satisfies [@* > 100]). *)
+let no_price_doc =
+  "<order><date>January 1, 2001</date><lineitem quantity=\"150\">\
+   <quantity>150</quantity></lineitem></order>"
+
+(** The paper's Section 3.8 document: a price whose text is "99.50USD". *)
+let usd_price_doc =
+  "<order><date>January 1, 2003</date><lineitem><price>99.50USD</price>\
+   </lineitem></order>"
+
+let orders (p : params) (n : int) : string list =
+  let rng = Rand.create p.seed in
+  List.init n (fun i -> order_doc p rng (i + 1))
+
+let customer_doc (p : params) (rng : Rand.t) (i : int) : string =
+  let xmlns =
+    match p.namespace with
+    | Some ns -> Printf.sprintf " xmlns=\"%s\"" ns
+    | None -> ""
+  in
+  Printf.sprintf
+    "<customer%s><id>%d</id><name>Customer %d</name><nation>%d</nation>\
+     <status>%s</status></customer>"
+    xmlns (1000 + i) i (Rand.int rng 25)
+    (Rand.pick rng [| "gold"; "silver"; "bronze" |])
+
+let customers (p : params) : string list =
+  let rng = Rand.create (p.seed + 1) in
+  List.init p.n_customers (fun i -> customer_doc p rng i)
+
+let products (p : params) : (string * string) list =
+  List.init p.n_products (fun i ->
+      (Printf.sprintf "p%d" (i + 1), Printf.sprintf "Product %d" (i + 1)))

@@ -1,0 +1,47 @@
+(** Deterministic PRNG (SplitMix64) and samplers, so every experiment and
+    test is reproducible without touching the global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rand.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+(** Uniform float in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) /. 9007199254740992.
+
+let bool t p = float t < p
+
+let pick t arr = arr.(int t (Array.length arr))
+
+(** Zipf-distributed rank in [1, n] with exponent [s] (inverse-CDF over a
+    precomputed table would be faster; rejection is fine at bench scale). *)
+let zipf t ~n ~s =
+  (* normalization *)
+  let h = ref 0. in
+  for k = 1 to n do
+    h := !h +. (1. /. Float.pow (float_of_int k) s)
+  done;
+  let u = float t *. !h in
+  let acc = ref 0. and result = ref n in
+  (try
+     for k = 1 to n do
+       acc := !acc +. (1. /. Float.pow (float_of_int k) s);
+       if !acc >= u then begin
+         result := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result

@@ -1,0 +1,1 @@
+lib/xdm/atomic.ml: Float Format Int64 Option Printf Stdlib String Xdate Xerror

@@ -1,0 +1,1 @@
+lib/xdm/int_set.ml: Int Set

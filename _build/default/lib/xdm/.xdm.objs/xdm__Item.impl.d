@@ -1,0 +1,1 @@
+lib/xdm/item.ml: Atomic Float Format List Node Qname String Xerror

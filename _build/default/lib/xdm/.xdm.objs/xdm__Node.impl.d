@@ -1,0 +1,1 @@
+lib/xdm/node.ml: Atomic Buffer List Option Qname String

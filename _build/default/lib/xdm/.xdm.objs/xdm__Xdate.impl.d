@@ -1,0 +1,1 @@
+lib/xdm/xdate.ml: Buffer Float Printf String

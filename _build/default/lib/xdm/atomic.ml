@@ -1,0 +1,243 @@
+(** Atomic values of the XQuery data model (XDM).
+
+    The subset implemented is the one the paper exercises:
+    [xdt:untypedAtomic], [xs:string], [xs:boolean], [xs:integer] (64-bit, so
+    that the Section 3.6 long-integer/double rounding divergence is
+    reproducible), [xs:decimal], [xs:double], [xs:date] and [xs:dateTime]
+    (the paper's [timestamp]). *)
+
+type t =
+  | Untyped of string  (** xdt:untypedAtomic *)
+  | Str of string
+  | Boolean of bool
+  | Integer of int64
+  | Decimal of float  (** simplified: IEEE double with decimal semantics *)
+  | Double of float
+  | Date of Xdate.date
+  | DateTime of Xdate.datetime
+
+type atomic_type =
+  | TUntyped
+  | TString
+  | TBoolean
+  | TInteger
+  | TDecimal
+  | TDouble
+  | TDate
+  | TDateTime
+
+let type_of = function
+  | Untyped _ -> TUntyped
+  | Str _ -> TString
+  | Boolean _ -> TBoolean
+  | Integer _ -> TInteger
+  | Decimal _ -> TDecimal
+  | Double _ -> TDouble
+  | Date _ -> TDate
+  | DateTime _ -> TDateTime
+
+let type_name = function
+  | TUntyped -> "xdt:untypedAtomic"
+  | TString -> "xs:string"
+  | TBoolean -> "xs:boolean"
+  | TInteger -> "xs:integer"
+  | TDecimal -> "xs:decimal"
+  | TDouble -> "xs:double"
+  | TDate -> "xs:date"
+  | TDateTime -> "xs:dateTime"
+
+let is_numeric_type = function
+  | TInteger | TDecimal | TDouble -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Lexical forms                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical-ish string form of a double: integral values print without a
+    decimal point ([fn:string(100E0) = "100"]), specials print as XQuery
+    requires. *)
+let string_of_double f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "INF"
+  else if f = Float.neg_infinity then "-INF"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let string_of_decimal f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let string_value = function
+  | Untyped s | Str s -> s
+  | Boolean b -> if b then "true" else "false"
+  | Integer i -> Int64.to_string i
+  | Decimal f -> string_of_decimal f
+  | Double f -> string_of_double f
+  | Date d -> Xdate.date_to_string d
+  | DateTime t -> Xdate.datetime_to_string t
+
+(* ------------------------------------------------------------------ *)
+(* Casting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let double_of_string_opt s =
+  let s = String.trim s in
+  match s with
+  | "INF" -> Some Float.infinity
+  | "-INF" -> Some Float.neg_infinity
+  | "NaN" -> Some Float.nan
+  | "" -> None
+  | _ -> (
+      (* OCaml's float_of_string accepts hex floats, underscores and
+         "infinity", none of which are valid XML Schema doubles. *)
+      let valid =
+        String.for_all
+          (fun c ->
+            is_digit c || c = '.' || c = '+' || c = '-' || c = 'e' || c = 'E')
+          s
+      in
+      if not valid then None else float_of_string_opt s)
+
+let integer_of_string_opt s =
+  let s = String.trim s in
+  if s = "" then None
+  else
+    let body, neg =
+      match s.[0] with
+      | '-' -> (String.sub s 1 (String.length s - 1), true)
+      | '+' -> (String.sub s 1 (String.length s - 1), false)
+      | _ -> (s, false)
+    in
+    if body = "" || not (String.for_all (fun c -> c >= '0' && c <= '9') body)
+    then None
+    else
+      match Int64.of_string_opt (if neg then "-" ^ body else body) with
+      | Some i -> Some i
+      | None -> None
+
+let boolean_of_string_opt s =
+  match String.trim s with
+  | "true" | "1" -> Some true
+  | "false" | "0" -> Some false
+  | _ -> None
+
+(** [cast_opt v target]: the XML Schema cast, or [None] when the value is
+    not castable. This drives the *tolerant* index insertion of Section 2.1
+    (uncastable nodes are silently skipped). *)
+let cast_opt v target =
+  let from_string s =
+    match target with
+    | TUntyped -> Some (Untyped s)
+    | TString -> Some (Str s)
+    | TBoolean -> Option.map (fun b -> Boolean b) (boolean_of_string_opt s)
+    | TInteger -> Option.map (fun i -> Integer i) (integer_of_string_opt s)
+    | TDecimal ->
+        (* Decimals have no exponent and no specials (NaN/INF). *)
+        Option.bind (double_of_string_opt s) (fun f ->
+            if
+              String.contains s 'e' || String.contains s 'E'
+              || Float.is_nan f
+              || Float.abs f = Float.infinity
+            then None
+            else Some (Decimal f))
+    | TDouble -> Option.map (fun f -> Double f) (double_of_string_opt s)
+    | TDate -> Option.map (fun d -> Date d) (Xdate.date_of_string_opt s)
+    | TDateTime ->
+        Option.map (fun d -> DateTime d) (Xdate.datetime_of_string_opt s)
+  in
+  match (v, target) with
+  | v, t when type_of v = t -> Some v
+  | (Untyped s | Str s), _ -> from_string s
+  | Boolean b, TString -> Some (Str (if b then "true" else "false"))
+  | Boolean b, TUntyped -> Some (Untyped (if b then "true" else "false"))
+  | Boolean b, TInteger -> Some (Integer (if b then 1L else 0L))
+  | Boolean b, TDecimal -> Some (Decimal (if b then 1. else 0.))
+  | Boolean b, TDouble -> Some (Double (if b then 1. else 0.))
+  | Integer i, TString -> Some (Str (Int64.to_string i))
+  | Integer i, TUntyped -> Some (Untyped (Int64.to_string i))
+  | Integer i, TDecimal -> Some (Decimal (Int64.to_float i))
+  | Integer i, TDouble -> Some (Double (Int64.to_float i))
+  | Integer i, TBoolean -> Some (Boolean (i <> 0L))
+  | Decimal f, TString -> Some (Str (string_of_decimal f))
+  | Decimal f, TUntyped -> Some (Untyped (string_of_decimal f))
+  | Decimal f, TInteger -> Some (Integer (Int64.of_float f))
+  | Decimal f, TDouble -> Some (Double f)
+  | Decimal f, TBoolean -> Some (Boolean (f <> 0.))
+  | Double f, TString -> Some (Str (string_of_double f))
+  | Double f, TUntyped -> Some (Untyped (string_of_double f))
+  | Double f, TInteger ->
+      if Float.is_nan f || Float.abs f = Float.infinity then None
+      else Some (Integer (Int64.of_float f))
+  | Double f, TDecimal ->
+      if Float.is_nan f || Float.abs f = Float.infinity then None
+      else Some (Decimal f)
+  | Double f, TBoolean -> Some (Boolean (not (Float.is_nan f || f = 0.)))
+  | Date d, TString -> Some (Str (Xdate.date_to_string d))
+  | Date d, TUntyped -> Some (Untyped (Xdate.date_to_string d))
+  | Date d, TDateTime ->
+      Some
+        (DateTime
+           {
+             Xdate.date = { d with tz = None };
+             hour = 0;
+             minute = 0;
+             second = 0.;
+             dtz = d.Xdate.tz;
+           })
+  | DateTime t, TString -> Some (Str (Xdate.datetime_to_string t))
+  | DateTime t, TUntyped -> Some (Untyped (Xdate.datetime_to_string t))
+  | DateTime t, TDate -> Some (Date { t.Xdate.date with tz = t.Xdate.dtz })
+  | _ -> None
+
+(** Raising cast, error code [FORG0001]. *)
+let cast v target =
+  match cast_opt v target with
+  | Some v -> v
+  | None ->
+      Xerror.cast_error "cannot cast %s \"%s\" to %s"
+        (type_name (type_of v))
+        (string_value v) (type_name target)
+
+(** Numeric value as a float, when the value is numeric. *)
+let to_float_opt = function
+  | Integer i -> Some (Int64.to_float i)
+  | Decimal f | Double f -> Some f
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cmp = Lt | Eq | Gt | Uncomparable
+
+(** Compare two atomics of *compatible* dynamic types (numeric with
+    numeric, string with string, ...), with numeric type promotion:
+    integer × integer compares exactly; anything involving a double or a
+    decimal compares as floats. Callers (the general/value comparison
+    operators) are responsible for untypedAtomic conversion *before*
+    calling this. *)
+let compare_values a b : cmp =
+  let of_int c = if c < 0 then Lt else if c > 0 then Gt else Eq in
+  let float_cmp x y =
+    if Float.is_nan x || Float.is_nan y then Uncomparable
+    else of_int (Float.compare x y)
+  in
+  match (a, b) with
+  | Integer x, Integer y -> of_int (Int64.compare x y)
+  | (Integer _ | Decimal _ | Double _), (Integer _ | Decimal _ | Double _) ->
+      let fx = Option.get (to_float_opt a) and fy = Option.get (to_float_opt b) in
+      float_cmp fx fy
+  | (Str x | Untyped x), (Str y | Untyped y) -> of_int (String.compare x y)
+  | Boolean x, Boolean y -> of_int (Stdlib.compare x y)
+  | Date x, Date y -> of_int (Xdate.compare_date x y)
+  | DateTime x, DateTime y -> of_int (Xdate.compare_datetime x y)
+  | _ -> Uncomparable
+
+let pp ppf v =
+  Format.fprintf ppf "%s(\"%s\")" (type_name (type_of v)) (string_value v)

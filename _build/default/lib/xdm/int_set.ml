@@ -1,0 +1,2 @@
+(** Integer sets, used for row-id sets returned by index probes. *)
+include Set.Make (Int)

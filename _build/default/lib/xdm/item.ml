@@ -1,0 +1,83 @@
+(** Items and sequences — the universal value type of XQuery evaluation.
+
+    Sequences are flat lists of items (XQuery has no nested sequences; the
+    paper relies on this in Section 3.4: "sequence concatenation also
+    discards empty sequences"). *)
+
+type t = N of Node.t | A of Atomic.t
+
+type seq = t list
+
+let of_node n = N n
+let of_atomic a = A a
+let singleton_atomic a = [ A a ]
+
+let is_node = function N _ -> true | A _ -> false
+
+let node_exn = function
+  | N n -> n
+  | A a -> Xerror.type_error "expected a node, got %s" (Atomic.string_value a)
+
+(** [fn:data()] over a sequence. *)
+let atomize (s : seq) : Atomic.t list =
+  List.concat_map
+    (function A a -> [ a ] | N n -> Node.typed_value n)
+    s
+
+(** Effective boolean value (used by predicates, [where], logicals,
+    quantifiers, [XMLExists]-style tests). *)
+let ebv (s : seq) : bool =
+  match s with
+  | [] -> false
+  | N _ :: _ -> true
+  | [ A a ] -> (
+      match a with
+      | Atomic.Boolean b -> b
+      | Atomic.Str s | Atomic.Untyped s -> String.length s > 0
+      | Atomic.Integer i -> i <> 0L
+      | Atomic.Decimal f | Atomic.Double f -> not (f = 0. || Float.is_nan f)
+      | Atomic.Date _ | Atomic.DateTime _ ->
+          Xerror.ebv_error "no effective boolean value for %s"
+            (Atomic.type_name (Atomic.type_of a)))
+  | _ ->
+      Xerror.ebv_error
+        "effective boolean value of a multi-item atomic sequence"
+
+let string_of_item = function
+  | A a -> Atomic.string_value a
+  | N n -> Node.string_value n
+
+(** Sort a node sequence into document order and remove duplicate
+    identities — the implicit behaviour of every path step. *)
+let doc_order_dedup (nodes : Node.t list) : Node.t list =
+  let sorted = List.stable_sort Node.doc_compare nodes in
+  let rec dedup = function
+    | a :: b :: rest when Node.identical a b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+(** Split a step result: all-nodes / all-atomic / mixed (error). *)
+let nodes_of_seq (s : seq) : Node.t list option =
+  if List.for_all is_node s then
+    Some (List.map (function N n -> n | A _ -> assert false) s)
+  else None
+
+let count = List.length
+
+let pp_item ppf = function
+  | A a -> Atomic.pp ppf a
+  | N n ->
+      Format.fprintf ppf "%s-node(%s)"
+        (Node.kind_to_string n.Node.kind)
+        (match n.Node.name with
+        | Some q -> Qname.to_string q
+        | None ->
+            let s = Node.string_value n in
+            if String.length s > 20 then String.sub s 0 20 ^ "..." else s)
+
+let pp_seq ppf s =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_item)
+    s

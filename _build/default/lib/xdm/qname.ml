@@ -1,0 +1,34 @@
+(** Expanded qualified names.
+
+    A QName is identified by its namespace URI and local part; the prefix is
+    retained only for display (serialization, error messages). Equality and
+    comparison deliberately ignore the prefix, per the XQuery data model. *)
+
+type t = { uri : string; local : string; prefix : string }
+
+let make ?(prefix = "") ?(uri = "") local = { uri; local; prefix }
+
+let equal a b = String.equal a.uri b.uri && String.equal a.local b.local
+
+let compare a b =
+  match String.compare a.uri b.uri with
+  | 0 -> String.compare a.local b.local
+  | c -> c
+
+let hash t = Hashtbl.hash (t.uri, t.local)
+
+(** Display form: [prefix:local] when a prefix is known, else [local]. *)
+let to_string t =
+  if t.prefix = "" then t.local else t.prefix ^ ":" ^ t.local
+
+(** Unambiguous form: [{uri}local] (Clark notation), used by the path
+    table so that paths are namespace-exact. *)
+let to_clark t = if t.uri = "" then t.local else "{" ^ t.uri ^ "}" ^ t.local
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

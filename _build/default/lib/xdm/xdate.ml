@@ -1,0 +1,185 @@
+(** ISO-8601 dates and dateTimes, the value space behind the [date] and
+    [timestamp] XML index types of the paper's Section 2.1.
+
+    Values carry an optional timezone offset (minutes east of UTC).
+    Comparison normalizes to UTC; values without a timezone compare as if
+    they were UTC, which is a simplification of the XML Schema "implicit
+    timezone" rule that is adequate for a single-node database. *)
+
+type date = { year : int; month : int; day : int; tz : int option }
+
+type datetime = {
+  date : date;
+  hour : int;
+  minute : int;
+  second : float;
+  dtz : int option;
+}
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> 0
+
+let valid_date y m d = m >= 1 && m <= 12 && d >= 1 && d <= days_in_month y m
+
+(** Days since the (proleptic Gregorian) epoch 1970-01-01; standard civil
+    calendar algorithm. *)
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+(** Absolute timeline position of a date in minutes (UTC). *)
+let date_minutes (dt : date) =
+  let base = days_from_civil dt.year dt.month dt.day * 24 * 60 in
+  match dt.tz with None -> base | Some off -> base - off
+
+(** Absolute timeline position of a dateTime in seconds (UTC). *)
+let datetime_seconds (t : datetime) =
+  let days = days_from_civil t.date.year t.date.month t.date.day in
+  let secs =
+    (float_of_int days *. 86400.)
+    +. (float_of_int t.hour *. 3600.)
+    +. (float_of_int t.minute *. 60.)
+    +. t.second
+  in
+  match t.dtz with
+  | None -> secs
+  | Some off -> secs -. (float_of_int off *. 60.)
+
+let compare_date a b = compare (date_minutes a) (date_minutes b)
+let compare_datetime a b = compare (datetime_seconds a) (datetime_seconds b)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_fixed_int s pos len =
+  if pos + len > String.length s then None
+  else
+    let ok = ref true in
+    for i = pos to pos + len - 1 do
+      if not (is_digit s.[i]) then ok := false
+    done;
+    if !ok then Some (int_of_string (String.sub s pos len)) else None
+
+(** Parse a trailing timezone designator starting at [pos]:
+    ["Z"], ["+hh:mm"] or ["-hh:mm"]. Returns [(tz, next_pos)]. *)
+let parse_tz s pos =
+  let n = String.length s in
+  if pos >= n then Some (None, pos)
+  else
+    match s.[pos] with
+    | 'Z' -> Some (Some 0, pos + 1)
+    | ('+' | '-') as sign -> (
+        match (parse_fixed_int s (pos + 1) 2, parse_fixed_int s (pos + 4) 2) with
+        | Some h, Some m when pos + 3 < n && s.[pos + 3] = ':' && h <= 14 && m <= 59
+          ->
+            let off = (h * 60) + m in
+            Some (Some (if sign = '-' then -off else off), pos + 6)
+        | _ -> None)
+    | _ -> Some (None, pos)
+
+let date_of_string_opt s =
+  let s = String.trim s in
+  let neg = String.length s > 0 && s.[0] = '-' in
+  let body = if neg then String.sub s 1 (String.length s - 1) else s in
+  match
+    ( parse_fixed_int body 0 4,
+      parse_fixed_int body 5 2,
+      parse_fixed_int body 8 2 )
+  with
+  | Some y, Some m, Some d
+    when String.length body >= 10 && body.[4] = '-' && body.[7] = '-' -> (
+      let y = if neg then -y else y in
+      if not (valid_date y m d) then None
+      else
+        match parse_tz body 10 with
+        | Some (tz, p) when p = String.length body -> Some { year = y; month = m; day = d; tz }
+        | _ -> None)
+  | _ -> None
+
+let datetime_of_string_opt s =
+  let s = String.trim s in
+  match String.index_opt s 'T' with
+  | None -> None
+  | Some ti -> (
+      let dpart = String.sub s 0 ti in
+      let tpart = String.sub s (ti + 1) (String.length s - ti - 1) in
+      match date_of_string_opt dpart with
+      | None -> None
+      | Some d -> (
+          match
+            (parse_fixed_int tpart 0 2, parse_fixed_int tpart 3 2, parse_fixed_int tpart 6 2)
+          with
+          | Some hh, Some mi, Some ss
+            when String.length tpart >= 8 && tpart.[2] = ':' && tpart.[5] = ':'
+                 && hh <= 24 && mi <= 59 && ss <= 60 -> (
+              (* Optional fractional seconds. *)
+              let pos = ref 8 in
+              let frac = Buffer.create 4 in
+              let n = String.length tpart in
+              if !pos < n && tpart.[!pos] = '.' then begin
+                incr pos;
+                while !pos < n && is_digit tpart.[!pos] do
+                  Buffer.add_char frac tpart.[!pos];
+                  incr pos
+                done
+              end;
+              let second =
+                float_of_int ss
+                +.
+                if Buffer.length frac = 0 then 0.
+                else float_of_string ("0." ^ Buffer.contents frac)
+              in
+              match parse_tz tpart !pos with
+              | Some (tz, p) when p = n ->
+                  Some { date = { d with tz = None }; hour = hh; minute = mi; second; dtz = tz }
+              | _ -> None)
+          | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tz_to_string = function
+  | None -> ""
+  | Some 0 -> "Z"
+  | Some off ->
+      let sign = if off < 0 then '-' else '+' in
+      let off = abs off in
+      Printf.sprintf "%c%02d:%02d" sign (off / 60) (off mod 60)
+
+let date_to_string d =
+  Printf.sprintf "%04d-%02d-%02d%s" d.year d.month d.day (tz_to_string d.tz)
+
+let datetime_to_string t =
+  let sec =
+    if Float.is_integer t.second then Printf.sprintf "%02.0f" t.second
+    else
+      (* Trim trailing zeros of the fractional part. *)
+      let s = Printf.sprintf "%09.6f" t.second in
+      let rec trim i = if s.[i] = '0' then trim (i - 1) else i in
+      String.sub s 0 (trim (String.length s - 1) + 1)
+  in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%s%s" t.date.year t.date.month
+    t.date.day t.hour t.minute sec (tz_to_string t.dtz)
+
+(** Dates in the US style the paper's sample documents use
+    ("January 1, 2001") are *not* valid xs:date lexical forms; the tolerant
+    index relies on [date_of_string_opt] returning [None] for them. *)
+let mk_date ?tz year month day = { year; month; day; tz }
+
+let mk_datetime ?tz ?(second = 0.) ~hour ~minute year month day =
+  { date = { year; month; day; tz = None }; hour; minute; second; dtz = tz }

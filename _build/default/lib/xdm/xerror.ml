@@ -1,0 +1,46 @@
+(** Errors raised by the XQuery / SQL-XML engine.
+
+    Error codes follow the W3C XQuery error-code convention (e.g.
+    [XPTY0004] for type errors, [FORG0001] for cast failures) so that tests
+    can assert the exact failure class the paper predicts (e.g. Query 14 of
+    the paper fails with a type error while Query 13 succeeds). *)
+
+exception Error of { code : string; msg : string }
+
+let raise_err code fmt =
+  Format.kasprintf (fun msg -> raise (Error { code; msg })) fmt
+
+(** [XPTY0004]: static/dynamic type mismatch (wrong operand types,
+    non-singleton where a singleton is required, ...). *)
+let type_error fmt = raise_err "XPTY0004" fmt
+
+(** [FORG0001]: cast failure (invalid value for target type). *)
+let cast_error fmt = raise_err "FORG0001" fmt
+
+(** [FORG0006]: invalid argument type, notably effective boolean value on a
+    sequence that has no EBV. *)
+let ebv_error fmt = raise_err "FORG0006" fmt
+
+(** [XPDY0002]: dynamic context component (e.g. context item) absent. *)
+let no_context fmt = raise_err "XPDY0002" fmt
+
+(** [XQDY0025]: duplicate attribute name in element construction. *)
+let dup_attribute fmt = raise_err "XQDY0025" fmt
+
+(** [XPTY0018]: path step mixes nodes and atomic values. *)
+let mixed_path fmt = raise_err "XPTY0018" fmt
+
+(** [XPST0008]: undefined name (variable or function). *)
+let undefined fmt = raise_err "XPST0008" fmt
+
+(** [XPST0081]: unresolvable namespace prefix. *)
+let bad_prefix fmt = raise_err "XPST0081" fmt
+
+(** [XPST0003]: grammar / syntax error. *)
+let syntax_error fmt = raise_err "XPST0003" fmt
+
+let pp ppf = function
+  | Error { code; msg } -> Format.fprintf ppf "[%s] %s" code msg
+  | e -> Format.fprintf ppf "%s" (Printexc.to_string e)
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,1 @@
+lib/xmlindex/containment.ml: Array Hashtbl Int List Pattern Set String Xdm

@@ -1,0 +1,1 @@
+lib/xmlindex/pattern.ml: Array Format List Option String Xdm Xquery

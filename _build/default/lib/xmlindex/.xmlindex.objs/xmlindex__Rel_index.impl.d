@@ -1,0 +1,1 @@
+lib/xmlindex/rel_index.ml: Btree Sql_value Stdlib Storage Xdm

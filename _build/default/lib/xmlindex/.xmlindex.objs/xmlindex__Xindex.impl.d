@@ -1,0 +1,1 @@
+lib/xmlindex/xindex.ml: Atomic Btree Float Int_set List Node Pattern Stdlib Storage Xdm Xerror

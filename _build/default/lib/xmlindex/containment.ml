@@ -1,0 +1,146 @@
+(** Pattern containment — the heart of index eligibility (Definition 1).
+
+    [contains p q] decides whether every rooted node path matched by the
+    *query* pattern [q] is also matched by the *index* pattern [p], i.e.
+    whether the index is guaranteed to contain every node the query
+    predicate could select. Per the paper: "an index cannot be used to
+    answer a predicate in the query expression if the index expression is
+    more restrictive than the query expression" — e.g. an index on
+    [//lineitem/@price] contains (⊇) the query path
+    [//order/lineitem/@price], but not [//lineitem/@*].
+
+    Patterns here are linear (no branching predicates), so containment is
+    decidable in polynomial time. We decide it exactly by:
+
+    1. building the finite *sample alphabet* that distinguishes every
+       equivalence class of path components mentioned by either pattern
+       (cross product of mentioned URIs × mentioned locals × node kinds,
+       each extended with a fresh "other" value);
+    2. viewing each pattern as an NFA over that alphabet ([//] gaps are
+       self-loops over element letters);
+    3. checking language inclusion by the usual product/subset search. *)
+
+open Pattern
+
+type letter =
+  | LElem of string * string  (** uri, local *)
+  | LAttr of string * string
+  | LText
+  | LComment
+  | LPi of string
+
+let fresh_uri = "\x00other-uri"
+let fresh_local = "\x00other-local"
+let fresh_pi = "\x00other-pi"
+
+let test_accepts ~attr_step (t : test) (l : letter) : bool =
+  match (t, l, attr_step) with
+  | TestKindAny, LAttr _, true -> true
+  | TestKindAny, LAttr _, false -> false
+  | TestKindAny, _, false -> true
+  | TestKindAny, _, true -> false
+  | TestKindText, LText, false -> true
+  | TestKindText, _, _ -> false
+  | TestKindComment, LComment, false -> true
+  | TestKindComment, _, _ -> false
+  | TestKindPi None, LPi _, false -> true
+  | TestKindPi (Some t), LPi target, false -> String.equal t target
+  | TestKindPi _, _, _ -> false
+  | TestName q, LElem (u, l), false ->
+      String.equal q.Xdm.Qname.uri u && String.equal q.Xdm.Qname.local l
+  | TestName q, LAttr (u, l), true ->
+      String.equal q.Xdm.Qname.uri u && String.equal q.Xdm.Qname.local l
+  | TestName _, _, _ -> false
+  | TestNsStar uri, LElem (u, _), false -> String.equal uri u
+  | TestNsStar uri, LAttr (u, _), true -> String.equal uri u
+  | TestNsStar _, _, _ -> false
+  | TestLocalStar loc, LElem (_, l), false -> String.equal loc l
+  | TestLocalStar loc, LAttr (_, l), true -> String.equal loc l
+  | TestLocalStar _, _, _ -> false
+  | TestStar, LElem _, false -> true
+  | TestStar, LAttr _, true -> true
+  | TestStar, _, _ -> false
+
+let step_accepts (s : pstep) (l : letter) : bool =
+  List.for_all (fun t -> test_accepts ~attr_step:s.attr t l) s.tests
+
+let is_elem_letter = function LElem _ -> true | _ -> false
+
+(** Sample alphabet covering every distinguishable component class. *)
+let sample_alphabet (pats : t list) : letter list =
+  let uris = ref [ fresh_uri ] and locals = ref [ fresh_local ] in
+  let pis = ref [ fresh_pi ] in
+  let add r v = if not (List.mem v !r) then r := v :: !r in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (s : pstep) ->
+          List.iter
+            (function
+              | TestName q ->
+                  add uris q.Xdm.Qname.uri;
+                  add locals q.Xdm.Qname.local
+              | TestNsStar u -> add uris u
+              | TestLocalStar l -> add locals l
+              | TestKindPi (Some t) -> add pis t
+              | _ -> ())
+            s.tests)
+        p.steps)
+    pats;
+  let names =
+    List.concat_map (fun u -> List.map (fun l -> (u, l)) !locals) !uris
+  in
+  List.concat_map (fun (u, l) -> [ LElem (u, l); LAttr (u, l) ]) names
+  @ [ LText; LComment ]
+  @ List.map (fun t -> LPi t) !pis
+
+(** NFA view of a pattern: states [0..m]; a gap on step [k] is a self-loop
+    on state [k] over element letters; state [m] accepts. *)
+let nfa_next (steps : pstep array) (state : int) (l : letter) : int list =
+  let m = Array.length steps in
+  let moves = ref [] in
+  if state < m then begin
+    if step_accepts steps.(state) l then moves := (state + 1) :: !moves;
+    if steps.(state).gap && is_elem_letter l then moves := state :: !moves
+  end;
+  !moves
+
+module IS = Set.Make (Int)
+
+(** [contains p q]: is every rooted path matched by [q] also matched by
+    [p]? Exact for the XMLPATTERN fragment. *)
+let contains (p : t) (q : t) : bool =
+  let alphabet = sample_alphabet [ p; q ] in
+  let psteps = Array.of_list p.steps and qsteps = Array.of_list q.steps in
+  let pm = Array.length psteps and qm = Array.length qsteps in
+  (* search over (q state, set of p states) *)
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  let rec visit (qs : int) (ps : IS.t) =
+    if !ok then begin
+      let key = (qs, IS.elements ps) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        (* If q accepts here, p must accept too. *)
+        if qs = qm && not (IS.mem pm ps) then ok := false
+        else
+          List.iter
+            (fun l ->
+              let qnexts = nfa_next qsteps qs l in
+              if qnexts <> [] then begin
+                let pnext =
+                  IS.fold
+                    (fun s acc ->
+                      List.fold_left
+                        (fun acc s' -> IS.add s' acc)
+                        acc (nfa_next psteps s l))
+                    ps IS.empty
+                in
+                List.iter (fun qn -> visit qn pnext) qnexts
+              end)
+            alphabet
+      end
+    end
+  in
+  visit 0 (IS.singleton 0);
+  !ok

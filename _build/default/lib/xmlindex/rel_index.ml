@@ -1,0 +1,67 @@
+(** Relational (single-column) B+Tree indexes — the baseline the paper
+    contrasts XML indexes with, and the index used when a join condition
+    is expressed "on the SQL side" (Section 3.3, Query 14). *)
+
+open Storage
+
+module Key = struct
+  type t = { v : Sql_value.t; row : int }
+
+  (* NULLs are not indexed; comparisons below never see them. *)
+  let compare a b =
+    match Sql_value.compare_sql a.v b.v with
+    | Some 0 -> Stdlib.compare a.row b.row
+    | Some c -> c
+    | None -> invalid_arg "Rel_index: NULL key"
+end
+
+module BT = Btree.Make (Key)
+
+type t = {
+  iname : string;
+  table : string;
+  column : string;
+  tree : unit BT.t;
+  mutable entries_scanned : int;
+}
+
+let create ~iname ~table ~column =
+  { iname; table; column; tree = BT.create ~order:64 (); entries_scanned = 0 }
+
+let insert idx ~row (v : Sql_value.t) =
+  match v with
+  | Sql_value.Null | Sql_value.Xml _ -> ()
+  | v -> BT.insert idx.tree { Key.v; row } ()
+
+let delete idx ~row (v : Sql_value.t) =
+  match v with
+  | Sql_value.Null | Sql_value.Xml _ -> false
+  | v -> BT.delete idx.tree { Key.v; row }
+
+let entry_count idx = BT.size idx.tree
+
+let lo_key v = { Key.v; row = min_int }
+let hi_key v = { Key.v; row = max_int }
+
+(** Range probe; bounds are (value, inclusive?). *)
+let probe idx ~(lo : (Sql_value.t * bool) option)
+    ~(hi : (Sql_value.t * bool) option) : Xdm.Int_set.t =
+  let lo =
+    match lo with
+    | None -> BT.Unbounded
+    | Some (v, true) -> BT.Incl (lo_key v)
+    | Some (v, false) -> BT.Excl (hi_key v)
+  in
+  let hi =
+    match hi with
+    | None -> BT.Unbounded
+    | Some (v, true) -> BT.Incl (hi_key v)
+    | Some (v, false) -> BT.Excl (lo_key v)
+  in
+  BT.fold_range idx.tree ~lo ~hi
+    (fun acc (k : Key.t) () ->
+      idx.entries_scanned <- idx.entries_scanned + 1;
+      Xdm.Int_set.add k.Key.row acc)
+    Xdm.Int_set.empty
+
+let probe_eq idx v = probe idx ~lo:(Some (v, true)) ~hi:(Some (v, true))

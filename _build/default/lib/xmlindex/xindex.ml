@@ -1,0 +1,195 @@
+(** XML path-value indexes (paper Section 2.1).
+
+    [CREATE INDEX i ON t(xmlcol) USING XMLPATTERN 'p' AS type].
+
+    An index entry is created for each node matching the pattern whose
+    value is convertible to the index type; nodes that fail the cast are
+    *silently skipped* (the paper's "tolerant" behaviour, which makes
+    broad indexes like [//@* AS double] possible and keeps schema
+    evolution from blocking inserts).
+
+    Entries are composite B+Tree keys [(value, path id, row id, node id)]:
+    value-major so that an equality or range predicate is one contiguous
+    leaf scan, with the path id available to restrict the scan to the
+    paths a query actually asks for (DB2's path-table design). A probe
+    returns the set of *row ids* that may satisfy the predicate —
+    Definition 1's [I(P, D)]. *)
+
+open Xdm
+
+type vtype = VDouble | VVarchar | VDate | VTimestamp
+
+let vtype_to_atomic = function
+  | VDouble -> Atomic.TDouble
+  | VVarchar -> Atomic.TString
+  | VDate -> Atomic.TDate
+  | VTimestamp -> Atomic.TDateTime
+
+let vtype_to_string = function
+  | VDouble -> "DOUBLE"
+  | VVarchar -> "VARCHAR"
+  | VDate -> "DATE"
+  | VTimestamp -> "TIMESTAMP"
+
+type def = {
+  iname : string;
+  table : string;
+  column : string;
+  pattern : Pattern.t;
+  vtype : vtype;
+}
+
+module Key = struct
+  type t = { v : Atomic.t; path : int; row : int; node : int }
+
+  let compare a b =
+    match Atomic.compare_values a.v b.v with
+    | Atomic.Lt -> -1
+    | Atomic.Gt -> 1
+    | Atomic.Eq ->
+        Stdlib.compare (a.path, a.row, a.node) (b.path, b.row, b.node)
+    | Atomic.Uncomparable ->
+        invalid_arg "Xindex.Key.compare: heterogeneous index keys"
+end
+
+module BT = Btree.Make (Key)
+
+type stats = {
+  mutable entries_scanned : int;  (** index entries touched by probes *)
+  mutable probes : int;  (** number of range/equality scans *)
+  mutable inserts : int;
+  mutable deletes : int;
+}
+
+type t = {
+  def : def;
+  tree : unit BT.t;
+  stats : stats;
+}
+
+let create def =
+  {
+    def;
+    tree = BT.create ~order:64 ();
+    stats = { entries_scanned = 0; probes = 0; inserts = 0; deletes = 0 };
+  }
+
+let entry_count idx = BT.size idx.tree
+
+let reset_stats idx =
+  idx.stats.entries_scanned <- 0;
+  idx.stats.probes <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Cast a node's value to the index type; [None] = not indexed
+    (tolerant). NaN doubles are excluded so the key order stays total. *)
+let index_value (idx : t) (n : Node.t) : Atomic.t option =
+  let target = vtype_to_atomic idx.def.vtype in
+  let source =
+    (* "the cast of the node to the indexed type, taking into
+       consideration the node's type annotation" *)
+    match Node.typed_value n with
+    | [ v ] -> v
+    | _ -> Atomic.Untyped (Node.string_value n)
+    | exception Xerror.Error _ -> Atomic.Untyped (Node.string_value n)
+  in
+  match Atomic.cast_opt source target with
+  | Some (Atomic.Double f) when Float.is_nan f -> None
+  | v -> v
+
+(** All indexable nodes of a document: every element, attribute, text
+    node, comment and PI (the document node itself has no rooted path). *)
+let candidate_nodes (doc : Node.t) : Node.t list =
+  Node.descendants_or_self doc
+  |> List.concat_map (fun (n : Node.t) ->
+         match n.Node.kind with
+         | Node.Document -> []
+         | Node.Element -> (n :: n.Node.attrs)
+         | _ -> [ n ])
+
+let insert_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
+    (doc : Node.t) : unit =
+  candidate_nodes doc
+  |> List.iter (fun (n : Node.t) ->
+         if Pattern.matches_node idx.def.pattern n then
+           match index_value idx n with
+           | Some v ->
+               let path = Storage.Path_table.intern pt n in
+               BT.insert idx.tree { Key.v; path; row; node = n.Node.id } ();
+               idx.stats.inserts <- idx.stats.inserts + 1
+           | None -> ())
+
+let delete_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
+    (doc : Node.t) : unit =
+  candidate_nodes doc
+  |> List.iter (fun (n : Node.t) ->
+         if Pattern.matches_node idx.def.pattern n then
+           match index_value idx n with
+           | Some v ->
+               let path =
+                 match Storage.Path_table.find pt n with
+                 | Some p -> p
+                 | None -> -1
+               in
+               if BT.delete idx.tree { Key.v; path; row; node = n.Node.id }
+               then idx.stats.deletes <- idx.stats.deletes + 1
+           | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Probes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** A probe returns the row ids whose document contains at least one
+    index entry satisfying the predicate on one of [paths]. *)
+
+let lo_key v = { Key.v; path = min_int; row = min_int; node = min_int }
+let hi_key v = { Key.v; path = max_int; row = max_int; node = max_int }
+
+type range = {
+  lo : (Atomic.t * bool) option;  (** value, inclusive *)
+  hi : (Atomic.t * bool) option;
+}
+
+let full_range = { lo = None; hi = None }
+let eq_range v = { lo = Some (v, true); hi = Some (v, true) }
+
+(** Scan one contiguous range, filtering by path id; returns row ids. *)
+let probe_range (idx : t) ~(paths : Int_set.t) (r : range) : Int_set.t =
+  let lo =
+    match r.lo with
+    | None -> BT.Unbounded
+    | Some (v, true) -> BT.Incl (lo_key v)
+    | Some (v, false) -> BT.Excl (hi_key v)
+  in
+  let hi =
+    match r.hi with
+    | None -> BT.Unbounded
+    | Some (v, true) -> BT.Incl (hi_key v)
+    | Some (v, false) -> BT.Excl (lo_key v)
+  in
+  idx.stats.probes <- idx.stats.probes + 1;
+  BT.fold_range idx.tree ~lo ~hi
+    (fun acc (k : Key.t) () ->
+      idx.stats.entries_scanned <- idx.stats.entries_scanned + 1;
+      if Int_set.mem k.Key.path paths then Int_set.add k.Key.row acc
+      else acc)
+    Int_set.empty
+
+(** The set of path ids in [pt] that satisfy the *query* path pattern
+    [qpat] (the index is a superset of the query path by eligibility, so
+    restricting to query-matching paths is exact). *)
+let matching_paths (pt : Storage.Path_table.t) (qpat : Pattern.t) : Int_set.t
+    =
+  Storage.Path_table.fold pt
+    (fun acc id steps ->
+      if Pattern.matches qpat steps then Int_set.add id acc else acc)
+    Int_set.empty
+
+(** Structural probe: any value, path must match — a full-range scan, only
+    meaningful on a VARCHAR index (which by definition contains *all*
+    matching nodes; paper Section 2.2). *)
+let probe_structural (idx : t) ~(paths : Int_set.t) : Int_set.t =
+  probe_range idx ~paths full_range

@@ -1,0 +1,1 @@
+lib/xmlparse/xml_parser.ml: Buffer Char Format List Node Option Qname String Xdm

@@ -1,0 +1,1 @@
+lib/xmlparse/xml_writer.ml: Atomic Buffer Item List Node Option Qname String Xdm

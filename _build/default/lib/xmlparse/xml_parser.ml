@@ -1,0 +1,448 @@
+(** XML 1.0 + Namespaces parser producing XDM trees.
+
+    Hand-written single-pass parser. Supports: the XML declaration,
+    elements, attributes, namespace declarations ([xmlns], [xmlns:p]) with
+    proper scoping, character data, CDATA sections, comments, processing
+    instructions, the five predefined entities and numeric character
+    references. DTDs are not supported (none of the paper's documents use
+    them); an encountered DOCTYPE is skipped without being interpreted. *)
+
+open Xdm
+
+exception Xml_error of { pos : int; msg : string }
+
+let fail pos fmt =
+  Format.kasprintf (fun msg -> raise (Xml_error { pos; msg })) fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  (* Namespace environment: innermost scope first. [default] is the
+     default element namespace URI. *)
+  mutable scopes : (string * string) list list;
+  mutable defaults : string list;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let advance st n = st.pos <- st.pos + n
+
+let expect st s =
+  if looking_at st s then advance st (String.length s)
+  else fail st.pos "expected %S" s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st =
+  while
+    st.pos < String.length st.src && is_space st.src.[st.pos]
+  do
+    advance st 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+(** Raw (possibly prefixed) name. *)
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st 1
+  | _ -> fail st.pos "expected a name");
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some c when is_name_char c || c = ':' -> advance st 1
+    | _ -> continue := false
+  done;
+  String.sub st.src start (st.pos - start)
+
+let split_prefix name =
+  match String.index_opt name ':' with
+  | None -> ("", name)
+  | Some i ->
+      (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let lookup_prefix st pos prefix =
+  if prefix = "xml" then "http://www.w3.org/XML/1998/namespace"
+  else
+    let rec find = function
+      | [] -> fail pos "undeclared namespace prefix %S" prefix
+      | scope :: rest -> (
+          match List.assoc_opt prefix scope with
+          | Some uri -> uri
+          | None -> find rest)
+    in
+    find st.scopes
+
+let current_default st =
+  match st.defaults with [] -> "" | d :: _ -> d
+
+(* ------------------------------------------------------------------ *)
+(* References                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Encode a Unicode code point as UTF-8. *)
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+(** Parse an entity or character reference after the '&'. *)
+let parse_reference st buf =
+  expect st "&";
+  if looking_at st "#x" || looking_at st "#X" then begin
+    advance st 2;
+    let start = st.pos in
+    while
+      match peek st with
+      | Some c ->
+          (c >= '0' && c <= '9')
+          || (c >= 'a' && c <= 'f')
+          || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance st 1
+    done;
+    if st.pos = start then fail st.pos "empty character reference";
+    let code = int_of_string ("0x" ^ String.sub st.src start (st.pos - start)) in
+    expect st ";";
+    utf8_of_code buf code
+  end
+  else if looking_at st "#" then begin
+    advance st 1;
+    let start = st.pos in
+    while match peek st with Some c -> c >= '0' && c <= '9' | None -> false do
+      advance st 1
+    done;
+    if st.pos = start then fail st.pos "empty character reference";
+    let code = int_of_string (String.sub st.src start (st.pos - start)) in
+    expect st ";";
+    utf8_of_code buf code
+  end
+  else begin
+    let name = parse_name st in
+    expect st ";";
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> fail st.pos "unknown entity &%s;" other
+  end
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+        advance st 1;
+        q
+    | _ -> fail st.pos "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st 1
+    | Some '&' ->
+        parse_reference st buf;
+        go ()
+    | Some '<' -> fail st.pos "'<' in attribute value"
+    | Some c ->
+        (* Attribute-value normalization: whitespace becomes a space. *)
+        Buffer.add_char buf (if is_space c then ' ' else c);
+        advance st 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Misc constructs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_comment st =
+  expect st "<!--";
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 3 > String.length st.src then fail start "unterminated comment"
+    else if looking_at st "-->" then begin
+      let data = String.sub st.src start (st.pos - start) in
+      advance st 3;
+      data
+    end
+    else begin
+      advance st 1;
+      find ()
+    end
+  in
+  find ()
+
+let parse_pi st =
+  expect st "<?";
+  let target = parse_name st in
+  skip_space st;
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 2 > String.length st.src then fail start "unterminated PI"
+    else if looking_at st "?>" then begin
+      let data = String.sub st.src start (st.pos - start) in
+      advance st 2;
+      (target, data)
+    end
+    else begin
+      advance st 1;
+      find ()
+    end
+  in
+  find ()
+
+let parse_cdata st =
+  expect st "<![CDATA[";
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 3 > String.length st.src then fail start "unterminated CDATA"
+    else if looking_at st "]]>" then begin
+      let data = String.sub st.src start (st.pos - start) in
+      advance st 3;
+      data
+    end
+    else begin
+      advance st 1;
+      find ()
+    end
+  in
+  find ()
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  let depth = ref 1 in
+  while !depth > 0 do
+    match peek st with
+    | None -> fail st.pos "unterminated DOCTYPE"
+    | Some '<' ->
+        incr depth;
+        advance st 1
+    | Some '>' ->
+        decr depth;
+        advance st 1
+    | Some '[' ->
+        (* internal subset: skip to closing ']' *)
+        advance st 1;
+        while (match peek st with Some ']' -> false | None -> fail st.pos "unterminated DOCTYPE subset" | _ -> true) do
+          advance st 1
+        done;
+        advance st 1
+    | Some _ -> advance st 1
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Elements                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_element st : Node.t =
+  expect st "<";
+  let name_pos = st.pos in
+  let raw = parse_name st in
+  (* Collect raw attributes first: namespace declarations in the same tag
+     apply to the tag's own name. *)
+  let raw_attrs = ref [] in
+  let self_closing = ref false in
+  let rec attrs () =
+    skip_space st;
+    match peek st with
+    | Some '>' -> advance st 1
+    | Some '/' ->
+        expect st "/>";
+        self_closing := true
+    | Some c when is_name_start c ->
+        let apos = st.pos in
+        let aname = parse_name st in
+        skip_space st;
+        expect st "=";
+        skip_space st;
+        let v = parse_attr_value st in
+        raw_attrs := (aname, v, apos) :: !raw_attrs;
+        attrs ()
+    | _ -> fail st.pos "malformed start tag"
+  in
+  attrs ();
+  let raw_attrs = List.rev !raw_attrs in
+  (* Push namespace scope from xmlns declarations. *)
+  let decls =
+    List.filter_map
+      (fun (n, v, _) ->
+        match split_prefix n with
+        | "xmlns", local -> Some (local, v)
+        | _ -> None)
+      raw_attrs
+  in
+  let default =
+    List.fold_left
+      (fun acc (n, v, _) -> if n = "xmlns" then Some v else acc)
+      None raw_attrs
+  in
+  st.scopes <- decls :: st.scopes;
+  st.defaults <-
+    (match default with Some d -> d | None -> current_default st)
+    :: st.defaults;
+  (* Resolve element name. *)
+  let prefix, local = split_prefix raw in
+  let uri =
+    if prefix = "" then current_default st else lookup_prefix st name_pos prefix
+  in
+  let el = Node.element (Qname.make ~prefix ~uri local) in
+  (* Resolve attributes (skipping xmlns declarations; attributes never take
+     the default namespace — the paper leans on this in Section 3.7). *)
+  List.iter
+    (fun (n, v, apos) ->
+      let p, l = split_prefix n in
+      if not (n = "xmlns" || p = "xmlns") then begin
+        let auri = if p = "" then "" else lookup_prefix st apos p in
+        let q = Qname.make ~prefix:p ~uri:auri l in
+        if
+          List.exists
+            (fun (a : Node.t) -> Qname.equal (Option.get a.Node.name) q)
+            el.Node.attrs
+        then fail apos "duplicate attribute %s" n;
+        Node.add_attr el (Node.attribute q v)
+      end)
+    raw_attrs;
+  (if not !self_closing then begin
+     parse_content st el;
+     expect st "</";
+     let close = parse_name st in
+     if close <> raw then
+       fail st.pos "mismatched end tag </%s> for <%s>" close raw;
+     skip_space st;
+     expect st ">"
+   end);
+  (* Pop namespace scope. *)
+  st.scopes <- List.tl st.scopes;
+  st.defaults <- List.tl st.defaults;
+  el
+
+and parse_content st el =
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      Node.append_child el (Node.text (Buffer.contents buf));
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated element content"
+    | Some '<' ->
+        if looking_at st "</" then flush_text ()
+        else if looking_at st "<!--" then begin
+          flush_text ();
+          Node.append_child el (Node.comment (parse_comment st));
+          go ()
+        end
+        else if looking_at st "<![CDATA[" then begin
+          Buffer.add_string buf (parse_cdata st);
+          go ()
+        end
+        else if looking_at st "<?" then begin
+          flush_text ();
+          let t, d = parse_pi st in
+          Node.append_child el (Node.pi t d);
+          go ()
+        end
+        else begin
+          flush_text ();
+          Node.append_child el (parse_element st);
+          go ()
+        end
+    | Some '&' ->
+        parse_reference st buf;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st 1;
+        go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a complete document; returns the document node. *)
+let parse_document (src : string) : Node.t =
+  let st = { src; pos = 0; scopes = [ [] ]; defaults = [ "" ] } in
+  let doc = Node.document () in
+  let rec prolog () =
+    skip_space st;
+    if looking_at st "<?xml" then begin
+      let _ = parse_pi st in
+      prolog ()
+    end
+    else if looking_at st "<!--" then begin
+      Node.append_child doc (Node.comment (parse_comment st));
+      prolog ()
+    end
+    else if looking_at st "<?" then begin
+      let t, d = parse_pi st in
+      Node.append_child doc (Node.pi t d);
+      prolog ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      prolog ()
+    end
+  in
+  prolog ();
+  if not (looking_at st "<") then fail st.pos "expected root element";
+  Node.append_child doc (parse_element st);
+  (* trailing misc *)
+  let rec epilog () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      Node.append_child doc (Node.comment (parse_comment st));
+      epilog ()
+    end
+    else if looking_at st "<?" then begin
+      let t, d = parse_pi st in
+      Node.append_child doc (Node.pi t d);
+      epilog ()
+    end
+    else if st.pos < String.length st.src then
+      fail st.pos "content after root element"
+  in
+  epilog ();
+  doc
+
+(** Parse a string that contains a single element (no document node). *)
+let parse_fragment (src : string) : Node.t =
+  let st = { src; pos = 0; scopes = [ [] ]; defaults = [ "" ] } in
+  skip_space st;
+  let el = parse_element st in
+  skip_space st;
+  if st.pos < String.length st.src then fail st.pos "trailing content";
+  el

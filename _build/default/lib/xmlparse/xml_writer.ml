@@ -1,0 +1,117 @@
+(** XDM tree → XML text serializer (used by examples, tests and the CLI to
+    display query results). *)
+
+open Xdm
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Serialize, emitting namespace declarations where a node's URI differs
+    from what its display prefix would resolve to in the parent scope. The
+    scheme is simple: we re-declare [xmlns] / [xmlns:p] on each element
+    whose (prefix, uri) pair is not already in scope. *)
+let to_buffer buf (n : Node.t) =
+  let rec node in_scope (n : Node.t) =
+    match n.Node.kind with
+    | Node.Document -> List.iter (node in_scope) n.Node.children
+    | Node.Text -> Buffer.add_string buf (escape_text n.Node.content)
+    | Node.Comment ->
+        Buffer.add_string buf "<!--";
+        Buffer.add_string buf n.Node.content;
+        Buffer.add_string buf "-->"
+    | Node.Pi ->
+        Buffer.add_string buf "<?";
+        Buffer.add_string buf (Option.get n.Node.name).Qname.local;
+        if n.Node.content <> "" then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf n.Node.content
+        end;
+        Buffer.add_string buf "?>"
+    | Node.Attribute ->
+        let q = Option.get n.Node.name in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Qname.to_string q);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr n.Node.content);
+        Buffer.add_char buf '"'
+    | Node.Element ->
+        let q = Option.get n.Node.name in
+        let decls = ref [] in
+        let scope = ref in_scope in
+        let declare prefix uri =
+          match List.assoc_opt prefix !scope with
+          | Some u when u = uri -> ()
+          | _ ->
+              scope := (prefix, uri) :: !scope;
+              decls := (prefix, uri) :: !decls
+        in
+        declare q.Qname.prefix q.Qname.uri;
+        List.iter
+          (fun (a : Node.t) ->
+            let aq = Option.get a.Node.name in
+            if aq.Qname.uri <> "" then declare aq.Qname.prefix aq.Qname.uri)
+          n.Node.attrs;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf (Qname.to_string q);
+        List.iter
+          (fun (prefix, uri) ->
+            if prefix = "" then begin
+              if uri <> "" then begin
+                Buffer.add_string buf " xmlns=\"";
+                Buffer.add_string buf (escape_attr uri);
+                Buffer.add_char buf '"'
+              end
+            end
+            else begin
+              Buffer.add_string buf (" xmlns:" ^ prefix ^ "=\"");
+              Buffer.add_string buf (escape_attr uri);
+              Buffer.add_char buf '"'
+            end)
+          (List.rev !decls);
+        List.iter (node !scope) n.Node.attrs;
+        if n.Node.children = [] then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_char buf '>';
+          List.iter (node !scope) n.Node.children;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf (Qname.to_string q);
+          Buffer.add_char buf '>'
+        end
+  in
+  node [ ("", "") ] n
+
+let to_string n =
+  let buf = Buffer.create 256 in
+  to_buffer buf n;
+  Buffer.contents buf
+
+(** Serialize an item sequence the way a query shell prints results: nodes
+    as XML, atomic values as strings, space-separated. *)
+let seq_to_string (s : Item.seq) =
+  String.concat " "
+    (List.map
+       (function
+         | Item.N n -> to_string n
+         | Item.A a -> Atomic.string_value a)
+       s)

@@ -1,0 +1,1 @@
+lib/xquery/compare.ml: Ast Atomic Float Int64 List Option String Xdm Xerror

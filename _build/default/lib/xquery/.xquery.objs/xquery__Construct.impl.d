@@ -1,0 +1,1 @@
+lib/xquery/construct.ml: Atomic Buffer Item List Node Option Qname Xdm Xerror

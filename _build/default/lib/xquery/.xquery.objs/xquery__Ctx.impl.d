@@ -1,0 +1,1 @@
+lib/xquery/ctx.ml: List Map String Xdm

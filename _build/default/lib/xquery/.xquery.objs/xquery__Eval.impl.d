@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Atomic Buffer Compare Construct Ctx Functions Int64 Item List Node Option Parser Qname Static String Xdm Xerror

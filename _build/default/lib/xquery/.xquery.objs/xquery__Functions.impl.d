@@ -1,0 +1,1 @@
+lib/xquery/functions.ml: Ast Atomic Buffer Compare Ctx Float Hashtbl Int64 Item List Node Option Qname String Xdm Xerror

@@ -1,0 +1,1 @@
+lib/xquery/lexer.ml: Buffer Char Format Int64 Printf String Xdm

@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Buffer Char Lexer List Option Printf String Xdm

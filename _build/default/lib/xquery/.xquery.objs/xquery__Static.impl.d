@@ -1,0 +1,1 @@
+lib/xquery/static.ml: Ast List Map Option Set String Xdm

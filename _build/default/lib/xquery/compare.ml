@@ -1,0 +1,181 @@
+(** XQuery comparison and arithmetic semantics.
+
+    The distinction between *general* ([=], [>], ...) and *value* ([eq],
+    [gt], ...) comparisons carries several of the paper's pitfalls:
+
+    - general comparisons are existential (Section 3.10: a lineitem with
+      prices 250 and 50 satisfies [price > 100 and price < 200]);
+    - value comparisons require singleton operands (Section 3.3: Query 14's
+      XMLCast raises a type error where Query 13's [eq] inside a predicate
+      succeeds per-node; Section 3.10: [price gt 100] fails at runtime on a
+      multi-price lineitem);
+    - untypedAtomic converts to *double* against a numeric operand but to
+      *string* against a string operand — the root of Section 3.1 (a
+      predicate [@price > "100"] is a string predicate and matches string
+      values like "20 USD"). *)
+
+open Xdm
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+let op_of_gcmp : Ast.gcmp -> op = function
+  | Ast.GEq -> Eq
+  | Ast.GNe -> Ne
+  | Ast.GLt -> Lt
+  | Ast.GLe -> Le
+  | Ast.GGt -> Gt
+  | Ast.GGe -> Ge
+
+let op_of_vcmp : Ast.vcmp -> op = function
+  | Ast.VEq -> Eq
+  | Ast.VNe -> Ne
+  | Ast.VLt -> Lt
+  | Ast.VLe -> Le
+  | Ast.VGt -> Gt
+  | Ast.VGe -> Ge
+
+let is_numeric a = Atomic.is_numeric_type (Atomic.type_of a)
+
+let is_nan = function
+  | Atomic.Double f | Atomic.Decimal f -> Float.is_nan f
+  | _ -> false
+
+(** Apply [op] to two atomics of *already-converted*, compatible types. *)
+let apply_op op a b : bool =
+  if is_nan a || is_nan b then (* NaN: only [ne] is true *) op = Ne
+  else
+    match Atomic.compare_values a b with
+    | Atomic.Eq -> ( match op with Eq | Le | Ge -> true | _ -> false)
+    | Atomic.Lt -> ( match op with Lt | Le | Ne -> true | _ -> false)
+    | Atomic.Gt -> ( match op with Gt | Ge | Ne -> true | _ -> false)
+    | Atomic.Uncomparable ->
+        Xerror.type_error "cannot compare %s with %s"
+          (Atomic.type_name (Atomic.type_of a))
+          (Atomic.type_name (Atomic.type_of b))
+
+(** untypedAtomic conversion for a *general* comparison pair. *)
+let general_convert a b =
+  match (a, b) with
+  | Atomic.Untyped x, Atomic.Untyped y -> (Atomic.Str x, Atomic.Str y)
+  | Atomic.Untyped x, other when is_numeric other ->
+      (Atomic.cast (Atomic.Untyped x) Atomic.TDouble, other)
+  | other, Atomic.Untyped y when is_numeric other ->
+      (other, Atomic.cast (Atomic.Untyped y) Atomic.TDouble)
+  | Atomic.Untyped x, other ->
+      (Atomic.cast (Atomic.Untyped x) (Atomic.type_of other), other)
+  | other, Atomic.Untyped y ->
+      (other, Atomic.cast (Atomic.Untyped y) (Atomic.type_of other))
+  | a, b -> (a, b)
+
+(** General (existential) comparison over two atomized sequences. *)
+let general op (xs : Atomic.t list) (ys : Atomic.t list) : bool =
+  List.exists
+    (fun x ->
+      List.exists
+        (fun y ->
+          let x', y' = general_convert x y in
+          apply_op op x' y')
+        ys)
+    xs
+
+(** Value comparison: operands must be empty or singleton after
+    atomization; untypedAtomic converts to string. Returns [None] when
+    either operand is empty (the comparison result is the empty
+    sequence). *)
+let value op (xs : Atomic.t list) (ys : Atomic.t list) : bool option =
+  let single side = function
+    | [] -> None
+    | [ v ] -> Some v
+    | vs ->
+        Xerror.type_error
+          "value comparison requires a singleton %s operand, got %d items"
+          side (List.length vs)
+  in
+  match (single "left" xs, single "right" ys) with
+  | None, _ | _, None -> None
+  | Some x, Some y ->
+      let conv = function
+        | Atomic.Untyped s -> Atomic.Str s
+        | v -> v
+      in
+      Some (apply_op op (conv x) (conv y))
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let numeric_of_atomic a =
+  match a with
+  | Atomic.Untyped _ -> Atomic.cast a Atomic.TDouble
+  | Atomic.Integer _ | Atomic.Decimal _ | Atomic.Double _ -> a
+  | _ ->
+      Xerror.type_error "arithmetic on non-numeric %s"
+        (Atomic.type_name (Atomic.type_of a))
+
+let arith (op : Ast.arith) (a : Atomic.t) (b : Atomic.t) : Atomic.t =
+  let a = numeric_of_atomic a and b = numeric_of_atomic b in
+  match (op, a, b) with
+  | Ast.IDiv, _, _ -> (
+      match (a, b) with
+      | Atomic.Integer _, Atomic.Integer 0L ->
+          Xerror.raise_err "FOAR0001" "integer division by zero"
+      | Atomic.Integer x, Atomic.Integer y -> Atomic.Integer (Int64.div x y)
+      | _ ->
+          let x = Option.get (Atomic.to_float_opt a)
+          and y = Option.get (Atomic.to_float_opt b) in
+          if y = 0. then Xerror.raise_err "FOAR0001" "division by zero"
+          else Atomic.Integer (Int64.of_float (x /. y)))
+  | Ast.Mod, Atomic.Integer x, Atomic.Integer y ->
+      if y = 0L then Xerror.raise_err "FOAR0001" "integer mod by zero"
+      else Atomic.Integer (Int64.rem x y)
+  | Ast.Div, Atomic.Integer x, Atomic.Integer y ->
+      (* integer div yields a decimal *)
+      if y = 0L then Xerror.raise_err "FOAR0001" "integer division by zero"
+      else Atomic.Decimal (Int64.to_float x /. Int64.to_float y)
+  | _, Atomic.Integer x, Atomic.Integer y -> (
+      match op with
+      | Ast.Add -> Atomic.Integer (Int64.add x y)
+      | Ast.Sub -> Atomic.Integer (Int64.sub x y)
+      | Ast.Mul -> Atomic.Integer (Int64.mul x y)
+      | _ -> assert false)
+  | _ ->
+      let x = Option.get (Atomic.to_float_opt a)
+      and y = Option.get (Atomic.to_float_opt b) in
+      let as_double = match (a, b) with
+        | Atomic.Double _, _ | _, Atomic.Double _ -> true
+        | _ -> false
+      in
+      let wrap f = if as_double then Atomic.Double f else Atomic.Decimal f in
+      (match op with
+      | Ast.Add -> wrap (x +. y)
+      | Ast.Sub -> wrap (x -. y)
+      | Ast.Mul -> wrap (x *. y)
+      | Ast.Div ->
+          if y = 0. && not as_double then
+            Xerror.raise_err "FOAR0001" "decimal division by zero"
+          else wrap (x /. y)
+      | Ast.Mod -> wrap (Float.rem x y)
+      | Ast.IDiv -> assert false)
+
+let negate (a : Atomic.t) : Atomic.t =
+  match numeric_of_atomic a with
+  | Atomic.Integer x -> Atomic.Integer (Int64.neg x)
+  | Atomic.Decimal f -> Atomic.Decimal (-.f)
+  | Atomic.Double f -> Atomic.Double (-.f)
+  | _ -> assert false
+
+(** Comparison used by [order by]: empty-least, untyped-as-string. *)
+let order_key_compare (a : Atomic.t option) (b : Atomic.t option) : int =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> (
+      let conv = function Atomic.Untyped s -> Atomic.Str s | v -> v in
+      match Atomic.compare_values (conv x) (conv y) with
+      | Atomic.Lt -> -1
+      | Atomic.Eq -> 0
+      | Atomic.Gt -> 1
+      | Atomic.Uncomparable ->
+          (* fall back to string comparison for heterogeneous keys *)
+          String.compare (Atomic.string_value x) (Atomic.string_value y))

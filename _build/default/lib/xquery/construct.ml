@@ -1,0 +1,84 @@
+(** Element construction semantics (paper Section 3.6).
+
+    Construction is deliberately implemented exactly by the book, because
+    the paper's point is that these semantics block query rewrites:
+
+    - constructed nodes get *fresh node identities* (copying content nodes),
+    - atomic values are converted to [xdt:untypedAtomic] text, adjacent
+      atomics joined by a single space,
+    - type annotations of copied nodes are erased ("strip" construction
+      mode): the constructed element is [xs:untyped],
+    - duplicate attribute names raise [XQDY0025],
+    - attribute content items must precede other content ([XQTY0024]). *)
+
+open Xdm
+
+(** One evaluated piece of constructor content. *)
+type piece = PText of string | PSeq of Item.seq
+
+let element ?(preserve = false) (name : Qname.t)
+    ~(attrs : (Qname.t * string) list) ~(content : piece list) : Node.t =
+  let el = Node.element name in
+  let add_attr q v =
+    if
+      List.exists
+        (fun (a : Node.t) -> Qname.equal (Option.get a.Node.name) q)
+        el.Node.attrs
+    then Xerror.dup_attribute "duplicate attribute %s" (Qname.to_string q);
+    Node.add_attr el (Node.attribute q v)
+  in
+  List.iter (fun (q, v) -> add_attr q v) attrs;
+  let buf = Buffer.create 16 in
+  let last_was_atomic = ref false in
+  let seen_non_attr = ref false in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      Node.append_child el (Node.text (Buffer.contents buf));
+      Buffer.clear buf
+    end;
+    last_was_atomic := false
+  in
+  let add_item (it : Item.t) =
+    match it with
+    | Item.A a ->
+        if !last_was_atomic then Buffer.add_char buf ' ';
+        Buffer.add_string buf (Atomic.string_value a);
+        last_was_atomic := true;
+        seen_non_attr := true
+    | Item.N n -> (
+        match n.Node.kind with
+        | Node.Attribute ->
+            if !seen_non_attr || Buffer.length buf > 0 then
+              Xerror.raise_err "XQTY0024"
+                "attribute node after non-attribute content in constructor";
+            add_attr (Option.get n.Node.name) n.Node.content
+        | Node.Document ->
+            flush_text ();
+            List.iter
+              (fun c ->
+                Node.append_child el (Node.copy ~strip_types:(not preserve) c))
+              n.Node.children;
+            seen_non_attr := true
+        | _ ->
+            flush_text ();
+            Node.append_child el (Node.copy ~strip_types:(not preserve) n);
+            seen_non_attr := true)
+  in
+  List.iter
+    (function
+      | PText s ->
+          (* literal text breaks atomic adjacency *)
+          if s <> "" then begin
+            Buffer.add_string buf s;
+            last_was_atomic := false;
+            seen_non_attr := true
+          end
+      | PSeq items ->
+          List.iter add_item items;
+          (* a sequence boundary also breaks atomic adjacency with the
+             next enclosed expression *)
+          last_was_atomic := false)
+    content;
+  flush_text ();
+  el.Node.ann <- Node.Untyped;
+  el

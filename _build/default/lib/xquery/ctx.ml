@@ -1,0 +1,52 @@
+(** Dynamic evaluation context. *)
+
+module SMap = Map.Make (String)
+
+type t = {
+  item : Xdm.Item.t option;  (** context item (focus) *)
+  pos : int;  (** fn:position() *)
+  size : int;  (** fn:last() *)
+  vars : Xdm.Item.seq SMap.t;
+  resolver : string -> Xdm.Item.seq;
+      (** resolves [db2-fn:xmlcolumn('T.C')] to a sequence of document
+          nodes; injected by the storage layer so this library stays
+          storage-agnostic *)
+  construction_preserve : bool;
+      (** [declare construction preserve] in effect *)
+}
+
+let no_resolver name =
+  Xdm.Xerror.raise_err "FODC0002" "no collection resolver for %S" name
+
+let init ?(resolver = no_resolver) ?(construction_preserve = false) () =
+  {
+    item = None;
+    pos = 0;
+    size = 0;
+    vars = SMap.empty;
+    resolver;
+    construction_preserve;
+  }
+
+let with_focus ctx item pos size = { ctx with item = Some item; pos; size }
+
+let bind ctx name seq = { ctx with vars = SMap.add name seq ctx.vars }
+
+let bind_all ctx bindings =
+  List.fold_left (fun c (n, s) -> bind c n s) ctx bindings
+
+let lookup ctx name =
+  match SMap.find_opt name ctx.vars with
+  | Some v -> v
+  | None -> Xdm.Xerror.undefined "unbound variable $%s" name
+
+let context_item ctx =
+  match ctx.item with
+  | Some i -> i
+  | None -> Xdm.Xerror.no_context "context item is undefined"
+
+let context_node ctx =
+  match context_item ctx with
+  | Xdm.Item.N n -> n
+  | Xdm.Item.A _ ->
+      Xdm.Xerror.type_error "context item is not a node"

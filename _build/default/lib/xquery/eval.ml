@@ -1,0 +1,442 @@
+(** The XQuery dynamic evaluator.
+
+    Semantics choices that matter to the paper:
+
+    - every path step sorts its node results into document order and
+      removes duplicate *identities*;
+    - a leading [/] is [fn:root(.) treat as document-node()]: a type error
+      when the context tree is rooted at a constructed element (Query 25);
+    - a path step from an element node navigates its *children* — there is
+      no extra document-node level (Query 24 returns empty);
+    - FLWOR [let] binds whole sequences (outer-join shape, Section 3.4),
+      [for] iterates and therefore discards empty sequences;
+    - general comparisons are existential; value comparisons demand
+      singletons. *)
+
+open Xdm
+open Ast
+
+let rec eval (ctx : Ctx.t) (e : expr) : Item.seq =
+  match e with
+  | ELit a -> [ Item.A a ]
+  | EVar v -> Ctx.lookup ctx v
+  | EContext -> [ Ctx.context_item ctx ]
+  | ESeq es -> List.concat_map (eval ctx) es
+  | EPath (start, steps) -> eval_path ctx start steps
+  | EFlwor (clauses, ret) -> eval_flwor ctx clauses ret
+  | EQuant (q, binds, sat) -> eval_quant ctx q binds sat
+  | EIf (c, t, f) -> if Item.ebv (eval ctx c) then eval ctx t else eval ctx f
+  | EAnd (a, b) ->
+      [
+        Item.A
+          (Atomic.Boolean (Item.ebv (eval ctx a) && Item.ebv (eval ctx b)));
+      ]
+  | EOr (a, b) ->
+      [
+        Item.A
+          (Atomic.Boolean (Item.ebv (eval ctx a) || Item.ebv (eval ctx b)));
+      ]
+  | EGCmp (op, a, b) ->
+      let xs = Item.atomize (eval ctx a) and ys = Item.atomize (eval ctx b) in
+      [ Item.A (Atomic.Boolean (Compare.general (Compare.op_of_gcmp op) xs ys)) ]
+  | EVCmp (op, a, b) -> (
+      let xs = Item.atomize (eval ctx a) and ys = Item.atomize (eval ctx b) in
+      match Compare.value (Compare.op_of_vcmp op) xs ys with
+      | None -> []
+      | Some r -> [ Item.A (Atomic.Boolean r) ])
+  | ENCmp (op, a, b) -> (
+      let node side s =
+        match s with
+        | [] -> None
+        | [ Item.N n ] -> Some n
+        | _ ->
+            Xerror.type_error "node comparison requires a single node (%s)"
+              side
+      in
+      match (node "left" (eval ctx a), node "right" (eval ctx b)) with
+      | None, _ | _, None -> []
+      | Some x, Some y ->
+          let r =
+            match op with
+            | NIs -> Node.identical x y
+            | NPrecedes -> Node.doc_compare x y < 0
+            | NFollows -> Node.doc_compare x y > 0
+          in
+          [ Item.A (Atomic.Boolean r) ])
+  | EArith (op, a, b) -> (
+      let single s =
+        match Item.atomize (eval ctx s) with
+        | [] -> None
+        | [ v ] -> Some v
+        | _ -> Xerror.type_error "arithmetic on a non-singleton sequence"
+      in
+      match (single a, single b) with
+      | None, _ | _, None -> []
+      | Some x, Some y -> [ Item.A (Compare.arith op x y) ])
+  | ENeg a -> (
+      match Item.atomize (eval ctx a) with
+      | [] -> []
+      | [ v ] -> [ Item.A (Compare.negate v) ]
+      | _ -> Xerror.type_error "unary minus on a non-singleton sequence")
+  | ERange (a, b) -> (
+      let int_of s =
+        match Item.atomize (eval ctx s) with
+        | [] -> None
+        | [ v ] -> (
+            match Atomic.cast_opt v Atomic.TInteger with
+            | Some (Atomic.Integer i) -> Some i
+            | _ -> Xerror.type_error "range bounds must be integers")
+        | _ -> Xerror.type_error "range bounds must be singletons"
+      in
+      match (int_of a, int_of b) with
+      | Some lo, Some hi when lo <= hi ->
+          let rec build i acc =
+            if i < lo then acc
+            else build (Int64.sub i 1L) (Item.A (Atomic.Integer i) :: acc)
+          in
+          build hi []
+      | _ -> [])
+  | EUnion (a, b) ->
+      let xs = node_seq "union" (eval ctx a)
+      and ys = node_seq "union" (eval ctx b) in
+      List.map Item.of_node (Item.doc_order_dedup (xs @ ys))
+  | EIntersect (a, b) ->
+      let xs = node_seq "intersect" (eval ctx a)
+      and ys = node_seq "intersect" (eval ctx b) in
+      let ids = List.map (fun (n : Node.t) -> n.Node.id) ys in
+      List.map Item.of_node
+        (Item.doc_order_dedup
+           (List.filter (fun (n : Node.t) -> List.mem n.Node.id ids) xs))
+  | EExcept (a, b) ->
+      let xs = node_seq "except" (eval ctx a)
+      and ys = node_seq "except" (eval ctx b) in
+      let ids = List.map (fun (n : Node.t) -> n.Node.id) ys in
+      List.map Item.of_node
+        (Item.doc_order_dedup
+           (List.filter (fun (n : Node.t) -> not (List.mem n.Node.id ids)) xs))
+  | ECall { prefix; local; args } ->
+      let args = List.map (eval ctx) args in
+      Functions.call ctx ~prefix ~local args
+  | ECast (a, t) -> (
+      match Item.atomize (eval ctx a) with
+      | [] -> []
+      | [ v ] -> [ Item.A (Atomic.cast v t) ]
+      | _ -> Xerror.type_error "cast of a sequence of more than one item")
+  | ECastable (a, t) -> (
+      match Item.atomize (eval ctx a) with
+      | [] -> [ Item.A (Atomic.Boolean true) ]
+      | [ v ] -> [ Item.A (Atomic.Boolean (Option.is_some (Atomic.cast_opt v t))) ]
+      | _ -> [ Item.A (Atomic.Boolean false) ])
+  | EInstanceOf (a, st) ->
+      let seq = eval ctx a in
+      let matches_item (it : Item.t) (ty : item_type) =
+        match (it, ty) with
+        | _, ITItem -> true
+        | Item.A a, ITAtomic t -> Atomic.type_of a = t
+        | Item.N _, ITAtomic _ | Item.A _, _ -> false
+        | Item.N n, ITAnyNode -> ignore n; true
+        | Item.N n, ITElement -> n.Node.kind = Node.Element
+        | Item.N n, ITAttribute -> n.Node.kind = Node.Attribute
+        | Item.N n, ITText -> n.Node.kind = Node.Text
+        | Item.N n, ITDocument -> n.Node.kind = Node.Document
+      in
+      let ok =
+        match st with
+        | STEmpty -> seq = []
+        | STItems (ty, occ) -> (
+            List.for_all (fun it -> matches_item it ty) seq
+            &&
+            match occ with
+            | OccOne -> List.length seq = 1
+            | OccOpt -> List.length seq <= 1
+            | OccStar -> true
+            | OccPlus -> seq <> [])
+      in
+      [ Item.A (Atomic.Boolean ok) ]
+  | EElem c -> [ Item.N (eval_ctor ctx c) ]
+  | EElemComp { cn_static; cn_expr; cbody } ->
+      let name = computed_name ctx "element" cn_static cn_expr in
+      let content = [ Construct.PSeq (eval ctx cbody) ] in
+      [
+        Item.N
+          (Construct.element ~preserve:ctx.Ctx.construction_preserve name
+             ~attrs:[] ~content);
+      ]
+  | EAttrComp { an_static; an_expr; abody } ->
+      let name = computed_name ctx "attribute" an_static an_expr in
+      let value =
+        String.concat " "
+          (List.map Atomic.string_value (Item.atomize (eval ctx abody)))
+      in
+      [ Item.N (Node.attribute name value) ]
+  | ETextComp e ->
+      let s =
+        String.concat " "
+          (List.map Atomic.string_value (Item.atomize (eval ctx e)))
+      in
+      [ Item.N (Node.text s) ]
+
+and computed_name ctx what static_name name_expr : Qname.t =
+  match (static_name, name_expr) with
+  | Some q, _ -> q
+  | None, Some e -> (
+      match Item.atomize (eval ctx e) with
+      | [ a ] -> Qname.make (Atomic.string_value a)
+      | _ ->
+          Xerror.type_error "computed %s name must be a single atomic value"
+            what)
+  | None, None -> assert false
+
+and node_seq what (s : Item.seq) : Node.t list =
+  match Item.nodes_of_seq s with
+  | Some nodes -> nodes
+  | None -> Xerror.type_error "operand of %s is not a sequence of nodes" what
+
+(* ---------------------------- paths ------------------------------ *)
+
+and eval_path ctx start steps : Item.seq =
+  let initial : Item.seq =
+    match start with
+    | Absolute | AbsDesc ->
+        (* fn:root(.) treat as document-node() *)
+        let n = Ctx.context_node ctx in
+        let r = Node.root n in
+        if r.Node.kind <> Node.Document then
+          Xerror.type_error
+            "leading '/' requires a tree rooted at a document node (root is \
+             a %s node)"
+            (Node.kind_to_string r.Node.kind)
+        else [ Item.N r ]
+    | Relative -> (
+        (* the first step provides the start; give it the outer focus *)
+        match ctx.Ctx.item with
+        | Some it -> [ it ]
+        | None -> (
+            (* Allow paths that start with a primary not using the focus
+               (e.g. db2-fn:xmlcolumn(...)/order) in a focus-free context. *)
+            match steps with
+            | SExpr _ :: _ -> [ Item.A (Atomic.Boolean true) ]
+              (* dummy focus; SExpr ignores it unless it uses '.' *)
+            | _ -> Xerror.no_context "path step with no context item"))
+  in
+  let rec go (current : Item.seq) = function
+    | [] -> current
+    | step :: rest ->
+        let out = eval_step ctx current step in
+        let out =
+          if rest = [] then
+            (* last step: nodes get sorted/deduped; atomics pass through *)
+            match Item.nodes_of_seq out with
+            | Some nodes -> List.map Item.of_node (Item.doc_order_dedup nodes)
+            | None ->
+                if List.exists Item.is_node out then
+                  Xerror.mixed_path
+                    "path step mixes nodes and atomic values"
+                else out
+          else
+            match Item.nodes_of_seq out with
+            | Some nodes -> List.map Item.of_node (Item.doc_order_dedup nodes)
+            | None ->
+                Xerror.mixed_path
+                  "intermediate path step produced non-node items"
+        in
+        go out rest
+  in
+  go initial steps
+
+and eval_step ctx (current : Item.seq) (step : step) : Item.seq =
+  let size = List.length current in
+  match step with
+  | SAxis { axis; test; preds } ->
+      List.concat
+        (List.mapi
+           (fun i it ->
+             let n =
+               match it with
+               | Item.N n -> n
+               | Item.A _ ->
+                   Xerror.type_error
+                     "axis step applied to an atomic value"
+             in
+             ignore i;
+             ignore size;
+             let candidates = axis_nodes axis n in
+             let matched = List.filter (node_test_matches axis test) candidates in
+             apply_predicates ctx (List.map Item.of_node matched) preds)
+           current)
+  | SExpr { expr; preds } ->
+      List.concat
+        (List.mapi
+           (fun i it ->
+             let inner = Ctx.with_focus ctx it (i + 1) size in
+             let out = eval inner expr in
+             apply_predicates ctx out preds)
+           current)
+
+and axis_nodes axis (n : Node.t) : Node.t list =
+  match axis with
+  | Child -> n.Node.children
+  | Attr -> n.Node.attrs
+  | Self -> [ n ]
+  | Parent -> ( match n.Node.parent with Some p -> [ p ] | None -> [])
+  | Descendant -> Node.descendants n
+  | DescOrSelf -> Node.descendants_or_self n
+
+and node_test_matches axis test (n : Node.t) : bool =
+  match test with
+  | Kind KAnyNode -> true
+  | Kind KText -> n.Node.kind = Node.Text
+  | Kind KComment -> n.Node.kind = Node.Comment
+  | Kind KDocument -> n.Node.kind = Node.Document
+  | Kind (KPi None) -> n.Node.kind = Node.Pi
+  | Kind (KPi (Some t)) ->
+      n.Node.kind = Node.Pi
+      && (match n.Node.name with Some q -> q.Qname.local = t | None -> false)
+  | Name nt -> (
+      (* name tests select the principal node kind of the axis *)
+      let principal_ok =
+        match axis with
+        | Attr -> n.Node.kind = Node.Attribute
+        | _ -> n.Node.kind = Node.Element
+      in
+      principal_ok
+      &&
+      match (nt, n.Node.name) with
+      | TStar, _ -> true
+      | TName q, Some nq -> Qname.equal q nq
+      | TNsStar { uri; _ }, Some nq -> String.equal nq.Qname.uri uri
+      | TLocalStar l, Some nq -> String.equal nq.Qname.local l
+      | _, None -> false)
+
+and apply_predicates ctx (items : Item.seq) (preds : expr list) : Item.seq =
+  List.fold_left
+    (fun items pred ->
+      let size = List.length items in
+      List.filteri
+        (fun i it ->
+          let inner = Ctx.with_focus ctx it (i + 1) size in
+          let r = eval inner pred in
+          match r with
+          | [ Item.A (Atomic.Integer k) ] -> Int64.to_int k = i + 1
+          | [ Item.A (Atomic.Double f) ] -> f = float_of_int (i + 1)
+          | [ Item.A (Atomic.Decimal f) ] -> f = float_of_int (i + 1)
+          | r -> Item.ebv r)
+        items)
+    items preds
+
+(* ---------------------------- FLWOR ------------------------------ *)
+
+and eval_flwor ctx clauses ret : Item.seq =
+  (* a tuple is a variable environment *)
+  let tuples = ref [ ctx ] in
+  List.iter
+    (fun clause ->
+      match clause with
+      | CFor binds ->
+          List.iter
+            (fun (v, e) ->
+              tuples :=
+                List.concat_map
+                  (fun tctx ->
+                    List.map
+                      (fun item -> Ctx.bind tctx v [ item ])
+                      (eval tctx e))
+                  !tuples)
+            binds
+      | CLet binds ->
+          List.iter
+            (fun (v, e) ->
+              tuples := List.map (fun tctx -> Ctx.bind tctx v (eval tctx e)) !tuples)
+            binds
+      | CWhere e ->
+          tuples := List.filter (fun tctx -> Item.ebv (eval tctx e)) !tuples
+      | COrder keys ->
+          let keyed =
+            List.map
+              (fun tctx ->
+                let ks =
+                  List.map
+                    (fun (e, dir) ->
+                      let k =
+                        match Item.atomize (eval tctx e) with
+                        | [] -> None
+                        | [ v ] -> Some v
+                        | _ ->
+                            Xerror.type_error
+                              "order by key is not a singleton"
+                      in
+                      (k, dir))
+                    keys
+                in
+                (ks, tctx))
+              !tuples
+          in
+          let cmp (ka, _) (kb, _) =
+            let rec go = function
+              | [] -> 0
+              | ((a, dir), (b, _)) :: rest -> (
+                  let c = Compare.order_key_compare a b in
+                  let c = match dir with `Asc -> c | `Desc -> -c in
+                  match c with 0 -> go rest | c -> c)
+            in
+            go (List.combine ka kb)
+          in
+          tuples := List.map snd (List.stable_sort cmp keyed))
+    clauses;
+  List.concat_map (fun tctx -> eval tctx ret) !tuples
+
+and eval_quant ctx q binds sat : Item.seq =
+  let rec go ctx = function
+    | [] -> Item.ebv (eval ctx sat)
+    | (v, e) :: rest ->
+        let items = eval ctx e in
+        let test item = go (Ctx.bind ctx v [ item ]) rest in
+        if q = QSome then List.exists test items else List.for_all test items
+  in
+  [ Item.A (Atomic.Boolean (go ctx binds)) ]
+
+(* ------------------------- constructors -------------------------- *)
+
+and eval_ctor ctx (c : ctor) : Node.t =
+  let attrs =
+    List.map
+      (fun (q, pieces) ->
+        let buf = Buffer.create 16 in
+        List.iter
+          (function
+            | APText s -> Buffer.add_string buf s
+            | APExpr e ->
+                let atoms = Item.atomize (eval ctx e) in
+                Buffer.add_string buf
+                  (String.concat " " (List.map Atomic.string_value atoms)))
+          pieces;
+        (q, Buffer.contents buf))
+      c.cattrs
+  in
+  let content =
+    List.map
+      (function
+        | CPText s -> Construct.PText s
+        | CPExpr e -> Construct.PSeq (eval ctx e))
+      c.ccontent
+  in
+  Construct.element ~preserve:ctx.Ctx.construction_preserve c.cname ~attrs
+    ~content
+
+(* ------------------------- entry points -------------------------- *)
+
+(** Evaluate a parsed query: resolve statics, then evaluate with the given
+    collection resolver and external variable bindings. *)
+let run ?(resolver : (string -> Item.seq) option)
+    ?(vars : (string * Item.seq) list = []) (q : query) : Item.seq =
+  let q = Static.resolve ~external_vars:(List.map fst vars) q in
+  let ctx =
+    Ctx.init ?resolver
+      ~construction_preserve:q.prolog.construction_preserve ()
+  in
+  let ctx = Ctx.bind_all ctx vars in
+  eval ctx q.body
+
+(** Parse and evaluate a query string. *)
+let run_string ?resolver ?vars (src : string) : Item.seq =
+  run ?resolver ?vars (Parser.parse_query src)

@@ -1,0 +1,312 @@
+(** Pull lexer for the XQuery subset.
+
+    XQuery is not lexable context-free (keywords are not reserved, [<] may
+    open a comparison or a direct constructor, [div] may be an operator or
+    a name). The lexer therefore produces *raw* tokens and the parser
+    interprets them by position; for direct element constructors the parser
+    rewinds to the current token's start offset and consumes characters
+    directly ([rewind_to_token_start] / char-level helpers). *)
+
+type token =
+  | TInteger of int64
+  | TDecimal of float
+  | TDouble of float
+  | TString of string
+  | TQName of string option * string  (** (prefix, local); keywords too *)
+  | TNsStar of string  (** [prefix:*] *)
+  | TStarLocal of string  (** [*:local] *)
+  | TStar
+  | TDollar
+  | TLpar
+  | TRpar
+  | TLbrack
+  | TRbrack
+  | TLbrace
+  | TRbrace
+  | TSlash
+  | TSlashSlash
+  | TDot
+  | TDotDot
+  | TAt
+  | TComma
+  | TSemi
+  | TAxisSep  (** [::] *)
+  | TAssign  (** [:=] *)
+  | TEq
+  | TNe
+  | TLt
+  | TLe
+  | TGt
+  | TGe
+  | TPrecedes  (** [<<] *)
+  | TFollows  (** [>>] *)
+  | TPlus
+  | TMinus
+  | TBar
+  | TQuestion
+  | TEof
+
+type t = {
+  src : string;
+  mutable pos : int;  (** read position (after current token) *)
+  mutable tok : token;  (** current token *)
+  mutable tok_start : int;  (** source offset where [tok] begins *)
+}
+
+let syntax_error (l : t) fmt =
+  Format.kasprintf
+    (fun msg ->
+      Xdm.Xerror.syntax_error "%s (at offset %d: ...%s)" msg l.tok_start
+        (String.sub l.src l.tok_start
+           (min 20 (String.length l.src - l.tok_start))))
+    fmt
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char l = if l.pos < String.length l.src then Some l.src.[l.pos] else None
+
+let peek_char_at l k =
+  if l.pos + k < String.length l.src then Some l.src.[l.pos + k] else None
+
+(** Skip whitespace and (nested) XQuery comments [(: ... :)]. *)
+let rec skip_trivia l =
+  (match peek_char l with
+  | Some c when is_space c ->
+      l.pos <- l.pos + 1;
+      skip_trivia l
+  | Some '(' when peek_char_at l 1 = Some ':' ->
+      l.pos <- l.pos + 2;
+      let depth = ref 1 in
+      while !depth > 0 do
+        match peek_char l with
+        | None -> Xdm.Xerror.syntax_error "unterminated comment"
+        | Some '(' when peek_char_at l 1 = Some ':' ->
+            incr depth;
+            l.pos <- l.pos + 2
+        | Some ':' when peek_char_at l 1 = Some ')' ->
+            decr depth;
+            l.pos <- l.pos + 2
+        | Some _ -> l.pos <- l.pos + 1
+      done;
+      skip_trivia l
+  | _ -> ())
+
+let lex_ncname l =
+  let start = l.pos in
+  while
+    match peek_char l with Some c -> is_name_char c | None -> false
+  do
+    l.pos <- l.pos + 1
+  done;
+  String.sub l.src start (l.pos - start)
+
+let lex_string l quote =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char l with
+    | None -> Xdm.Xerror.syntax_error "unterminated string literal"
+    | Some c when c = quote ->
+        l.pos <- l.pos + 1;
+        if peek_char l = Some quote then begin
+          (* doubled quote = escaped quote *)
+          Buffer.add_char buf quote;
+          l.pos <- l.pos + 1;
+          go ()
+        end
+    | Some c ->
+        Buffer.add_char buf c;
+        l.pos <- l.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_number l =
+  let start = l.pos in
+  while match peek_char l with Some c -> is_digit c | None -> false do
+    l.pos <- l.pos + 1
+  done;
+  let has_dot =
+    match peek_char l with
+    | Some '.' when (match peek_char_at l 1 with Some c -> is_digit c | None -> false) ->
+        l.pos <- l.pos + 1;
+        while match peek_char l with Some c -> is_digit c | None -> false do
+          l.pos <- l.pos + 1
+        done;
+        true
+    | _ -> false
+  in
+  let has_exp =
+    match peek_char l with
+    | Some ('e' | 'E') ->
+        let save = l.pos in
+        l.pos <- l.pos + 1;
+        (match peek_char l with
+        | Some ('+' | '-') -> l.pos <- l.pos + 1
+        | _ -> ());
+        if match peek_char l with Some c -> is_digit c | None -> false then begin
+          while match peek_char l with Some c -> is_digit c | None -> false do
+            l.pos <- l.pos + 1
+          done;
+          true
+        end
+        else begin
+          l.pos <- save;
+          false
+        end
+    | _ -> false
+  in
+  let text = String.sub l.src start (l.pos - start) in
+  if has_exp then TDouble (float_of_string text)
+  else if has_dot then TDecimal (float_of_string text)
+  else TInteger (Int64.of_string text)
+
+(** Lex the next token into [l.tok]. *)
+let next l =
+  skip_trivia l;
+  l.tok_start <- l.pos;
+  let adv n = l.pos <- l.pos + n in
+  let tok =
+    match peek_char l with
+    | None -> TEof
+    | Some c -> (
+        match c with
+        | '$' -> adv 1; TDollar
+        | '(' -> adv 1; TLpar
+        | ')' -> adv 1; TRpar
+        | '[' -> adv 1; TLbrack
+        | ']' -> adv 1; TRbrack
+        | '{' -> adv 1; TLbrace
+        | '}' -> adv 1; TRbrace
+        | ',' -> adv 1; TComma
+        | ';' -> adv 1; TSemi
+        | '@' -> adv 1; TAt
+        | '+' -> adv 1; TPlus
+        | '-' -> adv 1; TMinus
+        | '|' -> adv 1; TBar
+        | '?' -> adv 1; TQuestion
+        | '=' -> adv 1; TEq
+        | '!' ->
+            if peek_char_at l 1 = Some '=' then begin adv 2; TNe end
+            else syntax_error l "unexpected '!'"
+        | '<' ->
+            if peek_char_at l 1 = Some '=' then begin adv 2; TLe end
+            else if peek_char_at l 1 = Some '<' then begin adv 2; TPrecedes end
+            else begin adv 1; TLt end
+        | '>' ->
+            if peek_char_at l 1 = Some '=' then begin adv 2; TGe end
+            else if peek_char_at l 1 = Some '>' then begin adv 2; TFollows end
+            else begin adv 1; TGt end
+        | '/' ->
+            if peek_char_at l 1 = Some '/' then begin adv 2; TSlashSlash end
+            else begin adv 1; TSlash end
+        | '.' ->
+            if peek_char_at l 1 = Some '.' then begin adv 2; TDotDot end
+            else if (match peek_char_at l 1 with Some c -> is_digit c | None -> false)
+            then lex_number l
+            else begin adv 1; TDot end
+        | ':' ->
+            if peek_char_at l 1 = Some ':' then begin adv 2; TAxisSep end
+            else if peek_char_at l 1 = Some '=' then begin adv 2; TAssign end
+            else syntax_error l "unexpected ':'"
+        | '*' ->
+            (* [*] or [*:local] *)
+            if peek_char_at l 1 = Some ':'
+               && (match peek_char_at l 2 with
+                  | Some c -> is_name_start c
+                  | None -> false)
+            then begin
+              adv 2;
+              TStarLocal (lex_ncname l)
+            end
+            else begin adv 1; TStar end
+        | '"' | '\'' ->
+            adv 1;
+            TString (lex_string l c)
+        | c when is_digit c -> lex_number l
+        | c when is_name_start c -> (
+            let first = lex_ncname l in
+            (* A ':' directly followed by a name char or '*' extends the
+               QName; ':=' and '::' must not be consumed. *)
+            match (peek_char l, peek_char_at l 1) with
+            | Some ':', Some '*' ->
+                adv 2;
+                TNsStar first
+            | Some ':', Some c2 when is_name_start c2 ->
+                adv 1;
+                let second = lex_ncname l in
+                TQName (Some first, second)
+            | _ -> TQName (None, first))
+        | c -> syntax_error l "unexpected character %C" c)
+  in
+  l.tok <- tok
+
+let init src =
+  let l = { src; pos = 0; tok = TEof; tok_start = 0 } in
+  next l;
+  l
+
+(** Rewind the read position to the start of the current token; used by
+    the parser to switch to character-level parsing (direct constructors). *)
+let rewind_to_token_start l = l.pos <- l.tok_start
+
+(** One-token lookahead: the token after the current one, without
+    consuming anything. *)
+let peek_next l =
+  let save_pos = l.pos and save_tok = l.tok and save_start = l.tok_start in
+  next l;
+  let t = l.tok in
+  l.pos <- save_pos;
+  l.tok <- save_tok;
+  l.tok_start <- save_start;
+  t
+
+(** Re-prime the token stream after character-level parsing. *)
+let resume = next
+
+let token_to_string = function
+  | TInteger i -> Int64.to_string i
+  | TDecimal f | TDouble f -> string_of_float f
+  | TString s -> Printf.sprintf "%S" s
+  | TQName (None, l) -> l
+  | TQName (Some p, l) -> p ^ ":" ^ l
+  | TNsStar p -> p ^ ":*"
+  | TStarLocal l -> "*:" ^ l
+  | TStar -> "*"
+  | TDollar -> "$"
+  | TLpar -> "("
+  | TRpar -> ")"
+  | TLbrack -> "["
+  | TRbrack -> "]"
+  | TLbrace -> "{"
+  | TRbrace -> "}"
+  | TSlash -> "/"
+  | TSlashSlash -> "//"
+  | TDot -> "."
+  | TDotDot -> ".."
+  | TAt -> "@"
+  | TComma -> ","
+  | TSemi -> ";"
+  | TAxisSep -> "::"
+  | TAssign -> ":="
+  | TEq -> "="
+  | TNe -> "!="
+  | TLt -> "<"
+  | TLe -> "<="
+  | TGt -> ">"
+  | TGe -> ">="
+  | TPrecedes -> "<<"
+  | TFollows -> ">>"
+  | TPlus -> "+"
+  | TMinus -> "-"
+  | TBar -> "|"
+  | TQuestion -> "?"
+  | TEof -> "<eof>"

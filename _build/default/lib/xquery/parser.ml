@@ -1,0 +1,1022 @@
+(** Recursive-descent parser for the XQuery subset.
+
+    Operator precedence follows the XQuery 1.0 grammar. Names are kept
+    with their lexical prefixes; [Static.resolve] turns them into expanded
+    QNames afterwards. *)
+
+open Ast
+module L = Lexer
+
+type p = { lx : L.t }
+
+let cur p = p.lx.L.tok
+let advance p = L.next p.lx
+let peek2 p = L.peek_next p.lx
+
+let error p fmt = L.syntax_error p.lx fmt
+
+let expect p tok =
+  if cur p = tok then advance p
+  else error p "expected %s, found %s" (L.token_to_string tok)
+      (L.token_to_string (cur p))
+
+(** Is the current token the bare keyword [kw]? (Keywords are not
+    reserved in XQuery; context decides.) *)
+let at_kw p kw = cur p = L.TQName (None, kw)
+
+let eat_kw p kw =
+  if at_kw p kw then advance p
+  else error p "expected keyword %S, found %s" kw (L.token_to_string (cur p))
+
+let var_name p =
+  expect p L.TDollar;
+  match cur p with
+  | L.TQName (None, n) ->
+      advance p;
+      n
+  | L.TQName (Some pr, n) ->
+      advance p;
+      pr ^ ":" ^ n
+  | t -> error p "expected variable name after '$', found %s" (L.token_to_string t)
+
+(** Parse an atomic type name like [xs:double] (with optional trailing
+    [?] occurrence indicator). *)
+let atomic_type_name p : atomic_type =
+  let ty =
+    match cur p with
+    | L.TQName (Some "xs", "string") -> Xdm.Atomic.TString
+    | L.TQName (Some "xs", "boolean") -> Xdm.Atomic.TBoolean
+    | L.TQName (Some "xs", ("integer" | "long" | "int")) -> Xdm.Atomic.TInteger
+    | L.TQName (Some "xs", "decimal") -> Xdm.Atomic.TDecimal
+    | L.TQName (Some "xs", ("double" | "float")) -> Xdm.Atomic.TDouble
+    | L.TQName (Some "xs", "date") -> Xdm.Atomic.TDate
+    | L.TQName (Some "xs", "dateTime") -> Xdm.Atomic.TDateTime
+    | L.TQName (Some ("xdt" | "xs"), "untypedAtomic") -> Xdm.Atomic.TUntyped
+    | t -> error p "expected an atomic type name, found %s" (L.token_to_string t)
+  in
+  advance p;
+  if cur p = L.TQuestion then advance p;
+  ty
+
+let is_cast_function prefix local =
+  match (prefix, local) with
+  | "xs", ("string" | "boolean" | "integer" | "long" | "int" | "decimal"
+          | "double" | "float" | "date" | "dateTime" | "untypedAtomic")
+  | "xdt", "untypedAtomic" ->
+      true
+  | _ -> false
+
+let cast_target prefix local : atomic_type =
+  match (prefix, local) with
+  | "xs", "string" -> Xdm.Atomic.TString
+  | "xs", "boolean" -> Xdm.Atomic.TBoolean
+  | "xs", ("integer" | "long" | "int") -> Xdm.Atomic.TInteger
+  | "xs", "decimal" -> Xdm.Atomic.TDecimal
+  | "xs", ("double" | "float") -> Xdm.Atomic.TDouble
+  | "xs", "date" -> Xdm.Atomic.TDate
+  | "xs", "dateTime" -> Xdm.Atomic.TDateTime
+  | _, "untypedAtomic" -> Xdm.Atomic.TUntyped
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Character-level helpers for direct constructors                     *)
+(* ------------------------------------------------------------------ *)
+
+let cpeek p = L.(if p.lx.pos < String.length p.lx.src then Some p.lx.src.[p.lx.pos] else None)
+
+let cpeek_at p k =
+  L.(
+    if p.lx.pos + k < String.length p.lx.src then Some p.lx.src.[p.lx.pos + k]
+    else None)
+
+let cadv p n = p.lx.L.pos <- p.lx.L.pos + n
+
+let clooking_at p s =
+  let open L in
+  let n = String.length s in
+  p.lx.pos + n <= String.length p.lx.src && String.sub p.lx.src p.lx.pos n = s
+
+let cexpect p s =
+  if clooking_at p s then cadv p (String.length s)
+  else error p "constructor: expected %S" s
+
+let cskip_space p =
+  while match cpeek p with Some c -> L.is_space c | None -> false do
+    cadv p 1
+  done
+
+let cname_raw p =
+  (match cpeek p with
+  | Some c when L.is_name_start c -> ()
+  | _ -> error p "constructor: expected a name");
+  let start = p.lx.L.pos in
+  while
+    match cpeek p with
+    | Some c -> L.is_name_char c || c = ':'
+    | None -> false
+  do
+    cadv p 1
+  done;
+  String.sub p.lx.L.src start (p.lx.L.pos - start)
+
+let split_prefix name =
+  match String.index_opt name ':' with
+  | None -> ("", name)
+  | Some i ->
+      (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let creference p buf =
+  (* after '&' *)
+  cadv p 1;
+  if clooking_at p "#" then begin
+    cadv p 1;
+    let hex = clooking_at p "x" in
+    if hex then cadv p 1;
+    let start = p.lx.L.pos in
+    while
+      match cpeek p with
+      | Some c ->
+          (c >= '0' && c <= '9')
+          || (hex && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+      | None -> false
+    do
+      cadv p 1
+    done;
+    let digits = String.sub p.lx.L.src start (p.lx.L.pos - start) in
+    cexpect p ";";
+    let code = int_of_string ((if hex then "0x" else "") ^ digits) in
+    if code < 128 then Buffer.add_char buf (Char.chr code)
+    else Buffer.add_string buf (Printf.sprintf "&#%d;" code)
+  end
+  else begin
+    let name = cname_raw p in
+    cexpect p ";";
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | e -> error p "constructor: unknown entity &%s;" e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_seq p : expr =
+  let first = expr_single p in
+  if cur p = L.TComma then begin
+    let items = ref [ first ] in
+    while cur p = L.TComma do
+      advance p;
+      items := expr_single p :: !items
+    done;
+    ESeq (List.rev !items)
+  end
+  else first
+
+and expr_single p : expr =
+  if (at_kw p "for" || at_kw p "let") && peek2 p = L.TDollar then flwor p
+  else if (at_kw p "some" || at_kw p "every") && peek2 p = L.TDollar then
+    quantified p
+  else if at_kw p "if" && peek2 p = L.TLpar then if_expr p
+  else or_expr p
+
+and flwor p : expr =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    if at_kw p "for" && peek2 p = L.TDollar then begin
+      advance p;
+      let binds = ref [ for_binding p ] in
+      while cur p = L.TComma do
+        advance p;
+        binds := for_binding p :: !binds
+      done;
+      clauses := CFor (List.rev !binds) :: !clauses;
+      clause_loop ()
+    end
+    else if at_kw p "let" && peek2 p = L.TDollar then begin
+      advance p;
+      let binds = ref [ let_binding p ] in
+      while cur p = L.TComma do
+        advance p;
+        binds := let_binding p :: !binds
+      done;
+      clauses := CLet (List.rev !binds) :: !clauses;
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  if at_kw p "where" then begin
+    advance p;
+    clauses := CWhere (expr_single p) :: !clauses;
+    (* further for/let after where are not in XQuery 1.0; ignore *)
+  end;
+  if at_kw p "order" then begin
+    advance p;
+    eat_kw p "by";
+    let key () =
+      let e = expr_single p in
+      let dir =
+        if at_kw p "descending" then begin
+          advance p;
+          `Desc
+        end
+        else begin
+          if at_kw p "ascending" then advance p;
+          `Asc
+        end
+      in
+      (e, dir)
+    in
+    let keys = ref [ key () ] in
+    while cur p = L.TComma do
+      advance p;
+      keys := key () :: !keys
+    done;
+    clauses := COrder (List.rev !keys) :: !clauses
+  end;
+  eat_kw p "return";
+  let ret = expr_single p in
+  EFlwor (List.rev !clauses, ret)
+
+and for_binding p =
+  let v = var_name p in
+  eat_kw p "in";
+  (v, expr_single p)
+
+and let_binding p =
+  let v = var_name p in
+  expect p L.TAssign;
+  (v, expr_single p)
+
+and quantified p : expr =
+  let q = if at_kw p "some" then QSome else QEvery in
+  advance p;
+  let binds = ref [ for_binding p ] in
+  while cur p = L.TComma do
+    advance p;
+    binds := for_binding p :: !binds
+  done;
+  eat_kw p "satisfies";
+  EQuant (q, List.rev !binds, expr_single p)
+
+and if_expr p : expr =
+  advance p;
+  expect p L.TLpar;
+  let c = expr_seq p in
+  expect p L.TRpar;
+  eat_kw p "then";
+  let t = expr_single p in
+  eat_kw p "else";
+  EIf (c, t, expr_single p)
+
+and or_expr p : expr =
+  let a = ref (and_expr p) in
+  while at_kw p "or" do
+    advance p;
+    a := EOr (!a, and_expr p)
+  done;
+  !a
+
+and and_expr p : expr =
+  let a = ref (comparison_expr p) in
+  while at_kw p "and" do
+    advance p;
+    a := EAnd (!a, comparison_expr p)
+  done;
+  !a
+
+and comparison_expr p : expr =
+  let a = range_expr p in
+  let mk_g op =
+    advance p;
+    EGCmp (op, a, range_expr p)
+  in
+  let mk_v op =
+    advance p;
+    EVCmp (op, a, range_expr p)
+  in
+  match cur p with
+  | L.TEq -> mk_g GEq
+  | L.TNe -> mk_g GNe
+  | L.TLt -> mk_g GLt
+  | L.TLe -> mk_g GLe
+  | L.TGt -> mk_g GGt
+  | L.TGe -> mk_g GGe
+  | L.TQName (None, "eq") -> mk_v VEq
+  | L.TQName (None, "ne") -> mk_v VNe
+  | L.TQName (None, "lt") -> mk_v VLt
+  | L.TQName (None, "le") -> mk_v VLe
+  | L.TQName (None, "gt") -> mk_v VGt
+  | L.TQName (None, "ge") -> mk_v VGe
+  | L.TQName (None, "is") ->
+      advance p;
+      ENCmp (NIs, a, range_expr p)
+  | L.TPrecedes ->
+      advance p;
+      ENCmp (NPrecedes, a, range_expr p)
+  | L.TFollows ->
+      advance p;
+      ENCmp (NFollows, a, range_expr p)
+  | _ -> a
+
+and range_expr p : expr =
+  let a = additive_expr p in
+  if at_kw p "to" then begin
+    advance p;
+    ERange (a, additive_expr p)
+  end
+  else a
+
+and additive_expr p : expr =
+  let a = ref (multiplicative_expr p) in
+  let rec loop () =
+    match cur p with
+    | L.TPlus ->
+        advance p;
+        a := EArith (Add, !a, multiplicative_expr p);
+        loop ()
+    | L.TMinus ->
+        advance p;
+        a := EArith (Sub, !a, multiplicative_expr p);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !a
+
+and multiplicative_expr p : expr =
+  let a = ref (union_expr p) in
+  let rec loop () =
+    match cur p with
+    | L.TStar ->
+        advance p;
+        a := EArith (Mul, !a, union_expr p);
+        loop ()
+    | L.TQName (None, "div") ->
+        advance p;
+        a := EArith (Div, !a, union_expr p);
+        loop ()
+    | L.TQName (None, "idiv") ->
+        advance p;
+        a := EArith (IDiv, !a, union_expr p);
+        loop ()
+    | L.TQName (None, "mod") ->
+        advance p;
+        a := EArith (Mod, !a, union_expr p);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !a
+
+and union_expr p : expr =
+  let a = ref (intersect_expr p) in
+  while cur p = L.TBar || at_kw p "union" do
+    advance p;
+    a := EUnion (!a, intersect_expr p)
+  done;
+  !a
+
+and intersect_expr p : expr =
+  let a = ref (cast_expr p) in
+  let rec loop () =
+    if at_kw p "intersect" then begin
+      advance p;
+      a := EIntersect (!a, cast_expr p);
+      loop ()
+    end
+    else if at_kw p "except" then begin
+      advance p;
+      a := EExcept (!a, cast_expr p);
+      loop ()
+    end
+  in
+  loop ();
+  !a
+
+and seqtype p : seqtype =
+  let base =
+    match cur p with
+    | L.TQName (None, "empty-sequence") ->
+        advance p;
+        expect p L.TLpar;
+        expect p L.TRpar;
+        None
+    | L.TQName (None, kt) when peek2 p = L.TLpar -> (
+        advance p;
+        expect p L.TLpar;
+        expect p L.TRpar;
+        match kt with
+        | "node" -> Some ITAnyNode
+        | "element" -> Some ITElement
+        | "attribute" -> Some ITAttribute
+        | "text" -> Some ITText
+        | "document-node" -> Some ITDocument
+        | "item" -> Some ITItem
+        | k -> error p "unsupported item type %s()" k)
+    | _ -> Some (ITAtomic (atomic_type_name_no_occ p))
+  in
+  match base with
+  | None -> STEmpty
+  | Some it ->
+      let occ =
+        match cur p with
+        | L.TQuestion ->
+            advance p;
+            OccOpt
+        | L.TStar ->
+            advance p;
+            OccStar
+        | L.TPlus ->
+            advance p;
+            OccPlus
+        | _ -> OccOne
+      in
+      STItems (it, occ)
+
+(* like [atomic_type_name] but without consuming '?', which is the
+   occurrence indicator handled by [seqtype] *)
+and atomic_type_name_no_occ p : atomic_type =
+  let ty =
+    match cur p with
+    | L.TQName (Some "xs", "string") -> Xdm.Atomic.TString
+    | L.TQName (Some "xs", "boolean") -> Xdm.Atomic.TBoolean
+    | L.TQName (Some "xs", ("integer" | "long" | "int")) -> Xdm.Atomic.TInteger
+    | L.TQName (Some "xs", "decimal") -> Xdm.Atomic.TDecimal
+    | L.TQName (Some "xs", ("double" | "float")) -> Xdm.Atomic.TDouble
+    | L.TQName (Some "xs", "date") -> Xdm.Atomic.TDate
+    | L.TQName (Some "xs", "dateTime") -> Xdm.Atomic.TDateTime
+    | L.TQName (Some ("xdt" | "xs"), "untypedAtomic") -> Xdm.Atomic.TUntyped
+    | t -> error p "expected an item type, found %s" (L.token_to_string t)
+  in
+  advance p;
+  ty
+
+and cast_expr p : expr =
+  let a = unary_expr p in
+  if at_kw p "instance" && peek2 p = L.TQName (None, "of") then begin
+    advance p;
+    advance p;
+    EInstanceOf (a, seqtype p)
+  end
+  else if at_kw p "cast" && peek2 p = L.TQName (None, "as") then begin
+    advance p;
+    advance p;
+    ECast (a, atomic_type_name p)
+  end
+  else if at_kw p "castable" && peek2 p = L.TQName (None, "as") then begin
+    advance p;
+    advance p;
+    ECastable (a, atomic_type_name p)
+  end
+  else a
+
+and unary_expr p : expr =
+  match cur p with
+  | L.TMinus ->
+      advance p;
+      ENeg (unary_expr p)
+  | L.TPlus ->
+      advance p;
+      unary_expr p
+  | _ -> path_expr p
+
+(* ---------------------------- paths ---------------------------- *)
+
+and path_expr p : expr =
+  let desc_step = SAxis { axis = DescOrSelf; test = Kind KAnyNode; preds = [] } in
+  match cur p with
+  | L.TSlash ->
+      advance p;
+      if starts_step p then EPath (Absolute, rel_steps p)
+      else EPath (Absolute, [])
+  | L.TSlashSlash ->
+      advance p;
+      EPath (Absolute, desc_step :: rel_steps p)
+  | _ ->
+      let steps = rel_steps p in
+      (* Unwrap a bare primary so that e.g. a literal is not an EPath. *)
+      (match steps with
+      | [ SExpr { expr; preds = [] } ] -> expr
+      | steps -> EPath (Relative, steps))
+
+and starts_step p =
+  match cur p with
+  | L.TQName _ | L.TStar | L.TNsStar _ | L.TStarLocal _ | L.TAt | L.TDot
+  | L.TDotDot | L.TDollar | L.TLpar | L.TString _ | L.TInteger _
+  | L.TDecimal _ | L.TDouble _ | L.TLt ->
+      true
+  | _ -> false
+
+and rel_steps p : step list =
+  let desc_step = SAxis { axis = DescOrSelf; test = Kind KAnyNode; preds = [] } in
+  let steps = ref [ step_expr p ] in
+  let rec loop () =
+    match cur p with
+    | L.TSlash ->
+        advance p;
+        steps := step_expr p :: !steps;
+        loop ()
+    | L.TSlashSlash ->
+        advance p;
+        steps := step_expr p :: desc_step :: !steps;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  List.rev !steps
+
+and predicates p : expr list =
+  let preds = ref [] in
+  while cur p = L.TLbrack do
+    advance p;
+    preds := expr_seq p :: !preds;
+    expect p L.TRbrack
+  done;
+  List.rev !preds
+
+and is_computed_ctor p =
+  (* "element name {", "element {", "attribute name {", "text {" *)
+  (at_kw p "element" || at_kw p "attribute")
+  && (match peek2 p with
+     | L.TQName _ | L.TLbrace -> true
+     | _ -> false)
+  || (at_kw p "text" && peek2 p = L.TLbrace)
+
+and computed_ctor p : expr =
+  let kind = match cur p with L.TQName (None, k) -> k | _ -> assert false in
+  advance p;
+  let static_name, name_expr =
+    match cur p with
+    | L.TQName (pr, local) when kind <> "text" ->
+        advance p;
+        ( Some (Xdm.Qname.make ~prefix:(Option.value pr ~default:"") ~uri:"" local),
+          None )
+    | L.TLbrace when kind <> "text" ->
+        advance p;
+        let e = expr_seq p in
+        expect p L.TRbrace;
+        (None, Some e)
+    | _ -> (None, None)
+  in
+  expect p L.TLbrace;
+  let body = if cur p = L.TRbrace then ESeq [] else expr_seq p in
+  expect p L.TRbrace;
+  match kind with
+  | "element" -> EElemComp { cn_static = static_name; cn_expr = name_expr; cbody = body }
+  | "attribute" -> EAttrComp { an_static = static_name; an_expr = name_expr; abody = body }
+  | _ -> ETextComp body
+
+and step_expr p : step =
+  if is_computed_ctor p then
+    SExpr { expr = computed_ctor p; preds = predicates p }
+  else
+  match cur p with
+  | L.TDotDot ->
+      advance p;
+      SAxis { axis = Parent; test = Kind KAnyNode; preds = predicates p }
+  | L.TAt ->
+      advance p;
+      let test = node_test p ~dflt_attr:true in
+      SAxis { axis = Attr; test; preds = predicates p }
+  | L.TQName (None, axname) when peek2 p = L.TAxisSep -> (
+      let axis =
+        match axname with
+        | "child" -> Child
+        | "descendant" -> Descendant
+        | "self" -> Self
+        | "descendant-or-self" -> DescOrSelf
+        | "attribute" -> Attr
+        | "parent" -> Parent
+        | a -> error p "unsupported axis %S" a
+      in
+      advance p;
+      advance p;
+      let test = node_test p ~dflt_attr:(axis = Attr) in
+      SAxis { axis; test; preds = predicates p })
+  | L.TQName (None, kt) when peek2 p = L.TLpar && is_kind_test_name kt ->
+      let test = kind_test p in
+      SAxis { axis = Child; test; preds = predicates p }
+  | L.TQName (_, _) when peek2 p = L.TLpar ->
+      (* function call used as a step *)
+      let e = primary p in
+      SExpr { expr = e; preds = predicates p }
+  | L.TQName _ | L.TStar | L.TNsStar _ | L.TStarLocal _ ->
+      let test = node_test p ~dflt_attr:false in
+      SAxis { axis = Child; test; preds = predicates p }
+  | _ ->
+      let e = primary p in
+      SExpr { expr = e; preds = predicates p }
+
+and is_kind_test_name = function
+  | "node" | "text" | "comment" | "processing-instruction" | "document-node"
+    ->
+      true
+  | _ -> false
+
+and kind_test p : nodetest =
+  match cur p with
+  | L.TQName (None, "node") ->
+      advance p;
+      expect p L.TLpar;
+      expect p L.TRpar;
+      Kind KAnyNode
+  | L.TQName (None, "text") ->
+      advance p;
+      expect p L.TLpar;
+      expect p L.TRpar;
+      Kind KText
+  | L.TQName (None, "comment") ->
+      advance p;
+      expect p L.TLpar;
+      expect p L.TRpar;
+      Kind KComment
+  | L.TQName (None, "document-node") ->
+      advance p;
+      expect p L.TLpar;
+      expect p L.TRpar;
+      Kind KDocument
+  | L.TQName (None, "processing-instruction") -> (
+      advance p;
+      expect p L.TLpar;
+      match cur p with
+      | L.TRpar ->
+          advance p;
+          Kind (KPi None)
+      | L.TQName (None, t) ->
+          advance p;
+          expect p L.TRpar;
+          Kind (KPi (Some t))
+      | L.TString t ->
+          advance p;
+          expect p L.TRpar;
+          Kind (KPi (Some t))
+      | t -> error p "bad processing-instruction test: %s" (L.token_to_string t))
+  | t -> error p "expected kind test, found %s" (L.token_to_string t)
+
+and node_test p ~dflt_attr : nodetest =
+  ignore dflt_attr;
+  match cur p with
+  | L.TQName (None, kt) when peek2 p = L.TLpar && is_kind_test_name kt ->
+      kind_test p
+  | L.TQName (pr, local) ->
+      advance p;
+      Name
+        (TName
+           (Xdm.Qname.make
+              ~prefix:(Option.value pr ~default:"")
+              ~uri:"" local))
+  | L.TStar ->
+      advance p;
+      Name TStar
+  | L.TNsStar prefix ->
+      advance p;
+      Name (TNsStar { prefix; uri = "" })
+  | L.TStarLocal local ->
+      advance p;
+      Name (TLocalStar local)
+  | t -> error p "expected node test, found %s" (L.token_to_string t)
+
+(* --------------------------- primaries -------------------------- *)
+
+and primary p : expr =
+  match cur p with
+  | L.TInteger i ->
+      advance p;
+      ELit (Xdm.Atomic.Integer i)
+  | L.TDecimal f ->
+      advance p;
+      ELit (Xdm.Atomic.Decimal f)
+  | L.TDouble f ->
+      advance p;
+      ELit (Xdm.Atomic.Double f)
+  | L.TString s ->
+      advance p;
+      ELit (Xdm.Atomic.Str s)
+  | L.TDollar -> EVar (var_name p)
+  | L.TDot ->
+      advance p;
+      EContext
+  | L.TLpar ->
+      advance p;
+      if cur p = L.TRpar then begin
+        advance p;
+        ESeq []
+      end
+      else begin
+        let e = expr_seq p in
+        expect p L.TRpar;
+        e
+      end
+  | L.TLt -> direct_constructor p
+  | L.TQName (pr, local) when peek2 p = L.TLpar ->
+      let prefix = Option.value pr ~default:"" in
+      advance p;
+      expect p L.TLpar;
+      let args = ref [] in
+      if cur p <> L.TRpar then begin
+        args := [ expr_single p ];
+        while cur p = L.TComma do
+          advance p;
+          args := expr_single p :: !args
+        done
+      end;
+      expect p L.TRpar;
+      let args = List.rev !args in
+      if is_cast_function prefix local then begin
+        match args with
+        | [ a ] -> ECast (a, cast_target prefix local)
+        | _ -> error p "type constructor %s:%s expects one argument" prefix local
+      end
+      else ECall { prefix; local; args }
+  | t -> error p "unexpected token %s" (L.token_to_string t)
+
+(* ------------------------ direct constructors ------------------- *)
+
+and direct_constructor p : expr =
+  (* The current token is TLt; re-read it at character level. *)
+  L.rewind_to_token_start p.lx;
+  let e = ctor_char_level p in
+  L.resume p.lx;
+  match predicates p with [] -> e | preds -> EPath (Relative, [ SExpr { expr = e; preds } ])
+
+and ctor_char_level p : expr =
+  cexpect p "<";
+  let raw = cname_raw p in
+  let prefix, local = split_prefix raw in
+  let attrs = ref [] in
+  let ns_decls = ref [] in
+  let rec attr_loop () =
+    cskip_space p;
+    match cpeek p with
+    | Some '/' | Some '>' -> ()
+    | Some c when L.is_name_start c ->
+        let aname = cname_raw p in
+        cskip_space p;
+        cexpect p "=";
+        cskip_space p;
+        let pieces = attr_value p in
+        (match split_prefix aname with
+        | "", "xmlns" ->
+            let uri =
+              match pieces with
+              | [ APText u ] -> u
+              | [] -> ""
+              | _ -> error p "xmlns value must be a literal"
+            in
+            ns_decls := ("", uri) :: !ns_decls
+        | "xmlns", pfx ->
+            let uri =
+              match pieces with
+              | [ APText u ] -> u
+              | _ -> error p "xmlns value must be a literal"
+            in
+            ns_decls := (pfx, uri) :: !ns_decls
+        | apfx, alocal ->
+            attrs :=
+              (Xdm.Qname.make ~prefix:apfx ~uri:"" alocal, pieces) :: !attrs);
+        attr_loop ()
+    | _ -> error p "constructor: malformed start tag"
+  in
+  attr_loop ();
+  let content =
+    if clooking_at p "/>" then begin
+      cadv p 2;
+      []
+    end
+    else begin
+      cexpect p ">";
+      let content = ctor_content p in
+      cexpect p "</";
+      let close = cname_raw p in
+      if close <> raw then
+        error p "constructor: mismatched </%s> for <%s>" close raw;
+      cskip_space p;
+      cexpect p ">";
+      content
+    end
+  in
+  EElem
+    {
+      cname = Xdm.Qname.make ~prefix ~uri:"" local;
+      cattrs = List.rev !attrs;
+      ccontent = content;
+      cns = List.rev !ns_decls;
+    }
+
+and attr_value p : attr_piece list =
+  let quote =
+    match cpeek p with
+    | Some (('"' | '\'') as q) ->
+        cadv p 1;
+        q
+    | _ -> error p "constructor: expected quoted attribute value"
+  in
+  let pieces = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      pieces := APText (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match cpeek p with
+    | None -> error p "constructor: unterminated attribute value"
+    | Some c when c = quote ->
+        if cpeek_at p 1 = Some quote then begin
+          Buffer.add_char buf quote;
+          cadv p 2;
+          go ()
+        end
+        else cadv p 1
+    | Some '{' ->
+        if cpeek_at p 1 = Some '{' then begin
+          Buffer.add_char buf '{';
+          cadv p 2;
+          go ()
+        end
+        else begin
+          flush ();
+          pieces := APExpr (enclosed_expr p) :: !pieces;
+          go ()
+        end
+    | Some '}' ->
+        if cpeek_at p 1 = Some '}' then begin
+          Buffer.add_char buf '}';
+          cadv p 2;
+          go ()
+        end
+        else error p "constructor: '}' in attribute value"
+    | Some '&' ->
+        creference p buf;
+        go ()
+    | Some c ->
+        Buffer.add_char buf (if L.is_space c then ' ' else c);
+        cadv p 1;
+        go ()
+  in
+  go ();
+  flush ();
+  List.rev !pieces
+
+(** Parse [{ exprSeq }] starting at the '{' character: prime the token
+    stream, parse, then return to character level just after '}'. *)
+and enclosed_expr p : expr =
+  (* current char is '{' *)
+  L.resume p.lx;
+  (* now the current token is TLbrace *)
+  if cur p <> L.TLbrace then error p "expected '{'";
+  advance p;
+  let e = expr_seq p in
+  if cur p <> L.TRbrace then
+    error p "expected '}' to close enclosed expression, found %s"
+      (L.token_to_string (cur p));
+  (* After seeing TRbrace, [p.lx.pos] is the character just after '}':
+     character-level parsing resumes there. *)
+  e
+
+and ctor_content p : content_piece list =
+  let pieces = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      (* boundary-space strip: drop whitespace-only text *)
+      let s = Buffer.contents buf in
+      if not (String.for_all L.is_space s) then
+        pieces := CPText s :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match cpeek p with
+    | None -> error p "constructor: unterminated content"
+    | Some '<' ->
+        if clooking_at p "</" then flush ()
+        else if clooking_at p "<!--" then begin
+          (* keep comments as text-free: skip them *)
+          cadv p 4;
+          while not (clooking_at p "-->") do
+            if cpeek p = None then error p "unterminated comment";
+            cadv p 1
+          done;
+          cadv p 3;
+          go ()
+        end
+        else begin
+          flush ();
+          pieces := CPExpr (ctor_char_level p) :: !pieces;
+          go ()
+        end
+    | Some '{' ->
+        if cpeek_at p 1 = Some '{' then begin
+          Buffer.add_char buf '{';
+          cadv p 2;
+          go ()
+        end
+        else begin
+          flush ();
+          pieces := CPExpr (enclosed_expr p) :: !pieces;
+          go ()
+        end
+    | Some '}' ->
+        if cpeek_at p 1 = Some '}' then begin
+          Buffer.add_char buf '}';
+          cadv p 2;
+          go ()
+        end
+        else error p "constructor: unescaped '}' in content"
+    | Some '&' ->
+        creference p buf;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        cadv p 1;
+        go ()
+  in
+  go ();
+  List.rev !pieces
+
+(* ------------------------------------------------------------------ *)
+(* Prolog and entry points                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prolog p : prolog =
+  let namespaces = ref [] in
+  let default_elem_ns = ref None in
+  let construction_preserve = ref false in
+  let rec loop () =
+    if at_kw p "declare" then begin
+      match peek2 p with
+      | L.TQName (None, "construction") ->
+          advance p;
+          advance p;
+          (if at_kw p "preserve" then begin
+             advance p;
+             construction_preserve := true
+           end
+           else if at_kw p "strip" then advance p
+           else error p "expected 'preserve' or 'strip'");
+          expect p L.TSemi;
+          loop ()
+      | L.TQName (None, "namespace") ->
+          advance p;
+          advance p;
+          let prefix =
+            match cur p with
+            | L.TQName (None, n) ->
+                advance p;
+                n
+            | t -> error p "expected namespace prefix, found %s" (L.token_to_string t)
+          in
+          expect p L.TEq;
+          let uri =
+            match cur p with
+            | L.TString s ->
+                advance p;
+                s
+            | t -> error p "expected namespace URI string, found %s" (L.token_to_string t)
+          in
+          expect p L.TSemi;
+          namespaces := (prefix, uri) :: !namespaces;
+          loop ()
+      | L.TQName (None, "default") ->
+          advance p;
+          advance p;
+          eat_kw p "element";
+          eat_kw p "namespace";
+          let uri =
+            match cur p with
+            | L.TString s ->
+                advance p;
+                s
+            | t -> error p "expected namespace URI string, found %s" (L.token_to_string t)
+          in
+          expect p L.TSemi;
+          default_elem_ns := Some uri;
+          loop ()
+      | _ -> ()
+    end
+  in
+  loop ();
+  {
+    namespaces = List.rev !namespaces;
+    default_elem_ns = !default_elem_ns;
+    construction_preserve = !construction_preserve;
+  }
+
+(** Parse a complete query (prolog + body). Raises [Xdm.Xerror.Error] with
+    code [XPST0003] on syntax errors. *)
+let parse_query (src : string) : query =
+  let p = { lx = L.init src } in
+  let prolog = prolog p in
+  let body = expr_seq p in
+  if cur p <> L.TEof then
+    error p "unexpected trailing token %s" (L.token_to_string (cur p));
+  { prolog; body }
+
+(** Parse a bare expression with no prolog. *)
+let parse_expr (src : string) : expr = (parse_query src).body

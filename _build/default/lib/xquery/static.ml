@@ -1,0 +1,224 @@
+(** Static analysis: namespace resolution and variable-scope checking.
+
+    Turns a parsed query into one where every name test, constructor name
+    and wildcard carries its expanded namespace URI. This is where the
+    paper's Section 3.7 semantics live:
+
+    - the *default element namespace* applies to unprefixed element name
+      tests and unprefixed constructed element names,
+    - it does **not** apply to attributes (so index [//@price] with no
+      namespace declarations matches price attributes regardless of the
+      element namespaces around them),
+    - an undeclared prefix is a static error [XPST0081]. *)
+
+open Ast
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type env = {
+  ns : string SMap.t;  (** prefix → uri *)
+  default_elem : string;
+  vars : SSet.t;
+}
+
+let predeclared =
+  SMap.of_seq
+    (List.to_seq
+       [
+         ("xml", "http://www.w3.org/XML/1998/namespace");
+         ("xs", "http://www.w3.org/2001/XMLSchema");
+         ("xsi", "http://www.w3.org/2001/XMLSchema-instance");
+         ("xdt", "http://www.w3.org/2005/xpath-datatypes");
+         ("fn", "http://www.w3.org/2005/xpath-functions");
+         ("local", "http://www.w3.org/2005/xquery-local-functions");
+         ("db2-fn", "http://www.ibm.com/xmlns/prod/db2/functions");
+         ("xqdb", "https://github.com/xqdb/extensions");
+       ])
+
+let env_of_prolog ?(external_vars = []) (pr : prolog) =
+  let ns =
+    List.fold_left
+      (fun m (p, u) -> SMap.add p u m)
+      predeclared pr.namespaces
+  in
+  {
+    ns;
+    default_elem = Option.value pr.default_elem_ns ~default:"";
+    vars = SSet.of_list external_vars;
+  }
+
+let resolve_prefix env prefix =
+  match SMap.find_opt prefix env.ns with
+  | Some uri -> uri
+  | None -> Xdm.Xerror.bad_prefix "undeclared namespace prefix %S" prefix
+
+(** Resolve a name test. [is_element] decides whether the default element
+    namespace applies to an unprefixed name. *)
+let resolve_nametest env ~is_element = function
+  | TName q when q.Xdm.Qname.prefix = "" ->
+      let uri = if is_element then env.default_elem else "" in
+      TName { q with Xdm.Qname.uri }
+  | TName q -> TName { q with Xdm.Qname.uri = resolve_prefix env q.Xdm.Qname.prefix }
+  | TStar -> TStar
+  | TNsStar { prefix; _ } -> TNsStar { prefix; uri = resolve_prefix env prefix }
+  | TLocalStar l -> TLocalStar l
+
+let resolve_nodetest env ~is_element = function
+  | Name n -> Name (resolve_nametest env ~is_element n)
+  | Kind k -> Kind k
+
+let rec resolve_expr env (e : expr) : expr =
+  match e with
+  | ELit _ | EContext -> e
+  | EVar v ->
+      if SSet.mem v env.vars then e
+      else Xdm.Xerror.undefined "undefined variable $%s" v
+  | ESeq es -> ESeq (List.map (resolve_expr env) es)
+  | EPath (start, steps) -> EPath (start, List.map (resolve_step env) steps)
+  | EFlwor (clauses, ret) ->
+      let env', clauses' = resolve_clauses env clauses in
+      EFlwor (clauses', resolve_expr env' ret)
+  | EQuant (q, binds, sat) ->
+      let env', binds' =
+        List.fold_left
+          (fun (env, acc) (v, e) ->
+            let e' = resolve_expr env e in
+            ({ env with vars = SSet.add v env.vars }, (v, e') :: acc))
+          (env, []) binds
+      in
+      EQuant (q, List.rev binds', resolve_expr env' sat)
+  | EIf (c, t, f) ->
+      EIf (resolve_expr env c, resolve_expr env t, resolve_expr env f)
+  | EAnd (a, b) -> EAnd (resolve_expr env a, resolve_expr env b)
+  | EOr (a, b) -> EOr (resolve_expr env a, resolve_expr env b)
+  | EGCmp (op, a, b) -> EGCmp (op, resolve_expr env a, resolve_expr env b)
+  | EVCmp (op, a, b) -> EVCmp (op, resolve_expr env a, resolve_expr env b)
+  | ENCmp (op, a, b) -> ENCmp (op, resolve_expr env a, resolve_expr env b)
+  | EArith (op, a, b) -> EArith (op, resolve_expr env a, resolve_expr env b)
+  | ENeg a -> ENeg (resolve_expr env a)
+  | ERange (a, b) -> ERange (resolve_expr env a, resolve_expr env b)
+  | EUnion (a, b) -> EUnion (resolve_expr env a, resolve_expr env b)
+  | EIntersect (a, b) -> EIntersect (resolve_expr env a, resolve_expr env b)
+  | EExcept (a, b) -> EExcept (resolve_expr env a, resolve_expr env b)
+  | ECall { prefix; local; args } ->
+      ECall { prefix; local; args = List.map (resolve_expr env) args }
+  | ECast (a, t) -> ECast (resolve_expr env a, t)
+  | ECastable (a, t) -> ECastable (resolve_expr env a, t)
+  | EInstanceOf (a, st) -> EInstanceOf (resolve_expr env a, st)
+  | EElem c -> EElem (resolve_ctor env c)
+  | EElemComp { cn_static; cn_expr; cbody } ->
+      let cn_static =
+        Option.map
+          (fun (q : Xdm.Qname.t) ->
+            if q.Xdm.Qname.prefix = "" then
+              { q with Xdm.Qname.uri = env.default_elem }
+            else { q with Xdm.Qname.uri = resolve_prefix env q.Xdm.Qname.prefix })
+          cn_static
+      in
+      EElemComp
+        {
+          cn_static;
+          cn_expr = Option.map (resolve_expr env) cn_expr;
+          cbody = resolve_expr env cbody;
+        }
+  | EAttrComp { an_static; an_expr; abody } ->
+      let an_static =
+        Option.map
+          (fun (q : Xdm.Qname.t) ->
+            if q.Xdm.Qname.prefix = "" then q
+            else { q with Xdm.Qname.uri = resolve_prefix env q.Xdm.Qname.prefix })
+          an_static
+      in
+      EAttrComp
+        {
+          an_static;
+          an_expr = Option.map (resolve_expr env) an_expr;
+          abody = resolve_expr env abody;
+        }
+  | ETextComp e -> ETextComp (resolve_expr env e)
+
+and resolve_step env = function
+  | SAxis { axis; test; preds } ->
+      let is_element = axis <> Attr in
+      SAxis
+        {
+          axis;
+          test = resolve_nodetest env ~is_element test;
+          preds = List.map (resolve_expr env) preds;
+        }
+  | SExpr { expr; preds } ->
+      SExpr { expr = resolve_expr env expr; preds = List.map (resolve_expr env) preds }
+
+and resolve_clauses env clauses =
+  let env, rev =
+    List.fold_left
+      (fun (env, acc) clause ->
+        match clause with
+        | CFor binds ->
+            let env', binds' =
+              List.fold_left
+                (fun (env, acc) (v, e) ->
+                  let e' = resolve_expr env e in
+                  ({ env with vars = SSet.add v env.vars }, (v, e') :: acc))
+                (env, []) binds
+            in
+            (env', CFor (List.rev binds') :: acc)
+        | CLet binds ->
+            let env', binds' =
+              List.fold_left
+                (fun (env, acc) (v, e) ->
+                  let e' = resolve_expr env e in
+                  ({ env with vars = SSet.add v env.vars }, (v, e') :: acc))
+                (env, []) binds
+            in
+            (env', CLet (List.rev binds') :: acc)
+        | CWhere e -> (env, CWhere (resolve_expr env e) :: acc)
+        | COrder keys ->
+            ( env,
+              COrder (List.map (fun (e, d) -> (resolve_expr env e, d)) keys)
+              :: acc ))
+      (env, []) clauses
+  in
+  (env, List.rev rev)
+
+and resolve_ctor env (c : ctor) : ctor =
+  (* xmlns attributes written on the constructor extend the namespace
+     environment for the constructor and its content. *)
+  let env =
+    List.fold_left
+      (fun env (prefix, uri) ->
+        if prefix = "" then { env with default_elem = uri }
+        else { env with ns = SMap.add prefix uri env.ns })
+      env c.cns
+  in
+  let resolve_name ~is_element q =
+    if q.Xdm.Qname.prefix = "" then
+      { q with Xdm.Qname.uri = (if is_element then env.default_elem else "") }
+    else { q with Xdm.Qname.uri = resolve_prefix env q.Xdm.Qname.prefix }
+  in
+  {
+    cname = resolve_name ~is_element:true c.cname;
+    cattrs =
+      List.map
+        (fun (q, pieces) ->
+          ( resolve_name ~is_element:false q,
+            List.map
+              (function
+                | APText _ as t -> t
+                | APExpr e -> APExpr (resolve_expr env e))
+              pieces ))
+        c.cattrs;
+    ccontent =
+      List.map
+        (function
+          | CPText _ as t -> t
+          | CPExpr e -> CPExpr (resolve_expr env e))
+        c.ccontent;
+    cns = c.cns;
+  }
+
+(** Resolve a full query. [external_vars] are variables bound by the host
+    (SQL/XML [PASSING] clauses). *)
+let resolve ?(external_vars = []) (q : query) : query =
+  let env = env_of_prolog ~external_vars q.prolog in
+  { q with body = resolve_expr env q.body }

@@ -1,0 +1,109 @@
+(** Lightweight per-document XML schemas.
+
+    The paper's schema story (Sections 1, 2.1, 3.1): schemas attach to
+    *documents*, not columns; different documents in one column may be
+    validated against different (even conflicting) schema versions, or not
+    validated at all. Validation annotates element/attribute nodes with
+    simple types, which changes comparison semantics (typed values) and
+    makes value comparisons like [price gt 100] legal where untyped data
+    would compare as strings.
+
+    A schema here is a list of (path pattern → simple type) annotation
+    rules — the part of XML Schema that matters for typing and indexing.
+    [xsi:type] on an element overrides the rule-derived type, implementing
+    the paper's "documents can use the xsi:type mechanism to dynamically
+    define the data type of the nodes". *)
+
+open Xdm
+
+type rule = { rpattern : Xmlindex.Pattern.t; rtype : Atomic.atomic_type }
+
+type t = { name : string; rules : rule list }
+
+exception Validation_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Validation_error m)) fmt
+
+let make name rules =
+  {
+    name;
+    rules =
+      List.map
+        (fun (pat, ty) -> { rpattern = Xmlindex.Pattern.of_string pat; rtype = ty })
+        rules;
+  }
+
+let xsi_ns = "http://www.w3.org/2001/XMLSchema-instance"
+
+let type_of_xsi_name s : Atomic.atomic_type option =
+  match String.trim s with
+  | "xs:string" | "xsd:string" -> Some Atomic.TString
+  | "xs:boolean" | "xsd:boolean" -> Some Atomic.TBoolean
+  | "xs:integer" | "xsd:integer" | "xs:int" | "xs:long" -> Some Atomic.TInteger
+  | "xs:decimal" | "xsd:decimal" -> Some Atomic.TDecimal
+  | "xs:double" | "xsd:double" | "xs:float" -> Some Atomic.TDouble
+  | "xs:date" | "xsd:date" -> Some Atomic.TDate
+  | "xs:dateTime" | "xsd:dateTime" -> Some Atomic.TDateTime
+  | _ -> None
+
+let xsi_type (n : Node.t) : Atomic.atomic_type option =
+  List.find_map
+    (fun (a : Node.t) ->
+      let q = Option.get a.Node.name in
+      if q.Qname.uri = xsi_ns && q.Qname.local = "type" then
+        type_of_xsi_name a.Node.content
+      else None)
+    n.Node.attrs
+
+(** Validate a document *in place*: annotate matching nodes, memoize their
+    typed values, raise [Validation_error] when a value does not conform.
+    Returns the number of nodes annotated. *)
+let validate (schema : t) (doc : Node.t) : int =
+  let count = ref 0 in
+  let annotate (n : Node.t) (ty : Atomic.atomic_type) =
+    let sv =
+      match n.Node.kind with
+      | Node.Attribute -> n.Node.content
+      | _ -> Node.string_value n
+    in
+    match Atomic.cast_opt (Atomic.Untyped sv) ty with
+    | Some v ->
+        n.Node.ann <- Node.SimpleType ty;
+        n.Node.typed <- Some [ v ];
+        incr count
+    | None ->
+        fail "schema %s: value %S of %s does not conform to %s" schema.name
+          sv
+          (match n.Node.name with
+          | Some q -> Qname.to_string q
+          | None -> Node.kind_to_string n.Node.kind)
+          (Atomic.type_name ty)
+  in
+  let visit (n : Node.t) =
+    match n.Node.kind with
+    | Node.Element | Node.Attribute -> (
+        match xsi_type n with
+        | Some ty -> annotate n ty
+        | None -> (
+            match
+              List.find_opt
+                (fun r -> Xmlindex.Pattern.matches_node r.rpattern n)
+                schema.rules
+            with
+            | Some r -> annotate n r.rtype
+            | None -> ()))
+    | _ -> ()
+  in
+  List.iter
+    (fun (n : Node.t) ->
+      visit n;
+      List.iter visit n.Node.attrs)
+    (Node.descendants_or_self doc);
+  !count
+
+(** Validation that reports instead of raising — for the schema-evolution
+    experiments where old schemas reject new documents. *)
+let validate_opt schema doc : (int, string) result =
+  match validate schema doc with
+  | n -> Ok n
+  | exception Validation_error m -> Error m

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Engine Item List Planner Printf Sqlxml String Workload Xdm Xerror Xmlparse Xquery

@@ -1,0 +1,1 @@
+test/t_advisor.ml: Alcotest Engine Helpers Lazy List Printf

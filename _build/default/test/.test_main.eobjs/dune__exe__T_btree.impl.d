@@ -1,0 +1,1 @@
+test/t_btree.ml: Alcotest Btree Hashtbl Helpers Int List Printf QCheck QCheck_alcotest

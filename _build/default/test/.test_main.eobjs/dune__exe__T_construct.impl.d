@@ -1,0 +1,1 @@
+test/t_construct.ml: Alcotest Helpers List Printf String

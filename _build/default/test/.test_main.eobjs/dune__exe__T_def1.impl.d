@@ -1,0 +1,1 @@
+test/t_def1.ml: Array Buffer Engine List Printf QCheck QCheck_alcotest Scanf Sqlxml Storage String Xdm Xmlparse

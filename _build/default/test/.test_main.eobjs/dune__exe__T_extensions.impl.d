@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Engine Helpers List Planner Printf Sqlxml Storage Xdm Xmlindex Xmlparse Xquery Xschema

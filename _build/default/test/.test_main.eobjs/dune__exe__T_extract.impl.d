@@ -1,0 +1,1 @@
+test/t_extract.ml: Alcotest Eligibility Engine Helpers List Planner Printf Workload Xmlindex Xquery

@@ -1,0 +1,1 @@
+test/t_misc.ml: Alcotest Btree Engine Helpers List Planner Printf String Xdm Xmlparse

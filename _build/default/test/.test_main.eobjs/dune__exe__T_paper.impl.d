@@ -1,0 +1,1 @@
+test/t_paper.ml: Alcotest Engine Helpers Lazy List Planner Sqlxml Storage Workload Xmlparse

@@ -1,0 +1,1 @@
+test/t_pattern.ml: Alcotest Gen Helpers List Option Printf QCheck QCheck_alcotest String Xdm Xmlindex Xmlparse

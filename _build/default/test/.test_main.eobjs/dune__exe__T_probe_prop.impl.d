@@ -1,0 +1,1 @@
+test/t_probe_prop.ml: Array Buffer Float List Printf QCheck QCheck_alcotest Storage Xdm Xmlindex Xmlparse

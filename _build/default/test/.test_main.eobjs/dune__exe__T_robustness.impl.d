@@ -1,0 +1,1 @@
+test/t_robustness.ml: Alcotest Engine Helpers List Planner Printf Sqlxml Xmlparse

@@ -1,0 +1,1 @@
+test/t_sqlxml.ml: Alcotest Engine Helpers List Printf Sqlxml Storage Xdm Xmlparse

@@ -1,0 +1,1 @@
+test/t_storage.ml: Alcotest Helpers List Result Storage Xdm Xmlparse Xquery Xschema

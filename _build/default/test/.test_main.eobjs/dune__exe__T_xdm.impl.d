@@ -1,0 +1,1 @@
+test/t_xdm.ml: Alcotest Atomic Helpers Item List Node Option Qname Xdate Xdm

@@ -1,0 +1,1 @@
+test/t_xindex.ml: Alcotest Helpers Int64 List Option Printf Storage Xdm Xmlindex

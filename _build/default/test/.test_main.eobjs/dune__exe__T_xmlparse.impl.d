@@ -1,0 +1,1 @@
+test/t_xmlparse.ml: Alcotest Buffer Helpers List Node Option QCheck QCheck_alcotest Qname Xdm Xmlparse

@@ -1,0 +1,1 @@
+test/t_xquery.ml: Alcotest Helpers

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_advisor T_btree T_construct T_def1 T_extensions T_extract T_misc T_paper T_pattern T_probe_prop T_robustness T_sqlxml T_storage T_xdm T_xindex T_xmlparse T_xquery

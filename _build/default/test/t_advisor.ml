@@ -1,0 +1,173 @@
+(** The codified Tips 1–12 advisor: each tip must fire on the paper's
+    "bad" query and stay silent on the "good" rewrite. *)
+
+open Helpers
+
+let mk_db () =
+  let db = paper_db ~n_orders:10 () in
+  ignore
+    (Engine.sql db
+       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+        '//lineitem/@price' AS DOUBLE");
+  ignore
+    (Engine.sql db
+       "CREATE INDEX price_el ON orders(orddoc) USING XMLPATTERN '//price' \
+        AS VARCHAR(30)");
+  db
+
+let db = lazy (mk_db ())
+
+let tips db src = List.map (fun a -> a.Engine.Advisor.tip) (Engine.advise db src)
+
+let fires t src () =
+  let db = Lazy.force db in
+  check Alcotest.bool
+    (Printf.sprintf "tip %d fires" t)
+    true
+    (List.mem t (tips db src))
+
+let silent t src () =
+  let db = Lazy.force db in
+  check Alcotest.bool
+    (Printf.sprintf "tip %d silent" t)
+    false
+    (List.mem t (tips db src))
+
+let advisor_tests =
+  [
+    tc "Tip 1 fires on cast-less join (Query 4 without casts)"
+      (fires 1
+         "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order for $j in \
+          db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer where $i/custid = \
+          $j/id return $i");
+    tc "Tip 1 silent with casts (Query 4)"
+      (silent 1
+         "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order for $j in \
+          db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer where \
+          $i/custid/xs:double(.) = $j/id/xs:double(.) return $i");
+    tc "Tip 2 fires on select-list XMLQuery with predicates (Query 5)"
+      (fires 2
+         "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc \
+          as \"order\") FROM orders");
+    tc "Tip 2 silent when an XMLExists filter exists (Query 10)"
+      (silent 2
+         "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc \
+          as \"order\") FROM orders WHERE XMLExists('$order \
+          //lineitem[@price > 100]' passing orddoc as \"order\")");
+    tc "Tip 3 fires on boolean XMLExists (Query 9)"
+      (fires 3
+         "SELECT ordid FROM orders WHERE XMLExists('$order \
+          //lineitem/@price > 100' passing orddoc as \"order\")");
+    tc "Tip 3 silent on node-returning XMLExists (Query 8)"
+      (silent 3
+         "SELECT ordid FROM orders WHERE XMLExists('$order \
+          //lineitem[@price > 100]' passing orddoc as \"order\")");
+    tc "Tip 4 fires on predicate in COLUMNS PATH (Query 12)"
+      (fires 4
+         "SELECT o.ordid, t.price FROM orders o, XMLTable('$order \
+          //lineitem' passing o.orddoc as \"order\" COLUMNS \"price\" \
+          DECIMAL(6,3) PATH '@price[. > 100]') as t(price)");
+    tc "Tip 4 silent when predicate is in the row producer (Query 11)"
+      (silent 4
+         "SELECT o.ordid, t.li FROM orders o, XMLTable('$order \
+          //lineitem[@price > 100]' passing o.orddoc as \"order\" COLUMNS \
+          \"li\" XML BY REF PATH '.') as t(li)");
+    tc "Tip 5 fires on mixed SQL/XML join via XMLCast (Query 14)"
+      (fires 5
+         "SELECT p.name FROM products p, orders o WHERE p.id = \
+          XMLCast(XMLQuery('$order//lineitem/product/id' passing o.orddoc \
+          as \"order\") as VARCHAR(13))");
+    tc "Tip 6 fires on double-XMLCast join (Query 15)"
+      (fires 6
+         "SELECT c.cid FROM orders o, customer c WHERE \
+          XMLCast(XMLQuery('$order/order/custid' passing o.orddoc as \
+          \"order\") as DOUBLE) = XMLCast(XMLQuery('$cust/customer/id' \
+          passing c.cdoc as \"cust\") as DOUBLE)");
+    tc "Tips 5/6 silent on XQuery-side join (Query 16)"
+      (fun () ->
+        let db = Lazy.force db in
+        let ts =
+          tips db
+            "SELECT c.cid FROM orders o, customer c WHERE \
+             XMLExists('$order/order[custid/xs:double(.) = \
+             $cust/customer/id/xs:double(.)]' passing o.orddoc as \
+             \"order\", c.cdoc as \"cust\")"
+        in
+        check Alcotest.bool "silent" false (List.mem 5 ts || List.mem 6 ts));
+    tc "Tip 7 fires on constructor-wrapped predicate (Query 19)"
+      (fires 7
+         "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+          <result>{$ord/lineitem[@price > 100]}</result>");
+    tc "Tip 7 silent on bare return path (Query 22)"
+      (silent 7
+         "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+          $ord/lineitem[@price > 100]");
+    tc "Tip 8 fires on absolute path over constructed element (Query 25)"
+      (fires 8
+         "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+          /order[custid > 1001]}</neworder> return $order[//customer/name]");
+    tc "Tip 9 fires on predicates over a constructed view (Query 26)"
+      (fires 9
+         "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+          /order/lineitem return <item><pid>{$i/product/id/data(.)}</pid>\
+          </item> for $j in $view where $j/pid = '17' return $j");
+    tc "Tip 9 silent on the base-collection rewrite (Query 27)"
+      (silent 9
+         "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem where \
+          $i/product/id/data(.) = '17' return $i/product");
+    tc "Tip 11 fires on /text() misalignment (Query 29)"
+      (fun () ->
+        let db = Lazy.force db in
+        let ts =
+          tips db
+            "for $ord in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+             /order[lineitem/price/text() = \"99.50\"] return $ord"
+        in
+        check Alcotest.bool "tip 11" true (List.mem 11 ts));
+    tc "Tip 10 fires on namespace-only mismatch" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE customer (cid integer, cdoc XML)");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX c_nation ON customer(cdoc) USING XMLPATTERN \
+              '//nation' AS DOUBLE");
+        let ts =
+          List.map
+            (fun a -> a.Engine.Advisor.tip)
+            (Engine.advise db
+               "declare namespace c=\"http://ournamespaces.com/customer\"; \
+                db2-fn:xmlcolumn('CUSTOMER.CDOC')/c:customer[c:nation = 1]")
+        in
+        check Alcotest.bool "tip 10" true (List.mem 10 ts));
+    tc "Tip 12 fires when only a //* index exists for an attribute \
+        predicate" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX broad ON orders(orddoc) USING XMLPATTERN '//*' \
+              AS VARCHAR(50)");
+        let ts =
+          List.map
+            (fun a -> a.Engine.Advisor.tip)
+            (Engine.advise db
+               "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \
+                \"100\"]")
+        in
+        check Alcotest.bool "tip 12" true (List.mem 12 ts));
+    tc "Section 3.10 advice fires on unmergeable between"
+      (fires 13
+         "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/price > 100 \
+          and lineitem/price < 200]");
+    tc "Section 3.10 advice silent on attribute between (Query 30)"
+      (silent 13
+         "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem[@price > 100 \
+          and @price < 200]]");
+    tc "clean query gets no advice" (fun () ->
+        let db = Lazy.force db in
+        check Alcotest.(list int) "none" []
+          (tips db
+             "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]"));
+  ]
+
+let suite = [ ("advisor:tips", advisor_tests) ]

@@ -1,0 +1,147 @@
+(** B+Tree unit tests and model-based property tests. *)
+
+open Helpers
+
+module IB = Btree.Make (Int)
+
+let unit_tests =
+  [
+    tc "insert and find" (fun () ->
+        let t = IB.create () in
+        IB.insert t 5 "five";
+        IB.insert t 3 "three";
+        check Alcotest.(option string) "find 3" (Some "three") (IB.find_opt t 3);
+        check Alcotest.(option string) "find 9" None (IB.find_opt t 9));
+    tc "replace on duplicate key" (fun () ->
+        let t = IB.create () in
+        IB.insert t 1 "a";
+        IB.insert t 1 "b";
+        check Alcotest.int "size" 1 (IB.size t);
+        check Alcotest.(option string) "v" (Some "b") (IB.find_opt t 1));
+    tc "many inserts stay sorted" (fun () ->
+        let t = IB.create ~order:4 () in
+        List.iter (fun k -> IB.insert t k k) [ 9; 1; 8; 2; 7; 3; 6; 4; 5; 0 ];
+        check
+          Alcotest.(list int)
+          "keys" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+          (List.map fst (IB.to_list t)));
+    tc "range scan inclusive/exclusive bounds" (fun () ->
+        let t = IB.create ~order:4 () in
+        for k = 0 to 20 do IB.insert t k () done;
+        let keys lo hi = List.map fst (IB.range t ~lo ~hi) in
+        check Alcotest.(list int) "incl" [ 5; 6; 7 ]
+          (keys (IB.Incl 5) (IB.Incl 7));
+        check Alcotest.(list int) "excl" [ 6 ] (keys (IB.Excl 5) (IB.Excl 7));
+        check Alcotest.(list int) "open hi" [ 19; 20 ]
+          (keys (IB.Incl 19) IB.Unbounded));
+    tc "delete leaf entries" (fun () ->
+        let t = IB.create ~order:4 () in
+        for k = 0 to 50 do IB.insert t k () done;
+        for k = 10 to 40 do
+          check Alcotest.bool "deleted" true (IB.delete t k)
+        done;
+        check Alcotest.bool "gone" false (IB.delete t 20);
+        check Alcotest.int "size" 20 (IB.size t);
+        ignore (IB.check t));
+    tc "delete everything" (fun () ->
+        let t = IB.create ~order:4 () in
+        for k = 0 to 100 do IB.insert t k () done;
+        for k = 0 to 100 do ignore (IB.delete t k) done;
+        check Alcotest.int "size" 0 (IB.size t);
+        ignore (IB.check t));
+    tc "sequential and reverse insertion keep invariants" (fun () ->
+        let t = IB.create ~order:4 () in
+        for k = 0 to 500 do IB.insert t k () done;
+        ignore (IB.check t);
+        let t2 = IB.create ~order:4 () in
+        for k = 500 downto 0 do IB.insert t2 k () done;
+        ignore (IB.check t2));
+    tc "order below 4 rejected" (fun () ->
+        match IB.create ~order:2 () with
+        | _ -> Alcotest.fail "should reject"
+        | exception Invalid_argument _ -> ());
+    tc "iteration visits in order" (fun () ->
+        let t = IB.create ~order:4 () in
+        List.iter (fun k -> IB.insert t k ()) [ 5; 1; 4; 2; 3 ];
+        let acc = ref [] in
+        IB.iter t (fun k () -> acc := k :: !acc);
+        check Alcotest.(list int) "order" [ 1; 2; 3; 4; 5 ] (List.rev !acc));
+    tc "fold_range over empty tree" (fun () ->
+        let t = IB.create () in
+        check Alcotest.int "0" 0
+          (IB.fold_range t ~lo:IB.Unbounded ~hi:IB.Unbounded
+             (fun acc _ _ -> acc + 1)
+             0));
+  ]
+
+(* ---------------- model-based property tests ---------------- *)
+
+type op = Ins of int | Del of int
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (frequency
+         [
+           (3, map (fun k -> Ins k) (int_bound 100));
+           (2, map (fun k -> Del k) (int_bound 100));
+         ]))
+
+let arb_ops =
+  QCheck.make gen_ops
+    ~print:
+      (QCheck.Print.list (function
+        | Ins k -> Printf.sprintf "Ins %d" k
+        | Del k -> Printf.sprintf "Del %d" k))
+
+let run_model ops =
+  let t = IB.create ~order:4 () in
+  let model = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      match op with
+      | Ins k ->
+          IB.insert t k k;
+          Hashtbl.replace model k k
+      | Del k ->
+          let in_model = Hashtbl.mem model k in
+          let deleted = IB.delete t k in
+          if deleted <> in_model then failwith "delete result mismatch";
+          Hashtbl.remove model k)
+    ops;
+  (t, model)
+
+let prop_model =
+  QCheck.Test.make ~name:"btree contents match a map model" ~count:300 arb_ops
+    (fun ops ->
+      let t, model = run_model ops in
+      let expected =
+        Hashtbl.fold (fun k _ acc -> k :: acc) model [] |> List.sort compare
+      in
+      List.map fst (IB.to_list t) = expected)
+
+let prop_invariants =
+  QCheck.Test.make ~name:"btree invariants hold under random ops" ~count:300
+    arb_ops (fun ops ->
+      let t, model = run_model ops in
+      IB.check t = Hashtbl.length model)
+
+let prop_range =
+  QCheck.Test.make ~name:"range scans agree with model filtering" ~count:300
+    QCheck.(pair arb_ops (pair (int_bound 100) (int_bound 100)))
+    (fun (ops, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let t, model = run_model ops in
+      let expected =
+        Hashtbl.fold (fun k _ acc -> if k >= lo && k <= hi then k :: acc else acc) model []
+        |> List.sort compare
+      in
+      List.map fst (IB.range t ~lo:(IB.Incl lo) ~hi:(IB.Incl hi)) = expected)
+
+let suite =
+  [
+    ("btree:unit", unit_tests);
+    ( "btree:props",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_model; prop_invariants; prop_range ] );
+  ]

@@ -1,0 +1,149 @@
+(** Element construction semantics — the paper's Section 3.6 rules and its
+    five rewrite-blocking divergences between Query 26 (view) and
+    Query 27 (base collection). *)
+
+open Helpers
+
+let eval_str ?collections src expected =
+  check Alcotest.string src expected (xq_str ?collections src)
+
+let basic_tests =
+  [
+    tc "construction is nondeterministic: <a>5</a> is <a>5</a> = false"
+      (fun () -> eval_str "<a>5</a> is <a>5</a>" "false");
+    tc "atomics joined with a single space" (fun () ->
+        eval_str "<a>{1, 2, 3}</a>" "<a>1 2 3</a>");
+    tc "adjacent enclosed expressions do not get a space" (fun () ->
+        eval_str "<a>{1}{2}</a>" "<a>12</a>");
+    tc "literal text breaks atomic adjacency" (fun () ->
+        eval_str "<a>x{1,2}y</a>" "<a>x1 2y</a>");
+    tc "attribute from enclosed expression" (fun () ->
+        eval_str "<a b=\"{1+1}\"/>" "<a b=\"2\"/>");
+    tc "attribute value with multiple atomics" (fun () ->
+        eval_str "<a b=\"{(1,2)}\"/>" "<a b=\"1 2\"/>");
+    tc "copied content gets fresh identities" (fun () ->
+        eval_str
+          "let $x := <inner/> let $w := <w>{$x}</w> return $w/inner is $x"
+          "false");
+    tc "constructed element is untyped even when source was typed" (fun () ->
+        (* data() of copy is untypedAtomic: compares as string *)
+        eval_str "<c>{data(<a>10</a>)}</c> = \"10\"" "true");
+    tc "duplicate literal attributes raise XQDY0025" (fun () ->
+        (* two attribute nodes with the same name via content *)
+        expect_error "XQDY0025" (fun () ->
+            xq
+              "let $a := <x p=\"1\"/> return <y>{$a/@p, $a/@p}</y>"));
+    tc "attribute nodes in content become attributes" (fun () ->
+        eval_str "let $a := <x p=\"7\"/> return <y>{$a/@p}</y>"
+          "<y p=\"7\"/>");
+    tc "attribute after content raises XQTY0024" (fun () ->
+        expect_error "XQTY0024" (fun () ->
+            xq "let $a := <x p=\"1\"/> return <y>text{$a/@p}</y>"));
+    tc "document node content copies children" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<r>t</r>" ]) ]
+          "<w>{db2-fn:xmlcolumn('C.D')}</w>" "<w><r>t</r></w>");
+    tc "boundary whitespace is stripped" (fun () ->
+        eval_str "<a>  {1}  </a>" "<a>1</a>");
+    tc "escaped braces" (fun () -> eval_str "<a>{{x}}</a>" "<a>{x}</a>");
+    tc "nested constructors" (fun () ->
+        eval_str "<a><b>{1+1}</b></a>" "<a><b>2</b></a>");
+    tc "constructor with namespace declaration" (fun () ->
+        eval_str "<a xmlns=\"urn:n\"><b/></a>"
+          "<a xmlns=\"urn:n\"><b/></a>");
+  ]
+
+(* The view of the paper's Query 26. *)
+let view_prefix =
+  {|let $view :=
+      for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem
+      return <item quantity="{$i/@quantity}" price="{$i/product/@price}">
+               <pid>{ $i/product/id/data(.) }</pid>
+             </item>
+    |}
+
+let q26_collections ~ids ~price =
+  let id_elems = String.concat "" (List.map (fun i -> "<id>" ^ i ^ "</id>") ids) in
+  [
+    ( "ORDERS.ORDDOC",
+      [
+        Printf.sprintf
+          {|<order><lineitem quantity="2"><product price="%s">%s</product></lineitem></order>|}
+          price id_elems;
+      ] );
+  ]
+
+let divergence_tests =
+  [
+    tc "3.6(1): untypedAtomic pid compares as string where typed id errors"
+      (fun () ->
+        (* the view's <pid> is untyped: = '17' works *)
+        eval_str
+          ~collections:(q26_collections ~ids:[ "17" ] ~price:"5")
+          (view_prefix
+         ^ "for $j in $view where $j/pid = '17' return $j/@price/data(.)")
+          "5";
+        (* on the base collection with a *numeric* type annotation the same
+           string comparison is a type error; emulate with xs:integer cast *)
+        expect_error "XPTY0004" (fun () ->
+            xq
+              ~collections:(q26_collections ~ids:[ "17" ] ~price:"5")
+              "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+               where $i/product/id/xs:integer(.) = '17' return $i"));
+    tc "3.6(3): multiple ids concatenate in the view" (fun () ->
+        (* view matches 'p1 p2'; base query does not *)
+        eval_str
+          ~collections:(q26_collections ~ids:[ "p1"; "p2" ] ~price:"9")
+          (view_prefix
+         ^ "return count(for $j in $view where $j/pid = 'p1 p2' return $j)")
+          "1";
+        eval_str
+          ~collections:(q26_collections ~ids:[ "p1"; "p2" ] ~price:"9")
+          "count(for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+           where $i/product/id/data(.) = 'p1 p2' return $i)"
+          "0");
+    tc "3.6(3) converse: base matches 'p2', view does not" (fun () ->
+        eval_str
+          ~collections:(q26_collections ~ids:[ "p1"; "p2" ] ~price:"9")
+          "count(for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem \
+           where $i/product/id/data(.) = 'p2' return $i)"
+          "1";
+        eval_str
+          ~collections:(q26_collections ~ids:[ "p1"; "p2" ] ~price:"9")
+          (view_prefix
+         ^ "return count(for $j in $view where $j/pid = 'p2' return $j)")
+          "0");
+    tc "3.6(5): node identity — view attrs 'except' base attrs keeps all"
+      (fun () ->
+        eval_str
+          ~collections:(q26_collections ~ids:[ "17" ] ~price:"5")
+          (view_prefix
+         ^ "return count($view/@price except \
+            db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem/product/@price)")
+          "1");
+    tc "Query 24: constructed element has no extra document level" (fun () ->
+        eval_str
+          ~collections:(q26_collections ~ids:[ "17" ] ~price:"5")
+          "count(for $ord in (for $o in \
+           db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+           <my_order>{$o/*}</my_order>) return $ord/my_order)"
+          "0");
+    tc "Query 25: absolute path under constructed element is a type error"
+      (fun () ->
+        expect_error "XPTY0004" (fun () ->
+            xq
+              ~collections:(q26_collections ~ids:[ "17" ] ~price:"5")
+              "let $order := <neworder>{db2-fn:xmlcolumn('ORDERS.ORDDOC')/order}</neworder> \
+               return $order[//customer/name]"));
+    tc "Query 23: leading step from document node matches root element"
+      (fun () ->
+        eval_str
+          ~collections:(q26_collections ~ids:[ "17" ] ~price:"5")
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem)" "1");
+  ]
+
+let suite =
+  [
+    ("construct:basics", basic_tests);
+    ("construct:divergences", divergence_tests);
+  ]

@@ -1,0 +1,351 @@
+(** Extension features: construction modes (paper §4's "small but
+    fundamental changes ... can alleviate 3.6"), added functions, SQL
+    ORDER BY / FETCH FIRST. *)
+
+open Helpers
+
+let eval_str ?collections src expected =
+  check Alcotest.string src expected (xq_str ?collections src)
+
+let construction_mode_tests =
+  [
+    tc "strip mode (default): copied typed node loses its annotation"
+      (fun () ->
+        (* typed source: validated price; copy compares as untyped/string *)
+        let doc = parse_doc "<a><price>10</price></a>" in
+        let s = Xschema.make "s" [ ("//price", Xdm.Atomic.TDouble) ] in
+        ignore (Xschema.validate s doc);
+        let resolver _ = [ Xdm.Item.N doc ] in
+        let r =
+          Xquery.Eval.run_string ~resolver
+            "<w>{db2-fn:xmlcolumn('X.Y')//price}</w>/price = \"10\""
+        in
+        (* untypedAtomic "10" vs string "10": equal as strings *)
+        check Alcotest.string "strip: string equal" "true"
+          (Xmlparse.Xml_writer.seq_to_string r));
+    tc "preserve mode keeps the double annotation through copy" (fun () ->
+        let doc = parse_doc "<a><price>10</price></a>" in
+        let s = Xschema.make "s" [ ("//price", Xdm.Atomic.TDouble) ] in
+        ignore (Xschema.validate s doc);
+        let resolver _ = [ Xdm.Item.N doc ] in
+        (* under preserve, the copied price is xs:double: a string
+           comparison is a type error — the §3.6(1) divergence vanishes
+           because view and base now behave the SAME *)
+        expect_error "XPTY0004" (fun () ->
+            Xquery.Eval.run_string ~resolver
+              "declare construction preserve; \
+               <w>{db2-fn:xmlcolumn('X.Y')//price}</w>/price = \"10\"");
+        let r =
+          Xquery.Eval.run_string ~resolver
+            "declare construction preserve; \
+             <w>{db2-fn:xmlcolumn('X.Y')//price}</w>/price = 10"
+        in
+        check Alcotest.string "numeric equal" "true"
+          (Xmlparse.Xml_writer.seq_to_string r));
+    tc "declare construction strip parses too" (fun () ->
+        eval_str "declare construction strip; <a>{1}</a>" "<a>1</a>");
+  ]
+
+let function_tests =
+  [
+    tc "substring/3" (fun () ->
+        eval_str "substring('motor car', 6, 3)" " ca";
+        eval_str "substring('abcd', 2, 100)" "bcd");
+    tc "translate" (fun () ->
+        eval_str "translate('bar', 'abc', 'ABC')" "BAr";
+        eval_str "translate('--aaa--', '-', '')" "aaa");
+    tc "deep-equal on equal structure, different identity" (fun () ->
+        eval_str "deep-equal(<a x=\"1\"><b>t</b></a>, <a x=\"1\"><b>t</b></a>)"
+          "true");
+    tc "deep-equal detects differences" (fun () ->
+        eval_str "deep-equal(<a x=\"1\"/>, <a x=\"2\"/>)" "false";
+        eval_str "deep-equal((1, 2), (1, 3))" "false";
+        eval_str "deep-equal((1, 2), (1, 2, 3))" "false");
+    tc "deep-equal mixes numeric promotion" (fun () ->
+        eval_str "deep-equal((1, 2.0), (1.0, 2))" "true");
+    tc "round-half-to-even" (fun () ->
+        eval_str "round-half-to-even(2.5)" "2";
+        eval_str "round-half-to-even(3.5)" "4";
+        eval_str "round-half-to-even(2.4)" "2");
+  ]
+
+let sql_order_tests =
+  [
+    tc "ORDER BY ascending and descending" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, s varchar(10))");
+        ignore
+          (Engine.sql db
+             "INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b')");
+        let col r = List.map List.hd r.Sqlxml.Sql_exec.rrows in
+        check Alcotest.bool "asc" true
+          (col (Engine.sql db "SELECT a FROM t ORDER BY a")
+          = [ Storage.Sql_value.Int 1L; Storage.Sql_value.Int 2L;
+              Storage.Sql_value.Int 3L ]);
+        check Alcotest.bool "desc" true
+          (col (Engine.sql db "SELECT a FROM t ORDER BY a DESC")
+          = [ Storage.Sql_value.Int 3L; Storage.Sql_value.Int 2L;
+              Storage.Sql_value.Int 1L ]));
+    tc "ORDER BY puts NULLs last ascending" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (Engine.sql db "INSERT INTO t VALUES (2), (NULL), (1)");
+        let r = Engine.sql db "SELECT a FROM t ORDER BY a" in
+        check Alcotest.bool "nulls last" true
+          (List.map List.hd r.Sqlxml.Sql_exec.rrows
+          = [ Storage.Sql_value.Int 1L; Storage.Sql_value.Int 2L;
+              Storage.Sql_value.Null ]));
+    tc "FETCH FIRST n ROWS ONLY" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        for i = 1 to 20 do
+          ignore (Engine.sql db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+        done;
+        check Alcotest.int "limited" 5
+          (sql_count db "SELECT a FROM t ORDER BY a DESC FETCH FIRST 5 ROWS ONLY");
+        check Alcotest.int "limit synonym" 3
+          (sql_count db "SELECT a FROM t LIMIT 3"));
+    tc "ORDER BY an XMLCast key" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore
+          (Engine.sql db
+             "INSERT INTO t VALUES (1, '<v>30</v>'), (2, '<v>7</v>')");
+        let r =
+          Engine.sql db
+            "SELECT a FROM t ORDER BY XMLCast(XMLQuery('$d/v' passing d as \
+             \"d\") as DOUBLE)"
+        in
+        check Alcotest.bool "order by xml value" true
+          (List.map List.hd r.Sqlxml.Sql_exec.rrows
+          = [ Storage.Sql_value.Int 2L; Storage.Sql_value.Int 1L ]));
+  ]
+
+let cost_tests =
+  [
+    tc "planner prefers the narrower (smaller) eligible index" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 100 (fun i ->
+               Printf.sprintf
+                 "<a><b p=\"%d\"/><c q=\"%d\" r=\"%d\" s=\"%d\"/></a>" i i i i));
+        (* broad index holds 4x the entries of the narrow one *)
+        ignore
+          (Engine.sql db
+             "CREATE INDEX broad ON t(d) USING XMLPATTERN '//@*' AS DOUBLE");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX narrow ON t(d) USING XMLPATTERN '//b/@p' AS DOUBLE");
+        let plan = assert_def1 db "db2-fn:xmlcolumn('T.D')//a[b/@p = 5]" in
+        check Alcotest.(list string) "narrow chosen" [ "narrow" ]
+          plan.Planner.indexes_used);
+  ]
+
+let computed_ctor_tests =
+  [
+    tc "computed element with static name" (fun () ->
+        eval_str "element out { 1 + 1 }" "<out>2</out>");
+    tc "computed element with dynamic name" (fun () ->
+        eval_str "element { concat('a', 'b') } { 'x' }" "<ab>x</ab>");
+    tc "computed attribute attaches in content" (fun () ->
+        eval_str "element o { attribute n { 1+1 }, 'body' }"
+          "<o n=\"2\">body</o>");
+    tc "computed text node" (fun () ->
+        eval_str "element o { text { (1, 2) } }" "<o>1 2</o>");
+    tc "standalone computed attribute has fresh identity" (fun () ->
+        eval_str "attribute p { 5 } is attribute p { 5 }" "false");
+    tc "computed constructors also block indexing (Tip 7 family)" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        let plan =
+          assert_def1 db
+            "for $x in db2-fn:xmlcolumn('T.D')/a return element r {              $x/b[. > 20] }"
+        in
+        check Alcotest.(list string) "no index" [] plan.Planner.indexes_used);
+  ]
+
+let delete_tests =
+  [
+    tc "DELETE removes rows and maintains indexes" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ip ON t(d) USING XMLPATTERN '//@p' AS DOUBLE");
+        for i = 1 to 20 do
+          ignore
+            (Engine.sql db
+               (Printf.sprintf "INSERT INTO t VALUES (%d, '<x p=\"%d\"/>')" i i))
+        done;
+        let r = Engine.sql db "DELETE FROM t WHERE a > 10" in
+        check Alcotest.bool "10 deleted" true
+          (List.hd (List.hd r.Sqlxml.Sql_exec.rrows) = Storage.Sql_value.Int 10L);
+        check Alcotest.int "10 remain" 10 (sql_count db "SELECT a FROM t");
+        (* the index must have dropped the deleted entries too *)
+        let idx = List.hd (Engine.xml_indexes db) in
+        check Alcotest.int "index entries" 10 (Xmlindex.Xindex.entry_count idx);
+        (* and an indexed query over the survivors is still Definition-1 *)
+        let plan =
+          assert_def1 db "db2-fn:xmlcolumn('T.D')//x[@p > 5]"
+        in
+        check Alcotest.bool "ip used" true
+          (List.mem "ip" plan.Planner.indexes_used));
+    tc "DELETE with XMLExists condition" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        for i = 1 to 10 do
+          ignore
+            (Engine.sql db
+               (Printf.sprintf "INSERT INTO t VALUES (%d, '<x p=\"%d\"/>')" i i))
+        done;
+        ignore
+          (Engine.sql db
+             "DELETE FROM t WHERE XMLExists('$d/x[@p > 7]' passing d as \"d\")");
+        check Alcotest.int "7 remain" 7 (sql_count db "SELECT a FROM t"));
+    tc "DELETE without WHERE empties the table" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (Engine.sql db "INSERT INTO t VALUES (1), (2)");
+        ignore (Engine.sql db "DELETE FROM t");
+        check Alcotest.int "empty" 0 (sql_count db "SELECT a FROM t"));
+  ]
+
+let aggregate_tests =
+  let mk () =
+    let db = Engine.create () in
+    ignore (Engine.sql db "CREATE TABLE s (dept varchar(10), pay integer)");
+    ignore
+      (Engine.sql db
+         "INSERT INTO s VALUES ('eng', 100), ('eng', 200), ('ops', 50),           ('ops', NULL)");
+    db
+  in
+  let open Storage.Sql_value in
+  [
+    tc "COUNT(*) counts rows, COUNT(col) skips NULLs" (fun () ->
+        let db = mk () in
+        let row q = List.hd (Engine.sql db q).Sqlxml.Sql_exec.rrows in
+        check Alcotest.bool "count-star" true
+          (row "SELECT COUNT(*) FROM s" = [ Int 4L ]);
+        check Alcotest.bool "count col" true
+          (row "SELECT COUNT(pay) FROM s" = [ Int 3L ]));
+    tc "GROUP BY with SUM/AVG/MIN/MAX" (fun () ->
+        let db = mk () in
+        let r =
+          Engine.sql db
+            "SELECT dept, SUM(pay), AVG(pay), MIN(pay), MAX(pay) FROM s              GROUP BY dept ORDER BY dept"
+        in
+        check Alcotest.bool "rows" true
+          (r.Sqlxml.Sql_exec.rrows
+          = [
+              [ Varchar "eng"; Int 300L; Double 150.; Int 100L; Int 200L ];
+              [ Varchar "ops"; Int 50L; Double 50.; Int 50L; Int 50L ];
+            ]));
+    tc "SUM over all NULLs is NULL" (fun () ->
+        let db = mk () in
+        ignore (Engine.sql db "DELETE FROM s WHERE pay IS NOT NULL");
+        let r = Engine.sql db "SELECT SUM(pay) FROM s" in
+        check Alcotest.bool "null" true
+          (r.Sqlxml.Sql_exec.rrows = [ [ Null ] ]));
+    tc "aggregate over XMLCast values" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore
+          (Engine.sql db
+             "INSERT INTO t VALUES (1, '<v>10</v>'), (2, '<v>32</v>')");
+        let r =
+          Engine.sql db
+            "SELECT SUM(XMLCast(XMLQuery('$d/v' passing d as \"d\") as              DOUBLE)) FROM t"
+        in
+        check Alcotest.bool "42" true
+          (r.Sqlxml.Sql_exec.rrows = [ [ Double 42. ] ]));
+    tc "aggregate outside grouping context errors" (fun () ->
+        let db = mk () in
+        match Engine.sql db "SELECT dept FROM s WHERE SUM(pay) > 10" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Sqlxml.Sql_exec.Sql_runtime_error _ -> ());
+    tc "EXPLAIN SELECT returns plan rows" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (Engine.sql db "INSERT INTO t VALUES (1, '<v>5</v>')");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX iv ON t(d) USING XMLPATTERN '//v' AS DOUBLE");
+        let r =
+          Engine.sql db
+            "EXPLAIN SELECT a FROM t WHERE XMLExists('$d/v[. > 1]' passing              d as \"d\")"
+        in
+        check Alcotest.bool "has XISCAN row" true
+          (List.exists
+             (function
+               | [ Varchar n ] -> Helpers.contains_sub ~affix:"XISCAN" n
+               | _ -> false)
+             r.Sqlxml.Sql_exec.rrows));
+    tc "XMLAGG concatenates group XML values" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (g integer, d XML)");
+        ignore
+          (Engine.sql db
+             "INSERT INTO t VALUES (1, '<v>a</v>'), (1, '<v>b</v>'), (2,               '<v>c</v>')");
+        let r =
+          Engine.sql db
+            "SELECT g, XMLAGG(XMLQuery('$d/v' passing d as \"d\")) FROM t              GROUP BY g ORDER BY g"
+        in
+        match r.Sqlxml.Sql_exec.rrows with
+        | [ [ Int 1L; Xml seq1 ]; [ Int 2L; Xml seq2 ] ] ->
+            check Alcotest.int "group 1" 2 (List.length seq1);
+            check Alcotest.int "group 2" 1 (List.length seq2)
+        | _ -> Alcotest.fail "unexpected shape");
+    tc "GROUP BY ORDER BY aggregate key" (fun () ->
+        let db = mk () in
+        let r =
+          Engine.sql db
+            "SELECT dept, SUM(pay) FROM s GROUP BY dept ORDER BY SUM(pay)              DESC"
+        in
+        check Alcotest.bool "eng first" true
+          (List.hd (List.hd r.Sqlxml.Sql_exec.rrows) = Varchar "eng"));
+  ]
+
+let instance_of_tests =
+  [
+    tc "atomic instance of" (fun () ->
+        eval_str "5 instance of xs:integer" "true";
+        eval_str "5 instance of xs:double" "false";
+        eval_str "xs:double('5') instance of xs:double" "true";
+        eval_str "'x' instance of xs:string" "true");
+    tc "occurrence indicators" (fun () ->
+        eval_str "(1, 2) instance of xs:integer*" "true";
+        eval_str "(1, 2) instance of xs:integer" "false";
+        eval_str "() instance of xs:integer?" "true";
+        eval_str "() instance of xs:integer+" "false");
+    tc "node kinds" (fun () ->
+        eval_str "<a/> instance of element()" "true";
+        eval_str "<a/> instance of attribute()" "false";
+        eval_str "attribute p { 1 } instance of attribute()" "true";
+        eval_str "text { 'x' } instance of text()" "true");
+    tc "empty-sequence()" (fun () ->
+        eval_str "() instance of empty-sequence()" "true";
+        eval_str "1 instance of empty-sequence()" "false");
+    tc "item()* accepts anything" (fun () ->
+        eval_str "(1, <a/>, 'x') instance of item()*" "true");
+    tc "untyped element content is untypedAtomic" (fun () ->
+        eval_str "data(<a>5</a>) instance of xs:untypedAtomic" "true";
+        eval_str "data(<a>5</a>) instance of xs:integer" "false");
+  ]
+
+let suite =
+  [
+    ("ext:construction_mode", construction_mode_tests);
+    ("ext:instance_of", instance_of_tests);
+    ("ext:aggregates", aggregate_tests);
+    ("ext:computed_ctors", computed_ctor_tests);
+    ("ext:delete", delete_tests);
+    ("ext:functions", function_tests);
+    ("ext:sql_order", sql_order_tests);
+    ("ext:cost", cost_tests);
+  ]

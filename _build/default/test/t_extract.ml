@@ -1,0 +1,293 @@
+(** Direct tests of the predicate extractor and the planner's decisions,
+    plus the xqdb:between extension (the paper's Section 4 proposal). *)
+
+open Helpers
+module P = Eligibility.Predicate
+
+let analyze ?(xml_params = []) src =
+  let q = Xquery.Parser.parse_query src in
+  let q = Xquery.Static.resolve ~external_vars:(List.map fst xml_params) q in
+  Eligibility.Extract.analyze ~xml_params q
+
+let leaves ?xml_params src = P.leaves (analyze ?xml_params src)
+
+let extract_tests =
+  [
+    tc "value predicate becomes a leaf with a numeric class" (fun () ->
+        match leaves "db2-fn:xmlcolumn('T.D')//a[b > 5]" with
+        | [ l ] ->
+            check Alcotest.string "class" "numeric"
+              (P.cmp_class_to_string (P.leaf_class l));
+            check Alcotest.string "path" "//a/b"
+              (Xmlindex.Pattern.canonical_string l.P.path)
+        | ls -> Alcotest.failf "expected 1 leaf, got %d" (List.length ls));
+    tc "string literal gives a string class" (fun () ->
+        match leaves "db2-fn:xmlcolumn('T.D')//a[b = \"x\"]" with
+        | [ l ] ->
+            check Alcotest.string "class" "string"
+              (P.cmp_class_to_string (P.leaf_class l))
+        | _ -> Alcotest.fail "expected 1 leaf");
+    tc "path-side cast overrides operand type" (fun () ->
+        match leaves "db2-fn:xmlcolumn('T.D')//a[b/xs:double(.) = \"5\"]" with
+        | [ l ] ->
+            check Alcotest.string "class" "numeric"
+              (P.cmp_class_to_string (P.leaf_class l))
+        | _ -> Alcotest.fail "expected 1 leaf");
+    tc "let binding contributes nothing until consumed" (fun () ->
+        let t =
+          analyze
+            "for $d in db2-fn:xmlcolumn('T.D') let $x := $d//a[b > 5] \
+             return <r>{$x}</r>"
+        in
+        check Alcotest.bool "PTrue" true (t = P.PTrue));
+    tc "quantified some binds and filters" (fun () ->
+        check Alcotest.int "leaf" 1
+          (List.length
+             (leaves
+                "some $a in db2-fn:xmlcolumn('T.D')//a satisfies $a/b > 5")));
+    tc "every does not filter" (fun () ->
+        check Alcotest.int "none" 0
+          (List.length
+             (leaves
+                "every $a in db2-fn:xmlcolumn('T.D')//a satisfies $a/b > 5")));
+    tc "or produces POr (both sides needed)" (fun () ->
+        match analyze "db2-fn:xmlcolumn('T.D')//a[b > 5 or c > 9]" with
+        | P.PAnd ts ->
+            check Alcotest.bool "has POr" true
+              (List.exists (function P.POr _ -> true | _ -> false) ts)
+        | P.POr _ -> ()
+        | t -> Alcotest.failf "unexpected %s" (P.to_string t));
+    tc "fn:not blocks extraction" (fun () ->
+        check Alcotest.int "none" 0
+          (List.length (leaves "db2-fn:xmlcolumn('T.D')//a[not(b > 5)]")));
+    tc "count() in a where clause does not filter" (fun () ->
+        check Alcotest.int "none" 0
+          (List.length
+             (leaves
+                "for $d in db2-fn:xmlcolumn('T.D') where count($d//a[b > \
+                 5]) = 0 return $d")));
+    tc "positional predicates ignored" (fun () ->
+        check Alcotest.int "none" 0
+          (List.length (leaves "db2-fn:xmlcolumn('T.D')//a[2]")));
+    tc "attribute leaf is singleton-anchored" (fun () ->
+        match leaves "db2-fn:xmlcolumn('T.D')//a[@p > 5]" with
+        | [ l ] -> check Alcotest.bool "singleton" true l.P.singleton_path
+        | _ -> Alcotest.fail "expected 1 leaf");
+    tc "two separate element paths are not singleton" (fun () ->
+        let ls =
+          leaves "db2-fn:xmlcolumn('T.D')//a[b/c > 5 and b/c < 9]"
+        in
+        check Alcotest.int "two leaves" 2 (List.length ls);
+        List.iter
+          (fun l -> check Alcotest.bool "not singleton" false l.P.singleton_path)
+          ls);
+    tc "external XML parameter roots paths (SQL PASSING)" (fun () ->
+        match
+          leaves ~xml_params:[ ("d", "T.D") ] "$d//a[b > 5]"
+        with
+        | [ l ] -> check Alcotest.string "coll" "T.D" l.P.collection
+        | _ -> Alcotest.fail "expected 1 leaf");
+    tc "xqdb:between extracts a mergeable pair (paper §4 extension)"
+      (fun () ->
+        let ls =
+          leaves
+            "db2-fn:xmlcolumn('T.D')//a[xqdb:between(price, 100, 200)]"
+        in
+        check Alcotest.int "two leaves" 2 (List.length ls);
+        List.iter
+          (fun l ->
+            check Alcotest.bool "singleton-safe" true l.P.singleton_path)
+          ls;
+        match ls with
+        | [ a; b ] -> check Alcotest.bool "same anchor" true (a.P.anchor = b.P.anchor)
+        | _ -> ());
+  ]
+
+let between_fn_tests =
+  [
+    tc "xqdb:between is existential over the range" (fun () ->
+        let colls =
+          [ ("T.D", [ "<a><price>250</price><price>50</price></a>";
+                      "<a><price>150</price></a>" ]) ]
+        in
+        check Alcotest.string "only the in-range doc" "1"
+          (xq_str ~collections:colls
+             "count(db2-fn:xmlcolumn('T.D')//a[xqdb:between(price, 100, \
+              200)])"));
+    tc "xqdb:between single merged scan via index (Definition 1)" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 100 (fun i ->
+               Printf.sprintf "<a><price>%d</price><price>%d</price></a>"
+                 (i * 7 mod 300)
+                 ((i * 13) mod 300)));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX pe ON t(d) USING XMLPATTERN '//price' AS DOUBLE");
+        let q =
+          "db2-fn:xmlcolumn('T.D')//a[xqdb:between(price, 100, 120)]"
+        in
+        let plan = assert_def1 db q in
+        check Alcotest.bool "merged into one scan" true
+          (List.exists
+             (fun n -> contains_sub ~affix:"BETWEEN merged" n)
+             plan.Planner.notes));
+    tc "xqdb:between rejects non-singleton bounds" (fun () ->
+        expect_error "XPTY0004" (fun () ->
+            xq "xqdb:between(5, (1,2), 10)"));
+  ]
+
+let planner_tests =
+  [
+    tc "IXAND intersects multiple probes" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 60 (fun i ->
+               Printf.sprintf "<a><b>%d</b><c>%d</c></a>" (i mod 10)
+                 (i mod 6)));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ic ON t(d) USING XMLPATTERN '//c' AS DOUBLE");
+        let plan =
+          assert_def1 db "db2-fn:xmlcolumn('T.D')//a[b = 3 and c = 3]"
+        in
+        check Alcotest.bool "IXAND note" true
+          (List.exists
+             (fun n -> contains_sub ~affix:"IXAND" n)
+             plan.Planner.notes);
+        check Alcotest.int "both used" 2
+          (List.length plan.Planner.indexes_used));
+    tc "IXOR unions or-branches when both sides eligible" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 40 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        let plan =
+          assert_def1 db "db2-fn:xmlcolumn('T.D')//a[b = 3 or b = 7]"
+        in
+        check Alcotest.bool "IXOR note" true
+          (List.exists
+             (fun n -> contains_sub ~affix:"IXOR" n)
+             plan.Planner.notes));
+    tc "or with one ineligible branch falls back to scan" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 20 (fun i ->
+               Printf.sprintf "<a><b>%d</b><c>x%d</c></a>" i i));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        let plan =
+          assert_def1 db
+            "db2-fn:xmlcolumn('T.D')//a[b = 3 or c = \"x5\"]"
+        in
+        (* the eligible branch may be probed before the ineligible sibling
+           is discovered, but no restriction may be applied *)
+        check Alcotest.int "no restriction" 0
+          (List.length plan.Planner.restrictions));
+    tc "semi-join reduction: whole-collection join operand evaluated"
+      (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (Engine.sql db "CREATE TABLE u (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 50 (fun i -> Printf.sprintf "<a><k>%d</k></a>" i));
+        Engine.load_documents db ~table:"u" ~column:"d"
+          [ "<w><k>7</k></w>"; "<w><k>13</k></w>" ];
+        ignore
+          (Engine.sql db
+             "CREATE INDEX tk ON t(d) USING XMLPATTERN '//k' AS DOUBLE");
+        let plan =
+          assert_def1 db
+            "db2-fn:xmlcolumn('T.D')//a[k/xs:double(.) = \
+             db2-fn:xmlcolumn('U.D')//k/xs:double(.)]"
+        in
+        check Alcotest.bool "join probe" true
+          (List.exists
+             (fun n -> contains_sub ~affix:"join probe" n)
+             plan.Planner.notes));
+    tc "date index serves date-cast predicates" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 30 (fun i ->
+               Printf.sprintf "<a><when>200%d-0%d-15</when></a>" (i mod 7)
+                 (1 + (i mod 9))));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX dw ON t(d) USING XMLPATTERN '//when' AS DATE");
+        let plan =
+          assert_def1 db
+            "db2-fn:xmlcolumn('T.D')//a[when/xs:date(.) >= \
+             xs:date(\"2004-01-01\")]"
+        in
+        check Alcotest.bool "dw used" true
+          (List.mem "dw" plan.Planner.indexes_used));
+  ]
+
+let workload_tests =
+  [
+    tc "generators are deterministic per seed" (fun () ->
+        let a = Workload.Orders_gen.orders Workload.Orders_gen.default 5 in
+        let b = Workload.Orders_gen.orders Workload.Orders_gen.default 5 in
+        check Alcotest.(list string) "same" a b);
+    tc "different seeds differ" (fun () ->
+        let a = Workload.Orders_gen.orders Workload.Orders_gen.default 5 in
+        let b =
+          Workload.Orders_gen.orders
+            { Workload.Orders_gen.default with seed = 7 }
+            5
+        in
+        check Alcotest.bool "differ" true (a <> b));
+    tc "all generated orders parse" (fun () ->
+        List.iter
+          (fun x -> ignore (parse_doc x))
+          (Workload.Orders_gen.orders
+             { Workload.Orders_gen.default with
+               multi_price_frac = 0.3;
+               string_price_frac = 0.3;
+               missing_price_frac = 0.2;
+               multi_id_frac = 0.2;
+             }
+             50));
+    tc "feeds parse and carry extension namespaces" (fun () ->
+        let feeds = Workload.Feeds_gen.feeds Workload.Feeds_gen.default 20 in
+        List.iter (fun x -> ignore (parse_doc x)) feeds;
+        check Alcotest.bool "some dc:creator" true
+          (List.exists
+             (fun f -> contains_sub ~affix:"dc:creator" f)
+             feeds));
+    tc "zipf sampling stays in range and skews low" (fun () ->
+        let rng = Workload.Rand.create 5 in
+        let samples = List.init 500 (fun _ -> Workload.Rand.zipf rng ~n:50 ~s:1.2) in
+        List.iter
+          (fun k -> check Alcotest.bool "in range" true (k >= 1 && k <= 50))
+          samples;
+        let ones = List.length (List.filter (fun k -> k = 1) samples) in
+        check Alcotest.bool "rank 1 most frequent" true (ones > 50));
+    tc "addresses: canadian_frac controls code shapes" (fun () ->
+        let all_us = Workload.Feeds_gen.addresses ~canadian_frac:0.0 50 in
+        check Alcotest.bool "all numeric" true
+          (List.for_all
+             (fun d ->
+               not (contains_sub ~affix:"postalcode>K" d)
+               || not (contains_sub ~affix:" " d))
+             all_us));
+  ]
+
+let suite =
+  [
+    ("extract:predicates", extract_tests);
+    ("extract:between_fn", between_fn_tests);
+    ("planner:decisions", planner_tests);
+    ("workload:generators", workload_tests);
+  ]

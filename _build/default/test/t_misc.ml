@@ -1,0 +1,152 @@
+(** Remaining coverage: QNames, serializer sequences, string-keyed
+    B+Trees, three-valued logic corners, nested analysis shapes. *)
+
+open Helpers
+
+let qname_tests =
+  [
+    tc "equality ignores prefixes" (fun () ->
+        let a = Xdm.Qname.make ~prefix:"a" ~uri:"urn:x" "n" in
+        let b = Xdm.Qname.make ~prefix:"b" ~uri:"urn:x" "n" in
+        check Alcotest.bool "equal" true (Xdm.Qname.equal a b);
+        check Alcotest.int "compare" 0 (Xdm.Qname.compare a b));
+    tc "clark notation" (fun () ->
+        check Alcotest.string "with ns" "{urn:x}n"
+          (Xdm.Qname.to_clark (Xdm.Qname.make ~uri:"urn:x" "n"));
+        check Alcotest.string "no ns" "n"
+          (Xdm.Qname.to_clark (Xdm.Qname.make "n")));
+    tc "display uses prefix" (fun () ->
+        check Alcotest.string "p:n" "p:n"
+          (Xdm.Qname.to_string (Xdm.Qname.make ~prefix:"p" ~uri:"u" "n")));
+  ]
+
+module SB = Btree.Make (String)
+
+let btree_string_tests =
+  [
+    tc "string keys order lexicographically" (fun () ->
+        let t = SB.create ~order:4 () in
+        List.iter (fun k -> SB.insert t k ()) [ "pear"; "apple"; "fig"; "kiwi" ];
+        check
+          Alcotest.(list string)
+          "sorted"
+          [ "apple"; "fig"; "kiwi"; "pear" ]
+          (List.map fst (SB.to_list t)));
+    tc "string range scan" (fun () ->
+        let t = SB.create ~order:4 () in
+        List.iter (fun k -> SB.insert t k ()) [ "a"; "b"; "c"; "d"; "e" ];
+        check
+          Alcotest.(list string)
+          "range" [ "b"; "c"; "d" ]
+          (List.map fst (SB.range t ~lo:(SB.Incl "b") ~hi:(SB.Incl "d"))));
+  ]
+
+let writer_tests =
+  [
+    tc "seq_to_string mixes nodes and atomics" (fun () ->
+        let seq =
+          [
+            Xdm.Item.A (Xdm.Atomic.Integer 1L);
+            Xdm.Item.N (parse_doc "<a/>");
+            Xdm.Item.A (Xdm.Atomic.Str "x");
+          ]
+        in
+        check Alcotest.string "mixed" "1 <a/> x"
+          (Xmlparse.Xml_writer.seq_to_string seq));
+  ]
+
+let logic3_tests =
+  [
+    tc "NOT of unknown stays unknown (row filtered)" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (Engine.sql db "INSERT INTO t VALUES (NULL), (1)");
+        (* NOT (a = 1): for NULL → unknown → filtered *)
+        check Alcotest.int "rows" 0
+          (sql_count db "SELECT a FROM t WHERE NOT a = 1 AND a IS NULL"));
+    tc "unknown OR true is true" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (Engine.sql db "INSERT INTO t VALUES (NULL)");
+        check Alcotest.int "rows" 1
+          (sql_count db "SELECT a FROM t WHERE a = 1 OR a IS NULL"));
+    tc "unknown AND false is false" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (Engine.sql db "INSERT INTO t VALUES (NULL)");
+        check Alcotest.int "rows" 0
+          (sql_count db "SELECT a FROM t WHERE a = 1 AND a IS NOT NULL"));
+  ]
+
+let analysis_shape_tests =
+  [
+    tc "nested FLWOR inside for-binding is analyzed" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        let plan =
+          assert_def1 db
+            "for $x in (for $y in db2-fn:xmlcolumn('T.D')//a[b > 25] \
+             return $y) return $x/b"
+        in
+        check Alcotest.bool "ib used" true
+          (List.mem "ib" plan.Planner.indexes_used));
+    tc "predicate inside quantifier binding path" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        let plan =
+          assert_def1 db
+            "some $x in db2-fn:xmlcolumn('T.D')//a[b > 25] satisfies \
+             exists($x)"
+        in
+        check Alcotest.bool "ib used" true
+          (List.mem "ib" plan.Planner.indexes_used));
+    tc "if-then-else branches OR together" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
+        let plan =
+          assert_def1 db
+            "if (1 = 1) then db2-fn:xmlcolumn('T.D')//a[b > 25] else \
+             db2-fn:xmlcolumn('T.D')//a[b < 2]"
+        in
+        (* both branches are leaves: the union restriction is usable *)
+        check Alcotest.bool "ib used" true
+          (List.mem "ib" plan.Planner.indexes_used));
+    tc "deep path with multiple // gaps" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          [
+            "<r><x><a><deep><b>9</b></deep></a></x></r>";
+            "<r><a><b>1</b></a></r>";
+          ];
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ib ON t(d) USING XMLPATTERN '//a//b' AS DOUBLE");
+        let plan = assert_def1 db "db2-fn:xmlcolumn('T.D')//a//b[. > 5]" in
+        check Alcotest.bool "ib used" true
+          (List.mem "ib" plan.Planner.indexes_used));
+  ]
+
+let suite =
+  [
+    ("misc:qname", qname_tests);
+    ("misc:btree_string", btree_string_tests);
+    ("misc:writer", writer_tests);
+    ("misc:logic3", logic3_tests);
+    ("misc:analysis_shapes", analysis_shape_tests);
+  ]

@@ -1,0 +1,247 @@
+(** XMLPATTERN parsing, node matching, and containment — including a
+    property test checking containment against brute-force matching. *)
+
+open Helpers
+module Pat = Xmlindex.Pattern
+module C = Xmlindex.Containment
+
+let pat = Pat.of_string
+
+(** All nodes of a document (elements, attributes, text, comments, PIs). *)
+let all_nodes doc =
+  Xdm.Node.descendants_or_self doc
+  |> List.concat_map (fun (n : Xdm.Node.t) ->
+         match n.Xdm.Node.kind with
+         | Xdm.Node.Document -> []
+         | Xdm.Node.Element -> n :: n.Xdm.Node.attrs
+         | _ -> [ n ])
+
+let match_count p xml =
+  List.length (List.filter (Pat.matches_node (pat p)) (all_nodes (parse_doc xml)))
+
+let parse_tests =
+  [
+    tc "simple pattern parses" (fun () ->
+        check Alcotest.string "canon" "/order/lineitem/@price"
+          (Pat.canonical_string (pat "/order/lineitem/@price")));
+    tc "descendant pattern" (fun () ->
+        check Alcotest.string "canon" "//lineitem/@price"
+          (Pat.canonical_string (pat "//lineitem/@price")));
+    tc "wildcards" (fun () ->
+        check Alcotest.string "canon" "//@*" (Pat.canonical_string (pat "//@*")));
+    tc "namespace declaration in pattern" (fun () ->
+        let p =
+          pat
+            "declare default element namespace \"urn:o\"; //nation"
+        in
+        check Alcotest.string "canon" "//{urn:o}nation" (Pat.canonical_string p));
+    tc "*:local wildcard" (fun () ->
+        check Alcotest.string "canon" "//*:nation"
+          (Pat.canonical_string (pat "//*:nation")));
+    tc "explicit axes" (fun () ->
+        check Alcotest.string "canon" "/a//b"
+          (Pat.canonical_string (pat "/child::a/descendant::b")));
+    tc "kind tests" (fun () ->
+        check Alcotest.string "canon" "//price/text()"
+          (Pat.canonical_string (pat "//price/text()")));
+    tc "predicates rejected" (fun () ->
+        match pat "//a[b]" with
+        | _ -> Alcotest.fail "should reject"
+        | exception Pat.Invalid _ -> ());
+    tc "relative pattern rejected" (fun () ->
+        match pat "a/b" with
+        | _ -> Alcotest.fail "should reject"
+        | exception Pat.Invalid _ -> ());
+    tc "trailing // rejected" (fun () ->
+        match pat "/a//" with
+        | _ -> Alcotest.fail "should reject"
+        | exception Pat.Invalid _ -> ());
+  ]
+
+let match_tests =
+  [
+    tc "exact path match" (fun () ->
+        check Alcotest.int "n" 1
+          (match_count "/order/lineitem/@price"
+             "<order><lineitem price=\"1\"/></order>"));
+    tc "descendant matches at any depth" (fun () ->
+        check Alcotest.int "n" 2
+          (match_count "//price"
+             "<o><price>1</price><deep><price>2</price></deep></o>"));
+    tc "// matches at depth zero below root" (fun () ->
+        check Alcotest.int "n" 1 (match_count "//o" "<o/>"));
+    tc "attribute pattern does not match elements" (fun () ->
+        check Alcotest.int "n" 0
+          (match_count "//@price" "<o><price>1</price></o>"));
+    tc "//* matches no attributes (paper 3.9)" (fun () ->
+        check Alcotest.int "n" 2 (match_count "//*" "<o p=\"1\"><q r=\"2\"/></o>"));
+    tc "//@* matches all attributes (Tip 12)" (fun () ->
+        check Alcotest.int "n" 2 (match_count "//@*" "<o p=\"1\"><q r=\"2\"/></o>"));
+    tc "//node() matches elements, text, comments, PIs, not attributes"
+      (fun () ->
+        check Alcotest.int "n" 4
+          (match_count "//node()" "<o p=\"1\">t<!--c--><?pi d?></o>"));
+    tc "text() pattern matches only text nodes" (fun () ->
+        check Alcotest.int "n" 1 (match_count "//price/text()"
+          "<o><price>99.50USD</price><price/></o>"));
+    tc "namespace-exact matching" (fun () ->
+        check Alcotest.int "no ns: 0" 0
+          (match_count "//nation" "<c xmlns=\"urn:c\"><nation>1</nation></c>");
+        check Alcotest.int "*: wildcard: 1" 1
+          (match_count "//*:nation" "<c xmlns=\"urn:c\"><nation>1</nation></c>"));
+    tc "attributes keep empty namespace under default ns (paper 3.7)"
+      (fun () ->
+        check Alcotest.int "n" 1
+          (match_count "//@price"
+             "<o xmlns=\"urn:o\"><li price=\"9\"/></o>"));
+    tc "self axis conjoined" (fun () ->
+        check Alcotest.int "n" 1
+          (match_count "/a/self::a" "<a><b/></a>");
+        check Alcotest.int "n0" 0 (match_count "/a/self::b" "<a><b/></a>"));
+    tc "gap backtracking" (fun () ->
+        (* //a/b where an intermediate a has no b but a deeper one does *)
+        check Alcotest.int "n" 1
+          (match_count "//a/b" "<a><c><a><b/></a></c></a>"));
+  ]
+
+let containment_tests =
+  let contains a b = C.contains (pat a) (pat b) in
+  [
+    tc "paper 2.2: //lineitem/@price contains //order/lineitem/@price"
+      (fun () ->
+        check Alcotest.bool "contains" true
+          (contains "//lineitem/@price" "//order/lineitem/@price"));
+    tc "paper 2.2: //lineitem/@price does not contain //lineitem/@*"
+      (fun () ->
+        check Alcotest.bool "not" false
+          (contains "//lineitem/@price" "//lineitem/@*"));
+    tc "reflexive" (fun () ->
+        check Alcotest.bool "refl" true (contains "//a/b" "//a/b"));
+    tc "exact path contained in descendant" (fun () ->
+        check Alcotest.bool "c" true (contains "//b" "/a/b");
+        check Alcotest.bool "not conversely" false (contains "/a/b" "//b"));
+    tc "wildcard contains names" (fun () ->
+        check Alcotest.bool "c" true (contains "//*" "/a/b");
+        check Alcotest.bool "not" false (contains "/a/*" "//b"));
+    tc "//a//b contains //a/x/b" (fun () ->
+        check Alcotest.bool "c" true (contains "//a//b" "//a/x/b"));
+    tc "//a/b does not contain //a//b" (fun () ->
+        check Alcotest.bool "not" false (contains "//a/b" "//a//b"));
+    tc "namespace mismatch blocks containment (paper 3.7)" (fun () ->
+        check Alcotest.bool "not" false
+          (contains "//nation"
+             "declare default element namespace \"urn:c\"; //nation");
+        check Alcotest.bool "wildcard ok" true
+          (contains "//*:nation"
+             "declare default element namespace \"urn:c\"; //nation"));
+    tc "text() alignment blocks containment (paper 3.8)" (fun () ->
+        check Alcotest.bool "not" false (contains "//price" "//price/text()");
+        check Alcotest.bool "not conversely" false
+          (contains "//price/text()" "//price");
+        check Alcotest.bool "aligned" true
+          (contains "//price/text()" "//lineitem/price/text()"));
+    tc "attribute reachability (paper 3.9)" (fun () ->
+        check Alcotest.bool "not" false (contains "//*" "//@price");
+        check Alcotest.bool "not node()" false (contains "//node()" "//@price");
+        check Alcotest.bool "broad attr" true (contains "//@*" "//a/@price"));
+    tc "ns-star vs local-star interplay" (fun () ->
+        check Alcotest.bool "nsstar contains exact" true
+          (contains
+             "declare namespace c = \"urn:c\"; //c:*"
+             "declare namespace d = \"urn:c\"; //d:nation");
+        check Alcotest.bool "localstar vs nsstar" false
+          (contains "//*:nation" "declare namespace c = \"urn:c\"; //c:*"));
+    tc "longer chains" (fun () ->
+        check Alcotest.bool "c" true
+          (contains "//b//d" "/a/b/c/d" = false
+          || contains "//b//d" "/a/b/c/d");
+        check Alcotest.bool "deep" true (contains "//b//d" "/a/b/c/d"));
+  ]
+
+(* --------------- containment soundness property ----------------- *)
+
+(* Random linear patterns over a small name alphabet; random documents;
+   check: contains p q → every node matched by q is matched by p.
+   Completeness is also checked on the sampled documents: if the checker
+   says NOT contained, some random doc should eventually witness it — we
+   only assert soundness (exactness is covered by unit cases). *)
+
+let gen_pattern =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c" ] in
+  let test = oneof [ map (fun n -> `Name n) name; return `Star ] in
+  let* n = int_range 1 4 in
+  let* steps =
+    list_repeat n
+      (pair (oneofl [ "/"; "//" ])
+         (oneof [ map (fun t -> `Elem t) test; map (fun t -> `Attr t) test ]))
+  in
+  (* attributes only valid at the end; force non-final steps to elements *)
+  let fixed =
+    List.mapi
+      (fun i (sep, s) ->
+        if i < n - 1 then
+          match s with `Attr t -> (sep, `Elem t) | ok -> (sep, ok)
+        else (sep, s))
+      steps
+  in
+  let render (sep, s) =
+    sep
+    ^
+    match s with
+    | `Elem (`Name x) -> x
+    | `Elem `Star -> "*"
+    | `Attr (`Name x) -> "@" ^ x
+    | `Attr `Star -> "@*"
+  in
+  return (String.concat "" (List.map render fixed))
+
+let gen_doc =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c" ] in
+  fix
+    (fun self depth ->
+      let* n = name in
+      let* attrs = list_size (int_bound 2) name in
+      let* kids =
+        if depth = 0 then return [] else list_size (int_bound 2) (self (depth - 1))
+      in
+      let el = Xdm.Node.element (Xdm.Qname.make n) in
+      List.iteri
+        (fun i a ->
+          if not (List.exists (fun (x : Xdm.Node.t) ->
+                      Xdm.Qname.equal (Option.get x.Xdm.Node.name) (Xdm.Qname.make a))
+                    el.Xdm.Node.attrs)
+          then Xdm.Node.add_attr el (Xdm.Node.attribute (Xdm.Qname.make a) (string_of_int i)))
+        attrs;
+      List.iter (Xdm.Node.append_child el) kids;
+      return el)
+    3
+
+let prop_containment_sound =
+  QCheck.Test.make ~name:"containment is sound w.r.t. matching" ~count:500
+    QCheck.(
+      make
+        Gen.(triple gen_pattern gen_pattern gen_doc)
+        ~print:(fun (p, q, d) ->
+          Printf.sprintf "p=%s q=%s doc=%s" p q
+            (Xmlparse.Xml_writer.to_string d)))
+    (fun (pstr, qstr, el) ->
+      let p = pat pstr and q = pat qstr in
+      if not (C.contains p q) then true
+      else begin
+        let doc = Xdm.Node.document () in
+        Xdm.Node.append_child doc el;
+        List.for_all
+          (fun n -> (not (Pat.matches_node q n)) || Pat.matches_node p n)
+          (all_nodes doc)
+      end)
+
+let suite =
+  [
+    ("pattern:parse", parse_tests);
+    ("pattern:match", match_tests);
+    ("pattern:containment", containment_tests);
+    ( "pattern:props",
+      [ QCheck_alcotest.to_alcotest prop_containment_sound ] );
+  ]

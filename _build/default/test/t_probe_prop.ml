@@ -1,0 +1,144 @@
+(** Mid-level property: an index probe returns exactly the rows that a
+    naive scan-and-filter over the same pattern/type/range would — for
+    random documents, random patterns and random ranges. This pins the
+    composite-key B+Tree layout, the tolerant cast, and the path-table
+    restriction independently of the query engine. *)
+
+module X = Xmlindex.Xindex
+module Pat = Xmlindex.Pattern
+
+let patterns =
+  [|
+    "//lineitem/@price";
+    "//@price";
+    "//price";
+    "/order/lineitem/price";
+    "//@*";
+    "//*";
+    "//lineitem/price/text()";
+  |]
+
+let gen_doc =
+  let open QCheck.Gen in
+  let* items = int_range 0 3 in
+  let* parts =
+    list_repeat items
+      (let* p = int_bound 500 in
+       let* style = oneofl [ `Num; `Str; `None ] in
+       return (p, style))
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "<order>";
+  List.iter
+    (fun (p, style) ->
+      match style with
+      | `Num ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<lineitem price=\"%d\"><price>%d</price></lineitem>" p p)
+      | `Str ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<lineitem price=\"%dUSD\"><price>%dUSD</price></lineitem>" p p)
+      | `None -> Buffer.add_string buf "<lineitem><quantity>2</quantity></lineitem>")
+    parts;
+  Buffer.add_string buf "</order>";
+  return (Buffer.contents buf)
+
+let gen_case =
+  QCheck.Gen.(
+    let* docs = list_size (int_range 1 15) gen_doc in
+    let* ipat = int_bound (Array.length patterns - 1) in
+    let* qpat = int_bound (Array.length patterns - 1) in
+    let* lo = int_bound 500 in
+    let* width = int_bound 200 in
+    let* vtype = oneofl [ X.VDouble; X.VVarchar ] in
+    return (docs, ipat, qpat, lo, lo + width, vtype))
+
+let arb_case =
+  QCheck.make gen_case ~print:(fun (docs, i, q, lo, hi, vt) ->
+      Printf.sprintf "index=%s query=%s range=[%d,%d] type=%s docs=%d"
+        patterns.(i) patterns.(q) lo hi
+        (X.vtype_to_string vt)
+        (List.length docs))
+
+(** Reference implementation: scan every node of every document. *)
+let naive ~(ipat : Pat.t) ~(qpat : Pat.t) ~vtype ~lo ~hi docs =
+  let target = X.vtype_to_atomic vtype in
+  List.filteri (fun _ _ -> true) docs
+  |> List.mapi (fun row (doc : Xdm.Node.t) -> (row, doc))
+  |> List.filter_map (fun (row, doc) ->
+         let nodes =
+           Xdm.Node.descendants_or_self doc
+           |> List.concat_map (fun (n : Xdm.Node.t) ->
+                  match n.Xdm.Node.kind with
+                  | Xdm.Node.Document -> []
+                  | Xdm.Node.Element -> n :: n.Xdm.Node.attrs
+                  | _ -> [ n ])
+         in
+         let hit =
+           List.exists
+             (fun n ->
+               (* indexed under ipat, selected under qpat, value in range *)
+               Pat.matches_node ipat n
+               && Pat.matches_node qpat n
+               &&
+               match
+                 Xdm.Atomic.cast_opt
+                   (Xdm.Atomic.Untyped (Xdm.Node.string_value n))
+                   target
+               with
+               | Some v -> (
+                   (not
+                      (match v with
+                      | Xdm.Atomic.Double f -> Float.is_nan f
+                      | _ -> false))
+                   &&
+                   match
+                     ( Xdm.Atomic.compare_values v lo,
+                       Xdm.Atomic.compare_values v hi )
+                   with
+                   | (Xdm.Atomic.Gt | Xdm.Atomic.Eq), (Xdm.Atomic.Lt | Xdm.Atomic.Eq)
+                     ->
+                       true
+                   | _ -> false)
+               | None -> false)
+             nodes
+         in
+         if hit then Some row else None)
+
+let run_case (docs, ipi, qpi, lo, hi, vtype) =
+  let ipat = Pat.of_string patterns.(ipi) in
+  let qpat = Pat.of_string patterns.(qpi) in
+  (* The probe model assumes eligibility: only meaningful when the index
+     pattern contains the query pattern. *)
+  if not (Xmlindex.Containment.contains ipat qpat) then true
+  else begin
+    let parsed = List.map Xmlparse.Xml_parser.parse_document docs in
+    let pt = Storage.Path_table.create () in
+    let idx =
+      X.create { X.iname = "p"; table = "t"; column = "c"; pattern = ipat; vtype }
+    in
+    List.iteri (fun row doc -> X.insert_doc idx pt ~row doc) parsed;
+    let lo_v, hi_v =
+      match vtype with
+      | X.VDouble ->
+          (Xdm.Atomic.Double (float_of_int lo), Xdm.Atomic.Double (float_of_int hi))
+      | _ -> (Xdm.Atomic.Str (string_of_int lo), Xdm.Atomic.Str (string_of_int hi))
+    in
+    let rows =
+      X.probe_range idx
+        ~paths:(X.matching_paths pt qpat)
+        { X.lo = Some (lo_v, true); hi = Some (hi_v, true) }
+    in
+    let expected = naive ~ipat ~qpat ~vtype ~lo:lo_v ~hi:hi_v parsed in
+    Xdm.Int_set.elements rows = List.sort compare expected
+  end
+
+let prop_probe =
+  QCheck.Test.make
+    ~name:"index probe = naive scan-and-filter (random patterns/ranges)"
+    ~count:400 arb_case run_case
+
+let suite =
+  [ ("probe:props", [ QCheck_alcotest.to_alcotest prop_probe ]) ]

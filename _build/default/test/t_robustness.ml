@@ -1,0 +1,147 @@
+(** Lexer edge cases and error-surface robustness for both front ends. *)
+
+open Helpers
+
+let eval_str ?collections src expected =
+  check Alcotest.string src expected (xq_str ?collections src)
+
+let xq_lexer_tests =
+  [
+    tc "name with dots and dashes" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<my-el.x>5</my-el.x>" ]) ]
+          "db2-fn:xmlcolumn('C.D')/my-el.x/data(.)" "5");
+    tc "subtraction vs name-with-dash needs spaces" (fun () ->
+        (* "a -1" is subtraction; "a-1" would be a name *)
+        eval_str "let $a := 5 return $a -1" "4");
+    tc "decimal starting with a dot" (fun () -> eval_str ".5 + .5" "1");
+    tc "exponent literals" (fun () -> eval_str "1e2 + 1E-2" "100.01");
+    tc "doubled quotes in both quote styles" (fun () ->
+        eval_str "'it''s'" "it's";
+        eval_str "\"say \"\"hi\"\"\"" "say \"hi\"");
+    tc "operators without spaces" (fun () ->
+        eval_str "(1<2)and(3>=3)" "true");
+    tc ":= vs :: vs : disambiguation" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<a><b>1</b></a>" ]) ]
+          "let $x := db2-fn:xmlcolumn('C.D')/child::a/child::b return \
+           $x/data(.)"
+          "1");
+    tc "unterminated string is a syntax error" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "'never closed"));
+    tc "unterminated comment is a syntax error" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "1 (: open"));
+    tc "stray ']' is a syntax error" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "1 ]"));
+    tc "empty query is a syntax error" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "   "));
+    tc "constructor with mismatched close tag" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "<a></b>"));
+    tc "unescaped '}' in constructor content" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "<a>}</a>"));
+  ]
+
+let sql_robustness_tests =
+  let db () =
+    let db = Engine.create () in
+    ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+    db
+  in
+  [
+    tc "SQL comments are skipped" (fun () ->
+        let db = db () in
+        check Alcotest.int "rows" 0
+          (sql_count db "SELECT a FROM t -- trailing comment"));
+    tc "case-insensitive keywords and identifiers" (fun () ->
+        let db = db () in
+        ignore (Engine.sql db "insert into T values (1, null)");
+        check Alcotest.int "rows" 1 (sql_count db "select A from T where A = 1"));
+    tc "quoted identifiers preserve case" (fun () ->
+        let db = db () in
+        ignore (Engine.sql db "INSERT INTO t VALUES (1, '<x><Y>2</Y></x>')");
+        let r =
+          Engine.sql db
+            "SELECT q.\"MixedCase\" FROM t, XMLTable('$d/x/Y' passing d as \
+             \"d\" COLUMNS \"MixedCase\" INTEGER PATH '.') AS q(\"MixedCase\")"
+        in
+        check Alcotest.int "rows" 1 (List.length r.Sqlxml.Sql_exec.rrows));
+    tc "bad XMLPATTERN in DDL is rejected" (fun () ->
+        let db = db () in
+        match
+          Engine.sql db
+            "CREATE INDEX bad ON t(d) USING XMLPATTERN 'a[b]' AS DOUBLE"
+        with
+        | _ -> Alcotest.fail "should fail"
+        | exception Sqlxml.Sql_exec.Sql_runtime_error _ -> ());
+    tc "bad embedded XQuery fails at SQL parse time" (fun () ->
+        let db = db () in
+        match
+          Engine.sql db
+            "SELECT a FROM t WHERE XMLExists('for $x in' passing d as \"d\")"
+        with
+        | _ -> Alcotest.fail "should fail"
+        | exception Sqlxml.Sql_lexer.Sql_syntax_error _ -> ());
+    tc "insert arity mismatch" (fun () ->
+        let db = db () in
+        match Engine.sql db "INSERT INTO t VALUES (1)" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Failure _ -> ());
+    tc "unknown table" (fun () ->
+        let db = db () in
+        match Engine.sql db "SELECT x FROM nosuch" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Failure _ -> ());
+    tc "malformed XML document rejected on insert" (fun () ->
+        let db = db () in
+        match Engine.sql db "INSERT INTO t VALUES (1, '<a><b></a>')" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+    tc "string literal escaping ('' inside SQL strings)" (fun () ->
+        let db = db () in
+        ignore (Engine.sql db "CREATE TABLE s (v varchar(20))");
+        ignore (Engine.sql db "INSERT INTO s VALUES ('it''s')");
+        check Alcotest.int "found" 1
+          (sql_count db "SELECT v FROM s WHERE v = 'it''s'"));
+    tc "date column coercion from literal" (fun () ->
+        let db = db () in
+        ignore (Engine.sql db "CREATE TABLE dts (w date)");
+        ignore (Engine.sql db "INSERT INTO dts VALUES ('2006-09-15')");
+        check Alcotest.int "range" 1
+          (sql_count db "SELECT w FROM dts WHERE w > '2006-01-01'"));
+    tc "timestamp column" (fun () ->
+        let db = db () in
+        ignore (Engine.sql db "CREATE TABLE ts (w timestamp)");
+        ignore (Engine.sql db "INSERT INTO ts VALUES ('2006-09-15T13:00:00')");
+        check Alcotest.int "eq" 1
+          (sql_count db
+             "SELECT w FROM ts WHERE w = '2006-09-15T13:00:00'"));
+  ]
+
+let date_between_tests =
+  [
+    tc "xqdb:between over dates with a DATE index" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 50 (fun i ->
+               Printf.sprintf "<e><when>200%d-0%d-01</when></e>" (i mod 7)
+                 (1 + (i mod 9))));
+        ignore
+          (Engine.sql db
+             "CREATE INDEX dw ON t(d) USING XMLPATTERN '//when' AS DATE");
+        let q =
+          "db2-fn:xmlcolumn('T.D')//e[when/xs:date(.) >= \
+           xs:date(\"2003-01-01\") and when/xs:date(.) <= \
+           xs:date(\"2004-12-31\")]"
+        in
+        let plan = assert_def1 db q in
+        check Alcotest.bool "dw used" true
+          (List.mem "dw" plan.Planner.indexes_used));
+  ]
+
+let suite =
+  [
+    ("robust:xq_lexer", xq_lexer_tests);
+    ("robust:sql", sql_robustness_tests);
+    ("robust:dates", date_between_tests);
+  ]

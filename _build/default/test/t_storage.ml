@@ -1,0 +1,162 @@
+(** Storage layer: SQL values, tables, path tables, schema validation. *)
+
+open Helpers
+module SV = Storage.Sql_value
+
+let sql_value_tests =
+  [
+    tc "SQL string comparison ignores trailing blanks (3.3/3.6)" (fun () ->
+        check Alcotest.(option int) "eq" (Some 0)
+          (SV.compare_sql (SV.Varchar "abc  ") (SV.Varchar "abc")));
+    tc "SQL string comparison respects leading blanks" (fun () ->
+        check Alcotest.bool "neq" true
+          (SV.compare_sql (SV.Varchar " abc") (SV.Varchar "abc") <> Some 0));
+    tc "NULL comparisons are unknown" (fun () ->
+        check Alcotest.(option int) "unknown" None
+          (SV.compare_sql SV.Null (SV.Int 1L)));
+    tc "numeric promotion int/double" (fun () ->
+        check Alcotest.(option int) "eq" (Some 0)
+          (SV.compare_sql (SV.Int 2L) (SV.Double 2.)));
+    tc "type mismatch raises" (fun () ->
+        match SV.compare_sql (SV.Varchar "1") (SV.Int 1L) with
+        | _ -> Alcotest.fail "should raise"
+        | exception SV.Incomparable _ -> ());
+    tc "VARCHAR(n) coercion rejects long values" (fun () ->
+        match SV.coerce (SV.TVarchar 3) (SV.Varchar "toolong") with
+        | _ -> Alcotest.fail "should fail"
+        | exception Failure _ -> ());
+    tc "XML column accepts string documents" (fun () ->
+        match SV.coerce SV.TXml (SV.Varchar "<a/>") with
+        | SV.Xml [ Xdm.Item.N _ ] -> ()
+        | _ -> Alcotest.fail "expected parsed doc");
+    tc "to_xdm types scalar passing values (Query 13's $pid)" (fun () ->
+        match SV.to_xdm (SV.Varchar "p1") with
+        | [ Xdm.Item.A (Xdm.Atomic.Str "p1") ] -> ()
+        | _ -> Alcotest.fail "expected xs:string");
+  ]
+
+let table_tests =
+  [
+    tc "insert assigns stable row ids" (fun () ->
+        let t =
+          Storage.Table.create "t"
+            [ { Storage.Table.col_name = "a"; col_type = SV.TInt } ]
+        in
+        let r0 = Storage.Table.insert t [ SV.Int 1L ] in
+        let r1 = Storage.Table.insert t [ SV.Int 2L ] in
+        check Alcotest.bool "distinct" true (r0 <> r1);
+        ignore (Storage.Table.delete t r0);
+        let r2 = Storage.Table.insert t [ SV.Int 3L ] in
+        check Alcotest.bool "no reuse" true (r2 <> r0 && r2 <> r1));
+    tc "hooks fire on insert and delete" (fun () ->
+        let t =
+          Storage.Table.create "t"
+            [ { Storage.Table.col_name = "a"; col_type = SV.TInt } ]
+        in
+        let ins = ref 0 and del = ref 0 in
+        Storage.Table.add_hook t
+          { on_insert = (fun _ -> incr ins); on_delete = (fun _ -> incr del) };
+        let r = Storage.Table.insert t [ SV.Int 1L ] in
+        ignore (Storage.Table.delete t r);
+        check Alcotest.(pair int int) "fired" (1, 1) (!ins, !del));
+    tc "path table interns distinct rooted paths" (fun () ->
+        let t =
+          Storage.Table.create "t"
+            [ { Storage.Table.col_name = "d"; col_type = SV.TXml } ]
+        in
+        ignore
+          (Storage.Table.insert t
+             [ SV.Varchar "<o><li p=\"1\"/><li p=\"2\"/></o>" ]);
+        let pt = Storage.Table.path_table_exn t "d" in
+        (* /o, /o/li, /o/li/@p *)
+        check Alcotest.int "3 paths" 3 (Storage.Path_table.cardinality pt));
+    tc "xml_docs returns (row, doc) in insertion order" (fun () ->
+        let t =
+          Storage.Table.create "t"
+            [ { Storage.Table.col_name = "d"; col_type = SV.TXml } ]
+        in
+        ignore (Storage.Table.insert t [ SV.Varchar "<a/>" ]);
+        ignore (Storage.Table.insert t [ SV.Varchar "<b/>" ]);
+        let docs = Storage.Table.xml_docs t "d" in
+        check Alcotest.(list int) "rows" [ 0; 1 ] (List.map fst docs));
+    tc "database resolver restricts rows (Definition 1 plumbing)" (fun () ->
+        let db = Storage.Database.create () in
+        let t =
+          Storage.Database.create_table db "t"
+            [ { Storage.Table.col_name = "d"; col_type = SV.TXml } ]
+        in
+        ignore (Storage.Table.insert t [ SV.Varchar "<a/>" ]);
+        ignore (Storage.Table.insert t [ SV.Varchar "<b/>" ]);
+        let all = Storage.Database.resolver db "T.D" in
+        check Alcotest.int "all" 2 (List.length all);
+        let restricted =
+          Storage.Database.resolver
+            ~restrict_to:[ ("t.d", Xdm.Int_set.singleton 1) ]
+            db "T.D"
+        in
+        check Alcotest.int "one" 1 (List.length restricted));
+  ]
+
+let schema_tests =
+  [
+    tc "validation annotates matching nodes" (fun () ->
+        let s = Xschema.make "s" [ ("//price", Xdm.Atomic.TDouble) ] in
+        let d = parse_doc "<o><price>9.5</price></o>" in
+        check Alcotest.int "annotated" 1 (Xschema.validate s d);
+        let p = List.hd (List.hd d.Xdm.Node.children).Xdm.Node.children in
+        match Xdm.Node.typed_value p with
+        | [ Xdm.Atomic.Double 9.5 ] -> ()
+        | _ -> Alcotest.fail "expected typed double");
+    tc "validated value comparison works with gt (3.10)" (fun () ->
+        let s = Xschema.make "s" [ ("//price", Xdm.Atomic.TDouble) ] in
+        let d = parse_doc "<li><price>150</price></li>" in
+        ignore (Xschema.validate s d);
+        let resolver _ = [ Xdm.Item.N d ] in
+        let r =
+          Xquery.Eval.run_string ~resolver
+            "count(db2-fn:xmlcolumn('X.Y')/li[price gt 100 and price lt 200])"
+        in
+        check Alcotest.string "typed gt" "1"
+          (Xmlparse.Xml_writer.seq_to_string r));
+    tc "validation rejects non-conforming values (postal codes, 2.1)"
+      (fun () ->
+        let s = Xschema.make "v1" [ ("//postalcode", Xdm.Atomic.TDouble) ] in
+        let us = parse_doc "<a><postalcode>95120</postalcode></a>" in
+        check Alcotest.bool "US ok" true (Result.is_ok (Xschema.validate_opt s us));
+        let ca = parse_doc "<a><postalcode>K1A 0B1</postalcode></a>" in
+        check Alcotest.bool "Canadian rejected" true
+          (Result.is_error (Xschema.validate_opt s ca)));
+    tc "xsi:type overrides schema rules" (fun () ->
+        let s = Xschema.make "s" [] in
+        let d =
+          parse_doc
+            "<o xmlns:xsi=\"http://www.w3.org/2001/XMLSchema-instance\">\
+             <v xsi:type=\"xs:integer\">42</v></o>"
+        in
+        ignore (Xschema.validate s d);
+        let v = List.hd (List.hd d.Xdm.Node.children).Xdm.Node.children in
+        match Xdm.Node.typed_value v with
+        | [ Xdm.Atomic.Integer 42L ] -> ()
+        | _ -> Alcotest.fail "expected integer 42");
+    tc "per-document schemas: same column, different types (2.1)" (fun () ->
+        let v1 = Xschema.make "v1" [ ("//code", Xdm.Atomic.TDouble) ] in
+        let v2 = Xschema.make "v2" [ ("//code", Xdm.Atomic.TString) ] in
+        let d1 = parse_doc "<a><code>95120</code></a>" in
+        let d2 = parse_doc "<a><code>K1A 0B1</code></a>" in
+        ignore (Xschema.validate v1 d1);
+        ignore (Xschema.validate v2 d2);
+        let ty n =
+          match (List.hd (List.hd n.Xdm.Node.children).Xdm.Node.children).Xdm.Node.ann with
+          | Xdm.Node.SimpleType t -> Xdm.Atomic.type_name t
+          | Xdm.Node.Untyped -> "untyped"
+        in
+        check Alcotest.string "d1 double" "xs:double" (ty d1);
+        check Alcotest.string "d2 string" "xs:string" (ty d2));
+  ]
+
+let suite =
+  [
+    ("storage:sql_values", sql_value_tests);
+    ("storage:tables", table_tests);
+    ("storage:schema", schema_tests);
+  ]

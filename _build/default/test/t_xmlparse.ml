@@ -1,0 +1,164 @@
+(** XML parser and serializer tests. *)
+
+open Xdm
+open Helpers
+
+let el_of doc = List.hd doc.Node.children
+
+let parse_tests =
+  [
+    tc "simple element" (fun () ->
+        let d = parse_doc "<a/>" in
+        check Alcotest.string "name" "a"
+          (Qname.to_string (Option.get (el_of d).Node.name)));
+    tc "attributes" (fun () ->
+        let d = parse_doc "<a x=\"1\" y='2'/>" in
+        check Alcotest.int "n" 2 (List.length (el_of d).Node.attrs));
+    tc "duplicate attribute rejected" (fun () ->
+        match parse_doc "<a x=\"1\" x=\"2\"/>" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+    tc "text content" (fun () ->
+        let d = parse_doc "<a>hello</a>" in
+        check Alcotest.string "sv" "hello" (Node.string_value d));
+    tc "entities" (fun () ->
+        let d = parse_doc "<a>&lt;&amp;&gt;&quot;&apos;</a>" in
+        check Alcotest.string "sv" "<&>\"'" (Node.string_value d));
+    tc "character references" (fun () ->
+        let d = parse_doc "<a>&#65;&#x42;</a>" in
+        check Alcotest.string "sv" "AB" (Node.string_value d));
+    tc "UTF-8 char reference" (fun () ->
+        let d = parse_doc "<a>&#233;</a>" in
+        check Alcotest.string "sv" "\xc3\xa9" (Node.string_value d));
+    tc "CDATA" (fun () ->
+        let d = parse_doc "<a><![CDATA[<not> &markup;]]></a>" in
+        check Alcotest.string "sv" "<not> &markup;" (Node.string_value d));
+    tc "comments and PIs preserved as nodes" (fun () ->
+        let d = parse_doc "<a><!--c--><?target data?></a>" in
+        let kinds = List.map (fun (n : Node.t) -> n.Node.kind) (el_of d).Node.children in
+        check Alcotest.bool "kinds" true (kinds = [ Node.Comment; Node.Pi ]));
+    tc "xml declaration skipped" (fun () ->
+        let d = parse_doc "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>" in
+        check Alcotest.int "one child" 1 (List.length d.Node.children));
+    tc "DOCTYPE skipped" (fun () ->
+        let d = parse_doc "<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>" in
+        check Alcotest.int "one child" 1 (List.length d.Node.children));
+    tc "default namespace" (fun () ->
+        let d = parse_doc "<a xmlns=\"urn:x\"><b/></a>" in
+        let b = List.hd (el_of d).Node.children in
+        check Alcotest.string "uri" "urn:x" (Option.get b.Node.name).Qname.uri);
+    tc "prefixed namespace" (fun () ->
+        let d = parse_doc "<c:a xmlns:c=\"urn:c\"/>" in
+        check Alcotest.string "uri" "urn:c" (Option.get (el_of d).Node.name).Qname.uri);
+    tc "namespace scoping and shadowing" (fun () ->
+        let d = parse_doc "<a xmlns=\"urn:1\"><b xmlns=\"urn:2\"/><c/></a>" in
+        let kids = (el_of d).Node.children in
+        check Alcotest.string "b" "urn:2"
+          (Option.get (List.nth kids 0).Node.name).Qname.uri;
+        check Alcotest.string "c" "urn:1"
+          (Option.get (List.nth kids 1).Node.name).Qname.uri);
+    tc "attributes do not take the default namespace (paper 3.7)" (fun () ->
+        let d = parse_doc "<a xmlns=\"urn:x\" p=\"1\"/>" in
+        let attr = List.hd (el_of d).Node.attrs in
+        check Alcotest.string "uri" "" (Option.get attr.Node.name).Qname.uri);
+    tc "undeclared prefix rejected" (fun () ->
+        match parse_doc "<u:a/>" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+    tc "mismatched end tag rejected" (fun () ->
+        match parse_doc "<a></b>" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+    tc "content after root rejected" (fun () ->
+        match parse_doc "<a/><b/>" with
+        | _ -> Alcotest.fail "should fail"
+        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+    tc "attribute value normalization" (fun () ->
+        let d = parse_doc "<a x=\"1\n2\t3\"/>" in
+        let attr = List.hd (el_of d).Node.attrs in
+        check Alcotest.string "normalized" "1 2 3" attr.Node.content);
+    tc "deeply nested" (fun () ->
+        let buf = Buffer.create 256 in
+        for _ = 1 to 50 do Buffer.add_string buf "<d>" done;
+        Buffer.add_string buf "x";
+        for _ = 1 to 50 do Buffer.add_string buf "</d>" done;
+        let d = parse_doc (Buffer.contents buf) in
+        check Alcotest.string "sv" "x" (Node.string_value d));
+  ]
+
+let writer_tests =
+  [
+    tc "roundtrip simple" (fun () ->
+        let src = "<a x=\"1\"><b>t</b><c/></a>" in
+        check Alcotest.string "rt" src
+          (Xmlparse.Xml_writer.to_string (parse_doc src)));
+    tc "escapes in text and attributes" (fun () ->
+        let d = parse_doc "<a x=\"&quot;&lt;\">&amp;&lt;</a>" in
+        let s = Xmlparse.Xml_writer.to_string d in
+        check Alcotest.string "rt" "<a x=\"&quot;&lt;\">&amp;&lt;</a>" s);
+    tc "namespace declarations re-emitted" (fun () ->
+        let src = "<c:a xmlns:c=\"urn:c\"><c:b/></c:a>" in
+        let d = parse_doc src in
+        let s = Xmlparse.Xml_writer.to_string d in
+        (* reparse and compare structure *)
+        let d2 = parse_doc s in
+        let b2 = List.hd (el_of d2).Node.children in
+        check Alcotest.string "uri" "urn:c" (Option.get b2.Node.name).Qname.uri);
+    tc "default namespace re-emitted" (fun () ->
+        let d = parse_doc "<a xmlns=\"urn:x\"><b/></a>" in
+        let d2 = parse_doc (Xmlparse.Xml_writer.to_string d) in
+        let b2 = List.hd (el_of d2).Node.children in
+        check Alcotest.string "uri" "urn:x" (Option.get b2.Node.name).Qname.uri);
+  ]
+
+(* Property: parse ∘ serialize ∘ parse is stable (fixpoint after one
+   round). Random trees are generated directly as nodes. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "item"; "price" ] in
+  let text = oneofl [ "x"; "hello"; "1 2"; "<&>"; "" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun t -> Node.text t) text
+      else
+        frequency
+          [
+            (3, map (fun t -> Node.text t) text);
+            ( 2,
+              map2
+                (fun n kids ->
+                  let el = Node.element (Qname.make n) in
+                  List.iter (Node.append_child el) kids;
+                  el)
+                name
+                (list_size (int_bound 3) (self (depth - 1))) );
+          ])
+    3
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"xml parse/serialize roundtrip is stable" ~count:200
+    (QCheck.make gen_tree)
+    (fun tree ->
+      let el =
+        match tree.Node.kind with
+        | Node.Element -> tree
+        | _ ->
+            let e = Node.element (Qname.make "root") in
+            Node.append_child e tree;
+            e
+      in
+      (* One parse normalizes (merges adjacent text, drops empty text);
+         after that, parse ∘ serialize must be the identity. *)
+      let s1 = Xmlparse.Xml_writer.to_string el in
+      let d1 = Xmlparse.Xml_parser.parse_fragment s1 in
+      let s2 = Xmlparse.Xml_writer.to_string d1 in
+      let d2 = Xmlparse.Xml_parser.parse_fragment s2 in
+      let s3 = Xmlparse.Xml_writer.to_string d2 in
+      s2 = s3)
+
+let suite =
+  [
+    ("xmlparse:parser", parse_tests);
+    ("xmlparse:writer", writer_tests);
+    ("xmlparse:props", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+  ]

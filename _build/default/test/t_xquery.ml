@@ -1,0 +1,317 @@
+(** XQuery parser and evaluator tests. *)
+
+open Helpers
+
+let eval_str ?collections src expected =
+  check Alcotest.string src expected (xq_str ?collections src)
+
+let orders_coll =
+  [
+    ( "ORDERS.ORDDOC",
+      [
+        {|<order id="o1"><custid>1001</custid>
+           <lineitem price="99.50"><price>99.50</price><product><id>p17</id></product></lineitem>
+           <lineitem price="120"><price>120</price><product><id>p42</id></product></lineitem>
+         </order>|};
+        {|<order id="o2"><custid>1002</custid>
+           <lineitem price="30"><price>30</price><product><id>p17</id></product></lineitem>
+         </order>|};
+      ] );
+  ]
+
+let parser_tests =
+  [
+    tc "arithmetic precedence" (fun () -> eval_str "1 + 2 * 3" "7");
+    tc "unary minus" (fun () -> eval_str "-3 + 10" "7");
+    tc "div/idiv/mod keywords" (fun () ->
+        eval_str "7 idiv 2" "3";
+        eval_str "7 mod 2" "1";
+        eval_str "1 div 2" "0.5");
+    tc "comma sequences" (fun () -> eval_str "(1, 2, (3, 4))" "1 2 3 4");
+    tc "range to" (fun () -> eval_str "1 to 5" "1 2 3 4 5");
+    tc "empty range" (fun () -> eval_str "5 to 1" "");
+    tc "string literals with doubled quotes" (fun () ->
+        eval_str {|"he said ""hi"""|} {|he said "hi"|});
+    tc "comments are skipped" (fun () ->
+        eval_str "1 (: comment (: nested :) :) + 1" "2");
+    tc "if then else" (fun () ->
+        eval_str "if (1 < 2) then 'a' else 'b'" "a");
+    tc "quantified some/every" (fun () ->
+        eval_str "some $x in (1,2,3) satisfies $x > 2" "true";
+        eval_str "every $x in (1,2,3) satisfies $x > 2" "false");
+    tc "cast as syntax" (fun () -> eval_str "'42' cast as xs:integer" "42");
+    tc "castable as" (fun () ->
+        eval_str "'abc' castable as xs:double" "false";
+        eval_str "'1.5' castable as xs:double" "true");
+    tc "constructor function style cast" (fun () ->
+        eval_str "xs:double('2.5') + 0.5" "3");
+    tc "prolog namespace declaration" (fun () ->
+        eval_str
+          "declare namespace z = \"urn:z\"; 1"
+          "1");
+    tc "undefined variable is a static error" (fun () ->
+        expect_error "XPST0008" (fun () -> xq "$nosuch + 1"));
+    tc "undeclared prefix is a static error" (fun () ->
+        expect_error "XPST0081" (fun () -> xq "count(/z:a)" ~collections:[]));
+    tc "syntax error has code XPST0003" (fun () ->
+        expect_error "XPST0003" (fun () -> xq "for $x in"));
+    tc "unknown function" (fun () ->
+        expect_error "XPST0017" (fun () -> xq "fn:frobnicate(1)"));
+    tc "parser handles name-vs-operator ambiguity (div as element)" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<div>7</div>" ]) ]
+          "db2-fn:xmlcolumn('C.D')/div/xs:double(.)" "7");
+  ]
+
+let path_tests =
+  [
+    tc "child and attribute axes" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem/@price)" "3");
+    tc "descendant //" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//id)" "3");
+    tc "wildcard *" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/*)" "5");
+    tc "parent axis" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//id/../..)" "3");
+    tc "self axis" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/self::lineitem)"
+          "3");
+    tc "text() kind test" (fun () ->
+        eval_str ~collections:orders_coll
+          "(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order)[1]/custid/text()" "1001");
+    tc "positional predicates apply per context item" (fun () ->
+        (* order[1] selects the first order of EACH document *)
+        eval_str ~collections:orders_coll
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[1]/custid/text()"
+          "1001 1002");
+    tc "node() excludes attributes (paper 3.9)" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<a x=\"1\"><b/>t</a>" ]) ]
+          "count(db2-fn:xmlcolumn('C.D')//node())" "3"
+        (* a, b, text — never the attribute *));
+    tc "@* finds attributes" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<a x=\"1\" y=\"2\"><b z=\"3\"/></a>" ]) ]
+          "count(db2-fn:xmlcolumn('C.D')//@*)" "3");
+    tc "positional predicate" (fun () ->
+        eval_str ~collections:orders_coll
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[2]/product/id/data(.)"
+          "p42");
+    tc "last()" (fun () ->
+        eval_str ~collections:orders_coll
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem[last()]/@price/data(.)"
+          "120 30");
+    tc "path results in document order, deduplicated" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<a><b><c/></b><b><c/></b></a>" ]) ]
+          "count(db2-fn:xmlcolumn('C.D')//c/.. | db2-fn:xmlcolumn('C.D')//b)"
+          "2");
+    tc "comma concatenation keeps duplicates (unlike |)" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<a><b><c/></b><b><c/></b></a>" ]) ]
+          "count((db2-fn:xmlcolumn('C.D')//c/.., db2-fn:xmlcolumn('C.D')//b))"
+          "4");
+    tc "predicates with and/or" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 50 and @price < 130])"
+          "2");
+    tc "step expression with cast (Query 4 style)" (fun () ->
+        eval_str ~collections:orders_coll
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/custid/xs:double(.)"
+          "1001 1002");
+    tc "axis step on atomic value errors" (fun () ->
+        expect_error "XPTY0018" (fun () -> xq "(1,2)/child::a"));
+    tc "mixed nodes and atomics in last step errors" (fun () ->
+        expect_error "XPTY0018" (fun () ->
+            xq ~collections:orders_coll
+              "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/(custid, 1)"));
+  ]
+
+let comparison_tests =
+  [
+    tc "general comparison is existential" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 100])"
+          "1");
+    tc "untyped vs number compares numerically" (fun () ->
+        eval_str ~collections:orders_coll
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[custid = 1002]/@id/data(.)"
+          "o2");
+    tc "untyped vs string compares as string (paper 3.1)" (fun () ->
+        (* "99.50" > "100" is TRUE as strings *)
+        eval_str "let $x := <p>99.50</p> return $x > \"100\"" "true";
+        eval_str "let $x := <p>99.50</p> return $x > 100" "false");
+    tc "untyped vs untyped compares as strings" (fun () ->
+        eval_str "<a>10</a> = <b>10.0</b>" "false");
+    tc "value comparison requires singleton (paper 3.10)" (fun () ->
+        expect_error "XPTY0004" (fun () ->
+            xq ~collections:orders_coll
+              "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[1]/lineitem/@price gt 10"));
+    tc "value comparison untyped → string" (fun () ->
+        expect_error "XPTY0004" (fun () ->
+            xq "<p>50</p> gt 10" (* untyped→string vs integer *)));
+    tc "value comparison on empty gives empty" (fun () ->
+        eval_str "count(() gt 1)" "0");
+    tc "general comparison cast failure is an error" (fun () ->
+        expect_error "FORG0001" (fun () -> xq "<p>abc</p> > 10"));
+    tc "NaN comparisons" (fun () ->
+        eval_str "xs:double('NaN') = xs:double('NaN')" "false";
+        eval_str "xs:double('NaN') != 1" "true");
+    tc "node comparison is" (fun () ->
+        eval_str "let $a := <x/> return $a is $a" "true";
+        eval_str "<x/> is <x/>" "false");
+    tc "node order << >>" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<a><b/><c/></a>" ]) ]
+          "db2-fn:xmlcolumn('C.D')//b << db2-fn:xmlcolumn('C.D')//c" "true");
+  ]
+
+let flwor_tests =
+  [
+    tc "for iterates, let binds sequence (Section 3.4)" (fun () ->
+        eval_str "for $x in (1,2,3) return $x * 10" "10 20 30";
+        eval_str "let $x := (1,2,3) return count($x)" "3");
+    tc "for over empty produces nothing" (fun () ->
+        eval_str "for $x in () return 'never'" "");
+    tc "let of empty still produces one tuple" (fun () ->
+        eval_str "let $x := () return 'once'" "once");
+    tc "where filters tuples" (fun () ->
+        eval_str "for $x in (1,2,3,4) where $x mod 2 = 0 return $x" "2 4");
+    tc "where with empty sequence eliminates (Query 20/21)" (fun () ->
+        eval_str
+          ~collections:orders_coll
+          "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order let $p := $o/lineitem[@price > 100] where $p return $o/@id/data(.)"
+          "o1");
+    tc "multiple for clauses make a product" (fun () ->
+        eval_str "for $x in (1,2), $y in (10,20) return $x + $y"
+          "11 21 12 22");
+    tc "order by ascending/descending" (fun () ->
+        eval_str "for $x in (3,1,2) order by $x return $x" "1 2 3";
+        eval_str "for $x in (3,1,2) order by $x descending return $x" "3 2 1");
+    tc "order by untyped key" (fun () ->
+        eval_str ~collections:orders_coll
+          "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem order by $i/@price/xs:double(.) return $i/product/id/data(.)"
+          "p17 p17 p42");
+    tc "nested flwor" (fun () ->
+        eval_str
+          "for $x in (for $y in (1,2) return $y * 10) return $x + 1" "11 21");
+  ]
+
+let function_tests =
+  [
+    tc "count/exists/empty" (fun () ->
+        eval_str "count((1,2,3))" "3";
+        eval_str "exists(())" "false";
+        eval_str "empty(())" "true");
+    tc "string functions" (fun () ->
+        eval_str "concat('a', 'b', 'c')" "abc";
+        eval_str "string-join(('a','b'), '-')" "a-b";
+        eval_str "contains('hello', 'ell')" "true";
+        eval_str "starts-with('hello', 'he')" "true";
+        eval_str "upper-case('abc')" "ABC";
+        eval_str "substring('hello', 3)" "llo";
+        eval_str "normalize-space('  a   b ')" "a b";
+        eval_str "string-length('abcd')" "4");
+    tc "numeric functions" (fun () ->
+        eval_str "sum((1,2,3))" "6";
+        eval_str "avg((1,2,3))" "2";
+        eval_str "min((3,1,2))" "1";
+        eval_str "max((3,1,2))" "3";
+        eval_str "abs(-3)" "3";
+        eval_str "floor(1.7)" "1";
+        eval_str "ceiling(1.2)" "2");
+    tc "number() returns NaN on garbage" (fun () ->
+        eval_str "number('abc')" "NaN");
+    tc "sum of untyped atomizes to double" (fun () ->
+        eval_str "sum((<a>1</a>, <a>2.5</a>))" "3.5");
+    tc "distinct-values" (fun () ->
+        (* '1' is xs:string: distinct from the number 1; 1 and 1.0 collapse *)
+        eval_str "count(distinct-values((1, 1.0, '1', 2)))" "3");
+    tc "data() atomizes" (fun () ->
+        eval_str "data(<a>42</a>) + 1" "43");
+    tc "string() on node" (fun () ->
+        eval_str "string(<a>x<b>y</b></a>)" "xy");
+    tc "root()" (fun () ->
+        eval_str ~collections:orders_coll
+          "count(root((db2-fn:xmlcolumn('ORDERS.ORDDOC')//id)[1]))" "1");
+    tc "name/local-name/namespace-uri" (fun () ->
+        eval_str "local-name(<a:x xmlns:a=\"urn:a\"/>)" "x";
+        eval_str "namespace-uri(<a:x xmlns:a=\"urn:a\"/>)" "urn:a");
+    tc "not()" (fun () -> eval_str "not(())" "true");
+    tc "reverse and subsequence" (fun () ->
+        eval_str "reverse((1,2,3))" "3 2 1";
+        eval_str "subsequence((1,2,3,4), 3)" "3 4");
+  ]
+
+let set_op_tests =
+  [
+    tc "union dedups by identity" (fun () ->
+        eval_str "let $a := <x/> return count(($a, $a) | $a)" "1");
+    tc "union keyword" (fun () ->
+        eval_str "let $a := <x/> let $b := <y/> return count($a union $b)" "2");
+    tc "intersect" (fun () ->
+        eval_str
+          "let $a := <x/> let $b := <y/> return count(($a, $b) intersect $a)"
+          "1");
+    tc "except respects node identity (paper 3.6 case 5)" (fun () ->
+        (* copies have fresh identities: except removes nothing *)
+        eval_str
+          ~collections:orders_coll
+          "let $view := <v>{db2-fn:xmlcolumn('ORDERS.ORDDOC')//product}</v> \
+           return count($view/product except \
+           db2-fn:xmlcolumn('ORDERS.ORDDOC')//product)"
+          "3");
+    tc "union of atomics is a type error" (fun () ->
+        expect_error "XPTY0004" (fun () -> xq "(1,2) | (3)"));
+  ]
+
+let ns_tests =
+  [
+    tc "default element namespace applies to name tests" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<o xmlns=\"urn:x\"><p>5</p></o>" ]) ]
+          "declare default element namespace \"urn:x\"; \
+           db2-fn:xmlcolumn('C.D')/o/p/data(.)"
+          "5");
+    tc "without declaration, names do not match namespaced elements" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<o xmlns=\"urn:x\"><p>5</p></o>" ]) ]
+          "count(db2-fn:xmlcolumn('C.D')/o)" "0");
+    tc "prefixed name test" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<c:o xmlns:c=\"urn:c\">7</c:o>" ]) ]
+          "declare namespace k = \"urn:c\"; db2-fn:xmlcolumn('C.D')/k:o/data(.)"
+          "7");
+    tc "*:local wildcard" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<o xmlns=\"urn:x\">1</o>" ]) ]
+          "count(db2-fn:xmlcolumn('C.D')/*:o)" "1");
+    tc "prefix:* wildcard" (fun () ->
+        eval_str
+          ~collections:[ ("C.D", [ "<c:o xmlns:c=\"urn:c\"><c:p/></c:o>" ]) ]
+          "declare namespace k = \"urn:c\"; count(db2-fn:xmlcolumn('C.D')//k:*)"
+          "2");
+    tc "default element ns does not apply to attributes (paper 3.7)" (fun () ->
+        eval_str
+          ~collections:
+            [ ("C.D", [ "<o xmlns=\"urn:x\" price=\"9\"><p price=\"3\"/></o>" ]) ]
+          "declare default element namespace \"urn:x\"; \
+           count(db2-fn:xmlcolumn('C.D')//@price)"
+          "2");
+  ]
+
+let suite =
+  [
+    ("xquery:parser", parser_tests);
+    ("xquery:paths", path_tests);
+    ("xquery:comparisons", comparison_tests);
+    ("xquery:flwor", flwor_tests);
+    ("xquery:functions", function_tests);
+    ("xquery:setops", set_op_tests);
+    ("xquery:namespaces", ns_tests);
+  ]
