@@ -692,8 +692,134 @@ let e15 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Governor overhead (--governor-overhead)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Measures the cost of running with the resource governor armed.
+
+    Every paper query whose evaluation is timing-meaningful is run twice
+    over the same 500-document database: once with limits disabled
+    (unarmed meter — the single [armed] branch per eval step) and once
+    with generous-but-armed limits, and the per-query overhead is
+    reported.  Queries 4/6/10/12/14/20/23–29 are error-demonstration,
+    namespace-setup or plan-inspection cases and are exercised in
+    test/t_paper.ml instead. *)
+let governor_overhead () =
+  let db = build_db ~n:500 () in
+  ddl db
+    [
+      "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+       '//lineitem/@price' AS DOUBLE";
+      "CREATE INDEX li_price_v ON orders(orddoc) USING XMLPATTERN \
+       '//lineitem/@price' AS VARCHAR(20)";
+      "CREATE INDEX li_pid ON orders(orddoc) USING XMLPATTERN \
+       '//lineitem/product/id' AS VARCHAR(20)";
+      "CREATE INDEX c_custid ON customer(cdoc) USING XMLPATTERN \
+       '/customer/id' AS DOUBLE";
+    ];
+  let armed =
+    {
+      Xdm.Limits.max_steps = Some 1_000_000_000;
+      max_nodes = Some 1_000_000_000;
+      max_depth = Some 10_000;
+      timeout = Some 300.;
+    }
+  in
+  let xq name src = (name, xq_n db src) in
+  let sql name src = (name, sql_n db src) in
+  let queries =
+    [
+      xq "Q1: //order[lineitem/@price>990]"
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>990]";
+      xq "Q2: @* wildcard (scan)"
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>990]";
+      xq "Q3: string predicate"
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"990\"]";
+      sql "Q5: XMLQuery select list"
+        "SELECT XMLQuery('$o//lineitem[@price > 990]' passing orddoc as \
+         \"o\") FROM orders";
+      xq "Q7: stand-alone XQuery"
+        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 990]";
+      sql "Q8: XMLExists"
+        "SELECT ordid, orddoc FROM orders WHERE \
+         XMLExists('$o//lineitem[@price > 990]' passing orddoc as \"o\")";
+      sql "Q9: boolean XMLExists"
+        "SELECT ordid, orddoc FROM orders WHERE \
+         XMLExists('$o//lineitem/@price > 990' passing orddoc as \"o\")";
+      sql "Q11: XMLTable row-producer"
+        "SELECT o.ordid, t.li FROM orders o, XMLTable('$o//lineitem[@price \
+         > 990]' passing o.orddoc as \"o\" COLUMNS \"li\" XML BY REF PATH \
+         '.') as t(li)";
+      sql "Q13: product join in XQuery"
+        "SELECT p.name FROM products p, orders o WHERE XMLExists('$o \
+         //lineitem/product[id eq $pid]' passing o.orddoc as \"o\", p.id \
+         as \"pid\")";
+      sql "Q15: SQL-side XML join"
+        "SELECT c.cid FROM orders o, customer c WHERE \
+         XMLCast(XMLQuery('$o/order/custid' passing o.orddoc as \"o\") as \
+         DOUBLE) = XMLCast(XMLQuery('$c/customer/id' passing c.cdoc as \
+         \"c\") as DOUBLE)";
+      sql "Q16: XQuery-side join + casts"
+        "SELECT c.cid FROM orders o, customer c WHERE \
+         XMLExists('$o/order[custid/xs:double(.) = \
+         $c/customer/id/xs:double(.)]' passing o.orddoc as \"o\", c.cdoc \
+         as \"c\")";
+      xq "Q17: for binding"
+        "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') for $i in \
+         $d//lineitem[@price > 990] return <result>{$i}</result>";
+      xq "Q18: let binding (scan)"
+        "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') let $i := \
+         $d//lineitem[@price > 990] return <result>{$i}</result>";
+      xq "Q19: ctor in return (scan)"
+        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+         <result>{$o/lineitem[@price > 990]}</result>";
+      xq "Q21: let + where"
+        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order let $p := \
+         $o/lineitem/@price where $p > 990 return \
+         <result>{$o/lineitem}</result>";
+      xq "Q22: bare path in return"
+        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+         $o/lineitem[@price > 990]";
+      xq "Q30: attribute between"
+        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+         //order[lineitem[@price>100 and @price<200]] return $i";
+    ]
+  in
+  Printf.printf
+    "Governor overhead — paper query suite, 500 orders, limits off vs \
+     armed (%s)\n"
+    (Xdm.Limits.to_string armed);
+  Printf.printf "  %-36s %12s %12s %9s\n" "query" "limits off" "limits on"
+    "overhead";
+  let overheads =
+    List.map
+      (fun (name, run) ->
+        Engine.set_limits db Xdm.Limits.unlimited;
+        ignore (run ());
+        let off = measure_ns ~quota:0.25 (name ^ " off") (fun () -> ignore (run ())) in
+        Engine.set_limits db armed;
+        ignore (run ());
+        let on = measure_ns ~quota:0.25 (name ^ " on") (fun () -> ignore (run ())) in
+        let pct = (on -. off) /. off *. 100. in
+        Printf.printf "  %-36s %12s %12s %+8.1f%%\n" name (pretty_ns off)
+          (pretty_ns on) pct;
+        flush stdout;
+        pct)
+      queries
+  in
+  Engine.set_limits db Xdm.Limits.unlimited;
+  let mean =
+    List.fold_left ( +. ) 0. overheads /. float_of_int (List.length overheads)
+  in
+  Printf.printf "\n  mean governor overhead over %d queries: %+.1f%%\n"
+    (List.length overheads) mean
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  if Array.exists (fun a -> a = "--governor-overhead") Sys.argv then (
+    governor_overhead ();
+    exit 0);
   Printf.printf
     "xqdb benchmark harness — reproducing the performance shape of \"On \
      the Path to Efficient XML Queries\" (VLDB 2006)\n";

@@ -7,11 +7,47 @@
     - [\q] quit
     - [\explain on|off]   print plan notes after each statement
     - [\indexes off|on]   disable/enable index usage
+    - [\limits ...]       show / set resource budgets (see ROBUSTNESS.md)
     - [\advise <query>]   run the Tips 1-12 advisor
     - [\tables] [\idx]    catalog listings
     - [\demo]             load a small orders/customer/products demo db *)
 
 let explain = ref false
+
+(** [\limits] — bare: show; [off]: clear; otherwise whitespace-separated
+    [steps=N nodes=N depth=N timeout=SECS] assignments (merged into the
+    current limits). *)
+let set_limits_cmd db (args : string) =
+  let args = String.trim args in
+  if args = "" then
+    print_endline (Xdm.Limits.to_string (Engine.limits db))
+  else if args = "off" then begin
+    Engine.set_limits db Xdm.Limits.unlimited;
+    print_endline "limits cleared"
+  end
+  else begin
+    let l = ref (Engine.limits db) in
+    String.split_on_char ' ' args
+    |> List.filter (fun s -> s <> "")
+    |> List.iter (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> Printf.printf "bad \\limits argument %S (want key=value)\n" kv
+           | Some i -> (
+               let k = String.sub kv 0 i in
+               let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+               match (k, int_of_string_opt v, float_of_string_opt v) with
+               | "steps", Some n, _ -> l := { !l with Xdm.Limits.max_steps = Some n }
+               | "nodes", Some n, _ -> l := { !l with Xdm.Limits.max_nodes = Some n }
+               | "depth", Some n, _ -> l := { !l with Xdm.Limits.max_depth = Some n }
+               | "timeout", _, Some s -> l := { !l with Xdm.Limits.timeout = Some s }
+               | _ ->
+                   Printf.printf
+                     "bad \\limits argument %S (want steps=N nodes=N depth=N \
+                      timeout=SECS)\n"
+                     kv));
+    Engine.set_limits db !l;
+    print_endline (Xdm.Limits.to_string (Engine.limits db))
+  end
 
 let print_result (r : Sqlxml.Sql_exec.result) =
   if r.Sqlxml.Sql_exec.rcols <> [] then
@@ -52,6 +88,9 @@ let exec_one db (line : string) =
   else if line = "\\explain off" then explain := false
   else if line = "\\indexes off" then Engine.set_use_indexes db false
   else if line = "\\indexes on" then Engine.set_use_indexes db true
+  else if line = "\\limits" then set_limits_cmd db ""
+  else if String.length line > 8 && String.sub line 0 8 = "\\limits " then
+    set_limits_cmd db (String.sub line 8 (String.length line - 8))
   else if line = "\\tables" then
     List.iter
       (fun (t : Storage.Table.t) ->
@@ -108,6 +147,25 @@ let exec_one db (line : string) =
           List.iter (fun n -> Printf.printf "-- %s\n" n) plan.Planner.notes
   end
 
+(** Report any statement failure without killing the session. The final
+    catch-all matters: a statement that parses as SQL but dies on an
+    exception no handler names must not take the shell down with it. *)
+let report_error = function
+  | Xdm.Xerror.Error { code; msg } -> Printf.printf "ERROR [%s] %s\n" code msg
+  | Sqlxml.Sql_exec.Sql_runtime_error m -> Printf.printf "SQL ERROR: %s\n" m
+  | Sqlxml.Sql_lexer.Sql_syntax_error m -> Printf.printf "SYNTAX ERROR: %s\n" m
+  | Xmlparse.Xml_parser.Xml_error { pos; msg } ->
+      Printf.printf "XML ERROR at offset %d: %s\n" pos msg
+  | Faultinject.Injected { point; msg } ->
+      Printf.printf "FAULT [%s] %s (statement rolled back)\n" point msg
+  | Failure m -> Printf.printf "ERROR: %s\n" m
+  | e -> Printf.printf "UNEXPECTED ERROR: %s\n" (Printexc.to_string e)
+
+let exec_line db line =
+  try exec_one db line with
+  | Exit -> raise Exit
+  | e -> report_error e
+
 let repl db =
   (try
      while true do
@@ -115,16 +173,7 @@ let repl db =
        flush stdout;
        match In_channel.input_line stdin with
        | None -> raise Exit
-       | Some line -> (
-           try exec_one db line with
-           | Exit -> raise Exit
-           | Xdm.Xerror.Error { code; msg } ->
-               Printf.printf "ERROR [%s] %s\n" code msg
-           | Sqlxml.Sql_exec.Sql_runtime_error m ->
-               Printf.printf "SQL ERROR: %s\n" m
-           | Sqlxml.Sql_lexer.Sql_syntax_error m ->
-               Printf.printf "SYNTAX ERROR: %s\n" m
-           | Failure m -> Printf.printf "ERROR: %s\n" m)
+       | Some line -> exec_line db line
      done
    with Exit | End_of_file -> ());
   print_endline "bye"
@@ -154,16 +203,7 @@ let main script demo do_explain =
             while true do
               match In_channel.input_line ic with
               | None -> raise Exit
-              | Some line -> (
-                  try exec_one db line with
-                  | Exit -> raise Exit
-                  | Xdm.Xerror.Error { code; msg } ->
-                      Printf.printf "ERROR [%s] %s\n" code msg
-                  | Sqlxml.Sql_exec.Sql_runtime_error m ->
-                      Printf.printf "SQL ERROR: %s\n" m
-                  | Sqlxml.Sql_lexer.Sql_syntax_error m ->
-                      Printf.printf "SYNTAX ERROR: %s\n" m
-                  | Failure m -> Printf.printf "ERROR: %s\n" m)
+              | Some line -> exec_line db line
             done
           with Exit -> ())
   | None -> repl db

@@ -115,7 +115,12 @@ module Make (K : ORDERED) = struct
           t.size <- t.size + 1;
           if Array.length l.keys <= t.max_keys then NoSplit
           else begin
-            (* Split the leaf in half; right half becomes a new leaf. *)
+            (* Split the leaf in half; right half becomes a new leaf.
+               The fault point fires after the key landed in the (now
+               overfull) leaf: an overfull leaf is still scannable and
+               deletable, so rollback after an injected split failure is
+               safe. *)
+            Faultinject.hit "btree.split";
             let n = Array.length l.keys in
             let mid = n / 2 in
             let right =

@@ -32,6 +32,11 @@ let rel_indexes t = t.sqlctx.Sqlxml.Sql_exec.rindexes
 let set_use_indexes t b = t.sqlctx.Sqlxml.Sql_exec.use_indexes <- b
 let use_indexes t = t.sqlctx.Sqlxml.Sql_exec.use_indexes
 
+(** Resource budgets applied to every subsequent statement (SQL and
+    stand-alone XQuery). Default: {!Xdm.Limits.unlimited}. *)
+let set_limits t l = t.sqlctx.Sqlxml.Sql_exec.limits <- l
+let limits t = t.sqlctx.Sqlxml.Sql_exec.limits
+
 (* ------------------------------------------------------------------ *)
 (* SQL/XML                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -53,14 +58,14 @@ let last_indexes_used t = t.sqlctx.Sqlxml.Sql_exec.used
 (** Run a stand-alone XQuery, using eligible indexes to pre-filter
     collections. Returns the result and the plan (with EXPLAIN notes). *)
 let xquery t (src : string) : Xdm.Item.seq * Planner.t =
-  if use_indexes t then Planner.run_xquery (catalog t) src
+  if use_indexes t then Planner.run_xquery ~limits:(limits t) (catalog t) src
   else
-    ( Planner.run_xquery_noindex (catalog t) src,
+    ( Planner.run_xquery_noindex ~limits:(limits t) (catalog t) src,
       { Planner.restrictions = []; notes = [ "index use disabled" ]; indexes_used = [] } )
 
 (** Run a stand-alone XQuery with a full collection scan (baseline). *)
 let xquery_noindex t (src : string) : Xdm.Item.seq =
-  Planner.run_xquery_noindex (catalog t) src
+  Planner.run_xquery_noindex ~limits:(limits t) (catalog t) src
 
 (** Serialize a result sequence the way a query shell would. *)
 let to_xml (seq : Xdm.Item.seq) : string = Xmlparse.Xml_writer.seq_to_string seq
@@ -70,25 +75,50 @@ let to_xml (seq : Xdm.Item.seq) : string = Xmlparse.Xml_writer.seq_to_string seq
 (* ------------------------------------------------------------------ *)
 
 (** Insert pre-rendered XML documents into [table]; non-XML columns get
-    the row number / NULLs. Faster than going through INSERT parsing. *)
+    the row number / NULLs. Faster than going through INSERT parsing.
+    The whole load is one atomic statement: a failure on the Nth document
+    (parse error, injected fault) rolls back every row and index entry
+    added so far. *)
 let load_documents t ~table ~column (docs : string list) : unit =
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
-  List.iteri
-    (fun i doc ->
-      let values =
-        List.mapi
-          (fun j (c : Storage.Table.col_def) ->
-            if j = coli then Storage.Sql_value.Varchar doc
-            else
-              match c.Storage.Table.col_type with
-              | Storage.Sql_value.TInt ->
-                  Storage.Sql_value.Int (Int64.of_int (i + 1))
-              | _ -> Storage.Sql_value.Null)
-          tbl.Storage.Table.cols
-      in
-      ignore (Storage.Table.insert tbl values))
-    docs
+  let log = Storage.Undo.create () in
+  match
+    List.iteri
+      (fun i doc ->
+        let values =
+          List.mapi
+            (fun j (c : Storage.Table.col_def) ->
+              if j = coli then Storage.Sql_value.Varchar doc
+              else
+                match c.Storage.Table.col_type with
+                | Storage.Sql_value.TInt ->
+                    Storage.Sql_value.Int (Int64.of_int (i + 1))
+                | _ -> Storage.Sql_value.Null)
+            tbl.Storage.Table.cols
+        in
+        ignore (Storage.Table.insert ~log tbl values))
+      docs
+  with
+  | () -> Storage.Undo.commit log
+  | exception ex ->
+      Storage.Undo.rollback log;
+      raise ex
+
+(** Re-derive every XML index's expected entries from its table's current
+    documents and diff them against the B+Tree. Returns one
+    [(index name, discrepancies)] pair per XML index; all-empty lists mean
+    the indexes are exactly consistent with the stored data. *)
+let check_consistency t : (string * string list) list =
+  List.map
+    (fun (idx : Xmlindex.Xindex.t) ->
+      let d = idx.Xmlindex.Xindex.def in
+      let tbl = Storage.Database.table_exn (database t) d.Xmlindex.Xindex.table in
+      let pt = Storage.Table.path_table_exn tbl d.Xmlindex.Xindex.column in
+      let docs = Storage.Table.xml_docs tbl d.Xmlindex.Xindex.column in
+      ( d.Xmlindex.Xindex.iname,
+        Xmlindex.Xindex.check_consistency idx pt docs ))
+    (xml_indexes t)
 
 (** Validate every document of an XML column against [schema] in place
     (per-document typing, Section 2.1 of the paper). Returns the number of

@@ -1,0 +1,59 @@
+(** Fault-injection harness.
+
+    Tests (and the bench) arm named trigger points sprinkled through the
+    storage, index, B+Tree and evaluator layers; the Nth operation that
+    passes an armed point raises [Injected]. The statement-atomicity
+    machinery must then roll the catalog back to its pre-statement state —
+    that is what the robustness tests assert.
+
+    Trigger points currently wired in:
+    - ["storage.insert"]   — entry of {!Storage.Table.insert} (per row)
+    - ["storage.update"]   — entry of {!Storage.Table.update} (per row)
+    - ["index.insert_doc"] — entry of {!Xmlindex.Xindex.insert_doc} (per doc)
+    - ["index.delete_doc"] — entry of {!Xmlindex.Xindex.delete_doc} (per doc)
+    - ["btree.split"]      — a B+Tree leaf is about to split
+    - ["eval.step"]        — every {!Xquery.Eval.eval} step
+
+    A trigger is one-shot: it disarms itself when it fires, so rollback
+    code running in the wake of an injected fault cannot re-trigger it.
+    The [hit] fast path is a single ref read when nothing is armed, so
+    leaving the calls compiled in costs effectively nothing. *)
+
+exception Injected of { point : string; msg : string }
+
+let enabled = ref false
+let armed : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+(** Arm [point] to fail its [n]th hit from now (1-based). *)
+let arm ~point ~n =
+  if n < 1 then invalid_arg "Faultinject.arm: n must be >= 1";
+  Hashtbl.replace armed point (ref n);
+  enabled := true
+
+let disarm point =
+  Hashtbl.remove armed point;
+  if Hashtbl.length armed = 0 then enabled := false
+
+(** Disarm everything (call between tests). *)
+let reset () =
+  Hashtbl.reset armed;
+  enabled := false
+
+(** Currently armed points with their remaining countdown. *)
+let armed_points () =
+  Hashtbl.fold (fun p c acc -> (p, !c) :: acc) armed []
+  |> List.sort compare
+
+let fire point =
+  disarm point;
+  raise (Injected { point; msg = Printf.sprintf "injected fault at %s" point })
+
+(** Trigger point: decrements the countdown of [point] if armed and raises
+    [Injected] when it reaches zero. *)
+let hit point =
+  if !enabled then
+    match Hashtbl.find_opt armed point with
+    | None -> ()
+    | Some c ->
+        decr c;
+        if !c <= 0 then fire point

@@ -342,7 +342,8 @@ let restrict_collection ?(params = []) ?(xml_bindings = []) (cat : catalog)
 (** Parse, analyze, plan and execute a stand-alone XQuery against the
     database, using eligible indexes to pre-filter collections
     (Definition 1's [Q(I(P, D))]). *)
-let run_xquery (cat : catalog) (src : string) : Xdm.Item.seq * t =
+let run_xquery ?(limits = Xdm.Limits.unlimited) (cat : catalog)
+    (src : string) : Xdm.Item.seq * t =
   let q = Xquery.Parser.parse_query src in
   let q = Xquery.Static.resolve q in
   let tree = Eligibility.Extract.analyze q in
@@ -353,19 +354,20 @@ let run_xquery (cat : catalog) (src : string) : Xdm.Item.seq * t =
   let ctx =
     Xquery.Ctx.init ~resolver
       ~construction_preserve:q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
-      ()
+      ~meter:(Xdm.Limits.meter ~limits ()) ()
   in
   let result = Xquery.Eval.eval ctx q.Xquery.Ast.body in
   (result, plan)
 
 (** Execute without any index use (the baseline collection scan). *)
-let run_xquery_noindex (cat : catalog) (src : string) : Xdm.Item.seq =
+let run_xquery_noindex ?(limits = Xdm.Limits.unlimited) (cat : catalog)
+    (src : string) : Xdm.Item.seq =
   let q = Xquery.Parser.parse_query src in
   let q = Xquery.Static.resolve q in
   let resolver = Storage.Database.resolver cat.db in
   let ctx =
     Xquery.Ctx.init ~resolver
       ~construction_preserve:q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
-      ()
+      ~meter:(Xdm.Limits.meter ~limits ()) ()
   in
   Xquery.Eval.eval ctx q.Xquery.Ast.body

@@ -97,6 +97,11 @@ type stmt =
     }
   | CreateRelIndex of { cr_name : string; cr_table : string; cr_column : string }
   | Insert of string * sexpr list list
+  | Update of {
+      upd_table : string;
+      upd_set : (string * sexpr) list;
+      upd_where : cond option;
+    }
   | Delete of { del_table : string; del_where : cond option }
   | Explain of stmt  (** EXPLAIN <select>: plan notes as rows *)
   | DropIndex of string

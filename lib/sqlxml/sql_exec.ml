@@ -39,6 +39,10 @@ type ctx = {
       (** memo: embedded query source → statically resolved query *)
   embed_plans : (string, (string * Xdm.Int_set.t) list) Hashtbl.t;
       (** per-statement memo: embed source → constant-plan restrictions *)
+  mutable limits : Xdm.Limits.t;  (** resource budgets per statement *)
+  mutable meter : Xdm.Limits.meter;
+      (** the running statement's meter; fresh per [exec] so every
+          embedded XQuery draws from one shared per-statement budget *)
 }
 
 let create db =
@@ -51,6 +55,8 @@ let create db =
     used = [];
     resolved = Hashtbl.create 32;
     embed_plans = Hashtbl.create 32;
+    limits = Xdm.Limits.unlimited;
+    meter = Xdm.Limits.meter ();
   }
 
 let note ctx fmt =
@@ -219,7 +225,8 @@ let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
   let xctx =
     Xquery.Ctx.init ~resolver
       ~construction_preserve:
-        q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve ()
+        q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
+      ~meter:ctx.meter ()
   in
   let xctx = Xquery.Ctx.bind_all xctx vars in
   Xquery.Eval.eval xctx q.Xquery.Ast.body
@@ -540,7 +547,7 @@ let xmltable_column ctx (item : Xdm.Item.t) (col : xt_col) : SV.t =
         q
   in
   let resolver = Storage.Database.resolver ctx.db in
-  let xctx = Xquery.Ctx.init ~resolver () in
+  let xctx = Xquery.Ctx.init ~resolver ~meter:ctx.meter () in
   let xctx = Xquery.Ctx.with_focus xctx item 1 1 in
   let seq = Xquery.Eval.eval xctx q.Xquery.Ast.body in
   match col.xc_type with
@@ -695,6 +702,7 @@ let rec exec_select ctx (s : select) : result =
         in
         List.iter
           (fun (r : Storage.Table.row) ->
+            Xdm.Limits.tick ctx.meter;
             let frame =
               {
                 f_alias = alias;
@@ -717,6 +725,7 @@ let rec exec_select ctx (s : select) : result =
         in
         List.iter
           (fun item ->
+            Xdm.Limits.tick ctx.meter;
             let vals =
               Array.of_list
                 (List.map (fun c -> xmltable_column ctx item c) xt.xt_cols)
@@ -984,13 +993,40 @@ let install_rel_index ctx ~iname ~table ~column : Xmlindex.Rel_index.t =
   ctx.rindexes <- ri :: ctx.rindexes;
   ri
 
-(** Execute one SQL/XML statement. *)
+let table_frame ~alias (t : Storage.Table.t) (r : Storage.Table.row) : frame =
+  {
+    f_alias = alias;
+    f_cols =
+      List.map
+        (fun (c : Storage.Table.col_def) -> c.Storage.Table.col_name)
+        t.Storage.Table.cols;
+    f_vals = r.Storage.Table.values;
+    f_row_id = Some r.Storage.Table.row_id;
+    f_table = Some t.Storage.Table.name;
+  }
+
+(** Execute one SQL/XML statement with statement-level atomicity: every
+    table/index mutation records its compensation in a per-statement undo
+    log, and ANY failure — cast error, XML parse error, resource budget,
+    injected fault — rolls the catalog back to the pre-statement state
+    before re-raising. A fresh resource meter is armed from [ctx.limits]
+    so all embedded XQuery evaluation draws from one shared budget. *)
 let rec exec ctx (stmt : stmt) : result =
   Hashtbl.reset ctx.embed_plans;
-  try exec_inner ctx stmt
-  with Unbound c -> rt_fail "unknown column %S" c
+  ctx.meter <- Xdm.Limits.meter ~limits:ctx.limits ();
+  let log = Storage.Undo.create () in
+  match exec_inner ctx log stmt with
+  | r ->
+      Storage.Undo.commit log;
+      r
+  | exception Unbound c ->
+      Storage.Undo.rollback log;
+      rt_fail "unknown column %S" c
+  | exception ex ->
+      Storage.Undo.rollback log;
+      raise ex
 
-and exec_inner ctx (stmt : stmt) : result =
+and exec_inner ctx log (stmt : stmt) : result =
   match stmt with
   | Select s -> exec_select ctx s
   | Values exprs ->
@@ -1032,42 +1068,70 @@ and exec_inner ctx (stmt : stmt) : result =
       List.iter
         (fun vals ->
           ignore
-            (Storage.Table.insert t (List.map (eval_sexpr ctx []) vals)))
+            (Storage.Table.insert ~log t (List.map (eval_sexpr ctx []) vals)))
         rows;
       { rcols = []; rrows = [] }
   | Explain inner ->
-      let _ = exec_inner ctx inner in
+      let _ = exec_inner ctx log inner in
       { rcols = [ "plan" ]; rrows = List.rev_map (fun n -> [ SV.Varchar n ]) ctx.notes }
   | Delete { del_table; del_where } ->
       let t = Storage.Database.table_exn ctx.db del_table in
       let victims =
         List.filter
           (fun (r : Storage.Table.row) ->
+            Xdm.Limits.tick ctx.meter;
             match del_where with
             | None -> true
             | Some w ->
-                let frame =
-                  {
-                    f_alias = del_table;
-                    f_cols =
-                      List.map
-                        (fun (c : Storage.Table.col_def) ->
-                          c.Storage.Table.col_name)
-                        t.Storage.Table.cols;
-                    f_vals = r.Storage.Table.values;
-                    f_row_id = Some r.Storage.Table.row_id;
-                    f_table = Some del_table;
-                  }
-                in
-                eval_cond ctx [ frame ] w = Some true)
+                eval_cond ctx [ table_frame ~alias:del_table t r ] w
+                = Some true)
           (Storage.Table.rows t)
       in
       List.iter
         (fun (r : Storage.Table.row) ->
-          ignore (Storage.Table.delete t r.Storage.Table.row_id))
+          ignore (Storage.Table.delete ~log t r.Storage.Table.row_id))
         victims;
       {
         rcols = [ "deleted" ];
+        rrows = [ [ SV.Int (Int64.of_int (List.length victims)) ] ];
+      }
+  | Update { upd_table; upd_set; upd_where } ->
+      let t = Storage.Database.table_exn ctx.db upd_table in
+      (* validate SET column names up front (catalog error if unknown) *)
+      List.iter
+        (fun (col, _) -> ignore (Storage.Table.col_index_exn t col))
+        upd_set;
+      let lc = String.lowercase_ascii in
+      let victims =
+        List.filter
+          (fun (r : Storage.Table.row) ->
+            Xdm.Limits.tick ctx.meter;
+            match upd_where with
+            | None -> true
+            | Some w ->
+                eval_cond ctx [ table_frame ~alias:upd_table t r ] w
+                = Some true)
+          (Storage.Table.rows t)
+      in
+      List.iter
+        (fun (r : Storage.Table.row) ->
+          let env = [ table_frame ~alias:upd_table t r ] in
+          let new_vals =
+            List.mapi
+              (fun i (c : Storage.Table.col_def) ->
+                match
+                  List.find_opt
+                    (fun (col, _) -> lc col = lc c.Storage.Table.col_name)
+                    upd_set
+                with
+                | Some (_, se) -> eval_sexpr ctx env se
+                | None -> r.Storage.Table.values.(i))
+              t.Storage.Table.cols
+          in
+          ignore (Storage.Table.update ~log t r.Storage.Table.row_id new_vals))
+        victims;
+      {
+        rcols = [ "updated" ];
         rrows = [ [ SV.Int (Int64.of_int (List.length victims)) ] ];
       }
   | DropIndex name ->

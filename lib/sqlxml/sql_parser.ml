@@ -547,6 +547,23 @@ let insert_stmt p : stmt =
   done;
   Insert (name, List.rev !rows)
 
+let update_stmt p : stmt =
+  (* after UPDATE: UPDATE <table> SET col = expr [, ...] [WHERE cond] *)
+  let name = ident p in
+  eat_kw p "SET";
+  let assignment () =
+    let col = ident p in
+    expect p L.Eq;
+    (col, sexpr p)
+  in
+  let sets = ref [ assignment () ] in
+  while cur p = L.Comma do
+    advance p;
+    sets := assignment () :: !sets
+  done;
+  let upd_where = if accept_kw p "WHERE" then Some (cond p) else None in
+  Update { upd_table = name; upd_set = List.rev !sets; upd_where }
+
 (** Parse one SQL/XML statement. *)
 let parse (src : string) : stmt =
   let p = { lx = L.init src } in
@@ -568,6 +585,7 @@ let parse (src : string) : stmt =
     end
     else if accept_kw p "CREATE" then create_stmt p
     else if accept_kw p "INSERT" then insert_stmt p
+    else if accept_kw p "UPDATE" then update_stmt p
     else if accept_kw p "DELETE" then begin
       eat_kw p "FROM";
       let name = ident p in
@@ -578,7 +596,9 @@ let parse (src : string) : stmt =
       eat_kw p "INDEX";
       DropIndex (ident p)
     end
-    else fail p "expected SELECT / VALUES / CREATE / INSERT / DELETE / DROP"
+    else
+      fail p
+        "expected SELECT / VALUES / CREATE / INSERT / UPDATE / DELETE / DROP"
   in
   if cur p = L.Semi then advance p;
   if cur p <> L.Eof then fail p "trailing tokens after statement";

@@ -10,7 +10,7 @@ let norm = String.lowercase_ascii
 let create_table db name cols =
   let key = norm name in
   if Hashtbl.mem db.tables key then
-    failwith (Printf.sprintf "table %S already exists" name);
+    Xdm.Xerror.catalog_error "table %S already exists" name;
   let t = Table.create name cols in
   Hashtbl.add db.tables key t;
   t
@@ -22,7 +22,7 @@ let find_table db name = Hashtbl.find_opt db.tables (norm name)
 let table_exn db name =
   match find_table db name with
   | Some t -> t
-  | None -> failwith (Printf.sprintf "unknown table %S" name)
+  | None -> Xdm.Xerror.catalog_error "unknown table %S" name
 
 let tables db =
   Hashtbl.fold (fun _ t acc -> t :: acc) db.tables []

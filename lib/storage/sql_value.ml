@@ -101,9 +101,11 @@ let to_display = function
   | Timestamp t -> Xdm.Xdate.datetime_to_string t
   | Xml seq -> Xmlparse.Xml_writer.seq_to_string seq
 
-(** Check (and lightly coerce) a value against a column type. Raises
-    [Failure] on incompatibility; VARCHAR(n) truncation is an error like
-    in a strict SQL implementation. *)
+(** Check (and lightly coerce) a value against a column type. Raises a
+    typed {!Xdm.Xerror.Error} on incompatibility — [FORG0001] for
+    malformed DATE/TIMESTAMP literals (a cast failure), [XQDB0003] for
+    values that do not fit the column; VARCHAR(n) truncation is an error
+    like in a strict SQL implementation. *)
 let coerce (ty : sqltype) (v : t) : t =
   match (ty, v) with
   | _, Null -> Null
@@ -113,25 +115,23 @@ let coerce (ty : sqltype) (v : t) : t =
   | (TDouble | TDecimal _), Int i -> Double (Int64.to_float i)
   | TVarchar n, Varchar s ->
       if String.length s > n then
-        failwith
-          (Printf.sprintf "value too long for VARCHAR(%d): %S" n s)
+        Xdm.Xerror.dml_error "value too long for VARCHAR(%d): %S" n s
       else v
   | TDate, Date _ -> v
   | TDate, Varchar s -> (
       match Xdm.Xdate.date_of_string_opt s with
       | Some d -> Date d
-      | None -> failwith (Printf.sprintf "invalid DATE literal %S" s))
+      | None -> Xdm.Xerror.cast_error "invalid DATE literal %S" s)
   | TTimestamp, Timestamp _ -> v
   | TTimestamp, Varchar s -> (
       match Xdm.Xdate.datetime_of_string_opt s with
       | Some d -> Timestamp d
-      | None -> failwith (Printf.sprintf "invalid TIMESTAMP literal %S" s))
+      | None -> Xdm.Xerror.cast_error "invalid TIMESTAMP literal %S" s)
   | TXml, Xml _ -> v
   | TXml, Varchar s -> Xml [ Xdm.Item.N (Xmlparse.Xml_parser.parse_document s) ]
   | ty, v ->
-      failwith
-        (Printf.sprintf "cannot store %s in a %s column" (describe v)
-           (type_name ty))
+      Xdm.Xerror.dml_error "cannot store %s in a %s column" (describe v)
+        (type_name ty)
 
 (** Convert a SQL value into the XQuery data model (for PASSING clauses).
     The XQuery variable inherits a precise XML schema subtype — the paper

@@ -55,7 +55,7 @@ let col_index t name =
 let col_index_exn t name =
   match col_index t name with
   | Some i -> i
-  | None -> failwith (Printf.sprintf "no column %S in table %S" name t.name)
+  | None -> Xdm.Xerror.catalog_error "no column %S in table %S" name t.name
 
 let col_type t name = (List.nth t.cols (col_index_exn t name)).col_type
 
@@ -103,12 +103,46 @@ let intern_row_paths t (r : row) =
         | _ -> ())
     t.cols
 
-(** Insert a row (values in column order); returns the new row id. *)
-let insert t (values : Sql_value.t list) : int =
+(* Inverse hook replay for rollback: a hook may have fired partially (or
+   not at all) when the statement died, so each inverse call is tolerant. *)
+let quiet f x = try f x with _ -> ()
+
+let record_undo_insert t log row =
+  match log with
+  | None -> ()
+  | Some log ->
+      Undo.record log (fun () ->
+          List.iter (fun h -> quiet h.on_delete row) t.hooks;
+          Hashtbl.remove t.rows row.row_id;
+          (* reclaim the id if nothing was allocated after it, so a rolled-
+             back bulk insert leaves next_row_id unchanged too *)
+          if t.next_row_id = row.row_id + 1 then t.next_row_id <- row.row_id)
+
+let record_undo_delete t log row =
+  match log with
+  | None -> ()
+  | Some log ->
+      Undo.record log (fun () ->
+          Hashtbl.replace t.rows row.row_id row;
+          List.iter (fun h -> quiet h.on_insert row) t.hooks)
+
+let record_undo_update t log old_row new_row =
+  match log with
+  | None -> ()
+  | Some log ->
+      Undo.record log (fun () ->
+          List.iter (fun h -> quiet h.on_delete new_row) t.hooks;
+          Hashtbl.replace t.rows old_row.row_id old_row;
+          List.iter (fun h -> quiet h.on_insert old_row) t.hooks)
+
+(** Insert a row (values in column order); returns the new row id. When a
+    [log] is supplied, a compensating action that removes the row and
+    unwinds the index hooks is recorded before any side effect fires. *)
+let insert ?log t (values : Sql_value.t list) : int =
+  Faultinject.hit "storage.insert";
   if List.length values <> List.length t.cols then
-    failwith
-      (Printf.sprintf "table %s: expected %d values, got %d" t.name
-         (List.length t.cols) (List.length values));
+    Xdm.Xerror.dml_error "table %s: expected %d values, got %d" t.name
+      (List.length t.cols) (List.length values);
   let values =
     List.map2 (fun c v -> Sql_value.coerce c.col_type v) t.cols values
   in
@@ -116,16 +150,40 @@ let insert t (values : Sql_value.t list) : int =
   t.next_row_id <- id + 1;
   let row = { row_id = id; values = Array.of_list values } in
   Hashtbl.replace t.rows id row;
+  record_undo_insert t log row;
   intern_row_paths t row;
   List.iter (fun h -> h.on_insert row) t.hooks;
   id
 
-let delete t row_id =
+let delete ?log t row_id =
   match Hashtbl.find_opt t.rows row_id with
   | None -> false
   | Some row ->
       Hashtbl.remove t.rows row_id;
+      record_undo_delete t log row;
       List.iter (fun h -> h.on_delete row) t.hooks;
+      true
+
+(** Replace the values of row [row_id] (values in column order); returns
+    [false] if the row does not exist. Fires [on_delete] for the old image
+    and [on_insert] for the new one so indexes track the change. *)
+let update ?log t row_id (values : Sql_value.t list) : bool =
+  Faultinject.hit "storage.update";
+  match Hashtbl.find_opt t.rows row_id with
+  | None -> false
+  | Some old_row ->
+      if List.length values <> List.length t.cols then
+        Xdm.Xerror.dml_error "table %s: expected %d values, got %d" t.name
+          (List.length t.cols) (List.length values);
+      let values =
+        List.map2 (fun c v -> Sql_value.coerce c.col_type v) t.cols values
+      in
+      let new_row = { row_id; values = Array.of_list values } in
+      record_undo_update t log old_row new_row;
+      List.iter (fun h -> h.on_delete old_row) t.hooks;
+      Hashtbl.replace t.rows row_id new_row;
+      intern_row_paths t new_row;
+      List.iter (fun h -> h.on_insert new_row) t.hooks;
       true
 
 let row_count t = Hashtbl.length t.rows

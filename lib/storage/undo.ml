@@ -1,0 +1,37 @@
+(** Per-statement undo log.
+
+    Statement-level atomicity: every mutation of a table (and, through the
+    [on_insert]/[on_delete] hooks, of the indexes built over it) records a
+    compensating closure here *before* the mutation's side effects fire.
+    If the statement fails mid-way — cast error, XML parse error, injected
+    fault — the executor calls {!rollback}, which replays the closures in
+    LIFO order and leaves the catalog exactly as it was before the
+    statement started.
+
+    Undo actions must be tolerant: rollback can run after a *partial*
+    mutation (e.g. some hooks fired and some did not), so each action
+    swallows its own exceptions rather than aborting the rest of the
+    unwinding. The B+Tree's tolerant delete (absent key ⇒ [false]) and
+    replace-on-insert semantics make replaying an inverse hook against a
+    half-applied mutation idempotent. *)
+
+type t = { mutable actions : (unit -> unit) list }
+
+let create () = { actions = [] }
+
+(** Number of undo actions recorded so far. *)
+let length log = List.length log.actions
+
+(** Record a compensating action. Call *before* performing the mutation it
+    compensates, so a crash inside the mutation still unwinds. *)
+let record log f = log.actions <- f :: log.actions
+
+(** Run all recorded actions, most recent first, then clear the log.
+    Individual action failures are swallowed: unwinding must not abort. *)
+let rollback log =
+  let acts = log.actions in
+  log.actions <- [];
+  List.iter (fun f -> try f () with _ -> ()) acts
+
+(** Forget all recorded actions (statement committed). *)
+let commit log = log.actions <- []

@@ -1,0 +1,100 @@
+(** Resource governor.
+
+    A {!t} record declares the budget a statement may consume; a {!meter}
+    is the mutable counter set charged against that budget while a single
+    statement (SQL or XQuery) runs. The evaluator calls {!step} once per
+    expression-node evaluation, {!enter}/{!leave} around path-expression
+    recursion, and {!add_nodes} when constructors allocate new XML nodes;
+    the SQL executor calls {!tick} once per row scanned. Exceeding any
+    budget raises a typed [XQDB0001] error (see {!Xerror.resource_error})
+    instead of hanging or blowing the stack.
+
+    Cost discipline: a meter made from {!unlimited} has [armed = false]
+    and every charge function is a single branch, so the governor is
+    effectively free unless the user sets a limit. The wall-clock deadline
+    is only polled every 4096 steps to keep [Unix.gettimeofday] off the
+    hot path. *)
+
+type t = {
+  max_steps : int option;  (** evaluation steps per statement *)
+  max_nodes : int option;  (** constructed-node allocations per statement *)
+  max_depth : int option;  (** path-expression / eval recursion depth *)
+  timeout : float option;  (** wall-clock seconds per statement *)
+}
+
+let unlimited =
+  { max_steps = None; max_nodes = None; max_depth = None; timeout = None }
+
+let is_unlimited l = l = unlimited
+
+let pp ppf l =
+  let f name = function
+    | None -> Format.fprintf ppf "%s=off " name
+    | Some v -> Format.fprintf ppf "%s=%d " name v
+  in
+  f "steps" l.max_steps;
+  f "nodes" l.max_nodes;
+  f "depth" l.max_depth;
+  match l.timeout with
+  | None -> Format.fprintf ppf "timeout=off"
+  | Some s -> Format.fprintf ppf "timeout=%gs" s
+
+let to_string l = Format.asprintf "%a" pp l
+
+type meter = {
+  armed : bool;  (** false ⇒ every charge function is a no-op branch *)
+  steps_cap : int;
+  nodes_cap : int;
+  depth_cap : int;
+  deadline : float;  (** absolute [Unix.gettimeofday] cutoff *)
+  mutable steps : int;
+  mutable nodes : int;
+  mutable depth : int;
+}
+
+let meter ?(limits = unlimited) () =
+  let cap = function None -> max_int | Some v -> v in
+  {
+    armed = not (is_unlimited limits);
+    steps_cap = cap limits.max_steps;
+    nodes_cap = cap limits.max_nodes;
+    depth_cap = cap limits.max_depth;
+    deadline =
+      (match limits.timeout with
+      | None -> infinity
+      | Some s -> Unix.gettimeofday () +. s);
+    steps = 0;
+    nodes = 0;
+    depth = 0;
+  }
+
+let exceeded what used cap =
+  Xerror.resource_error "resource exceeded: %s (%d > %d)" what used cap
+
+(* Deadline poll cadence: every 4096 steps. *)
+let deadline_mask = 4095
+
+let step m =
+  let s = m.steps + 1 in
+  m.steps <- s;
+  if s > m.steps_cap then exceeded "evaluation steps" s m.steps_cap;
+  if s land deadline_mask = 0 && Unix.gettimeofday () > m.deadline then
+    Xerror.resource_error "resource exceeded: wall-clock timeout"
+
+(** Per-row charge for SQL scans: a step, but guarded so an unarmed meter
+    costs one branch. *)
+let tick m = if m.armed then step m
+
+let add_nodes m n =
+  if m.armed then begin
+    let c = m.nodes + n in
+    m.nodes <- c;
+    if c > m.nodes_cap then exceeded "constructed nodes" c m.nodes_cap
+  end
+
+let enter m =
+  let d = m.depth + 1 in
+  m.depth <- d;
+  if d > m.depth_cap then exceeded "recursion depth" d m.depth_cap
+
+let leave m = m.depth <- m.depth - 1

@@ -39,6 +39,18 @@ let bad_prefix fmt = raise_err "XPST0081" fmt
 (** [XPST0003]: grammar / syntax error. *)
 let syntax_error fmt = raise_err "XPST0003" fmt
 
+(** [XQDB0001] (engine-specific): resource budget exceeded — evaluation
+    steps, node allocations, recursion depth or wall-clock timeout. *)
+let resource_error fmt = raise_err "XQDB0001" fmt
+
+(** [XQDB0002] (engine-specific): catalog error — unknown/duplicate table,
+    column or index. *)
+let catalog_error fmt = raise_err "XQDB0002" fmt
+
+(** [XQDB0003] (engine-specific): DML / value error — wrong arity,
+    value does not fit the column type. *)
+let dml_error fmt = raise_err "XQDB0003" fmt
+
 let pp ppf = function
   | Error { code; msg } -> Format.fprintf ppf "[%s] %s" code msg
   | e -> Format.fprintf ppf "%s" (Printexc.to_string e)

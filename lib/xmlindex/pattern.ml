@@ -48,6 +48,10 @@ let to_string p = p.source
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun m -> raise (Invalid m)) fmt
+
 let test_of_nodetest (nt : nodetest) : test =
   match nt with
   | Name (TName q) -> TestName q
@@ -58,11 +62,7 @@ let test_of_nodetest (nt : nodetest) : test =
   | Kind KText -> TestKindText
   | Kind KComment -> TestKindComment
   | Kind (KPi t) -> TestKindPi t
-  | Kind KDocument -> failwith "document-node() not allowed in XMLPATTERN"
-
-exception Invalid of string
-
-let invalid fmt = Format.kasprintf (fun m -> raise (Invalid m)) fmt
+  | Kind KDocument -> invalid "document-node() not allowed in XMLPATTERN"
 
 (** Parse and canonicalize an XMLPATTERN. *)
 let of_string (src : string) : t =

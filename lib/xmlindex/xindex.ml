@@ -112,6 +112,7 @@ let candidate_nodes (doc : Node.t) : Node.t list =
 
 let insert_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
     (doc : Node.t) : unit =
+  Faultinject.hit "index.insert_doc";
   candidate_nodes doc
   |> List.iter (fun (n : Node.t) ->
          if Pattern.matches_node idx.def.pattern n then
@@ -124,6 +125,7 @@ let insert_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
 
 let delete_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
     (doc : Node.t) : unit =
+  Faultinject.hit "index.delete_doc";
   candidate_nodes doc
   |> List.iter (fun (n : Node.t) ->
          if Pattern.matches_node idx.def.pattern n then
@@ -137,6 +139,55 @@ let delete_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
                if BT.delete idx.tree { Key.v; path; row; node = n.Node.id }
                then idx.stats.deletes <- idx.stats.deletes + 1
            | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Consistency checking                                                *)
+(* ------------------------------------------------------------------ *)
+
+let describe_key (k : Key.t) =
+  Printf.sprintf "(%s, path=%d, row=%d, node=%d)"
+    (Atomic.string_value k.Key.v)
+    k.Key.path k.Key.row k.Key.node
+
+(** Re-derive the expected index entries from the documents and path
+    table, diff against the B+Tree, and return a human-readable list of
+    discrepancies (empty = consistent). Used by the fault-injection tests
+    to prove that a rolled-back statement left no stale or missing
+    entries. *)
+let check_consistency (idx : t) (pt : Storage.Path_table.t)
+    (docs : (int * Node.t) list) : string list =
+  let expected : (Key.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (row, doc) ->
+      candidate_nodes doc
+      |> List.iter (fun (n : Node.t) ->
+             if Pattern.matches_node idx.def.pattern n then
+               match index_value idx n with
+               | Some v ->
+                   let path =
+                     match Storage.Path_table.find pt n with
+                     | Some p -> p
+                     | None -> -1
+                   in
+                   Hashtbl.replace expected
+                     { Key.v; path; row; node = n.Node.id }
+                     ()
+               | None -> ()))
+    docs;
+  let diffs = ref [] in
+  BT.iter idx.tree (fun k () ->
+      if Hashtbl.mem expected k then Hashtbl.remove expected k
+      else
+        diffs :=
+          Printf.sprintf "%s: stale entry %s" idx.def.iname (describe_key k)
+          :: !diffs);
+  Hashtbl.iter
+    (fun k () ->
+      diffs :=
+        Printf.sprintf "%s: missing entry %s" idx.def.iname (describe_key k)
+        :: !diffs)
+    expected;
+  List.sort compare !diffs
 
 (* ------------------------------------------------------------------ *)
 (* Probes                                                              *)

@@ -13,12 +13,16 @@ type t = {
           storage-agnostic *)
   construction_preserve : bool;
       (** [declare construction preserve] in effect *)
+  meter : Xdm.Limits.meter;
+      (** resource-governor counters charged during evaluation; an
+          unarmed meter (the default) costs one branch per eval step *)
 }
 
 let no_resolver name =
   Xdm.Xerror.raise_err "FODC0002" "no collection resolver for %S" name
 
-let init ?(resolver = no_resolver) ?(construction_preserve = false) () =
+let init ?(resolver = no_resolver) ?(construction_preserve = false)
+    ?(meter = Xdm.Limits.meter ()) () =
   {
     item = None;
     pos = 0;
@@ -26,6 +30,7 @@ let init ?(resolver = no_resolver) ?(construction_preserve = false) () =
     vars = SMap.empty;
     resolver;
     construction_preserve;
+    meter;
   }
 
 let with_focus ctx item pos size = { ctx with item = Some item; pos; size }

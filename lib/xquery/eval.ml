@@ -16,7 +16,29 @@
 open Xdm
 open Ast
 
+(* [eval] is the governed wrapper around the real dispatch [eval_inner]:
+   it charges the resource meter one step (and one recursion level) per
+   expression evaluated. With no limits set the meter is unarmed and the
+   whole wrapper is one branch, so ungoverned queries pay nothing
+   measurable. The depth counter must survive expressions that catch
+   exceptions part-way, hence the exception-safe [leave]. *)
 let rec eval (ctx : Ctx.t) (e : expr) : Item.seq =
+  Faultinject.hit "eval.step";
+  let m = ctx.Ctx.meter in
+  if not m.Limits.armed then eval_inner ctx e
+  else begin
+    Limits.step m;
+    Limits.enter m;
+    match eval_inner ctx e with
+    | r ->
+        Limits.leave m;
+        r
+    | exception ex ->
+        Limits.leave m;
+        raise ex
+  end
+
+and eval_inner (ctx : Ctx.t) (e : expr) : Item.seq =
   match e with
   | ELit a -> [ Item.A a ]
   | EVar v -> Ctx.lookup ctx v
@@ -420,23 +442,31 @@ and eval_ctor ctx (c : ctor) : Node.t =
         | CPExpr e -> Construct.PSeq (eval ctx e))
       c.ccontent
   in
-  Construct.element ~preserve:ctx.Ctx.construction_preserve c.cname ~attrs
-    ~content
+  let n =
+    Construct.element ~preserve:ctx.Ctx.construction_preserve c.cname ~attrs
+      ~content
+  in
+  if ctx.Ctx.meter.Limits.armed then
+    Limits.add_nodes ctx.Ctx.meter
+      (List.length (Node.descendants_or_self n));
+  n
 
 (* ------------------------- entry points -------------------------- *)
 
 (** Evaluate a parsed query: resolve statics, then evaluate with the given
-    collection resolver and external variable bindings. *)
+    collection resolver, external variable bindings and resource limits. *)
 let run ?(resolver : (string -> Item.seq) option)
-    ?(vars : (string * Item.seq) list = []) (q : query) : Item.seq =
+    ?(vars : (string * Item.seq) list = []) ?(limits = Limits.unlimited)
+    (q : query) : Item.seq =
   let q = Static.resolve ~external_vars:(List.map fst vars) q in
   let ctx =
     Ctx.init ?resolver
-      ~construction_preserve:q.prolog.construction_preserve ()
+      ~construction_preserve:q.prolog.construction_preserve
+      ~meter:(Limits.meter ~limits ()) ()
   in
   let ctx = Ctx.bind_all ctx vars in
   eval ctx q.body
 
 (** Parse and evaluate a query string. *)
-let run_string ?resolver ?vars (src : string) : Item.seq =
-  run ?resolver ?vars (Parser.parse_query src)
+let run_string ?resolver ?vars ?limits (src : string) : Item.seq =
+  run ?resolver ?vars ?limits (Parser.parse_query src)

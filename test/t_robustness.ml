@@ -83,14 +83,12 @@ let sql_robustness_tests =
         | exception Sqlxml.Sql_lexer.Sql_syntax_error _ -> ());
     tc "insert arity mismatch" (fun () ->
         let db = db () in
-        match Engine.sql db "INSERT INTO t VALUES (1)" with
-        | _ -> Alcotest.fail "should fail"
-        | exception Failure _ -> ());
+        expect_error "XQDB0003" (fun () ->
+            ignore (Engine.sql db "INSERT INTO t VALUES (1)")));
     tc "unknown table" (fun () ->
         let db = db () in
-        match Engine.sql db "SELECT x FROM nosuch" with
-        | _ -> Alcotest.fail "should fail"
-        | exception Failure _ -> ());
+        expect_error "XQDB0002" (fun () ->
+            ignore (Engine.sql db "SELECT x FROM nosuch")));
     tc "malformed XML document rejected on insert" (fun () ->
         let db = db () in
         match Engine.sql db "INSERT INTO t VALUES (1, '<a><b></a>')" with
@@ -139,9 +137,299 @@ let date_between_tests =
           (List.mem "dw" plan.Planner.indexes_used));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Statement atomicity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A table with an XML column and a path-value index, preloaded with
+    [n] documents via one (committed) bulk load. *)
+let indexed_db ?(n = 10) () =
+  let db = Engine.create () in
+  ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+  ignore
+    (Engine.sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+  Engine.load_documents db ~table:"t" ~column:"d"
+    (List.init n (fun i -> Printf.sprintf "<a><p>%d</p></a>" i));
+  db
+
+let table db name = Storage.Database.table_exn (Engine.database db) name
+
+let entry_counts db =
+  List.map
+    (fun (i : Xmlindex.Xindex.t) ->
+      (i.Xmlindex.Xindex.def.Xmlindex.Xindex.iname, Xmlindex.Xindex.entry_count i))
+    (Engine.xml_indexes db)
+
+let assert_consistent db =
+  List.iter
+    (fun (iname, diffs) ->
+      check Alcotest.(list string) (iname ^ " consistent") [] diffs)
+    (Engine.check_consistency db)
+
+let atomicity_tests =
+  [
+    tc "multi-row INSERT failing on row k rolls back rows and indexes"
+      (fun () ->
+        let db = indexed_db () in
+        let rows0 = Storage.Table.row_count (table db "t") in
+        let entries0 = entry_counts db in
+        (match
+           Engine.sql db
+             "INSERT INTO t VALUES (100, '<a><p>100</p></a>'), \
+              (101, '<a><p>101</p></a>'), (102, '<a><p>102</a>')"
+         with
+        | _ -> Alcotest.fail "should fail on the malformed third row"
+        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+        check Alcotest.int "row_count unchanged" rows0
+          (Storage.Table.row_count (table db "t"));
+        check
+          Alcotest.(list (pair string int))
+          "entry_count unchanged" entries0 (entry_counts db);
+        assert_consistent db);
+    tc "UPDATE failing mid-scan restores prior values" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE u (w date, src varchar(20))");
+        ignore (Engine.sql db "INSERT INTO u VALUES (NULL, '2006-05-05')");
+        ignore (Engine.sql db "INSERT INTO u VALUES (NULL, 'notadate')");
+        (* row 1 coerces fine, row 2 fails — row 1's update must revert *)
+        expect_error "FORG0001" (fun () ->
+            ignore (Engine.sql db "UPDATE u SET w = src"));
+        check Alcotest.int "both w still NULL" 2
+          (sql_count db "SELECT w FROM u WHERE w IS NULL"));
+    tc "UPDATE failing mid-scan restores index entries" (fun () ->
+        let db = indexed_db ~n:4 () in
+        (* one poisoned document: its <p> is not castable to a number, so
+           the data-dependent SET fails only when the scan reaches it —
+           after earlier rows were already rewritten and re-indexed *)
+        Engine.load_documents db ~table:"t" ~column:"d"
+          [ "<a><p>notanumber</p></a>" ];
+        let entries0 = entry_counts db in
+        (match
+           Engine.sql db
+             "UPDATE t SET d = XMLQUERY('<a><p>{$D/a/p + 1}</p></a>' \
+              PASSING d AS \"D\")"
+         with
+        | _ -> Alcotest.fail "should fail on the poisoned row"
+        | exception Xdm.Xerror.Error _ -> ());
+        check
+          Alcotest.(list (pair string int))
+          "entry_count unchanged" entries0 (entry_counts db);
+        assert_consistent db;
+        (* prior values restored: p=0 exists only pre-update (the SET
+           shifts every p up by one) *)
+        check Alcotest.int "p=0 doc still there" 1
+          (List.length
+             (fst (Engine.xquery db "db2-fn:xmlcolumn('T.D')//a[p = 0]"))));
+    tc "successful UPDATE rewrites rows and keeps indexes consistent"
+      (fun () ->
+        let db = indexed_db ~n:5 () in
+        let r = Engine.sql db "UPDATE t SET d = '<a><p>777</p></a>' WHERE a = 2" in
+        check Alcotest.(list (list string)) "updated 1"
+          [ [ "1" ] ]
+          (List.map
+             (List.map Storage.Sql_value.to_display)
+             r.Sqlxml.Sql_exec.rrows);
+        assert_consistent db;
+        (* the new value must be probeable through the index *)
+        let plan = assert_def1 db "db2-fn:xmlcolumn('T.D')//a[p = 777]" in
+        check Alcotest.bool "ip used" true (List.mem "ip" (used plan)));
+    tc "UPDATE of unknown SET column is a catalog error" (fun () ->
+        let db = indexed_db ~n:1 () in
+        expect_error "XQDB0002" (fun () ->
+            ignore (Engine.sql db "UPDATE t SET nosuch = 1")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_faults f =
+  Fun.protect ~finally:Faultinject.reset f
+
+let faultinject_tests =
+  [
+    tc "armed fault at index.insert_doc rolls back a bulk load" (fun () ->
+        with_faults (fun () ->
+            let db = indexed_db ~n:10 () in
+            let rows0 = Storage.Table.row_count (table db "t") in
+            let entries0 = entry_counts db in
+            (* fail while indexing the 5th document of the next load *)
+            Faultinject.arm ~point:"index.insert_doc" ~n:5;
+            (match
+               Engine.load_documents db ~table:"t" ~column:"d"
+                 (List.init 10 (fun i ->
+                      Printf.sprintf "<a><p>%d</p></a>" (100 + i)))
+             with
+            | _ -> Alcotest.fail "should fail on the 5th document"
+            | exception Faultinject.Injected { point; _ } ->
+                check Alcotest.string "point" "index.insert_doc" point);
+            check Alcotest.int "row_count unchanged" rows0
+              (Storage.Table.row_count (table db "t"));
+            check
+              Alcotest.(list (pair string int))
+              "entry_count unchanged" entries0 (entry_counts db);
+            assert_consistent db;
+            (* trigger is one-shot: the engine keeps working afterwards *)
+            Engine.load_documents db ~table:"t" ~column:"d"
+              [ "<a><p>42</p></a>" ];
+            check Alcotest.int "post-fault load works" (rows0 + 1)
+              (Storage.Table.row_count (table db "t"));
+            assert_consistent db));
+    tc "armed fault at storage.insert rolls back a multi-row INSERT"
+      (fun () ->
+        with_faults (fun () ->
+            let db = indexed_db ~n:3 () in
+            let rows0 = Storage.Table.row_count (table db "t") in
+            Faultinject.arm ~point:"storage.insert" ~n:2;
+            (match
+               Engine.sql db
+                 "INSERT INTO t VALUES (50, '<a><p>50</p></a>'), \
+                  (51, '<a><p>51</p></a>'), (52, '<a><p>52</p></a>')"
+             with
+            | _ -> Alcotest.fail "should fail"
+            | exception Faultinject.Injected _ -> ());
+            check Alcotest.int "row_count unchanged" rows0
+              (Storage.Table.row_count (table db "t"));
+            assert_consistent db));
+    tc "armed fault at btree.split rolls back cleanly" (fun () ->
+        with_faults (fun () ->
+            let db = Engine.create () in
+            ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+            ignore
+              (Engine.sql db
+                 "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+            Faultinject.arm ~point:"btree.split" ~n:1;
+            (* enough entries to overflow an order-64 leaf mid-load *)
+            (match
+               Engine.load_documents db ~table:"t" ~column:"d"
+                 (List.init 100 (fun i ->
+                      Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000)))
+             with
+            | _ -> Alcotest.fail "a split should have been injected"
+            | exception Faultinject.Injected { point; _ } ->
+                check Alcotest.string "point" "btree.split" point);
+            check Alcotest.int "no rows remain" 0
+              (Storage.Table.row_count (table db "t"));
+            assert_consistent db;
+            (* the tree still works: reload the same documents *)
+            Engine.load_documents db ~table:"t" ~column:"d"
+              (List.init 100 (fun i ->
+                   Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000)));
+            assert_consistent db));
+    tc "armed fault at index.delete_doc rolls back a DELETE" (fun () ->
+        with_faults (fun () ->
+            let db = indexed_db ~n:6 () in
+            let rows0 = Storage.Table.row_count (table db "t") in
+            let entries0 = entry_counts db in
+            Faultinject.arm ~point:"index.delete_doc" ~n:3;
+            (match Engine.sql db "DELETE FROM t" with
+            | _ -> Alcotest.fail "should fail"
+            | exception Faultinject.Injected _ -> ());
+            check Alcotest.int "row_count unchanged" rows0
+              (Storage.Table.row_count (table db "t"));
+            check
+              Alcotest.(list (pair string int))
+              "entry_count unchanged" entries0 (entry_counts db);
+            assert_consistent db));
+    tc "check_consistency reports an injected bogus entry" (fun () ->
+        let db = indexed_db ~n:2 () in
+        let idx = List.hd (Engine.xml_indexes db) in
+        Xmlindex.Xindex.BT.insert idx.Xmlindex.Xindex.tree
+          { Xmlindex.Xindex.Key.v = Xdm.Atomic.Double 999999.;
+            path = 0; row = 999; node = 999 }
+          ();
+        match Engine.check_consistency db with
+        | [ (_, [ diff ]) ] ->
+            check Alcotest.bool "reported as stale" true
+              (contains_sub ~affix:"stale entry" diff)
+        | _ -> Alcotest.fail "expected exactly one discrepancy");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Resource governor                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let limits_with ?steps ?nodes ?depth ?timeout () =
+  {
+    Xdm.Limits.max_steps = steps;
+    max_nodes = nodes;
+    max_depth = depth;
+    timeout;
+  }
+
+let pathological_query =
+  "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[.//lineitem[.//quantity[. >= 0] \
+   or .//price[string-length(string(.)) >= 0]]]"
+
+let governor_tests =
+  [
+    tc "nested-// query over 500 docs dies under a 10k-step budget"
+      (fun () ->
+        let db = paper_db ~n_orders:500 () in
+        Engine.set_limits db (limits_with ~steps:10_000 ());
+        expect_error "XQDB0001" (fun () ->
+            ignore (Engine.xquery db pathological_query));
+        (* the same query succeeds with the budget raised *)
+        Engine.set_limits db (limits_with ~steps:100_000_000 ());
+        let items, _ = Engine.xquery db pathological_query in
+        check Alcotest.bool "has results" true (items <> []));
+    tc "step budget applies to SQL row scans too" (fun () ->
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        for i = 1 to 100 do
+          ignore
+            (Engine.sql db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+        done;
+        Engine.set_limits db (limits_with ~steps:50 ());
+        expect_error "XQDB0001" (fun () ->
+            ignore (Engine.sql db "SELECT a FROM t"));
+        Engine.set_limits db Xdm.Limits.unlimited;
+        check Alcotest.int "unlimited scan ok" 100
+          (sql_count db "SELECT a FROM t"));
+    tc "recursion-depth budget stops deep nesting" (fun () ->
+        let deep =
+          String.concat "" (List.init 60 (fun _ -> "1+("))
+          ^ "1"
+          ^ String.make 60 ')'
+        in
+        expect_error "XQDB0001" (fun () ->
+            Xquery.Eval.run_string ~limits:(limits_with ~depth:20 ()) deep);
+        let r =
+          Xquery.Eval.run_string ~limits:(limits_with ~depth:500 ()) deep
+        in
+        check Alcotest.string "sum" "61"
+          (Xmlparse.Xml_writer.seq_to_string r));
+    tc "node-allocation budget stops constructor storms" (fun () ->
+        let q = "for $i in 1 to 100 return <a><b/><c/></a>" in
+        expect_error "XQDB0001" (fun () ->
+            Xquery.Eval.run_string ~limits:(limits_with ~nodes:50 ()) q);
+        let r =
+          Xquery.Eval.run_string ~limits:(limits_with ~nodes:1_000_000 ()) q
+        in
+        check Alcotest.int "all built" 100 (List.length r));
+    tc "zero wall-clock timeout trips on a long evaluation" (fun () ->
+        expect_error "XQDB0001" (fun () ->
+            Xquery.Eval.run_string
+              ~limits:(limits_with ~timeout:0. ())
+              "count(for $i in 1 to 5000 return $i + 1)"));
+    tc "depth counter survives caught errors (no drift)" (fun () ->
+        (* string-length(()) raises inside the evaluator... actually use a
+           query whose subexpression raises and is retried in a loop *)
+        let limits = limits_with ~depth:50 () in
+        let q = "for $i in 1 to 40 return ($i + 1)" in
+        let r = Xquery.Eval.run_string ~limits q in
+        check Alcotest.int "all evaluated" 40 (List.length r));
+    tc "unlimited limits cost nothing and stay disabled" (fun () ->
+        check Alcotest.bool "meter unarmed" false
+          (Xdm.Limits.meter ()).Xdm.Limits.armed);
+  ]
+
 let suite =
   [
     ("robust:xq_lexer", xq_lexer_tests);
     ("robust:sql", sql_robustness_tests);
     ("robust:dates", date_between_tests);
+    ("robust:atomicity", atomicity_tests);
+    ("robust:faultinject", faultinject_tests);
+    ("robust:governor", governor_tests);
   ]
