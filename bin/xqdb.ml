@@ -9,8 +9,14 @@
     - [\indexes off|on]   disable/enable index usage
     - [\limits ...]       show / set resource budgets (see ROBUSTNESS.md)
     - [\advise <query>]   run the Tips 1-12 advisor
+    - [\lint <query>]     run the full static analyzer (docs/LINTING.md)
+    - [\strict on|off]    reject statically ill-typed statements
     - [\tables] [\idx]    catalog listings
-    - [\demo]             load a small orders/customer/products demo db *)
+    - [\demo]             load a small orders/customer/products demo db
+
+    Batch linting: [xqdb --lint FILE...] analyzes each file (one
+    statement per file) and exits non-zero if any Error-severity
+    diagnostic is found; [--json] switches to machine-readable output. *)
 
 let explain = ref false
 
@@ -129,11 +135,21 @@ let exec_one db (line : string) =
     | [] -> print_endline "no advice: the query follows the guidelines"
     | advs -> List.iter (fun a -> print_endline (Engine.Advisor.to_string a)) advs
   end
+  else if line = "\\strict on" then Engine.set_strict_types db true
+  else if line = "\\strict off" then Engine.set_strict_types db false
+  else if String.length line > 6 && String.sub line 0 6 = "\\lint " then begin
+    let q = String.sub line 6 (String.length line - 6) in
+    match List.sort Analysis.Diag.compare (Engine.analyze db q) with
+    | [] -> print_endline "no findings"
+    | ds -> List.iter (fun d -> print_endline (Analysis.Diag.to_string ~src:q d)) ds
+  end
   else begin
-    (* SQL first; if it does not parse as SQL, try stand-alone XQuery *)
+    (* SQL first; if it does not parse as SQL, try stand-alone XQuery.
+       Execution goes through [Engine.sql] so the strict-mode static
+       gate applies. *)
     match Sqlxml.Sql_parser.parse line with
-    | stmt ->
-        let r = Sqlxml.Sql_exec.exec db.Engine.sqlctx stmt in
+    | _stmt ->
+        let r = Engine.sql db line in
         print_result r;
         if !explain then
           List.iter (fun n -> Printf.printf "-- %s\n" n) (Engine.last_notes db)
@@ -192,10 +208,50 @@ let demo =
 let do_explain =
   Arg.(value & flag & info [ "explain" ] ~doc:"Print plan notes after each statement.")
 
-let main script demo do_explain =
+let lint_files =
+  Arg.(
+    value
+    & opt_all file []
+    & info [ "lint" ] ~docv:"FILE"
+        ~doc:
+          "Run the static analyzer on $(docv) (one statement per file) and \
+           exit. Repeatable. Exit status 1 if any Error-severity \
+           diagnostic is reported.")
+
+let json_out =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"With $(b,--lint): emit diagnostics as JSON.")
+
+(** [--lint FILE...]: analyze each file as one statement; human output
+    shows caret snippets, [--json] emits one JSON object per file. *)
+let lint_main db (files : string list) (json : bool) : int =
+  let failed = ref false in
+  List.iter
+    (fun f ->
+      let src = String.trim (In_channel.with_open_text f In_channel.input_all) in
+      let ds = List.sort Analysis.Diag.compare (Engine.analyze db src) in
+      if List.exists Analysis.Diag.is_error ds then failed := true;
+      if json then
+        Printf.printf "{\"file\":\"%s\",\"diagnostics\":%s}\n"
+          (Analysis.Diag.json_escape f)
+          (Analysis.Diag.list_to_json ds)
+      else begin
+        Printf.printf "== %s\n" f;
+        if ds = [] then print_endline "no findings"
+        else
+          List.iter
+            (fun d -> print_endline (Analysis.Diag.to_string ~src d))
+            ds
+      end)
+    files;
+  if !failed then 1 else 0
+
+let main script demo do_explain lint json =
   let db = Engine.create () in
   explain := do_explain;
   if demo then load_demo db;
+  if lint <> [] then exit (lint_main db lint json);
   match script with
   | Some f ->
       In_channel.with_open_text f (fun ic ->
@@ -211,6 +267,6 @@ let main script demo do_explain =
 let cmd =
   Cmd.v
     (Cmd.info "xqdb" ~doc:"XML database shell (XQuery + SQL/XML + XML indexes)")
-    Term.(const main $ script $ demo $ do_explain)
+    Term.(const main $ script $ demo $ do_explain $ lint_files $ json_out)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price > 100]

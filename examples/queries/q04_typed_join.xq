@@ -1,0 +1,4 @@
+for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order
+for $j in db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer
+where $i/custid/xs:double(.) = $j/id/xs:double(.)
+return $i

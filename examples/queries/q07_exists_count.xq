@@ -1,0 +1,2 @@
+let $hits := db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[lineitem/@price > 400]
+return fn:count($hits)

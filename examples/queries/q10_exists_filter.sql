@@ -1,0 +1,3 @@
+SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as "order")
+FROM orders
+WHERE XMLExists('$order//lineitem[@price > 100]' passing orddoc as "order")

@@ -1,0 +1,4 @@
+SELECT p.name, XMLQuery('$order//lineitem' passing orddoc as "order")
+FROM products p, orders o
+WHERE XMLExists('$order//lineitem/product[id eq $pid]'
+                passing o.orddoc as "order", p.id as "pid")

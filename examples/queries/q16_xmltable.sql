@@ -1,0 +1,4 @@
+SELECT o.ordid, t.price
+FROM orders o,
+     XMLTable('$order//lineitem' passing o.orddoc as "order"
+              COLUMNS "price" DOUBLE PATH '@price') as t(price)

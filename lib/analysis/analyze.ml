@@ -1,0 +1,244 @@
+(** Analyzer entry points: run every pass over a statement and collect
+    the diagnostics.
+
+    A statement is analyzed as SQL/XML if it parses as SQL, else as
+    stand-alone XQuery (same auto-detection as execution). For SQL, each
+    embedded XQuery (XMLQUERY / XMLEXISTS / XMLTABLE) is analyzed in full
+    with its positions mapped back into the SQL text, and [XMLCAST] over
+    a possibly-many XMLQUERY result is reported as the paper's Query 14
+    static type error. *)
+
+open Xquery.Ast
+module A = Xdm.Atomic
+module SA = Sqlxml.Sql_ast
+
+(* ------------------------------------------------------------------ *)
+(* Stand-alone XQuery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Analyze a parsed query. [vars] types any externally bound variables
+    (PASSING clause entries); resolution errors (bad prefixes, undefined
+    variables) become diagnostics rather than exceptions. *)
+let analyze_query ?catalog ?schema ?(vars : (string * seqtype) list = [])
+    ~(locs : Locs.t) (q : query) : Diag.t list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let q =
+    try
+      Xquery.Static.resolve
+        ~external_vars:(List.map fst vars)
+        ~locs q
+    with Xdm.Xerror.Error { code; msg } ->
+      emit (Diag.make ~code ~severity:Diag.Error "%s" msg);
+      q
+  in
+  ignore (Typecheck.infer_query ~vars ~locs ~emit q);
+  (try Pathcheck.check ?schema ~locs ~emit q
+   with _ -> ());
+  let lint = try Lint.xquery_lint ?catalog ~locs q with _ -> [] in
+  List.rev !diags @ lint
+
+(* ------------------------------------------------------------------ *)
+(* SQL/XML                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Static type of a PASSING clause value, as seen by the embedded
+    query. Column values are unknown statically (XML columns pass
+    document nodes, scalar columns pass atomics), so only literals get a
+    definite type; everything passes a single item. *)
+let passing_ty : SA.sexpr -> seqtype = function
+  | SA.SLitInt _ -> STItems (ITAtomic A.TInteger, OccOne)
+  | SA.SLitDouble _ -> STItems (ITAtomic A.TDouble, OccOne)
+  | SA.SLitString _ -> STItems (ITAtomic A.TString, OccOne)
+  | _ -> STItems (ITItem, OccOne)
+
+(** Walk every embedded query / XMLTABLE column of a statement. *)
+let iter_embeds (stmt : SA.stmt)
+    ~(embed : SA.xq_embed -> unit)
+    ~(col : SA.xt_col -> unit)
+    ~(cast_of_query : SA.xq_embed -> Storage.Sql_value.sqltype -> unit) :
+    unit =
+  let rec walk_sexpr = function
+    | SA.SXmlQuery e -> embed e
+    | SA.SXmlCast (SA.SXmlQuery e, ty) ->
+        embed e;
+        cast_of_query e ty
+    | SA.SXmlCast (e, _) -> walk_sexpr e
+    | SA.SXmlElement (_, args) -> List.iter walk_sexpr args
+    | SA.SAgg (_, arg) -> Option.iter walk_sexpr arg
+    | SA.SNull | SA.SLitInt _ | SA.SLitDouble _ | SA.SLitString _
+    | SA.SCol _ ->
+        ()
+  in
+  let rec walk_cond = function
+    | SA.CAnd (a, b) | SA.COr (a, b) ->
+        walk_cond a;
+        walk_cond b
+    | SA.CNot a -> walk_cond a
+    | SA.CCmp (_, a, b) ->
+        walk_sexpr a;
+        walk_sexpr b
+    | SA.CXmlExists e -> embed e
+    | SA.CIsNull (e, _) -> walk_sexpr e
+  in
+  let rec walk_stmt = function
+    | SA.Select s ->
+        List.iter
+          (function SA.SelExpr (e, _) -> walk_sexpr e | SA.SelStar -> ())
+          s.SA.sel_list;
+        List.iter
+          (function
+            | SA.TRXmlTable xt ->
+                embed xt.SA.xt_embed;
+                List.iter col xt.SA.xt_cols
+            | SA.TRTable _ -> ())
+          s.SA.from;
+        Option.iter walk_cond s.SA.where;
+        List.iter walk_sexpr s.SA.group_by;
+        List.iter (fun (e, _) -> walk_sexpr e) s.SA.order_by
+    | SA.Values row -> List.iter walk_sexpr row
+    | SA.Insert (_, rows) -> List.iter (List.iter walk_sexpr) rows
+    | SA.Update { upd_set; upd_where; _ } ->
+        List.iter (fun (_, e) -> walk_sexpr e) upd_set;
+        Option.iter walk_cond upd_where
+    | SA.Delete { del_where; _ } -> Option.iter walk_cond del_where
+    | SA.Explain inner -> walk_stmt inner
+    | SA.CreateTable _ | SA.CreateXmlIndex _ | SA.CreateRelIndex _
+    | SA.DropIndex _ ->
+        ()
+  in
+  walk_stmt stmt
+
+(** Analyze a parsed SQL/XML statement against the original source text
+    (positions inside embedded queries are mapped into [src]). *)
+let analyze_sql ?catalog ?schema ~(src : string) (stmt : SA.stmt) :
+    Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let resolve_embed (e : SA.xq_embed) =
+    try
+      Xquery.Static.resolve
+        ~external_vars:(List.map fst e.SA.xq_passing)
+        ~locs:e.SA.xq_locs e.SA.xq_query
+    with _ -> e.SA.xq_query
+  in
+  let deep_embed (e : SA.xq_embed) =
+    let map_pos (d : Diag.t) =
+      {
+        d with
+        Diag.pos =
+          Some
+            (match d.Diag.pos with
+            | Some p ->
+                Lint.map_embed_pos ~src ~offset:e.SA.xq_offset p
+            | None -> Xdm.Srcloc.of_offset src e.SA.xq_offset);
+      }
+    in
+    let q = resolve_embed e in
+    let vars = List.map (fun (v, sx) -> (v, passing_ty sx)) e.SA.xq_passing in
+    let emit d = add (map_pos d) in
+    (try ignore (Typecheck.infer_query ~vars ~locs:e.SA.xq_locs ~emit q)
+     with _ -> ());
+    try Pathcheck.check ?schema ~locs:e.SA.xq_locs ~emit q with _ -> ()
+  in
+  let deep_col (c : SA.xt_col) =
+    let map_pos (d : Diag.t) =
+      {
+        d with
+        Diag.pos =
+          Some
+            (match d.Diag.pos with
+            | Some p ->
+                Lint.map_embed_pos ~src ~offset:c.SA.xc_offset p
+            | None -> Xdm.Srcloc.of_offset src c.SA.xc_offset);
+      }
+    in
+    let q =
+      try Xquery.Static.resolve ~locs:c.SA.xc_locs c.SA.xc_query
+      with _ -> c.SA.xc_query
+    in
+    let emit d = add (map_pos d) in
+    (try ignore (Typecheck.infer_query ~locs:c.SA.xc_locs ~emit q)
+     with _ -> ());
+    try Pathcheck.check ?schema ~locs:c.SA.xc_locs ~emit q with _ -> ()
+  in
+  (* the Query 14 static error: XMLCAST over a possibly-many sequence *)
+  let check_cast (e : SA.xq_embed) (ty : Storage.Sql_value.sqltype) =
+    let q = resolve_embed e in
+    let vars = List.map (fun (v, sx) -> (v, passing_ty sx)) e.SA.xq_passing in
+    let t =
+      try Typecheck.type_of_query ~vars ~locs:e.SA.xq_locs q
+      with _ -> STItems (ITItem, OccOne)
+    in
+    if Typecheck.possibly_many t then
+      add
+        (Diag.make
+           ~pos:(Xdm.Srcloc.of_offset src e.SA.xq_offset)
+           ~code:"XPTY0004" ~severity:Diag.Error
+           "XMLCAST to %s over an XMLQUERY result that may contain more \
+            than one item ('%s' has static type item()*): the cast raises \
+            a type error as soon as a document carries several matching \
+            nodes (Section 3.3, Query 14). Test with XMLEXISTS and a \
+            value comparison instead (Query 13)"
+           (Storage.Sql_value.type_name ty)
+           e.SA.xq_src)
+  in
+  iter_embeds stmt ~embed:deep_embed ~col:deep_col ~cast_of_query:check_cast;
+  let lint = try Lint.sql_lint ?catalog ~src stmt with _ -> [] in
+  List.rev !diags @ lint
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Analyze a statement source: SQL/XML if it parses as SQL, else
+    stand-alone XQuery. Raises on syntax errors (see
+    {!analyze_string}). *)
+let analyze ?catalog ?schema (src : string) : Diag.t list =
+  match Sqlxml.Sql_parser.parse src with
+  | stmt -> analyze_sql ?catalog ?schema ~src stmt
+  | exception Sqlxml.Sql_lexer.Sql_syntax_error _ ->
+      let q, locs = Xquery.Parser.parse_query_loc src in
+      analyze_query ?catalog ?schema ~locs q
+
+(** Like {!analyze} but total: syntax errors (and any analyzer failure)
+    are returned as diagnostics instead of raised. *)
+let analyze_string ?catalog ?schema (src : string) : Diag.t list =
+  try analyze ?catalog ?schema src with
+  | Xdm.Xerror.Error { code; msg } ->
+      [ Diag.make ~code ~severity:Diag.Error "%s" msg ]
+  | Sqlxml.Sql_lexer.Sql_syntax_error msg ->
+      [ Diag.make ~code:"XPST0003" ~severity:Diag.Error "%s" msg ]
+  | e ->
+      [
+        Diag.make ~code:"XQLINT000" ~severity:Diag.Hint
+          "analyzer failure: %s" (Printexc.to_string e);
+      ]
+
+let errors (ds : Diag.t list) = List.filter Diag.is_error ds
+
+(** Strict-mode gate: raise the first Error-severity diagnostic of a
+    parsed SQL statement as an engine error. Installed by [Engine] as
+    [Sql_exec]'s static check when strict typing is on. *)
+let check_sql ?catalog ?schema ~(src : string) (stmt : SA.stmt) : unit =
+  match errors (analyze_sql ?catalog ?schema ~src stmt) with
+  | [] -> ()
+  | d :: _ ->
+      raise
+        (Xdm.Xerror.Error
+           {
+             code = d.Diag.code;
+             msg = Printf.sprintf "static check rejected the statement: %s" d.Diag.message;
+           })
+
+(** Strict-mode gate for stand-alone XQuery. *)
+let check_xquery ?catalog ?schema ~(locs : Locs.t) (q : query) : unit =
+  match errors (analyze_query ?catalog ?schema ~locs q) with
+  | [] -> ()
+  | d :: _ ->
+      raise
+        (Xdm.Xerror.Error
+           {
+             code = d.Diag.code;
+             msg = Printf.sprintf "static check rejected the statement: %s" d.Diag.message;
+           })

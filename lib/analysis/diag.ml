@@ -1,0 +1,101 @@
+(** Structured diagnostics produced by the static analyzer.
+
+    A diagnostic carries a stable code (either a W3C error code such as
+    [XPTY0004] / [FORG0001] / [XPST0017], or an [XQLINT0xx] lint-rule
+    code from {!Rules}), a severity, an optional source position and a
+    human message. Lint diagnostics that reproduce one of the paper's
+    Tips 1–12 (or the Section 3.10 "between" guidance) also carry the tip
+    number, which is how the advisor renders them. *)
+
+type severity = Error | Warning | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+type t = {
+  code : string;  (** [XPTY0004], [XQLINT007], ... *)
+  severity : severity;
+  pos : Xdm.Srcloc.pos option;  (** position in the analyzed statement *)
+  message : string;
+  tip : int option;  (** paper tip number (1–13) for lint rules *)
+}
+
+let make ?pos ?tip ~code ~severity fmt =
+  Format.kasprintf
+    (fun message -> { code; severity; pos; message; tip })
+    fmt
+
+let is_error d = d.severity = Error
+
+(** Sort for presentation: by position (unlocated diagnostics last), then
+    by severity (errors first), then by code. *)
+let compare (a : t) (b : t) =
+  let pos_key = function
+    | Some (p : Xdm.Srcloc.pos) -> p.Xdm.Srcloc.offset
+    | None -> max_int
+  in
+  let sev_key = function Error -> 0 | Warning -> 1 | Hint -> 2 in
+  match Int.compare (pos_key a.pos) (pos_key b.pos) with
+  | 0 -> (
+      match Int.compare (sev_key a.severity) (sev_key b.severity) with
+      | 0 -> String.compare a.code b.code
+      | c -> c)
+  | c -> c
+
+(** One-line rendering: [error[XPTY0004] line 3, column 10: message].
+    With [~src], a caret snippet pointing into the source follows. *)
+let to_string ?src (d : t) : string =
+  let loc =
+    match d.pos with
+    | Some p -> " " ^ Xdm.Srcloc.to_string p
+    | None -> ""
+  in
+  let head =
+    Printf.sprintf "%s[%s]%s: %s"
+      (severity_to_string d.severity)
+      d.code loc d.message
+  in
+  match (src, d.pos) with
+  | Some src, Some p -> head ^ "\n" ^ Xdm.Srcloc.caret_snippet src p
+  | _ -> head
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (d : t) : string =
+  let fields =
+    [
+      Printf.sprintf "\"code\":\"%s\"" (json_escape d.code);
+      Printf.sprintf "\"severity\":\"%s\"" (severity_to_string d.severity);
+    ]
+    @ (match d.pos with
+      | Some p ->
+          [
+            Printf.sprintf "\"line\":%d" p.Xdm.Srcloc.line;
+            Printf.sprintf "\"column\":%d" p.Xdm.Srcloc.col;
+          ]
+      | None -> [])
+    @ [ Printf.sprintf "\"message\":\"%s\"" (json_escape d.message) ]
+    @ (match d.tip with
+      | Some n -> [ Printf.sprintf "\"tip\":%d" n ]
+      | None -> [])
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let list_to_json (ds : t list) : string =
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"

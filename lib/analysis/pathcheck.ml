@@ -1,0 +1,216 @@
+(** Unreachable- and contradictory-path detection.
+
+    Structural checks over path expressions that do not need the full
+    type system:
+
+    - [XQLINT015]: positional predicates ([\[1\]], [\[position() = 2\]]) —
+      they never eliminate documents, so no index can serve them
+      (paper Section 2.2);
+    - [XQLINT020]: contradictory equality predicates over a provably
+      singleton operand ([@x = 1][@x = 2], [.[. = "a" and . = "b"]]);
+    - [XQLINT021]: predicates that constant-fold to always-true or
+      always-false ([\[1 = 2\]], [\["abc"\]]);
+    - [XQLINT022]: with a registered schema, steps whose element or
+      attribute name cannot occur in any schema rule.
+
+    (Steps below attribute/text nodes — [XQLINT023] — are reported by
+    {!Typecheck}, which tracks node kinds.) *)
+
+open Xquery.Ast
+module A = Xdm.Atomic
+module Pat = Xmlindex.Pattern
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding over literal-only expressions                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate an expression built purely from literals (and true()/false())
+    to its atomic-sequence value. [None] = not constant, or evaluation
+    would raise. *)
+let rec const_atoms (e : expr) : A.t list option =
+  let both a b = Option.bind (const_atoms a) (fun xa ->
+      Option.map (fun xb -> (xa, xb)) (const_atoms b))
+  in
+  match e with
+  | ELit a -> Some [ a ]
+  | ESeq es ->
+      List.fold_left
+        (fun acc e ->
+          match (acc, const_atoms e) with
+          | Some xs, Some ys -> Some (xs @ ys)
+          | _ -> None)
+        (Some []) es
+  | ECall { prefix = "" | "fn"; local = "true"; args = [] } ->
+      Some [ A.Boolean true ]
+  | ECall { prefix = "" | "fn"; local = "false"; args = [] } ->
+      Some [ A.Boolean false ]
+  | EGCmp (op, a, b) -> (
+      match both a b with
+      | Some (xa, xb) -> (
+          try Some [ A.Boolean (Xquery.Compare.general (Xquery.Compare.op_of_gcmp op) xa xb) ]
+          with _ -> None)
+      | None -> None)
+  | EVCmp (op, a, b) -> (
+      match both a b with
+      | Some (xa, xb) -> (
+          try
+            match Xquery.Compare.value (Xquery.Compare.op_of_vcmp op) xa xb with
+            | Some r -> Some [ A.Boolean r ]
+            | None -> Some []
+          with _ -> None)
+      | None -> None)
+  | EAnd (a, b) -> (
+      match both a b with
+      | Some (xa, xb) -> (
+          try Some [ A.Boolean (const_ebv xa && const_ebv xb) ]
+          with _ -> None)
+      | None -> None)
+  | EOr (a, b) -> (
+      match both a b with
+      | Some (xa, xb) -> (
+          try Some [ A.Boolean (const_ebv xa || const_ebv xb) ]
+          with _ -> None)
+      | None -> None)
+  | _ -> None
+
+and const_ebv (atoms : A.t list) : bool =
+  Xdm.Item.ebv (List.map (fun a -> Xdm.Item.A a) atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Contradiction detection                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** An expression that denotes at most one value per context node, usable
+    as a contradiction key: the context itself or a named attribute. *)
+let singleton_key = function
+  | EContext -> Some "."
+  | EPath (Relative, [ SAxis { axis = Attr; test = Name (TName q); preds = [] } ])
+    ->
+      Some ("@" ^ Xdm.Qname.to_string q)
+  | _ -> None
+
+(** Equality constraints [key = literal] pulled from one predicate
+    (flattening top-level 'and'). *)
+let rec eq_constraints (p : expr) : (string * A.t) list =
+  match p with
+  | EAnd (a, b) -> eq_constraints a @ eq_constraints b
+  | EGCmp (GEq, a, b) | EVCmp (VEq, a, b) -> (
+      match ((singleton_key a, b), (singleton_key b, a)) with
+      | (Some k, ELit c), _ | _, (Some k, ELit c) -> [ (k, c) ]
+      | _ -> [])
+  | _ -> []
+
+(** Can both constraints hold of one value? [false] = contradiction. *)
+let compatible (a : A.t) (b : A.t) : bool =
+  try Xquery.Compare.general Xquery.Compare.Eq [ a ] [ b ]
+  with _ -> true (* incomparable literals: stay silent *)
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(schema : Xschema.t option) ?(locs : Locs.t option)
+    ~(emit : Diag.t -> unit) (q : query) : unit =
+  let loc e = Option.bind locs (fun l -> Locs.find l e) in
+  (* names that can occur according to the schema; None = no schema or the
+     schema has wildcard rules, so the check is off *)
+  let schema_names =
+    match schema with
+    | None -> None
+    | Some s ->
+        let names = Hashtbl.create 16 in
+        let wildcard = ref false in
+        List.iter
+          (fun (r : Xschema.rule) ->
+            List.iter
+              (fun (ps : Pat.pstep) ->
+                List.iter
+                  (function
+                    | Pat.TestName qn ->
+                        Hashtbl.replace names qn.Xdm.Qname.local ()
+                    | Pat.TestLocalStar l -> Hashtbl.replace names l ()
+                    | Pat.TestNsStar _ | Pat.TestStar | Pat.TestKindAny
+                    | Pat.TestKindText | Pat.TestKindComment
+                    | Pat.TestKindPi _ ->
+                        wildcard := true)
+                  ps.Pat.tests)
+              r.Xschema.rpattern.Pat.steps)
+          s.Xschema.rules;
+        if !wildcard then None else Some names
+  in
+  let check_step path_pos (s : step) =
+    let preds =
+      match s with SAxis { preds; _ } | SExpr { preds; _ } -> preds
+    in
+    let pred_pos p = match loc p with Some _ as l -> l | None -> path_pos in
+    (* XQLINT015: positional predicates *)
+    List.iter
+      (fun p ->
+        if Eligibility.Extract.is_positional p then
+          emit
+            (Diag.make ?pos:(pred_pos p) ~code:"XQLINT015"
+               ~severity:Diag.Warning
+               "positional predicate [%s] selects by position, not by \
+                value: it can never eliminate documents and no index can \
+                serve it (Section 2.2)"
+               (expr_to_string p)))
+      preds;
+    (* XQLINT021: constant predicates *)
+    List.iter
+      (fun p ->
+        if not (Eligibility.Extract.is_positional p) then
+          match const_atoms p with
+          | Some atoms -> (
+              match const_ebv atoms with
+              | v ->
+                  emit
+                    (Diag.make ?pos:(pred_pos p) ~code:"XQLINT021"
+                       ~severity:Diag.Warning
+                       "predicate [%s] is constant: it is always %s%s"
+                       (expr_to_string p)
+                       (if v then "true" else "false")
+                       (if v then " and filters nothing"
+                        else ", so this step never selects anything"))
+              | exception _ -> ())
+          | None -> ())
+      preds;
+    (* XQLINT020: contradictory singleton constraints across this step's
+       predicates *)
+    let constraints =
+      List.concat_map (fun p -> List.map (fun c -> (p, c)) (eq_constraints p)) preds
+    in
+    let rec pairs = function
+      | [] -> ()
+      | (p1, (k1, c1)) :: rest ->
+          List.iter
+            (fun (_, (k2, c2)) ->
+              if k1 = k2 && not (compatible c1 c2) then
+                emit
+                  (Diag.make ?pos:(pred_pos p1) ~code:"XQLINT020"
+                     ~severity:Diag.Warning
+                     "contradictory predicates: %s cannot equal both %s \
+                      and %s — this step always selects nothing"
+                     k1
+                     (A.string_value c1) (A.string_value c2)))
+            rest;
+          pairs rest
+    in
+    pairs constraints;
+    (* XQLINT022: schema-impossible step names *)
+    (match (schema_names, s) with
+    | ( Some names,
+        SAxis { axis = Child | Descendant | DescOrSelf | Attr; test = Name (TName qn); _ } )
+      ->
+        if not (Hashtbl.mem names qn.Xdm.Qname.local) then
+          emit
+            (Diag.make ?pos:path_pos ~code:"XQLINT022" ~severity:Diag.Warning
+               "the name '%s' does not occur in the registered schema: \
+                this step can never match validated documents"
+               qn.Xdm.Qname.local)
+    | _ -> ())
+  in
+  Xquery.Walk.iter_expr
+    (function
+      | EPath (_, steps) as p -> List.iter (check_step (loc p)) steps
+      | _ -> ())
+    q.body

@@ -1,0 +1,590 @@
+(** Lite static type and cardinality inference over the XQuery subset.
+
+    Infers, for every expression, a {!Xquery.Ast.seqtype}: an item type
+    (atomic type, node kind, or [item()]) together with an occurrence
+    indicator. The inference is deliberately conservative — it only
+    reports a diagnostic when the judgment is *definite* — but it is
+    precise enough to catch the paper's static pitfalls:
+
+    - Section 3.3 / Query 14: [XMLCAST] (and XQuery [cast as]) applied to
+      a sequence whose static cardinality is [*] or [+] — the cast raises
+      [XPTY0004] as soon as a document carries two matching nodes;
+    - comparisons between incomparable *definite* atomic types
+      ([XPTY0004]);
+    - arithmetic over definite strings or booleans ([XPTY0004]);
+    - path steps over atomic values ([XPTY0019]);
+    - casts of literals that can never succeed ([FORG0001]);
+    - unknown functions and wrong arities ([XPST0017]);
+    - steps below attribute or text() nodes (lint rule [XQLINT023]).
+
+    The checker never raises: every judgment it cannot make is widened to
+    [item()*] and analysis continues. *)
+
+open Xquery.Ast
+module A = Xdm.Atomic
+module P = Eligibility.Predicate
+module SMap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Occurrence algebra                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Encode an occurrence as (at-least-one, possibly-many). *)
+let occ_lo = function OccOne | OccPlus -> true | OccOpt | OccStar -> false
+let occ_hi = function OccStar | OccPlus -> true | OccOne | OccOpt -> false
+
+let occ_make ~lo ~hi =
+  match (lo, hi) with
+  | true, false -> OccOne
+  | false, false -> OccOpt
+  | false, true -> OccStar
+  | true, true -> OccPlus
+
+let possibly_many = function
+  | STItems (_, (OccStar | OccPlus)) -> true
+  | _ -> false
+
+let item_of = function STEmpty -> None | STItems (it, _) -> Some it
+
+(** Least upper bound of two item types. *)
+let lub_item a b =
+  if a = b then a
+  else
+    let is_node = function
+      | ITAnyNode | ITElement | ITAttribute | ITText | ITDocument -> true
+      | ITAtomic _ | ITItem -> false
+    in
+    if is_node a && is_node b then ITAnyNode else ITItem
+
+(** Type of [if]-style alternatives. *)
+let alt_ty a b =
+  match (a, b) with
+  | STEmpty, STEmpty -> STEmpty
+  | STEmpty, STItems (it, o) | STItems (it, o), STEmpty ->
+      STItems (it, occ_make ~lo:false ~hi:(occ_hi o))
+  | STItems (i1, o1), STItems (i2, o2) ->
+      STItems
+        ( lub_item i1 i2,
+          occ_make ~lo:(occ_lo o1 && occ_lo o2) ~hi:(occ_hi o1 || occ_hi o2) )
+
+(** Type of a sequence concatenation. *)
+let concat_ty (ts : seqtype list) : seqtype =
+  let parts = List.filter (fun t -> t <> STEmpty) ts in
+  match parts with
+  | [] -> STEmpty
+  | _ ->
+      let item =
+        List.fold_left
+          (fun acc t ->
+            match (acc, item_of t) with
+            | None, it -> it
+            | Some a, Some b -> Some (lub_item a b)
+            | some, None -> some)
+          None parts
+      in
+      let lo = List.exists (function STItems (_, o) -> occ_lo o | _ -> false) parts in
+      let hi =
+        List.length parts > 1
+        || List.exists (function STItems (_, o) -> occ_hi o | _ -> false) parts
+      in
+      STItems (Option.value item ~default:ITItem, occ_make ~lo ~hi)
+
+let any = STItems (ITItem, OccStar)
+let bool_one = STItems (ITAtomic A.TBoolean, OccOne)
+let string_one = STItems (ITAtomic A.TString, OccOne)
+let int_one = STItems (ITAtomic A.TInteger, OccOne)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in function signatures                                        *)
+(* ------------------------------------------------------------------ *)
+
+type arity = Exact of int list | AtLeast of int
+
+(** Mirrors the dispatch in [Xquery.Functions.call]. *)
+let fn_arities : (string * arity) list =
+  [
+    ("position", Exact [ 0 ]);
+    ("last", Exact [ 0 ]);
+    ("count", Exact [ 1 ]);
+    ("exists", Exact [ 1 ]);
+    ("empty", Exact [ 1 ]);
+    ("not", Exact [ 1 ]);
+    ("boolean", Exact [ 1 ]);
+    ("zero-or-one", Exact [ 1 ]);
+    ("exactly-one", Exact [ 1 ]);
+    ("one-or-more", Exact [ 1 ]);
+    ("data", Exact [ 0; 1 ]);
+    ("string", Exact [ 0; 1 ]);
+    ("string-length", Exact [ 0; 1 ]);
+    ("normalize-space", Exact [ 1 ]);
+    ("concat", AtLeast 2);
+    ("string-join", Exact [ 2 ]);
+    ("contains", Exact [ 2 ]);
+    ("starts-with", Exact [ 2 ]);
+    ("ends-with", Exact [ 2 ]);
+    ("substring", Exact [ 2; 3 ]);
+    ("translate", Exact [ 3 ]);
+    ("deep-equal", Exact [ 2 ]);
+    ("round-half-to-even", Exact [ 1 ]);
+    ("upper-case", Exact [ 1 ]);
+    ("lower-case", Exact [ 1 ]);
+    ("number", Exact [ 0; 1 ]);
+    ("sum", Exact [ 1 ]);
+    ("avg", Exact [ 1 ]);
+    ("min", Exact [ 1 ]);
+    ("max", Exact [ 1 ]);
+    ("abs", Exact [ 1 ]);
+    ("floor", Exact [ 1 ]);
+    ("ceiling", Exact [ 1 ]);
+    ("round", Exact [ 1 ]);
+    ("distinct-values", Exact [ 1 ]);
+    ("reverse", Exact [ 1 ]);
+    ("subsequence", Exact [ 2 ]);
+    ("root", Exact [ 0; 1 ]);
+    ("name", Exact [ 0; 1 ]);
+    ("local-name", Exact [ 0; 1 ]);
+    ("namespace-uri", Exact [ 0; 1 ]);
+    ("true", Exact [ 0 ]);
+    ("false", Exact [ 0 ]);
+    ("collection", Exact [ 1 ]);
+  ]
+
+let arity_ok (a : arity) (n : int) =
+  match a with Exact ns -> List.mem n ns | AtLeast k -> n >= k
+
+let arity_to_string = function
+  | Exact [ n ] -> string_of_int n
+  | Exact ns -> String.concat " or " (List.map string_of_int ns)
+  | AtLeast k -> Printf.sprintf "at least %d" k
+
+let fn_result (local : string) (arg_tys : seqtype list) : seqtype =
+  let arg0 = match arg_tys with t :: _ -> Some t | [] -> None in
+  match local with
+  | "position" | "last" | "count" | "string-length" -> int_one
+  | "exists" | "empty" | "not" | "boolean" | "contains" | "starts-with"
+  | "ends-with" | "true" | "false" | "deep-equal" ->
+      bool_one
+  | "string" | "normalize-space" | "concat" | "string-join" | "substring"
+  | "translate" | "upper-case" | "lower-case" | "name" | "local-name"
+  | "namespace-uri" ->
+      string_one
+  | "number" -> STItems (ITAtomic A.TDouble, OccOne)
+  | "sum" -> STItems (ITAtomic A.TDouble, OccOne)
+  | "avg" | "abs" | "floor" | "ceiling" | "round" | "round-half-to-even" ->
+      STItems (ITAtomic A.TDouble, OccOpt)
+  | "min" | "max" -> STItems (ITItem, OccOpt)
+  | "data" -> (
+      match arg0 with
+      | Some (STItems (_, o)) -> STItems (ITAtomic A.TUntyped, o)
+      | Some STEmpty -> STEmpty
+      | None -> STItems (ITAtomic A.TUntyped, OccStar))
+  | "distinct-values" -> STItems (ITAtomic A.TUntyped, OccStar)
+  | "reverse" -> ( match arg0 with Some t -> t | None -> any)
+  | "subsequence" -> (
+      match arg0 with
+      | Some (STItems (it, o)) -> STItems (it, occ_make ~lo:false ~hi:(occ_hi o))
+      | _ -> any)
+  | "zero-or-one" -> (
+      match arg0 with
+      | Some (STItems (it, _)) -> STItems (it, OccOpt)
+      | _ -> STItems (ITItem, OccOpt))
+  | "exactly-one" -> (
+      match arg0 with
+      | Some (STItems (it, _)) -> STItems (it, OccOne)
+      | _ -> STItems (ITItem, OccOne))
+  | "one-or-more" -> (
+      match arg0 with
+      | Some (STItems (it, o)) -> STItems (it, occ_make ~lo:true ~hi:(occ_hi o))
+      | _ -> STItems (ITItem, OccPlus))
+  | "root" -> STItems (ITDocument, OccOne)
+  | "collection" -> STItems (ITDocument, OccStar)
+  | _ -> any
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  locs : Locs.t option;
+  emit : Diag.t -> unit;
+}
+
+and env = { vars : seqtype SMap.t; ctx : seqtype option }
+
+(** Best-known position for [e]: its own recorded position, else the
+    nearest located ancestor's. *)
+let loc_of (st : state) (ploc : Xdm.Srcloc.pos option) (e : expr) :
+    Xdm.Srcloc.pos option =
+  match Option.bind st.locs (fun l -> Locs.find l e) with
+  | Some p -> Some p
+  | None -> ploc
+
+(** Definite comparison class of a sequence type: known only for definite
+    non-untyped atomic item types. *)
+let cmp_class_of = function
+  | STItems (ITAtomic t, _) when t <> A.TUntyped -> (
+      match P.class_of_atomic_type t with
+      | P.CUnknown -> None
+      | c -> Some (c, t))
+  | _ -> None
+
+let is_definitely_atomic = function
+  | STItems (ITAtomic _, _) -> true
+  | _ -> false
+
+let rec infer (st : state) (env : env) (ploc : Xdm.Srcloc.pos option)
+    (e : expr) : seqtype =
+  let ploc = loc_of st ploc e in
+  let emit ~code ~severity fmt =
+    Format.kasprintf
+      (fun message ->
+        st.emit { Diag.code; severity; pos = ploc; message; tip = None })
+      fmt
+  in
+  match e with
+  | ELit a -> STItems (ITAtomic (A.type_of a), OccOne)
+  | EVar v -> (
+      match SMap.find_opt v env.vars with
+      | Some t -> t
+      | None -> any)
+  | EContext -> Option.value env.ctx ~default:(STItems (ITItem, OccOne))
+  | ESeq es -> concat_ty (List.map (infer st env ploc) es)
+  | EPath (start, steps) ->
+      let init =
+        match start with
+        | Absolute | AbsDesc -> STItems (ITDocument, OccOne)
+        | Relative ->
+            Option.value env.ctx ~default:(STItems (ITItem, OccOne))
+      in
+      List.fold_left (fun cur s -> infer_step st env ploc cur s) init steps
+  | EFlwor (clauses, ret) ->
+      let env, looped, filtered =
+        List.fold_left
+          (fun (env, looped, filtered) c ->
+            match c with
+            | CFor binds ->
+                let env =
+                  List.fold_left
+                    (fun env (v, src) ->
+                      let t = infer st env ploc src in
+                      let vt =
+                        match t with
+                        | STItems (it, _) -> STItems (it, OccOne)
+                        | STEmpty -> STItems (ITItem, OccOne)
+                      in
+                      { env with vars = SMap.add v vt env.vars })
+                    env binds
+                in
+                (env, true, filtered)
+            | CLet binds ->
+                let env =
+                  List.fold_left
+                    (fun env (v, src) ->
+                      let t = infer st env ploc src in
+                      { env with vars = SMap.add v t env.vars })
+                    env binds
+                in
+                (env, looped, filtered)
+            | CWhere cond ->
+                ignore (infer st env ploc cond);
+                (env, looped, true)
+            | COrder keys ->
+                List.iter (fun (k, _) -> ignore (infer st env ploc k)) keys;
+                (env, looped, filtered))
+          (env, false, false) clauses
+      in
+      let t = infer st env ploc ret in
+      if looped then
+        match t with
+        | STEmpty -> STEmpty
+        | STItems (it, _) -> STItems (it, OccStar)
+      else if filtered then
+        match t with
+        | STEmpty -> STEmpty
+        | STItems (it, o) -> STItems (it, occ_make ~lo:false ~hi:(occ_hi o))
+      else t
+  | EQuant (_, binds, sat) ->
+      let env =
+        List.fold_left
+          (fun env (v, src) ->
+            let t = infer st env ploc src in
+            let vt =
+              match t with
+              | STItems (it, _) -> STItems (it, OccOne)
+              | STEmpty -> STItems (ITItem, OccOne)
+            in
+            { env with vars = SMap.add v vt env.vars })
+          env binds
+      in
+      ignore (infer st env ploc sat);
+      bool_one
+  | EIf (c, a, b) ->
+      ignore (infer st env ploc c);
+      alt_ty (infer st env ploc a) (infer st env ploc b)
+  | EAnd (a, b) | EOr (a, b) ->
+      ignore (infer st env ploc a);
+      ignore (infer st env ploc b);
+      bool_one
+  | EGCmp (op, a, b) ->
+      check_comparison st env ploc (gcmp_to_string op) a b;
+      bool_one
+  | EVCmp (op, a, b) ->
+      check_comparison st env ploc (vcmp_to_string op) a b;
+      (* a value comparison over empty operands is empty *)
+      STItems (ITAtomic A.TBoolean, OccOpt)
+  | ENCmp (_, a, b) ->
+      ignore (infer st env ploc a);
+      ignore (infer st env ploc b);
+      bool_one
+  | EArith (_, a, b) ->
+      let ta = infer st env ploc a and tb = infer st env ploc b in
+      List.iter
+        (fun t ->
+          match cmp_class_of t with
+          | Some (cls, aty) when cls <> P.CNumeric ->
+              emit ~code:"XPTY0004" ~severity:Diag.Error
+                "arithmetic on %s operand in '%s'" (A.type_name aty)
+                (expr_to_string e)
+          | _ -> ())
+        [ ta; tb ];
+      let definite_numeric t =
+        match cmp_class_of t with Some (P.CNumeric, _) -> true | _ -> false
+      in
+      if definite_numeric ta && definite_numeric tb then
+        STItems (ITAtomic A.TDouble, OccOne)
+      else STItems (ITItem, OccOpt)
+  | ENeg a ->
+      (match cmp_class_of (infer st env ploc a) with
+      | Some (cls, aty) when cls <> P.CNumeric ->
+          emit ~code:"XPTY0004" ~severity:Diag.Error
+            "unary minus on %s operand" (A.type_name aty)
+      | _ -> ());
+      STItems (ITAtomic A.TDouble, OccOne)
+  | ERange (a, b) ->
+      List.iter
+        (fun x ->
+          match cmp_class_of (infer st env ploc x) with
+          | Some (cls, aty) when cls <> P.CNumeric ->
+              emit ~code:"XPTY0004" ~severity:Diag.Error
+                "'to' requires integer operands, got %s" (A.type_name aty)
+          | _ -> ())
+        [ a; b ];
+      STItems (ITAtomic A.TInteger, OccStar)
+  | EUnion (a, b) | EIntersect (a, b) | EExcept (a, b) ->
+      let ta = infer st env ploc a and tb = infer st env ploc b in
+      List.iter
+        (fun t ->
+          if is_definitely_atomic t then
+            emit ~code:"XPTY0004" ~severity:Diag.Error
+              "operands of a set operation must be nodes, not atomic \
+               values")
+        [ ta; tb ];
+      let it =
+        match (item_of ta, item_of tb) with
+        | Some a, Some b when a = b -> a
+        | _ -> ITAnyNode
+      in
+      STItems (it, OccStar)
+  | ECast (a, target) ->
+      let ta = infer st env ploc a in
+      if possibly_many ta then
+        emit ~code:"XPTY0004" ~severity:Diag.Warning
+          "'cast as %s' applies to a sequence that may contain more than \
+           one item; the cast raises XPTY0004 at runtime on multi-valued \
+           input (Section 3.3)"
+          (A.type_name target);
+      (match a with
+      | ELit lit -> (
+          match A.cast lit target with
+          | _ -> ()
+          | exception _ ->
+              emit ~code:"FORG0001" ~severity:Diag.Error
+                "cast of %s to %s always fails"
+                (expr_to_string a) (A.type_name target))
+      | _ -> ());
+      let lo =
+        match ta with STItems (_, o) -> occ_lo o | STEmpty -> false
+      in
+      STItems (ITAtomic target, occ_make ~lo ~hi:false)
+  | ECastable (a, _) ->
+      ignore (infer st env ploc a);
+      bool_one
+  | EInstanceOf (a, _) ->
+      ignore (infer st env ploc a);
+      bool_one
+  | ECall { prefix; local; args } ->
+      let arg_tys = List.map (infer st env ploc) args in
+      let n = List.length args in
+      (match prefix with
+      | "" | "fn" -> (
+          match List.assoc_opt local fn_arities with
+          | Some a when arity_ok a n -> ()
+          | Some a ->
+              emit ~code:"XPST0017" ~severity:Diag.Error
+                "fn:%s expects %s argument%s, got %d" local
+                (arity_to_string a)
+                (match a with Exact [ 1 ] -> "" | _ -> "s")
+                n
+          | None ->
+              emit ~code:"XPST0017" ~severity:Diag.Error
+                "unknown function fn:%s" local)
+      | "db2-fn" ->
+          if local <> "xmlcolumn" || n <> 1 then
+            emit ~code:"XPST0017" ~severity:Diag.Error
+              "unknown function db2-fn:%s/%d" local n
+      | "xqdb" ->
+          if local <> "between" || n <> 3 then
+            emit ~code:"XPST0017" ~severity:Diag.Error
+              "unknown function xqdb:%s/%d" local n
+      | _ ->
+          emit ~code:"XPST0017" ~severity:Diag.Error
+            "unknown function %s:%s" prefix local);
+      (match (prefix, local) with
+      | ("" | "fn"), _ -> fn_result local arg_tys
+      | "db2-fn", "xmlcolumn" -> STItems (ITDocument, OccStar)
+      | "xqdb", "between" -> bool_one
+      | _ -> any)
+  | EElem c ->
+      iter_ctor_exprs st env ploc c;
+      STItems (ITElement, OccOne)
+  | EElemComp { cn_expr; cbody; _ } ->
+      Option.iter (fun e -> ignore (infer st env ploc e)) cn_expr;
+      ignore (infer st env ploc cbody);
+      STItems (ITElement, OccOne)
+  | EAttrComp { an_expr; abody; _ } ->
+      Option.iter (fun e -> ignore (infer st env ploc e)) an_expr;
+      ignore (infer st env ploc abody);
+      STItems (ITAttribute, OccOne)
+  | ETextComp e ->
+      ignore (infer st env ploc e);
+      STItems (ITText, OccOne)
+
+and iter_ctor_exprs st env ploc (c : ctor) =
+  List.iter
+    (fun (_, pieces) ->
+      List.iter
+        (function
+          | APExpr e -> ignore (infer st env ploc e) | APText _ -> ())
+        pieces)
+    c.cattrs;
+  List.iter
+    (function CPExpr e -> ignore (infer st env ploc e) | CPText _ -> ())
+    c.ccontent
+
+(** Both sides of a (general or value) comparison: flag definitely
+    incomparable static types. Occurrence is deliberately NOT checked
+    here: [id eq $x] inside a predicate is the paper's *recommended*
+    Query 13 formulation even though [id] is statically [*]. *)
+and check_comparison st env ploc opname a b =
+  let ta = infer st env ploc a and tb = infer st env ploc b in
+  match (cmp_class_of ta, cmp_class_of tb) with
+  | Some (ca, tya), Some (cb, tyb) when ca <> cb ->
+      st.emit
+        (Diag.make ?pos:ploc ~code:"XPTY0004" ~severity:Diag.Error
+           "cannot compare %s to %s with '%s'" (A.type_name tya)
+           (A.type_name tyb) opname)
+  | _ -> ()
+
+and combine_step (cur : seqtype) (t : seqtype) : seqtype =
+  match (cur, t) with
+  | STEmpty, _ | _, STEmpty -> STEmpty
+  | STItems (_, o1), STItems (it, o2) ->
+      STItems
+        (it, occ_make ~lo:(occ_lo o1 && occ_lo o2) ~hi:(occ_hi o1 || occ_hi o2))
+
+and infer_step st env ploc (cur : seqtype) (s : step) : seqtype =
+  match s with
+  | SExpr { expr; preds } ->
+      let per_item =
+        match cur with
+        | STEmpty -> STItems (ITItem, OccOne)
+        | STItems (it, _) -> STItems (it, OccOne)
+      in
+      let env' = { env with ctx = Some per_item } in
+      let t = infer st env' ploc expr in
+      let t = apply_preds st env' ploc t preds in
+      combine_step cur t
+  | SAxis { axis; test; preds } ->
+      (* stepping below atomic values is a type error *)
+      (match cur with
+      | STItems (ITAtomic aty, _) ->
+          st.emit
+            (Diag.make ?pos:ploc ~code:"XPTY0019" ~severity:Diag.Error
+               "a path step (%s::%s) cannot be applied to atomic values \
+                (%s)"
+               (axis_name axis) (nodetest_to_string test) (A.type_name aty))
+      | _ -> ());
+      (* attributes and text nodes have nothing below them *)
+      (match (cur, axis) with
+      | STItems ((ITAttribute | ITText) as it, _), (Child | Descendant | Attr)
+        ->
+          st.emit
+            (Diag.make ?pos:ploc ~code:"XQLINT023" ~severity:Diag.Warning
+               "the step %s::%s after a%s step never selects anything: \
+                attribute and text nodes have no children or attributes \
+                (Section 3.9)"
+               (axis_name axis) (nodetest_to_string test)
+               (match it with
+               | ITAttribute -> "n attribute"
+               | _ -> " text()"))
+      | _ -> ());
+      let in_item =
+        match cur with STItems (it, _) -> it | STEmpty -> ITItem
+      in
+      let item =
+        match (axis, test) with
+        | Attr, _ -> ITAttribute
+        | _, Kind KText -> ITText
+        | _, Kind (KComment | KPi _) -> ITAnyNode
+        | _, Kind KDocument -> ITDocument
+        | Self, Kind KAnyNode -> in_item
+        | Self, Name _ -> (
+            match in_item with ITAtomic _ | ITItem -> ITElement | it -> it)
+        | Parent, _ -> ITAnyNode
+        | (Child | Descendant | DescOrSelf), Name _ -> ITElement
+        | (Child | Descendant | DescOrSelf), Kind KAnyNode -> ITAnyNode
+      in
+      let at_most_one_per_item =
+        match (axis, test) with
+        | Attr, Name (TName _) -> true
+        | (Parent | Self), _ -> true
+        | _ -> false
+      in
+      let occ_in =
+        match cur with STItems (_, o) -> o | STEmpty -> OccOne
+      in
+      let occ =
+        if at_most_one_per_item then occ_make ~lo:false ~hi:(occ_hi occ_in)
+        else OccStar
+      in
+      let t = STItems (item, occ) in
+      let env' = { env with ctx = Some (STItems (item, OccOne)) } in
+      apply_preds st env' ploc t preds
+
+and apply_preds st env ploc (t : seqtype) (preds : expr list) : seqtype =
+  List.iter (fun p -> ignore (infer st env ploc p)) preds;
+  match (preds, t) with
+  | [], _ | _, STEmpty -> t
+  | _, STItems (it, o) -> STItems (it, occ_make ~lo:false ~hi:(occ_hi o))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Infer the type of a whole query body, emitting diagnostics through
+    [emit]. [vars] pre-binds external variables (e.g. PASSING clause
+    entries of an embedded query). *)
+let infer_query ?(vars : (string * seqtype) list = []) ?locs
+    ~(emit : Diag.t -> unit) (q : query) : seqtype =
+  let st = { locs; emit } in
+  let env =
+    {
+      vars = List.fold_left (fun m (v, t) -> SMap.add v t m) SMap.empty vars;
+      ctx = None;
+    }
+  in
+  infer st env None q.body
+
+(** Convenience: just the inferred type, diagnostics discarded. *)
+let type_of_query ?vars ?locs (q : query) : seqtype =
+  infer_query ?vars ?locs ~emit:(fun _ -> ()) q

@@ -1,15 +1,11 @@
 (** The codified advisor: the paper's Tips 1–12 (plus the Section 3.10
-    "between" guidance) as mechanical checks over a statement.
+    "between" guidance) rendered from the static analyzer's rule engine.
 
-    This is the reproduction of the paper's actual contribution — its
-    guidelines — as executable analysis: given a query and the index
-    catalog, report which pitfalls the query falls into, quoting the
-    paper's tip, and what to do instead. *)
-
-open Xquery.Ast
-module P = Eligibility.Predicate
-module M = Eligibility.Match_index
-module X = Xmlindex.Xindex
+    The checks themselves live in [Analysis.Lint] (shared with
+    [Engine.analyze] and the [\lint] / [--lint] surfaces, which add
+    source positions and the non-tip [XQLINT0xx] rules on top); this
+    module keeps the original advisor interface — a list of
+    [{tip; title; detail}] records for the tip-numbered findings. *)
 
 type advice = {
   tip : int;  (** 1–12 = the paper's Tips; 13 = Section 3.10 (between) *)
@@ -17,558 +13,26 @@ type advice = {
   detail : string;
 }
 
-let tip_title = function
-  | 1 -> "Tip 1: use type-cast expressions in XQuery join predicates"
-  | 2 ->
-      "Tip 2: to retrieve XML fragments, use the stand-alone XQuery \
-       interface"
-  | 3 ->
-      "Tip 3: make sure the XQuery inside XMLEXISTS returns nodes, not a \
-       boolean"
-  | 4 -> "Tip 4: express predicates in the XMLTABLE row-producer"
-  | 5 ->
-      "Tip 5: express the join condition on the side that has the index"
-  | 6 -> "Tip 6: always express XML joins on the XQuery side"
-  | 7 ->
-      "Tip 7: do not put predicates inside element constructors in return \
-       clauses"
-  | 8 ->
-      "Tip 8: do not use absolute paths when the context is a constructed \
-       element"
-  | 9 -> "Tip 9: write predicates on the data before any construction"
-  | 10 ->
-      "Tip 10: keep namespace declarations consistent between data, \
-       queries and indexes"
-  | 11 -> "Tip 11: align /text() steps between queries and indexes"
-  | 12 -> "Tip 12: to index all attributes use //@*, not //* or //node()"
-  | 13 ->
-      "Section 3.10: make 'between' predicates singleton-safe (value \
-       comparisons, self axis, or attributes)"
-  | _ -> "?"
+let tip_title = Analysis.Rules.tip_title
 
-let mk tip fmt =
-  Format.kasprintf (fun detail -> { tip; title = tip_title tip; detail }) fmt
-
-(* ------------------------------------------------------------------ *)
-(* Generic expression walk                                             *)
-(* ------------------------------------------------------------------ *)
-
-let rec iter_expr (f : expr -> unit) (e : expr) : unit =
-  f e;
-  let r = iter_expr f in
-  match e with
-  | ELit _ | EVar _ | EContext -> ()
-  | ESeq es -> List.iter r es
-  | EPath (_, steps) -> List.iter (iter_step f) steps
-  | EFlwor (clauses, ret) ->
-      List.iter
-        (function
-          | CFor binds | CLet binds -> List.iter (fun (_, e) -> r e) binds
-          | CWhere e -> r e
-          | COrder keys -> List.iter (fun (e, _) -> r e) keys)
-        clauses;
-      r ret
-  | EQuant (_, binds, sat) ->
-      List.iter (fun (_, e) -> r e) binds;
-      r sat
-  | EIf (a, b, c) -> r a; r b; r c
-  | EAnd (a, b) | EOr (a, b) | EGCmp (_, a, b) | EVCmp (_, a, b)
-  | ENCmp (_, a, b) | EArith (_, a, b) | ERange (a, b) | EUnion (a, b)
-  | EIntersect (a, b) | EExcept (a, b) ->
-      r a; r b
-  | ENeg a | ECast (a, _) | ECastable (a, _) | EInstanceOf (a, _) -> r a
-  | ECall { args; _ } -> List.iter r args
-  | EElem c -> iter_ctor f c
-  | EElemComp { cn_expr; cbody; _ } ->
-      Option.iter r cn_expr;
-      r cbody
-  | EAttrComp { an_expr; abody; _ } ->
-      Option.iter r an_expr;
-      r abody
-  | ETextComp e -> r e
-
-and iter_step f = function
-  | SAxis { preds; _ } -> List.iter (iter_expr f) preds
-  | SExpr { expr; preds } ->
-      iter_expr f expr;
-      List.iter (iter_expr f) preds
-
-and iter_ctor f (c : ctor) =
-  List.iter
-    (fun (_, pieces) ->
-      List.iter (function APExpr e -> iter_expr f e | APText _ -> ()) pieces)
-    c.cattrs;
-  List.iter
-    (function CPExpr e -> iter_expr f e | CPText _ -> ())
-    c.ccontent
-
-let has_nonpositional_pred steps =
-  List.exists
-    (function
-      | SAxis { preds; _ } | SExpr { preds; _ } ->
-          List.exists
-            (fun p -> not (Eligibility.Extract.is_positional p))
-            preds)
-    steps
-
-let is_boolean_valued = function
-  | EGCmp _ | EVCmp _ | EAnd _ | EOr _ | EQuant _ | ECastable _ -> true
-  | ECall { prefix = "" | "fn"; local; _ } ->
-      List.mem local
-        [ "exists"; "empty"; "not"; "boolean"; "contains"; "starts-with"; "ends-with"; "true"; "false" ]
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* XQuery-level checks                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(** Tips checked directly on an XQuery AST + its predicate tree. *)
-let xquery_advice ?(catalog : Planner.catalog option)
-    ?(xml_params : (string * string) list = [])
-    ?(scalar_params : (string * Xdm.Atomic.atomic_type option) list = [])
-    (q : query) : advice list =
-  let advice = ref [] in
-  let add a = advice := a :: !advice in
-  let tree =
-    Eligibility.Extract.analyze ~xml_params ~scalar_params q
-  in
-  let leaves = P.leaves tree in
-  (* ---- Tip 1: cast-less joins ---- *)
-  List.iter
-    (fun (l : P.leaf) ->
-      match l.P.operand with
-      | P.OJoin { jcast = None; _ } ->
-          add
-            (mk 1
-               "the comparison '%s' has no provable data type; no index \
-                can serve it. Wrap both sides in casts like \
-                $x/path/xs:double(.)"
-               l.P.source)
-      | _ -> ())
-    leaves;
-  (* ---- Tip 7: predicates under constructors in return clauses ---- *)
-  iter_expr
-    (function
-      | EFlwor (_, EElem c) ->
-          List.iter
-            (function
-              | CPExpr (EPath (_, steps)) when has_nonpositional_pred steps ->
-                  add
-                    (mk 7
-                       "a predicate inside the constructor <%s> cannot \
-                        eliminate documents: an empty element is returned \
-                        for non-qualifying nodes, so no index applies \
-                        (Query 19 vs Query 22)"
-                       (Xdm.Qname.to_string c.cname))
-              | _ -> ())
-            c.ccontent
-      | _ -> ())
-    q.body;
-  (* ---- Tips 8/9: constructed contexts ---- *)
-  let ctor_vars = Hashtbl.create 4 in
-  let rec returns_ctor = function
-    | EElem _ | EElemComp _ -> true
-    | EVar v -> Hashtbl.mem ctor_vars v
-    | EFlwor (_, ret) -> returns_ctor ret
-    | EIf (_, a, b) -> returns_ctor a || returns_ctor b
-    | ESeq es -> List.exists returns_ctor es
-    | EPath (Relative, [ SExpr { expr; _ } ]) -> returns_ctor expr
-    | _ -> false
-  in
-  iter_expr
-    (function
-      | EFlwor (clauses, _) ->
-          List.iter
-            (function
-              | CFor binds | CLet binds ->
-                  List.iter
-                    (fun (v, e) ->
-                      if returns_ctor e then Hashtbl.replace ctor_vars v ())
-                    binds
-              | _ -> ())
-            clauses
-      | _ -> ())
-    q.body;
-  iter_expr
-    (function
-      | EPath (Relative, SExpr { expr = EVar v; preds } :: rest)
-        when Hashtbl.mem ctor_vars v ->
-          let uses_absolute = ref false in
-          List.iter
-            (iter_expr (function
-              | EPath ((Absolute | AbsDesc), _) -> uses_absolute := true
-              | _ -> ()))
-            preds;
-          List.iter
-            (iter_step (fun e ->
-                 match e with
-                 | EPath ((Absolute | AbsDesc), _) -> uses_absolute := true
-                 | _ -> ()))
-            rest;
-          if !uses_absolute then
-            add
-              (mk 8
-                 "$%s is bound to a constructed element; an absolute path \
-                  (leading '/') over it raises a type error at runtime \
-                  (Query 25)"
-                 v)
-          else if
-            has_nonpositional_pred rest
-            || List.exists
-                 (fun p -> not (Eligibility.Extract.is_positional p))
-                 preds
-          then
-            add
-              (mk 9
-                 "predicates over $%s apply to *constructed* nodes \
-                  (fresh identities, untyped values); they cannot be \
-                  pushed to the base collection, so no index applies \
-                  (Query 26 vs Query 27)"
-                 v)
-      | EGCmp (_, a, b) | EVCmp (_, a, b) ->
-          (* a comparison over a path rooted at a constructed value *)
-          let ctor_path = function
-            | EPath (Relative, SExpr { expr = EVar v; _ } :: _)
-            | EVar v ->
-                if Hashtbl.mem ctor_vars v then Some v else None
-            | _ -> None
-          in
-          (match (ctor_path a, ctor_path b) with
-          | Some v, _ | _, Some v ->
-              add
-                (mk 9
-                   "the comparison tests *constructed* nodes bound to $%s \
-                    (untypedAtomic values, concatenated multi-values, \
-                    fresh identities); rewrite the predicate against the \
-                    base collection before construction (Query 26 vs \
-                    Query 27)"
-                   v)
-          | None, None -> ())
-      | _ -> ())
-    q.body;
-  (* ---- Tips 10/11/12 + between need the index catalog ---- *)
-  (match catalog with
-  | None -> ()
-  | Some cat ->
-      let indexes = cat.Planner.indexes in
-      let module Pat = Xmlindex.Pattern in
-      (* erase namespace constraints from a pattern *)
-      let strip_ns_pattern (p : Pat.t) =
-        Pat.of_steps
-          (List.map
-             (fun (st : Pat.pstep) ->
-               {
-                 st with
-                 Pat.tests =
-                   List.map
-                     (function
-                       | Pat.TestName q ->
-                           Pat.TestName { q with Xdm.Qname.uri = "" }
-                       | Pat.TestNsStar _ -> Pat.TestStar
-                       | t -> t)
-                     st.Pat.tests;
-               })
-             p.Pat.steps)
-      in
-      let has_ns (p : Pat.t) =
-        List.exists
-          (fun (st : Pat.pstep) ->
-            List.exists
-              (function
-                | Pat.TestName q -> q.Xdm.Qname.uri <> ""
-                | Pat.TestNsStar _ -> true
-                | _ -> false)
-              st.Pat.tests)
-          p.Pat.steps
-      in
-      (* drop a trailing text() step *)
-      let strip_text_pattern (p : Pat.t) =
-        match List.rev p.Pat.steps with
-        | last :: rest when last.Pat.tests = [ Pat.TestKindText ] ->
-            Some (Pat.of_steps (List.rev rest))
-        | _ -> None
-      in
-      List.iter
-        (fun (l : P.leaf) ->
-          List.iter
-            (fun (idx : X.t) ->
-              match M.check_leaf idx.X.def l with
-              | Error M.RNotContained ->
-                  let qp = Xmlindex.Pattern.canonical_string l.P.path in
-                  let ip =
-                    Xmlindex.Pattern.canonical_string idx.X.def.X.pattern
-                  in
-                  (* Tip 10: the mismatch disappears when namespaces are
-                     erased from both sides *)
-                  if
-                    (has_ns l.P.path || has_ns idx.X.def.X.pattern)
-                    && Xmlindex.Containment.contains
-                         (strip_ns_pattern idx.X.def.X.pattern)
-                         (strip_ns_pattern l.P.path)
-                  then
-                    add
-                      (mk 10
-                         "index %s differs from the query path only in \
-                          namespaces (index: %s, query: %s); declare the \
-                          same namespaces or use *:name wildcards in the \
-                          index"
-                         idx.X.def.X.iname ip qp);
-                  (* Tip 11: the mismatch is a trailing /text() step *)
-                  (let q_stripped = strip_text_pattern l.P.path in
-                   let i_stripped =
-                     strip_text_pattern idx.X.def.X.pattern
-                   in
-                   let realigned =
-                     match (q_stripped, i_stripped) with
-                     | Some q', None ->
-                         Xmlindex.Containment.contains idx.X.def.X.pattern q'
-                     | None, Some i' ->
-                         Xmlindex.Containment.contains i' l.P.path
-                     | _ -> false
-                   in
-                   if realigned then
-                     add
-                       (mk 11
-                          "index %s and the query disagree on a trailing \
-                           /text() step (index: %s, query: %s); they index \
-                           different nodes (Query 29)"
-                          idx.X.def.X.iname ip qp));
-                  (* attribute reachability: query wants attributes, index
-                     pattern ends in a child-axis step *)
-                  let q_last_attr =
-                    match List.rev l.P.path.Xmlindex.Pattern.steps with
-                    | s :: _ -> s.Xmlindex.Pattern.attr
-                    | [] -> false
-                  in
-                  let i_last_attr =
-                    match List.rev idx.X.def.X.pattern.Xmlindex.Pattern.steps with
-                    | s :: _ -> s.Xmlindex.Pattern.attr
-                    | [] -> false
-                  in
-                  if q_last_attr && not i_last_attr then
-                    add
-                      (mk 12
-                         "index %s (%s) can never contain attribute nodes: \
-                          child-axis steps (including //* and //node()) do \
-                          not reach attributes; use //@* (Section 3.9)"
-                         idx.X.def.X.iname ip)
-              | _ -> ())
-            indexes)
-        leaves);
-  (* ---- Section 3.10: unmergeable between pairs ---- *)
-  let rec scan_between = function
-    | P.PAnd children ->
-        let consts =
-          List.filter_map
-            (function
-              | P.PLeaf l when (match l.P.operand with P.OConst _ -> true | _ -> false)
-                -> Some l
-              | _ -> None)
-            children
-        in
-        List.iter
-          (fun (l : P.leaf) ->
-            if l.P.op = P.CGt || l.P.op = P.CGe then
-              List.iter
-                (fun (u : P.leaf) ->
-                  if
-                    (u.P.op = P.CLt || u.P.op = P.CLe)
-                    && Xmlindex.Pattern.canonical_string u.P.path
-                       = Xmlindex.Pattern.canonical_string l.P.path
-                    && not
-                         ((l.P.value_cmp && u.P.value_cmp)
-                         || (l.P.anchor = u.P.anchor && l.P.singleton_path
-                            && u.P.singleton_path))
-                  then
-                    add
-                      (mk 13
-                         "'%s' and '%s' look like a between, but the \
-                          compared item is not provably a singleton: a \
-                          multi-valued node could satisfy each bound with \
-                          a different value, so two index scans must be \
-                          ANDed. Use value comparisons (gt/lt), the self \
-                          axis (price/data()[. > X and . < Y]) or an \
-                          attribute"
-                         l.P.source u.P.source))
-                consts)
-          consts;
-        List.iter scan_between children
-    | P.POr children -> List.iter scan_between children
-    | _ -> ()
-  in
-  scan_between tree;
-  List.rev !advice
-
-(* ------------------------------------------------------------------ *)
-(* SQL-level checks                                                    *)
-(* ------------------------------------------------------------------ *)
-
-
-(** Checks that need SQL structure (Tips 2–6). *)
-let sql_advice ?(catalog : Planner.catalog option) (stmt : Sqlxml.Sql_ast.stmt) :
-    advice list =
-  let module A = Sqlxml.Sql_ast in
-  let advice = ref [] in
-  let add a = advice := a :: !advice in
-  let embedded_queries = ref [] in
-  let check_embed (e : A.xq_embed) =
-    embedded_queries := e :: !embedded_queries
-  in
-  (match stmt with
-  | A.Select s ->
-      (* collect embedded queries everywhere *)
-      let rec walk_sexpr = function
-        | A.SXmlQuery e -> check_embed e
-        | A.SXmlCast (e, _) -> walk_sexpr e
-        | A.SXmlElement (_, args) -> List.iter walk_sexpr args
-        | _ -> ()
-      in
-      let rec walk_cond = function
-        | A.CAnd (a, b) | A.COr (a, b) -> walk_cond a; walk_cond b
-        | A.CNot a -> walk_cond a
-        | A.CCmp (_, a, b) -> walk_sexpr a; walk_sexpr b
-        | A.CXmlExists e -> check_embed e
-        | A.CIsNull (e, _) -> walk_sexpr e
-      in
-      List.iter
-        (function A.SelExpr (e, _) -> walk_sexpr e | A.SelStar -> ())
-        s.A.sel_list;
-      Option.iter walk_cond s.A.where;
-      (* ---- Tip 2: XMLQuery-with-predicates in the select list ---- *)
-      let has_exists_filter =
-        match s.A.where with
-        | Some w ->
-            List.exists
-              (function A.CXmlExists _ -> true | _ -> false)
-              (A.conjuncts w)
-        | None -> false
-      in
-      List.iter
-        (function
-          | A.SelExpr (A.SXmlQuery e, _) ->
-              let has_preds = ref false in
-              iter_expr
-                (function
-                  | EPath (_, steps) when has_nonpositional_pred steps ->
-                      has_preds := true
-                  | _ -> ())
-                e.A.xq_query.body;
-              if !has_preds && not has_exists_filter then
-                add
-                  (mk 2
-                     "XMLQuery in the select list returns a (possibly \
-                      empty) value for *every* row — its predicates \
-                      eliminate nothing and no index applies (Query 5). \
-                      Add an XMLEXISTS to the WHERE clause, or use the \
-                      stand-alone XQuery interface (Query 7)")
-          | _ -> ())
-        s.A.sel_list;
-      (* ---- Tip 3: boolean result inside XMLEXISTS ---- *)
-      (match s.A.where with
-      | Some w ->
-          List.iter
-            (function
-              | A.CXmlExists e when is_boolean_valued e.A.xq_query.body ->
-                  add
-                    (mk 3
-                       "the XQuery inside XMLEXISTS ('%s') returns a \
-                        boolean: XMLEXISTS tests for *non-emptiness*, and \
-                        a false value is still one item, so every row \
-                        qualifies (Query 9). Move the condition into a \
-                        predicate: [...]"
-                       e.A.xq_src)
-              | _ -> ())
-            (A.conjuncts w)
-      | None -> ());
-      (* ---- Tip 4: predicates in XMLTABLE COLUMNS ---- *)
-      List.iter
-        (function
-          | A.TRXmlTable xt ->
-              List.iter
-                (fun (c : A.xt_col) ->
-                  let has_preds = ref false in
-                  iter_expr
-                    (function
-                      | EPath (_, steps) when has_nonpositional_pred steps ->
-                          has_preds := true
-                      | _ -> ())
-                    c.A.xc_query.body;
-                  if !has_preds then
-                    add
-                      (mk 4
-                         "the predicate in COLUMNS %s PATH '%s' only NULLs \
-                          the cell — it never drops rows and is not index \
-                          eligible (Query 12). Move it to the row-producer \
-                          expression"
-                         c.A.xc_name c.A.xc_path_src))
-                xt.A.xt_cols
-          | A.TRTable _ -> ())
-        s.A.from;
-      (* ---- Tips 5/6: joins expressed on the SQL side ---- *)
-      (match s.A.where with
-      | Some w ->
-          List.iter
-            (function
-              | A.CCmp (_, a, b) -> (
-                  let is_xmlcast_q = function
-                    | A.SXmlCast (A.SXmlQuery _, _) -> true
-                    | _ -> false
-                  in
-                  match (is_xmlcast_q a, is_xmlcast_q b) with
-                  | true, true ->
-                      add
-                        (mk 6
-                           "this join compares two XMLCAST(XMLQUERY(...)) \
-                            values with SQL semantics: no XML index (and \
-                            no relational index) is eligible, and XMLCAST \
-                            raises errors on multi-valued or over-long \
-                            items (Query 15). Pass both XML values into \
-                            one XMLEXISTS and join in XQuery with \
-                            explicit casts (Query 16)")
-                  | true, false | false, true ->
-                      add
-                        (mk 5
-                           "this join condition mixes SQL and XML values \
-                            via XMLCAST: only a relational index on the \
-                            SQL side is eligible, and XMLCAST enforces \
-                            singleton/length rules the XQuery comparison \
-                            does not (Query 14 vs Query 13). Put the \
-                            condition on the side that has the index")
-                  | false, false -> ())
-              | _ -> ())
-            (A.conjuncts w)
-      | None -> ());
-      ()
-  | _ -> ());
-  (* run the XQuery-level checks on each embedded query *)
-  let xq_advice =
-    List.concat_map
-      (fun (e : A.xq_embed) ->
-        let q =
-          try
-            Xquery.Static.resolve
-              ~external_vars:(List.map fst e.A.xq_passing)
-              e.A.xq_query
-          with _ -> e.A.xq_query
-        in
-        try xquery_advice ?catalog q with _ -> [])
-      !embedded_queries
-  in
-  List.rev !advice @ xq_advice
-
-(* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
-(* ------------------------------------------------------------------ *)
+let of_diags (diags : Analysis.Diag.t list) : advice list =
+  List.filter_map
+    (fun (d : Analysis.Diag.t) ->
+      Option.map
+        (fun tip -> { tip; title = tip_title tip; detail = d.Analysis.Diag.message })
+        d.Analysis.Diag.tip)
+    diags
 
 (** Advise on a statement: SQL/XML if it parses as SQL, else stand-alone
     XQuery. *)
 let advise ?(catalog : Planner.catalog option) (src : string) : advice list
     =
-  match Sqlxml.Sql_parser.parse src with
-  | stmt -> sql_advice ?catalog stmt
-  | exception Sqlxml.Sql_lexer.Sql_syntax_error _ ->
-      let q = Xquery.Parser.parse_query src in
-      let q = try Xquery.Static.resolve q with _ -> q in
-      xquery_advice ?catalog q
+  of_diags
+    (match Sqlxml.Sql_parser.parse src with
+    | stmt -> Analysis.Lint.sql_lint ?catalog ~src stmt
+    | exception Sqlxml.Sql_lexer.Sql_syntax_error _ ->
+        let q, locs = Xquery.Parser.parse_query_loc src in
+        let q = try Xquery.Static.resolve ~locs q with _ -> q in
+        Analysis.Lint.xquery_lint ?catalog ~locs q)
 
 let to_string (a : advice) = Printf.sprintf "[%s] %s" a.title a.detail

@@ -18,12 +18,26 @@ module Advisor = Advisor
 
 type t = { sqlctx : Sqlxml.Sql_exec.ctx }
 
-let create () = { sqlctx = Sqlxml.Sql_exec.create (Storage.Database.create ()) }
-
 let database t = t.sqlctx.Sqlxml.Sql_exec.db
 
 let catalog t : Planner.catalog =
   { Planner.db = database t; indexes = t.sqlctx.Sqlxml.Sql_exec.xindexes }
+
+let create () =
+  let t = { sqlctx = Sqlxml.Sql_exec.create (Storage.Database.create ()) } in
+  (* the strict-mode gate: Sql_exec cannot depend on the analyzer, so the
+     facade installs it (off until [set_strict_types true]) *)
+  t.sqlctx.Sqlxml.Sql_exec.static_check <-
+    Some
+      (fun ~src stmt ->
+        Analysis.Analyze.check_sql ~catalog:(catalog t) ~src stmt);
+  t
+
+(** Strict static typing: when on, statements with Error-severity
+    diagnostics (e.g. the Query 14 XMLCAST-of-many) are rejected before
+    execution. *)
+let set_strict_types t b = t.sqlctx.Sqlxml.Sql_exec.strict_static <- b
+let strict_types t = t.sqlctx.Sqlxml.Sql_exec.strict_static
 
 let xml_indexes t = t.sqlctx.Sqlxml.Sql_exec.xindexes
 let rel_indexes t = t.sqlctx.Sqlxml.Sql_exec.rindexes
@@ -58,6 +72,10 @@ let last_indexes_used t = t.sqlctx.Sqlxml.Sql_exec.used
 (** Run a stand-alone XQuery, using eligible indexes to pre-filter
     collections. Returns the result and the plan (with EXPLAIN notes). *)
 let xquery t (src : string) : Xdm.Item.seq * Planner.t =
+  if strict_types t then begin
+    let q, locs = Xquery.Parser.parse_query_loc src in
+    Analysis.Analyze.check_xquery ~catalog:(catalog t) ~locs q
+  end;
   if use_indexes t then Planner.run_xquery ~limits:(limits t) (catalog t) src
   else
     ( Planner.run_xquery_noindex ~limits:(limits t) (catalog t) src,
@@ -138,3 +156,13 @@ let validate_column t ~table ~column (schema : Xschema.t) : int =
     stand-alone XQuery by attempting the SQL parser first). *)
 let advise t (src : string) : Advisor.advice list =
   Advisor.advise ~catalog:(catalog t) src
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the full static analyzer (type & cardinality checks, path
+    checks, and every lint rule) on a statement. Never raises: syntax
+    errors come back as diagnostics. *)
+let analyze t (src : string) : Analysis.Diag.t list =
+  Analysis.Analyze.analyze_string ~catalog:(catalog t) src

@@ -14,6 +14,11 @@ type xq_embed = {
   xq_src : string;
   xq_query : Xquery.Ast.query;
   xq_passing : (string * sexpr) list;  (** XQuery variable ← SQL expression *)
+  xq_offset : int;
+      (** offset of the embedded query's string literal in the SQL text
+          (at the opening quote); positions inside [xq_src] map to the
+          outer statement by adding [xq_offset + 1] *)
+  xq_locs : Xquery.Ast.Locs.t;  (** positions of [xq_query]'s nodes *)
 }
 
 and sexpr =
@@ -47,6 +52,8 @@ type xt_col = {
   xc_by_ref : bool;
   xc_path_src : string;
   xc_query : Xquery.Ast.query;
+  xc_offset : int;  (** offset of the PATH literal in the SQL text *)
+  xc_locs : Xquery.Ast.Locs.t;
 }
 
 type xmltable = {

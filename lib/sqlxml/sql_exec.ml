@@ -43,6 +43,11 @@ type ctx = {
   mutable meter : Xdm.Limits.meter;
       (** the running statement's meter; fresh per [exec] so every
           embedded XQuery draws from one shared per-statement budget *)
+  mutable strict_static : bool;
+      (** reject statically ill-typed statements before execution *)
+  mutable static_check : (src:string -> Sql_ast.stmt -> unit) option;
+      (** the checker run when [strict_static] is on; installed by the
+          engine facade (the analyzer lives above this library) *)
 }
 
 let create db =
@@ -57,6 +62,8 @@ let create db =
     embed_plans = Hashtbl.create 32;
     limits = Xdm.Limits.unlimited;
     meter = Xdm.Limits.meter ();
+    strict_static = false;
+    static_check = None;
   }
 
 let note ctx fmt =
@@ -1149,4 +1156,9 @@ and exec_inner ctx log (stmt : stmt) : result =
       { rcols = []; rrows = [] }
 
 (** Parse and execute. *)
-let exec_string ctx (src : string) : result = exec ctx (Sql_parser.parse src)
+let exec_string ctx (src : string) : result =
+  let stmt = Sql_parser.parse src in
+  (match (ctx.strict_static, ctx.static_check) with
+  | true, Some check -> check ~src stmt
+  | _ -> ());
+  exec ctx stmt

@@ -26,7 +26,27 @@ exception Sql_syntax_error of string
 
 let fail fmt = Format.kasprintf (fun m -> raise (Sql_syntax_error m)) fmt
 
-type t = { src : string; mutable pos : int; mutable tok : token }
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable tok : token;
+  mutable tok_start : int;  (** source offset where [tok] begins *)
+}
+
+(** Position of the current token as a line/column pair. *)
+let token_pos (l : t) : Xdm.Srcloc.pos = Xdm.Srcloc.of_offset l.src l.tok_start
+
+(** Raise a located syntax error with a caret snippet pointing at the
+    given source offset. *)
+let fail_at (l : t) (offset : int) fmt =
+  Format.kasprintf
+    (fun m ->
+      let pos = Xdm.Srcloc.of_offset l.src offset in
+      raise
+        (Sql_syntax_error
+           (Printf.sprintf "%s at %s\n%s" m (Xdm.Srcloc.to_string pos)
+              (Xdm.Srcloc.caret_snippet l.src pos))))
+    fmt
 
 let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 let is_digit c = c >= '0' && c <= '9'
@@ -55,6 +75,7 @@ let rec skip_trivia l =
 
 let next l =
   skip_trivia l;
+  l.tok_start <- l.pos;
   let adv n = l.pos <- l.pos + n in
   let tok =
     match peek l with
@@ -79,7 +100,7 @@ let next l =
         let buf = Buffer.create 32 in
         let rec go () =
           match peek l with
-          | None -> fail "unterminated string literal"
+          | None -> fail_at l l.tok_start "unterminated string literal"
           | Some '\'' when peek_at l 1 = Some '\'' ->
               Buffer.add_char buf '\'';
               adv 2;
@@ -98,7 +119,7 @@ let next l =
         while peek l <> Some '"' && peek l <> None do
           adv 1
         done;
-        if peek l = None then fail "unterminated quoted identifier";
+        if peek l = None then fail_at l l.tok_start "unterminated quoted identifier";
         let s = String.sub l.src start (l.pos - start) in
         adv 1;
         QIdent s
@@ -139,12 +160,12 @@ let next l =
           adv 1
         done;
         Word (String.sub l.src start (l.pos - start))
-    | Some c -> fail "unexpected character %C in SQL" c
+    | Some c -> fail_at l l.pos "unexpected character %C in SQL" c
   in
   l.tok <- tok
 
 let init src =
-  let l = { src; pos = 0; tok = Eof } in
+  let l = { src; pos = 0; tok = Eof; tok_start = 0 } in
   next l;
   l
 

@@ -11,9 +11,8 @@ let advance p = L.next p.lx
 let fail p fmt =
   Format.kasprintf
     (fun m ->
-      raise
-        (L.Sql_syntax_error
-           (Printf.sprintf "%s (at %s)" m (L.token_to_string (cur p)))))
+      L.fail_at p.lx p.lx.L.tok_start "%s (at %s)" m
+        (L.token_to_string (cur p)))
     fmt
 
 let is_kw p kw =
@@ -115,8 +114,8 @@ let sqltype p : sqltype =
 (* Expressions                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_embedded_query p (src : string) : Xquery.Ast.query =
-  try Xquery.Parser.parse_query src
+let parse_embedded_query p (src : string) : Xquery.Ast.query * Xquery.Ast.Locs.t =
+  try Xquery.Parser.parse_query_loc src
   with Xdm.Xerror.Error { code; msg } ->
     fail p "embedded XQuery error [%s]: %s" code msg
 
@@ -139,10 +138,12 @@ let rec passing_clause p : (string * sexpr) list =
 
 and xq_embed_body p : xq_embed =
   (* after the opening '(' of XMLQuery/XMLExists/XMLTable *)
+  let offset = p.lx.L.tok_start in
   let src = string_lit p in
-  let q = parse_embedded_query p src in
+  let q, locs = parse_embedded_query p src in
   let passing = passing_clause p in
-  { xq_src = src; xq_query = q; xq_passing = passing }
+  { xq_src = src; xq_query = q; xq_passing = passing; xq_offset = offset;
+    xq_locs = locs }
 
 and sexpr p : sexpr =
   match cur p with
@@ -308,9 +309,11 @@ let xmltable p : xmltable =
         else true
       in
       eat_kw p "PATH";
+      let offset = p.lx.L.tok_start in
       let path = string_lit p in
-      let q = parse_embedded_query p path in
-      { xc_name = name; xc_type = ty; xc_by_ref = by_ref; xc_path_src = path; xc_query = q }
+      let q, locs = parse_embedded_query p path in
+      { xc_name = name; xc_type = ty; xc_by_ref = by_ref; xc_path_src = path;
+        xc_query = q; xc_offset = offset; xc_locs = locs }
     in
     cols := [ one () ];
     while cur p = L.Comma do

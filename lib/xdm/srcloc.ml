@@ -1,0 +1,51 @@
+(** Source positions for diagnostics.
+
+    Both front ends (the XQuery lexer and the SQL/XML lexer) track byte
+    offsets only; this module converts an offset into a 1-based
+    line/column pair against the original source text and renders the
+    caret snippets used by syntax errors and lint diagnostics. *)
+
+type pos = { line : int; col : int; offset : int }
+
+(** Column counting is byte-based (the engine's strings are raw bytes);
+    tabs count as one column. *)
+let of_offset (src : string) (offset : int) : pos =
+  let offset = max 0 (min offset (String.length src)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { line = !line; col = offset - !bol + 1; offset }
+
+let to_string (p : pos) = Printf.sprintf "line %d, column %d" p.line p.col
+
+(** The full source line containing [p] (without its newline). *)
+let line_text (src : string) (p : pos) : string =
+  let n = String.length src in
+  let bol = p.offset - (p.col - 1) in
+  let rec eol i = if i >= n || src.[i] = '\n' then i else eol (i + 1) in
+  let bol = max 0 (min bol n) in
+  String.sub src bol (eol bol - bol)
+
+(** Two-line caret snippet:
+    {v
+    for $i in //order[@x = "a" + 1] return $i
+                           ^
+    v} *)
+let caret_snippet (src : string) (p : pos) : string =
+  let line = line_text src p in
+  (* trim very long lines around the caret *)
+  let max_width = 120 in
+  let line, col =
+    if String.length line <= max_width then (line, p.col)
+    else begin
+      let start = max 0 (p.col - 1 - (max_width / 2)) in
+      let len = min max_width (String.length line - start) in
+      ("..." ^ String.sub line start len, p.col - start + 3)
+    end
+  in
+  let pad = String.make (max 0 (col - 1)) ' ' in
+  Printf.sprintf "%s\n%s^" line pad

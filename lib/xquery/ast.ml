@@ -131,6 +131,42 @@ let empty_prolog =
   { namespaces = []; default_elem_ns = None; construction_preserve = false }
 
 (* ------------------------------------------------------------------ *)
+(* Source locations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Side table mapping expression nodes to source positions, keyed by
+    physical identity (the parser allocates each node exactly once, so
+    [==] identifies "this occurrence in the source"). Keeping locations
+    out of the AST keeps every consumer (evaluator, extractor, planner)
+    untouched; [Static.resolve] copies entries onto the nodes it
+    rebuilds.
+
+    [EContext] is the one constant constructor of [expr] — all its
+    occurrences are physically equal — so it is never recorded; consumers
+    fall back to the location of the nearest enclosing expression. *)
+module Locs = struct
+  type t = { mutable entries : (expr * Xdm.Srcloc.pos) list }
+
+  let create () = { entries = [] }
+
+  let locatable = function EContext -> false | _ -> true
+
+  (** First record wins: the innermost production that saw the node. *)
+  let record t (e : expr) (pos : Xdm.Srcloc.pos) =
+    if locatable e && not (List.exists (fun (e', _) -> e' == e) t.entries)
+    then t.entries <- (e, pos) :: t.entries
+
+  let find t (e : expr) : Xdm.Srcloc.pos option =
+    if locatable e then
+      Option.map snd (List.find_opt (fun (e', _) -> e' == e) t.entries)
+    else None
+
+  (** Give [dst] (a rebuilt node) the position recorded for [src]. *)
+  let copy t ~(src : expr) ~(dst : expr) =
+    match find t src with Some p -> record t dst p | None -> ()
+end
+
+(* ------------------------------------------------------------------ *)
 (* Pretty-printing (for EXPLAIN and advisor output)                    *)
 (* ------------------------------------------------------------------ *)
 

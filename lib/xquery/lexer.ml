@@ -53,12 +53,15 @@ type t = {
   mutable tok_start : int;  (** source offset where [tok] begins *)
 }
 
+(** Position of the current token as a line/column pair. *)
+let token_pos (l : t) : Xdm.Srcloc.pos = Xdm.Srcloc.of_offset l.src l.tok_start
+
 let syntax_error (l : t) fmt =
   Format.kasprintf
     (fun msg ->
-      Xdm.Xerror.syntax_error "%s (at offset %d: ...%s)" msg l.tok_start
-        (String.sub l.src l.tok_start
-           (min 20 (String.length l.src - l.tok_start))))
+      let pos = token_pos l in
+      Xdm.Xerror.syntax_error "%s at %s\n%s" msg (Xdm.Srcloc.to_string pos)
+        (Xdm.Srcloc.caret_snippet l.src pos))
     fmt
 
 let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
@@ -87,7 +90,9 @@ let rec skip_trivia l =
       let depth = ref 1 in
       while !depth > 0 do
         match peek_char l with
-        | None -> Xdm.Xerror.syntax_error "unterminated comment"
+        | None ->
+            Xdm.Xerror.syntax_error "unterminated comment at %s"
+              (Xdm.Srcloc.to_string (Xdm.Srcloc.of_offset l.src l.pos))
         | Some '(' when peek_char_at l 1 = Some ':' ->
             incr depth;
             l.pos <- l.pos + 2
@@ -112,7 +117,9 @@ let lex_string l quote =
   let buf = Buffer.create 16 in
   let rec go () =
     match peek_char l with
-    | None -> Xdm.Xerror.syntax_error "unterminated string literal"
+    | None ->
+        Xdm.Xerror.syntax_error "unterminated string literal at %s"
+          (Xdm.Srcloc.to_string (Xdm.Srcloc.of_offset l.src l.pos))
     | Some c when c = quote ->
         l.pos <- l.pos + 1;
         if peek_char l = Some quote then begin

@@ -7,11 +7,20 @@
 open Ast
 module L = Lexer
 
-type p = { lx : L.t }
+type p = { lx : L.t; locs : Ast.Locs.t }
 
 let cur p = p.lx.L.tok
 let advance p = L.next p.lx
 let peek2 p = L.peek_next p.lx
+
+(** Run [f] and record the resulting expression as starting at the token
+    that was current when [f] began. Recording is first-wins, so nested
+    productions that return the same node agree on its start. *)
+let locate p (f : unit -> Ast.expr) : Ast.expr =
+  let start = p.lx.L.tok_start in
+  let e = f () in
+  Ast.Locs.record p.locs e (Xdm.Srcloc.of_offset p.lx.L.src start);
+  e
 
 let error p fmt = L.syntax_error p.lx fmt
 
@@ -164,7 +173,7 @@ let creference p buf =
 (* Expressions                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let rec expr_seq p : expr =
+let rec expr_seq p : expr = locate p @@ fun () ->
   let first = expr_single p in
   if cur p = L.TComma then begin
     let items = ref [ first ] in
@@ -176,7 +185,7 @@ let rec expr_seq p : expr =
   end
   else first
 
-and expr_single p : expr =
+and expr_single p : expr = locate p @@ fun () ->
   if (at_kw p "for" || at_kw p "let") && peek2 p = L.TDollar then flwor p
   else if (at_kw p "some" || at_kw p "every") && peek2 p = L.TDollar then
     quantified p
@@ -272,7 +281,7 @@ and if_expr p : expr =
   eat_kw p "else";
   EIf (c, t, expr_single p)
 
-and or_expr p : expr =
+and or_expr p : expr = locate p @@ fun () ->
   let a = ref (and_expr p) in
   while at_kw p "or" do
     advance p;
@@ -280,7 +289,7 @@ and or_expr p : expr =
   done;
   !a
 
-and and_expr p : expr =
+and and_expr p : expr = locate p @@ fun () ->
   let a = ref (comparison_expr p) in
   while at_kw p "and" do
     advance p;
@@ -288,7 +297,7 @@ and and_expr p : expr =
   done;
   !a
 
-and comparison_expr p : expr =
+and comparison_expr p : expr = locate p @@ fun () ->
   let a = range_expr p in
   let mk_g op =
     advance p;
@@ -322,7 +331,7 @@ and comparison_expr p : expr =
       ENCmp (NFollows, a, range_expr p)
   | _ -> a
 
-and range_expr p : expr =
+and range_expr p : expr = locate p @@ fun () ->
   let a = additive_expr p in
   if at_kw p "to" then begin
     advance p;
@@ -330,7 +339,7 @@ and range_expr p : expr =
   end
   else a
 
-and additive_expr p : expr =
+and additive_expr p : expr = locate p @@ fun () ->
   let a = ref (multiplicative_expr p) in
   let rec loop () =
     match cur p with
@@ -347,7 +356,7 @@ and additive_expr p : expr =
   loop ();
   !a
 
-and multiplicative_expr p : expr =
+and multiplicative_expr p : expr = locate p @@ fun () ->
   let a = ref (union_expr p) in
   let rec loop () =
     match cur p with
@@ -372,7 +381,7 @@ and multiplicative_expr p : expr =
   loop ();
   !a
 
-and union_expr p : expr =
+and union_expr p : expr = locate p @@ fun () ->
   let a = ref (intersect_expr p) in
   while cur p = L.TBar || at_kw p "union" do
     advance p;
@@ -380,7 +389,7 @@ and union_expr p : expr =
   done;
   !a
 
-and intersect_expr p : expr =
+and intersect_expr p : expr = locate p @@ fun () ->
   let a = ref (cast_expr p) in
   let rec loop () =
     if at_kw p "intersect" then begin
@@ -455,7 +464,7 @@ and atomic_type_name_no_occ p : atomic_type =
   advance p;
   ty
 
-and cast_expr p : expr =
+and cast_expr p : expr = locate p @@ fun () ->
   let a = unary_expr p in
   if at_kw p "instance" && peek2 p = L.TQName (None, "of") then begin
     advance p;
@@ -474,7 +483,7 @@ and cast_expr p : expr =
   end
   else a
 
-and unary_expr p : expr =
+and unary_expr p : expr = locate p @@ fun () ->
   match cur p with
   | L.TMinus ->
       advance p;
@@ -486,7 +495,7 @@ and unary_expr p : expr =
 
 (* ---------------------------- paths ---------------------------- *)
 
-and path_expr p : expr =
+and path_expr p : expr = locate p @@ fun () ->
   let desc_step = SAxis { axis = DescOrSelf; test = Kind KAnyNode; preds = [] } in
   match cur p with
   | L.TSlash ->
@@ -546,7 +555,7 @@ and is_computed_ctor p =
      | _ -> false)
   || (at_kw p "text" && peek2 p = L.TLbrace)
 
-and computed_ctor p : expr =
+and computed_ctor p : expr = locate p @@ fun () ->
   let kind = match cur p with L.TQName (None, k) -> k | _ -> assert false in
   advance p;
   let static_name, name_expr =
@@ -682,7 +691,7 @@ and node_test p ~dflt_attr : nodetest =
 
 (* --------------------------- primaries -------------------------- *)
 
-and primary p : expr =
+and primary p : expr = locate p @@ fun () ->
   match cur p with
   | L.TInteger i ->
       advance p;
@@ -743,7 +752,7 @@ and direct_constructor p : expr =
   L.resume p.lx;
   match predicates p with [] -> e | preds -> EPath (Relative, [ SExpr { expr = e; preds } ])
 
-and ctor_char_level p : expr =
+and ctor_char_level p : expr = locate p @@ fun () ->
   cexpect p "<";
   let raw = cname_raw p in
   let prefix, local = split_prefix raw in
@@ -1008,15 +1017,19 @@ let prolog p : prolog =
     construction_preserve = !construction_preserve;
   }
 
-(** Parse a complete query (prolog + body). Raises [Xdm.Xerror.Error] with
-    code [XPST0003] on syntax errors. *)
-let parse_query (src : string) : query =
-  let p = { lx = L.init src } in
+(** Parse a complete query (prolog + body), also returning the source
+    positions recorded for its expression nodes. Raises
+    [Xdm.Xerror.Error] with code [XPST0003] on syntax errors. *)
+let parse_query_loc (src : string) : query * Ast.Locs.t =
+  let p = { lx = L.init src; locs = Ast.Locs.create () } in
   let prolog = prolog p in
   let body = expr_seq p in
   if cur p <> L.TEof then
     error p "unexpected trailing token %s" (L.token_to_string (cur p));
-  { prolog; body }
+  ({ prolog; body }, p.locs)
+
+(** Parse a complete query (prolog + body). *)
+let parse_query (src : string) : query = fst (parse_query_loc src)
 
 (** Parse a bare expression with no prolog. *)
 let parse_expr (src : string) : expr = (parse_query src).body

@@ -19,6 +19,9 @@ type env = {
   ns : string SMap.t;  (** prefix → uri *)
   default_elem : string;
   vars : SSet.t;
+  locs : Ast.Locs.t option;
+      (** when present, rebuilt nodes inherit the source positions their
+          originals were parsed with *)
 }
 
 let predeclared =
@@ -35,7 +38,7 @@ let predeclared =
          ("xqdb", "https://github.com/xqdb/extensions");
        ])
 
-let env_of_prolog ?(external_vars = []) (pr : prolog) =
+let env_of_prolog ?(external_vars = []) ?locs (pr : prolog) =
   let ns =
     List.fold_left
       (fun m (p, u) -> SMap.add p u m)
@@ -45,6 +48,7 @@ let env_of_prolog ?(external_vars = []) (pr : prolog) =
     ns;
     default_elem = Option.value pr.default_elem_ns ~default:"";
     vars = SSet.of_list external_vars;
+    locs;
   }
 
 let resolve_prefix env prefix =
@@ -68,6 +72,13 @@ let resolve_nodetest env ~is_element = function
   | Kind k -> Kind k
 
 let rec resolve_expr env (e : expr) : expr =
+  let e' = resolve_expr_desc env e in
+  (match env.locs with
+  | Some t -> Ast.Locs.copy t ~src:e ~dst:e'
+  | None -> ());
+  e'
+
+and resolve_expr_desc env (e : expr) : expr =
   match e with
   | ELit _ | EContext -> e
   | EVar v ->
@@ -218,7 +229,9 @@ and resolve_ctor env (c : ctor) : ctor =
   }
 
 (** Resolve a full query. [external_vars] are variables bound by the host
-    (SQL/XML [PASSING] clauses). *)
-let resolve ?(external_vars = []) (q : query) : query =
-  let env = env_of_prolog ~external_vars q.prolog in
+    (SQL/XML [PASSING] clauses). Pass [locs] (from
+    {!Parser.parse_query_loc}) to keep source positions attached to the
+    rebuilt nodes. *)
+let resolve ?(external_vars = []) ?locs (q : query) : query =
+  let env = env_of_prolog ~external_vars ?locs q.prolog in
   { q with body = resolve_expr env q.body }

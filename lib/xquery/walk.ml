@@ -1,0 +1,53 @@
+(** Generic expression traversal over the XQuery AST (shared by the
+    advisor, the lint rules and the static type checker). *)
+
+open Ast
+
+let rec iter_expr (f : expr -> unit) (e : expr) : unit =
+  f e;
+  let r = iter_expr f in
+  match e with
+  | ELit _ | EVar _ | EContext -> ()
+  | ESeq es -> List.iter r es
+  | EPath (_, steps) -> List.iter (iter_step f) steps
+  | EFlwor (clauses, ret) ->
+      List.iter
+        (function
+          | CFor binds | CLet binds -> List.iter (fun (_, e) -> r e) binds
+          | CWhere e -> r e
+          | COrder keys -> List.iter (fun (e, _) -> r e) keys)
+        clauses;
+      r ret
+  | EQuant (_, binds, sat) ->
+      List.iter (fun (_, e) -> r e) binds;
+      r sat
+  | EIf (a, b, c) -> r a; r b; r c
+  | EAnd (a, b) | EOr (a, b) | EGCmp (_, a, b) | EVCmp (_, a, b)
+  | ENCmp (_, a, b) | EArith (_, a, b) | ERange (a, b) | EUnion (a, b)
+  | EIntersect (a, b) | EExcept (a, b) ->
+      r a; r b
+  | ENeg a | ECast (a, _) | ECastable (a, _) | EInstanceOf (a, _) -> r a
+  | ECall { args; _ } -> List.iter r args
+  | EElem c -> iter_ctor f c
+  | EElemComp { cn_expr; cbody; _ } ->
+      Option.iter r cn_expr;
+      r cbody
+  | EAttrComp { an_expr; abody; _ } ->
+      Option.iter r an_expr;
+      r abody
+  | ETextComp e -> r e
+
+and iter_step f = function
+  | SAxis { preds; _ } -> List.iter (iter_expr f) preds
+  | SExpr { expr; preds } ->
+      iter_expr f expr;
+      List.iter (iter_expr f) preds
+
+and iter_ctor f (c : ctor) =
+  List.iter
+    (fun (_, pieces) ->
+      List.iter (function APExpr e -> iter_expr f e | APText _ -> ()) pieces)
+    c.cattrs;
+  List.iter
+    (function CPExpr e -> iter_expr f e | CPText _ -> ())
+    c.ccontent

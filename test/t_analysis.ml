@@ -1,0 +1,321 @@
+(** The static analyzer (lib/analysis): located diagnostics over both
+    front ends, the Query 13/14 contrast, the XQLINT0xx rules, strict
+    mode, and a never-crashes property. *)
+
+open Helpers
+module D = Analysis.Diag
+
+let mk_db () =
+  let db = paper_db ~n_orders:10 () in
+  ignore
+    (Engine.sql db
+       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+        '//lineitem/@price' AS DOUBLE");
+  db
+
+let db = lazy (mk_db ())
+
+let diags src =
+  List.sort D.compare (Engine.analyze (Lazy.force db) src)
+
+let with_code code ds = List.filter (fun d -> d.D.code = code) ds
+
+(** 1-based column of the first occurrence of [sub] in [src] (all test
+    sources are single-line, so line is always 1). *)
+let col_of src sub =
+  let n = String.length sub in
+  let rec find i =
+    if i + n > String.length src then
+      Alcotest.failf "substring %S not found in %S" sub src
+    else if String.sub src i n = sub then i + 1
+    else find (i + 1)
+  in
+  find 0
+
+let check_pos src sub (d : D.t) =
+  match d.D.pos with
+  | None -> Alcotest.failf "%s: no position" d.D.code
+  | Some p ->
+      check Alcotest.int (d.D.code ^ " line") 1 p.Xdm.Srcloc.line;
+      check Alcotest.int (d.D.code ^ " column") (col_of src sub)
+        p.Xdm.Srcloc.col
+
+(* the exact Query 13 / Query 14 formulations from t_paper *)
+let query13 =
+  "SELECT p.name, XMLQuery('$order//lineitem' passing orddoc as \"order\") \
+   FROM products p, orders o WHERE XMLExists('$order \
+   //lineitem/product[id eq $pid]' passing o.orddoc as \"order\", p.id as \
+   \"pid\")"
+
+let query14 =
+  "SELECT p.name FROM products p, orders o WHERE p.id = \
+   XMLCast(XMLQuery('$order//lineitem/product/id' passing o.orddoc as \
+   \"order\") as VARCHAR(13))"
+
+let contrast_tests =
+  [
+    tc "Query 14: exactly one located XPTY0004 Error" (fun () ->
+        let ds = diags query14 in
+        let errs = List.filter D.is_error ds in
+        check Alcotest.int "one error" 1 (List.length errs);
+        let e = List.hd errs in
+        check Alcotest.string "code" "XPTY0004" e.D.code;
+        check Alcotest.bool "message" true
+          (contains_sub ~affix:"more than one item" e.D.message);
+        check_pos query14 "'$order//lineitem/product/id'" e);
+    tc "Query 13: zero Error-severity diagnostics" (fun () ->
+        check Alcotest.int "errors" 0
+          (List.length (List.filter D.is_error (diags query13))));
+    tc "Query 14 in strict mode is rejected before execution" (fun () ->
+        let db = paper_db ~n_orders:3 () in
+        Engine.set_strict_types db true;
+        (match Engine.sql db query14 with
+        | _ -> Alcotest.fail "expected a static rejection"
+        | exception Xdm.Xerror.Error { code; msg } ->
+            check Alcotest.string "code" "XPTY0004" code;
+            check Alcotest.bool "message" true
+              (contains_sub ~affix:"static check rejected" msg));
+        (* the eligible formulation still runs *)
+        check Alcotest.bool "Query 13 runs" true (sql_count db query13 >= 0));
+    tc "strict mode gates stand-alone XQuery too" (fun () ->
+        let db = paper_db ~n_orders:3 () in
+        Engine.set_strict_types db true;
+        match Engine.xquery db "1 + \"abc\"" with
+        | _ -> Alcotest.fail "expected a static rejection"
+        | exception Xdm.Xerror.Error { code; _ } ->
+            check Alcotest.string "code" "XPTY0004" code);
+  ]
+
+(* --------------------------------------------------------------- *)
+(* XQLINT0xx rules, each with its source position                    *)
+(* --------------------------------------------------------------- *)
+
+let rule_tests =
+  [
+    tc "XQLINT005 (tip) fires on Query 14 with a mapped position" (fun () ->
+        match with_code "XQLINT005" (diags query14) with
+        | [] -> Alcotest.fail "XQLINT005 absent"
+        | d :: _ ->
+            check Alcotest.bool "has position" true (d.D.pos <> None));
+    tc "XQLINT014: absolute path inside an embedded query" (fun () ->
+        let src =
+          "SELECT XMLQuery('/order/lineitem' passing orddoc as \"order\") \
+           FROM orders"
+        in
+        match with_code "XQLINT014" (diags src) with
+        | [] -> Alcotest.fail "XQLINT014 absent"
+        | d :: _ -> check_pos src "/order/lineitem" d);
+    tc "XQLINT015: positional predicate, located at the predicate" (fun () ->
+        let src = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[2]" in
+        match with_code "XQLINT015" (diags src) with
+        | [] -> Alcotest.fail "XQLINT015 absent"
+        | d :: _ -> check_pos src "2]" d);
+    tc "XQLINT016: string comparison against a DOUBLE index" (fun () ->
+        let src =
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price = \"100\"]"
+        in
+        match with_code "XQLINT016" (diags src) with
+        | [] -> Alcotest.fail "XQLINT016 absent"
+        | d :: _ -> check_pos src "@price = \"100\"" d);
+    tc "XQLINT020: contradictory equality predicates" (fun () ->
+        let src =
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@linenum = 1]\
+           [@linenum = 2]"
+        in
+        match with_code "XQLINT020" (diags src) with
+        | [] -> Alcotest.fail "XQLINT020 absent"
+        | d :: _ -> check_pos src "@linenum = 1" d);
+    tc "XQLINT021: constant predicate" (fun () ->
+        let src = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[true()]" in
+        match with_code "XQLINT021" (diags src) with
+        | [] -> Alcotest.fail "XQLINT021 absent"
+        | d :: _ ->
+            check_pos src "true()" d;
+            check Alcotest.bool "always true" true
+              (contains_sub ~affix:"always true" d.D.message));
+    tc "XQLINT022: schema-impossible step name" (fun () ->
+        let schema =
+          Xschema.make "s" [ ("/order/lineitem/price", Xdm.Atomic.TDouble) ]
+        in
+        let src = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitme" in
+        match
+          with_code "XQLINT022" (Analysis.Analyze.analyze_string ~schema src)
+        with
+        | [] -> Alcotest.fail "XQLINT022 absent"
+        | d :: _ ->
+            check Alcotest.bool "names the step" true
+              (contains_sub ~affix:"lineitme" d.D.message));
+    tc "XQLINT023: navigation below an attribute" (fun () ->
+        let src = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/@price/foo" in
+        match with_code "XQLINT023" (diags src) with
+        | [] -> Alcotest.fail "XQLINT023 absent"
+        | d :: _ -> check Alcotest.bool "has position" true (d.D.pos <> None));
+    tc "at least 8 distinct XQLINT rules exist in the registry" (fun () ->
+        check Alcotest.bool "registry size" true
+          (List.length Analysis.Rules.all >= 18));
+  ]
+
+(* --------------------------------------------------------------- *)
+(* Type & cardinality pass, front-end located syntax errors          *)
+(* --------------------------------------------------------------- *)
+
+let type_tests =
+  [
+    tc "arithmetic on a non-numeric literal is XPTY0004" (fun () ->
+        let ds = with_code "XPTY0004" (diags "1 + \"abc\"") in
+        check Alcotest.bool "flagged" true (List.exists D.is_error ds));
+    tc "uncastable literal is FORG0001" (fun () ->
+        let ds = with_code "FORG0001" (diags "\"abc\" cast as xs:double") in
+        check Alcotest.bool "flagged" true (List.exists D.is_error ds));
+    tc "unknown function is a located XPST0017" (fun () ->
+        let src = "db2-fn:xmlcolumn('ORDERS.ORDDOC')/order[fn:exsts(.)]" in
+        match with_code "XPST0017" (diags src) with
+        | [] -> Alcotest.fail "XPST0017 absent"
+        | d :: _ ->
+            check Alcotest.bool "error" true (D.is_error d);
+            check_pos src "fn:exsts" d);
+    tc "wrong arity is XPST0017" (fun () ->
+        check Alcotest.bool "flagged" true
+          (List.exists D.is_error
+             (with_code "XPST0017" (diags "fn:count(1, 2, 3)"))));
+    tc "value comparison is not occurrence-checked (Query 13 shape)" (fun () ->
+        let src =
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem/product[id eq \
+           \"id-000001\"]"
+        in
+        check Alcotest.int "no errors" 0
+          (List.length (List.filter D.is_error (diags src))));
+    tc "XQuery syntax error carries line, column and caret" (fun () ->
+        match Xquery.Parser.parse_query "for $x in" with
+        | _ -> Alcotest.fail "expected a syntax error"
+        | exception Xdm.Xerror.Error { code; msg } ->
+            check Alcotest.string "code" "XPST0003" code;
+            check Alcotest.bool "location" true
+              (contains_sub ~affix:"line 1, column" msg);
+            check Alcotest.bool "caret" true (contains_sub ~affix:"^" msg));
+    tc "SQL syntax error carries line, column and caret" (fun () ->
+        match Sqlxml.Sql_parser.parse "SELECT ordid FRM orders" with
+        | _ -> Alcotest.fail "expected a syntax error"
+        | exception Sqlxml.Sql_lexer.Sql_syntax_error msg ->
+            check Alcotest.bool "location" true
+              (contains_sub ~affix:"line 1, column" msg);
+            check Alcotest.bool "caret" true (contains_sub ~affix:"^" msg));
+    tc "analyze is total: syntax errors become diagnostics" (fun () ->
+        match diags "for $x in" with
+        | [ d ] ->
+            check Alcotest.bool "error" true (D.is_error d);
+            check Alcotest.string "code" "XPST0003" d.D.code
+        | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+    tc "advisor parity: tip diagnostics match Engine.advise" (fun () ->
+        let src =
+          "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc \
+           as \"order\") FROM orders"
+        in
+        let tips =
+          List.sort_uniq compare
+            (List.filter_map (fun d -> d.D.tip) (diags src))
+        in
+        let advised =
+          List.sort_uniq compare
+            (List.map
+               (fun a -> a.Engine.Advisor.tip)
+               (Engine.advise (Lazy.force db) src))
+        in
+        check Alcotest.(list int) "same tips" advised tips);
+  ]
+
+(* --------------------------------------------------------------- *)
+(* Corpus sweep + never-crashes property                             *)
+(* --------------------------------------------------------------- *)
+
+(* representative statements from the paper corpus (t_paper): all must
+   analyze without an analyzer failure (XQLINT000) *)
+let corpus =
+  [
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]";
+    "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order where \
+     $o/lineitem/@price > 100 return $o/custid";
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order for $j in \
+     db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer where \
+     $i/custid/xs:double(.) = $j/id/xs:double(.) return $i";
+    "SELECT XMLQuery('$order//lineitem[@price > 100]' passing orddoc as \
+     \"order\") FROM orders";
+    "SELECT ordid FROM orders WHERE XMLExists('$order//lineitem[@price > \
+     100]' passing orddoc as \"order\")";
+    "SELECT o.ordid, t.price FROM orders o, XMLTable('$order//lineitem' \
+     passing o.orddoc as \"order\" COLUMNS \"price\" DOUBLE PATH \
+     '@price') as t(price)";
+    query13;
+    query14;
+    "let $c := fn:count(db2-fn:xmlcolumn('ORDERS.ORDDOC')/order) return $c";
+    "some $p in db2-fn:xmlcolumn('ORDERS.ORDDOC')//@price satisfies \
+     xs:double($p) > 400";
+  ]
+
+let corpus_tests =
+  [
+    tc "paper corpus: the analyzer completes on every statement" (fun () ->
+        List.iter
+          (fun src ->
+            List.iter
+              (fun (d : D.t) ->
+                if d.D.code = "XQLINT000" then
+                  Alcotest.failf "analyzer failure on %S: %s" src d.D.message)
+              (diags src))
+          corpus);
+  ]
+
+(* random parser-accepted queries: the analyzer must neither raise nor
+   report an internal failure *)
+let gen_query =
+  QCheck.Gen.(
+    let name = oneofl [ "order"; "lineitem"; "price"; "product"; "id" ] in
+    let pred =
+      oneofl
+        [
+          "";
+          "[@price > 100]";
+          "[2]";
+          "[true()]";
+          "[@id = 1][@id = 2]";
+          "[id eq \"x\"]";
+          "[fn:count(.) > 1]";
+        ]
+    in
+    let step = map2 (fun n p -> "/" ^ n ^ p) name pred in
+    let* root =
+      oneofl
+        [ "db2-fn:xmlcolumn('ORDERS.ORDDOC')"; "(1, 2, 3)"; "." ]
+    in
+    let* steps = list_size (int_range 0 4) step in
+    let* tail = oneofl [ ""; "/@price"; "/text()"; "/@price/foo" ] in
+    let body = root ^ String.concat "" steps ^ tail in
+    oneofl
+      [
+        body;
+        Printf.sprintf "for $x in %s return $x" body;
+        Printf.sprintf "fn:count(%s)" body;
+        Printf.sprintf
+          "SELECT ordid FROM orders WHERE XMLExists('%s' passing orddoc as \
+           \"d\")"
+          (String.concat ""
+             (List.map
+                (fun c -> if c = '\'' then "''" else String.make 1 c)
+                (List.init (String.length body) (String.get body))));
+      ])
+
+let prop_lint_total =
+  QCheck.Test.make ~count:200 ~name:"analysis: never crashes, no XQLINT000"
+    (QCheck.make gen_query ~print:(fun s -> s))
+    (fun src ->
+      let ds = Engine.analyze (Lazy.force db) src in
+      List.for_all (fun (d : D.t) -> d.D.code <> "XQLINT000") ds)
+
+let suite =
+  [
+    ("analysis:contrast", contrast_tests);
+    ("analysis:rules", rule_tests);
+    ("analysis:types", type_tests);
+    ("analysis:corpus", corpus_tests);
+    ("analysis:prop", [ QCheck_alcotest.to_alcotest prop_lint_total ]);
+  ]
