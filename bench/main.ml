@@ -692,20 +692,14 @@ let e15 () =
     ]
 
 (* ------------------------------------------------------------------ *)
-(* Governor overhead (--governor-overhead)                             *)
+(* The paper-query corpus (shared by --governor-overhead and           *)
+(* --suite micro)                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(** Measures the cost of running with the resource governor armed.
-
-    Every paper query whose evaluation is timing-meaningful is run twice
-    over the same 500-document database: once with limits disabled
-    (unarmed meter — the single [armed] branch per eval step) and once
-    with generous-but-armed limits, and the per-query overhead is
-    reported.  Queries 4/6/10/12/14/20/23–29 are error-demonstration,
-    namespace-setup or plan-inspection cases and are exercised in
-    test/t_paper.ml instead. *)
-let governor_overhead () =
-  let db = build_db ~n:500 () in
+(** Build the corpus database: orders/customer/products plus the four
+    indexes the paper queries exercise. *)
+let corpus_db ~n () =
+  let db = build_db ~n () in
   ddl db
     [
       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
@@ -717,73 +711,107 @@ let governor_overhead () =
       "CREATE INDEX c_custid ON customer(cdoc) USING XMLPATTERN \
        '/customer/id' AS DOUBLE";
     ];
-  let armed =
-    {
-      Xdm.Limits.max_steps = Some 1_000_000_000;
-      max_nodes = Some 1_000_000_000;
-      max_depth = Some 10_000;
-      timeout = Some 300.;
-    }
-  in
-  let xq name src = (name, xq_n db src) in
-  let sql name src = (name, sql_n db src) in
+  db
+
+(** Every paper query whose evaluation is timing-meaningful, with a
+    stable id: [(id, label, run)]. Queries 4/6/10/12/14/20/23–25/28/29
+    are error-demonstration, namespace-setup or plan-inspection cases
+    and are exercised in test/t_paper.ml instead. *)
+let paper_corpus db : (string * string * (unit -> int)) list =
+  let xq id label src = (id, label, xq_n db src) in
+  let sql id label src = (id, label, sql_n db src) in
+  [
+    xq "Q1" "//order[lineitem/@price>990]"
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>990]";
+    xq "Q2" "@* wildcard (scan)"
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>990]";
+    xq "Q3" "string predicate"
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"990\"]";
+    sql "Q5" "XMLQuery select list"
+      "SELECT XMLQuery('$o//lineitem[@price > 990]' passing orddoc as \
+       \"o\") FROM orders";
+    xq "Q7" "stand-alone XQuery"
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 990]";
+    sql "Q8" "XMLExists"
+      "SELECT ordid, orddoc FROM orders WHERE \
+       XMLExists('$o//lineitem[@price > 990]' passing orddoc as \"o\")";
+    sql "Q9" "boolean XMLExists (scan)"
+      "SELECT ordid, orddoc FROM orders WHERE \
+       XMLExists('$o//lineitem/@price > 990' passing orddoc as \"o\")";
+    sql "Q11" "XMLTable row-producer"
+      "SELECT o.ordid, t.li FROM orders o, XMLTable('$o//lineitem[@price \
+       > 990]' passing o.orddoc as \"o\" COLUMNS \"li\" XML BY REF PATH \
+       '.') as t(li)";
+    sql "Q13" "product join in XQuery"
+      "SELECT p.name FROM products p, orders o WHERE XMLExists('$o \
+       //lineitem/product[id eq $pid]' passing o.orddoc as \"o\", p.id \
+       as \"pid\")";
+    sql "Q15" "SQL-side XML join (scan)"
+      "SELECT c.cid FROM orders o, customer c WHERE \
+       XMLCast(XMLQuery('$o/order/custid' passing o.orddoc as \"o\") as \
+       DOUBLE) = XMLCast(XMLQuery('$c/customer/id' passing c.cdoc as \
+       \"c\") as DOUBLE)";
+    sql "Q16" "XQuery-side join + casts"
+      "SELECT c.cid FROM orders o, customer c WHERE \
+       XMLExists('$o/order[custid/xs:double(.) = \
+       $c/customer/id/xs:double(.)]' passing o.orddoc as \"o\", c.cdoc \
+       as \"c\")";
+    xq "Q17" "for binding"
+      "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') for $i in \
+       $d//lineitem[@price > 990] return <result>{$i}</result>";
+    xq "Q18" "let binding (scan)"
+      "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') let $i := \
+       $d//lineitem[@price > 990] return <result>{$i}</result>";
+    xq "Q19" "ctor in return (scan)"
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+       <result>{$o/lineitem[@price > 990]}</result>";
+    xq "Q21" "let + where"
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order let $p := \
+       $o/lineitem/@price where $p > 990 return \
+       <result>{$o/lineitem}</result>";
+    xq "Q22" "bare path in return"
+      "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
+       $o/lineitem[@price > 990]";
+    xq "Q26" "constructed view (scan)"
+      "let $view := for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+       /order/lineitem return <item quantity=\"{$i/quantity}\"> \
+       <pid>{$i/product/id/data(.)}</pid></item> for $j in $view where \
+       $j/pid = 'p3' return $j";
+    xq "Q27" "base collection"
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem where \
+       $i/product/id = 'p3' return $i/quantity";
+    xq "Q30" "attribute between"
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+       //order[lineitem[@price>100 and @price<200]] return $i";
+  ]
+
+(** Generous-but-armed limits: every budget far above what any corpus
+    query uses, so the armed runs measure metering cost, not throttling. *)
+let generous_limits =
+  {
+    Xdm.Limits.max_steps = Some 1_000_000_000;
+    max_nodes = Some 1_000_000_000;
+    max_depth = Some 10_000;
+    timeout = Some 300.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Governor overhead (--governor-overhead)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Measures the cost of running with the resource governor armed.
+
+    Each corpus query is run twice over the same 500-document database:
+    once with limits disabled (unarmed meter — the single [armed] branch
+    per eval step) and once with generous-but-armed limits, and the
+    per-query overhead distribution (mean/p50/p95) is reported. *)
+let governor_overhead () =
+  let db = corpus_db ~n:500 () in
+  let armed = generous_limits in
   let queries =
-    [
-      xq "Q1: //order[lineitem/@price>990]"
-        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>990]";
-      xq "Q2: @* wildcard (scan)"
-        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>990]";
-      xq "Q3: string predicate"
-        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"990\"]";
-      sql "Q5: XMLQuery select list"
-        "SELECT XMLQuery('$o//lineitem[@price > 990]' passing orddoc as \
-         \"o\") FROM orders";
-      xq "Q7: stand-alone XQuery"
-        "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 990]";
-      sql "Q8: XMLExists"
-        "SELECT ordid, orddoc FROM orders WHERE \
-         XMLExists('$o//lineitem[@price > 990]' passing orddoc as \"o\")";
-      sql "Q9: boolean XMLExists"
-        "SELECT ordid, orddoc FROM orders WHERE \
-         XMLExists('$o//lineitem/@price > 990' passing orddoc as \"o\")";
-      sql "Q11: XMLTable row-producer"
-        "SELECT o.ordid, t.li FROM orders o, XMLTable('$o//lineitem[@price \
-         > 990]' passing o.orddoc as \"o\" COLUMNS \"li\" XML BY REF PATH \
-         '.') as t(li)";
-      sql "Q13: product join in XQuery"
-        "SELECT p.name FROM products p, orders o WHERE XMLExists('$o \
-         //lineitem/product[id eq $pid]' passing o.orddoc as \"o\", p.id \
-         as \"pid\")";
-      sql "Q15: SQL-side XML join"
-        "SELECT c.cid FROM orders o, customer c WHERE \
-         XMLCast(XMLQuery('$o/order/custid' passing o.orddoc as \"o\") as \
-         DOUBLE) = XMLCast(XMLQuery('$c/customer/id' passing c.cdoc as \
-         \"c\") as DOUBLE)";
-      sql "Q16: XQuery-side join + casts"
-        "SELECT c.cid FROM orders o, customer c WHERE \
-         XMLExists('$o/order[custid/xs:double(.) = \
-         $c/customer/id/xs:double(.)]' passing o.orddoc as \"o\", c.cdoc \
-         as \"c\")";
-      xq "Q17: for binding"
-        "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') for $i in \
-         $d//lineitem[@price > 990] return <result>{$i}</result>";
-      xq "Q18: let binding (scan)"
-        "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') let $i := \
-         $d//lineitem[@price > 990] return <result>{$i}</result>";
-      xq "Q19: ctor in return (scan)"
-        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
-         <result>{$o/lineitem[@price > 990]}</result>";
-      xq "Q21: let + where"
-        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order let $p := \
-         $o/lineitem/@price where $p > 990 return \
-         <result>{$o/lineitem}</result>";
-      xq "Q22: bare path in return"
-        "for $o in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order return \
-         $o/lineitem[@price > 990]";
-      xq "Q30: attribute between"
-        "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
-         //order[lineitem[@price>100 and @price<200]] return $i";
-    ]
+    List.map
+      (fun (id, label, run) -> (id ^ ": " ^ label, run))
+      (paper_corpus db)
   in
   Printf.printf
     "Governor overhead — paper query suite, 500 orders, limits off vs \
@@ -791,35 +819,185 @@ let governor_overhead () =
     (Xdm.Limits.to_string armed);
   Printf.printf "  %-36s %12s %12s %9s\n" "query" "limits off" "limits on"
     "overhead";
-  let overheads =
-    List.map
-      (fun (name, run) ->
-        Engine.set_limits db Xdm.Limits.unlimited;
-        ignore (run ());
-        let off = measure_ns ~quota:0.25 (name ^ " off") (fun () -> ignore (run ())) in
-        Engine.set_limits db armed;
-        ignore (run ());
-        let on = measure_ns ~quota:0.25 (name ^ " on") (fun () -> ignore (run ())) in
-        let pct = (on -. off) /. off *. 100. in
-        Printf.printf "  %-36s %12s %12s %+8.1f%%\n" name (pretty_ns off)
-          (pretty_ns on) pct;
-        flush stdout;
-        pct)
-      queries
-  in
+  let overheads = Xprof.Hist.create () in
+  List.iter
+    (fun (name, run) ->
+      Engine.set_limits db Xdm.Limits.unlimited;
+      ignore (run ());
+      let off = measure_ns ~quota:0.25 (name ^ " off") (fun () -> ignore (run ())) in
+      Engine.set_limits db armed;
+      ignore (run ());
+      let on = measure_ns ~quota:0.25 (name ^ " on") (fun () -> ignore (run ())) in
+      let pct = (on -. off) /. off *. 100. in
+      Printf.printf "  %-36s %12s %12s %+8.1f%%\n" name (pretty_ns off)
+        (pretty_ns on) pct;
+      flush stdout;
+      Xprof.Hist.add overheads pct)
+    queries;
   Engine.set_limits db Xdm.Limits.unlimited;
-  let mean =
-    List.fold_left ( +. ) 0. overheads /. float_of_int (List.length overheads)
+  Printf.printf
+    "\n  governor overhead over %d queries: mean %+.1f%%  p50 %+.1f%%  \
+     p95 %+.1f%%\n"
+    (Xprof.Hist.count overheads)
+    (Xprof.Hist.mean overheads)
+    (Xprof.Hist.p50 overheads)
+    (Xprof.Hist.p95 overheads)
+
+(* ------------------------------------------------------------------ *)
+(* Micro suite (--suite micro): BENCH_micro.json                       *)
+(* ------------------------------------------------------------------ *)
+
+module J = Xprof.Json
+
+(** Run the paper-query corpus, collecting per-query latency percentiles
+    (profiling OFF, so timing is unperturbed), profiled counters from one
+    instrumented run, the paper's eligible/ineligible probe-vs-scan
+    contrast, and the governor-overhead distribution. Writes [out]
+    (BENCH_micro.json). [--quick] shrinks the database and iteration
+    count for CI smoke runs. *)
+let micro_suite ~quick ~out () =
+  let n = if quick then 150 else 500 in
+  let iters = if quick then 3 else 10 in
+  Printf.printf
+    "micro suite — paper query corpus over %d orders, %d timing \
+     iterations%s\n"
+    n iters
+    (if quick then " (--quick)" else "");
+  let db = corpus_db ~n () in
+  let corpus = paper_corpus db in
+  let counters_by_id : (string, (string * int) list) Hashtbl.t =
+    Hashtbl.create 32
   in
-  Printf.printf "\n  mean governor overhead over %d queries: %+.1f%%\n"
-    (List.length overheads) mean
+  let gov_pcts = Xprof.Hist.create () in
+  let time_once run =
+    let t0 = Unix.gettimeofday () in
+    ignore (run ());
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let queries_json =
+    List.map
+      (fun (id, label, run) ->
+        (* one profiled run: counters + result cardinality *)
+        Engine.set_profiling db true;
+        let rows = run () in
+        let counters = Xprof.counters (Engine.profile db) in
+        Engine.set_profiling db false;
+        Hashtbl.replace counters_by_id id counters;
+        (* latency distribution, profiling off *)
+        let lat = Xprof.Hist.create () in
+        for _ = 1 to iters do
+          Xprof.Hist.add lat (time_once run)
+        done;
+        (* governor overhead: armed vs unarmed medians *)
+        Engine.set_limits db generous_limits;
+        let lat_armed = Xprof.Hist.create () in
+        for _ = 1 to iters do
+          Xprof.Hist.add lat_armed (time_once run)
+        done;
+        Engine.set_limits db Xdm.Limits.unlimited;
+        let off = Xprof.Hist.p50 lat and on = Xprof.Hist.p50 lat_armed in
+        if off > 0. then Xprof.Hist.add gov_pcts ((on -. off) /. off *. 100.);
+        Printf.printf
+          "  %-4s %-28s %5d rows  p50 %8.3f ms  p95 %8.3f ms  probes %d  \
+           docs %d\n"
+          id label rows (Xprof.Hist.p50 lat) (Xprof.Hist.p95 lat)
+          (List.assoc "index_probes" counters)
+          (List.assoc "docs_scanned" counters);
+        flush stdout;
+        J.Obj
+          [
+            ("id", J.Str id);
+            ("label", J.Str label);
+            ("rows", J.Int rows);
+            ("latency_ms", Xprof.Hist.summary_json lat);
+            ( "counters",
+              J.Obj (List.map (fun (k, v) -> (k, J.Int v)) counters) );
+          ])
+      corpus
+  in
+  (* the paper's eligible/ineligible contrast, machine-checkable:
+     profiled index probes of the eligible query must be strictly less
+     than the documents its ineligible twin scans *)
+  let pairs =
+    [
+      ("Q1", "Q2");
+      ("Q8", "Q9");
+      ("Q16", "Q15");
+      ("Q17", "Q18");
+      ("Q22", "Q19");
+      ("Q27", "Q26");
+    ]
+  in
+  let pairs_json =
+    List.map
+      (fun (elig, inelig) ->
+        let ce = Hashtbl.find counters_by_id elig in
+        let ci = Hashtbl.find counters_by_id inelig in
+        let probes = List.assoc "index_probes" ce in
+        let docs = List.assoc "docs_scanned" ci in
+        let ok = probes < docs in
+        Printf.printf "  pair %s/%s: %d probes vs %d docs scanned — %s\n"
+          elig inelig probes docs
+          (if ok then "ok" else "VIOLATION");
+        J.Obj
+          [
+            ("eligible", J.Str elig);
+            ("ineligible", J.Str inelig);
+            ("index_probes", J.Int probes);
+            ("docs_scanned", J.Int docs);
+            ("ok", J.Bool ok);
+          ])
+      pairs
+  in
+  let json =
+    J.Obj
+      [
+        ("suite", J.Str "micro");
+        ("quick", J.Bool quick);
+        ("n_docs", J.Int n);
+        ("iterations", J.Int iters);
+        ("queries", J.Arr queries_json);
+        ("pairs", J.Arr pairs_json);
+        ( "governor_overhead_pct",
+          J.Obj
+            [
+              ("n", J.Int (Xprof.Hist.count gov_pcts));
+              ("mean", J.Float (Xprof.Hist.mean gov_pcts));
+              ("p50", J.Float (Xprof.Hist.p50 gov_pcts));
+              ("p95", J.Float (Xprof.Hist.p95 gov_pcts));
+            ] );
+      ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (J.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d queries, %d pairs)\n" out
+    (List.length queries_json) (List.length pairs_json)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  if Array.exists (fun a -> a = "--governor-overhead") Sys.argv then (
+  let argv = Array.to_list Sys.argv in
+  let rec arg_value key = function
+    | k :: v :: _ when k = key -> Some v
+    | _ :: rest -> arg_value key rest
+    | [] -> None
+  in
+  if List.mem "--governor-overhead" argv then (
     governor_overhead ();
     exit 0);
+  (match arg_value "--suite" argv with
+  | Some "micro" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      micro_suite ~quick ~out ();
+      exit 0
+  | Some other ->
+      Printf.eprintf "unknown suite %S (available: micro)\n" other;
+      exit 2
+  | None -> ());
   Printf.printf
     "xqdb benchmark harness — reproducing the performance shape of \"On \
      the Path to Efficient XML Queries\" (VLDB 2006)\n";

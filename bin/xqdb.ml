@@ -11,6 +11,10 @@
     - [\advise <query>]   run the Tips 1-12 advisor
     - [\lint <query>]     run the full static analyzer (docs/LINTING.md)
     - [\strict on|off]    reject statically ill-typed statements
+    - [\profile on|off]   print an EXPLAIN-ANALYZE-style execution profile
+                          (operator tree + counters) after each statement
+    - [\metrics]          session-lifetime metrics accumulated while
+                          profiling is on (docs/OBSERVABILITY.md)
     - [\tables] [\idx]    catalog listings
     - [\demo]             load a small orders/customer/products demo db
 
@@ -19,6 +23,18 @@
     diagnostic is found; [--json] switches to machine-readable output. *)
 
 let explain = ref false
+
+(** With [--profile --json], per-statement profiles are emitted as one
+    JSON object per statement instead of the text report. *)
+let profile_json = ref false
+
+let maybe_print_profile db =
+  if Engine.profiling db then begin
+    let p = Engine.profile db in
+    if !profile_json then
+      print_endline (Xprof.Json.to_string (Xprof.to_json p))
+    else print_string (Xprof.report p)
+  end
 
 (** [\limits] — bare: show; [off]: clear; otherwise whitespace-separated
     [steps=N nodes=N depth=N timeout=SECS] assignments (merged into the
@@ -137,6 +153,10 @@ let exec_one db (line : string) =
   end
   else if line = "\\strict on" then Engine.set_strict_types db true
   else if line = "\\strict off" then Engine.set_strict_types db false
+  else if line = "\\profile on" then Engine.set_profiling db true
+  else if line = "\\profile off" then Engine.set_profiling db false
+  else if line = "\\metrics" then
+    print_string (Xprof.Registry.to_string (Engine.registry db))
   else if String.length line > 6 && String.sub line 0 6 = "\\lint " then begin
     let q = String.sub line 6 (String.length line - 6) in
     match List.sort Analysis.Diag.compare (Engine.analyze db q) with
@@ -152,7 +172,8 @@ let exec_one db (line : string) =
         let r = Engine.sql db line in
         print_result r;
         if !explain then
-          List.iter (fun n -> Printf.printf "-- %s\n" n) (Engine.last_notes db)
+          List.iter (fun n -> Printf.printf "-- %s\n" n) (Engine.last_notes db);
+        maybe_print_profile db
     | exception Sqlxml.Sql_lexer.Sql_syntax_error _ ->
         let items, plan = Engine.xquery db line in
         List.iter
@@ -160,7 +181,8 @@ let exec_one db (line : string) =
           items;
         Printf.printf "(%d items)\n" (List.length items);
         if !explain then
-          List.iter (fun n -> Printf.printf "-- %s\n" n) plan.Planner.notes
+          List.iter (fun n -> Printf.printf "-- %s\n" n) plan.Planner.notes;
+        maybe_print_profile db
   end
 
 (** Report any statement failure without killing the session. The final
@@ -221,7 +243,20 @@ let lint_files =
 let json_out =
   Arg.(
     value & flag
-    & info [ "json" ] ~doc:"With $(b,--lint): emit diagnostics as JSON.")
+    & info [ "json" ]
+        ~doc:
+          "With $(b,--lint): emit diagnostics as JSON. With \
+           $(b,--profile): emit one JSON profile object per statement.")
+
+let profile_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Execute statements from $(docv) (one per line) with profiling \
+           on, printing an execution profile after each statement, then \
+           exit. Combine with $(b,--json) for machine-readable output.")
 
 (** [--lint FILE...]: analyze each file as one statement; human output
     shows caret snippets, [--json] emits one JSON object per file. *)
@@ -247,26 +282,34 @@ let lint_main db (files : string list) (json : bool) : int =
     files;
   if !failed then 1 else 0
 
-let main script demo do_explain lint json =
+let run_file db f =
+  In_channel.with_open_text f (fun ic ->
+      try
+        while true do
+          match In_channel.input_line ic with
+          | None -> raise Exit
+          | Some line -> exec_line db line
+        done
+      with Exit -> ())
+
+let main script demo do_explain lint json profile =
   let db = Engine.create () in
   explain := do_explain;
   if demo then load_demo db;
   if lint <> [] then exit (lint_main db lint json);
-  match script with
-  | Some f ->
-      In_channel.with_open_text f (fun ic ->
-          try
-            while true do
-              match In_channel.input_line ic with
-              | None -> raise Exit
-              | Some line -> exec_line db line
-            done
-          with Exit -> ())
-  | None -> repl db
+  match (profile, script) with
+  | Some f, _ ->
+      Engine.set_profiling db true;
+      profile_json := json;
+      run_file db f
+  | None, Some f -> run_file db f
+  | None, None -> repl db
 
 let cmd =
   Cmd.v
     (Cmd.info "xqdb" ~doc:"XML database shell (XQuery + SQL/XML + XML indexes)")
-    Term.(const main $ script $ demo $ do_explain $ lint_files $ json_out)
+    Term.(
+      const main $ script $ demo $ do_explain $ lint_files $ json_out
+      $ profile_file)
 
 let () = exit (Cmd.eval cmd)

@@ -37,11 +37,15 @@ module Make (K : ORDERED) = struct
     mutable size : int;
     max_keys : int;  (** max keys per leaf; max children per internal is
                          [max_keys + 1] *)
+    prof : Xprof.t;  (** charged one page read per node visited and one
+                         split per node split; {!Xprof.disabled} by
+                         default, so unprofiled trees pay one branch *)
   }
 
-  let create ?(order = 32) () =
+  let create ?(order = 32) ?(prof = Xprof.disabled) () =
     if order < 4 then invalid_arg "Btree.create: order must be >= 4";
-    { root = Leaf { keys = [||]; vals = [||]; next = None }; size = 0; max_keys = order }
+    { root = Leaf { keys = [||]; vals = [||]; next = None }; size = 0;
+      max_keys = order; prof }
 
   let size t = t.size
 
@@ -81,13 +85,14 @@ module Make (K : ORDERED) = struct
   (* Lookup                                                          *)
   (* -------------------------------------------------------------- *)
 
-  let rec find_leaf node k =
+  let rec find_leaf t node k =
+    Xprof.page_read t.prof;
     match node with
     | Leaf l -> l
-    | Node n -> find_leaf n.children.(child_slot n.seps k) k
+    | Node n -> find_leaf t n.children.(child_slot n.seps k) k
 
   let find_opt t k =
-    let l = find_leaf t.root k in
+    let l = find_leaf t t.root k in
     let i = lower_bound l.keys k in
     if i < Array.length l.keys && K.compare l.keys.(i) k = 0 then
       Some l.vals.(i)
@@ -102,6 +107,7 @@ module Make (K : ORDERED) = struct
   type 'v split = NoSplit | Split of K.t * 'v node
 
   let rec insert_into t node k v : 'v split =
+    Xprof.page_read t.prof;
     match node with
     | Leaf l -> (
         let i = lower_bound l.keys k in
@@ -121,6 +127,7 @@ module Make (K : ORDERED) = struct
                deletable, so rollback after an injected split failure is
                safe. *)
             Faultinject.hit "btree.split";
+            Xprof.split t.prof;
             let n = Array.length l.keys in
             let mid = n / 2 in
             let right =
@@ -145,6 +152,7 @@ module Make (K : ORDERED) = struct
             n.children <- array_insert n.children (slot + 1) right;
             if Array.length n.children <= t.max_keys + 1 then NoSplit
             else begin
+              Xprof.split t.prof;
               let nc = Array.length n.children in
               let midc = nc / 2 in
               (* children [0, midc) stay; separator seps.(midc - 1) is
@@ -279,6 +287,7 @@ module Make (K : ORDERED) = struct
       | _, None, None -> ()
 
   let rec delete_from t node k : bool =
+    Xprof.page_read t.prof;
     match node with
     | Leaf l ->
         let i = lower_bound l.keys k in
@@ -329,20 +338,25 @@ module Make (K : ORDERED) = struct
     let leaf =
       match start_key with
       | None ->
-          let rec leftmost = function
+          let rec leftmost node =
+            Xprof.page_read t.prof;
+            match node with
             | Leaf l -> l
             | Node n -> leftmost n.children.(0)
           in
           leftmost t.root
-      | Some k -> find_leaf t.root k
+      | Some k -> find_leaf t t.root k
     in
     let acc = ref init in
     let continue = ref true in
+    let first = ref true in
     let current = ref (Some leaf) in
     while !continue do
       match !current with
       | None -> continue := false
       | Some l ->
+          (* the first leaf was already charged by the descent *)
+          if !first then first := false else Xprof.page_read t.prof;
           let n = Array.length l.keys in
           let i = ref 0 in
           while !continue && !i < n do

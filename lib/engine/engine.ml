@@ -16,7 +16,13 @@
 (** Re-export: the Tips 1–12 advisor. *)
 module Advisor = Advisor
 
-type t = { sqlctx : Sqlxml.Sql_exec.ctx }
+type t = {
+  sqlctx : Sqlxml.Sql_exec.ctx;
+  registry : Xprof.Registry.t;
+      (** process-lifetime metrics (statement counts, latency histogram,
+          cumulative counters), fed after each statement while profiling
+          is on *)
+}
 
 let database t = t.sqlctx.Sqlxml.Sql_exec.db
 
@@ -24,7 +30,12 @@ let catalog t : Planner.catalog =
   { Planner.db = database t; indexes = t.sqlctx.Sqlxml.Sql_exec.xindexes }
 
 let create () =
-  let t = { sqlctx = Sqlxml.Sql_exec.create (Storage.Database.create ()) } in
+  let t =
+    {
+      sqlctx = Sqlxml.Sql_exec.create (Storage.Database.create ());
+      registry = Xprof.Registry.create ();
+    }
+  in
   (* the strict-mode gate: Sql_exec cannot depend on the analyzer, so the
      facade installs it (off until [set_strict_types true]) *)
   t.sqlctx.Sqlxml.Sql_exec.static_check <-
@@ -52,12 +63,50 @@ let set_limits t l = t.sqlctx.Sqlxml.Sql_exec.limits <- l
 let limits t = t.sqlctx.Sqlxml.Sql_exec.limits
 
 (* ------------------------------------------------------------------ *)
+(* Profiling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The per-statement execution profile. While profiling is on, it is
+    reset at every statement start; read it right after the statement
+    whose profile you want ([Xprof.report]/[Xprof.to_json]). Disabled by
+    default — the off path costs one branch per charge site. *)
+let profile t : Xprof.t = t.sqlctx.Sqlxml.Sql_exec.prof
+
+let set_profiling t b = Xprof.enable (profile t) b
+let profiling t = (profile t).Xprof.on
+
+(** Process-lifetime metrics, accumulated while profiling is on. *)
+let registry t : Xprof.Registry.t = t.registry
+
+(** Fold the just-finished statement's profile into the registry. *)
+let record_statement t =
+  if profiling t then begin
+    let p = profile t in
+    let r = t.registry in
+    Xprof.Registry.incr r "statements_total";
+    Xprof.Registry.observe r "statement_ms" (Xprof.total_ms p);
+    List.iter
+      (fun (name, v) -> Xprof.Registry.incr ~by:v r (name ^ "_total"))
+      (Xprof.counters p);
+    Xprof.Registry.set_gauge r "xml_indexes"
+      (float_of_int (List.length t.sqlctx.Sqlxml.Sql_exec.xindexes));
+    Xprof.Registry.set_gauge r "rel_indexes"
+      (float_of_int (List.length t.sqlctx.Sqlxml.Sql_exec.rindexes))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* SQL/XML                                                             *)
 (* ------------------------------------------------------------------ *)
 
 (** Execute a SQL/XML statement. *)
 let sql t (src : string) : Sqlxml.Sql_exec.result =
-  Sqlxml.Sql_exec.exec_string t.sqlctx src
+  match Sqlxml.Sql_exec.exec_string t.sqlctx src with
+  | r ->
+      record_statement t;
+      r
+  | exception ex ->
+      record_statement t;
+      raise ex
 
 (** EXPLAIN trace of the last SQL statement. *)
 let last_notes t = List.rev t.sqlctx.Sqlxml.Sql_exec.notes
@@ -76,14 +125,38 @@ let xquery t (src : string) : Xdm.Item.seq * Planner.t =
     let q, locs = Xquery.Parser.parse_query_loc src in
     Analysis.Analyze.check_xquery ~catalog:(catalog t) ~locs q
   end;
-  if use_indexes t then Planner.run_xquery ~limits:(limits t) (catalog t) src
-  else
-    ( Planner.run_xquery_noindex ~limits:(limits t) (catalog t) src,
-      { Planner.restrictions = []; notes = [ "index use disabled" ]; indexes_used = [] } )
+  let prof = profile t in
+  Xprof.start_statement prof;
+  match
+    if use_indexes t then
+      Planner.run_xquery ~limits:(limits t) ~prof (catalog t) src
+    else
+      ( Planner.run_xquery_noindex ~limits:(limits t) ~prof (catalog t) src,
+        { Planner.restrictions = []; notes = [ "index use disabled" ];
+          indexes_used = [] } )
+  with
+  | r ->
+      Xprof.finish_statement prof;
+      record_statement t;
+      r
+  | exception ex ->
+      Xprof.finish_statement prof;
+      record_statement t;
+      raise ex
 
 (** Run a stand-alone XQuery with a full collection scan (baseline). *)
 let xquery_noindex t (src : string) : Xdm.Item.seq =
-  Planner.run_xquery_noindex ~limits:(limits t) (catalog t) src
+  let prof = profile t in
+  Xprof.start_statement prof;
+  match Planner.run_xquery_noindex ~limits:(limits t) ~prof (catalog t) src with
+  | r ->
+      Xprof.finish_statement prof;
+      record_statement t;
+      r
+  | exception ex ->
+      Xprof.finish_statement prof;
+      record_statement t;
+      raise ex
 
 (** Serialize a result sequence the way a query shell would. *)
 let to_xml (seq : Xdm.Item.seq) : string = Xmlparse.Xml_writer.seq_to_string seq
@@ -100,27 +173,36 @@ let to_xml (seq : Xdm.Item.seq) : string = Xmlparse.Xml_writer.seq_to_string seq
 let load_documents t ~table ~column (docs : string list) : unit =
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
-  let log = Storage.Undo.create () in
+  let prof = profile t in
+  Xprof.start_statement prof;
+  let log = Storage.Undo.create ~prof () in
   match
-    List.iteri
-      (fun i doc ->
-        let values =
-          List.mapi
-            (fun j (c : Storage.Table.col_def) ->
-              if j = coli then Storage.Sql_value.Varchar doc
-              else
-                match c.Storage.Table.col_type with
-                | Storage.Sql_value.TInt ->
-                    Storage.Sql_value.Int (Int64.of_int (i + 1))
-                | _ -> Storage.Sql_value.Null)
-            tbl.Storage.Table.cols
-        in
-        ignore (Storage.Table.insert ~log tbl values))
-      docs
+    Xprof.spanned prof "LOAD" (fun () ->
+        List.iteri
+          (fun i doc ->
+            Xprof.row prof;
+            let values =
+              List.mapi
+                (fun j (c : Storage.Table.col_def) ->
+                  if j = coli then Storage.Sql_value.Varchar doc
+                  else
+                    match c.Storage.Table.col_type with
+                    | Storage.Sql_value.TInt ->
+                        Storage.Sql_value.Int (Int64.of_int (i + 1))
+                    | _ -> Storage.Sql_value.Null)
+                tbl.Storage.Table.cols
+            in
+            ignore (Storage.Table.insert ~log tbl values))
+          docs)
   with
-  | () -> Storage.Undo.commit log
+  | () ->
+      Storage.Undo.commit log;
+      Xprof.finish_statement prof;
+      record_statement t
   | exception ex ->
       Storage.Undo.rollback log;
+      Xprof.finish_statement prof;
+      record_statement t;
       raise ex
 
 (** Re-derive every XML index's expected entries from its table's current

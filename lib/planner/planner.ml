@@ -342,32 +342,45 @@ let restrict_collection ?(params = []) ?(xml_bindings = []) (cat : catalog)
 (** Parse, analyze, plan and execute a stand-alone XQuery against the
     database, using eligible indexes to pre-filter collections
     (Definition 1's [Q(I(P, D))]). *)
-let run_xquery ?(limits = Xdm.Limits.unlimited) (cat : catalog)
-    (src : string) : Xdm.Item.seq * t =
+let run_xquery ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
+    (cat : catalog) (src : string) : Xdm.Item.seq * t =
   let q = Xquery.Parser.parse_query src in
   let q = Xquery.Static.resolve q in
   let tree = Eligibility.Extract.analyze q in
-  let plan = plan cat tree in
+  (* planning itself probes indexes; span it so index probe time shows up
+     under PLAN rather than inside the XQUERY operator *)
+  let plan = Xprof.spanned prof "PLAN" (fun () -> plan cat tree) in
   let resolver =
-    Storage.Database.resolver ~restrict_to:plan.restrictions cat.db
+    Storage.Database.resolver ~prof ~restrict_to:plan.restrictions cat.db
   in
+  let meter = Xdm.Limits.meter ~limits () in
   let ctx =
     Xquery.Ctx.init ~resolver
       ~construction_preserve:q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
-      ~meter:(Xdm.Limits.meter ~limits ()) ()
+      ~meter ~prof ()
   in
-  let result = Xquery.Eval.eval ctx q.Xquery.Ast.body in
+  let result =
+    Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
+        Xquery.Eval.eval ctx q.Xquery.Ast.body)
+  in
+  Xprof.set_governor prof (Xdm.Limits.usage meter);
   (result, plan)
 
 (** Execute without any index use (the baseline collection scan). *)
-let run_xquery_noindex ?(limits = Xdm.Limits.unlimited) (cat : catalog)
-    (src : string) : Xdm.Item.seq =
+let run_xquery_noindex ?(limits = Xdm.Limits.unlimited)
+    ?(prof = Xprof.disabled) (cat : catalog) (src : string) : Xdm.Item.seq =
   let q = Xquery.Parser.parse_query src in
   let q = Xquery.Static.resolve q in
-  let resolver = Storage.Database.resolver cat.db in
+  let resolver = Storage.Database.resolver ~prof cat.db in
+  let meter = Xdm.Limits.meter ~limits () in
   let ctx =
     Xquery.Ctx.init ~resolver
       ~construction_preserve:q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
-      ~meter:(Xdm.Limits.meter ~limits ()) ()
+      ~meter ~prof ()
   in
-  Xquery.Eval.eval ctx q.Xquery.Ast.body
+  let result =
+    Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
+        Xquery.Eval.eval ctx q.Xquery.Ast.body)
+  in
+  Xprof.set_governor prof (Xdm.Limits.usage meter);
+  result

@@ -48,6 +48,10 @@ type ctx = {
   mutable static_check : (src:string -> Sql_ast.stmt -> unit) option;
       (** the checker run when [strict_static] is on; installed by the
           engine facade (the analyzer lives above this library) *)
+  prof : Xprof.t;
+      (** execution profile for the running statement; disabled unless
+          the engine turns profiling on, in which case [exec] resets it
+          at every statement start (same lifecycle as the meter) *)
 }
 
 let create db =
@@ -64,6 +68,7 @@ let create db =
     meter = Xdm.Limits.meter ();
     strict_static = false;
     static_check = None;
+    prof = Xprof.create ();
   }
 
 let note ctx fmt =
@@ -104,9 +109,13 @@ let env_lookup (env : frame list) (qual : string option) (col : string) : SV.t
              | None -> col))
     | f :: rest ->
         if matches f then
-          match
-            List.find_index (fun c -> lc c = lc col) f.f_cols
-          with
+          (* hand-rolled find_index: List.find_index is OCaml >= 5.1 and
+             CI also builds on 4.14 *)
+          let rec idx i = function
+            | [] -> None
+            | c :: cs -> if lc c = lc col then Some i else idx (i + 1) cs
+          in
+          match idx 0 f.f_cols with
           | Some i -> f.f_vals.(i)
           | None -> go rest
         else go rest
@@ -209,6 +218,18 @@ let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
   let vars =
     List.map (fun (v, se) -> (v, SV.to_xdm (eval_sexpr ctx env se))) e.xq_passing
   in
+  (* A per-row XML value passed into the embed is a document the engine
+     must walk — charge it as a scan, so the SQL-side join formulations
+     (Query 15-style XMLEXISTS over every row's document) profile as
+     document scans even though they never touch the collection
+     resolver. *)
+  if ctx.prof.Xprof.on then
+    List.iter
+      (fun (_, seq) ->
+        List.iter
+          (function Xdm.Item.N _ -> Xprof.doc ctx.prof | Xdm.Item.A _ -> ())
+          seq)
+      vars;
   let resolver =
     if ctx.use_indexes then begin
       let restrictions =
@@ -216,7 +237,10 @@ let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
         | Some r -> r
         | None ->
             let tree, _ = embed_analysis ctx [] e in
-            let plan = Planner.plan (catalog ctx) tree in
+            let plan =
+              Xprof.spanned ctx.prof "PLAN" (fun () ->
+                  Planner.plan (catalog ctx) tree)
+            in
             if plan.Planner.restrictions <> [] then begin
               ctx.used <-
                 List.sort_uniq compare (plan.Planner.indexes_used @ ctx.used);
@@ -225,18 +249,19 @@ let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
             Hashtbl.add ctx.embed_plans e.xq_src plan.Planner.restrictions;
             plan.Planner.restrictions
       in
-      Storage.Database.resolver ~restrict_to:restrictions ctx.db
+      Storage.Database.resolver ~prof:ctx.prof ~restrict_to:restrictions ctx.db
     end
-    else Storage.Database.resolver ctx.db
+    else Storage.Database.resolver ~prof:ctx.prof ctx.db
   in
   let xctx =
     Xquery.Ctx.init ~resolver
       ~construction_preserve:
         q.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
-      ~meter:ctx.meter ()
+      ~meter:ctx.meter ~prof:ctx.prof ()
   in
   let xctx = Xquery.Ctx.bind_all xctx vars in
-  Xquery.Eval.eval xctx q.Xquery.Ast.body
+  Xprof.spanned ~rows:List.length ctx.prof "XMLQUERY" (fun () ->
+      Xquery.Eval.eval xctx q.Xquery.Ast.body)
 
 (* ------------------------------------------------------------------ *)
 (* Scalar expression evaluation                                        *)
@@ -553,8 +578,10 @@ let xmltable_column ctx (item : Xdm.Item.t) (col : xt_col) : SV.t =
         Hashtbl.add ctx.resolved ("xtcol:" ^ col.xc_path_src) q;
         q
   in
-  let resolver = Storage.Database.resolver ctx.db in
-  let xctx = Xquery.Ctx.init ~resolver ~meter:ctx.meter () in
+  let resolver = Storage.Database.resolver ~prof:ctx.prof ctx.db in
+  let xctx =
+    Xquery.Ctx.init ~resolver ~meter:ctx.meter ~prof:ctx.prof ()
+  in
   let xctx = Xquery.Ctx.with_focus xctx item 1 1 in
   let seq = Xquery.Eval.eval xctx q.Xquery.Ast.body in
   match col.xc_type with
@@ -707,47 +734,51 @@ let rec exec_select ctx (s : select) : result =
                   Xdm.Int_set.mem r.Storage.Table.row_id keep)
                 rows
         in
-        List.iter
-          (fun (r : Storage.Table.row) ->
-            Xdm.Limits.tick ctx.meter;
-            let frame =
-              {
-                f_alias = alias;
-                f_cols =
-                  List.map
-                    (fun c -> c.Storage.Table.col_name)
-                    t.Storage.Table.cols;
-                f_vals = r.Storage.Table.values;
-                f_row_id = Some r.Storage.Table.row_id;
-                f_table = Some name;
-              }
-            in
-            loop (frame :: env) rest)
-          rows
+        Xprof.spanned ctx.prof ("SCAN " ^ alias) (fun () ->
+            List.iter
+              (fun (r : Storage.Table.row) ->
+                Xdm.Limits.tick ctx.meter;
+                Xprof.row ctx.prof;
+                let frame =
+                  {
+                    f_alias = alias;
+                    f_cols =
+                      List.map
+                        (fun c -> c.Storage.Table.col_name)
+                        t.Storage.Table.cols;
+                    f_vals = r.Storage.Table.values;
+                    f_row_id = Some r.Storage.Table.row_id;
+                    f_table = Some name;
+                  }
+                in
+                loop (frame :: env) rest)
+              rows)
     | TRXmlTable xt :: rest ->
         let items = eval_embed ctx env xt.xt_embed in
         let colnames =
           if xt.xt_colnames <> [] then xt.xt_colnames
           else List.map (fun c -> c.xc_name) xt.xt_cols
         in
-        List.iter
-          (fun item ->
-            Xdm.Limits.tick ctx.meter;
-            let vals =
-              Array.of_list
-                (List.map (fun c -> xmltable_column ctx item c) xt.xt_cols)
-            in
-            let frame =
-              {
-                f_alias = xt.xt_alias;
-                f_cols = colnames;
-                f_vals = vals;
-                f_row_id = None;
-                f_table = None;
-              }
-            in
-            loop (frame :: env) rest)
-          items
+        Xprof.spanned ctx.prof ("XMLTABLE " ^ xt.xt_alias) (fun () ->
+            List.iter
+              (fun item ->
+                Xdm.Limits.tick ctx.meter;
+                Xprof.row ctx.prof;
+                let vals =
+                  Array.of_list
+                    (List.map (fun c -> xmltable_column ctx item c) xt.xt_cols)
+                in
+                let frame =
+                  {
+                    f_alias = xt.xt_alias;
+                    f_cols = colnames;
+                    f_vals = vals;
+                    f_row_id = None;
+                    f_table = None;
+                  }
+                in
+                loop (frame :: env) rest)
+              items)
   in
   loop [] s.from;
   let cols =
@@ -822,27 +853,31 @@ let rec exec_select ctx (s : select) : result =
   let rows =
     if s.order_by = [] then rows
     else
-      List.stable_sort
-        (fun (ka, _) (kb, _) ->
-          let rec go = function
-            | [] -> 0
-            | ((va, asc), (vb, _)) :: rest -> (
-                (* SQL: NULLs sort last ascending *)
-                let c =
-                  match (va, vb) with
-                  | SV.Null, SV.Null -> 0
-                  | SV.Null, _ -> 1
-                  | _, SV.Null -> -1
-                  | _ -> (
-                      match SV.compare_sql va vb with
-                      | Some c -> c
-                      | None -> 0)
-                in
-                let c = if asc then c else -c in
-                if c <> 0 then c else go rest)
-          in
-          go (List.combine ka kb))
-        rows
+      Xprof.spanned
+        ~rows:(fun r -> List.length r)
+        ctx.prof "SORT"
+        (fun () ->
+          List.stable_sort
+            (fun (ka, _) (kb, _) ->
+              let rec go = function
+                | [] -> 0
+                | ((va, asc), (vb, _)) :: rest -> (
+                    (* SQL: NULLs sort last ascending *)
+                    let c =
+                      match (va, vb) with
+                      | SV.Null, SV.Null -> 0
+                      | SV.Null, _ -> 1
+                      | _, SV.Null -> -1
+                      | _ -> (
+                          match SV.compare_sql va vb with
+                          | Some c -> c
+                          | None -> 0)
+                    in
+                    let c = if asc then c else -c in
+                    if c <> 0 then c else go rest)
+              in
+              go (List.combine ka kb))
+            rows)
   in
   let rows =
     match s.limit with
@@ -945,7 +980,7 @@ let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
   let t = Storage.Database.table_exn ctx.db d.Xmlindex.Xindex.table in
   let coli = Storage.Table.col_index_exn t d.Xmlindex.Xindex.column in
   let pt = Storage.Table.path_table_exn t d.Xmlindex.Xindex.column in
-  let idx = Xmlindex.Xindex.create d in
+  let idx = Xmlindex.Xindex.create ~prof:ctx.prof d in
   let docs_of (r : Storage.Table.row) =
     match r.Storage.Table.values.(coli) with
     | SV.Xml seq ->
@@ -979,7 +1014,7 @@ let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
 let install_rel_index ctx ~iname ~table ~column : Xmlindex.Rel_index.t =
   let t = Storage.Database.table_exn ctx.db table in
   let coli = Storage.Table.col_index_exn t column in
-  let ri = Xmlindex.Rel_index.create ~iname ~table ~column in
+  let ri = Xmlindex.Rel_index.create ~prof:ctx.prof ~iname ~table ~column () in
   Storage.Table.add_hook t
     {
       on_insert =
@@ -1021,21 +1056,35 @@ let table_frame ~alias (t : Storage.Table.t) (r : Storage.Table.row) : frame =
 let rec exec ctx (stmt : stmt) : result =
   Hashtbl.reset ctx.embed_plans;
   ctx.meter <- Xdm.Limits.meter ~limits:ctx.limits ();
-  let log = Storage.Undo.create () in
+  Xprof.start_statement ctx.prof;
+  let log = Storage.Undo.create ~prof:ctx.prof () in
+  (* snapshot governor headroom and stamp the total even on failure, so a
+     rolled-back statement still leaves an inspectable profile *)
+  let finish () =
+    Xprof.set_governor ctx.prof (Xdm.Limits.usage ctx.meter);
+    Xprof.finish_statement ctx.prof
+  in
   match exec_inner ctx log stmt with
   | r ->
       Storage.Undo.commit log;
+      finish ();
       r
   | exception Unbound c ->
       Storage.Undo.rollback log;
+      finish ();
       rt_fail "unknown column %S" c
   | exception ex ->
       Storage.Undo.rollback log;
+      finish ();
       raise ex
 
 and exec_inner ctx log (stmt : stmt) : result =
   match stmt with
-  | Select s -> exec_select ctx s
+  | Select s ->
+      Xprof.spanned
+        ~rows:(fun r -> List.length r.rrows)
+        ctx.prof "SELECT"
+        (fun () -> exec_select ctx s)
   | Values exprs ->
       ctx.notes <- [];
       ctx.used <- [];
@@ -1072,21 +1121,26 @@ and exec_inner ctx log (stmt : stmt) : result =
       { rcols = []; rrows = [] }
   | Insert (name, rows) ->
       let t = Storage.Database.table_exn ctx.db name in
-      List.iter
-        (fun vals ->
-          ignore
-            (Storage.Table.insert ~log t (List.map (eval_sexpr ctx []) vals)))
-        rows;
+      Xprof.spanned ctx.prof "INSERT" (fun () ->
+          List.iter
+            (fun vals ->
+              Xprof.row ctx.prof;
+              ignore
+                (Storage.Table.insert ~log t
+                   (List.map (eval_sexpr ctx []) vals)))
+            rows);
       { rcols = []; rrows = [] }
   | Explain inner ->
       let _ = exec_inner ctx log inner in
       { rcols = [ "plan" ]; rrows = List.rev_map (fun n -> [ SV.Varchar n ]) ctx.notes }
   | Delete { del_table; del_where } ->
       let t = Storage.Database.table_exn ctx.db del_table in
+      Xprof.spanned ctx.prof "DELETE" (fun () ->
       let victims =
         List.filter
           (fun (r : Storage.Table.row) ->
             Xdm.Limits.tick ctx.meter;
+            Xprof.row ctx.prof;
             match del_where with
             | None -> true
             | Some w ->
@@ -1101,7 +1155,7 @@ and exec_inner ctx log (stmt : stmt) : result =
       {
         rcols = [ "deleted" ];
         rrows = [ [ SV.Int (Int64.of_int (List.length victims)) ] ];
-      }
+      })
   | Update { upd_table; upd_set; upd_where } ->
       let t = Storage.Database.table_exn ctx.db upd_table in
       (* validate SET column names up front (catalog error if unknown) *)
@@ -1109,10 +1163,12 @@ and exec_inner ctx log (stmt : stmt) : result =
         (fun (col, _) -> ignore (Storage.Table.col_index_exn t col))
         upd_set;
       let lc = String.lowercase_ascii in
+      Xprof.spanned ctx.prof "UPDATE" (fun () ->
       let victims =
         List.filter
           (fun (r : Storage.Table.row) ->
             Xdm.Limits.tick ctx.meter;
+            Xprof.row ctx.prof;
             match upd_where with
             | None -> true
             | Some w ->
@@ -1140,7 +1196,7 @@ and exec_inner ctx log (stmt : stmt) : result =
       {
         rcols = [ "updated" ];
         rrows = [ [ SV.Int (Int64.of_int (List.length victims)) ] ];
-      }
+      })
   | DropIndex name ->
       let lc = String.lowercase_ascii in
       ctx.xindexes <-

@@ -37,8 +37,13 @@ let split_colref (s : string) : (string * string) option =
 
 (** Collection resolver for the XQuery engine: returns the document nodes
     of an XML column as a sequence. An optional [restrict_to] set of row
-    ids implements Definition 1's [I(P, D)] pre-filtering. *)
-let resolver ?(restrict_to : (string * Xdm.Int_set.t) list = []) db :
+    ids implements Definition 1's [I(P, D)] pre-filtering. When profiled,
+    every document the resolver hands to the evaluator is charged as one
+    [docs_scanned] — so an index-restricted collection charges only the
+    surviving documents, and the profiled probes-vs-scans contrast is the
+    paper's eligible/ineligible contrast. *)
+let resolver ?(prof = Xprof.disabled)
+    ?(restrict_to : (string * Xdm.Int_set.t) list = []) db :
     string -> Xdm.Item.seq =
  fun name ->
   match split_colref name with
@@ -59,4 +64,5 @@ let resolver ?(restrict_to : (string * Xdm.Int_set.t) list = []) db :
         | Some keep ->
             List.filter (fun (rid, _) -> Xdm.Int_set.mem rid keep) docs
       in
+      Xprof.docs prof (List.length docs);
       List.map (fun (_, d) -> Xdm.Item.N d) docs

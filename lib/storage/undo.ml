@@ -15,16 +15,18 @@
     replace-on-insert semantics make replaying an inverse hook against a
     half-applied mutation idempotent. *)
 
-type t = { mutable actions : (unit -> unit) list }
+type t = { mutable actions : (unit -> unit) list; prof : Xprof.t }
 
-let create () = { actions = [] }
+let create ?(prof = Xprof.disabled) () = { actions = []; prof }
 
 (** Number of undo actions recorded so far. *)
 let length log = List.length log.actions
 
 (** Record a compensating action. Call *before* performing the mutation it
     compensates, so a crash inside the mutation still unwinds. *)
-let record log f = log.actions <- f :: log.actions
+let record log f =
+  Xprof.undo log.prof;
+  log.actions <- f :: log.actions
 
 (** Run all recorded actions, most recent first, then clear the log.
     Individual action failures are swallowed: unwinding must not abort. *)

@@ -98,3 +98,18 @@ let enter m =
   if d > m.depth_cap then exceeded "recursion depth" d m.depth_cap
 
 let leave m = m.depth <- m.depth - 1
+
+(** Governor headroom snapshot: [(resource, used, cap)] for every capped
+    resource. Empty when the meter is unarmed (no limits in force), so
+    the profiler can distinguish "unlimited" from "0% used". *)
+let usage m : (string * int * int) list =
+  if not m.armed then []
+  else begin
+    let cap name used cap acc =
+      if cap = max_int then acc else (name, used, cap) :: acc
+    in
+    []
+    |> cap "depth" m.depth m.depth_cap
+    |> cap "nodes" m.nodes m.nodes_cap
+    |> cap "steps" m.steps m.steps_cap
+  end

@@ -23,10 +23,12 @@ type t = {
   column : string;
   tree : unit BT.t;
   mutable entries_scanned : int;
+  prof : Xprof.t;
 }
 
-let create ~iname ~table ~column =
-  { iname; table; column; tree = BT.create ~order:64 (); entries_scanned = 0 }
+let create ?(prof = Xprof.disabled) ~iname ~table ~column () =
+  { iname; table; column; tree = BT.create ~order:64 ~prof ();
+    entries_scanned = 0; prof }
 
 let insert idx ~row (v : Sql_value.t) =
   match v with
@@ -58,10 +60,13 @@ let probe idx ~(lo : (Sql_value.t * bool) option)
     | Some (v, true) -> BT.Incl (hi_key v)
     | Some (v, false) -> BT.Excl (lo_key v)
   in
-  BT.fold_range idx.tree ~lo ~hi
-    (fun acc (k : Key.t) () ->
-      idx.entries_scanned <- idx.entries_scanned + 1;
-      Xdm.Int_set.add k.Key.row acc)
-    Xdm.Int_set.empty
+  Xprof.probe idx.prof;
+  Xprof.spanned idx.prof ("IXSCAN " ^ idx.iname) (fun () ->
+      BT.fold_range idx.tree ~lo ~hi
+        (fun acc (k : Key.t) () ->
+          idx.entries_scanned <- idx.entries_scanned + 1;
+          Xprof.entry idx.prof;
+          Xdm.Int_set.add k.Key.row acc)
+        Xdm.Int_set.empty)
 
 let probe_eq idx v = probe idx ~lo:(Some (v, true)) ~hi:(Some (v, true))

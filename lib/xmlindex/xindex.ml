@@ -65,13 +65,16 @@ type t = {
   def : def;
   tree : unit BT.t;
   stats : stats;
+  prof : Xprof.t;  (** probes charge [index_probes]/[index_entries_scanned]
+                       and B+Tree page reads against this profile *)
 }
 
-let create def =
+let create ?(prof = Xprof.disabled) def =
   {
     def;
-    tree = BT.create ~order:64 ();
+    tree = BT.create ~order:64 ~prof ();
     stats = { entries_scanned = 0; probes = 0; inserts = 0; deletes = 0 };
+    prof;
   }
 
 let entry_count idx = BT.size idx.tree
@@ -222,12 +225,15 @@ let probe_range (idx : t) ~(paths : Int_set.t) (r : range) : Int_set.t =
     | Some (v, false) -> BT.Excl (lo_key v)
   in
   idx.stats.probes <- idx.stats.probes + 1;
-  BT.fold_range idx.tree ~lo ~hi
-    (fun acc (k : Key.t) () ->
-      idx.stats.entries_scanned <- idx.stats.entries_scanned + 1;
-      if Int_set.mem k.Key.path paths then Int_set.add k.Key.row acc
-      else acc)
-    Int_set.empty
+  Xprof.probe idx.prof;
+  Xprof.spanned idx.prof ("XISCAN " ^ idx.def.iname) (fun () ->
+      BT.fold_range idx.tree ~lo ~hi
+        (fun acc (k : Key.t) () ->
+          idx.stats.entries_scanned <- idx.stats.entries_scanned + 1;
+          Xprof.entry idx.prof;
+          if Int_set.mem k.Key.path paths then Int_set.add k.Key.row acc
+          else acc)
+        Int_set.empty)
 
 (** The set of path ids in [pt] that satisfy the *query* path pattern
     [qpat] (the index is a superset of the query path by eligibility, so

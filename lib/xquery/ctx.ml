@@ -16,13 +16,17 @@ type t = {
   meter : Xdm.Limits.meter;
       (** resource-governor counters charged during evaluation; an
           unarmed meter (the default) costs one branch per eval step *)
+  prof : Xprof.t;
+      (** execution profile charged during evaluation (eval steps, nodes
+          materialized, operator spans); {!Xprof.disabled} by default, so
+          unprofiled evaluation pays one branch per step *)
 }
 
 let no_resolver name =
   Xdm.Xerror.raise_err "FODC0002" "no collection resolver for %S" name
 
 let init ?(resolver = no_resolver) ?(construction_preserve = false)
-    ?(meter = Xdm.Limits.meter ()) () =
+    ?(meter = Xdm.Limits.meter ()) ?(prof = Xprof.disabled) () =
   {
     item = None;
     pos = 0;
@@ -31,6 +35,7 @@ let init ?(resolver = no_resolver) ?(construction_preserve = false)
     resolver;
     construction_preserve;
     meter;
+    prof;
   }
 
 let with_focus ctx item pos size = { ctx with item = Some item; pos; size }

@@ -16,25 +16,49 @@
 open Xdm
 open Ast
 
-(* [eval] is the governed wrapper around the real dispatch [eval_inner]:
-   it charges the resource meter one step (and one recursion level) per
-   expression evaluated. With no limits set the meter is unarmed and the
-   whole wrapper is one branch, so ungoverned queries pay nothing
-   measurable. The depth counter must survive expressions that catch
-   exceptions part-way, hence the exception-safe [leave]. *)
+(* Operator labels for the profiler's EXPLAIN-ANALYZE tree. Only the
+   plan-shaped expressions get a span of their own; everything else is
+   still counted in [eval_steps] but does not clutter the tree. *)
+let op_label : expr -> string option = function
+  | EPath _ -> Some "PATH"
+  | EFlwor _ -> Some "FLWOR"
+  | EQuant _ -> Some "QUANT"
+  | ECall { prefix; local; _ } ->
+      Some (if prefix = "" then "FN " ^ local else "FN " ^ prefix ^ ":" ^ local)
+  | EElem _ | EElemComp _ | EAttrComp _ | ETextComp _ -> Some "CONSTRUCT"
+  | _ -> None
+
+(* [eval] is the governed/profiled wrapper around the real dispatch
+   [eval_inner]: it charges the resource meter one step (and one recursion
+   level) per expression evaluated, and mirrors the step into the
+   execution profile (plus an operator span for plan-shaped expressions).
+   With no limits set and profiling off, the whole wrapper is one branch,
+   so ordinary queries pay nothing measurable. The depth counter must
+   survive expressions that catch exceptions part-way, hence the
+   exception-safe [leave]. *)
 let rec eval (ctx : Ctx.t) (e : expr) : Item.seq =
   Faultinject.hit "eval.step";
   let m = ctx.Ctx.meter in
-  if not m.Limits.armed then eval_inner ctx e
+  let p = ctx.Ctx.prof in
+  if not (m.Limits.armed || p.Xprof.on) then eval_inner ctx e
   else begin
-    Limits.step m;
-    Limits.enter m;
-    match eval_inner ctx e with
+    if m.Limits.armed then begin
+      Limits.step m;
+      Limits.enter m
+    end;
+    Xprof.step p;
+    let dispatch () =
+      match if p.Xprof.on then op_label e else None with
+      | None -> eval_inner ctx e
+      | Some name ->
+          Xprof.spanned ~rows:List.length p name (fun () -> eval_inner ctx e)
+    in
+    match dispatch () with
     | r ->
-        Limits.leave m;
+        if m.Limits.armed then Limits.leave m;
         r
     | exception ex ->
-        Limits.leave m;
+        if m.Limits.armed then Limits.leave m;
         raise ex
   end
 
@@ -179,24 +203,29 @@ and eval_inner (ctx : Ctx.t) (e : expr) : Item.seq =
   | EElemComp { cn_static; cn_expr; cbody } ->
       let name = computed_name ctx "element" cn_static cn_expr in
       let content = [ Construct.PSeq (eval ctx cbody) ] in
-      [
-        Item.N
-          (Construct.element ~preserve:ctx.Ctx.construction_preserve name
-             ~attrs:[] ~content);
-      ]
+      let n =
+        Construct.element ~preserve:ctx.Ctx.construction_preserve name
+          ~attrs:[] ~content
+      in
+      charge_construction ctx n;
+      [ Item.N n ]
   | EAttrComp { an_static; an_expr; abody } ->
       let name = computed_name ctx "attribute" an_static an_expr in
       let value =
         String.concat " "
           (List.map Atomic.string_value (Item.atomize (eval ctx abody)))
       in
-      [ Item.N (Node.attribute name value) ]
+      let n = Node.attribute name value in
+      charge_construction ctx n;
+      [ Item.N n ]
   | ETextComp e ->
       let s =
         String.concat " "
           (List.map Atomic.string_value (Item.atomize (eval ctx e)))
       in
-      [ Item.N (Node.text s) ]
+      let n = Node.text s in
+      charge_construction ctx n;
+      [ Item.N n ]
 
 and computed_name ctx what static_name name_expr : Qname.t =
   match (static_name, name_expr) with
@@ -446,10 +475,22 @@ and eval_ctor ctx (c : ctor) : Node.t =
     Construct.element ~preserve:ctx.Ctx.construction_preserve c.cname ~attrs
       ~content
   in
-  if ctx.Ctx.meter.Limits.armed then
-    Limits.add_nodes ctx.Ctx.meter
-      (List.length (Node.descendants_or_self n));
+  charge_construction ctx n;
   n
+
+(** Charge a freshly constructed tree against the governor's node budget
+    and the profile's [nodes_materialized]. One branch when both off. *)
+and charge_construction ctx (n : Node.t) =
+  let m = ctx.Ctx.meter and p = ctx.Ctx.prof in
+  if m.Limits.armed || p.Xprof.on then begin
+    let count =
+      match n.Node.kind with
+      | Node.Element | Node.Document -> List.length (Node.descendants_or_self n)
+      | _ -> 1
+    in
+    if m.Limits.armed then Limits.add_nodes m count;
+    Xprof.add_nodes p count
+  end
 
 (* ------------------------- entry points -------------------------- *)
 
@@ -457,16 +498,16 @@ and eval_ctor ctx (c : ctor) : Node.t =
     collection resolver, external variable bindings and resource limits. *)
 let run ?(resolver : (string -> Item.seq) option)
     ?(vars : (string * Item.seq) list = []) ?(limits = Limits.unlimited)
-    (q : query) : Item.seq =
+    ?prof (q : query) : Item.seq =
   let q = Static.resolve ~external_vars:(List.map fst vars) q in
   let ctx =
     Ctx.init ?resolver
       ~construction_preserve:q.prolog.construction_preserve
-      ~meter:(Limits.meter ~limits ()) ()
+      ~meter:(Limits.meter ~limits ()) ?prof ()
   in
   let ctx = Ctx.bind_all ctx vars in
   eval ctx q.body
 
 (** Parse and evaluate a query string. *)
-let run_string ?resolver ?vars ?limits (src : string) : Item.seq =
-  run ?resolver ?vars ?limits (Parser.parse_query src)
+let run_string ?resolver ?vars ?limits ?prof (src : string) : Item.seq =
+  run ?resolver ?vars ?limits ?prof (Parser.parse_query src)

@@ -167,7 +167,7 @@ let index_tests =
 let rel_tests =
   [
     tc "relational index probe" (fun () ->
-        let ri = Xmlindex.Rel_index.create ~iname:"r" ~table:"t" ~column:"c" in
+        let ri = Xmlindex.Rel_index.create ~iname:"r" ~table:"t" ~column:"c" () in
         List.iteri
           (fun i v -> Xmlindex.Rel_index.insert ri ~row:i (Storage.Sql_value.Int (Int64.of_int v)))
           [ 5; 3; 8; 3 ];
@@ -175,11 +175,11 @@ let rel_tests =
           (Xdm.Int_set.elements
              (Xmlindex.Rel_index.probe_eq ri (Storage.Sql_value.Int 3L))));
     tc "relational index ignores NULLs" (fun () ->
-        let ri = Xmlindex.Rel_index.create ~iname:"r" ~table:"t" ~column:"c" in
+        let ri = Xmlindex.Rel_index.create ~iname:"r" ~table:"t" ~column:"c" () in
         Xmlindex.Rel_index.insert ri ~row:0 Storage.Sql_value.Null;
         check Alcotest.int "empty" 0 (Xmlindex.Rel_index.entry_count ri));
     tc "relational string probe is blank-padded (SQL semantics)" (fun () ->
-        let ri = Xmlindex.Rel_index.create ~iname:"r" ~table:"t" ~column:"c" in
+        let ri = Xmlindex.Rel_index.create ~iname:"r" ~table:"t" ~column:"c" () in
         Xmlindex.Rel_index.insert ri ~row:0 (Storage.Sql_value.Varchar "abc  ");
         check Alcotest.int "found" 1
           (Xdm.Int_set.cardinal
