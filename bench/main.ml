@@ -975,6 +975,238 @@ let micro_suite ~quick ~out () =
     (List.length queries_json) (List.length pairs_json)
 
 (* ------------------------------------------------------------------ *)
+(* Prepared-statement suite (--suite prepared): the "prepared" section  *)
+(* of BENCH_micro.json                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** First index of [needle] in [hay], if any. *)
+let find_substring (hay : string) (needle : string) : int option =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then None else go 0
+
+(** Add (or replace) a top-level [key] section in the JSON object stored
+    at [out]. [Xprof.Json] is emit-only, so this is a textual splice: the
+    existing object's final [}] (or a previously spliced [key] section,
+    which is always last) is replaced with the new section. A missing or
+    non-object file is rewritten as a fresh object. *)
+let splice_section ~(out : string) ~(key : string) (section : J.t) =
+  let rendered = J.to_string (J.Obj [ (key, section) ]) in
+  let body = String.sub rendered 1 (String.length rendered - 2) in
+  let fresh () = "{\"suite\":\"prepared\"," ^ body ^ "}" in
+  let merged =
+    if not (Sys.file_exists out) then fresh ()
+    else
+      let s = String.trim (In_channel.with_open_text out In_channel.input_all) in
+      if s = "" || s.[String.length s - 1] <> '}' then fresh ()
+      else
+        let prefix =
+          match find_substring s (",\"" ^ key ^ "\":") with
+          | Some i -> String.sub s 0 i
+          | None -> String.sub s 0 (String.length s - 1)
+        in
+        prefix ^ "," ^ body ^ "}"
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc merged;
+      output_char oc '\n')
+
+(** One timing sample: milliseconds per run over a batch of [batch]
+    back-to-back runs (batching amortizes clock-read noise on the
+    sub-millisecond statements this suite measures). *)
+let sample_ms ~batch (f : unit -> unit) : float =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to batch do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int batch
+
+(** Median milliseconds per run of [f] over [iters] batched samples. *)
+let p50_ms ~iters ~batch (f : unit -> unit) : float =
+  let h = Xprof.Hist.create () in
+  for _ = 1 to iters do
+    Xprof.Hist.add h (sample_ms ~batch f)
+  done;
+  Xprof.Hist.p50 h
+
+(** Median ms/run for several workloads measured together: each round
+    takes one batched sample of every workload, so scheduler drift and
+    GC pressure land on all of them equally instead of biasing whichever
+    was measured last. *)
+let p50_interleaved ~iters ~batch (fns : (unit -> unit) list) : float list =
+  let hists = List.map (fun _ -> Xprof.Hist.create ()) fns in
+  for _ = 1 to iters do
+    List.iter2 (fun h f -> Xprof.Hist.add h (sample_ms ~batch f)) hists fns
+  done;
+  List.map Xprof.Hist.p50 hists
+
+(** The compile-sensitive corpus subset measured by the prepared suite:
+    queries whose indexed/selective execution makes the cached front half
+    (parse + resolve + eligibility analysis) a visible fraction of total
+    latency. Full-scan queries stay in the micro suite. *)
+let prepared_corpus : (string * string * string) list =
+  [
+    ( "Q1",
+      "//order[lineitem/@price>990]",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>990]" );
+    ( "Q3",
+      "string predicate",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > \"990\"]" );
+    ( "Q7",
+      "stand-alone XQuery",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 990]" );
+    ( "Q8",
+      "XMLExists",
+      "SELECT ordid, orddoc FROM orders WHERE XMLExists('$o//lineitem[@price \
+       > 990]' passing orddoc as \"o\")" );
+    ( "Q11",
+      "XMLTable row-producer",
+      "SELECT o.ordid, t.li FROM orders o, XMLTable('$o//lineitem[@price > \
+       990]' passing o.orddoc as \"o\" COLUMNS \"li\" XML BY REF PATH '.') \
+       as t(li)" );
+    ( "Q27",
+      "base collection",
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC')/order/lineitem where \
+       $i/product/id = 'p3' return $i/quantity" );
+    ( "Q30",
+      "attribute between",
+      "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+       //order[lineitem[@price>100 and @price<200]] return $i" );
+  ]
+
+(** Scan-heavy statements for the cursor first-row contrast: results per
+    pull, so the first row arrives after one document / one table row
+    rather than after the full materialization. *)
+let cursor_corpus : (string * string * string) list =
+  [
+    ( "C1",
+      "//lineitem (all, streamed per doc)",
+      "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem" );
+    ("C2", "SELECT ordid FROM orders", "SELECT ordid FROM orders");
+    ( "C3",
+      "FLWOR streamed per doc",
+      "for $d in db2-fn:xmlcolumn('ORDERS.ORDDOC') return \
+       $d//order/lineitem" );
+  ]
+
+let outcome_length (o : Engine.outcome) =
+  match o.Engine.payload with
+  | Engine.Rows { rows; _ } -> List.length rows
+  | Engine.Items items -> List.length items
+
+(** Cold vs warm vs prepared p50 per compile-sensitive paper query, plus
+    cursor first-row vs full-materialization latency. Splices the
+    ["prepared"] section into [out] (normally BENCH_micro.json, after the
+    micro suite wrote it). *)
+let prepared_suite ~quick ~out () =
+  let n = if quick then 150 else 500 in
+  let iters = if quick then 21 else 41 in
+  let batch = 5 in
+  Printf.printf
+    "prepared suite — compile-sensitive corpus over %d orders, %d timing \
+     iterations%s\n"
+    n iters
+    (if quick then " (--quick)" else "");
+  let db = corpus_db ~n () in
+  Printf.printf "  %-4s %-28s %5s %10s %10s %10s %8s\n" "id" "label" "rows"
+    "cold p50" "warm p50" "prep p50" "speedup";
+  let queries_json =
+    List.map
+      (fun (id, label, src) ->
+        let rows = outcome_length (Engine.exec db src) in
+        let st = Engine.prepare db src in
+        let cold_run () =
+          (* every run recompiles: the cache is dropped first *)
+          Engine.reset_plan_cache db;
+          ignore (Engine.exec db src)
+        in
+        (* the un-prepared exec path amortized by the plan cache *)
+        let warm_run () = ignore (Engine.exec db src) in
+        let prep_run () = ignore (Engine.execute st) in
+        ignore (Engine.exec db src);
+        let cold, warm, prep =
+          match p50_interleaved ~iters ~batch [ cold_run; warm_run; prep_run ] with
+          | [ c; w; p ] -> (c, w, p)
+          | _ -> assert false
+        in
+        let ok = prep < cold && warm < cold in
+        Printf.printf "  %-4s %-28s %5d %8.3fms %8.3fms %8.3fms %7.2fx%s\n"
+          id label rows cold warm prep
+          (cold /. prep)
+          (if ok then "" else "  VIOLATION");
+        flush stdout;
+        J.Obj
+          [
+            ("id", J.Str id);
+            ("label", J.Str label);
+            ("rows", J.Int rows);
+            ("cold_p50_ms", J.Float cold);
+            ("warm_p50_ms", J.Float warm);
+            ("prepared_p50_ms", J.Float prep);
+            ("speedup_cold_over_prepared", J.Float (cold /. prep));
+            ("ok", J.Bool ok);
+          ])
+      prepared_corpus
+  in
+  Printf.printf "  %-4s %-34s %5s %12s %12s\n" "id" "cursor statement" "rows"
+    "first row" "full exec";
+  let cursor_json =
+    List.map
+      (fun (id, label, src) ->
+        let rows = outcome_length (Engine.exec db src) in
+        let full = p50_ms ~iters ~batch (fun () -> ignore (Engine.exec db src)) in
+        let first_row =
+          p50_ms ~iters ~batch (fun () ->
+              let cur = Engine.open_cursor db src in
+              ignore (Engine.Cursor.next cur);
+              Engine.Cursor.close cur)
+        in
+        let ok = first_row < full in
+        Printf.printf "  %-4s %-34s %5d %10.3fms %10.3fms%s\n" id label rows
+          first_row full
+          (if ok then "" else "  VIOLATION");
+        flush stdout;
+        J.Obj
+          [
+            ("id", J.Str id);
+            ("label", J.Str label);
+            ("rows", J.Int rows);
+            ("first_row_p50_ms", J.Float first_row);
+            ("full_p50_ms", J.Float full);
+            ("ok", J.Bool ok);
+          ])
+      cursor_corpus
+  in
+  let stats = Engine.plan_cache_stats db in
+  let section =
+    J.Obj
+      [
+        ("n_docs", J.Int n);
+        ("iterations", J.Int iters);
+        ("queries", J.Arr queries_json);
+        ("cursor", J.Arr cursor_json);
+        ( "plan_cache",
+          J.Obj
+            [
+              ("size", J.Int stats.Engine.Plan_cache.size);
+              ("hits", J.Int stats.Engine.Plan_cache.hits);
+              ("misses", J.Int stats.Engine.Plan_cache.misses);
+              ("invalidations", J.Int stats.Engine.Plan_cache.invalidations);
+              ("evictions", J.Int stats.Engine.Plan_cache.evictions);
+            ] );
+      ]
+  in
+  splice_section ~out ~key:"prepared" section;
+  Printf.printf "spliced \"prepared\" section into %s (%d queries, %d cursors)\n"
+    out
+    (List.length queries_json)
+    (List.length cursor_json)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -994,8 +1226,15 @@ let () =
       in
       micro_suite ~quick ~out ();
       exit 0
+  | Some "prepared" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      prepared_suite ~quick ~out ();
+      exit 0
   | Some other ->
-      Printf.eprintf "unknown suite %S (available: micro)\n" other;
+      Printf.eprintf "unknown suite %S (available: micro, prepared)\n" other;
       exit 2
   | None -> ());
   Printf.printf

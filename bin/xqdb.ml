@@ -15,6 +15,13 @@
                           (operator tree + counters) after each statement
     - [\metrics]          session-lifetime metrics accumulated while
                           profiling is on (docs/OBSERVABILITY.md)
+    - [\prepare N S]      compile statement S under name N (SQL [?] and
+                          XQuery free [$var]s become parameter slots)
+    - [\exec N ARGS]      execute prepared N; ARGS are positional values
+                          for SQL, [var=value] pairs for XQuery
+    - [\cursor K S]       stream at most K results of S through a cursor,
+                          then close it (unpulled results never compute)
+    - [\cache]            plan-cache statistics
     - [\tables] [\idx]    catalog listings
     - [\demo]             load a small orders/customer/products demo db
 
@@ -71,16 +78,153 @@ let set_limits_cmd db (args : string) =
     print_endline (Xdm.Limits.to_string (Engine.limits db))
   end
 
-let print_result (r : Sqlxml.Sql_exec.result) =
-  if r.Sqlxml.Sql_exec.rcols <> [] then
-    print_endline (String.concat " | " r.Sqlxml.Sql_exec.rcols);
-  List.iter
-    (fun row ->
-      print_endline
-        (String.concat " | "
-           (List.map Storage.Sql_value.to_display row)))
-    r.Sqlxml.Sql_exec.rrows;
-  Printf.printf "(%d rows)\n" (List.length r.Sqlxml.Sql_exec.rrows)
+(* Prepared statements of this shell session, by user-chosen name. *)
+let prepared : (string, Engine.stmt) Hashtbl.t = Hashtbl.create 8
+
+(** Split [\exec] arguments on whitespace; single quotes group (and stay
+    in the token, so the value parsers can see them). *)
+let split_args (s : string) : string list =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush_tok () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let in_quote = ref false in
+  String.iter
+    (fun c ->
+      if !in_quote then begin
+        Buffer.add_char buf c;
+        if c = '\'' then in_quote := false
+      end
+      else if c = ' ' || c = '\t' then flush_tok ()
+      else begin
+        Buffer.add_char buf c;
+        if c = '\'' then in_quote := true
+      end)
+    s;
+  flush_tok ();
+  List.rev !out
+
+(** Sort [\exec] arguments into positional SQL values and named XQuery
+    bindings: a [name=value] token (identifier before the [=]) binds a
+    variable, anything else is positional. *)
+let parse_bindings (toks : string list) :
+    Storage.Sql_value.t list * (string * Xdm.Item.seq) list =
+  let is_ident s =
+    s <> ""
+    && String.for_all
+         (fun c ->
+           ('a' <= c && c <= 'z')
+           || ('A' <= c && c <= 'Z')
+           || ('0' <= c && c <= '9')
+           || c = '_')
+         s
+  in
+  List.partition_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i when i > 0 && is_ident (String.sub tok 0 i) ->
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          Right
+            (String.sub tok 0 i, [ Xdm.Item.A (Engine.atomic_of_string v) ])
+      | _ -> Left (Engine.sql_value_of_string tok))
+    toks
+
+let print_outcome db (out : Engine.outcome) =
+  (match out.Engine.payload with
+  | Engine.Rows { cols; rows } ->
+      if cols <> [] then print_endline (String.concat " | " cols);
+      List.iter
+        (fun row ->
+          print_endline
+            (String.concat " | " (List.map Storage.Sql_value.to_display row)))
+        rows;
+      Printf.printf "(%d rows)\n" (List.length rows)
+  | Engine.Items items ->
+      List.iter (fun it -> print_endline (Engine.to_xml [ it ])) items;
+      Printf.printf "(%d items)\n" (List.length items));
+  if !explain then begin
+    List.iter (fun n -> Printf.printf "-- %s\n" n) out.Engine.notes;
+    List.iter (fun n -> Printf.printf "-- %s\n" n) out.Engine.diagnostics
+  end;
+  maybe_print_profile db
+
+let prepare_cmd db (args : string) =
+  let args = String.trim args in
+  match String.index_opt args ' ' with
+  | None -> print_endline "usage: \\prepare NAME STATEMENT"
+  | Some i ->
+      let name = String.sub args 0 i in
+      let src = String.trim (String.sub args (i + 1) (String.length args - i - 1)) in
+      let st = Engine.prepare db src in
+      Hashtbl.replace prepared name st;
+      (match Engine.stmt_params st with
+      | [] -> Printf.printf "prepared %s (no parameters)\n" name
+      | ps ->
+          Printf.printf "prepared %s (parameters: %s)\n" name
+            (String.concat ", " ps))
+
+let exec_cmd db (args : string) =
+  let args = String.trim args in
+  let name, rest =
+    match String.index_opt args ' ' with
+    | None -> (args, "")
+    | Some i ->
+        ( String.sub args 0 i,
+          String.sub args (i + 1) (String.length args - i - 1) )
+  in
+  match Hashtbl.find_opt prepared name with
+  | None -> Printf.printf "no prepared statement %S (use \\prepare)\n" name
+  | Some st ->
+      let params, vars = parse_bindings (split_args rest) in
+      print_outcome db (Engine.execute ~params ~vars st)
+
+let cursor_cmd db (args : string) =
+  let args = String.trim args in
+  let usage () = print_endline "usage: \\cursor COUNT STATEMENT" in
+  match String.index_opt args ' ' with
+  | None -> usage ()
+  | Some i -> (
+      match int_of_string_opt (String.sub args 0 i) with
+      | None -> usage ()
+      | Some n ->
+          let src =
+            String.trim (String.sub args (i + 1) (String.length args - i - 1))
+          in
+          let cur = Engine.open_cursor db src in
+          Fun.protect
+            ~finally:(fun () -> Engine.Cursor.close cur)
+            (fun () ->
+              if Engine.Cursor.columns cur <> [] then
+                print_endline (String.concat " | " (Engine.Cursor.columns cur));
+              let rec pull k =
+                if k < n then
+                  match Engine.Cursor.next cur with
+                  | None -> ()
+                  | Some (Engine.Cursor.Row row) ->
+                      print_endline
+                        (String.concat " | "
+                           (List.map Storage.Sql_value.to_display row));
+                      pull (k + 1)
+                  | Some (Engine.Cursor.Item it) ->
+                      print_endline (Engine.to_xml [ it ]);
+                      pull (k + 1)
+              in
+              pull 0;
+              Printf.printf "(%d pulled; cursor closed)\n"
+                (Engine.Cursor.row_count cur)))
+
+let cache_cmd db =
+  let s = Engine.plan_cache_stats db in
+  Printf.printf
+    "plan cache: %d/%d entries, %d hits, %d misses, %d invalidations, %d \
+     evictions\n"
+    s.Engine.Plan_cache.size s.Engine.Plan_cache.capacity
+    s.Engine.Plan_cache.hits s.Engine.Plan_cache.misses
+    s.Engine.Plan_cache.invalidations s.Engine.Plan_cache.evictions
 
 let load_demo db =
   ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
@@ -155,35 +299,28 @@ let exec_one db (line : string) =
   else if line = "\\strict off" then Engine.set_strict_types db false
   else if line = "\\profile on" then Engine.set_profiling db true
   else if line = "\\profile off" then Engine.set_profiling db false
-  else if line = "\\metrics" then
-    print_string (Xprof.Registry.to_string (Engine.registry db))
+  else if line = "\\metrics" then begin
+    print_string (Xprof.Registry.to_string (Engine.registry db));
+    cache_cmd db
+  end
+  else if line = "\\cache" then cache_cmd db
+  else if String.length line > 9 && String.sub line 0 9 = "\\prepare " then
+    prepare_cmd db (String.sub line 9 (String.length line - 9))
+  else if String.length line > 6 && String.sub line 0 6 = "\\exec " then
+    exec_cmd db (String.sub line 6 (String.length line - 6))
+  else if String.length line > 8 && String.sub line 0 8 = "\\cursor " then
+    cursor_cmd db (String.sub line 8 (String.length line - 8))
   else if String.length line > 6 && String.sub line 0 6 = "\\lint " then begin
     let q = String.sub line 6 (String.length line - 6) in
     match List.sort Analysis.Diag.compare (Engine.analyze db q) with
     | [] -> print_endline "no findings"
     | ds -> List.iter (fun d -> print_endline (Analysis.Diag.to_string ~src:q d)) ds
   end
-  else begin
-    (* SQL first; if it does not parse as SQL, try stand-alone XQuery.
-       Execution goes through [Engine.sql] so the strict-mode static
-       gate applies. *)
-    match Sqlxml.Sql_parser.parse line with
-    | _stmt ->
-        let r = Engine.sql db line in
-        print_result r;
-        if !explain then
-          List.iter (fun n -> Printf.printf "-- %s\n" n) (Engine.last_notes db);
-        maybe_print_profile db
-    | exception Sqlxml.Sql_lexer.Sql_syntax_error _ ->
-        let items, plan = Engine.xquery db line in
-        List.iter
-          (fun it -> print_endline (Engine.to_xml [ it ]))
-          items;
-        Printf.printf "(%d items)\n" (List.length items);
-        if !explain then
-          List.iter (fun n -> Printf.printf "-- %s\n" n) plan.Planner.notes;
-        maybe_print_profile db
-  end
+  else
+    (* The sealed entry point auto-detects SQL vs stand-alone XQuery,
+       goes through the plan cache (repeated statements compile once) and
+       applies the strict-mode static gate at compile time. *)
+    print_outcome db (Engine.exec db line)
 
 (** Report any statement failure without killing the session. The final
     catch-all matters: a statement that parses as SQL but dies on an

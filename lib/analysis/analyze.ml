@@ -67,7 +67,7 @@ let iter_embeds (stmt : SA.stmt)
     | SA.SXmlElement (_, args) -> List.iter walk_sexpr args
     | SA.SAgg (_, arg) -> Option.iter walk_sexpr arg
     | SA.SNull | SA.SLitInt _ | SA.SLitDouble _ | SA.SLitString _
-    | SA.SCol _ ->
+    | SA.SCol _ | SA.SParam _ ->
         ()
   in
   let rec walk_cond = function

@@ -101,9 +101,6 @@ let root_dpath ?origin collection =
     anchor_single = false;
   }
 
-let empty_env =
-  { vars = SMap.empty; context = None; scalar_params = []; emptiness = false }
-
 let conjoin a b = P.simplify (P.mk_and [ a; b ])
 
 (** Does an expression reference the focus position? *)

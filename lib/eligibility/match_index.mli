@@ -1,0 +1,50 @@
+(** Index eligibility decisions (the paper's Section 2.2 and 3.1): can a
+    given XML index answer a given predicate leaf, and if so, how should
+    it be probed? *)
+
+(** Why an index cannot serve a leaf (rendered into EXPLAIN notes). *)
+type reject =
+  | RWrongColumn
+  | RNotContained
+      (** the index pattern is more restrictive than the query path
+          (Section 2.2, Query 2; namespaces, Section 3.7; text() steps,
+          Section 3.8; attributes, Section 3.9) *)
+  | RTypeMismatch of Predicate.cmp_class * Xmlindex.Xindex.vtype
+      (** comparison type vs index type (Section 3.1) *)
+  | RUnknownType
+      (** comparison type unprovable — e.g. a cast-less join (Tip 1) *)
+  | ROpNotIndexable  (** [!=] cannot be answered by a range scan *)
+  | RStructuralNeedsVarchar
+      (** only a VARCHAR index contains *all* matching nodes
+          (Section 2.2) *)
+
+val reject_to_string : reject -> string
+
+(** How to probe an eligible index. *)
+type probe_spec =
+  | SpecRange of Xmlindex.Xindex.range  (** constant operand *)
+  | SpecParam of string * Predicate.cmp_op
+      (** externally bound parameter: value known per evaluation *)
+  | SpecJoin of Predicate.cmp_op  (** per-outer-row join probe *)
+  | SpecStructural
+
+val class_compatible : Predicate.cmp_class -> Xmlindex.Xindex.vtype -> bool
+
+(** Normalized "table.column" of an index definition. *)
+val column_of_def : Xmlindex.Xindex.def -> string
+
+(** Constant-operand range for an index of type [vt]. *)
+val range_of :
+  Predicate.cmp_op ->
+  Xdm.Atomic.t ->
+  Xmlindex.Xindex.vtype ->
+  (Xmlindex.Xindex.range, reject) result
+
+(** Decide eligibility of [def] for a value-predicate leaf. *)
+val check_leaf :
+  Xmlindex.Xindex.def -> Predicate.leaf -> (probe_spec, reject) result
+
+(** Decide eligibility for a structural (existence) leaf: only VARCHAR
+    indexes, which by definition contain every matching node. *)
+val check_structural :
+  Xmlindex.Xindex.def -> Predicate.struct_leaf -> (probe_spec, reject) result

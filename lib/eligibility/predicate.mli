@@ -1,0 +1,95 @@
+(** Normal form for *filtering predicates* extracted from queries.
+
+    A predicate tree describes, for each document of a collection, a
+    condition that is **necessary** for the document to contribute to the
+    query result. Definition 1 of the paper: an index [I] is eligible for
+    predicate [P] of query [Q] iff [Q(D) = Q(I(P, D))] — so every leaf is
+    implied by "this document affects the result"; when in doubt the
+    extractor emits [PTrue]. *)
+
+type cmp_op = CEq | CNe | CLt | CLe | CGt | CGe
+
+val cmp_op_to_string : cmp_op -> string
+
+(** Mirror an operator across the comparison ([a < b] ⇔ [b > a]). *)
+val flip : cmp_op -> cmp_op
+
+(** The non-path side of a comparison. *)
+type operand =
+  | OConst of Xdm.Atomic.t
+      (** literal or constant-folded value; its dynamic type decides the
+          comparison type (paper Section 3.1) *)
+  | OParam of string * Xdm.Atomic.atomic_type option
+      (** an externally bound variable (SQL/XML [PASSING], prepared
+          parameter); the type, when known, is inherited from the SQL
+          side — the paper's Query 13 *)
+  | OJoin of {
+      jexpr : Xquery.Ast.expr;
+          (** the other side of the comparison — evaluable at probe time
+              when its free variables are bound (index nested-loop join) *)
+      jcast : Xdm.Atomic.atomic_type option;
+          (** type proven by a cast; without one the comparison type is
+              unknown and no index is eligible (Tip 1) *)
+    }
+
+val operand_to_string : operand -> string
+
+(** Comparison type classes, deciding which index data types can serve
+    the predicate (paper Section 3.1). *)
+type cmp_class = CNumeric | CString | CDate | CDateTime | CUnknown
+
+val cmp_class_to_string : cmp_class -> string
+val class_of_atomic_type : Xdm.Atomic.atomic_type -> cmp_class
+
+type leaf = {
+  collection : string;  (** "TABLE.COLUMN" *)
+  path : Xmlindex.Pattern.t;  (** derived absolute path of the compared node *)
+  op : cmp_op;
+  operand : operand;
+  path_cast : Xdm.Atomic.atomic_type option;
+      (** cast applied on the path side, e.g. [custid/xs:double(.)] *)
+  value_cmp : bool;  (** value comparison ([eq], [gt], ...) *)
+  anchor : int;
+      (** identity of the navigation anchor (variable binding or predicate
+          focus) this comparison hangs from; two comparisons with the same
+          anchor test the same context node *)
+  singleton_path : bool;
+      (** the compared value is provably at most one per anchor node —
+          Section 3.10's "between" preconditions *)
+  source : string;  (** printable origin, for EXPLAIN *)
+}
+
+(** A structural (existence) predicate: the document must contain at
+    least one node on this path. Answerable by a full-range scan of a
+    VARCHAR index (paper Section 2.2). *)
+type struct_leaf = {
+  s_collection : string;
+  s_path : Xmlindex.Pattern.t;
+  s_source : string;
+}
+
+type t =
+  | PAnd of t list
+  | POr of t list
+  | PLeaf of leaf
+  | PStructural of struct_leaf
+  | PTrue  (** no document can be eliminated through this branch *)
+
+(** Effective comparison class of a leaf: a cast on the path side wins;
+    otherwise the operand's type decides. *)
+val leaf_class : leaf -> cmp_class
+
+val mk_and : t list -> t
+val mk_or : t list -> t
+
+(** Drop [PTrue] children of conjunctions (and duplicate conjuncts); a
+    [PTrue] branch poisons a disjunction entirely. *)
+val simplify : t -> t
+
+(** Restrict a tree to the leaves of one collection; leaves of other
+    collections become [PTrue]. *)
+val for_collection : string -> t -> t
+
+val collections : t -> string list
+val leaves : t -> leaf list
+val to_string : t -> string

@@ -1,66 +1,94 @@
 (** The database facade: one handle for DDL, SQL/XML, stand-alone XQuery,
-    EXPLAIN and the advisor.
+    prepared statements, streaming cursors, EXPLAIN and the advisor.
 
     {[
       let db = Engine.create () in
-      Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)" |> ignore;
-      Engine.sql db "CREATE INDEX li_price ON orders(orddoc) \
-                     USING XMLPATTERN '//lineitem/@price' AS DOUBLE" |> ignore;
-      let items, plan =
-        Engine.xquery db
-          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > 100]"
+      ignore (Engine.exec db "CREATE TABLE orders (ordid integer, orddoc XML)");
+      ignore (Engine.exec db
+        "CREATE INDEX li_price ON orders(orddoc) \
+         USING XMLPATTERN '//lineitem/@price' AS DOUBLE");
+      let st =
+        Engine.prepare db
+          "db2-fn:xmlcolumn('ORDERS.ORDDOC')//lineitem[@price > $p]"
       in
+      let out = Engine.execute st ~vars:[ ("p", [ Xdm.Item.A (Xdm.Atomic.Double 100.) ]) ] in
       ...
-    ]} *)
+    ]}
+
+    Every statement — prepared or not — goes through a keyed plan cache:
+    the compiled front half (parse, static resolution, eligibility
+    analysis) is cached under the statement text and validated against
+    the catalog generation and a settings fingerprint, so repeated
+    {!exec} of the same text amortizes compilation exactly like an
+    explicit {!prepare}. DDL and bulk loads invalidate cached plans. *)
 
 (** Re-export: the Tips 1–12 advisor. *)
 module Advisor = Advisor
 
+(** Re-export: the LRU plan cache (for its [stats] record). *)
+module Plan_cache = Plan_cache
+
+module E = Sqlxml.Sql_exec
+module SV = Storage.Sql_value
+
+(** The cached, data-independent front half of a statement. Index
+    probing is data-dependent (the planner consults index contents), so
+    it happens per execution; what is cached is everything up to it. *)
+type compiled_stmt =
+  | CSql of Sqlxml.Sql_ast.stmt * int
+      (** parsed statement + number of [?] parameter slots *)
+  | CXquery of Planner.compiled
+
 type t = {
-  sqlctx : Sqlxml.Sql_exec.ctx;
+  sqlctx : E.ctx;
   registry : Xprof.Registry.t;
       (** process-lifetime metrics (statement counts, latency histogram,
           cumulative counters), fed after each statement while profiling
-          is on *)
+          is on; plan-cache and cursor counters accumulate always *)
+  cache : compiled_stmt Plan_cache.t;
 }
 
-let database t = t.sqlctx.Sqlxml.Sql_exec.db
+let database t = E.database t.sqlctx
 
 let catalog t : Planner.catalog =
-  { Planner.db = database t; indexes = t.sqlctx.Sqlxml.Sql_exec.xindexes }
+  { Planner.db = database t; indexes = E.xml_indexes t.sqlctx }
 
 let create () =
   let t =
     {
-      sqlctx = Sqlxml.Sql_exec.create (Storage.Database.create ());
+      sqlctx = E.create (Storage.Database.create ());
       registry = Xprof.Registry.create ();
+      cache = Plan_cache.create ();
     }
   in
   (* the strict-mode gate: Sql_exec cannot depend on the analyzer, so the
      facade installs it (off until [set_strict_types true]) *)
-  t.sqlctx.Sqlxml.Sql_exec.static_check <-
-    Some
-      (fun ~src stmt ->
-        Analysis.Analyze.check_sql ~catalog:(catalog t) ~src stmt);
+  E.set_static_check t.sqlctx
+    (Some
+       (fun ~src stmt ->
+         Analysis.Analyze.check_sql ~catalog:(catalog t) ~src stmt));
   t
 
 (** Strict static typing: when on, statements with Error-severity
     diagnostics (e.g. the Query 14 XMLCAST-of-many) are rejected before
-    execution. *)
-let set_strict_types t b = t.sqlctx.Sqlxml.Sql_exec.strict_static <- b
-let strict_types t = t.sqlctx.Sqlxml.Sql_exec.strict_static
+    execution. Toggling it changes the settings fingerprint, so cached
+    plans compiled under the other mode are recompiled. *)
+let set_strict_types t b = E.set_strict_static t.sqlctx b
 
-let xml_indexes t = t.sqlctx.Sqlxml.Sql_exec.xindexes
-let rel_indexes t = t.sqlctx.Sqlxml.Sql_exec.rindexes
+let strict_types t = E.strict_static t.sqlctx
+let xml_indexes t = E.xml_indexes t.sqlctx
+let rel_indexes t = E.rel_indexes t.sqlctx
 
 (** Enable/disable index usage (for baselines and A/B benchmarks). *)
-let set_use_indexes t b = t.sqlctx.Sqlxml.Sql_exec.use_indexes <- b
-let use_indexes t = t.sqlctx.Sqlxml.Sql_exec.use_indexes
+let set_use_indexes t b = E.set_use_indexes t.sqlctx b
+
+let use_indexes t = E.use_indexes t.sqlctx
 
 (** Resource budgets applied to every subsequent statement (SQL and
     stand-alone XQuery). Default: {!Xdm.Limits.unlimited}. *)
-let set_limits t l = t.sqlctx.Sqlxml.Sql_exec.limits <- l
-let limits t = t.sqlctx.Sqlxml.Sql_exec.limits
+let set_limits t l = E.set_limits t.sqlctx l
+
+let limits t = E.limits t.sqlctx
 
 (* ------------------------------------------------------------------ *)
 (* Profiling                                                           *)
@@ -70,12 +98,14 @@ let limits t = t.sqlctx.Sqlxml.Sql_exec.limits
     reset at every statement start; read it right after the statement
     whose profile you want ([Xprof.report]/[Xprof.to_json]). Disabled by
     default — the off path costs one branch per charge site. *)
-let profile t : Xprof.t = t.sqlctx.Sqlxml.Sql_exec.prof
+let profile t : Xprof.t = E.profile t.sqlctx
 
 let set_profiling t b = Xprof.enable (profile t) b
 let profiling t = (profile t).Xprof.on
 
-(** Process-lifetime metrics, accumulated while profiling is on. *)
+(** Process-lifetime metrics. Statement counters accumulate while
+    profiling is on; plan-cache and cursor counters accumulate always
+    (they cost one hashtable update per statement, not per row). *)
 let registry t : Xprof.Registry.t = t.registry
 
 (** Fold the just-finished statement's profile into the registry. *)
@@ -89,18 +119,412 @@ let record_statement t =
       (fun (name, v) -> Xprof.Registry.incr ~by:v r (name ^ "_total"))
       (Xprof.counters p);
     Xprof.Registry.set_gauge r "xml_indexes"
-      (float_of_int (List.length t.sqlctx.Sqlxml.Sql_exec.xindexes));
+      (float_of_int (List.length (xml_indexes t)));
     Xprof.Registry.set_gauge r "rel_indexes"
-      (float_of_int (List.length t.sqlctx.Sqlxml.Sql_exec.rindexes))
+      (float_of_int (List.length (rel_indexes t)))
   end
 
 (* ------------------------------------------------------------------ *)
-(* SQL/XML                                                             *)
+(* Error discipline                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(** Execute a SQL/XML statement. *)
-let sql t (src : string) : Sqlxml.Sql_exec.result =
-  match Sqlxml.Sql_exec.exec_string t.sqlctx src with
+(** Every sealed entry point funnels through this wrapper so that only
+    [Xdm.Xerror.Error] escapes: layer-private exceptions are re-raised
+    under a stable error code. [Faultinject.Injected] is deliberately
+    left alone — it is a testing hook, not a query error. *)
+let coerce_errors (f : unit -> 'a) : 'a =
+  try f () with
+  | Sqlxml.Sql_lexer.Sql_syntax_error msg ->
+      Xdm.Xerror.syntax_error "%s" msg
+  | E.Sql_runtime_error msg -> Xdm.Xerror.dml_error "%s" msg
+  | Xmlparse.Xml_parser.Xml_error { pos; msg } ->
+      Xdm.Xerror.raise_err "FODC0002"
+        "malformed XML document (offset %d): %s" pos msg
+  | Failure msg -> Xdm.Xerror.raise_err "XQDB0004" "internal error: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* The plan cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Settings that change what compilation itself produces. Index use and
+   limits only affect execution, so they are deliberately absent. *)
+let fingerprint t = if strict_types t then "strict" else "lax"
+
+let plan_cache_stats t : Plan_cache.stats = Plan_cache.stats t.cache
+
+(** Drop every cached plan (used by benchmarks to time cold compiles). *)
+let reset_plan_cache t = Plan_cache.clear t.cache
+
+(* SQL keywords that can start a statement: when a source fails both
+   parsers, report it with the front end it was evidently written for. *)
+let looks_like_sql (src : string) : bool =
+  let src = String.trim src in
+  let n = String.length src in
+  let is_word c = ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') in
+  let rec stop i = if i < n && is_word src.[i] then stop (i + 1) else i in
+  let w = String.uppercase_ascii (String.sub src 0 (stop 0)) in
+  List.mem w
+    [ "SELECT"; "VALUES"; "INSERT"; "UPDATE"; "DELETE"; "CREATE"; "DROP";
+      "EXPLAIN" ]
+
+(** Compile a statement source: SQL/XML if it parses as SQL, else
+    stand-alone XQuery whose free variables become named parameter
+    slots. Strict mode runs the static analyzer here — at compile time —
+    so cached re-executions don't pay for it again. *)
+let compile_stmt t (src : string) : compiled_stmt =
+  match Sqlxml.Sql_parser.parse_params src with
+  | stmt, nslots ->
+      (if strict_types t then
+         match E.static_check t.sqlctx with
+         | Some check -> check ~src stmt
+         | None -> ());
+      CSql (stmt, nslots)
+  | exception Sqlxml.Sql_lexer.Sql_syntax_error sql_msg -> (
+      match Planner.compile src with
+      | c ->
+          (* parameterized queries are checked per-binding at execute
+             time; a closed query gets the full strict gate here *)
+          if strict_types t && Planner.compiled_params c = [] then begin
+            let q, locs = Xquery.Parser.parse_query_loc src in
+            Analysis.Analyze.check_xquery ~catalog:(catalog t) ~locs q
+          end;
+          CXquery c
+      | exception Xdm.Xerror.Error _ when looks_like_sql src ->
+          Xdm.Xerror.syntax_error "%s" sql_msg)
+
+(** Fetch the compiled form of [src] from the plan cache, compiling on a
+    miss. Returns the compiled statement plus a cache-event diagnostic
+    line. *)
+let lookup_compiled t (src : string) : compiled_stmt * string =
+  let gen = E.catalog_gen t.sqlctx in
+  let fp = fingerprint t in
+  let before = Plan_cache.stats t.cache in
+  match Plan_cache.find t.cache ~gen ~fp src with
+  | Some cs ->
+      Xprof.Registry.incr t.registry "plan_cache_hits_total";
+      (cs, "plan cache: hit")
+  | None ->
+      Xprof.Registry.incr t.registry "plan_cache_misses_total";
+      let invalidated =
+        (Plan_cache.stats t.cache).Plan_cache.invalidations
+        > before.Plan_cache.invalidations
+      in
+      if invalidated then
+        Xprof.Registry.incr t.registry "plan_cache_invalidations_total";
+      let cs = compile_stmt t src in
+      if Plan_cache.add t.cache ~gen ~fp src cs then
+        Xprof.Registry.incr t.registry "plan_cache_evictions_total";
+      Xprof.Registry.set_gauge t.registry "plan_cache_size"
+        (float_of_int (Plan_cache.length t.cache));
+      ( cs,
+        if invalidated then
+          "plan cache: invalidated (catalog or settings changed), recompiled"
+        else "plan cache: miss, compiled" )
+
+(* ------------------------------------------------------------------ *)
+(* Parameter binding                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let plural n = if n = 1 then "" else "s"
+
+let check_sql_arity (nslots : int) (params : SV.t list) vars =
+  if vars <> [] then
+    Xdm.Xerror.type_error
+      "SQL statements take positional (?) parameters; named variable \
+       bindings apply to XQuery statements";
+  let supplied = List.length params in
+  if supplied <> nslots then
+    Xdm.Xerror.raise_err "XPDY0002"
+      "statement has %d parameter slot%s but %d value%s supplied" nslots
+      (plural nslots) supplied (plural supplied)
+
+let check_xquery_bindings (c : Planner.compiled)
+    (vars : (string * Xdm.Item.seq) list) (params : SV.t list) =
+  if params <> [] then
+    Xdm.Xerror.type_error
+      "XQuery statements take named ($var) parameters; positional (?) \
+       values apply to SQL statements";
+  let slots = Planner.compiled_params c in
+  List.iter
+    (fun (v, _) ->
+      if not (List.mem v slots) then
+        Xdm.Xerror.undefined
+          "unknown parameter $%s (statement declares: %s)" v
+          (if slots = [] then "none"
+           else String.concat ", " (List.map (fun s -> "$" ^ s) slots)))
+    vars;
+  List.iter
+    (fun s ->
+      if not (List.mem_assoc s vars) then
+        Xdm.Xerror.raise_err "XPDY0002" "parameter $%s is not bound" s)
+    slots
+
+(** Parse a parameter literal the way the shell's [\exec] does: single
+    quotes force a string, otherwise integers and doubles are recognized
+    numerically. With [~ty], the value is cast (raising the standard
+    [FORG0001] on failure). *)
+let atomic_of_string ?(ty : Xdm.Atomic.atomic_type option) (s : string) :
+    Xdm.Atomic.t =
+  let v =
+    let n = String.length s in
+    if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then
+      Xdm.Atomic.Str (String.sub s 1 (n - 2))
+    else
+      match Int64.of_string_opt s with
+      | Some i -> Xdm.Atomic.Integer i
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> Xdm.Atomic.Double f
+          | None -> Xdm.Atomic.Str s)
+  in
+  match ty with None -> v | Some ty -> Xdm.Atomic.cast v ty
+
+let sql_value_of_string (s : string) : SV.t =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then
+    SV.Varchar (String.sub s 1 (n - 2))
+  else
+    match Int64.of_string_opt s with
+    | Some i -> SV.Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> SV.Double f
+        | None -> SV.Varchar s)
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type payload =
+  | Rows of { cols : string list; rows : SV.t list list }
+  | Items of Xdm.Item.seq
+
+type outcome = {
+  payload : payload;
+  notes : string list;  (** the planner's EXPLAIN trace *)
+  indexes_used : string list;
+  diagnostics : string list;
+      (** engine-level events: plan-cache hit/miss/invalidation, … *)
+  profile : Xprof.Json.t option;
+      (** snapshot of the statement profile, when profiling is on *)
+}
+
+let outcome_rows (o : outcome) : SV.t list list =
+  match o.payload with
+  | Rows { rows; _ } -> rows
+  | Items _ -> Xdm.Xerror.type_error "outcome holds items, not rows"
+
+let outcome_items (o : outcome) : Xdm.Item.seq =
+  match o.payload with
+  | Items items -> items
+  | Rows _ -> Xdm.Xerror.type_error "outcome holds rows, not items"
+
+let profile_snapshot t =
+  if profiling t then Some (Xprof.to_json (profile t)) else None
+
+(* ------------------------------------------------------------------ *)
+(* Execution of compiled statements                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_compiled t (cs : compiled_stmt) ~(diag : string)
+    ~(params : SV.t list) ~(vars : (string * Xdm.Item.seq) list) : outcome =
+  match cs with
+  | CSql (stmt, nslots) -> (
+      check_sql_arity nslots params vars;
+      E.set_params t.sqlctx (Array.of_list params);
+      let fin () = E.set_params t.sqlctx [||] in
+      match E.exec t.sqlctx stmt with
+      | r ->
+          fin ();
+          record_statement t;
+          {
+            payload = Rows { cols = r.E.rcols; rows = r.E.rrows };
+            notes = E.last_notes t.sqlctx;
+            indexes_used = E.last_used t.sqlctx;
+            diagnostics = [ diag ];
+            profile = profile_snapshot t;
+          }
+      | exception ex ->
+          fin ();
+          record_statement t;
+          raise ex)
+  | CXquery c -> (
+      check_xquery_bindings c vars params;
+      let prof = profile t in
+      Xprof.start_statement prof;
+      match
+        Planner.execute_compiled ~limits:(limits t) ~prof
+          ~use_indexes:(use_indexes t) ~vars (catalog t) c
+      with
+      | items, plan ->
+          Xprof.finish_statement prof;
+          record_statement t;
+          {
+            payload = Items items;
+            notes = plan.Planner.notes;
+            indexes_used = plan.Planner.indexes_used;
+            diagnostics = [ diag ];
+            profile = profile_snapshot t;
+          }
+      | exception ex ->
+          Xprof.finish_statement prof;
+          record_statement t;
+          raise ex)
+
+(** Execute a statement through the plan cache: compile (or reuse the
+    cached compiled form), plan, run. This is the one-shot face of the
+    prepared-statement machinery — calling it twice with the same text
+    compiles once. *)
+let exec ?(params : SV.t list = []) ?(vars : (string * Xdm.Item.seq) list = [])
+    t (src : string) : outcome =
+  coerce_errors (fun () ->
+      let cs, diag = lookup_compiled t src in
+      run_compiled t cs ~diag ~params ~vars)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A prepared statement is a handle into the plan cache: preparing
+    compiles (and caches) the front half now, executing validates the
+    cached entry against the current catalog generation — so a statement
+    prepared before a [CREATE INDEX] transparently recompiles and picks
+    the new index up on its next execution. *)
+type stmt = { st_engine : t; st_src : string; st_params : string list }
+
+let prepare t (src : string) : stmt =
+  coerce_errors (fun () ->
+      let cs, _ = lookup_compiled t src in
+      let st_params =
+        match cs with
+        | CSql (_, n) -> List.init n (fun i -> Printf.sprintf "?%d" (i + 1))
+        | CXquery c -> Planner.compiled_params c
+      in
+      { st_engine = t; st_src = src; st_params })
+
+let stmt_src (s : stmt) = s.st_src
+
+(** Parameter slots, in binding order: ["?1"; "?2"; …] for SQL, variable
+    names for XQuery. *)
+let stmt_params (s : stmt) = s.st_params
+
+let execute ?(params = []) ?(vars = []) (s : stmt) : outcome =
+  exec ~params ~vars s.st_engine s.st_src
+
+(* ------------------------------------------------------------------ *)
+(* Cursors                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Cursor = struct
+  (** One result element: a relational row (SQL front end) or an XDM
+      item (XQuery front end). *)
+  type elem = Row of SV.t list | Item of Xdm.Item.t
+
+  type t = {
+    mutable seq : elem Seq.t;
+    mutable state : [ `Open | `Drained | `Closed ];
+    cols : string list;  (** column names; [[]] for XQuery cursors *)
+    registry : Xprof.Registry.t;
+    mutable produced : int;
+  }
+
+  let columns c = c.cols
+
+  (** Rows/items pulled so far. *)
+  let row_count c = c.produced
+
+  (** Release the cursor. Production is lazy, so whatever was not pulled
+      is never computed — an early close also stops charging the
+      statement's governor budget. Idempotent. *)
+  let close c =
+    match c.state with
+    | `Closed -> ()
+    | `Open | `Drained ->
+        c.state <- `Closed;
+        c.seq <- Seq.empty;
+        Xprof.Registry.incr c.registry "cursors_closed_total"
+
+  (** Pull the next element; [None] once drained or closed. Errors that
+      surface lazily (resource budget, cast errors deep in a document)
+      are raised here, under the same error-code discipline as
+      {!Engine.exec}. *)
+  let next c : elem option =
+    match c.state with
+    | `Closed | `Drained -> None
+    | `Open -> (
+        match coerce_errors (fun () -> c.seq ()) with
+        | Seq.Nil ->
+            c.state <- `Drained;
+            c.seq <- Seq.empty;
+            Xprof.Registry.incr c.registry "cursors_closed_total";
+            None
+        | Seq.Cons (x, rest) ->
+            c.seq <- rest;
+            c.produced <- c.produced + 1;
+            Xprof.Registry.incr c.registry "cursor_rows_total";
+            Some x)
+
+  let fold (f : 'a -> elem -> 'a) (acc : 'a) c : 'a =
+    let rec go acc = match next c with None -> acc | Some x -> go (f acc x) in
+    go acc
+end
+
+(** Open a streaming cursor over a statement. Rows/items are produced as
+    the consumer pulls: SELECTs without aggregation/ORDER BY stream
+    straight off the table scan, path-shaped and FLWOR-shaped XQueries
+    stream per document/binding (others fall back to materializing, then
+    streaming the result). The statement's parameters stay bound to the
+    engine for the cursor's lifetime — interleaving other statements on
+    the same engine while a parameterized SQL cursor is open is
+    unsupported. *)
+let open_cursor ?(params : SV.t list = [])
+    ?(vars : (string * Xdm.Item.seq) list = []) t (src : string) : Cursor.t =
+  coerce_errors (fun () ->
+      let cs, _ = lookup_compiled t src in
+      let cur =
+        match cs with
+        | CSql (stmt, nslots) ->
+            check_sql_arity nslots params vars;
+            E.set_params t.sqlctx (Array.of_list params);
+            let cols, rows = E.exec_seq t.sqlctx stmt in
+            {
+              Cursor.seq = Seq.map (fun r -> Cursor.Row r) rows;
+              state = `Open;
+              cols;
+              registry = t.registry;
+              produced = 0;
+            }
+        | CXquery c ->
+            check_xquery_bindings c vars params;
+            let items, _plan, _meter =
+              Planner.execute_compiled_seq ~limits:(limits t)
+                ~prof:(profile t) ~use_indexes:(use_indexes t) ~vars
+                (catalog t) c
+            in
+            {
+              Cursor.seq = Seq.map (fun i -> Cursor.Item i) items;
+              state = `Open;
+              cols = [];
+              registry = t.registry;
+              produced = 0;
+            }
+      in
+      Xprof.Registry.incr t.registry "cursors_opened_total";
+      cur)
+
+let execute_cursor ?(params = []) ?(vars = []) (s : stmt) : Cursor.t =
+  open_cursor ~params ~vars s.st_engine s.st_src
+
+(* ------------------------------------------------------------------ *)
+(* SQL/XML (deprecated one-shot wrappers)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Execute a SQL/XML statement. Deprecated: use {!exec}, which returns
+    a structured {!outcome} and goes through the plan cache. Kept for
+    callers that rely on the original [Sql_exec.result] shape and
+    layer-private exceptions. *)
+let sql t (src : string) : E.result =
+  match E.exec_string t.sqlctx src with
   | r ->
       record_statement t;
       r
@@ -108,18 +532,22 @@ let sql t (src : string) : Sqlxml.Sql_exec.result =
       record_statement t;
       raise ex
 
-(** EXPLAIN trace of the last SQL statement. *)
-let last_notes t = List.rev t.sqlctx.Sqlxml.Sql_exec.notes
+(** EXPLAIN trace of the last SQL statement. Deprecated: read
+    [outcome.notes] from {!exec} instead. *)
+let last_notes t = E.last_notes t.sqlctx
 
-(** Indexes used by the last SQL statement. *)
-let last_indexes_used t = t.sqlctx.Sqlxml.Sql_exec.used
+(** Indexes used by the last SQL statement. Deprecated: read
+    [outcome.indexes_used] from {!exec} instead. *)
+let last_indexes_used t = E.last_used t.sqlctx
 
 (* ------------------------------------------------------------------ *)
-(* Stand-alone XQuery                                                  *)
+(* Stand-alone XQuery (deprecated one-shot wrappers)                   *)
 (* ------------------------------------------------------------------ *)
 
 (** Run a stand-alone XQuery, using eligible indexes to pre-filter
-    collections. Returns the result and the plan (with EXPLAIN notes). *)
+    collections. Returns the result and the plan (with EXPLAIN notes).
+    Deprecated: use {!exec}/{!prepare}, which cache compilation and
+    support parameters. *)
 let xquery t (src : string) : Xdm.Item.seq * Planner.t =
   if strict_types t then begin
     let q, locs = Xquery.Parser.parse_query_loc src in
@@ -169,7 +597,8 @@ let to_xml (seq : Xdm.Item.seq) : string = Xmlparse.Xml_writer.seq_to_string seq
     the row number / NULLs. Faster than going through INSERT parsing.
     The whole load is one atomic statement: a failure on the Nth document
     (parse error, injected fault) rolls back every row and index entry
-    added so far. *)
+    added so far. A successful load bumps the catalog generation, so
+    cached plans (whose index probes reflect the old data) recompile. *)
 let load_documents t ~table ~column (docs : string list) : unit =
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
@@ -184,12 +613,11 @@ let load_documents t ~table ~column (docs : string list) : unit =
             let values =
               List.mapi
                 (fun j (c : Storage.Table.col_def) ->
-                  if j = coli then Storage.Sql_value.Varchar doc
+                  if j = coli then SV.Varchar doc
                   else
                     match c.Storage.Table.col_type with
-                    | Storage.Sql_value.TInt ->
-                        Storage.Sql_value.Int (Int64.of_int (i + 1))
-                    | _ -> Storage.Sql_value.Null)
+                    | SV.TInt -> SV.Int (Int64.of_int (i + 1))
+                    | _ -> SV.Null)
                 tbl.Storage.Table.cols
             in
             ignore (Storage.Table.insert ~log tbl values))
@@ -197,6 +625,7 @@ let load_documents t ~table ~column (docs : string list) : unit =
   with
   | () ->
       Storage.Undo.commit log;
+      E.bump_catalog_gen t.sqlctx;
       Xprof.finish_statement prof;
       record_statement t
   | exception ex ->

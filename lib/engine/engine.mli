@@ -1,0 +1,249 @@
+(** The sealed database API: one handle for DDL, SQL/XML, stand-alone
+    XQuery, prepared statements, streaming cursors, EXPLAIN and the
+    advisor.
+
+    This interface is the engine's whole public surface; the handle and
+    statement types are abstract, so every interaction — including
+    settings — goes through the functions below. Statement compilation
+    (parse, static resolution, eligibility analysis) is cached in a keyed
+    plan cache validated against the catalog generation, so repeated
+    {!exec} of the same text amortizes exactly like an explicit
+    {!prepare}; DDL and bulk loads invalidate cached plans.
+
+    Error discipline: the sealed entry points ({!prepare}, {!exec},
+    {!execute}, {!open_cursor}, {!Cursor.next}) raise only
+    [Xdm.Xerror.Error] with a stable code — [XPST0003] syntax,
+    [XPST0008] unknown names, [XPDY0002] missing parameter bindings,
+    [FORG0001] bad casts, [XQDB0001] resource budget, [XQDB0003]
+    runtime/value errors, [FODC0002] malformed documents, [XQDB0004]
+    internal faults. (The deprecated {!sql}/{!xquery} wrappers keep
+    their historical layer-private exceptions.) *)
+
+(** Re-export: the Tips 1–12 advisor. *)
+module Advisor = Advisor
+
+(** Re-export: the LRU plan cache (for its [stats] record). *)
+module Plan_cache = Plan_cache
+
+(** A database handle: storage, indexes, settings, plan cache and
+    metrics. *)
+type t
+
+val create : unit -> t
+
+(** {1 Settings} *)
+
+(** Strict static typing: when on, statements with Error-severity
+    diagnostics (e.g. the Query 14 XMLCAST-of-many) are rejected at
+    compile time. Toggling it changes the plan-cache fingerprint, so
+    plans compiled under the other mode recompile. *)
+val set_strict_types : t -> bool -> unit
+
+val strict_types : t -> bool
+
+(** Enable/disable index usage (for baselines and A/B benchmarks). *)
+val set_use_indexes : t -> bool -> unit
+
+val use_indexes : t -> bool
+
+(** Resource budgets applied to every subsequent statement. Default:
+    {!Xdm.Limits.unlimited}. *)
+val set_limits : t -> Xdm.Limits.t -> unit
+
+val limits : t -> Xdm.Limits.t
+
+(** {1 Introspection} *)
+
+val database : t -> Storage.Database.t
+val catalog : t -> Planner.catalog
+val xml_indexes : t -> Xmlindex.Xindex.t list
+val rel_indexes : t -> Xmlindex.Rel_index.t list
+
+(** {1 Profiling & metrics} *)
+
+(** The per-statement execution profile (reset at each statement start
+    while profiling is on). *)
+val profile : t -> Xprof.t
+
+val set_profiling : t -> bool -> unit
+val profiling : t -> bool
+
+(** Process-lifetime metrics. Statement counters accumulate while
+    profiling is on; plan-cache ([plan_cache_hits_total], …) and cursor
+    counters accumulate always. *)
+val registry : t -> Xprof.Registry.t
+
+(** {1 Outcomes} *)
+
+(** One statement result: relational rows (SQL front end) or an XDM item
+    sequence (XQuery front end). *)
+type payload =
+  | Rows of { cols : string list; rows : Storage.Sql_value.t list list }
+  | Items of Xdm.Item.seq
+
+(** The structured result every sealed entry point returns. *)
+type outcome = {
+  payload : payload;
+  notes : string list;  (** the planner's EXPLAIN trace *)
+  indexes_used : string list;
+  diagnostics : string list;
+      (** engine-level events: plan-cache hit/miss/invalidation, … *)
+  profile : Xprof.Json.t option;
+      (** snapshot of the statement profile, when profiling is on *)
+}
+
+(** Convenience projections; raise [XPTY0004] on the wrong payload. *)
+val outcome_rows : outcome -> Storage.Sql_value.t list list
+
+val outcome_items : outcome -> Xdm.Item.seq
+
+(** {1 Execution} *)
+
+(** Execute a statement (SQL/XML if it parses as SQL, else stand-alone
+    XQuery) through the plan cache. [params] binds SQL [?] slots in
+    order; [vars] binds XQuery [$var] parameter slots. *)
+val exec :
+  ?params:Storage.Sql_value.t list ->
+  ?vars:(string * Xdm.Item.seq) list ->
+  t ->
+  string ->
+  outcome
+
+(** {1 Prepared statements} *)
+
+(** A prepared statement: a handle into the plan cache. The compiled
+    front half survives across executions; if DDL or a load invalidates
+    it, the next execution transparently recompiles (and re-plans
+    against the new catalog). *)
+type stmt
+
+(** Compile (and cache) a statement now. In an XQuery, every free
+    variable becomes a named parameter slot; in SQL, each [?] becomes a
+    positional slot. *)
+val prepare : t -> string -> stmt
+
+val stmt_src : stmt -> string
+
+(** Parameter slots in binding order: ["?1"; "?2"; …] for SQL, variable
+    names (without [$]) for XQuery. *)
+val stmt_params : stmt -> string list
+
+(** Execute a prepared statement under parameter bindings. All slots
+    must be bound ([XPDY0002] otherwise); unknown names are rejected
+    ([XPST0008]). *)
+val execute :
+  ?params:Storage.Sql_value.t list ->
+  ?vars:(string * Xdm.Item.seq) list ->
+  stmt ->
+  outcome
+
+(** {1 Cursors} *)
+
+module Cursor : sig
+  (** One result element: a relational row or an XDM item. *)
+  type elem = Row of Storage.Sql_value.t list | Item of Xdm.Item.t
+
+  type t
+
+  (** Column names ([[]] for XQuery cursors). *)
+  val columns : t -> string list
+
+  (** Rows/items pulled so far. *)
+  val row_count : t -> int
+
+  (** Pull the next element; [None] once drained or closed. Lazily
+      surfacing errors (resource budget, cast errors deep in a
+      document) are raised here, coded like {!Engine.exec}'s. *)
+  val next : t -> elem option
+
+  val fold : ('a -> elem -> 'a) -> 'a -> t -> 'a
+
+  (** Release the cursor. Production is lazy, so unpulled results are
+      never computed — an early close also stops charging the
+      statement's governor budget. Idempotent. *)
+  val close : t -> unit
+end
+
+(** Open a streaming cursor: results are produced as the consumer pulls.
+    SELECTs without aggregation/ORDER BY stream off the table scan;
+    path- and FLWOR-shaped XQueries stream per document/binding; other
+    statements fall back to materializing, then streaming the result.
+    A parameterized SQL cursor keeps its bindings installed on the
+    engine — don't interleave other statements while it is open. *)
+val open_cursor :
+  ?params:Storage.Sql_value.t list ->
+  ?vars:(string * Xdm.Item.seq) list ->
+  t ->
+  string ->
+  Cursor.t
+
+val execute_cursor :
+  ?params:Storage.Sql_value.t list ->
+  ?vars:(string * Xdm.Item.seq) list ->
+  stmt ->
+  Cursor.t
+
+(** {1 Plan cache} *)
+
+val plan_cache_stats : t -> Plan_cache.stats
+
+(** Drop every cached plan (used by benchmarks to time cold compiles). *)
+val reset_plan_cache : t -> unit
+
+(** {1 Parameter literals} *)
+
+(** Parse a parameter literal: single quotes force a string; otherwise
+    integers, then doubles, are recognized numerically. With [~ty] the
+    value is cast, raising the standard [FORG0001] on failure. *)
+val atomic_of_string :
+  ?ty:Xdm.Atomic.atomic_type -> string -> Xdm.Atomic.t
+
+val sql_value_of_string : string -> Storage.Sql_value.t
+
+(** {1 Bulk loading & maintenance} *)
+
+(** Insert pre-rendered XML documents into [table]; non-XML columns get
+    the row number / NULLs. Atomic: a failure on the Nth document rolls
+    back every row and index entry added so far. A successful load bumps
+    the catalog generation, invalidating cached plans. *)
+val load_documents : t -> table:string -> column:string -> string list -> unit
+
+(** Re-derive every XML index's expected entries and diff them against
+    the B+Tree; all-empty lists mean the indexes are consistent. *)
+val check_consistency : t -> (string * string list) list
+
+(** Validate every document of an XML column against [schema] in place;
+    returns the number of annotated nodes. *)
+val validate_column : t -> table:string -> column:string -> Xschema.t -> int
+
+(** {1 Advice & analysis} *)
+
+(** Run the codified Tips 1–12 advisor on a statement. *)
+val advise : t -> string -> Advisor.advice list
+
+(** Run the full static analyzer on a statement; never raises. *)
+val analyze : t -> string -> Analysis.Diag.t list
+
+(** Serialize a result sequence the way a query shell would. *)
+val to_xml : Xdm.Item.seq -> string
+
+(** {1 Deprecated one-shot wrappers}
+
+    Kept for existing callers; they bypass the plan cache and keep their
+    historical exception behavior. New code should use {!exec},
+    {!prepare} and {!open_cursor}. *)
+
+(** Deprecated: use {!exec}. *)
+val sql : t -> string -> Sqlxml.Sql_exec.result
+
+(** Deprecated: read [outcome.notes]. *)
+val last_notes : t -> string list
+
+(** Deprecated: read [outcome.indexes_used]. *)
+val last_indexes_used : t -> string list
+
+(** Deprecated: use {!exec}/{!prepare} (cached compilation, parameters). *)
+val xquery : t -> string -> Xdm.Item.seq * Planner.t
+
+(** Deprecated: use {!set_use_indexes} [false] + {!exec}. *)
+val xquery_noindex : t -> string -> Xdm.Item.seq

@@ -1,0 +1,108 @@
+(** A bounded LRU cache for compiled statements.
+
+    Entries are keyed by the statement's source text and validated
+    against the catalog generation and a settings fingerprint captured
+    at compile time: a lookup whose stored generation or fingerprint no
+    longer matches is treated as a miss and the stale entry is dropped,
+    so DDL (CREATE/DROP INDEX, CREATE TABLE) and bulk loads invalidate
+    every cached plan simply by bumping the generation counter. *)
+
+type 'a entry = {
+  value : 'a;
+  gen : int;  (** catalog generation the entry was compiled under *)
+  fp : string;  (** settings fingerprint the entry was compiled under *)
+  mutable stamp : int;  (** logical clock of last use, for LRU eviction *)
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  invalidations : int;
+  evictions : int;
+}
+
+let create ?(capacity = 128) () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    tbl = Hashtbl.create 32;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let length t = Hashtbl.length t.tbl
+
+let stats t =
+  {
+    size = length t;
+    capacity = t.capacity;
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    evictions = t.evictions;
+  }
+
+(** Look up [key]. A present entry whose generation or fingerprint
+    differs from the current [gen]/[fp] is stale: it is evicted and the
+    lookup counts as a miss (and an invalidation). *)
+let find t ~gen ~fp (key : string) : 'a option =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.tbl key with
+  | Some e when e.gen = gen && e.fp = fp ->
+      e.stamp <- t.clock;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | Some _ ->
+      Hashtbl.remove t.tbl key;
+      t.invalidations <- t.invalidations + 1;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Linear scan for the least-recently-used entry. The cache is small
+   (default 128) and eviction only happens once the cache is full, so
+   O(capacity) is fine here. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, s) when s <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      t.evictions <- t.evictions + 1;
+      true
+  | None -> false
+
+(** Insert [key]; replaces any previous entry under the same key.
+    Returns [true] if a (different) entry was evicted to make room. *)
+let add t ~gen ~fp (key : string) (value : 'a) : bool =
+  t.clock <- t.clock + 1;
+  let had = Hashtbl.mem t.tbl key in
+  if had then Hashtbl.remove t.tbl key;
+  let evicted = (not had) && length t >= t.capacity && evict_lru t in
+  Hashtbl.replace t.tbl key { value; gen; fp; stamp = t.clock };
+  evicted
+
+let clear t = Hashtbl.reset t.tbl

@@ -1,0 +1,32 @@
+(** A bounded LRU cache for compiled statements, keyed by source text
+    and validated against a catalog generation + settings fingerprint.
+    Stale entries (generation or fingerprint mismatch) are dropped on
+    lookup, so DDL and bulk loads invalidate cached plans by bumping the
+    generation counter. *)
+
+type 'a t
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  invalidations : int;  (** lookups that hit a stale entry *)
+  evictions : int;  (** entries dropped to make room (LRU) *)
+}
+
+(** [capacity] defaults to 128 entries (clamped to at least 1). *)
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+val stats : 'a t -> stats
+
+(** Look up [key]; a stored entry compiled under a different generation
+    or fingerprint is evicted and reported as a miss. *)
+val find : 'a t -> gen:int -> fp:string -> string -> 'a option
+
+(** Insert [key] (replacing any previous entry under the same key);
+    [true] if an unrelated entry was evicted to make room. *)
+val add : 'a t -> gen:int -> fp:string -> string -> 'a -> bool
+
+val clear : 'a t -> unit

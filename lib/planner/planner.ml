@@ -366,6 +366,105 @@ let run_xquery ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
   Xprof.set_governor prof (Xdm.Limits.usage meter);
   (result, plan)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled statements (the prepared-statement front half)             *)
+(* ------------------------------------------------------------------ *)
+
+(** The data-independent front half of a stand-alone XQuery: parsed,
+    statically resolved, eligibility predicate tree extracted. Index
+    probing is data-dependent (the planner reads index contents), so it
+    happens per execution, not at compile time. *)
+type compiled = {
+  c_src : string;
+  c_query : Xquery.Ast.query;
+  c_tree : P.t;
+  c_params : string list;
+      (** free variables of the query = named parameter slots *)
+}
+
+let compiled_src (c : compiled) = c.c_src
+let compiled_params (c : compiled) = c.c_params
+
+(** Parse, statically resolve and analyze once. Free variables become
+    parameter slots: they resolve as external variables and analyze as
+    untyped scalar parameters, so indexes stay eligible for
+    [\@price > $p]-style predicates and are probed with the bound value at
+    execute time. *)
+let compile (src : string) : compiled =
+  let q = Xquery.Parser.parse_query src in
+  let params = Xquery.Static.free_vars q in
+  let q = Xquery.Static.resolve ~external_vars:params q in
+  let tree =
+    Eligibility.Extract.analyze
+      ~scalar_params:(List.map (fun v -> (v, None)) params)
+      q
+  in
+  { c_src = src; c_query = q; c_tree = tree; c_params = params }
+
+(** Split runtime bindings into scalar parameters (singleton atomics, fed
+    to [SpecParam] probes) and XML bindings (fed to join probes). *)
+let split_bindings (vars : (string * Xdm.Item.seq) list) :
+    (string * Xdm.Atomic.t) list * (string * Xdm.Item.seq) list =
+  List.fold_left
+    (fun (ps, xs) (v, seq) ->
+      match seq with
+      | [ Xdm.Item.A a ] -> ((v, a) :: ps, xs)
+      | _ -> (ps, (v, seq) :: xs))
+    ([], []) vars
+
+let no_index_plan : t =
+  { restrictions = []; notes = [ "index use disabled" ]; indexes_used = [] }
+
+let compiled_setup ?(prof = Xprof.disabled) ?(use_indexes = true)
+    ?(vars : (string * Xdm.Item.seq) list = []) ~limits (cat : catalog)
+    (c : compiled) : Xquery.Ctx.t * t * Xdm.Limits.meter =
+  let plan_t =
+    if use_indexes then begin
+      let params, xml_bindings = split_bindings vars in
+      Xprof.spanned prof "PLAN" (fun () ->
+          plan ~params ~xml_bindings cat c.c_tree)
+    end
+    else no_index_plan
+  in
+  let resolver =
+    Storage.Database.resolver ~prof ~restrict_to:plan_t.restrictions cat.db
+  in
+  let meter = Xdm.Limits.meter ~limits () in
+  let ctx =
+    Xquery.Ctx.init ~resolver
+      ~construction_preserve:
+        c.c_query.Xquery.Ast.prolog.Xquery.Ast.construction_preserve
+      ~meter ~prof ()
+  in
+  (Xquery.Ctx.bind_all ctx vars, plan_t, meter)
+
+(** Plan and run a compiled query under runtime parameter bindings —
+    [run_xquery] minus the parse/resolve/analyze front half. *)
+let execute_compiled ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
+    ?use_indexes ?vars (cat : catalog) (c : compiled) : Xdm.Item.seq * t =
+  let ctx, plan_t, meter =
+    compiled_setup ~prof ?use_indexes ?vars ~limits cat c
+  in
+  let result =
+    Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
+        Xquery.Eval.eval ctx c.c_query.Xquery.Ast.body)
+  in
+  Xprof.set_governor prof (Xdm.Limits.usage meter);
+  (result, plan_t)
+
+(** Streaming execution of a compiled query: planning (index probes)
+    happens eagerly, items are produced as the consumer pulls. The
+    returned meter is the statement's governor — charged during pulls, so
+    an early-closed cursor stops consuming budget; read
+    [Xdm.Limits.usage] on it when the cursor closes. *)
+let execute_compiled_seq ?(limits = Xdm.Limits.unlimited)
+    ?(prof = Xprof.disabled) ?use_indexes ?vars (cat : catalog)
+    (c : compiled) : Xdm.Item.t Seq.t * t * Xdm.Limits.meter =
+  let ctx, plan_t, meter =
+    compiled_setup ~prof ?use_indexes ?vars ~limits cat c
+  in
+  (Xquery.Eval.eval_seq ctx c.c_query.Xquery.Ast.body, plan_t, meter)
+
 (** Execute without any index use (the baseline collection scan). *)
 let run_xquery_noindex ?(limits = Xdm.Limits.unlimited)
     ?(prof = Xprof.disabled) (cat : catalog) (src : string) : Xdm.Item.seq =

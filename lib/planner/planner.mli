@@ -1,0 +1,107 @@
+(** Access-path selection: predicate tree → index probes → row-id sets.
+
+    The plan model follows the paper's Section 2.2: indexes *pre-filter
+    documents* (rows); the full query then runs over the filtered
+    collection, so by construction [Q(I(P, D))] is what executes, and
+    eligibility guarantees it equals [Q(D)]. *)
+
+(** What the planner plans against: the stored tables plus the installed
+    XML indexes. *)
+type catalog = {
+  db : Storage.Database.t;
+  indexes : Xmlindex.Xindex.t list;
+}
+
+(** A plan: per-collection row restrictions plus its EXPLAIN trace. *)
+type t = {
+  restrictions : (string * Xdm.Int_set.t) list;
+      (** per collection ("TABLE.COLUMN"): row ids that may qualify *)
+  notes : string list;  (** EXPLAIN output *)
+  indexes_used : string list;
+}
+
+(** Plan a predicate tree: per collection, attempt a row-set restriction.
+    [params] are runtime values of externally bound scalar variables;
+    [xml_bindings] of XML variables (enables index nested-loop probes). *)
+val plan :
+  ?params:(string * Xdm.Atomic.t) list ->
+  ?xml_bindings:(string * Xdm.Item.seq) list ->
+  catalog ->
+  Eligibility.Predicate.t ->
+  t
+
+(** Restrict a single collection under runtime bindings; [None] = no
+    usable index (full scan). Returns [(restriction, notes, indexes
+    used)]. Used by the SQL executor's lateral (per-outer-row)
+    restriction. *)
+val restrict_collection :
+  ?params:(string * Xdm.Atomic.t) list ->
+  ?xml_bindings:(string * Xdm.Item.seq) list ->
+  catalog ->
+  Eligibility.Predicate.t ->
+  string ->
+  Xdm.Int_set.t option * string list * string list
+
+(** {1 Compiled statements (the prepared-statement front half)} *)
+
+(** The data-independent front half of a stand-alone XQuery: parsed,
+    statically resolved, eligibility predicate tree extracted. Index
+    probing is data-dependent, so it happens per execution. *)
+type compiled
+
+val compiled_src : compiled -> string
+
+(** Free variables of the compiled query, in first-use order — the named
+    parameter slots bound at execute time. *)
+val compiled_params : compiled -> string list
+
+(** Parse, statically resolve and analyze once. Free variables become
+    parameter slots (analyzed as untyped scalar parameters, so indexes
+    stay eligible for [\@price > $p]-style predicates). Raises
+    [Xdm.Xerror.Error] on syntax or static errors. *)
+val compile : string -> compiled
+
+(** Plan and run a compiled query under runtime parameter bindings —
+    {!run_xquery} minus the parse/resolve/analyze front half.
+    [use_indexes] defaults to [true]; [vars] binds parameter slots. *)
+val execute_compiled :
+  ?limits:Xdm.Limits.t ->
+  ?prof:Xprof.t ->
+  ?use_indexes:bool ->
+  ?vars:(string * Xdm.Item.seq) list ->
+  catalog ->
+  compiled ->
+  Xdm.Item.seq * t
+
+(** Streaming execution of a compiled query: planning (index probes)
+    happens eagerly at the call, items are produced as the consumer
+    pulls. The returned meter is the statement's governor — charged
+    during pulls, so an early-closed cursor stops consuming budget. *)
+val execute_compiled_seq :
+  ?limits:Xdm.Limits.t ->
+  ?prof:Xprof.t ->
+  ?use_indexes:bool ->
+  ?vars:(string * Xdm.Item.seq) list ->
+  catalog ->
+  compiled ->
+  Xdm.Item.t Seq.t * t * Xdm.Limits.meter
+
+(** {1 One-shot execution} *)
+
+(** Parse, analyze, plan and execute a stand-alone XQuery against the
+    database, using eligible indexes to pre-filter collections
+    (Definition 1's [Q(I(P, D))]). *)
+val run_xquery :
+  ?limits:Xdm.Limits.t ->
+  ?prof:Xprof.t ->
+  catalog ->
+  string ->
+  Xdm.Item.seq * t
+
+(** Execute without any index use (the baseline collection scan). *)
+val run_xquery_noindex :
+  ?limits:Xdm.Limits.t ->
+  ?prof:Xprof.t ->
+  catalog ->
+  string ->
+  Xdm.Item.seq

@@ -27,6 +27,7 @@ and sexpr =
   | SLitDouble of float
   | SLitString of string
   | SCol of string option * string  (** qualifier (table/alias), column *)
+  | SParam of int  (** [?] positional parameter, 0-based slot index *)
   | SXmlQuery of xq_embed
   | SXmlCast of sexpr * sqltype
   | SXmlElement of string * sexpr list

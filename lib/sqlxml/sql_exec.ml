@@ -43,6 +43,13 @@ type ctx = {
   mutable meter : Xdm.Limits.meter;
       (** the running statement's meter; fresh per [exec] so every
           embedded XQuery draws from one shared per-statement budget *)
+  mutable params : SV.t array;
+      (** positional [?] parameter values for the running statement,
+          installed by the prepared-statement layer before [exec] *)
+  mutable catalog_gen : int;
+      (** generation counter bumped by every DDL / index / bulk-load
+          change; compiled-plan caches embed it in their keys so catalog
+          changes invalidate cached compilations *)
   mutable strict_static : bool;
       (** reject statically ill-typed statements before execution *)
   mutable static_check : (src:string -> Sql_ast.stmt -> unit) option;
@@ -66,6 +73,8 @@ let create db =
     embed_plans = Hashtbl.create 32;
     limits = Xdm.Limits.unlimited;
     meter = Xdm.Limits.meter ();
+    params = [||];
+    catalog_gen = 0;
     strict_static = false;
     static_check = None;
     prof = Xprof.create ();
@@ -75,6 +84,40 @@ let note ctx fmt =
   Format.kasprintf (fun m -> ctx.notes <- m :: ctx.notes) fmt
 
 let catalog ctx : Planner.catalog = { Planner.db = ctx.db; indexes = ctx.xindexes }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors — the supported surface for callers (engine facade,       *)
+(* shell); nothing outside this library should reach into [ctx]'s      *)
+(* mutable fields directly.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let database ctx = ctx.db
+let xml_indexes ctx = ctx.xindexes
+let rel_indexes ctx = ctx.rindexes
+let use_indexes ctx = ctx.use_indexes
+let set_use_indexes ctx b = ctx.use_indexes <- b
+let limits ctx = ctx.limits
+let set_limits ctx l = ctx.limits <- l
+
+(** EXPLAIN trace of the last statement, oldest note first. *)
+let last_notes ctx = List.rev ctx.notes
+
+(** Indexes used by the last statement. *)
+let last_used ctx = ctx.used
+
+let profile ctx = ctx.prof
+let strict_static ctx = ctx.strict_static
+let set_strict_static ctx b = ctx.strict_static <- b
+let set_static_check ctx f = ctx.static_check <- f
+let static_check ctx = ctx.static_check
+let catalog_gen ctx = ctx.catalog_gen
+
+(** Record a catalog change (DDL, index create/drop, bulk load) so cached
+    compiled plans keyed on the old generation go stale. *)
+let bump_catalog_gen ctx = ctx.catalog_gen <- ctx.catalog_gen + 1
+
+(** Install the positional [?] parameter values for the next statement. *)
+let set_params ctx ps = ctx.params <- ps
 
 type result = { rcols : string list; rrows : SV.t list list }
 
@@ -274,6 +317,12 @@ and eval_sexpr ctx (env : frame list) (e : sexpr) : SV.t =
   | SLitDouble f -> SV.Double f
   | SLitString s -> SV.Varchar s
   | SCol (q, c) -> env_lookup env q c
+  | SParam i ->
+      if i < Array.length ctx.params then ctx.params.(i)
+      else
+        rt_fail "parameter ?%d is not bound (%d value%s supplied)" (i + 1)
+          (Array.length ctx.params)
+          (if Array.length ctx.params = 1 then "" else "s")
   | SAgg _ ->
       rt_fail "aggregate function used outside a grouped projection"
   | SXmlQuery embed -> SV.Xml (eval_embed ctx env embed)
@@ -667,7 +716,7 @@ let check_columns ctx (s : select) : unit =
     | SXmlCast (e, _) -> walk_sexpr e
     | SXmlElement (_, args) -> List.iter walk_sexpr args
     | SAgg (_, arg) -> Option.iter walk_sexpr arg
-    | SNull | SLitInt _ | SLitDouble _ | SLitString _ -> ()
+    | SNull | SLitInt _ | SLitDouble _ | SLitString _ | SParam _ -> ()
   in
   let rec walk_cond = function
     | CAnd (a, b) | COr (a, b) ->
@@ -692,6 +741,31 @@ let check_columns ctx (s : select) : unit =
   Option.iter walk_cond s.where
 
 type grow = GRow of SV.t list | GEnv of frame list
+
+(** Output column names of a SELECT ([*] expanded against the catalog). *)
+let select_columns ctx (s : select) : string list =
+  List.concat_map
+    (function
+      | SelStar ->
+          List.concat_map
+            (function
+              | TRTable { name; alias = _ } ->
+                  let t = Storage.Database.table_exn ctx.db name in
+                  List.map
+                    (fun (c : Storage.Table.col_def) -> c.Storage.Table.col_name)
+                    t.Storage.Table.cols
+              | TRXmlTable xt ->
+                  if xt.xt_colnames <> [] then xt.xt_colnames
+                  else List.map (fun c -> c.xc_name) xt.xt_cols)
+            s.from
+      | SelExpr (e, alias) ->
+          [
+            (match (alias, e) with
+            | Some a, _ -> a
+            | None, SCol (_, c) -> c
+            | None, _ -> "?column?");
+          ])
+    s.sel_list
 
 let rec exec_select ctx (s : select) : result =
   ctx.notes <- [];
@@ -781,30 +855,7 @@ let rec exec_select ctx (s : select) : result =
               items)
   in
   loop [] s.from;
-  let cols =
-    List.concat_map
-      (function
-        | SelStar ->
-            List.concat_map
-              (function
-                | TRTable { name; alias = _ } ->
-                    let t = Storage.Database.table_exn ctx.db name in
-                    List.map
-                      (fun c -> c.Storage.Table.col_name)
-                      t.Storage.Table.cols
-                | TRXmlTable xt ->
-                    if xt.xt_colnames <> [] then xt.xt_colnames
-                    else List.map (fun c -> c.xc_name) xt.xt_cols)
-              s.from
-        | SelExpr (e, alias) ->
-            [
-              (match (alias, e) with
-              | Some a, _ -> a
-              | None, SCol (_, c) -> c
-              | None, _ -> "?column?");
-            ])
-      s.sel_list
-  in
+  let cols = select_columns ctx s in
   let rows = List.rev !out in
   (* Grouped projection: partition captured environments by GROUP BY key
      values, then evaluate the select list once per group (aggregates over
@@ -971,6 +1022,98 @@ and project ctx (env : frame list) (items : sel_item list) : SV.t list =
     items
 
 (* ------------------------------------------------------------------ *)
+(* Streaming SELECT                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Lazy row production for a streamable SELECT (no grouping, no ORDER
+    BY). Rows surface as the consumer pulls them, so the resource meter is
+    charged incrementally — a cursor closed after the first row never pays
+    for the rest of the scan. Column checking and restriction planning
+    still happen eagerly, so catalog errors raise at open time. *)
+let select_seq ctx (s : select) : SV.t list Seq.t =
+  ctx.notes <- [];
+  ctx.used <- [];
+  check_columns ctx s;
+  let srcs = prepare_restrictions ctx s in
+  let rel_conjuncts =
+    match s.where with Some w -> conjuncts w | None -> []
+  in
+  let rec envs (env : frame list) (from : table_ref list) : frame list Seq.t =
+    match from with
+    | [] ->
+        let keep =
+          match s.where with
+          | None -> true
+          | Some w -> eval_cond ctx env w = Some true
+        in
+        if keep then Seq.return env else Seq.empty
+    | TRTable { name; alias } :: rest ->
+        fun () ->
+          let t = Storage.Database.table_exn ctx.db name in
+          let restriction =
+            table_restriction ctx srcs rel_conjuncts env ~alias t
+          in
+          let rows = Storage.Table.rows t in
+          let rows =
+            match restriction with
+            | None -> rows
+            | Some keep ->
+                List.filter
+                  (fun (r : Storage.Table.row) ->
+                    Xdm.Int_set.mem r.Storage.Table.row_id keep)
+                  rows
+          in
+          let cols =
+            List.map
+              (fun (c : Storage.Table.col_def) -> c.Storage.Table.col_name)
+              t.Storage.Table.cols
+          in
+          Seq.concat_map
+            (fun (r : Storage.Table.row) () ->
+              Xdm.Limits.tick ctx.meter;
+              Xprof.row ctx.prof;
+              let frame =
+                {
+                  f_alias = alias;
+                  f_cols = cols;
+                  f_vals = r.Storage.Table.values;
+                  f_row_id = Some r.Storage.Table.row_id;
+                  f_table = Some name;
+                }
+              in
+              envs (frame :: env) rest ())
+            (List.to_seq rows) ()
+    | TRXmlTable xt :: rest ->
+        fun () ->
+          let items = eval_embed ctx env xt.xt_embed in
+          let colnames =
+            if xt.xt_colnames <> [] then xt.xt_colnames
+            else List.map (fun c -> c.xc_name) xt.xt_cols
+          in
+          Seq.concat_map
+            (fun item () ->
+              Xdm.Limits.tick ctx.meter;
+              Xprof.row ctx.prof;
+              let vals =
+                Array.of_list
+                  (List.map (fun c -> xmltable_column ctx item c) xt.xt_cols)
+              in
+              let frame =
+                {
+                  f_alias = xt.xt_alias;
+                  f_cols = colnames;
+                  f_vals = vals;
+                  f_row_id = None;
+                  f_table = None;
+                }
+              in
+              envs (frame :: env) rest ())
+            (List.to_seq items) ()
+  in
+  let rows = Seq.map (fun env -> project ctx env s.sel_list) (envs [] s.from) in
+  match s.limit with None -> rows | Some n -> Seq.take n rows
+
+(* ------------------------------------------------------------------ *)
 (* DDL / DML / entry point                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1098,6 +1241,7 @@ and exec_inner ctx log (stmt : stmt) : result =
            (List.map
               (fun (c, ty) -> { Storage.Table.col_name = c; col_type = ty })
               cols));
+      bump_catalog_gen ctx;
       { rcols = []; rrows = [] }
   | CreateXmlIndex { ci_name; ci_table; ci_column; ci_pattern; ci_vtype } ->
       let pattern =
@@ -1113,11 +1257,13 @@ and exec_inner ctx log (stmt : stmt) : result =
              pattern;
              vtype = ci_vtype;
            });
+      bump_catalog_gen ctx;
       { rcols = []; rrows = [] }
   | CreateRelIndex { cr_name; cr_table; cr_column } ->
       ignore
         (install_rel_index ctx ~iname:cr_name ~table:cr_table
            ~column:cr_column);
+      bump_catalog_gen ctx;
       { rcols = []; rrows = [] }
   | Insert (name, rows) ->
       let t = Storage.Database.table_exn ctx.db name in
@@ -1209,6 +1355,7 @@ and exec_inner ctx log (stmt : stmt) : result =
           (fun (i : Xmlindex.Rel_index.t) ->
             lc i.Xmlindex.Rel_index.iname <> lc name)
           ctx.rindexes;
+      bump_catalog_gen ctx;
       { rcols = []; rrows = [] }
 
 (** Parse and execute. *)
@@ -1218,3 +1365,33 @@ let exec_string ctx (src : string) : result =
   | true, Some check -> check ~src stmt
   | _ -> ());
   exec ctx stmt
+
+(* ------------------------------------------------------------------ *)
+(* Streaming entry point                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Re-raise lazily-surfacing [Unbound] as the runtime error [exec] would
+    have produced for the strict path. *)
+let translate_unbound (seq : 'a Seq.t) : 'a Seq.t =
+  let rec go s () =
+    match s () with
+    | exception Unbound c -> rt_fail "unknown column %S" c
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (x, rest) -> Seq.Cons (x, go rest)
+  in
+  go seq
+
+(** Execute a statement for cursor consumption: streamable SELECTs (no
+    grouping, no ORDER BY) produce rows lazily under a fresh resource
+    meter; everything else runs through the strict, atomic [exec] and
+    replays its materialized rows. *)
+let exec_seq ctx (stmt : stmt) : string list * SV.t list Seq.t =
+  match stmt with
+  | Select s when (not (has_aggregates s)) && s.order_by = [] ->
+      Hashtbl.reset ctx.embed_plans;
+      ctx.meter <- Xdm.Limits.meter ~limits:ctx.limits ();
+      let cols = select_columns ctx s in
+      (cols, translate_unbound (select_seq ctx s))
+  | _ ->
+      let r = exec ctx stmt in
+      (r.rcols, List.to_seq r.rrows)

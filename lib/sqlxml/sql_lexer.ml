@@ -14,6 +14,7 @@ type token =
   | Dot
   | Semi
   | Star
+  | Qmark  (** [?] — positional parameter marker *)
   | Eq
   | Ne
   | Lt
@@ -86,6 +87,7 @@ let next l =
     | Some '.' -> adv 1; Dot
     | Some ';' -> adv 1; Semi
     | Some '*' -> adv 1; Star
+    | Some '?' -> adv 1; Qmark
     | Some '=' -> adv 1; Eq
     | Some '<' ->
         if peek_at l 1 = Some '>' then begin adv 2; Ne end
@@ -181,6 +183,7 @@ let token_to_string = function
   | Dot -> "."
   | Semi -> ";"
   | Star -> "*"
+  | Qmark -> "?"
   | Eq -> "="
   | Ne -> "<>"
   | Lt -> "<"

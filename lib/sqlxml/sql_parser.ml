@@ -3,7 +3,10 @@
 open Sql_ast
 module L = Sql_lexer
 
-type p = { lx : L.t }
+type p = {
+  lx : L.t;
+  mutable nparams : int;  (** number of [?] parameter markers seen so far *)
+}
 
 let cur p = p.lx.L.tok
 let advance p = L.next p.lx
@@ -210,6 +213,11 @@ and sexpr p : sexpr =
       done;
       expect p L.RPar;
       SXmlElement (name, List.rev !args)
+  | L.Qmark ->
+      advance p;
+      let i = p.nparams in
+      p.nparams <- i + 1;
+      SParam i
   | L.Word _ | L.QIdent _ -> (
       let first = ident p in
       if cur p = L.Dot then begin
@@ -567,9 +575,10 @@ let update_stmt p : stmt =
   let upd_where = if accept_kw p "WHERE" then Some (cond p) else None in
   Update { upd_table = name; upd_set = List.rev !sets; upd_where }
 
-(** Parse one SQL/XML statement. *)
-let parse (src : string) : stmt =
-  let p = { lx = L.init src } in
+(** Parse one SQL/XML statement, also returning the number of [?]
+    positional parameter markers it contains. *)
+let parse_params (src : string) : stmt * int =
+  let p = { lx = L.init src; nparams = 0 } in
   let stmt =
     if accept_kw p "EXPLAIN" then begin
       eat_kw p "SELECT";
@@ -605,4 +614,7 @@ let parse (src : string) : stmt =
   in
   if cur p = L.Semi then advance p;
   if cur p <> L.Eof then fail p "trailing tokens after statement";
-  stmt
+  (stmt, p.nparams)
+
+(** Parse one SQL/XML statement. *)
+let parse (src : string) : stmt = fst (parse_params src)

@@ -270,30 +270,34 @@ and eval_path ctx start steps : Item.seq =
               (* dummy focus; SExpr ignores it unless it uses '.' *)
             | _ -> Xerror.no_context "path step with no context item"))
   in
-  let rec go (current : Item.seq) = function
-    | [] -> current
-    | step :: rest ->
-        let out = eval_step ctx current step in
-        let out =
-          if rest = [] then
-            (* last step: nodes get sorted/deduped; atomics pass through *)
-            match Item.nodes_of_seq out with
-            | Some nodes -> List.map Item.of_node (Item.doc_order_dedup nodes)
-            | None ->
-                if List.exists Item.is_node out then
-                  Xerror.mixed_path
-                    "path step mixes nodes and atomic values"
-                else out
-          else
-            match Item.nodes_of_seq out with
-            | Some nodes -> List.map Item.of_node (Item.doc_order_dedup nodes)
-            | None ->
+  eval_steps ctx initial steps
+
+(** Evaluate the remaining steps of a path from an already-computed
+    current sequence. Exposed (via [eval_seq]) so streaming execution can
+    run the tail of a path per document. *)
+and eval_steps ctx (current : Item.seq) (steps : step list) : Item.seq =
+  match steps with
+  | [] -> current
+  | step :: rest ->
+      let out = eval_step ctx current step in
+      let out =
+        if rest = [] then
+          (* last step: nodes get sorted/deduped; atomics pass through *)
+          match Item.nodes_of_seq out with
+          | Some nodes -> List.map Item.of_node (Item.doc_order_dedup nodes)
+          | None ->
+              if List.exists Item.is_node out then
                 Xerror.mixed_path
-                  "intermediate path step produced non-node items"
-        in
-        go out rest
-  in
-  go initial steps
+                  "path step mixes nodes and atomic values"
+              else out
+        else
+          match Item.nodes_of_seq out with
+          | Some nodes -> List.map Item.of_node (Item.doc_order_dedup nodes)
+          | None ->
+              Xerror.mixed_path
+                "intermediate path step produced non-node items"
+      in
+      eval_steps ctx out rest
 
 and eval_step ctx (current : Item.seq) (step : step) : Item.seq =
   let size = List.length current in
@@ -511,3 +515,52 @@ let run ?(resolver : (string -> Item.seq) option)
 (** Parse and evaluate a query string. *)
 let run_string ?resolver ?vars ?limits ?prof (src : string) : Item.seq =
   run ?resolver ?vars ?limits ?prof (Parser.parse_query src)
+
+(* ------------------------- streaming ------------------------------ *)
+
+(* Streaming is sound only where producing results incrementally cannot
+   change their order or multiplicity:
+
+   - a relative path whose first step is a primary expression (the
+     [db2-fn:xmlcolumn(...)/...] shape): the first step's output is
+     sorted/deduped strictly, and since document order across trees
+     follows root creation order, evaluating the remaining steps one
+     document at a time emits exactly the strict result (each tree's
+     results are contiguous and internally sorted);
+   - a FLWOR whose clauses contain no [order by]: tuple production is
+     depth-first per binding item, which matches the strict clause-wise
+     expansion order.
+
+   Everything else falls back to strict evaluation, delayed until the
+   first pull so an unconsumed cursor costs nothing. *)
+
+let has_order (clauses : clause list) =
+  List.exists (function COrder _ -> true | _ -> false) clauses
+
+(** Evaluate to a lazily-produced sequence. Resource-meter and profile
+    charges happen as the consumer pulls, so closing a cursor early stops
+    the spend (the governor test relies on this). *)
+let rec eval_seq (ctx : Ctx.t) (e : expr) : Item.t Seq.t =
+  match e with
+  | EPath (Relative, (SExpr _ as first) :: (_ :: _ as rest))
+    when ctx.Ctx.item = None ->
+      fun () ->
+        let docs = eval ctx (EPath (Relative, [ first ])) in
+        Seq.concat_map
+          (fun doc -> List.to_seq (eval_steps ctx [ doc ] rest))
+          (List.to_seq docs)
+          ()
+  | EFlwor ((CFor ((v, src) :: more) :: restc as clauses), ret)
+    when not (has_order clauses) ->
+      let restc = if more = [] then restc else CFor more :: restc in
+      fun () ->
+        let items = eval ctx src in
+        Seq.concat_map
+          (fun item ->
+            let inner = Ctx.bind ctx v [ item ] in
+            match restc with
+            | [] -> eval_seq inner ret
+            | _ -> eval_seq inner (EFlwor (restc, ret)))
+          (List.to_seq items)
+          ()
+  | _ -> fun () -> List.to_seq (eval ctx e) ()

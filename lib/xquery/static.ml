@@ -235,3 +235,90 @@ and resolve_ctor env (c : ctor) : ctor =
 let resolve ?(external_vars = []) ?locs (q : query) : query =
   let env = env_of_prolog ~external_vars ?locs q.prolog in
   { q with body = resolve_expr env q.body }
+
+(** Free variables of a query: [$x] references not bound by an enclosing
+    FLWOR or quantifier clause, in first-use order. The prepared-statement
+    layer treats each one as a named parameter slot. *)
+let free_vars (q : query) : string list =
+  let found = ref [] in
+  let add v = if not (List.mem v !found) then found := v :: !found in
+  let rec go (bound : SSet.t) (e : expr) : unit =
+    match e with
+    | ELit _ | EContext -> ()
+    | EVar v -> if not (SSet.mem v bound) then add v
+    | ESeq es -> List.iter (go bound) es
+    | EPath (_, steps) -> List.iter (go_step bound) steps
+    | EFlwor (clauses, ret) ->
+        let bound =
+          List.fold_left
+            (fun bound clause ->
+              match clause with
+              | CFor binds | CLet binds ->
+                  List.fold_left
+                    (fun bound (v, e) ->
+                      go bound e;
+                      SSet.add v bound)
+                    bound binds
+              | CWhere e ->
+                  go bound e;
+                  bound
+              | COrder keys ->
+                  List.iter (fun (e, _) -> go bound e) keys;
+                  bound)
+            bound clauses
+        in
+        go bound ret
+    | EQuant (_, binds, sat) ->
+        let bound =
+          List.fold_left
+            (fun bound (v, e) ->
+              go bound e;
+              SSet.add v bound)
+            bound binds
+        in
+        go bound sat
+    | EIf (a, b, c) ->
+        go bound a;
+        go bound b;
+        go bound c
+    | EAnd (a, b)
+    | EOr (a, b)
+    | EGCmp (_, a, b)
+    | EVCmp (_, a, b)
+    | ENCmp (_, a, b)
+    | EArith (_, a, b)
+    | ERange (a, b)
+    | EUnion (a, b)
+    | EIntersect (a, b)
+    | EExcept (a, b) ->
+        go bound a;
+        go bound b
+    | ENeg a | ECast (a, _) | ECastable (a, _) | EInstanceOf (a, _) ->
+        go bound a
+    | ECall { args; _ } -> List.iter (go bound) args
+    | EElem c -> go_ctor bound c
+    | EElemComp { cn_expr; cbody; _ } ->
+        Option.iter (go bound) cn_expr;
+        go bound cbody
+    | EAttrComp { an_expr; abody; _ } ->
+        Option.iter (go bound) an_expr;
+        go bound abody
+    | ETextComp e -> go bound e
+  and go_step bound = function
+    | SAxis { preds; _ } -> List.iter (go bound) preds
+    | SExpr { expr; preds } ->
+        go bound expr;
+        List.iter (go bound) preds
+  and go_ctor bound (c : ctor) =
+    List.iter
+      (fun (_, pieces) ->
+        List.iter
+          (function APText _ -> () | APExpr e -> go bound e)
+          pieces)
+      c.cattrs;
+    List.iter
+      (function CPText _ -> () | CPExpr e -> go bound e)
+      c.ccontent
+  in
+  go SSet.empty q.body;
+  List.rev !found

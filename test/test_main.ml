@@ -4,4 +4,5 @@ let () =
    @ T_construct.suite @ T_pattern.suite @ T_xindex.suite @ T_storage.suite
    @ T_extract.suite @ T_sqlxml.suite @ T_paper.suite @ T_advisor.suite
    @ T_extensions.suite @ T_robustness.suite @ T_misc.suite
-   @ T_probe_prop.suite @ T_def1.suite @ T_analysis.suite @ T_xprof.suite)
+   @ T_probe_prop.suite @ T_def1.suite @ T_analysis.suite @ T_xprof.suite
+   @ T_prepare.suite)
