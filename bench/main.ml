@@ -600,6 +600,13 @@ let e14 () =
       { Workload.Orders_gen.default with n_customers = 50 }
       200
   in
+  (* Parse once, outside the timed region: the experiment measures
+     insert + index-maintenance cost, and re-parsing 200 documents per
+     iteration used to dominate (and flatten) the per-setup deltas. *)
+  let parsed =
+    let db = Engine.create () in
+    Engine.parse_documents db docs
+  in
   let setups =
     [
       ("no indexes", []);
@@ -635,7 +642,8 @@ let e14 () =
         let db = Engine.create () in
         ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
         ddl db idxs;
-        Engine.load_documents db ~table:"orders" ~column:"orddoc" docs
+        Engine.load_parsed_documents db ~table:"orders" ~column:"orddoc"
+          parsed
       in
       let ns = measure_ns ~quota:1.0 name run in
       let throughput = 200. /. (ns /. 1e9) in
@@ -1207,6 +1215,99 @@ let prepared_suite ~quick ~out () =
     (List.length cursor_json)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel suite (--suite parallel): the "parallel" section of        *)
+(* BENCH_micro.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** p50 latency of scan-shaped work at parallelism 1/2/4: the
+    index-ineligible collection scan (Q2's wildcard predicate), the
+    multi-probe index AND (Q30's between-merge) and a bulk load + index
+    build. Splices the ["parallel"] section into [out]; the CI gate
+    reads [scan.ok] — the 4-domain scan p50 must not exceed the
+    sequential p50 (with a 5%% noise allowance, since on the sequential
+    fallback backend every level runs the identical code and the gate
+    compares two independent medians of the same work). *)
+let parallel_suite ~quick ~out () =
+  let n = if quick then 300 else 1000 in
+  let iters = if quick then 11 else 21 in
+  let levels = [ 1; 2; 4 ] in
+  Printf.printf
+    "parallel suite — scan-shaped work over %d orders at parallelism \
+     1/2/4 (backend: %s)%s\n"
+    n Xpar.backend
+    (if quick then " (--quick)" else "");
+  let db = corpus_db ~n () in
+  let scan_q = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>990]" in
+  let and_q =
+    "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+     //order[lineitem[@price>100 and @price<200]] return $i"
+  in
+  let load_docs =
+    Workload.Orders_gen.orders
+      { Workload.Orders_gen.default with n_customers = 50 }
+      (if quick then 150 else 400)
+  in
+  let load_run () =
+    let fresh = Engine.create () in
+    ignore (Engine.sql fresh "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    ddl fresh
+      [
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+         '//lineitem/@price' AS DOUBLE";
+      ];
+    Engine.set_parallelism fresh (Engine.parallelism db);
+    Engine.load_documents fresh ~table:"orders" ~column:"orddoc" load_docs
+  in
+  let measure name run =
+    List.map
+      (fun p ->
+        Engine.set_parallelism db p;
+        ignore (run ());
+        let ms = p50_ms ~iters ~batch:1 run in
+        Printf.printf "  %-10s parallelism %d: p50 %8.3f ms\n" name p ms;
+        flush stdout;
+        (p, ms))
+      levels
+  in
+  let scan = measure "scan" (fun () -> ignore (Engine.exec db scan_q)) in
+  let index_and =
+    measure "index-AND" (fun () -> ignore (Engine.exec db and_q))
+  in
+  let load = measure "load" load_run in
+  Engine.set_parallelism db 1;
+  let workload_json name lst ~gate =
+    let p1 = List.assoc 1 lst and p4 = List.assoc 4 lst in
+    let ok = (not gate) || p4 <= p1 *. 1.05 in
+    if gate then
+      Printf.printf "  %s gate: par4 %.3f ms vs par1 %.3f ms — %s\n" name p4
+        p1
+        (if ok then "ok" else "VIOLATION");
+    ( name,
+      J.Obj
+        [
+          ( "p50_ms",
+            J.Obj
+              (List.map (fun (p, ms) -> (string_of_int p, J.Float ms)) lst)
+          );
+          ("speedup_4x", J.Float (p1 /. p4));
+          ("ok", J.Bool ok);
+        ] )
+  in
+  let section =
+    J.Obj
+      [
+        ("backend", J.Str Xpar.backend);
+        ("n_docs", J.Int n);
+        ("iterations", J.Int iters);
+        workload_json "scan" scan ~gate:true;
+        workload_json "index_and" index_and ~gate:false;
+        workload_json "load" load ~gate:false;
+      ]
+  in
+  splice_section ~out ~key:"parallel" section;
+  Printf.printf "spliced \"parallel\" section into %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -1233,8 +1334,16 @@ let () =
       in
       prepared_suite ~quick ~out ();
       exit 0
+  | Some "parallel" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      parallel_suite ~quick ~out ();
+      exit 0
   | Some other ->
-      Printf.eprintf "unknown suite %S (available: micro, prepared)\n" other;
+      Printf.eprintf
+        "unknown suite %S (available: micro, parallel, prepared)\n" other;
       exit 2
   | None -> ());
   Printf.printf

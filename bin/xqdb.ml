@@ -257,6 +257,20 @@ let exec_one db (line : string) =
   else if line = "\\limits" then set_limits_cmd db ""
   else if String.length line > 8 && String.sub line 0 8 = "\\limits " then
     set_limits_cmd db (String.sub line 8 (String.length line - 8))
+  else if line = "\\parallel" then
+    Printf.printf "parallelism: %d (backend: %s)\n" (Engine.parallelism db)
+      Xpar.backend
+  else if String.length line > 10 && String.sub line 0 10 = "\\parallel " then begin
+    let arg = String.trim (String.sub line 10 (String.length line - 10)) in
+    match int_of_string_opt arg with
+    | Some n when n >= 1 ->
+        Engine.set_parallelism db n;
+        Printf.printf "parallelism: %d (backend: %s)\n" (Engine.parallelism db)
+          Xpar.backend
+    | _ ->
+        print_endline
+          "bad \\parallel argument; usage: \\parallel N (N >= 1)"
+  end
   else if line = "\\tables" then
     List.iter
       (fun (t : Storage.Table.t) ->
@@ -364,6 +378,16 @@ let script =
 let demo =
   Arg.(value & flag & info [ "demo" ] ~doc:"Preload the demo database.")
 
+let parallel =
+  Arg.(
+    value & opt int 1
+    & info [ "parallel" ] ~docv:"N"
+        ~doc:
+          "Evaluate scan-shaped work (collection scans, multi-index \
+           AND/OR, bulk loads) on $(docv) domains. Results are \
+           deterministic at any level. On OCaml 4.x builds the value is \
+           accepted but execution stays sequential.")
+
 let do_explain =
   Arg.(value & flag & info [ "explain" ] ~doc:"Print plan notes after each statement.")
 
@@ -429,9 +453,10 @@ let run_file db f =
         done
       with Exit -> ())
 
-let main script demo do_explain lint json profile =
+let main script demo parallel do_explain lint json profile =
   let db = Engine.create () in
   explain := do_explain;
+  if parallel > 1 then Engine.set_parallelism db parallel;
   if demo then load_demo db;
   if lint <> [] then exit (lint_main db lint json);
   match (profile, script) with
@@ -446,7 +471,7 @@ let cmd =
   Cmd.v
     (Cmd.info "xqdb" ~doc:"XML database shell (XQuery + SQL/XML + XML indexes)")
     Term.(
-      const main $ script $ demo $ do_explain $ lint_files $ json_out
-      $ profile_file)
+      const main $ script $ demo $ parallel $ do_explain $ lint_files
+      $ json_out $ profile_file)
 
 let () = exit (Cmd.eval cmd)

@@ -52,6 +52,21 @@ val set_limits : t -> Xdm.Limits.t -> unit
 
 val limits : t -> Xdm.Limits.t
 
+(** Parallelism for scan-shaped work in subsequent statements:
+    partitioned full-collection scans, multi-index AND/OR candidate-set
+    intersection, and bulk load + index builds. Clamped to
+    [1 .. Xpar.max_parallelism]; sizes the process-wide worker-domain
+    pool (shared across handles — the last setting wins). Results are
+    deterministic: chunked execution merges in chunk order, so output,
+    diagnostics and [indexes_used] are identical at any parallelism
+    level (the t_par_diff harness proves this). Cursors always stream
+    sequentially; governor budgets are charged atomically across
+    domains, so [XQDB0001] still fires. On OCaml 4.x builds the
+    sequential Xpar fallback keeps execution single-threaded. *)
+val set_parallelism : t -> int -> unit
+
+val parallelism : t -> int
+
 (** {1 Introspection} *)
 
 val database : t -> Storage.Database.t
@@ -207,6 +222,20 @@ val sql_value_of_string : string -> Storage.Sql_value.t
     back every row and index entry added so far. A successful load bumps
     the catalog generation, invalidating cached plans. *)
 val load_documents : t -> table:string -> column:string -> string list -> unit
+
+(** Like {!load_documents}, but for documents parsed up front (e.g. with
+    {!parse_documents}): the timed half of a load benchmark, measuring
+    insert + index maintenance without parsing. The apply phase is
+    single-threaded in row order regardless of parallelism, keeping
+    undo-log atomicity and collection order identical to a sequential
+    load. *)
+val load_parsed_documents :
+  t -> table:string -> column:string -> Xdm.Node.t list -> unit
+
+(** Parse documents — in parallel chunks when {!set_parallelism} > 1 —
+    without touching any table. Raises on the first malformed document
+    in list order. *)
+val parse_documents : t -> string list -> Xdm.Node.t list
 
 (** Re-derive every XML index's expected entries and diff them against
     the B+Tree; all-empty lists mean the indexes are consistent. *)

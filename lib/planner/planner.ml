@@ -47,6 +47,7 @@ type solver = {
           index nested-loop join probes *)
   mutable notes : string list;
   mutable used : string list;
+  par : int;  (** parallelism for AND/OR child solving (1 = sequential) *)
 }
 
 (** Evaluate the other side of a join comparison under the current
@@ -267,6 +268,38 @@ let probe_between (s : solver) (lo : P.leaf) (hi : P.leaf) :
 (* Tree solving                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Parallel index probing is only safe while nothing profiles: a probe
+   opens an XISCAN span on the index's shared profile, and the span
+   stack is not thread-safe. With profiling off, spans are no-ops and
+   probes only touch per-index stat counters (benign int races). *)
+let can_solve_parallel (s : solver) =
+  s.par > 1 && Xpar.available
+  && List.for_all (fun (i : X.t) -> not i.X.prof.Xprof.on) s.cat.indexes
+
+(** Run independent child-solving tasks, each against a private
+    notes/used accumulator, then merge both back in task order — so the
+    plan's EXPLAIN trace is byte-identical to a sequential solve. *)
+let solve_children (s : solver) (tasks : (solver -> Xdm.Int_set.t option) list)
+    : Xdm.Int_set.t option list =
+  if List.length tasks < 2 || not (can_solve_parallel s) then
+    List.map (fun task -> task s) tasks
+  else begin
+    let results =
+      Xpar.map_list ~parallelism:s.par ~chunk_size:1
+        (fun task ->
+          let sub = { s with notes = []; used = [] } in
+          let r = task sub in
+          (r, sub.notes, sub.used))
+        tasks
+    in
+    List.map
+      (fun (r, notes, used) ->
+        s.notes <- notes @ s.notes;
+        s.used <- used @ s.used;
+        r)
+      results
+  end
+
 let rec solve (s : solver) (tree : P.t) : Xdm.Int_set.t option =
   match tree with
   | P.PTrue -> None
@@ -275,8 +308,9 @@ let rec solve (s : solver) (tree : P.t) : Xdm.Int_set.t option =
   | P.PAnd children ->
       let pairs, rest = try_between s children in
       let results =
-        List.map (fun (lo, hi) -> probe_between s lo hi) pairs
-        @ List.map (solve s) rest
+        solve_children s
+          (List.map (fun (lo, hi) s -> probe_between s lo hi) pairs
+          @ List.map (fun child s -> solve s child) rest)
       in
       let somes = List.filter_map Fun.id results in
       (match somes with
@@ -286,7 +320,9 @@ let rec solve (s : solver) (tree : P.t) : Xdm.Int_set.t option =
             note s "  IXAND: intersecting %d row sets" (List.length somes);
           Some (List.fold_left Xdm.Int_set.inter first more))
   | P.POr children ->
-      let results = List.map (solve s) children in
+      let results =
+        solve_children s (List.map (fun child s -> solve s child) children)
+      in
       if List.exists Option.is_none results then None
       else begin
         if List.length results > 1 then
@@ -298,11 +334,13 @@ let rec solve (s : solver) (tree : P.t) : Xdm.Int_set.t option =
 
 (** Plan a predicate tree: per collection, attempt a row-set restriction. *)
 let plan ?(params : (string * Xdm.Atomic.t) list = [])
-    ?(xml_bindings : (string * Xdm.Item.seq) list = []) (cat : catalog)
-    (tree : P.t) : t =
+    ?(xml_bindings : (string * Xdm.Item.seq) list = []) ?(parallelism = 1)
+    (cat : catalog) (tree : P.t) : t =
   let tree = P.simplify tree in
   let collections = List.sort_uniq compare (P.collections tree) in
-  let s = { cat; params; xml_bindings; notes = []; used = [] } in
+  let s =
+    { cat; params; xml_bindings; notes = []; used = []; par = parallelism }
+  in
   note s "predicate tree: %s" (P.to_string tree);
   let restrictions =
     List.filter_map
@@ -331,10 +369,12 @@ let plan ?(params : (string * Xdm.Atomic.t) list = [])
 (** Restrict a single collection under runtime bindings; [None] = no
     usable index (full scan). Used by the SQL executor's lateral
     (per-outer-row) restriction. *)
-let restrict_collection ?(params = []) ?(xml_bindings = []) (cat : catalog)
-    (tree : P.t) (collection : string) :
+let restrict_collection ?(params = []) ?(xml_bindings = [])
+    ?(parallelism = 1) (cat : catalog) (tree : P.t) (collection : string) :
     Xdm.Int_set.t option * string list * string list =
-  let s = { cat; params; xml_bindings; notes = []; used = [] } in
+  let s =
+    { cat; params; xml_bindings; notes = []; used = []; par = parallelism }
+  in
   let sub = P.simplify (P.for_collection collection tree) in
   let r = solve s sub in
   (r, List.rev s.notes, List.sort_uniq compare s.used)
@@ -416,13 +456,13 @@ let no_index_plan : t =
   { restrictions = []; notes = [ "index use disabled" ]; indexes_used = [] }
 
 let compiled_setup ?(prof = Xprof.disabled) ?(use_indexes = true)
-    ?(vars : (string * Xdm.Item.seq) list = []) ~limits (cat : catalog)
-    (c : compiled) : Xquery.Ctx.t * t * Xdm.Limits.meter =
+    ?(vars : (string * Xdm.Item.seq) list = []) ?(parallelism = 1) ~limits
+    (cat : catalog) (c : compiled) : Xquery.Ctx.t * t * Xdm.Limits.meter =
   let plan_t =
     if use_indexes then begin
       let params, xml_bindings = split_bindings vars in
       Xprof.spanned prof "PLAN" (fun () ->
-          plan ~params ~xml_bindings cat c.c_tree)
+          plan ~params ~xml_bindings ~parallelism cat c.c_tree)
     end
     else no_index_plan
   in
@@ -441,13 +481,17 @@ let compiled_setup ?(prof = Xprof.disabled) ?(use_indexes = true)
 (** Plan and run a compiled query under runtime parameter bindings —
     [run_xquery] minus the parse/resolve/analyze front half. *)
 let execute_compiled ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
-    ?use_indexes ?vars (cat : catalog) (c : compiled) : Xdm.Item.seq * t =
+    ?use_indexes ?vars ?(parallelism = 1) ?chunk_size (cat : catalog)
+    (c : compiled) : Xdm.Item.seq * t =
   let ctx, plan_t, meter =
-    compiled_setup ~prof ?use_indexes ?vars ~limits cat c
+    compiled_setup ~prof ?use_indexes ?vars ~parallelism ~limits cat c
   in
   let result =
     Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
-        Xquery.Eval.eval ctx c.c_query.Xquery.Ast.body)
+        if parallelism > 1 then
+          Xquery.Eval.eval_par ~parallelism ?chunk_size ctx
+            c.c_query.Xquery.Ast.body
+        else Xquery.Eval.eval ctx c.c_query.Xquery.Ast.body)
   in
   Xprof.set_governor prof (Xdm.Limits.usage meter);
   (result, plan_t)

@@ -26,6 +26,7 @@ type t = {
 val plan :
   ?params:(string * Xdm.Atomic.t) list ->
   ?xml_bindings:(string * Xdm.Item.seq) list ->
+  ?parallelism:int ->
   catalog ->
   Eligibility.Predicate.t ->
   t
@@ -37,6 +38,7 @@ val plan :
 val restrict_collection :
   ?params:(string * Xdm.Atomic.t) list ->
   ?xml_bindings:(string * Xdm.Item.seq) list ->
+  ?parallelism:int ->
   catalog ->
   Eligibility.Predicate.t ->
   string ->
@@ -69,6 +71,8 @@ val execute_compiled :
   ?prof:Xprof.t ->
   ?use_indexes:bool ->
   ?vars:(string * Xdm.Item.seq) list ->
+  ?parallelism:int ->
+  ?chunk_size:int ->
   catalog ->
   compiled ->
   Xdm.Item.seq * t

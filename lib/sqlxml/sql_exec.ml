@@ -59,6 +59,13 @@ type ctx = {
       (** execution profile for the running statement; disabled unless
           the engine turns profiling on, in which case [exec] resets it
           at every statement start (same lifecycle as the meter) *)
+  mutable parallelism : int;
+      (** chunked-scan parallelism (1 = sequential); set through the
+          engine facade together with the Xpar pool size *)
+  memo_lock : Xpar.Lock.t;
+      (** guards [resolved]/[embed_plans] when parallel scan chunks race
+          to memoize an embedded query (no-op lock on the sequential
+          backend) *)
 }
 
 let create db =
@@ -78,6 +85,8 @@ let create db =
     strict_static = false;
     static_check = None;
     prof = Xprof.create ();
+    parallelism = 1;
+    memo_lock = Xpar.Lock.create ();
   }
 
 let note ctx fmt =
@@ -111,6 +120,11 @@ let set_strict_static ctx b = ctx.strict_static <- b
 let set_static_check ctx f = ctx.static_check <- f
 let static_check ctx = ctx.static_check
 let catalog_gen ctx = ctx.catalog_gen
+let parallelism ctx = ctx.parallelism
+
+(** Set the chunked-scan parallelism (clamped to at least 1). The engine
+    facade keeps this in sync with [Xpar.set_parallelism]. *)
+let set_parallelism ctx n = ctx.parallelism <- max 1 n
 
 (** Record a catalog change (DDL, index create/drop, bulk load) so cached
     compiled plans keyed on the old generation go stale. *)
@@ -257,7 +271,9 @@ let atomic_of_sql (v : SV.t) : Xdm.Atomic.t option =
     constant-predicate plan (Definition 1 applied to the embed itself —
     this is what makes Query 6/7-style whole-column XQuery indexable). *)
 let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
-  let q = resolved_query ctx e in
+  (* the resolve memo is shared across parallel scan chunks — serialize
+     the find-or-add (the lock is a no-op on the sequential backend) *)
+  let q = Xpar.Lock.with_lock ctx.memo_lock (fun () -> resolved_query ctx e) in
   let vars =
     List.map (fun (v, se) -> (v, SV.to_xdm (eval_sexpr ctx env se))) e.xq_passing
   in
@@ -275,22 +291,28 @@ let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
       vars;
   let resolver =
     if ctx.use_indexes then begin
+      (* like [resolved], the embed-plan memo is shared across parallel
+         scan chunks; the lock also serializes the planner's index
+         probes (XISCAN spans on the indexes' shared profile) on the
+         memo-miss path, so profiled parallel scans stay span-safe *)
       let restrictions =
-        match Hashtbl.find_opt ctx.embed_plans e.xq_src with
-        | Some r -> r
-        | None ->
-            let tree, _ = embed_analysis ctx [] e in
-            let plan =
-              Xprof.spanned ctx.prof "PLAN" (fun () ->
-                  Planner.plan (catalog ctx) tree)
-            in
-            if plan.Planner.restrictions <> [] then begin
-              ctx.used <-
-                List.sort_uniq compare (plan.Planner.indexes_used @ ctx.used);
-              List.iter (fun n -> note ctx "%s" n) plan.Planner.notes
-            end;
-            Hashtbl.add ctx.embed_plans e.xq_src plan.Planner.restrictions;
-            plan.Planner.restrictions
+        Xpar.Lock.with_lock ctx.memo_lock (fun () ->
+            match Hashtbl.find_opt ctx.embed_plans e.xq_src with
+            | Some r -> r
+            | None ->
+                let tree, _ = embed_analysis ctx [] e in
+                let plan =
+                  Xprof.spanned ctx.prof "PLAN" (fun () ->
+                      Planner.plan (catalog ctx) tree)
+                in
+                if plan.Planner.restrictions <> [] then begin
+                  ctx.used <-
+                    List.sort_uniq compare
+                      (plan.Planner.indexes_used @ ctx.used);
+                  List.iter (fun n -> note ctx "%s" n) plan.Planner.notes
+                end;
+                Hashtbl.add ctx.embed_plans e.xq_src plan.Planner.restrictions;
+                plan.Planner.restrictions)
       in
       Storage.Database.resolver ~prof:ctx.prof ~restrict_to:restrictions ctx.db
     end
@@ -777,22 +799,95 @@ let rec exec_select ctx (s : select) : result =
     match s.where with Some w -> conjuncts w | None -> []
   in
   let out = ref [] in
-  let rec loop (env : frame list) = function
-    | [] ->
-        let keep =
-          match s.where with
-          | None -> true
-          | Some w -> eval_cond ctx env w = Some true
+  (* [emit] finishes one joined row environment; it takes the context
+     and accumulator explicitly so parallel scan chunks can run it
+     against a forked meter / private profile / private note lists. *)
+  let emit ectx eout (env : frame list) =
+    let keep =
+      match s.where with
+      | None -> true
+      | Some w -> eval_cond ectx env w = Some true
+    in
+    if keep then
+      if grouped then eout := ([], [ GEnv env ]) :: !eout
+      else
+        let keys =
+          List.map (fun (e, asc) -> (eval_sexpr ectx env e, asc)) s.order_by
         in
-        if keep then
-          if grouped then out := ([], [ GEnv env ]) :: !out
-          else
-            let keys =
-              List.map
-                (fun (e, asc) -> (eval_sexpr ctx env e, asc))
-                s.order_by
-            in
-            out := (keys, [ GRow (project ctx env s.sel_list) ]) :: !out
+        eout := (keys, [ GRow (project ectx env s.sel_list) ]) :: !eout
+  in
+  (* Partitioned scan: contiguous row chunks, per-chunk predicate and
+     projection evaluation, order-preserving merge — so the produced
+     rows, notes and index-use sets are identical to a sequential scan
+     (chunk = contiguous row range; see docs/PARALLELISM.md). Only the
+     innermost position of a single-table FROM is partitioned, so
+     chunks never recurse into [loop]. *)
+  let parallel_scan ~alias ~name (t : Storage.Table.t) rows =
+    let cols =
+      List.map (fun c -> c.Storage.Table.col_name) t.Storage.Table.cols
+    in
+    let profiled = ctx.prof.Xprof.on in
+    let slots =
+      Xpar.map_chunks ~parallelism:ctx.parallelism
+        (fun _ chunk ->
+          let prof =
+            if profiled then begin
+              let p = Xprof.create () in
+              Xprof.enable p true;
+              p
+            end
+            else Xprof.disabled
+          in
+          let cctx =
+            {
+              ctx with
+              meter = Xdm.Limits.fork ctx.meter;
+              prof;
+              notes = [];
+              used = [];
+            }
+          in
+          let cout = ref [] in
+          Array.iter
+            (fun (r : Storage.Table.row) ->
+              Xdm.Limits.tick cctx.meter;
+              Xprof.row cctx.prof;
+              let frame =
+                {
+                  f_alias = alias;
+                  f_cols = cols;
+                  f_vals = r.Storage.Table.values;
+                  f_row_id = Some r.Storage.Table.row_id;
+                  f_table = Some name;
+                }
+              in
+              emit cctx cout [ frame ])
+            chunk;
+          (cctx, List.rev !cout))
+        (Array.of_list rows)
+    in
+    Xprof.par ctx.prof ~chunks:(Array.length slots);
+    let err = ref None in
+    let merged =
+      Array.fold_left
+        (fun acc slot ->
+          match slot with
+          | Ok (cctx, fwd) ->
+              if profiled then Xprof.absorb ~into:ctx.prof cctx.prof;
+              ctx.notes <- cctx.notes @ ctx.notes;
+              if cctx.used <> [] then
+                ctx.used <- List.sort_uniq compare (cctx.used @ ctx.used);
+              fwd :: acc
+          | Error e ->
+              if Option.is_none !err then err := Some e;
+              acc)
+        [] slots
+    in
+    (match !err with Some e -> raise e | None -> ());
+    out := List.rev_append (List.concat (List.rev merged)) !out
+  in
+  let rec loop (env : frame list) = function
+    | [] -> emit ctx out env
     | TRTable { name; alias } :: rest ->
         let t = Storage.Database.table_exn ctx.db name in
         let restriction =
@@ -808,25 +903,30 @@ let rec exec_select ctx (s : select) : result =
                   Xdm.Int_set.mem r.Storage.Table.row_id keep)
                 rows
         in
-        Xprof.spanned ctx.prof ("SCAN " ^ alias) (fun () ->
-            List.iter
-              (fun (r : Storage.Table.row) ->
-                Xdm.Limits.tick ctx.meter;
-                Xprof.row ctx.prof;
-                let frame =
-                  {
-                    f_alias = alias;
-                    f_cols =
-                      List.map
-                        (fun c -> c.Storage.Table.col_name)
-                        t.Storage.Table.cols;
-                    f_vals = r.Storage.Table.values;
-                    f_row_id = Some r.Storage.Table.row_id;
-                    f_table = Some name;
-                  }
-                in
-                loop (frame :: env) rest)
-              rows)
+        let many = match rows with _ :: _ :: _ -> true | _ -> false in
+        if rest = [] && env = [] && ctx.parallelism > 1 && many then
+          Xprof.spanned ctx.prof ("SCAN " ^ alias) (fun () ->
+              parallel_scan ~alias ~name t rows)
+        else
+          Xprof.spanned ctx.prof ("SCAN " ^ alias) (fun () ->
+              List.iter
+                (fun (r : Storage.Table.row) ->
+                  Xdm.Limits.tick ctx.meter;
+                  Xprof.row ctx.prof;
+                  let frame =
+                    {
+                      f_alias = alias;
+                      f_cols =
+                        List.map
+                          (fun c -> c.Storage.Table.col_name)
+                          t.Storage.Table.cols;
+                      f_vals = r.Storage.Table.values;
+                      f_row_id = Some r.Storage.Table.row_id;
+                      f_table = Some name;
+                    }
+                  in
+                  loop (frame :: env) rest)
+                rows)
     | TRXmlTable xt :: rest ->
         let items = eval_embed ctx env xt.xt_embed in
         let colnames =
@@ -1145,12 +1245,41 @@ let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
             (Xmlindex.Xindex.delete_doc idx pt ~row:r.Storage.Table.row_id)
             (docs_of r));
     };
-  List.iter
-    (fun (r : Storage.Table.row) ->
-      List.iter
-        (Xmlindex.Xindex.insert_doc idx pt ~row:r.Storage.Table.row_id)
-        (docs_of r))
-    (Storage.Table.rows t);
+  (* Bulk backfill. With parallelism the pure compute half (pattern
+     matching + typed-value casts) runs in contiguous row chunks; the
+     mutating half (path-table interning, B+Tree inserts) is applied
+     single-threaded in row order, so the resulting tree — and undo-log
+     atomicity for the enclosing statement — are identical to a
+     sequential build. *)
+  let backfill = Storage.Table.rows t in
+  let many = match backfill with _ :: _ :: _ -> true | _ -> false in
+  if ctx.parallelism > 1 && many then begin
+    let computed =
+      Xpar.map_chunks ~parallelism:ctx.parallelism
+        (fun _ chunk ->
+          Array.map
+            (fun (r : Storage.Table.row) ->
+              ( r.Storage.Table.row_id,
+                List.map (Xmlindex.Xindex.doc_entries idx) (docs_of r) ))
+            chunk)
+        (Array.of_list backfill)
+    in
+    Xprof.par ctx.prof ~chunks:(Array.length computed);
+    Array.iter
+      (fun chunk ->
+        Array.iter
+          (fun (row, per_doc) ->
+            List.iter (Xmlindex.Xindex.insert_entries idx pt ~row) per_doc)
+          chunk)
+      (Xpar.join computed)
+  end
+  else
+    List.iter
+      (fun (r : Storage.Table.row) ->
+        List.iter
+          (Xmlindex.Xindex.insert_doc idx pt ~row:r.Storage.Table.row_id)
+          (docs_of r))
+      backfill;
   ctx.xindexes <- idx :: ctx.xindexes;
   idx
 

@@ -47,9 +47,9 @@ type meter = {
   nodes_cap : int;
   depth_cap : int;
   deadline : float;  (** absolute [Unix.gettimeofday] cutoff *)
-  mutable steps : int;
-  mutable nodes : int;
-  mutable depth : int;
+  steps : int Stdlib.Atomic.t;  (** shared across {!fork}s of the meter *)
+  nodes : int Stdlib.Atomic.t;  (** shared across {!fork}s of the meter *)
+  mutable depth : int;  (** per-fork: each domain has its own recursion *)
 }
 
 let meter ?(limits = unlimited) () =
@@ -63,10 +63,17 @@ let meter ?(limits = unlimited) () =
       (match limits.timeout with
       | None -> infinity
       | Some s -> Unix.gettimeofday () +. s);
-    steps = 0;
-    nodes = 0;
+    steps = Stdlib.Atomic.make 0;
+    nodes = Stdlib.Atomic.make 0;
     depth = 0;
   }
+
+(** A per-domain view of [m] for a parallel chunk: the step and node
+    counters stay shared ([Atomic.t] cells, so the statement budget is
+    charged atomically across domains and [XQDB0001] fires exactly as
+    for a sequential run), while the recursion depth is private to the
+    fork — each domain tracks its own call stack. *)
+let fork m = { m with depth = m.depth }
 
 let exceeded what used cap =
   Xerror.resource_error "resource exceeded: %s (%d > %d)" what used cap
@@ -75,8 +82,7 @@ let exceeded what used cap =
 let deadline_mask = 4095
 
 let step m =
-  let s = m.steps + 1 in
-  m.steps <- s;
+  let s = Stdlib.Atomic.fetch_and_add m.steps 1 + 1 in
   if s > m.steps_cap then exceeded "evaluation steps" s m.steps_cap;
   if s land deadline_mask = 0 && Unix.gettimeofday () > m.deadline then
     Xerror.resource_error "resource exceeded: wall-clock timeout"
@@ -87,8 +93,7 @@ let tick m = if m.armed then step m
 
 let add_nodes m n =
   if m.armed then begin
-    let c = m.nodes + n in
-    m.nodes <- c;
+    let c = Stdlib.Atomic.fetch_and_add m.nodes n + n in
     if c > m.nodes_cap then exceeded "constructed nodes" c m.nodes_cap
   end
 
@@ -110,6 +115,6 @@ let usage m : (string * int * int) list =
     in
     []
     |> cap "depth" m.depth m.depth_cap
-    |> cap "nodes" m.nodes m.nodes_cap
-    |> cap "steps" m.steps m.steps_cap
+    |> cap "nodes" (Stdlib.Atomic.get m.nodes) m.nodes_cap
+    |> cap "steps" (Stdlib.Atomic.get m.steps) m.steps_cap
   end

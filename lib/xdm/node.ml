@@ -28,17 +28,22 @@ type t = {
   mutable ord : int;  (** document-order position, valid when the root's
                           [ord_valid] is set *)
   mutable ord_valid : bool;  (** meaningful on root nodes only *)
+  mutable tree_ord : int;
+      (** cross-tree rank of a root node, defaulting to its [id]; bulk
+          load overrides it (see {!set_tree_order}) so collection order
+          follows row order even when documents were parsed in parallel
+          and their ids interleave across chunks *)
 }
 
-let counter = ref 0
-
-let fresh_id () =
-  incr counter;
-  !counter
+(* Atomic so parallel chunks (constructors, parsing) can mint ids
+   concurrently without duplicates. *)
+let counter = Stdlib.Atomic.make 0
+let fresh_id () = Stdlib.Atomic.fetch_and_add counter 1 + 1
 
 let mk kind name =
+  let id = fresh_id () in
   {
-    id = fresh_id ();
+    id;
     kind;
     name;
     parent = None;
@@ -49,6 +54,7 @@ let mk kind name =
     typed = None;
     ord = 0;
     ord_valid = false;
+    tree_ord = id;
   }
 
 let document () = mk Document None
@@ -119,11 +125,19 @@ let doc_compare a b =
   if a.id = b.id then 0
   else
     let ra = root a and rb = root b in
-    if ra.id <> rb.id then compare ra.id rb.id
+    if ra.id <> rb.id then
+      compare (ra.tree_ord, ra.id) (rb.tree_ord, rb.id)
     else begin
       if not ra.ord_valid then renumber ra;
       compare a.ord b.ord
     end
+
+(** Override the cross-tree rank of [root]. {!fresh_rank} draws from the
+    same counter as node ids, so default-ranked trees (rank = id) and
+    explicitly ranked ones stay totally ordered. *)
+let set_tree_order root rank = root.tree_ord <- rank
+
+let fresh_rank () = fresh_id ()
 
 (* ------------------------------------------------------------------ *)
 (* Values                                                              *)
@@ -172,9 +186,10 @@ let typed_value n : Atomic.t list =
     [xs:untyped] and attributes to [xdt:untypedAtomic] — one of the
     Section 3.6 rewrite obstacles. *)
 let rec copy ?(strip_types = true) n =
+  let id = fresh_id () in
   let c =
     {
-      id = fresh_id ();
+      id;
       kind = n.kind;
       name = n.name;
       parent = None;
@@ -185,6 +200,7 @@ let rec copy ?(strip_types = true) n =
       typed = (if strip_types then None else n.typed);
       ord = 0;
       ord_valid = false;
+      tree_ord = id;
     }
   in
   let kids = List.map (fun k -> copy ~strip_types k) n.children in

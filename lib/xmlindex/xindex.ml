@@ -113,18 +113,36 @@ let candidate_nodes (doc : Node.t) : Node.t list =
          | Node.Element -> (n :: n.Node.attrs)
          | _ -> [ n ])
 
-let insert_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
-    (doc : Node.t) : unit =
-  Faultinject.hit "index.insert_doc";
+(** The pure compute half of {!insert_doc}: the document's matching
+    nodes and their cast index values, with no B+Tree or path-table
+    mutation. Safe to run in parallel chunks during bulk index builds —
+    the mutating half ({!insert_entries}) then applies results
+    single-threaded in row order, keeping undo-log atomicity intact. *)
+let doc_entries (idx : t) (doc : Node.t) : (Node.t * Atomic.t) list =
   candidate_nodes doc
-  |> List.iter (fun (n : Node.t) ->
+  |> List.filter_map (fun (n : Node.t) ->
          if Pattern.matches_node idx.def.pattern n then
            match index_value idx n with
-           | Some v ->
-               let path = Storage.Path_table.intern pt n in
-               BT.insert idx.tree { Key.v; path; row; node = n.Node.id } ();
-               idx.stats.inserts <- idx.stats.inserts + 1
-           | None -> ())
+           | Some v -> Some (n, v)
+           | None -> None
+         else None)
+
+(** The mutating half of {!insert_doc}: intern paths and insert B+Tree
+    entries for one document's precomputed [entries]. Fires the same
+    [index.insert_doc] fault point as {!insert_doc}. *)
+let insert_entries (idx : t) (pt : Storage.Path_table.t) ~(row : int)
+    (entries : (Node.t * Atomic.t) list) : unit =
+  Faultinject.hit "index.insert_doc";
+  List.iter
+    (fun ((n : Node.t), v) ->
+      let path = Storage.Path_table.intern pt n in
+      BT.insert idx.tree { Key.v; path; row; node = n.Node.id } ();
+      idx.stats.inserts <- idx.stats.inserts + 1)
+    entries
+
+let insert_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
+    (doc : Node.t) : unit =
+  insert_entries idx pt ~row (doc_entries idx doc)
 
 let delete_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
     (doc : Node.t) : unit =

@@ -1,0 +1,147 @@
+(** Domain-pool backend, selected at build time on OCaml >= 5 (see
+    lib/xpar/dune; OCaml 4.x builds compile [backend_seq.ml] instead).
+
+    The pool is a fixed set of resident worker domains fed through a
+    single job slot guarded by one mutex. Posting a job bumps an epoch
+    counter and broadcasts; every worker that observes a new epoch runs
+    the job closure. Jobs are chunk-queue drains (see xpar.ml): a worker
+    that wakes up late — or re-runs a stale job after the coordinator
+    already finished it — finds the chunk cursor exhausted and returns
+    immediately, so over-delivery is harmless and the pool needs no
+    per-job acknowledgement protocol. *)
+
+let name = "domains"
+let available = true
+let default_parallelism () = Domain.recommended_domain_count ()
+
+module Lock = struct
+  type t = Mutex.t
+
+  let create () = Mutex.create ()
+
+  let with_lock m f =
+    Mutex.lock m;
+    match f () with
+    | v ->
+        Mutex.unlock m;
+        v
+    | exception e ->
+        Mutex.unlock m;
+        raise e
+end
+
+module Waiter = struct
+  type t = { m : Mutex.t; c : Condition.t }
+
+  let create () = { m = Mutex.create (); c = Condition.create () }
+
+  (* [pred] reads atomics published by workers; taking the mutex in
+     [wake] after the atomic write orders the write before the
+     broadcast, so a waiter inside [Condition.wait] cannot miss it. *)
+  let wait_until w pred =
+    Mutex.lock w.m;
+    while not (pred ()) do
+      Condition.wait w.c w.m
+    done;
+    Mutex.unlock w.m
+
+  let wake w =
+    Mutex.lock w.m;
+    Condition.broadcast w.c;
+    Mutex.unlock w.m
+end
+
+type pool = {
+  m : Mutex.t;
+  work : Condition.t;
+  mutable target : int;  (** desired resident worker count *)
+  mutable alive : int;
+  mutable epoch : int;
+  mutable job : unit -> unit;
+  mutable handles : unit Domain.t list;
+}
+
+let pool =
+  {
+    m = Mutex.create ();
+    work = Condition.create ();
+    target = 0;
+    alive = 0;
+    epoch = 0;
+    job = ignore;
+    handles = [];
+  }
+
+(* Workers executing a job, for [Xpar.idle]. *)
+let busy = Atomic.make 0
+
+(* One coordinator + at most this many pool workers. *)
+let max_workers = 15
+
+let rec worker_loop seen =
+  Mutex.lock pool.m;
+  let rec await () =
+    if pool.alive > pool.target then `Exit
+    else if pool.epoch <> seen then `Run (pool.epoch, pool.job)
+    else begin
+      Condition.wait pool.work pool.m;
+      await ()
+    end
+  in
+  match await () with
+  | `Exit ->
+      pool.alive <- pool.alive - 1;
+      Mutex.unlock pool.m
+  | `Run (epoch, job) ->
+      Mutex.unlock pool.m;
+      Atomic.incr busy;
+      (try job () with _ -> ());
+      Atomic.decr busy;
+      worker_loop epoch
+
+let spawn_locked () =
+  pool.alive <- pool.alive + 1;
+  let seen = pool.epoch in
+  pool.handles <- Domain.spawn (fun () -> worker_loop seen) :: pool.handles
+
+let resize n =
+  let n = max 0 (min n max_workers) in
+  Mutex.lock pool.m;
+  pool.target <- n;
+  while pool.alive < pool.target do
+    spawn_locked ()
+  done;
+  (* shrinking: excess workers observe alive > target and exit *)
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m
+
+let kick ~workers job =
+  Mutex.lock pool.m;
+  if pool.target < workers then pool.target <- min workers max_workers;
+  while pool.alive < pool.target do
+    spawn_locked ()
+  done;
+  pool.epoch <- pool.epoch + 1;
+  pool.job <- job;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m
+
+let workers_busy () = Atomic.get busy
+
+let pool_size () =
+  Mutex.lock pool.m;
+  let n = pool.alive in
+  Mutex.unlock pool.m;
+  n
+
+(* Drain and join the pool so the process never exits with live
+   domains (OCaml aborts on exit with unjoined domains). *)
+let () =
+  at_exit (fun () ->
+      Mutex.lock pool.m;
+      pool.target <- 0;
+      Condition.broadcast pool.work;
+      let handles = pool.handles in
+      pool.handles <- [];
+      Mutex.unlock pool.m;
+      List.iter (fun d -> try Domain.join d with _ -> ()) handles)

@@ -1,0 +1,34 @@
+(** Sequential fallback backend, selected at build time on OCaml 4.x
+    (see lib/xpar/dune). No domains, no mutexes — [Xpar.map_chunks]
+    detects [available = false] and runs every chunk on the calling
+    thread in chunk order, so results, charges and surfaced errors are
+    identical to the domain backend by construction (that is the
+    determinism contract the differential tests check). *)
+
+let name = "sequential"
+let available = false
+let default_parallelism () = 1
+
+module Lock = struct
+  type t = unit
+
+  let create () = ()
+  let with_lock () f = f ()
+end
+
+module Waiter = struct
+  type t = unit
+
+  let create () = ()
+
+  (* Never reached: without workers there is nothing to wait on. *)
+  let wait_until () pred =
+    if not (pred ()) then invalid_arg "Xpar: wait in sequential backend"
+
+  let wake () = ()
+end
+
+let resize _ = ()
+let kick ~workers:_ _ = invalid_arg "Xpar: kick in sequential backend"
+let workers_busy () = 0
+let pool_size () = 0

@@ -1,0 +1,127 @@
+(** Xpar: the parallel-execution layer (ROADMAP "multicore" item).
+
+    One process-wide fixed domain pool (OCaml 5) or a sequential
+    fallback (OCaml 4.x), selected at build time — see lib/xpar/dune and
+    the two backends. Work is distributed work-stealing-free: the input
+    array is split into contiguous chunks and a single atomic cursor
+    hands chunks to whoever is free (the calling domain always
+    participates, which also makes nested parallel regions deadlock-free
+    — a coordinator stuck inside a chunk still drains its own queue).
+
+    Determinism contract: chunk results are merged in chunk order, and
+    within a chunk items run sequentially, so the concatenated output —
+    and the first surfaced error — are identical to a sequential run of
+    the same function over the same items. docs/PARALLELISM.md has the
+    full argument. *)
+
+module B = Xpar_backend
+module Lock = B.Lock
+
+let backend = B.name
+let available = B.available
+
+(* One coordinator + up to 15 pool workers. *)
+let max_parallelism = 16
+
+let default_parallelism () =
+  if available then max 1 (min (B.default_parallelism ()) max_parallelism)
+  else 1
+
+let requested = Atomic.make 1
+
+(* Parallel regions with the calling domain inside them, for [idle]. *)
+let in_flight = Atomic.make 0
+
+let set_parallelism n =
+  let n = max 1 (min n max_parallelism) in
+  Atomic.set requested n;
+  if available then B.resize (n - 1)
+
+let parallelism () = Atomic.get requested
+let idle () = Atomic.get in_flight = 0 && B.workers_busy () = 0
+let pool_size () = B.pool_size ()
+
+let effective ?parallelism () =
+  let p =
+    match parallelism with Some p -> p | None -> Atomic.get requested
+  in
+  if available then max 1 (min p max_parallelism) else 1
+
+(* Several chunks per worker, so one slow chunk doesn't serialize the
+   tail; chunks stay big enough that per-chunk bookkeeping is noise. *)
+let chunks_per_worker = 4
+
+let chunk_size_for ~n ~par = function
+  | Some c -> max 1 c
+  | None -> max 1 ((n + (par * chunks_per_worker) - 1) / (par * chunks_per_worker))
+
+let map_chunks ?parallelism ?chunk_size f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let par = min (effective ?parallelism ()) n in
+    let cs = chunk_size_for ~n ~par chunk_size in
+    let nchunks = (n + cs - 1) / cs in
+    let slots = Array.make nchunks (Error Not_found) in
+    let do_chunk c =
+      let lo = c * cs in
+      let chunk = Array.sub items lo (min cs (n - lo)) in
+      slots.(c) <- (try Ok (f c chunk) with e -> Error e)
+    in
+    if par <= 1 || nchunks <= 1 then
+      for c = 0 to nchunks - 1 do
+        do_chunk c
+      done
+    else begin
+      Atomic.incr in_flight;
+      let cursor = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let waiter = B.Waiter.create () in
+      let drain () =
+        let rec claim () =
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < nchunks then begin
+            do_chunk c;
+            if Atomic.fetch_and_add completed 1 = nchunks - 1 then
+              B.Waiter.wake waiter;
+            claim ()
+          end
+        in
+        claim ()
+      in
+      B.kick ~workers:(par - 1) drain;
+      drain ();
+      B.Waiter.wait_until waiter (fun () -> Atomic.get completed = nchunks);
+      Atomic.decr in_flight
+    end;
+    slots
+  end
+
+let join slots =
+  Array.iter (function Error e -> raise e | Ok _ -> ()) slots;
+  Array.map (function Ok v -> v | Error _ -> assert false) slots
+
+let map_reduce ?parallelism ?chunk_size ~map ~reduce ~init items =
+  Array.fold_left reduce init
+    (join (map_chunks ?parallelism ?chunk_size map items))
+
+let map_list ?parallelism ?chunk_size f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let chunks =
+        join
+          (map_chunks ?parallelism ?chunk_size
+             (fun _ chunk -> Array.map f chunk)
+             (Array.of_list l))
+      in
+      List.concat_map Array.to_list (Array.to_list chunks)
+
+let parallel_for ?parallelism ?chunk_size lo hi body =
+  if hi > lo then
+    ignore
+      (join
+         (map_chunks ?parallelism ?chunk_size
+            (fun _ chunk -> Array.iter body chunk)
+            (Array.init (hi - lo) (fun i -> lo + i))))

@@ -1,0 +1,83 @@
+(** Xpar: chunked parallel execution over immutable snapshots.
+
+    On OCaml 5 this is a fixed pool of worker domains fed by a
+    work-stealing-free chunk queue; on OCaml 4.x a build-time-selected
+    sequential fallback with the same API (every chunk runs on the
+    calling thread). Either way the determinism contract holds: chunks
+    are contiguous, items within a chunk run in order, results merge in
+    chunk order, and the first error in chunk order is the first error a
+    sequential run would hit. See docs/PARALLELISM.md. *)
+
+(** Backend name: ["domains"] or ["sequential"]. *)
+val backend : string
+
+(** Whether real parallelism is compiled in (OCaml >= 5). *)
+val available : bool
+
+(** Upper clamp on parallelism (coordinator + 15 pool workers). *)
+val max_parallelism : int
+
+(** The runtime's recommended parallelism (1 on the fallback). *)
+val default_parallelism : unit -> int
+
+(** Set the process-wide parallelism level, clamped to
+    [1 .. max_parallelism]. [n - 1] resident worker domains are kept
+    (the calling domain is the n-th); shrinking retires workers. On the
+    sequential backend this records the setting but execution stays
+    sequential. *)
+val set_parallelism : int -> unit
+
+val parallelism : unit -> int
+
+(** No parallel region in flight and no pool worker running a job —
+    used by tests to prove early cursor close leaks no domain work. *)
+val idle : unit -> bool
+
+(** Resident worker domains (0 on the fallback). *)
+val pool_size : unit -> int
+
+(** [map_chunks f items] splits [items] into contiguous chunks and
+    applies [f chunk_index chunk] to each, in parallel when the
+    effective parallelism and chunk count allow it. The result array is
+    in chunk order; a chunk that raises yields [Error] in its slot
+    (never tearing the other chunks). [?parallelism] overrides the
+    process-wide setting for this call; [?chunk_size] pins the chunk
+    size (defaults to ~4 chunks per worker). *)
+val map_chunks :
+  ?parallelism:int ->
+  ?chunk_size:int ->
+  (int -> 'a array -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+
+(** Re-raise the first chunk error in chunk order, or return all chunk
+    values. *)
+val join : ('b, exn) result array -> 'b array
+
+(** Chunked map + sequential fold over chunk results in chunk order. *)
+val map_reduce :
+  ?parallelism:int ->
+  ?chunk_size:int ->
+  map:(int -> 'a array -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+
+(** Order-preserving parallel [List.map]. *)
+val map_list : ?parallelism:int -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_for lo hi body] runs [body i] for [lo <= i < hi] with
+    chunked parallelism; [body] must tolerate any inter-chunk order. *)
+val parallel_for :
+  ?parallelism:int -> ?chunk_size:int -> int -> int -> (int -> unit) -> unit
+
+(** A mutual-exclusion lock: a real [Mutex] on the domain backend, a
+    no-op on the sequential one (where nothing is concurrent). Used to
+    guard shared memo tables on hot paths. *)
+module Lock : sig
+  type t
+
+  val create : unit -> t
+  val with_lock : t -> (unit -> 'a) -> 'a
+end

@@ -274,6 +274,8 @@ type t = {
   mutable btree_page_reads : int;
   mutable btree_splits : int;
   mutable undo_entries : int;
+  mutable xpar_tasks : int;  (** parallel regions executed *)
+  mutable xpar_chunks : int;  (** chunks dispatched across all regions *)
   mutable governor : (string * int * int) list;
       (** (resource, used, cap) — empty when the statement ran with the
           meter unarmed (no limits set) *)
@@ -299,6 +301,8 @@ let create () =
     btree_page_reads = 0;
     btree_splits = 0;
     undo_entries = 0;
+    xpar_tasks = 0;
+    xpar_chunks = 0;
     governor = [];
     root = fresh_root ();
     stack = [];
@@ -327,6 +331,8 @@ let reset p =
   p.btree_page_reads <- 0;
   p.btree_splits <- 0;
   p.undo_entries <- 0;
+  p.xpar_tasks <- 0;
+  p.xpar_chunks <- 0;
   p.governor <- [];
   p.root <- fresh_root ();
   p.stack <- [];
@@ -361,6 +367,13 @@ let entry p =
 let page_read p = if p.on then p.btree_page_reads <- p.btree_page_reads + 1
 let split p = if p.on then p.btree_splits <- p.btree_splits + 1
 let undo p = if p.on then p.undo_entries <- p.undo_entries + 1
+
+(** Charge one parallel region that dispatched [chunks] chunks. *)
+let par p ~chunks =
+  if p.on then begin
+    p.xpar_tasks <- p.xpar_tasks + 1;
+    p.xpar_chunks <- p.xpar_chunks + chunks
+  end
 
 (* --- operator spans ------------------------------------------------ *)
 
@@ -412,6 +425,45 @@ let spanned ?rows p name (f : unit -> 'a) : 'a =
         raise ex
   end
 
+(** Merge a per-chunk child profile into [into]: counters are summed and
+    the child's operator tree is grafted under [into]'s innermost open
+    span. The parallel executor gives each chunk a private profile (the
+    span stack is not thread-safe) and absorbs them in chunk order after
+    the join, so profiled parallel runs report deterministic totals. *)
+let absorb ~into:(p : t) (child : t) =
+  if p.on then begin
+    p.eval_steps <- p.eval_steps + child.eval_steps;
+    p.nodes_materialized <- p.nodes_materialized + child.nodes_materialized;
+    p.rows_scanned <- p.rows_scanned + child.rows_scanned;
+    p.docs_scanned <- p.docs_scanned + child.docs_scanned;
+    p.index_probes <- p.index_probes + child.index_probes;
+    p.index_entries_scanned <-
+      p.index_entries_scanned + child.index_entries_scanned;
+    p.btree_page_reads <- p.btree_page_reads + child.btree_page_reads;
+    p.btree_splits <- p.btree_splits + child.btree_splits;
+    p.undo_entries <- p.undo_entries + child.undo_entries;
+    p.xpar_tasks <- p.xpar_tasks + child.xpar_tasks;
+    p.xpar_chunks <- p.xpar_chunks + child.xpar_chunks;
+    let parent = match p.stack with o :: _ -> o | [] -> p.root in
+    let rec graft parent ops =
+      (* ops arrive oldest-first; find-or-create keeps [op_children]'s
+         reverse-of-first-entry invariant *)
+      List.iter
+        (fun c ->
+          match
+            List.find_opt (fun o -> o.op_name = c.op_name) parent.op_children
+          with
+          | Some o ->
+              o.op_count <- o.op_count + c.op_count;
+              o.op_time <- o.op_time +. c.op_time;
+              o.op_rows <- o.op_rows + c.op_rows;
+              graft o (List.rev c.op_children)
+          | None -> parent.op_children <- c :: parent.op_children)
+        ops
+    in
+    graft parent (List.rev child.root.op_children)
+  end
+
 (* --- reporting ----------------------------------------------------- *)
 
 let counters p : (string * int) list =
@@ -425,6 +477,8 @@ let counters p : (string * int) list =
     ("btree_page_reads", p.btree_page_reads);
     ("btree_splits", p.btree_splits);
     ("undo_entries", p.undo_entries);
+    ("xpar_tasks", p.xpar_tasks);
+    ("xpar_chunks", p.xpar_chunks);
   ]
 
 let counters_json p : Json.t =

@@ -564,3 +564,81 @@ let rec eval_seq (ctx : Ctx.t) (e : expr) : Item.t Seq.t =
           (List.to_seq items)
           ()
   | _ -> fun () -> List.to_seq (eval ctx e) ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunked parallel evaluation over the same two decompositions as
+   [eval_seq] — and sound for the same reasons: per-document step
+   evaluation and per-binding tuple expansion are independent, and the
+   order-preserving chunk merge re-assembles exactly the strict result.
+   The chunk source (first-step output / the [for] source) is evaluated
+   in the parent domain, so any tree sorting or renumbering it triggers
+   happens before chunks run. Each chunk gets a forked meter view
+   (shared atomic step/node budget — XQDB0001 still fires process-wide)
+   and a private profile, absorbed in chunk order after the join so a
+   profiled parallel run reports deterministic totals. Everything else
+   falls back to strict evaluation. *)
+
+let eval_par ~parallelism ?chunk_size (ctx : Ctx.t) (e : expr) : Item.seq =
+  let chunked (items : Item.seq) (per_item : Ctx.t -> Item.t -> Item.seq) :
+      Item.seq =
+    match items with
+    | [] | [ _ ] -> List.concat_map (per_item ctx) items
+    | _ ->
+        let profiled = ctx.Ctx.prof.Xprof.on in
+        let slots =
+          Xpar.map_chunks ~parallelism ?chunk_size
+            (fun _ chunk ->
+              let prof =
+                if profiled then begin
+                  let p = Xprof.create () in
+                  Xprof.enable p true;
+                  p
+                end
+                else Xprof.disabled
+              in
+              let cctx =
+                { ctx with Ctx.meter = Limits.fork ctx.Ctx.meter; prof }
+              in
+              let out =
+                List.concat_map (per_item cctx) (Array.to_list chunk)
+              in
+              (prof, out))
+            (Array.of_list items)
+        in
+        Xprof.par ctx.Ctx.prof ~chunks:(Array.length slots);
+        let err = ref None in
+        let outs =
+          Array.fold_left
+            (fun acc slot ->
+              match slot with
+              | Ok (prof, out) ->
+                  if profiled then Xprof.absorb ~into:ctx.Ctx.prof prof;
+                  out :: acc
+              | Error e ->
+                  if Option.is_none !err then err := Some e;
+                  acc)
+            [] slots
+        in
+        (match !err with Some e -> raise e | None -> ());
+        List.concat (List.rev outs)
+  in
+  if parallelism <= 1 then eval ctx e
+  else
+    match e with
+    | EPath (Relative, (SExpr _ as first) :: (_ :: _ as rest))
+      when ctx.Ctx.item = None ->
+        let docs = eval ctx (EPath (Relative, [ first ])) in
+        chunked docs (fun cctx doc -> eval_steps cctx [ doc ] rest)
+    | EFlwor ((CFor ((v, src) :: more) :: restc as clauses), ret)
+      when not (has_order clauses) ->
+        let restc = if more = [] then restc else CFor more :: restc in
+        let items = eval ctx src in
+        chunked items (fun cctx item ->
+            let inner = Ctx.bind cctx v [ item ] in
+            match restc with
+            | [] -> eval inner ret
+            | _ -> eval inner (EFlwor (restc, ret)))
+    | _ -> eval ctx e
