@@ -1308,6 +1308,169 @@ let parallel_suite ~quick ~out () =
   Printf.printf "spliced \"parallel\" section into %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Durability suite (--suite durability): the "durability" section of  *)
+(* BENCH_micro.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_dir_ctr = ref 0
+
+let bench_fresh_dir () =
+  incr bench_dir_ctr;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xqdb-bench-%d-%d.xqdb" (Unix.getpid ()) !bench_dir_ctr)
+
+let rec bench_rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter
+        (fun n -> bench_rm_rf (Filename.concat path n))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+(** What durability costs and what recovery costs: bulk-load p50 for the
+    same corpus in-memory vs durable (WAL, no fsync) vs durable+fsync,
+    and crash-recovery time as a function of WAL length (reopening a
+    data directory whose whole history lives in the log). Splices the
+    ["durability"] section into [out]; the CI gate reads [recovery.ok] —
+    every reopen must replay the full committed history (recovered row
+    count equals statements executed). *)
+let durability_suite ~quick ~out () =
+  let n = if quick then 120 else 300 in
+  let iters = if quick then 5 else 9 in
+  Printf.printf
+    "durability suite — %d-order bulk load in-memory / durable / \
+     durable+fsync, recovery vs WAL length%s\n"
+    n
+    (if quick then " (--quick)" else "");
+  let docs =
+    Workload.Orders_gen.orders
+      { Workload.Orders_gen.default with n_customers = 50 }
+      n
+  in
+  let load_into db =
+    ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    ddl db
+      [
+        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
+         '//lineitem/@price' AS DOUBLE";
+      ];
+    Engine.load_documents db ~table:"orders" ~column:"orddoc" docs
+  in
+  let measure name run =
+    ignore (run ());
+    let ms = p50_ms ~iters ~batch:1 run in
+    Printf.printf "  load %-14s p50 %8.3f ms\n" name ms;
+    flush stdout;
+    ms
+  in
+  let mem = measure "in-memory" (fun () -> load_into (Engine.create ())) in
+  let durable_run ~sync () =
+    let dir = bench_fresh_dir () in
+    Fun.protect
+      ~finally:(fun () -> bench_rm_rf dir)
+      (fun () ->
+        let db = Engine.open_db ~sync ~data_dir:dir () in
+        load_into db;
+        Engine.close db)
+  in
+  let dur = measure "durable" (durable_run ~sync:false) in
+  let dur_fsync = measure "durable+fsync" (durable_run ~sync:true) in
+  (* recovery time vs WAL length: a database whose entire history is in
+     the log (no checkpoint), reopened cold *)
+  let recovery_point stmts =
+    let dir = bench_fresh_dir () in
+    Fun.protect
+      ~finally:(fun () -> bench_rm_rf dir)
+      (fun () ->
+        let db = Engine.open_db ~sync:false ~data_dir:dir () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+        for i = 1 to stmts do
+          ignore
+            (Engine.sql db
+               (Printf.sprintf "INSERT INTO t VALUES (%d, '<a><p>%d</p></a>')"
+                  i i))
+        done;
+        Engine.close db;
+        let wal_bytes =
+          try (Unix.stat (Filename.concat dir "wal.0.log")).Unix.st_size
+          with Unix.Unix_error _ -> 0
+        in
+        (* median-of-3 cold reopen; committed records survive a reopen,
+           so the same history is replayed every time *)
+        let h = Xprof.Hist.create () in
+        let last = ref None in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          let db2 = Engine.open_db ~data_dir:dir () in
+          Xprof.Hist.add h ((Unix.gettimeofday () -. t0) *. 1000.);
+          last := Some db2;
+          Engine.close db2
+        done;
+        let db2 = Option.get !last in
+        let redo =
+          !(Xprof.Registry.counter (Engine.registry db2)
+              "recovery_redo_records")
+        in
+        let rows =
+          List.length (Engine.sql db2 "SELECT a FROM t").Sqlxml.Sql_exec.rrows
+        in
+        let ok = rows = stmts in
+        let open_ms = Xprof.Hist.p50 h in
+        Printf.printf
+          "  recovery %5d statements: WAL %8d B, reopen p50 %8.3f ms, %d \
+           redo records — %s\n"
+          stmts wal_bytes open_ms redo
+          (if ok then "ok" else "ROWS LOST");
+        flush stdout;
+        ( stmts,
+          J.Obj
+            [
+              ("statements", J.Int stmts);
+              ("wal_bytes", J.Int wal_bytes);
+              ("open_p50_ms", J.Float open_ms);
+              ("redo_records", J.Int redo);
+              ("ok", J.Bool ok);
+            ],
+          ok ))
+  in
+  let points =
+    List.map recovery_point (if quick then [ 50; 200 ] else [ 100; 400; 1600 ])
+  in
+  let recovery_ok = List.for_all (fun (_, _, ok) -> ok) points in
+  Printf.printf "  recovery gate: %s\n"
+    (if recovery_ok then "ok" else "VIOLATION");
+  let section =
+    J.Obj
+      [
+        ("n_docs", J.Int n);
+        ("iterations", J.Int iters);
+        ( "load_p50_ms",
+          J.Obj
+            [
+              ("memory", J.Float mem);
+              ("durable", J.Float dur);
+              ("durable_fsync", J.Float dur_fsync);
+            ] );
+        ("overhead_durable", J.Float (dur /. mem));
+        ("overhead_fsync", J.Float (dur_fsync /. mem));
+        ( "recovery",
+          J.Obj
+            [
+              ("points", J.Arr (List.map (fun (_, j, _) -> j) points));
+              ("ok", J.Bool recovery_ok);
+            ] );
+      ]
+  in
+  splice_section ~out ~key:"durability" section;
+  Printf.printf "spliced \"durability\" section into %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -1341,9 +1504,17 @@ let () =
       in
       parallel_suite ~quick ~out ();
       exit 0
+  | Some "durability" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      durability_suite ~quick ~out ();
+      exit 0
   | Some other ->
       Printf.eprintf
-        "unknown suite %S (available: micro, parallel, prepared)\n" other;
+        "unknown suite %S (available: micro, parallel, prepared, durability)\n"
+        other;
       exit 2
   | None -> ());
   Printf.printf

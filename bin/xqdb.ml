@@ -23,7 +23,13 @@
                           then close it (unpulled results never compute)
     - [\cache]            plan-cache statistics
     - [\tables] [\idx]    catalog listings
+    - [\checkpoint]       durable mode: snapshot the catalog and truncate
+                          the WAL (docs/DURABILITY.md)
     - [\demo]             load a small orders/customer/products demo db
+
+    With [--data-dir DIR] the session is durable: every mutating
+    statement is written ahead to DIR's log before it commits, and
+    reopening the directory recovers committed data after a crash.
 
     Batch linting: [xqdb --lint FILE...] analyzes each file (one
     statement per file) and exits non-zero if any Error-severity
@@ -318,6 +324,12 @@ let exec_one db (line : string) =
     cache_cmd db
   end
   else if line = "\\cache" then cache_cmd db
+  else if line = "\\checkpoint" then (
+    match Engine.data_dir db with
+    | None -> print_endline "in-memory session: nothing to checkpoint"
+    | Some dir ->
+        Engine.checkpoint db;
+        Printf.printf "checkpoint written (%s)\n" dir)
   else if String.length line > 9 && String.sub line 0 9 = "\\prepare " then
     prepare_cmd db (String.sub line 9 (String.length line - 9))
   else if String.length line > 6 && String.sub line 0 6 = "\\exec " then
@@ -409,6 +421,25 @@ let json_out =
           "With $(b,--lint): emit diagnostics as JSON. With \
            $(b,--profile): emit one JSON profile object per statement.")
 
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Open (or create) a durable database in $(docv): statements are \
+           written ahead to a log and survive crashes; reopening the \
+           directory runs recovery. Without this flag the session is \
+           in-memory. See docs/DURABILITY.md.")
+
+let no_fsync =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:
+          "With $(b,--data-dir): skip the per-commit fsync (still durable \
+           against process crashes, not against power loss).")
+
 let profile_file =
   Arg.(
     value
@@ -453,25 +484,32 @@ let run_file db f =
         done
       with Exit -> ())
 
-let main script demo parallel do_explain lint json profile =
-  let db = Engine.create () in
+let main script demo parallel do_explain lint json profile data_dir no_fsync =
+  let db =
+    match data_dir with
+    | None -> Engine.create ()
+    | Some dir -> Engine.open_db ~sync:(not no_fsync) ~data_dir:dir ()
+  in
   explain := do_explain;
   if parallel > 1 then Engine.set_parallelism db parallel;
   if demo then load_demo db;
   if lint <> [] then exit (lint_main db lint json);
-  match (profile, script) with
-  | Some f, _ ->
-      Engine.set_profiling db true;
-      profile_json := json;
-      run_file db f
-  | None, Some f -> run_file db f
-  | None, None -> repl db
+  Fun.protect
+    ~finally:(fun () -> Engine.close db)
+    (fun () ->
+      match (profile, script) with
+      | Some f, _ ->
+          Engine.set_profiling db true;
+          profile_json := json;
+          run_file db f
+      | None, Some f -> run_file db f
+      | None, None -> repl db)
 
 let cmd =
   Cmd.v
     (Cmd.info "xqdb" ~doc:"XML database shell (XQuery + SQL/XML + XML indexes)")
     Term.(
       const main $ script $ demo $ parallel $ do_explain $ lint_files
-      $ json_out $ profile_file)
+      $ json_out $ profile_file $ data_dir_arg $ no_fsync)
 
 let () = exit (Cmd.eval cmd)

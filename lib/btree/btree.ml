@@ -380,6 +380,88 @@ module Make (K : ORDERED) = struct
   let to_list t = range t ~lo:Unbounded ~hi:Unbounded
 
   (* -------------------------------------------------------------- *)
+  (* Bulk load (snapshot restore)                                    *)
+  (* -------------------------------------------------------------- *)
+
+  (** Walk the leaf level left-to-right; [f keys vals] once per leaf.
+      Used by the snapshot writer to dump a tree leaf-by-leaf. *)
+  let iter_leaves t f =
+    let rec leftmost = function
+      | Leaf l -> l
+      | Node n -> leftmost n.children.(0)
+    in
+    let rec go l =
+      f l.keys l.vals;
+      match l.next with None -> () | Some l' -> go l'
+    in
+    go (leftmost t.root)
+
+  (** Split [total] items into groups of at most [max] with near-even
+      sizes, so no group underflows: with g = ceil(total/max) groups the
+      smallest group holds floor(total/g) >= max/2 items whenever g > 1. *)
+  let group_sizes total max =
+    let g = (total + max - 1) / max in
+    let base = total / g and extra = total mod g in
+    Array.init g (fun i -> base + if i < extra then 1 else 0)
+
+  (** Bulk-build a tree from strictly-sorted distinct entries in O(n):
+      pack the leaf level, then build each internal level bottom-up. The
+      result satisfies {!check}. *)
+  let of_sorted ?(order = 32) ?(prof = Xprof.disabled) (entries : (K.t * 'v) array) : 'v t =
+    if order < 4 then invalid_arg "Btree.of_sorted: order must be >= 4";
+    let n = Array.length entries in
+    if n = 0 then create ~order ~prof ()
+    else begin
+      for i = 1 to n - 1 do
+        if K.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
+          invalid_arg "Btree.of_sorted: entries not strictly sorted"
+      done;
+      let off = ref 0 in
+      let leaves =
+        group_sizes n order |> Array.to_list
+        |> List.map (fun sz ->
+               let base = !off in
+               off := base + sz;
+               {
+                 keys = Array.init sz (fun j -> fst entries.(base + j));
+                 vals = Array.init sz (fun j -> snd entries.(base + j));
+                 next = None;
+               })
+      in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            a.next <- Some b;
+            link rest
+        | _ -> ()
+      in
+      link leaves;
+      (* Levels are lists of (min key of subtree, node). *)
+      let rec build = function
+        | [ (_, node) ] -> node
+        | level ->
+            let arr = Array.of_list level in
+            let off = ref 0 in
+            group_sizes (Array.length arr) (order + 1) |> Array.to_list
+            |> List.map (fun sz ->
+                   let base = !off in
+                   off := base + sz;
+                   ( fst arr.(base),
+                     Node
+                       {
+                         seps = Array.init (sz - 1) (fun j -> fst arr.(base + j + 1));
+                         children = Array.init sz (fun j -> snd arr.(base + j));
+                       } ))
+            |> build
+      in
+      {
+        root = build (List.map (fun l -> (l.keys.(0), Leaf l)) leaves);
+        size = n;
+        max_keys = order;
+        prof;
+      }
+    end
+
+  (* -------------------------------------------------------------- *)
   (* Invariant checking (for property tests)                         *)
   (* -------------------------------------------------------------- *)
 

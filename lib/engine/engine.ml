@@ -46,6 +46,8 @@ type t = {
           cumulative counters), fed after each statement while profiling
           is on; plan-cache and cursor counters accumulate always *)
   cache : compiled_stmt Plan_cache.t;
+  mutable dur : Durable.t option;
+      (** the data directory behind {!open_db}; [None] = in-memory *)
 }
 
 let database t = E.database t.sqlctx
@@ -53,13 +55,9 @@ let database t = E.database t.sqlctx
 let catalog t : Planner.catalog =
   { Planner.db = database t; indexes = E.xml_indexes t.sqlctx }
 
-let create () =
+let mk_engine ?(registry = Xprof.Registry.create ()) db =
   let t =
-    {
-      sqlctx = E.create (Storage.Database.create ());
-      registry = Xprof.Registry.create ();
-      cache = Plan_cache.create ();
-    }
+    { sqlctx = E.create db; registry; cache = Plan_cache.create (); dur = None }
   in
   (* the strict-mode gate: Sql_exec cannot depend on the analyzer, so the
      facade installs it (off until [set_strict_types true]) *)
@@ -68,6 +66,8 @@ let create () =
        (fun ~src stmt ->
          Analysis.Analyze.check_sql ~catalog:(catalog t) ~src stmt));
   t
+
+let create () = mk_engine (Storage.Database.create ())
 
 (** Strict static typing: when on, statements with Error-severity
     diagnostics (e.g. the Query 14 XMLCAST-of-many) are rejected before
@@ -138,6 +138,87 @@ let record_statement t =
     Xprof.Registry.set_gauge r "rel_indexes"
       (float_of_int (List.length (rel_indexes t)))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Open (or create) a durable database in [data_dir], running crash
+    recovery first: load the live snapshot, replay the committed WAL
+    tail, truncate torn/uncommitted records. [sync:false] still writes
+    the WAL at every commit but skips the fsync (faster loads, durable
+    against process crashes but not power loss). Refuses directories with
+    an unrecognized or incompatible on-disk format with [XQDB0005]. *)
+let open_db ?(sync = true) ~data_dir () : t =
+  let registry = Xprof.Registry.create () in
+  let count name = Xprof.Registry.incr registry name in
+  let dur, t, redo =
+    Durable.open_db ~sync ~count ~data_dir
+      ~mk:(fun db xindexes rindexes ->
+        let t = mk_engine ~registry db in
+        (* ctx index lists are built by consing, newest first; the
+           snapshot preserved that order, so attach in reverse *)
+        List.iter (E.attach_xml_index t.sqlctx) (List.rev xindexes);
+        List.iter (E.attach_rel_index t.sqlctx) (List.rev rindexes);
+        t)
+      ~apply:(fun t rec_ ->
+        match rec_ with
+        | Wal.Row (tname, op) ->
+            Storage.Table.apply_jop
+              (Storage.Database.table_exn (database t) tname)
+              op
+        | Wal.Ddl text -> ignore (E.exec_string t.sqlctx text)
+        | Wal.Begin _ | Wal.Commit _ -> ())
+      ()
+  in
+  Xprof.Registry.incr ~by:redo registry "recovery_redo_records";
+  t.dur <- Some dur;
+  (* journal every table — current and future (CREATE TABLE) — into the
+     WAL; records flow only inside a statement group *)
+  Storage.Database.set_table_hook (database t) (Durable.journal_table dur);
+  t
+
+(** The data directory behind this handle; [None] for in-memory. *)
+let data_dir t = Option.map Durable.data_dir t.dur
+
+(** Run one mutating statement as a WAL group (no-op in-memory and for
+    reads). DDL is logged by statement text, DML by the row journal
+    records its execution emits. *)
+let with_wal t (cls : [ `Read | `Dml | `Ddl ]) ~(src : string option)
+    (f : unit -> 'a) : 'a =
+  match (t.dur, cls) with
+  | None, _ | _, `Read -> f ()
+  | Some dur, `Dml -> Durable.statement dur f
+  | Some dur, `Ddl -> Durable.statement dur ?ddl:src f
+
+(** Write a new-generation snapshot, publish it atomically and truncate
+    the WAL. No-op on an in-memory handle. *)
+let checkpoint t =
+  match t.dur with
+  | None -> ()
+  | Some dur ->
+      Durable.checkpoint dur ~db:(database t)
+        ~xindexes:(E.xml_indexes t.sqlctx) ~rindexes:(E.rel_indexes t.sqlctx);
+      Xprof.Registry.incr t.registry "checkpoints_total"
+
+(** Flush and close the data directory. The handle keeps working as an
+    in-memory database afterwards. Idempotent; no-op in-memory. *)
+let close t =
+  match t.dur with
+  | None -> ()
+  | Some dur ->
+      Durable.close dur;
+      t.dur <- None
+
+(** Abandon the durable handle the way a crash would — drop the file
+    descriptors without syncing, leaving the in-memory state untouched
+    for comparison. Test-only (the recovery torture suite). *)
+let simulate_crash t =
+  match t.dur with
+  | None -> ()
+  | Some dur ->
+      Durable.simulate_crash dur;
+      t.dur <- None
 
 (* ------------------------------------------------------------------ *)
 (* Error discipline                                                    *)
@@ -341,14 +422,17 @@ let profile_snapshot t =
 (* Execution of compiled statements                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_compiled t (cs : compiled_stmt) ~(diag : string)
+let run_compiled t (cs : compiled_stmt) ~(src : string) ~(diag : string)
     ~(params : SV.t list) ~(vars : (string * Xdm.Item.seq) list) : outcome =
   match cs with
   | CSql (stmt, nslots) -> (
       check_sql_arity nslots params vars;
       E.set_params t.sqlctx (Array.of_list params);
       let fin () = E.set_params t.sqlctx [||] in
-      match E.exec t.sqlctx stmt with
+      match
+        with_wal t (E.stmt_class stmt) ~src:(Some src) (fun () ->
+            E.exec t.sqlctx stmt)
+      with
       | r ->
           fin ();
           record_statement t;
@@ -395,7 +479,7 @@ let exec ?(params : SV.t list = []) ?(vars : (string * Xdm.Item.seq) list = [])
     t (src : string) : outcome =
   coerce_errors (fun () ->
       let cs, diag = lookup_compiled t src in
-      run_compiled t cs ~diag ~params ~vars)
+      run_compiled t cs ~src ~diag ~params ~vars)
 
 (* ------------------------------------------------------------------ *)
 (* Prepared statements                                                 *)
@@ -502,7 +586,13 @@ let open_cursor ?(params : SV.t list = [])
         | CSql (stmt, nslots) ->
             check_sql_arity nslots params vars;
             E.set_params t.sqlctx (Array.of_list params);
-            let cols, rows = E.exec_seq t.sqlctx stmt in
+            (* reads stream lazily (with_wal passes them through); DML
+               and DDL materialize inside exec_seq, so the WAL group
+               closes before the cursor is handed back *)
+            let cols, rows =
+              with_wal t (E.stmt_class stmt) ~src:(Some src) (fun () ->
+                  E.exec_seq t.sqlctx stmt)
+            in
             {
               Cursor.seq = Seq.map (fun r -> Cursor.Row r) rows;
               state = `Open;
@@ -540,7 +630,17 @@ let execute_cursor ?(params = []) ?(vars = []) (s : stmt) : Cursor.t =
     callers that rely on the original [Sql_exec.result] shape and
     layer-private exceptions. *)
 let sql t (src : string) : E.result =
-  match E.exec_string t.sqlctx src with
+  (* inlines E.exec_string so the statement can be classified and run as
+     a WAL group on a durable handle; exception behavior is unchanged *)
+  let go () =
+    let stmt = Sqlxml.Sql_parser.parse src in
+    (match (E.strict_static t.sqlctx, E.static_check t.sqlctx) with
+    | true, Some check -> check ~src stmt
+    | _ -> ());
+    with_wal t (E.stmt_class stmt) ~src:(Some src) (fun () ->
+        E.exec t.sqlctx stmt)
+  in
+  match go () with
   | r ->
       record_statement t;
       r
@@ -639,6 +739,7 @@ let insert_parsed_docs t tbl coli ~log (docs : Xdm.Node.t list) =
     docs
 
 let load_documents t ~table ~column (docs : string list) : unit =
+  with_wal t `Dml ~src:None @@ fun () ->
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
   let prof = profile t in
@@ -697,6 +798,7 @@ let load_documents t ~table ~column (docs : string list) : unit =
     benchmark's timed region should call when it wants to measure insert
     + index maintenance rather than parsing. *)
 let load_parsed_documents t ~table ~column (docs : Xdm.Node.t list) : unit =
+  with_wal t `Dml ~src:None @@ fun () ->
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
   let prof = profile t in

@@ -31,6 +31,41 @@ type t
 
 val create : unit -> t
 
+(** {1 Durability}
+
+    {!create} gives an in-memory database — the default, and what every
+    benchmark and test uses unless it opts in. {!open_db} binds the
+    handle to a data directory with a page-file snapshot and a write-ahead
+    log: every mutating statement (DML, DDL, bulk loads) is logged as one
+    WAL group and committed records survive a crash — reopening the
+    directory replays the committed tail and truncates torn garbage. See
+    docs/DURABILITY.md for the on-disk format and recovery algorithm. *)
+
+(** Open (or create) a durable database in [data_dir], running crash
+    recovery first. [sync] (default [true]) fsyncs the WAL at every
+    commit; [sync:false] still writes each commit to the file (durable
+    against process crashes) but skips the fsync. Raises [XQDB0005] on an
+    unrecognized or incompatible on-disk format. *)
+val open_db : ?sync:bool -> data_dir:string -> unit -> t
+
+(** The data directory behind this handle; [None] for in-memory. *)
+val data_dir : t -> string option
+
+(** Write a new-generation snapshot of the whole catalog, publish it
+    atomically (tmp-file + rename of the MANIFEST) and start a fresh WAL.
+    Bounds recovery time; the shell exposes it as [\checkpoint]. No-op on
+    an in-memory handle. *)
+val checkpoint : t -> unit
+
+(** Flush and close the data directory; the handle keeps working as an
+    in-memory database afterwards. Idempotent; no-op in-memory. *)
+val close : t -> unit
+
+(** Abandon the durable handle the way a crash would: drop the file
+    descriptors without syncing, leaving in-memory state untouched for
+    comparison. Test-only — the recovery torture suite's crash lever. *)
+val simulate_crash : t -> unit
+
 (** {1 Settings} *)
 
 (** Strict static typing: when on, statements with Error-severity

@@ -1,0 +1,252 @@
+(** Fixed-size page file with a pinning buffer pool.
+
+    The durable layer stores snapshots as page files: a flat file of
+    [page_size]-byte slots addressed by page id. Reads and writes go
+    through a small buffer pool with pin/unpin and LRU eviction, so a
+    snapshot larger than the pool streams through bounded memory and the
+    eviction/write-back paths are genuinely exercised (and fault-injectable
+    via the ["page.write"] and ["page.evict"] points).
+
+    The pager is deliberately dumb: it knows nothing about what the pages
+    contain. {!Blob} layers variable-length byte strings over page chains;
+    the snapshot format (lib/wal) layers the catalog over blobs. *)
+
+(** Re-export: the binary codec also frames WAL records (lib/wal). *)
+module Codec = Codec
+
+let default_page_size = 4096
+let default_pool_pages = 64
+
+type frame = {
+  data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable tick : int;  (** last-touched stamp for LRU *)
+}
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  page_size : int;
+  pool_pages : int;  (** max resident frames before eviction *)
+  pool : (int, frame) Hashtbl.t;
+  mutable next_page : int;  (** number of allocated pages *)
+  mutable clock : int;
+  count : string -> unit;  (** Xprof counter hook *)
+}
+
+let no_count (_ : string) = ()
+
+let openfile ?(page_size = default_page_size)
+    ?(pool_pages = default_pool_pages) ?(count = no_count) ~truncate path =
+  if page_size < 64 then invalid_arg "Pager.openfile: page_size too small";
+  let flags =
+    if truncate then Unix.[ O_RDWR; O_CREAT; O_TRUNC ]
+    else Unix.[ O_RDWR; O_CREAT ]
+  in
+  let fd = Unix.openfile path flags 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  {
+    fd;
+    path;
+    page_size;
+    pool_pages = max 4 pool_pages;
+    pool = Hashtbl.create 64;
+    next_page = (size + page_size - 1) / page_size;
+    clock = 0;
+    count;
+  }
+
+let page_size t = t.page_size
+let page_count t = t.next_page
+let path t = t.path
+
+let touch t f =
+  t.clock <- t.clock + 1;
+  f.tick <- t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Physical I/O                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_exactly fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let physical_write t id (f : frame) =
+  Faultinject.hit "page.write";
+  ignore (Unix.lseek t.fd (id * t.page_size) Unix.SEEK_SET);
+  write_exactly t.fd f.data;
+  t.count "page_writes";
+  f.dirty <- false
+
+let physical_read t id (buf : bytes) =
+  ignore (Unix.lseek t.fd (id * t.page_size) Unix.SEEK_SET);
+  let rec go off =
+    if off < t.page_size then
+      match Unix.read t.fd buf off (t.page_size - off) with
+      | 0 -> ()  (* short file: rest of the page stays zero *)
+      | n -> go (off + n)
+  in
+  go 0;
+  t.count "page_reads"
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Evict the least-recently-used unpinned frame, writing it back first if
+    dirty. A pool full of pinned frames simply grows past [pool_pages]. *)
+let maybe_evict t =
+  if Hashtbl.length t.pool >= t.pool_pages then begin
+    let victim = ref None in
+    Hashtbl.iter
+      (fun id (f : frame) ->
+        if f.pins = 0 then
+          match !victim with
+          | Some (_, (v : frame)) when v.tick <= f.tick -> ()
+          | _ -> victim := Some (id, f))
+      t.pool;
+    match !victim with
+    | None -> ()
+    | Some (id, f) ->
+        Faultinject.hit "page.evict";
+        if f.dirty then physical_write t id f;
+        Hashtbl.remove t.pool id;
+        t.count "pool_evictions"
+  end
+
+(** Fetch page [id] into the pool (reading from disk if absent) and return
+    its frame. *)
+let frame_of t id =
+  if id < 0 || id >= t.next_page then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range [0,%d)" id t.next_page);
+  match Hashtbl.find_opt t.pool id with
+  | Some f ->
+      touch t f;
+      f
+  | None ->
+      maybe_evict t;
+      let f = { data = Bytes.make t.page_size '\000'; dirty = false; pins = 0; tick = 0 } in
+      physical_read t id f.data;
+      Hashtbl.replace t.pool id f;
+      touch t f;
+      f
+
+(** Allocate a fresh (zeroed, dirty) page and return its id. *)
+let alloc t =
+  let id = t.next_page in
+  t.next_page <- id + 1;
+  maybe_evict t;
+  let f = { data = Bytes.make t.page_size '\000'; dirty = true; pins = 0; tick = 0 } in
+  Hashtbl.replace t.pool id f;
+  touch t f;
+  id
+
+let pin t id =
+  let f = frame_of t id in
+  f.pins <- f.pins + 1;
+  f.data
+
+let unpin t id =
+  match Hashtbl.find_opt t.pool id with
+  | Some f when f.pins > 0 -> f.pins <- f.pins - 1
+  | _ -> ()
+
+(** Run [f] over the pinned bytes of page [id]; unpins on the way out.
+    Mutating the bytes requires calling {!mark_dirty}. *)
+let with_page t id f =
+  let data = pin t id in
+  Fun.protect ~finally:(fun () -> unpin t id) (fun () -> f data)
+
+let mark_dirty t id =
+  match Hashtbl.find_opt t.pool id with
+  | Some f -> f.dirty <- true
+  | None -> invalid_arg "Pager.mark_dirty: page not resident"
+
+(** Copy-out read of a whole page. *)
+let read_page t id = with_page t id (fun data -> Bytes.to_string data)
+
+(** Overwrite page [id] with [s] (shorter strings are zero-padded). *)
+let write_page t id s =
+  if String.length s > t.page_size then
+    invalid_arg "Pager.write_page: string exceeds page size";
+  with_page t id (fun data ->
+      Bytes.fill data 0 t.page_size '\000';
+      Bytes.blit_string s 0 data 0 (String.length s));
+  mark_dirty t id
+
+(** Write every dirty frame back and fsync the file. *)
+let flush t =
+  Hashtbl.fold (fun id f acc -> if f.dirty then (id, f) :: acc else acc) t.pool []
+  |> List.sort compare
+  |> List.iter (fun (id, f) -> physical_write t id f);
+  Unix.fsync t.fd
+
+let close ?(flush = true) t =
+  if flush then
+    (try
+       Hashtbl.fold
+         (fun id f acc -> if f.dirty then (id, f) :: acc else acc)
+         t.pool []
+       |> List.sort compare
+       |> List.iter (fun (id, f) -> physical_write t id f);
+       Unix.fsync t.fd
+     with Unix.Unix_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Blobs: variable-length byte strings over page chains                *)
+(* ------------------------------------------------------------------ *)
+
+module Blob = struct
+  (** Page layout: [8 bytes next-page id (int64 LE, -1 = end of chain)]
+      [4 bytes chunk length (u32 LE)] [chunk bytes]. *)
+
+  let header = 12
+
+  let chunk_capacity t = page_size t - header
+
+  (** Store [s] as a chain of pages; returns the head page id. *)
+  let write t s =
+    let cap = chunk_capacity t in
+    let len = String.length s in
+    let n_pages = max 1 ((len + cap - 1) / cap) in
+    let ids = List.init n_pages (fun _ -> alloc t) in
+    let rec go off = function
+      | [] -> ()
+      | id :: rest ->
+          let chunk_len = min cap (len - off) in
+          let next = match rest with [] -> -1 | id' :: _ -> id' in
+          let buf = Buffer.create (header + chunk_len) in
+          Codec.i64 buf (Int64.of_int next);
+          Codec.u32 buf chunk_len;
+          Buffer.add_substring buf s off chunk_len;
+          write_page t id (Buffer.contents buf);
+          go (off + chunk_len) rest
+    in
+    go 0 ids;
+    List.hd ids
+
+  (** Read back the chain starting at [id]. *)
+  let read t id =
+    let buf = Buffer.create 4096 in
+    let rec go id seen =
+      if id <> -1 then begin
+        if seen > page_count t then Codec.corrupt "blob chain cycle at page %d" id;
+        let page = read_page t id in
+        let r = Codec.reader page in
+        let next = Int64.to_int (Codec.g_i64 r) in
+        let chunk_len = Codec.g_u32 r in
+        if chunk_len > String.length page - header then
+          Codec.corrupt "blob page %d: bad chunk length %d" id chunk_len;
+        Buffer.add_substring buf page header chunk_len;
+        go next (seen + 1)
+      end
+    in
+    go id 0;
+    Buffer.contents buf
+end

@@ -1217,13 +1217,15 @@ let select_seq ctx (s : select) : SV.t list Seq.t =
 (* DDL / DML / entry point                                             *)
 (* ------------------------------------------------------------------ *)
 
-(** Wire index maintenance hooks for a new XML index and backfill it from
-    existing rows. *)
-let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
+(** Wire the maintenance hooks of an XML index into its table; shared by
+    CREATE INDEX (which follows with a backfill) and snapshot recovery
+    (where the tree was bulk-loaded already). Returns the table, its
+    path table and the column's document extractor for the backfill. *)
+let wire_xml_index_hooks ctx (idx : Xmlindex.Xindex.t) =
+  let d = idx.Xmlindex.Xindex.def in
   let t = Storage.Database.table_exn ctx.db d.Xmlindex.Xindex.table in
   let coli = Storage.Table.col_index_exn t d.Xmlindex.Xindex.column in
   let pt = Storage.Table.path_table_exn t d.Xmlindex.Xindex.column in
-  let idx = Xmlindex.Xindex.create ~prof:ctx.prof d in
   let docs_of (r : Storage.Table.row) =
     match r.Storage.Table.values.(coli) with
     | SV.Xml seq ->
@@ -1245,6 +1247,20 @@ let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
             (Xmlindex.Xindex.delete_doc idx pt ~row:r.Storage.Table.row_id)
             (docs_of r));
     };
+  (t, pt, docs_of)
+
+(** Attach an already-populated XML index (snapshot recovery): wire hooks
+    and register it in the catalog, with no backfill. *)
+let attach_xml_index ctx (idx : Xmlindex.Xindex.t) : unit =
+  ignore (wire_xml_index_hooks ctx idx);
+  ctx.xindexes <- idx :: ctx.xindexes;
+  bump_catalog_gen ctx
+
+(** Wire index maintenance hooks for a new XML index and backfill it from
+    existing rows. *)
+let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
+  let idx = Xmlindex.Xindex.create ~prof:ctx.prof d in
+  let t, pt, docs_of = wire_xml_index_hooks ctx idx in
   (* Bulk backfill. With parallelism the pure compute half (pattern
      matching + typed-value casts) runs in contiguous row chunks; the
      mutating half (path-table interning, B+Tree inserts) is applied
@@ -1283,10 +1299,9 @@ let install_xml_index ctx (d : Xmlindex.Xindex.def) : Xmlindex.Xindex.t =
   ctx.xindexes <- idx :: ctx.xindexes;
   idx
 
-let install_rel_index ctx ~iname ~table ~column : Xmlindex.Rel_index.t =
-  let t = Storage.Database.table_exn ctx.db table in
-  let coli = Storage.Table.col_index_exn t column in
-  let ri = Xmlindex.Rel_index.create ~prof:ctx.prof ~iname ~table ~column () in
+let wire_rel_index_hooks ctx (ri : Xmlindex.Rel_index.t) =
+  let t = Storage.Database.table_exn ctx.db ri.Xmlindex.Rel_index.table in
+  let coli = Storage.Table.col_index_exn t ri.Xmlindex.Rel_index.column in
   Storage.Table.add_hook t
     {
       on_insert =
@@ -1299,6 +1314,17 @@ let install_rel_index ctx ~iname ~table ~column : Xmlindex.Rel_index.t =
             (Xmlindex.Rel_index.delete ri ~row:r.Storage.Table.row_id
                r.Storage.Table.values.(coli)));
     };
+  (t, coli)
+
+(** Attach an already-populated relational index (snapshot recovery). *)
+let attach_rel_index ctx (ri : Xmlindex.Rel_index.t) : unit =
+  ignore (wire_rel_index_hooks ctx ri);
+  ctx.rindexes <- ri :: ctx.rindexes;
+  bump_catalog_gen ctx
+
+let install_rel_index ctx ~iname ~table ~column : Xmlindex.Rel_index.t =
+  let ri = Xmlindex.Rel_index.create ~prof:ctx.prof ~iname ~table ~column () in
+  let t, coli = wire_rel_index_hooks ctx ri in
   List.iter
     (fun (r : Storage.Table.row) ->
       Xmlindex.Rel_index.insert ri ~row:r.Storage.Table.row_id
@@ -1486,6 +1512,18 @@ and exec_inner ctx log (stmt : stmt) : result =
           ctx.rindexes;
       bump_catalog_gen ctx;
       { rcols = []; rrows = [] }
+
+(** Durability classification of a statement (WAL grouping): [`Read]
+    statements touch no catalog state and bypass the log; [`Dml] effects
+    are captured as row-level journal records; [`Ddl] is logged as
+    statement text and re-executed on replay. EXPLAIN executes its inner
+    statement, so it classifies as its inner statement does. *)
+let rec stmt_class (stmt : stmt) : [ `Read | `Dml | `Ddl ] =
+  match stmt with
+  | Select _ | Values _ -> `Read
+  | Insert _ | Delete _ | Update _ -> `Dml
+  | CreateTable _ | CreateXmlIndex _ | CreateRelIndex _ | DropIndex _ -> `Ddl
+  | Explain inner -> stmt_class inner
 
 (** Parse and execute. *)
 let exec_string ctx (src : string) : result =

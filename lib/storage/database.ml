@@ -1,9 +1,19 @@
 (** The database catalog: named tables plus the collection resolver that
     backs [db2-fn:xmlcolumn('TABLE.COLUMN')]. *)
 
-type t = { tables : (string, Table.t) Hashtbl.t }
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable on_new_table : (Table.t -> unit) option;
+      (** durable mode: wires a WAL journal into every table as it is
+          created (including tables re-created during recovery replay) *)
+}
 
-let create () = { tables = Hashtbl.create 8 }
+let create () = { tables = Hashtbl.create 8; on_new_table = None }
+
+(** Install [f] on future tables and retrofit it to existing ones. *)
+let set_table_hook db f =
+  db.on_new_table <- Some f;
+  Hashtbl.iter (fun _ t -> f t) db.tables
 
 let norm = String.lowercase_ascii
 
@@ -13,6 +23,7 @@ let create_table db name cols =
     Xdm.Xerror.catalog_error "table %S already exists" name;
   let t = Table.create name cols in
   Hashtbl.add db.tables key t;
+  (match db.on_new_table with None -> () | Some f -> f t);
   t
 
 let drop_table db name = Hashtbl.remove db.tables (norm name)

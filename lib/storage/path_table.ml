@@ -31,6 +31,19 @@ let intern t (node : Node.t) : int =
 let find t (node : Node.t) : int option =
   Hashtbl.find_opt t.by_key (Node.path_key node)
 
+(** Re-install an interned path from a snapshot under its original [id].
+    The intern key is re-derived from the steps (it is the printable
+    rooted path). Ids must be restored explicitly rather than re-interned
+    from surviving rows: interning never forgets, so after deletes the
+    live documents alone no longer determine the id assignment. *)
+let define t ~id (steps : Node.path_step list) =
+  let key = "/" ^ String.concat "/" (List.map Node.step_to_string steps) in
+  Hashtbl.replace t.by_key key id;
+  Hashtbl.replace t.steps_of id steps
+
+let next t = t.next
+let set_next t n = t.next <- n
+
 let steps t id = Hashtbl.find t.steps_of id
 
 let cardinality t = t.next

@@ -15,12 +15,23 @@ type hook = {
   on_delete : row -> unit;
 }
 
+(** Row-level journal records, emitted after a mutation (and its index
+    hooks) completed successfully — the WAL's redo records. Rollback
+    closures bypass the mutators, so an undone statement journals
+    nothing. *)
+type jop =
+  | Jinsert of row
+  | Jdelete of row
+  | Jupdate of row * row  (** old image, new image *)
+
 type t = {
   name : string;
   cols : col_def list;
   mutable rows : (int, row) Hashtbl.t;  (** row_id → row *)
   mutable next_row_id : int;
   mutable hooks : hook list;
+  mutable journal : (jop -> unit) option;
+      (** WAL redo-record sink (durable mode only) *)
   path_tables : (string, Path_table.t) Hashtbl.t;
       (** per XML column: its path table *)
 }
@@ -33,6 +44,7 @@ let create name cols =
       rows = Hashtbl.create 256;
       next_row_id = 0;
       hooks = [];
+      journal = None;
       path_tables = Hashtbl.create 4;
     }
   in
@@ -75,6 +87,11 @@ let path_table_exn t col =
       Hashtbl.find t.path_tables def.col_name
 
 let add_hook t h = t.hooks <- h :: t.hooks
+
+let set_journal t j = t.journal <- j
+
+let journalize t op =
+  match t.journal with None -> () | Some j -> j op
 
 (** Register all rooted paths of an inserted document's nodes in the
     owning column's path table. *)
@@ -153,6 +170,7 @@ let insert ?log t (values : Sql_value.t list) : int =
   record_undo_insert t log row;
   intern_row_paths t row;
   List.iter (fun h -> h.on_insert row) t.hooks;
+  journalize t (Jinsert row);
   id
 
 let delete ?log t row_id =
@@ -162,6 +180,7 @@ let delete ?log t row_id =
       Hashtbl.remove t.rows row_id;
       record_undo_delete t log row;
       List.iter (fun h -> h.on_delete row) t.hooks;
+      journalize t (Jdelete row);
       true
 
 (** Replace the values of row [row_id] (values in column order); returns
@@ -184,7 +203,34 @@ let update ?log t row_id (values : Sql_value.t list) : bool =
       Hashtbl.replace t.rows row_id new_row;
       intern_row_paths t new_row;
       List.iter (fun h -> h.on_insert new_row) t.hooks;
+      journalize t (Jupdate (old_row, new_row));
       true
+
+(** Redo-side application of a journal record (WAL recovery): preserves
+    the logged row ids, fires index hooks, and re-interns paths, but does
+    not coerce (values were coerced before they were logged), journal
+    (recovery must not re-log) or undo-log (committed records are never
+    rolled back). *)
+let apply_jop t (op : jop) =
+  let put (row : row) =
+    Hashtbl.replace t.rows row.row_id row;
+    if row.row_id >= t.next_row_id then t.next_row_id <- row.row_id + 1;
+    intern_row_paths t row;
+    List.iter (fun h -> h.on_insert row) t.hooks
+  in
+  let drop (row : row) =
+    match Hashtbl.find_opt t.rows row.row_id with
+    | None -> ()
+    | Some live ->
+        Hashtbl.remove t.rows row.row_id;
+        List.iter (fun h -> h.on_delete live) t.hooks
+  in
+  match op with
+  | Jinsert row -> put row
+  | Jdelete row -> drop row
+  | Jupdate (old_row, new_row) ->
+      drop old_row;
+      put new_row
 
 let row_count t = Hashtbl.length t.rows
 

@@ -1,0 +1,313 @@
+(** Checkpoint snapshots: the full catalog (tables, rows, path tables,
+    XML and relational indexes) serialized through the {!Pager}.
+
+    Layout: page 0 is a fixed header [magic, format version, page size,
+    catalog blob head]; the catalog itself is one {!Pager.Blob} page
+    chain. Recovery = load the snapshot, then replay the WAL tail on top.
+
+    Node identity is the one thing that does not survive serialization:
+    XML values are stored as document text and re-parsed on load, so every
+    node gets a fresh id. Index entries therefore go to disk with the
+    node's *document-order ordinal* within its row (the walk order of
+    {!Xdm.Node.renumber}: node, attributes, children) instead of its node
+    id, and the loader remaps ordinals to the freshly parsed nodes'
+    ids, re-sorts, and bulk-loads the B+Tree. Relational index keys
+    contain no node ids and round-trip unchanged. *)
+
+open Storage
+module C = Pager.Codec
+
+let magic = "XQDBSNAP"
+let format_version = 1
+
+let format_error fmt =
+  Xdm.Xerror.raise_err "XQDB0005" fmt
+
+(* ------------------------------------------------------------------ *)
+(* Document-order ordinals                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Walk a node tree in {!Xdm.Node.renumber} order. *)
+let rec walk f (n : Xdm.Node.t) =
+  f n;
+  List.iter (walk f) n.Xdm.Node.attrs;
+  List.iter (walk f) n.Xdm.Node.children
+
+(** [(row, node id) -> ordinal] for every node of an XML column; ordinals
+    are per-row and continue across multiple documents in one value. *)
+let ordinals_of_column (t : Table.t) (column : string) :
+    (int * int, int) Hashtbl.t =
+  let map = Hashtbl.create 1024 in
+  let per_row = Hashtbl.create 64 in
+  List.iter
+    (fun (row, doc) ->
+      let next = try Hashtbl.find per_row row with Not_found -> 0 in
+      let counter = ref next in
+      walk
+        (fun n ->
+          Hashtbl.replace map (row, n.Xdm.Node.id) !counter;
+          incr counter)
+        doc;
+      Hashtbl.replace per_row row !counter)
+    (Table.xml_docs t column);
+  map
+
+(** The inverse map after reload: [(row, ordinal) -> node id]. *)
+let nodes_of_column (t : Table.t) (column : string) :
+    (int * int, int) Hashtbl.t =
+  let map = Hashtbl.create 1024 in
+  let per_row = Hashtbl.create 64 in
+  List.iter
+    (fun (row, doc) ->
+      let next = try Hashtbl.find per_row row with Not_found -> 0 in
+      let counter = ref next in
+      walk
+        (fun n ->
+          Hashtbl.replace map (row, !counter) n.Xdm.Node.id;
+          incr counter)
+        doc;
+      Hashtbl.replace per_row row !counter)
+    (Table.xml_docs t column);
+  map
+
+(* ------------------------------------------------------------------ *)
+(* Catalog encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let enc_col buf (c : Table.col_def) =
+  C.str buf c.Table.col_name;
+  Vcodec.sqltype buf c.Table.col_type
+
+let g_col r : Table.col_def =
+  let col_name = C.g_str r in
+  let col_type = Vcodec.g_sqltype r in
+  { Table.col_name; col_type }
+
+let enc_path_table buf (col_name, (pt : Path_table.t)) =
+  C.str buf col_name;
+  C.uvarint buf (Path_table.next pt);
+  let entries =
+    Path_table.fold pt (fun acc id steps -> (id, steps) :: acc) []
+    |> List.sort compare
+  in
+  C.list
+    (fun buf (id, steps) ->
+      C.uvarint buf id;
+      C.list Vcodec.step buf steps)
+    buf entries
+
+let enc_table buf (t : Table.t) =
+  C.str buf t.Table.name;
+  C.list enc_col buf t.Table.cols;
+  C.uvarint buf t.Table.next_row_id;
+  C.list Vcodec.row buf (Table.rows t);
+  let pts = Hashtbl.fold (fun c pt acc -> (c, pt) :: acc) t.Table.path_tables [] in
+  C.list enc_path_table buf (List.sort compare pts)
+
+let g_table r : Table.t =
+  let name = C.g_str r in
+  let cols = C.g_list g_col r in
+  let next_row_id = C.g_uvarint r in
+  let rows = C.g_list Vcodec.g_row r in
+  let t = Table.create name cols in
+  t.Table.next_row_id <- next_row_id;
+  List.iter (fun (row : Table.row) -> Hashtbl.replace t.Table.rows row.Table.row_id row) rows;
+  let n_pts = C.g_uvarint r in
+  for _ = 1 to n_pts do
+    let col_name = C.g_str r in
+    let next = C.g_uvarint r in
+    let pt =
+      match Hashtbl.find_opt t.Table.path_tables col_name with
+      | Some pt -> pt
+      | None -> format_error "snapshot path table for unknown column %S" col_name
+    in
+    let entries = C.g_list (fun r ->
+        let id = C.g_uvarint r in
+        let steps = C.g_list Vcodec.g_step r in
+        (id, steps)) r
+    in
+    List.iter (fun (id, steps) -> Path_table.define pt ~id steps) entries;
+    Path_table.set_next pt next
+  done;
+  t
+
+let vtype_to_u8 = function
+  | Xmlindex.Xindex.VDouble -> 0
+  | Xmlindex.Xindex.VVarchar -> 1
+  | Xmlindex.Xindex.VDate -> 2
+  | Xmlindex.Xindex.VTimestamp -> 3
+
+let vtype_of_u8 = function
+  | 0 -> Xmlindex.Xindex.VDouble
+  | 1 -> Xmlindex.Xindex.VVarchar
+  | 2 -> Xmlindex.Xindex.VDate
+  | 3 -> Xmlindex.Xindex.VTimestamp
+  | n -> C.corrupt "bad vtype %d" n
+
+let enc_xindex db buf (idx : Xmlindex.Xindex.t) =
+  let def = idx.Xmlindex.Xindex.def in
+  C.str buf def.Xmlindex.Xindex.iname;
+  C.str buf def.Xmlindex.Xindex.table;
+  C.str buf def.Xmlindex.Xindex.column;
+  C.str buf (Xmlindex.Pattern.to_string def.Xmlindex.Xindex.pattern);
+  C.u8 buf (vtype_to_u8 def.Xmlindex.Xindex.vtype);
+  let t = Database.table_exn db def.Xmlindex.Xindex.table in
+  let ords = ordinals_of_column t def.Xmlindex.Xindex.column in
+  C.list
+    (fun buf (k : Xmlindex.Xindex.Key.t) ->
+      let ord =
+        match Hashtbl.find_opt ords (k.Xmlindex.Xindex.Key.row, k.Xmlindex.Xindex.Key.node) with
+        | Some o -> o
+        | None ->
+            format_error "index %S references unknown node (row %d)"
+              def.Xmlindex.Xindex.iname k.Xmlindex.Xindex.Key.row
+      in
+      Vcodec.atomic buf k.Xmlindex.Xindex.Key.v;
+      C.uvarint buf k.Xmlindex.Xindex.Key.path;
+      C.uvarint buf k.Xmlindex.Xindex.Key.row;
+      C.uvarint buf ord)
+    buf
+    (Xmlindex.Xindex.entries idx)
+
+let g_xindex db r : Xmlindex.Xindex.t =
+  let iname = C.g_str r in
+  let table = C.g_str r in
+  let column = C.g_str r in
+  let pattern =
+    let src = C.g_str r in
+    try Xmlindex.Pattern.of_string src
+    with _ -> C.corrupt "bad index pattern %S" src
+  in
+  let vtype = vtype_of_u8 (C.g_u8 r) in
+  let def = { Xmlindex.Xindex.iname; table; column; pattern; vtype } in
+  let t =
+    match Database.find_table db table with
+    | Some t -> t
+    | None -> format_error "snapshot index %S on unknown table %S" iname table
+  in
+  let nodes = nodes_of_column t column in
+  let entries =
+    C.g_list
+      (fun r ->
+        let v = Vcodec.g_atomic r in
+        let path = C.g_uvarint r in
+        let row = C.g_uvarint r in
+        let ord = C.g_uvarint r in
+        let node =
+          match Hashtbl.find_opt nodes (row, ord) with
+          | Some id -> id
+          | None -> C.corrupt "index %S: ordinal %d missing in row %d" iname ord row
+        in
+        { Xmlindex.Xindex.Key.v; path; row; node })
+      r
+  in
+  Xmlindex.Xindex.of_entries def entries
+
+let enc_rindex buf (idx : Xmlindex.Rel_index.t) =
+  C.str buf idx.Xmlindex.Rel_index.iname;
+  C.str buf idx.Xmlindex.Rel_index.table;
+  C.str buf idx.Xmlindex.Rel_index.column;
+  C.list
+    (fun buf (k : Xmlindex.Rel_index.Key.t) ->
+      Vcodec.sql_value buf k.Xmlindex.Rel_index.Key.v;
+      C.uvarint buf k.Xmlindex.Rel_index.Key.row)
+    buf
+    (Xmlindex.Rel_index.entries idx)
+
+let g_rindex r : Xmlindex.Rel_index.t =
+  let iname = C.g_str r in
+  let table = C.g_str r in
+  let column = C.g_str r in
+  let entries =
+    C.g_list
+      (fun r ->
+        let v = Vcodec.g_sql_value r in
+        let row = C.g_uvarint r in
+        { Xmlindex.Rel_index.Key.v; row })
+      r
+  in
+  Xmlindex.Rel_index.of_entries ~iname ~table ~column entries
+
+let encode_catalog buf db (xindexes : Xmlindex.Xindex.t list)
+    (rindexes : Xmlindex.Rel_index.t list) =
+  C.list enc_table buf (Database.tables db);
+  C.list (enc_xindex db) buf xindexes;
+  C.list enc_rindex buf rindexes
+
+let decode_catalog data :
+    Database.t * Xmlindex.Xindex.t list * Xmlindex.Rel_index.t list =
+  let r = C.reader data in
+  let tables = C.g_list g_table r in
+  let db = Database.create () in
+  List.iter
+    (fun (t : Table.t) ->
+      Hashtbl.add db.Database.tables (String.lowercase_ascii t.Table.name) t)
+    tables;
+  let xindexes = C.g_list (g_xindex db) r in
+  let rindexes = C.g_list g_rindex r in
+  (db, xindexes, rindexes)
+
+(* ------------------------------------------------------------------ *)
+(* Page-file header                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header_len = String.length magic + 4 + 4 + 8
+
+let no_count (_ : string) = ()
+
+(** Write a full snapshot of [db] (plus indexes) to [path]. *)
+let save ?(page_size = Pager.default_page_size) ?(pool_pages = Pager.default_pool_pages)
+    ?(count = no_count) ~path db xindexes rindexes =
+  let p = Pager.openfile ~page_size ~pool_pages ~count ~truncate:true path in
+  Fun.protect
+    ~finally:(fun () -> Pager.close p)
+    (fun () ->
+      let hdr = Pager.alloc p in
+      assert (hdr = 0);
+      let buf = Buffer.create 65536 in
+      encode_catalog buf db xindexes rindexes;
+      let head = Pager.Blob.write p (Buffer.contents buf) in
+      let hb = Buffer.create header_len in
+      Buffer.add_string hb magic;
+      C.u32 hb format_version;
+      C.u32 hb page_size;
+      C.i64 hb (Int64.of_int head);
+      Pager.write_page p 0 (Buffer.contents hb);
+      Pager.flush p)
+
+(** Load a snapshot; raises a coded [XQDB0005] error on an unrecognized
+    or incompatible format and on structural corruption. *)
+let load ?(pool_pages = Pager.default_pool_pages) ?(count = no_count) ~path () :
+    Database.t * Xmlindex.Xindex.t list * Xmlindex.Rel_index.t list =
+  (* The header fixes the page size, so read it with plain file I/O
+     before opening the pager. *)
+  let hdr =
+    match open_in_bin path with
+    | exception Sys_error _ -> format_error "cannot read snapshot %s" path
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try really_input_string ic header_len
+            with End_of_file ->
+              format_error "snapshot %s: truncated header" path)
+  in
+  if String.sub hdr 0 (String.length magic) <> magic then
+    format_error "%s is not an xqdb snapshot" path;
+  let r = C.reader hdr in
+  r.C.pos <- String.length magic;
+  let version = C.g_u32 r in
+  if version <> format_version then
+    format_error "snapshot %s: format version %d, this build reads %d" path
+      version format_version;
+  let page_size = C.g_u32 r in
+  let head = Int64.to_int (C.g_i64 r) in
+  if page_size < 64 then format_error "snapshot %s: bad page size %d" path page_size;
+  let p = Pager.openfile ~page_size ~pool_pages ~count ~truncate:false path in
+  Fun.protect
+    ~finally:(fun () -> Pager.close ~flush:false p)
+    (fun () ->
+      match decode_catalog (Pager.Blob.read p head) with
+      | result -> result
+      | exception C.Corrupt m -> format_error "snapshot %s: %s" path m
+      | exception Invalid_argument m -> format_error "snapshot %s: %s" path m)

@@ -42,6 +42,23 @@ let delete idx ~row (v : Sql_value.t) =
 
 let entry_count idx = BT.size idx.tree
 
+(** All entries in key order (snapshot dump). *)
+let entries idx : Key.t list = List.map fst (BT.to_list idx.tree)
+
+(** Rebuild from snapshot entries; relational keys are stable across a
+    reload (no node ids), so the dumped order is already the key order. *)
+let of_entries ?(prof = Xprof.disabled) ~iname ~table ~column
+    (entries : Key.t list) : t =
+  let arr = List.map (fun k -> (k, ())) entries |> Array.of_list in
+  {
+    iname;
+    table;
+    column;
+    tree = BT.of_sorted ~order:64 ~prof arr;
+    entries_scanned = 0;
+    prof;
+  }
+
 let lo_key v = { Key.v; row = min_int }
 let hi_key v = { Key.v; row = max_int }
 

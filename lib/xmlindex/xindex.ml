@@ -79,6 +79,24 @@ let create ?(prof = Xprof.disabled) def =
 
 let entry_count idx = BT.size idx.tree
 
+(** All index entries in key order (snapshot dump). *)
+let entries idx : Key.t list = List.map fst (BT.to_list idx.tree)
+
+(** Rebuild an index from snapshot entries: re-sorts (node ids are remapped
+    during restore, which can perturb key order) and bulk-loads. *)
+let of_entries ?(prof = Xprof.disabled) def (entries : Key.t list) : t =
+  let arr =
+    List.sort Key.compare entries
+    |> List.map (fun k -> (k, ()))
+    |> Array.of_list
+  in
+  {
+    def;
+    tree = BT.of_sorted ~order:64 ~prof arr;
+    stats = { entries_scanned = 0; probes = 0; inserts = Array.length arr; deletes = 0 };
+    prof;
+  }
+
 let reset_stats idx =
   idx.stats.entries_scanned <- 0;
   idx.stats.probes <- 0

@@ -1,0 +1,489 @@
+(** Durable storage: pager + WAL round-trips, checkpointing, and the
+    fault-injected crash-recovery torture suite.
+
+    The torture suite's invariant: crash the engine (abandon in-memory
+    state, drop file descriptors without syncing) at *every* registered
+    fault point during bulk loads, UPDATEs and CREATE INDEX backfills;
+    reopening the data directory must yield a database that
+
+    - passes {!Engine.check_consistency} with no discrepancies, and
+    - is byte-identical (tables, row ids, values, index entry counts) to
+      a never-crashed in-memory run of exactly the statements that
+      committed.
+
+    A fault that lands between a statement's in-memory commit and its WAL
+    commit record reaching the log (e.g. an injected [wal.fsync]) is the
+    classic ambiguous-commit window: the statement is allowed to be
+    either in or out, but never half-applied — the recovered state must
+    match the reference either without or with that one statement. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Scratch data directories                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dir_ctr = ref 0
+
+let fresh_dir () =
+  incr dir_ctr;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xqdb-test-%d-%d.xqdb" (Unix.getpid ()) !dir_ctr)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical state dumps                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Render the engine's whole logical state — every table's rows (with
+    row ids) plus every index's entry count — as one comparable string.
+    XML values round-trip through the serializer, so the rendering is
+    stable across save/load cycles even though node ids are not. *)
+let state db =
+  let b = Buffer.create 4096 in
+  let tables =
+    List.sort
+      (fun (a : Storage.Table.t) b -> compare a.Storage.Table.name b.Storage.Table.name)
+      (Storage.Database.tables (Engine.database db))
+  in
+  List.iter
+    (fun (t : Storage.Table.t) ->
+      Buffer.add_string b ("== " ^ t.Storage.Table.name ^ "\n");
+      List.iter
+        (fun (r : Storage.Table.row) ->
+          Buffer.add_string b (string_of_int r.Storage.Table.row_id);
+          Array.iter
+            (fun v ->
+              Buffer.add_char b '|';
+              Buffer.add_string b (Storage.Sql_value.to_display v))
+            r.Storage.Table.values;
+          Buffer.add_char b '\n')
+        (List.sort
+           (fun (a : Storage.Table.row) b ->
+             compare a.Storage.Table.row_id b.Storage.Table.row_id)
+           (Storage.Table.rows t)))
+    tables;
+  List.iter
+    (fun (i : Xmlindex.Xindex.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "xidx %s %d\n"
+           i.Xmlindex.Xindex.def.Xmlindex.Xindex.iname
+           (Xmlindex.Xindex.entry_count i)))
+    (List.sort
+       (fun (a : Xmlindex.Xindex.t) b ->
+         compare a.Xmlindex.Xindex.def.Xmlindex.Xindex.iname
+           b.Xmlindex.Xindex.def.Xmlindex.Xindex.iname)
+       (Engine.xml_indexes db));
+  List.iter
+    (fun (i : Xmlindex.Rel_index.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "ridx %s %d\n" i.Xmlindex.Rel_index.iname
+           (Xmlindex.Rel_index.entry_count i)))
+    (List.sort
+       (fun (a : Xmlindex.Rel_index.t) b ->
+         compare a.Xmlindex.Rel_index.iname b.Xmlindex.Rel_index.iname)
+       (Engine.rel_indexes db));
+  Buffer.contents b
+
+let assert_consistent db =
+  List.iter
+    (fun (iname, diffs) ->
+      check Alcotest.(list string) (iname ^ " consistent") [] diffs)
+    (Engine.check_consistency db)
+
+let counter db name = !(Xprof.Registry.counter (Engine.registry db) name)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads: named statement sequences                                *)
+(* ------------------------------------------------------------------ *)
+
+let sqlop s = (s, fun db -> ignore (Engine.sql db s))
+
+(* Big enough that the checkpoint's snapshot exceeds the 64-page buffer
+   pool, so the eviction/write-back paths (page.evict, page.write) are
+   genuinely exercised. *)
+let pad = String.make 2800 'x'
+let fat_doc i = Printf.sprintf "<a><p>%d</p><q>%s</q></a>" i pad
+
+let bulk_load_ops =
+  [
+    sqlop "CREATE TABLE t (a integer, d XML)";
+    sqlop "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE";
+    ( "bulk load 100 fat docs",
+      fun db ->
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 100 fat_doc) );
+    ("checkpoint", Engine.checkpoint);
+    ( "load 10 more",
+      fun db ->
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 10 (fun i -> Printf.sprintf "<a><p>%d</p></a>" (500 + i)))
+    );
+  ]
+
+let update_ops =
+  [
+    sqlop "CREATE TABLE t (a integer, d XML)";
+    sqlop "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE";
+    ( "load 25 docs",
+      fun db ->
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 25 (fun i -> Printf.sprintf "<a><p>%d</p></a>" i)) );
+    ("checkpoint", Engine.checkpoint);
+    sqlop
+      "UPDATE t SET d = XMLQUERY('<a><p>{$D/a/p + 1000}</p></a>' PASSING d \
+       AS \"D\")";
+    sqlop "UPDATE t SET a = 777 WHERE a = 3";
+  ]
+
+let backfill_ops =
+  [
+    sqlop "CREATE TABLE t (a integer, d XML)";
+    ( "load 60 docs",
+      fun db ->
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 60 (fun i ->
+               Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000))) );
+    ("checkpoint", Engine.checkpoint);
+    sqlop "CREATE INDEX ip2 ON t(d) USING XMLPATTERN '//p' AS DOUBLE";
+    sqlop "INSERT INTO t VALUES (999, '<a><p>999</p></a>')";
+  ]
+
+(** State after running the first [k] operations (plus, with [extra],
+    the (k+1)th) on a fresh in-memory engine that never faults. *)
+let reference ops k extra =
+  let db = Engine.create () in
+  List.iteri (fun i (_, f) -> if i < k || (extra && i = k) then f db) ops;
+  state db
+
+(* Which fault points actually fired somewhere in the sweep: the
+   coverage assertion at the end of the suite proves no registered point
+   was a dead letter. *)
+let fired : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+(** One crash/recover cycle: open a fresh durable engine, run the
+    workload with [point] armed at countdown [n], crash, reopen, and
+    require the recovered state to be consistent and equal to the
+    committed-prefix reference (with the one-statement ambiguity window
+    when the fault fired mid-commit). *)
+let crash_cycle ~par ~point ~n ops =
+  with_dir (fun dir ->
+      let db = Engine.open_db ~data_dir:dir () in
+      Engine.set_parallelism db par;
+      let completed = ref 0 in
+      let faulted = ref false in
+      Faultinject.with_fault ~point ~n (fun () ->
+          try
+            List.iter
+              (fun (_, f) ->
+                f db;
+                incr completed)
+              ops
+          with Faultinject.Injected _ -> faulted := true);
+      if !faulted then Hashtbl.replace fired point ();
+      Engine.simulate_crash db;
+      let db2 = Engine.open_db ~data_dir:dir () in
+      Fun.protect
+        ~finally:(fun () -> Engine.close db2)
+        (fun () ->
+          assert_consistent db2;
+          let recovered = state db2 in
+          let ok =
+            recovered = reference ops !completed false
+            || (!faulted
+               && !completed < List.length ops
+               && recovered = reference ops !completed true)
+          in
+          if not ok then
+            Alcotest.failf
+              "recovered state diverges: point=%s n=%d par=%d (completed \
+               %d/%d statements, fault %s)"
+              point n par !completed (List.length ops)
+              (if !faulted then "fired" else "did not fire")))
+
+let sweep_tc name ops ~par ~ns =
+  tc
+    (Printf.sprintf "%s: crash sweep over every point (par %d)" name par)
+    (fun () ->
+      List.iter
+        (fun point -> List.iter (fun n -> crash_cycle ~par ~point ~n ops) ns)
+        (Faultinject.points ()))
+
+let torture_tests =
+  [
+    sweep_tc "bulk load" bulk_load_ops ~par:1 ~ns:[ 1; 7 ];
+    sweep_tc "bulk load" bulk_load_ops ~par:4 ~ns:[ 1 ];
+    sweep_tc "UPDATE" update_ops ~par:1 ~ns:[ 1; 7 ];
+    sweep_tc "UPDATE" update_ops ~par:4 ~ns:[ 1 ];
+    sweep_tc "CREATE INDEX backfill" backfill_ops ~par:1 ~ns:[ 1; 7 ];
+    sweep_tc "CREATE INDEX backfill" backfill_ops ~par:4 ~ns:[ 1 ];
+    tc "coverage: every registered fault point fired somewhere" (fun () ->
+        List.iter
+          (fun p ->
+            check Alcotest.bool (p ^ " fired") true (Hashtbl.mem fired p))
+          (Faultinject.points ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Plain durability round-trips                                        *)
+(* ------------------------------------------------------------------ *)
+
+let setup_small db =
+  ignore (Engine.sql db "CREATE TABLE t (a integer, w date, d XML)");
+  ignore
+    (Engine.sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+  ignore (Engine.sql db "CREATE INDEX ra ON t(a)");
+  for i = 1 to 8 do
+    ignore
+      (Engine.sql db
+         (Printf.sprintf
+            "INSERT INTO t VALUES (%d, '2006-0%d-15', '<a><p>%d</p></a>')" i
+            (1 + (i mod 9)) i))
+  done
+
+let roundtrip_tests =
+  [
+    tc "WAL-only reopen (no checkpoint) recovers everything" (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            let before = state db in
+            check Alcotest.(option string) "data_dir" (Some dir)
+              (Engine.data_dir db);
+            check Alcotest.bool "wal_appends counted" true
+              (counter db "wal_appends" > 0);
+            check Alcotest.bool "wal_fsyncs counted" true
+              (counter db "wal_fsyncs" > 0);
+            Engine.close db;
+            let db2 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db2)
+              (fun () ->
+                check Alcotest.string "state" before (state db2);
+                assert_consistent db2;
+                check Alcotest.bool "redo records replayed" true
+                  (counter db2 "recovery_redo_records" > 0);
+                (* the index works after recovery *)
+                check Alcotest.int "probe" 1
+                  (sql_count db2
+                     "SELECT a FROM t WHERE XMLEXISTS('$D//p[. = 5]' \
+                      PASSING d AS \"D\")"))));
+    tc "checkpoint truncates the WAL: reopen has zero redo" (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            Engine.checkpoint db;
+            let before = state db in
+            check Alcotest.bool "pages written" true
+              (counter db "page_writes" > 0);
+            Engine.close db;
+            let db2 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db2)
+              (fun () ->
+                check Alcotest.int "no redo" 0
+                  (counter db2 "recovery_redo_records");
+                check Alcotest.bool "pages read" true
+                  (counter db2 "page_reads" > 0);
+                check Alcotest.string "state" before (state db2);
+                assert_consistent db2)));
+    tc "statements after a checkpoint replay on top of the snapshot"
+      (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            Engine.checkpoint db;
+            ignore
+              (Engine.sql db
+                 "INSERT INTO t VALUES (99, NULL, '<a><p>99</p></a>')");
+            ignore (Engine.sql db "DELETE FROM t WHERE a = 2");
+            let before = state db in
+            Engine.close db;
+            let db2 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db2)
+              (fun () ->
+                check Alcotest.string "state" before (state db2);
+                check Alcotest.bool "redo replayed" true
+                  (counter db2 "recovery_redo_records" > 0);
+                assert_consistent db2)));
+    tc "close leaves a working in-memory handle" (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            Engine.close db;
+            check Alcotest.(option string) "detached" None (Engine.data_dir db);
+            (* mutations still work; they are just no longer durable *)
+            ignore
+              (Engine.sql db "INSERT INTO t VALUES (50, NULL, '<a><p>50</p></a>')");
+            let db2 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db2)
+              (fun () ->
+                check Alcotest.int "post-close insert not durable" 0
+                  (sql_count db2 "SELECT a FROM t WHERE a = 50"))));
+    tc "in-memory handle: durability entry points are no-ops" (fun () ->
+        let db = Engine.create () in
+        check Alcotest.(option string) "no dir" None (Engine.data_dir db);
+        Engine.checkpoint db;
+        Engine.close db;
+        Engine.simulate_crash db);
+    tc "sync:false loads survive a clean close" (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~sync:false ~data_dir:dir () in
+            setup_small db;
+            check Alcotest.int "no fsync in sync:false mode" 0
+              (counter db "wal_fsyncs");
+            let before = state db in
+            Engine.close db;
+            let db2 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db2)
+              (fun () -> check Alcotest.string "state" before (state db2))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Format guards (XQDB0005)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let format_tests =
+  [
+    tc "foreign non-empty directory is refused" (fun () ->
+        with_dir (fun dir ->
+            Unix.mkdir dir 0o755;
+            write_file (Filename.concat dir "junk.txt") "hello";
+            expect_error "XQDB0005" (fun () ->
+                Engine.open_db ~data_dir:dir ())));
+    tc "incompatible format version is refused" (fun () ->
+        with_dir (fun dir ->
+            Unix.mkdir dir 0o755;
+            write_file (Filename.concat dir "MANIFEST")
+              "xqdb-format 99\ngeneration 0\n";
+            expect_error "XQDB0005" (fun () ->
+                Engine.open_db ~data_dir:dir ())));
+    tc "corrupt MANIFEST is refused" (fun () ->
+        with_dir (fun dir ->
+            Unix.mkdir dir 0o755;
+            write_file (Filename.concat dir "MANIFEST") "what is this\n";
+            expect_error "XQDB0005" (fun () ->
+                Engine.open_db ~data_dir:dir ())));
+    tc "corrupt snapshot magic is refused" (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            Engine.checkpoint db;
+            Engine.close db;
+            let snap = Filename.concat dir "snapshot.1.pages" in
+            let data = In_channel.with_open_bin snap In_channel.input_all in
+            write_file snap ("XXXX" ^ String.sub data 4 (String.length data - 4));
+            expect_error "XQDB0005" (fun () ->
+                Engine.open_db ~data_dir:dir ())));
+    tc "orphan files from a crashed checkpoint are swept on open" (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            let before = state db in
+            (* a checkpoint that crashed before publishing: half-written
+               next-generation files that must not confuse recovery *)
+            write_file (Filename.concat dir "snapshot.1.pages") "garbage";
+            write_file (Filename.concat dir "wal.1.log") "garbage";
+            write_file (Filename.concat dir "MANIFEST.tmp") "torn";
+            Engine.simulate_crash db;
+            let db2 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db2)
+              (fun () ->
+                check Alcotest.string "state" before (state db2);
+                check Alcotest.bool "orphan snapshot removed" false
+                  (Sys.file_exists (Filename.concat dir "snapshot.1.pages")))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Torn-write property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Truncate the WAL at a random offset and flip a random byte of what
+    remains, then reopen: recovery must surface a *committed prefix* of
+    the statements — never a half-applied one — with indexes consistent. *)
+let torn_write_prop =
+  QCheck.Test.make ~count:35
+    ~name:"torn/corrupt WAL tail recovers to a committed prefix"
+    QCheck.(
+      triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 255))
+    (fun (tpos, fpos, byte) ->
+      with_dir (fun dir ->
+          let db = Engine.open_db ~sync:false ~data_dir:dir () in
+          ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+          ignore
+            (Engine.sql db
+               "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+          for i = 1 to 12 do
+            ignore
+              (Engine.sql db
+                 (Printf.sprintf
+                    "INSERT INTO t VALUES (%d, '<a><p>%d</p></a>')" i i))
+          done;
+          Engine.close db;
+          let wal = Filename.concat dir "wal.0.log" in
+          let data = In_channel.with_open_bin wal In_channel.input_all in
+          let keep = tpos mod (String.length data + 1) in
+          let b = Bytes.of_string (String.sub data 0 keep) in
+          if keep > 0 then Bytes.set b (fpos mod keep) (Char.chr byte);
+          Out_channel.with_open_bin wal (fun oc ->
+              Out_channel.output_bytes oc b);
+          let db2 = Engine.open_db ~data_dir:dir () in
+          Fun.protect
+            ~finally:(fun () -> Engine.close db2)
+            (fun () ->
+              assert_consistent db2;
+              (* whatever survived must be an exact statement prefix:
+                 CREATE TABLE, then CREATE INDEX, then rows 1..k *)
+              match
+                List.map
+                  (fun (t : Storage.Table.t) -> t.Storage.Table.name)
+                  (Storage.Database.tables (Engine.database db2))
+              with
+              | [] ->
+                  check Alcotest.int "no table, no indexes" 0
+                    (List.length (Engine.xml_indexes db2));
+                  true
+              | [ _ ] ->
+                  let rows =
+                    List.sort compare
+                      (List.concat_map
+                         (List.map Storage.Sql_value.to_display)
+                         (Engine.sql db2 "SELECT a FROM t").Sqlxml.Sql_exec
+                           .rrows)
+                  in
+                  let k = List.length rows in
+                  check
+                    Alcotest.(list string)
+                    "rows are the prefix 1..k"
+                    (List.sort compare
+                       (List.init k (fun i -> string_of_int (i + 1))))
+                    rows;
+                  true
+              | ts -> Alcotest.failf "unexpected tables: %s" (String.concat "," ts))))
+
+let suite =
+  [
+    ("durable:roundtrip", roundtrip_tests);
+    ("durable:format", format_tests);
+    ("durable:torture", torture_tests);
+    ("durable:torn", [ QCheck_alcotest.to_alcotest torn_write_prop ]);
+  ]

@@ -243,93 +243,103 @@ let atomicity_tests =
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let with_faults f =
-  Fun.protect ~finally:Faultinject.reset f
-
 let faultinject_tests =
   [
     tc "armed fault at index.insert_doc rolls back a bulk load" (fun () ->
-        with_faults (fun () ->
-            let db = indexed_db ~n:10 () in
-            let rows0 = Storage.Table.row_count (table db "t") in
-            let entries0 = entry_counts db in
-            (* fail while indexing the 5th document of the next load *)
-            Faultinject.arm ~point:"index.insert_doc" ~n:5;
-            (match
-               Engine.load_documents db ~table:"t" ~column:"d"
-                 (List.init 10 (fun i ->
-                      Printf.sprintf "<a><p>%d</p></a>" (100 + i)))
-             with
+        let db = indexed_db ~n:10 () in
+        let rows0 = Storage.Table.row_count (table db "t") in
+        let entries0 = entry_counts db in
+        (* fail while indexing the 5th document of the next load *)
+        Faultinject.with_fault ~point:"index.insert_doc" ~n:5 (fun () ->
+            match
+              Engine.load_documents db ~table:"t" ~column:"d"
+                (List.init 10 (fun i ->
+                     Printf.sprintf "<a><p>%d</p></a>" (100 + i)))
+            with
             | _ -> Alcotest.fail "should fail on the 5th document"
             | exception Faultinject.Injected { point; _ } ->
                 check Alcotest.string "point" "index.insert_doc" point);
-            check Alcotest.int "row_count unchanged" rows0
-              (Storage.Table.row_count (table db "t"));
-            check
-              Alcotest.(list (pair string int))
-              "entry_count unchanged" entries0 (entry_counts db);
-            assert_consistent db;
-            (* trigger is one-shot: the engine keeps working afterwards *)
-            Engine.load_documents db ~table:"t" ~column:"d"
-              [ "<a><p>42</p></a>" ];
-            check Alcotest.int "post-fault load works" (rows0 + 1)
-              (Storage.Table.row_count (table db "t"));
-            assert_consistent db));
+        check Alcotest.int "row_count unchanged" rows0
+          (Storage.Table.row_count (table db "t"));
+        check
+          Alcotest.(list (pair string int))
+          "entry_count unchanged" entries0 (entry_counts db);
+        assert_consistent db;
+        (* the trigger is disarmed: the engine keeps working afterwards *)
+        Engine.load_documents db ~table:"t" ~column:"d" [ "<a><p>42</p></a>" ];
+        check Alcotest.int "post-fault load works" (rows0 + 1)
+          (Storage.Table.row_count (table db "t"));
+        assert_consistent db);
     tc "armed fault at storage.insert rolls back a multi-row INSERT"
       (fun () ->
-        with_faults (fun () ->
-            let db = indexed_db ~n:3 () in
-            let rows0 = Storage.Table.row_count (table db "t") in
-            Faultinject.arm ~point:"storage.insert" ~n:2;
-            (match
-               Engine.sql db
-                 "INSERT INTO t VALUES (50, '<a><p>50</p></a>'), \
-                  (51, '<a><p>51</p></a>'), (52, '<a><p>52</p></a>')"
-             with
+        let db = indexed_db ~n:3 () in
+        let rows0 = Storage.Table.row_count (table db "t") in
+        Faultinject.with_fault ~point:"storage.insert" ~n:2 (fun () ->
+            match
+              Engine.sql db
+                "INSERT INTO t VALUES (50, '<a><p>50</p></a>'), \
+                 (51, '<a><p>51</p></a>'), (52, '<a><p>52</p></a>')"
+            with
             | _ -> Alcotest.fail "should fail"
             | exception Faultinject.Injected _ -> ());
-            check Alcotest.int "row_count unchanged" rows0
-              (Storage.Table.row_count (table db "t"));
-            assert_consistent db));
+        check Alcotest.int "row_count unchanged" rows0
+          (Storage.Table.row_count (table db "t"));
+        assert_consistent db);
     tc "armed fault at btree.split rolls back cleanly" (fun () ->
-        with_faults (fun () ->
-            let db = Engine.create () in
-            ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
-            ignore
-              (Engine.sql db
-                 "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
-            Faultinject.arm ~point:"btree.split" ~n:1;
-            (* enough entries to overflow an order-64 leaf mid-load *)
-            (match
-               Engine.load_documents db ~table:"t" ~column:"d"
-                 (List.init 100 (fun i ->
-                      Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000)))
-             with
+        let db = Engine.create () in
+        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore
+          (Engine.sql db
+             "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+        (* enough entries to overflow an order-64 leaf mid-load *)
+        Faultinject.with_fault ~point:"btree.split" ~n:1 (fun () ->
+            match
+              Engine.load_documents db ~table:"t" ~column:"d"
+                (List.init 100 (fun i ->
+                     Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000)))
+            with
             | _ -> Alcotest.fail "a split should have been injected"
             | exception Faultinject.Injected { point; _ } ->
                 check Alcotest.string "point" "btree.split" point);
-            check Alcotest.int "no rows remain" 0
-              (Storage.Table.row_count (table db "t"));
-            assert_consistent db;
-            (* the tree still works: reload the same documents *)
-            Engine.load_documents db ~table:"t" ~column:"d"
-              (List.init 100 (fun i ->
-                   Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000)));
-            assert_consistent db));
+        check Alcotest.int "no rows remain" 0
+          (Storage.Table.row_count (table db "t"));
+        assert_consistent db;
+        (* the tree still works: reload the same documents *)
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 100 (fun i ->
+               Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000)));
+        assert_consistent db);
     tc "armed fault at index.delete_doc rolls back a DELETE" (fun () ->
-        with_faults (fun () ->
-            let db = indexed_db ~n:6 () in
-            let rows0 = Storage.Table.row_count (table db "t") in
-            let entries0 = entry_counts db in
-            Faultinject.arm ~point:"index.delete_doc" ~n:3;
-            (match Engine.sql db "DELETE FROM t" with
+        let db = indexed_db ~n:6 () in
+        let rows0 = Storage.Table.row_count (table db "t") in
+        let entries0 = entry_counts db in
+        Faultinject.with_fault ~point:"index.delete_doc" ~n:3 (fun () ->
+            match Engine.sql db "DELETE FROM t" with
             | _ -> Alcotest.fail "should fail"
             | exception Faultinject.Injected _ -> ());
-            check Alcotest.int "row_count unchanged" rows0
-              (Storage.Table.row_count (table db "t"));
-            check
-              Alcotest.(list (pair string int))
-              "entry_count unchanged" entries0 (entry_counts db);
+        check Alcotest.int "row_count unchanged" rows0
+          (Storage.Table.row_count (table db "t"));
+        check
+          Alcotest.(list (pair string int))
+          "entry_count unchanged" entries0 (entry_counts db);
+        assert_consistent db);
+    tc "sweep: every fault point leaves a consistent engine" (fun () ->
+        Faultinject.sweep (fun _point ->
+            let db = indexed_db ~n:5 () in
+            (* a mixed workload touching storage, both index kinds and
+               evaluation; whichever operation trips the armed point, the
+               per-statement undo must leave the engine consistent *)
+            (try
+               ignore (Engine.sql db "CREATE INDEX ra ON t(a)");
+               Engine.load_documents db ~table:"t" ~column:"d"
+                 (List.init 30 (fun i ->
+                      Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 500)));
+               ignore
+                 (Engine.sql db
+                    "UPDATE t SET d = XMLQUERY('<a><p>{($D/a/p)[1] + \
+                     1}</p></a>' PASSING d AS \"D\") WHERE a < 3");
+               ignore (Engine.sql db "DELETE FROM t WHERE a = 1")
+             with Faultinject.Injected _ -> ());
             assert_consistent db));
     tc "check_consistency reports an injected bogus entry" (fun () ->
         let db = indexed_db ~n:2 () in
