@@ -15,6 +15,9 @@
                           (operator tree + counters) after each statement
     - [\metrics]          session-lifetime metrics accumulated while
                           profiling is on (docs/OBSERVABILITY.md)
+    - [\xsan]             lock-order report: observed lock acquisition
+                          orderings and any potential-deadlock cycles
+                          (docs/CONCURRENCY.md)
     - [\prepare N S]      compile statement S under name N (SQL [?] and
                           XQuery free [$var]s become parameter slots)
     - [\exec N ARGS]      execute prepared N; ARGS are positional values
@@ -320,9 +323,11 @@ let exec_one db (line : string) =
   else if line = "\\profile on" then Engine.set_profiling db true
   else if line = "\\profile off" then Engine.set_profiling db false
   else if line = "\\metrics" then begin
+    Engine.refresh_lock_metrics db;
     print_string (Xprof.Registry.to_string (Engine.registry db));
     cache_cmd db
   end
+  else if line = "\\xsan" then print_string (Xpar.Lockorder.report ())
   else if line = "\\cache" then cache_cmd db
   else if line = "\\checkpoint" then (
     match Engine.data_dir db with

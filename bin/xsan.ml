@@ -1,0 +1,97 @@
+(** xsan — the concurrency lint CLI (the [@racecheck] build alias).
+
+    {v xsan [--registry xsan.toml] [--json] [ROOT...] v}
+
+    Lints every [.ml] under the given roots (default [lib]) with
+    {!Xsan.Srccheck}, applying the annotation registry's per-module
+    policies, and exits non-zero if any unsuppressed Error-severity
+    diagnostic remains — same contract as [xqdb --lint]. See
+    docs/CONCURRENCY.md. *)
+
+open Cmdliner
+
+let run registry_path json exclude roots =
+  let registry, registry_diags =
+    match registry_path with
+    | Some p -> Xsan.Registry.load p
+    | None -> (Xsan.Registry.empty (), [])
+  in
+  let roots = if roots = [] then [ "lib" ] else roots in
+  let res = Xsan.Srccheck.scan ~registry ~registry_diags ~exclude roots in
+  if json then begin
+    let file_json (r : Xsan.Srccheck.file_report) =
+      Printf.sprintf
+        "{\"file\":\"%s\",\"policy\":%s,\"suppressed\":%d,\"diagnostics\":%s}"
+        (Analysis.Diag.json_escape r.Xsan.Srccheck.path)
+        (match r.Xsan.Srccheck.policy with
+        | Some p ->
+            Printf.sprintf "\"%s\"" (Xsan.Registry.policy_to_string p)
+        | None -> "null")
+        r.Xsan.Srccheck.suppressed
+        (Analysis.Diag.list_to_json r.Xsan.Srccheck.diags)
+    in
+    Printf.printf
+      "{\"files\":%d,\"findings\":%d,\"errors\":%d,\"registry\":%s,\"reports\":[%s]}\n"
+      res.Xsan.Srccheck.files res.Xsan.Srccheck.findings
+      res.Xsan.Srccheck.errors
+      (Analysis.Diag.list_to_json res.Xsan.Srccheck.registry_diags)
+      (String.concat ","
+         (List.map file_json
+            (List.filter
+               (fun (r : Xsan.Srccheck.file_report) ->
+                 r.Xsan.Srccheck.diags <> [] || r.Xsan.Srccheck.suppressed > 0)
+               res.Xsan.Srccheck.reports)))
+  end
+  else begin
+    List.iter
+      (fun (r : Xsan.Srccheck.file_report) ->
+        if r.Xsan.Srccheck.diags <> [] then begin
+          Printf.printf "== %s\n" r.Xsan.Srccheck.path;
+          let src = try Xsan.Srccheck.read_file r.Xsan.Srccheck.path with _ -> "" in
+          List.iter
+            (fun d -> print_endline (Analysis.Diag.to_string ~src d))
+            r.Xsan.Srccheck.diags
+        end)
+      res.Xsan.Srccheck.reports;
+    List.iter
+      (fun d -> print_endline (Analysis.Diag.to_string d))
+      res.Xsan.Srccheck.registry_diags;
+    let suppressed =
+      List.fold_left
+        (fun acc (r : Xsan.Srccheck.file_report) ->
+          acc + r.Xsan.Srccheck.suppressed)
+        0 res.Xsan.Srccheck.reports
+    in
+    Printf.printf
+      "xsan: %d files, %d findings (%d suppressed by registry), %d errors\n"
+      res.Xsan.Srccheck.files res.Xsan.Srccheck.findings suppressed
+      res.Xsan.Srccheck.errors
+  end;
+  if res.Xsan.Srccheck.errors > 0 then exit 1
+
+let registry_arg =
+  let doc = "Annotation registry file (xsan.toml); omit for none." in
+  Arg.(value & opt (some string) None & info [ "registry" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc = "Machine-readable JSON output." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let exclude_arg =
+  let doc =
+    "Skip files with this basename (repeatable); used for dune-generated \
+     copies whose sources are scanned separately."
+  in
+  Arg.(value & opt_all string [] & info [ "exclude" ] ~docv:"NAME" ~doc)
+
+let roots_arg =
+  let doc = "Directories (or single .ml files) to lint; default lib." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ROOT" ~doc)
+
+let cmd =
+  let doc = "domain-safety lint for the xqdb codebase" in
+  Cmd.v
+    (Cmd.info "xsan" ~doc)
+    Term.(const run $ registry_arg $ json_arg $ exclude_arg $ roots_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -139,6 +139,20 @@ let record_statement t =
       (float_of_int (List.length (rel_indexes t)))
   end
 
+(** Mirror the lock-order tracker's aggregates into the registry
+    ([lock_acquisitions], [lock_order_edges], [lock_order_cycles]), so
+    a cycle slipping into production is one scrape away from an alert.
+    Called by the shell before printing [\metrics]. *)
+let refresh_lock_metrics t =
+  let s = Xpar.Lockorder.stats () in
+  let r = t.registry in
+  Xprof.Registry.set_gauge r "lock_acquisitions"
+    (float_of_int s.Xpar.Lockorder.acquisitions);
+  Xprof.Registry.set_gauge r "lock_order_edges"
+    (float_of_int s.Xpar.Lockorder.edges);
+  Xprof.Registry.set_gauge r "lock_order_cycles"
+    (float_of_int s.Xpar.Lockorder.cycles)
+
 (* ------------------------------------------------------------------ *)
 (* Durability                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -123,6 +123,12 @@ val profiling : t -> bool
     counters accumulate always. *)
 val registry : t -> Xprof.Registry.t
 
+(** Mirror the lock-order tracker's process-wide aggregates into the
+    registry as gauges: [lock_acquisitions], [lock_order_edges] and
+    [lock_order_cycles] (a non-zero cycle count is a potential deadlock
+    — see docs/CONCURRENCY.md and the shell's [\xsan] report). *)
+val refresh_lock_metrics : t -> unit
+
 (** {1 Outcomes} *)
 
 (** One statement result: relational rows (SQL front end) or an XDM item

@@ -5,7 +5,13 @@
     at compile time: a lookup whose stored generation or fingerprint no
     longer matches is treated as a miss and the stale entry is dropped,
     so DDL (CREATE/DROP INDEX, CREATE TABLE) and bulk loads invalidate
-    every cached plan simply by bumping the generation counter. *)
+    every cached plan simply by bumping the generation counter.
+
+    Thread-safety: every public operation runs under one named
+    [Xpar.Lock] — the cache is shared across sessions (and will be
+    hammered by the concurrent server), and both [find] and [add] mutate
+    the table, the clock and the stat counters. The lock shows up in the
+    lock-order tracker as ["engine.plan_cache"]. *)
 
 type 'a entry = {
   value : 'a;
@@ -16,6 +22,7 @@ type 'a entry = {
 
 type 'a t = {
   capacity : int;
+  lock : Xpar.Lock.t;
   tbl : (string, 'a entry) Hashtbl.t;
   mutable clock : int;
   mutable hits : int;
@@ -37,6 +44,7 @@ let create ?(capacity = 128) () =
   let capacity = max 1 capacity in
   {
     capacity;
+    lock = Xpar.Lock.create ~name:"engine.plan_cache" ();
     tbl = Hashtbl.create 32;
     clock = 0;
     hits = 0;
@@ -45,36 +53,38 @@ let create ?(capacity = 128) () =
     evictions = 0;
   }
 
-let length t = Hashtbl.length t.tbl
+let length t = Xpar.Lock.with_lock t.lock (fun () -> Hashtbl.length t.tbl)
 
 let stats t =
-  {
-    size = length t;
-    capacity = t.capacity;
-    hits = t.hits;
-    misses = t.misses;
-    invalidations = t.invalidations;
-    evictions = t.evictions;
-  }
+  Xpar.Lock.with_lock t.lock (fun () ->
+      {
+        size = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+        hits = t.hits;
+        misses = t.misses;
+        invalidations = t.invalidations;
+        evictions = t.evictions;
+      })
 
 (** Look up [key]. A present entry whose generation or fingerprint
     differs from the current [gen]/[fp] is stale: it is evicted and the
     lookup counts as a miss (and an invalidation). *)
 let find t ~gen ~fp (key : string) : 'a option =
-  t.clock <- t.clock + 1;
-  match Hashtbl.find_opt t.tbl key with
-  | Some e when e.gen = gen && e.fp = fp ->
-      e.stamp <- t.clock;
-      t.hits <- t.hits + 1;
-      Some e.value
-  | Some _ ->
-      Hashtbl.remove t.tbl key;
-      t.invalidations <- t.invalidations + 1;
-      t.misses <- t.misses + 1;
-      None
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+  Xpar.Lock.with_lock t.lock (fun () ->
+      t.clock <- t.clock + 1;
+      match Hashtbl.find_opt t.tbl key with
+      | Some e when e.gen = gen && e.fp = fp ->
+          e.stamp <- t.clock;
+          t.hits <- t.hits + 1;
+          Some e.value
+      | Some _ ->
+          Hashtbl.remove t.tbl key;
+          t.invalidations <- t.invalidations + 1;
+          t.misses <- t.misses + 1;
+          None
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
 
 (* Linear scan for the least-recently-used entry. The cache is small
    (default 128) and eviction only happens once the cache is full, so
@@ -98,11 +108,14 @@ let evict_lru t =
 (** Insert [key]; replaces any previous entry under the same key.
     Returns [true] if a (different) entry was evicted to make room. *)
 let add t ~gen ~fp (key : string) (value : 'a) : bool =
-  t.clock <- t.clock + 1;
-  let had = Hashtbl.mem t.tbl key in
-  if had then Hashtbl.remove t.tbl key;
-  let evicted = (not had) && length t >= t.capacity && evict_lru t in
-  Hashtbl.replace t.tbl key { value; gen; fp; stamp = t.clock };
-  evicted
+  Xpar.Lock.with_lock t.lock (fun () ->
+      t.clock <- t.clock + 1;
+      let had = Hashtbl.mem t.tbl key in
+      if had then Hashtbl.remove t.tbl key;
+      let evicted =
+        (not had) && Hashtbl.length t.tbl >= t.capacity && evict_lru t
+      in
+      Hashtbl.replace t.tbl key { value; gen; fp; stamp = t.clock };
+      evicted)
 
-let clear t = Hashtbl.reset t.tbl
+let clear t = Xpar.Lock.with_lock t.lock (fun () -> Hashtbl.reset t.tbl)

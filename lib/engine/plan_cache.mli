@@ -2,7 +2,11 @@
     and validated against a catalog generation + settings fingerprint.
     Stale entries (generation or fingerprint mismatch) are dropped on
     lookup, so DDL and bulk loads invalidate cached plans by bumping the
-    generation counter. *)
+    generation counter.
+
+    Every operation is thread-safe: the cache is shared across sessions
+    and guarded internally by a named [Xpar.Lock]
+    (["engine.plan_cache"] in the lock-order tracker). *)
 
 type 'a t
 

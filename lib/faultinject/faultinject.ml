@@ -16,7 +16,8 @@
     Thread-safety: countdowns are [int Atomic.t] decremented with
     [fetch_and_add], so parallel domains racing through the same armed
     point (Xpar worker pools) fire it exactly once; the table itself is
-    guarded by a mutex on the (rare) arm/disarm path. *)
+    guarded by a named [Xpar.Lock] (so the acquisition shows up in the
+    lock-order tracker) on the (rare) arm/disarm path. *)
 
 exception Injected of { point : string; msg : string }
 
@@ -40,12 +41,9 @@ let points () =
   ]
 
 let enabled = Atomic.make false
-let lock = Mutex.create ()
+let lock = Xpar.Lock.create ~name:"faultinject.registry" ()
 let armed : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
-
-let with_lock f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let with_lock f = Xpar.Lock.with_lock lock f
 
 (** Arm [point] to fail its [n]th hit from now (1-based). *)
 let arm ~point ~n =

@@ -1,0 +1,92 @@
+(** Fixed-size page file with a pinning buffer pool.
+
+    The durable layer stores snapshots as page files: a flat file of
+    [page_size]-byte slots addressed by page id. Reads and writes go
+    through a small buffer pool with pin/unpin and LRU eviction, so a
+    snapshot larger than the pool streams through bounded memory, and
+    the eviction/write-back paths are genuinely exercised (and
+    fault-injectable via the ["page.write"] / ["page.evict"] points).
+
+    The pager knows nothing about page contents; {!Blob} layers
+    variable-length byte strings over page chains, and the snapshot
+    format (lib/wal) layers the catalog over blobs.
+
+    Concurrency: a pager instance is single-owner — it is only driven
+    from the engine's statement path (coordinator domain), never from
+    Xpar chunk closures. *)
+
+(** Re-export: the binary codec also frames WAL records (lib/wal). *)
+module Codec = Codec
+
+val default_page_size : int
+val default_pool_pages : int
+
+type t
+
+(** Open (or create) the page file at [path]. [truncate] discards any
+    existing contents. [page_size] below 64 is rejected; [pool_pages]
+    (max resident frames before eviction) is clamped to at least 4.
+    [count] is the Xprof counter hook ([page_reads], [page_writes],
+    [pool_evictions]). *)
+val openfile :
+  ?page_size:int ->
+  ?pool_pages:int ->
+  ?count:(string -> unit) ->
+  truncate:bool ->
+  string ->
+  t
+
+val page_size : t -> int
+
+(** Number of allocated pages (the next fresh id). *)
+val page_count : t -> int
+
+val path : t -> string
+
+(** Allocate a fresh (zeroed, dirty) page and return its id. *)
+val alloc : t -> int
+
+(** Pin page [id] into the pool and return its live frame bytes; the
+    page cannot be evicted until {!unpin}. Mutations require
+    {!mark_dirty} to reach disk. *)
+val pin : t -> int -> bytes
+
+val unpin : t -> int -> unit
+
+(** Run [f] over the pinned bytes of page [id]; unpins on the way out. *)
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+
+(** Mark a resident page dirty so it is written back on eviction,
+    {!flush} or {!close}. *)
+val mark_dirty : t -> int -> unit
+
+(** Copy-out read of a whole page. *)
+val read_page : t -> int -> string
+
+(** Overwrite page [id] with [s] (shorter strings are zero-padded;
+    longer ones are rejected). *)
+val write_page : t -> int -> string -> unit
+
+(** Write every dirty frame back (in page order) and fsync. *)
+val flush : t -> unit
+
+(** Close the file, flushing dirty frames first unless [flush:false]
+    (crash simulation). I/O errors during close are swallowed. *)
+val close : ?flush:bool -> t -> unit
+
+(** Variable-length byte strings stored as chains of pages. *)
+module Blob : sig
+  (** Per-page header bytes: next-page id (int64 LE, -1 ends the chain)
+      and chunk length (u32 LE). *)
+  val header : int
+
+  val chunk_capacity : t -> int
+
+  (** Store [s] as a chain of freshly allocated pages; returns the head
+      page id. *)
+  val write : t -> string -> int
+
+  (** Read back the chain starting at [id]; raises [Codec.Corrupt] on a
+      cyclic or malformed chain. *)
+  val read : t -> int -> string
+end

@@ -48,6 +48,8 @@ type solver = {
   mutable notes : string list;
   mutable used : string list;
   par : int;  (** parallelism for AND/OR child solving (1 = sequential) *)
+  prof : Xprof.t;
+      (** statement profile, charged when parallel solving is gated off *)
 }
 
 (** Evaluate the other side of a join comparison under the current
@@ -281,8 +283,20 @@ let can_solve_parallel (s : solver) =
     plan's EXPLAIN trace is byte-identical to a sequential solve. *)
 let solve_children (s : solver) (tasks : (solver -> Xdm.Int_set.t option) list)
     : Xdm.Int_set.t option list =
-  if List.length tasks < 2 || not (can_solve_parallel s) then
+  if List.length tasks < 2 || not (can_solve_parallel s) then begin
+    (* The gate above is silent by default: parallelism was requested
+       and available, but armed index profiling forces a sequential
+       solve. Make it observable — a profile counter (mirrored as
+       [xpar_gated_total] in the registry) and a plan note. *)
+    if List.length tasks >= 2 && s.par > 1 && Xpar.available then begin
+      Xprof.gated s.prof;
+      note s
+        "  parallel AND/OR solve gated off (index profiling armed): %d \
+         tasks run sequentially"
+        (List.length tasks)
+    end;
     List.map (fun task -> task s) tasks
+  end
   else begin
     let results =
       Xpar.map_list ~parallelism:s.par ~chunk_size:1
@@ -335,11 +349,19 @@ let rec solve (s : solver) (tree : P.t) : Xdm.Int_set.t option =
 (** Plan a predicate tree: per collection, attempt a row-set restriction. *)
 let plan ?(params : (string * Xdm.Atomic.t) list = [])
     ?(xml_bindings : (string * Xdm.Item.seq) list = []) ?(parallelism = 1)
-    (cat : catalog) (tree : P.t) : t =
+    ?(prof = Xprof.disabled) (cat : catalog) (tree : P.t) : t =
   let tree = P.simplify tree in
   let collections = List.sort_uniq compare (P.collections tree) in
   let s =
-    { cat; params; xml_bindings; notes = []; used = []; par = parallelism }
+    {
+      cat;
+      params;
+      xml_bindings;
+      notes = [];
+      used = [];
+      par = parallelism;
+      prof;
+    }
   in
   note s "predicate tree: %s" (P.to_string tree);
   let restrictions =
@@ -370,10 +392,19 @@ let plan ?(params : (string * Xdm.Atomic.t) list = [])
     usable index (full scan). Used by the SQL executor's lateral
     (per-outer-row) restriction. *)
 let restrict_collection ?(params = []) ?(xml_bindings = [])
-    ?(parallelism = 1) (cat : catalog) (tree : P.t) (collection : string) :
+    ?(parallelism = 1) ?(prof = Xprof.disabled) (cat : catalog) (tree : P.t)
+    (collection : string) :
     Xdm.Int_set.t option * string list * string list =
   let s =
-    { cat; params; xml_bindings; notes = []; used = []; par = parallelism }
+    {
+      cat;
+      params;
+      xml_bindings;
+      notes = [];
+      used = [];
+      par = parallelism;
+      prof;
+    }
   in
   let sub = P.simplify (P.for_collection collection tree) in
   let r = solve s sub in
@@ -389,7 +420,7 @@ let run_xquery ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
   let tree = Eligibility.Extract.analyze q in
   (* planning itself probes indexes; span it so index probe time shows up
      under PLAN rather than inside the XQUERY operator *)
-  let plan = Xprof.spanned prof "PLAN" (fun () -> plan cat tree) in
+  let plan = Xprof.spanned prof "PLAN" (fun () -> plan ~prof cat tree) in
   let resolver =
     Storage.Database.resolver ~prof ~restrict_to:plan.restrictions cat.db
   in
@@ -462,7 +493,7 @@ let compiled_setup ?(prof = Xprof.disabled) ?(use_indexes = true)
     if use_indexes then begin
       let params, xml_bindings = split_bindings vars in
       Xprof.spanned prof "PLAN" (fun () ->
-          plan ~params ~xml_bindings ~parallelism cat c.c_tree)
+          plan ~params ~xml_bindings ~parallelism ~prof cat c.c_tree)
     end
     else no_index_plan
   in

@@ -22,11 +22,14 @@ type t = {
 
 (** Plan a predicate tree: per collection, attempt a row-set restriction.
     [params] are runtime values of externally bound scalar variables;
-    [xml_bindings] of XML variables (enables index nested-loop probes). *)
+    [xml_bindings] of XML variables (enables index nested-loop probes).
+    [prof] is charged ([xpar_gated]) when a parallel AND/OR solve is
+    gated off because index profiling is armed. *)
 val plan :
   ?params:(string * Xdm.Atomic.t) list ->
   ?xml_bindings:(string * Xdm.Item.seq) list ->
   ?parallelism:int ->
+  ?prof:Xprof.t ->
   catalog ->
   Eligibility.Predicate.t ->
   t
@@ -39,6 +42,7 @@ val restrict_collection :
   ?params:(string * Xdm.Atomic.t) list ->
   ?xml_bindings:(string * Xdm.Item.seq) list ->
   ?parallelism:int ->
+  ?prof:Xprof.t ->
   catalog ->
   Eligibility.Predicate.t ->
   string ->

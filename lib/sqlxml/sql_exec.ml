@@ -86,7 +86,7 @@ let create db =
     static_check = None;
     prof = Xprof.create ();
     parallelism = 1;
-    memo_lock = Xpar.Lock.create ();
+    memo_lock = Xpar.Lock.create ~name:"sqlexec.memo" ();
   }
 
 let note ctx fmt =
@@ -303,7 +303,7 @@ let rec eval_embed ctx (env : frame list) (e : xq_embed) : Xdm.Item.seq =
                 let tree, _ = embed_analysis ctx [] e in
                 let plan =
                   Xprof.spanned ctx.prof "PLAN" (fun () ->
-                      Planner.plan (catalog ctx) tree)
+                      Planner.plan ~prof:ctx.prof (catalog ctx) tree)
                 in
                 if plan.Planner.restrictions <> [] then begin
                   ctx.used <-
@@ -563,7 +563,7 @@ let table_restriction ctx (srcs : restriction_src list)
                   in
                   let r, notes, used =
                     Planner.restrict_collection ~params ~xml_bindings
-                      (catalog ctx) src.rs_tree coll
+                      ~prof:ctx.prof (catalog ctx) src.rs_tree coll
                   in
                   List.iter (fun n -> note ctx "%s" n) notes;
                   ctx.used <- List.sort_uniq compare (used @ ctx.used);

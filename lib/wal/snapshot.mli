@@ -1,0 +1,37 @@
+(** Checkpoint snapshots: the full catalog (tables, rows, path tables,
+    XML and relational indexes) serialized through the {!Pager}.
+
+    Layout: page 0 is a fixed header [magic, format version, page size,
+    catalog blob head]; the catalog itself is one [Pager.Blob] page
+    chain. Recovery = load the snapshot, then replay the WAL tail on
+    top.
+
+    Node identity does not survive serialization: XML values are stored
+    as document text and re-parsed on load, so index entries go to disk
+    keyed by the node's document-order ordinal within its row and are
+    remapped to fresh node ids by the loader. *)
+
+val magic : string
+val format_version : int
+
+(** Write a full snapshot of [db] (plus indexes) to [path], truncating
+    any previous file. [count] is the Xprof counter hook threaded to the
+    pager. *)
+val save :
+  ?page_size:int ->
+  ?pool_pages:int ->
+  ?count:(string -> unit) ->
+  path:string ->
+  Storage.Database.t ->
+  Xmlindex.Xindex.t list ->
+  Xmlindex.Rel_index.t list ->
+  unit
+
+(** Load a snapshot; raises a coded [XQDB0005] error on an unrecognized
+    or incompatible format and on structural corruption. *)
+val load :
+  ?pool_pages:int ->
+  ?count:(string -> unit) ->
+  path:string ->
+  unit ->
+  Storage.Database.t * Xmlindex.Xindex.t list * Xmlindex.Rel_index.t list

@@ -30,6 +30,16 @@ module Lock = struct
         raise e
 end
 
+(** Domain-local storage, used by the lock-order tracker for the
+    per-domain held-lock stack. *)
+module Tls = struct
+  type 'a key = 'a Domain.DLS.key
+
+  let make init = Domain.DLS.new_key init
+  let get k = Domain.DLS.get k
+  let set k v = Domain.DLS.set k v
+end
+
 module Waiter = struct
   type t = { m : Mutex.t; c : Condition.t }
 

@@ -16,6 +16,24 @@ module Lock = struct
   let with_lock () f = f ()
 end
 
+(** "Thread-local" storage on a backend with exactly one thread: a
+    lazily initialized cell. *)
+module Tls = struct
+  type 'a key = { init : unit -> 'a; mutable v : 'a option }
+
+  let make init = { init; v = None }
+
+  let get k =
+    match k.v with
+    | Some v -> v
+    | None ->
+        let v = k.init () in
+        k.v <- Some v;
+        v
+
+  let set k v = k.v <- Some v
+end
+
 module Waiter = struct
   type t = unit
 

@@ -1,0 +1,215 @@
+(** Runtime lock-order tracking and deadlock detection (the dynamic half
+    of Xsan; the static half is the [lib/xsan] source lint).
+
+    Every lock created through {!Xpar.Lock.create} registers here under a
+    name. Each acquisition pushes the lock onto the acquiring domain's
+    held-lock stack (domain-local, no contention) and, when other locks
+    are already held, records a directed *order edge* [held -> acquired]
+    with the call stacks of both acquisitions — the first witness of that
+    ordering. A cycle in the edge graph means two code paths take the
+    same locks in opposite orders: a potential deadlock even if no run
+    has hung yet, which is exactly the class of bug that only bites under
+    production interleavings.
+
+    Cost model: the common case (acquiring with no lock held, or an
+    already-known edge) touches one atomic counter, one domain-local
+    read/write and one [Printexc.get_callstack]. The shared edge table is
+    only locked when a *new* ordering is first observed — a handful of
+    times per process lifetime.
+
+    Surfacing: [Engine.refresh_lock_metrics] mirrors {!stats} into the
+    Xprof registry (gauges [lock_acquisitions], [lock_order_edges],
+    [lock_order_cycles]) and the shell's [\xsan] command prints
+    {!report}. *)
+
+module B = Xpar_backend
+
+type lock_id = int
+
+(* The tracker's own lock is a raw backend lock, not an [Xpar.Lock]: it
+   must not observe itself. It is a leaf — nothing is acquired under it
+   — so it can introduce no ordering of its own. *)
+let glock = B.Lock.create ()
+let names : (lock_id, string) Hashtbl.t = Hashtbl.create 16
+let next_id = Atomic.make 0
+let acquisitions = Atomic.make 0
+let tracking_on = Atomic.make true
+
+let set_tracking b = Atomic.set tracking_on b
+let tracking () = Atomic.get tracking_on
+
+type edge = {
+  e_from : lock_id;
+  e_to : lock_id;
+  from_stack : string;  (** where [e_from] was acquired (first witness) *)
+  to_stack : string;  (** where [e_to] was acquired while holding [e_from] *)
+}
+
+let edges : (lock_id * lock_id, edge) Hashtbl.t = Hashtbl.create 32
+
+let register name =
+  let id = Atomic.fetch_and_add next_id 1 in
+  B.Lock.with_lock glock (fun () -> Hashtbl.replace names id name);
+  id
+
+let name_of id =
+  match B.Lock.with_lock glock (fun () -> Hashtbl.find_opt names id) with
+  | Some n -> n
+  | None -> Printf.sprintf "lock#%d" id
+
+(* Per-domain stack of held locks, innermost first, each with the raw
+   call stack captured at its acquisition (stringified only if it ever
+   becomes an edge witness). *)
+let held : (lock_id * Printexc.raw_backtrace) list B.Tls.key =
+  B.Tls.make (fun () -> [])
+
+let stack_depth = 16
+
+let record_edge ~from_id ~from_raw ~to_id ~to_raw =
+  if not (B.Lock.with_lock glock (fun () -> Hashtbl.mem edges (from_id, to_id)))
+  then begin
+    let e =
+      {
+        e_from = from_id;
+        e_to = to_id;
+        from_stack = Printexc.raw_backtrace_to_string from_raw;
+        to_stack = Printexc.raw_backtrace_to_string to_raw;
+      }
+    in
+    B.Lock.with_lock glock (fun () ->
+        if not (Hashtbl.mem edges (from_id, to_id)) then
+          Hashtbl.replace edges (from_id, to_id) e)
+  end
+
+(** Note intent to take [id] (called before blocking on the mutex, so an
+    actual deadlock still leaves its edges behind for post-mortems). *)
+let acquiring id =
+  if Atomic.get tracking_on then begin
+    Atomic.incr acquisitions;
+    let raw = Printexc.get_callstack stack_depth in
+    let hs = B.Tls.get held in
+    List.iter
+      (fun (h, hraw) ->
+        if h <> id then
+          record_edge ~from_id:h ~from_raw:hraw ~to_id:id ~to_raw:raw)
+      hs;
+    B.Tls.set held ((id, raw) :: hs)
+  end
+
+(** Pop the topmost occurrence of [id] from the held stack (tolerates a
+    tracking toggle between acquire and release). *)
+let released id =
+  let rec drop = function
+    | [] -> []
+    | (h, _) :: rest when h = id -> rest
+    | x :: rest -> x :: drop rest
+  in
+  B.Tls.set held (drop (B.Tls.get held))
+
+(* --- analysis ------------------------------------------------------ *)
+
+let edge_list () =
+  B.Lock.with_lock glock (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) edges [])
+  |> List.sort (fun a b -> compare (a.e_from, a.e_to) (b.e_from, b.e_to))
+
+(* Elementary cycles: DFS from each node [r] restricted to nodes > r, so
+   every cycle is enumerated exactly once, rooted at its minimum id. The
+   graph has one node per *lock*, so it is tiny. *)
+let cycles_ids es =
+  let nodes =
+    List.sort_uniq compare
+      (List.concat_map (fun e -> [ e.e_from; e.e_to ]) es)
+  in
+  let succs u =
+    List.filter_map (fun e -> if e.e_from = u then Some e.e_to else None) es
+  in
+  let out = ref [] in
+  List.iter
+    (fun r ->
+      let rec dfs path u =
+        List.iter
+          (fun v ->
+            if v = r then out := List.rev path :: !out
+            else if v > r && not (List.mem v path) then dfs (v :: path) v)
+          (succs u)
+      in
+      dfs [ r ] r)
+    nodes;
+  List.rev !out
+
+(** Potential-deadlock cycles, each as a list of lock names in
+    acquisition order. *)
+let cycles () = List.map (List.map name_of) (cycles_ids (edge_list ()))
+
+type stats = {
+  locks : int;
+  acquisitions : int;
+  edges : int;
+  cycles : int;
+}
+
+let stats () =
+  let es = edge_list () in
+  {
+    locks = B.Lock.with_lock glock (fun () -> Hashtbl.length names);
+    acquisitions = Atomic.get acquisitions;
+    edges = List.length es;
+    cycles = List.length (cycles_ids es);
+  }
+
+(** Forget all recorded edges and the acquisition count (lock names
+    persist with their locks). Used by tests between scenarios. *)
+let reset () =
+  B.Lock.with_lock glock (fun () -> Hashtbl.reset edges);
+  Atomic.set acquisitions 0
+
+let indent s =
+  String.concat "\n"
+    (List.map (fun l -> "      " ^ l) (String.split_on_char '\n' (String.trim s)))
+
+(** Human-readable report: registered locks, observed order edges, and
+    each potential-deadlock cycle with the first-witness stacks of every
+    edge on it. *)
+let report () =
+  let buf = Buffer.create 512 in
+  let es = edge_list () in
+  let cyc = cycles_ids es in
+  Printf.bprintf buf
+    "lock-order: %d locks, %d acquisitions, %d order edges, %d cycles\n"
+    (B.Lock.with_lock glock (fun () -> Hashtbl.length names))
+    (Atomic.get acquisitions) (List.length es) (List.length cyc);
+  if es <> [] then begin
+    Buffer.add_string buf "observed acquisition order:\n";
+    List.iter
+      (fun e ->
+        Printf.bprintf buf "  %s -> %s\n" (name_of e.e_from) (name_of e.e_to))
+      es
+  end;
+  List.iter
+    (fun ids ->
+      let ring = ids @ [ List.hd ids ] in
+      Printf.bprintf buf "POTENTIAL DEADLOCK: %s\n"
+        (String.concat " -> " (List.map name_of ring));
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            (match
+               B.Lock.with_lock glock (fun () ->
+                   Hashtbl.find_opt edges (a, b))
+             with
+            | Some e ->
+                Printf.bprintf buf "  edge %s -> %s (first witness):\n"
+                  (name_of a) (name_of b);
+                Printf.bprintf buf "    holding %s, acquired at:\n%s\n"
+                  (name_of a) (indent e.from_stack);
+                Printf.bprintf buf "    then took %s at:\n%s\n" (name_of b)
+                  (indent e.to_stack)
+            | None -> ());
+            pairs rest
+        | _ -> ()
+      in
+      pairs ring)
+    cyc;
+  if es = [] && cyc = [] then
+    Buffer.add_string buf "no lock orderings observed yet\n";
+  Buffer.contents buf

@@ -15,7 +15,33 @@
     full argument. *)
 
 module B = Xpar_backend
-module Lock = B.Lock
+module Lockorder = Lockorder
+
+(** A named mutual-exclusion lock, instrumented for lock-order tracking:
+    every [with_lock] records the acquisition in {!Lockorder} so opposite
+    acquisition orders (potential deadlocks) are caught even on runs that
+    never actually hang. On the sequential backend the underlying lock is
+    a no-op but the ordering is still recorded, so the 4.14 leg exercises
+    the same detector. *)
+module Lock = struct
+  type t = { l : B.Lock.t; id : Lockorder.lock_id }
+
+  let anon = Atomic.make 0
+
+  let create ?name () =
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "anonymous#%d" (Atomic.fetch_and_add anon 1)
+    in
+    { l = B.Lock.create (); id = Lockorder.register name }
+
+  let with_lock t f =
+    Lockorder.acquiring t.id;
+    Fun.protect
+      ~finally:(fun () -> Lockorder.released t.id)
+      (fun () -> B.Lock.with_lock t.l f)
+end
 
 let backend = B.name
 let available = B.available
@@ -51,6 +77,50 @@ let effective ?parallelism () =
    tail; chunks stay big enough that per-chunk bookkeeping is noise. *)
 let chunks_per_worker = 4
 
+(* --- schedule-perturbing stress mode ------------------------------- *)
+
+(* 0 = off; any other value seeds a per-region permutation of chunk
+   dispatch order. Results still merge by chunk index, so the
+   determinism contract holds — stress only changes *which interleavings
+   happen*, widening what the differential suite (and the TSan CI leg)
+   actually explores. *)
+let stress_seed = Atomic.make 0
+let stress_regions = Atomic.make 0
+
+let set_stress = function
+  | None -> Atomic.set stress_seed 0
+  | Some s -> Atomic.set stress_seed (if s = 0 then 1 else s)
+
+let stress () =
+  match Atomic.get stress_seed with 0 -> None | s -> Some s
+
+(* CI hook: XPAR_STRESS=<seed> turns stress on for whole test binaries
+   (the tsan job sets it) without touching every call site. *)
+let () =
+  match Sys.getenv_opt "XPAR_STRESS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some s -> set_stress (Some s)
+      | None -> ())
+  | None -> ()
+
+(* Fisher–Yates over [0..n-1], seeded deterministically per region so a
+   failing schedule is reproducible from (seed, region index). *)
+let stress_order ~nchunks =
+  match Atomic.get stress_seed with
+  | 0 -> None
+  | seed ->
+      let region = Atomic.fetch_and_add stress_regions 1 in
+      let st = Random.State.make [| seed; region; nchunks |] in
+      let perm = Array.init nchunks Fun.id in
+      for i = nchunks - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      Some perm
+
 let chunk_size_for ~n ~par = function
   | Some c -> max 1 c
   | None -> max 1 ((n + (par * chunks_per_worker) - 1) / (par * chunks_per_worker))
@@ -77,11 +147,14 @@ let map_chunks ?parallelism ?chunk_size f items =
       let cursor = Atomic.make 0 in
       let completed = Atomic.make 0 in
       let waiter = B.Waiter.create () in
+      let order = stress_order ~nchunks in
       let drain () =
         let rec claim () =
           let c = Atomic.fetch_and_add cursor 1 in
           if c < nchunks then begin
-            do_chunk c;
+            (match order with
+            | None -> do_chunk c
+            | Some perm -> do_chunk perm.(c));
             if Atomic.fetch_and_add completed 1 = nchunks - 1 then
               B.Waiter.wake waiter;
             claim ()

@@ -72,12 +72,75 @@ val map_list : ?parallelism:int -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> '
 val parallel_for :
   ?parallelism:int -> ?chunk_size:int -> int -> int -> (int -> unit) -> unit
 
-(** A mutual-exclusion lock: a real [Mutex] on the domain backend, a
-    no-op on the sequential one (where nothing is concurrent). Used to
-    guard shared memo tables on hot paths. *)
+(** {1 Schedule-perturbing stress mode}
+
+    With a seed set, every parallel region dispatches its chunks in a
+    seeded pseudo-random order instead of ascending index order. Results
+    still merge by chunk index (the determinism contract is untouched);
+    only the set of interleavings actually exercised changes, so the
+    differential suite and the TSan CI leg explore schedules a quiet
+    machine would never produce. A failing schedule is reproducible from
+    the seed. Also settable process-wide via the [XPAR_STRESS=<seed>]
+    environment variable, read once at startup. *)
+
+val set_stress : int option -> unit
+(** [set_stress (Some seed)] enables stress dispatch; [None] disables. *)
+
+val stress : unit -> int option
+
+(** {1 Locks and lock-order tracking} *)
+
+(** Runtime lock-order tracker (the dynamic half of Xsan): records the
+    acquisition-order graph of every {!Lock} and detects cycles —
+    potential deadlocks — with the first-witness call stacks of both
+    acquisitions on each edge. See docs/CONCURRENCY.md. *)
+module Lockorder : sig
+  type lock_id
+
+  (** Register a lock under [name]; done by {!Lock.create}. *)
+  val register : string -> lock_id
+
+  (** Record intent to acquire / completion of release. Called by
+      {!Lock.with_lock}; exposed for locks not built on {!Lock}. *)
+  val acquiring : lock_id -> unit
+
+  val released : lock_id -> unit
+
+  (** Tracking is on by default; turn it off to shed the (small)
+      per-acquisition cost in benchmarks. *)
+  val set_tracking : bool -> unit
+
+  val tracking : unit -> bool
+
+  type stats = {
+    locks : int;  (** locks registered *)
+    acquisitions : int;  (** tracked acquisitions since start/reset *)
+    edges : int;  (** distinct observed orderings a -> b *)
+    cycles : int;  (** potential deadlocks *)
+  }
+
+  val stats : unit -> stats
+
+  (** Every potential-deadlock cycle, as lock names in acquisition
+      order. *)
+  val cycles : unit -> string list list
+
+  (** Human-readable report: locks, edges, and each cycle with both
+      first-witness stacks ([\xsan] in the shell). *)
+  val report : unit -> string
+
+  (** Forget recorded edges and the acquisition count (for tests). *)
+  val reset : unit -> unit
+end
+
+(** A named mutual-exclusion lock: a real [Mutex] on the domain backend,
+    a no-op on the sequential one (where nothing is concurrent). Every
+    acquisition is recorded by {!Lockorder}, so give locks stable names
+    ([Lock.create ~name:"engine.plan_cache" ()]) — anonymous locks get a
+    generated one. Used to guard shared memo tables on hot paths. *)
 module Lock : sig
   type t
 
-  val create : unit -> t
+  val create : ?name:string -> unit -> t
   val with_lock : t -> (unit -> 'a) -> 'a
 end

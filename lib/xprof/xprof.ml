@@ -276,6 +276,9 @@ type t = {
   mutable undo_entries : int;
   mutable xpar_tasks : int;  (** parallel regions executed *)
   mutable xpar_chunks : int;  (** chunks dispatched across all regions *)
+  mutable xpar_gated : int;
+      (** parallel AND/OR solves gated off (profiling armed) — work that
+          *would* have gone parallel but ran sequentially *)
   mutable governor : (string * int * int) list;
       (** (resource, used, cap) — empty when the statement ran with the
           meter unarmed (no limits set) *)
@@ -303,6 +306,7 @@ let create () =
     undo_entries = 0;
     xpar_tasks = 0;
     xpar_chunks = 0;
+    xpar_gated = 0;
     governor = [];
     root = fresh_root ();
     stack = [];
@@ -333,6 +337,7 @@ let reset p =
   p.undo_entries <- 0;
   p.xpar_tasks <- 0;
   p.xpar_chunks <- 0;
+  p.xpar_gated <- 0;
   p.governor <- [];
   p.root <- fresh_root ();
   p.stack <- [];
@@ -374,6 +379,12 @@ let par p ~chunks =
     p.xpar_tasks <- p.xpar_tasks + 1;
     p.xpar_chunks <- p.xpar_chunks + chunks
   end
+
+(** Charge one parallel region that was *gated off* — eligible for
+    parallel solving but forced sequential (index profiling armed). The
+    registry mirror ([xpar_gated_total]) makes silently lost parallelism
+    visible in [\metrics]. *)
+let gated p = if p.on then p.xpar_gated <- p.xpar_gated + 1
 
 (* --- operator spans ------------------------------------------------ *)
 
@@ -444,6 +455,7 @@ let absorb ~into:(p : t) (child : t) =
     p.undo_entries <- p.undo_entries + child.undo_entries;
     p.xpar_tasks <- p.xpar_tasks + child.xpar_tasks;
     p.xpar_chunks <- p.xpar_chunks + child.xpar_chunks;
+    p.xpar_gated <- p.xpar_gated + child.xpar_gated;
     let parent = match p.stack with o :: _ -> o | [] -> p.root in
     let rec graft parent ops =
       (* ops arrive oldest-first; find-or-create keeps [op_children]'s
@@ -479,6 +491,7 @@ let counters p : (string * int) list =
     ("undo_entries", p.undo_entries);
     ("xpar_tasks", p.xpar_tasks);
     ("xpar_chunks", p.xpar_chunks);
+    ("xpar_gated", p.xpar_gated);
   ]
 
 let counters_json p : Json.t =

@@ -1,0 +1,173 @@
+(** The Xsan annotation registry (the [xsan.toml] file at the repo
+    root): per-module concurrency policy declarations that drive the
+    {!Srccheck} lint. The registry is how the build fails on *new*
+    unguarded shared state while grandfathering what already exists —
+    every suppression is an explicit, reviewed line with a reason, not a
+    silent skip.
+
+    Format (a deliberately small TOML subset, parsed here so the lint
+    needs no external dependency):
+
+    {v
+    # comment
+    [module "faultinject/faultinject"]
+    policy = "guarded_by:faultinject.registry"
+    reason = "armed table only touched under the registry lock"
+    v}
+
+    Module keys are paths relative to the scan root with the [.ml]
+    extension dropped (["xprof/xprof"], ["engine/plan_cache"]).
+    Policies:
+
+    - [domain_safe]: the module's top-level state is safe to touch from
+      any domain (atomics, immutable data, or internal locking).
+    - [guarded_by:<lock>]: shared state is only accessed under the named
+      {!Xpar.Lock} — the name should match the lock-order tracker's.
+    - [seq_only]: the module is never reachable from Xpar chunk
+      closures; the lint skips it entirely. *)
+
+type policy =
+  | Domain_safe
+  | Seq_only
+  | Guarded_by of string  (** lock name, as registered with Xpar.Lock *)
+
+let policy_to_string = function
+  | Domain_safe -> "domain_safe"
+  | Seq_only -> "seq_only"
+  | Guarded_by l -> "guarded_by:" ^ l
+
+let policy_of_string s =
+  match s with
+  | "domain_safe" -> Some Domain_safe
+  | "seq_only" -> Some Seq_only
+  | _ ->
+      let prefix = "guarded_by:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        Some (Guarded_by (String.sub s pl (String.length s - pl)))
+      else None
+
+type entry = {
+  key : string;  (** module key, e.g. ["engine/plan_cache"] *)
+  policy : policy;
+  reason : string option;
+  line : int;  (** line of the [\[module ...\]] header, for diagnostics *)
+}
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : entry list;  (** reverse declaration order *)
+}
+
+let empty () = { tbl = Hashtbl.create 8; order = [] }
+let find t key = Hashtbl.find_opt t.tbl key
+let entries t = List.rev t.order
+
+(* --- parsing ------------------------------------------------------- *)
+
+let err ~line fmt =
+  Analysis.Diag.make
+    ~pos:{ Xdm.Srcloc.line; col = 1; offset = 0 }
+    ~code:"XSAN009" ~severity:Analysis.Diag.Error fmt
+
+(* ["value"] with nothing else on the line. *)
+let quoted (s : string) : string option =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    Some (String.sub s 1 (n - 2))
+  else None
+
+let strip_comment line =
+  (* none of our values contain '#', so a simple split is enough *)
+  match String.index_opt line '#' with
+  | Some i when not (String.contains (String.sub line 0 i) '"') ->
+      String.sub line 0 i
+  | _ -> line
+
+(** Parse registry source text; [path] only labels diagnostics. Returns
+    the registry plus any XSAN009 parse diagnostics (parsing continues
+    past errors so one typo doesn't hide the rest of the file). *)
+let parse ~path (src : string) : t * Analysis.Diag.t list =
+  ignore path;
+  let t = empty () in
+  let diags = ref [] in
+  (* pending section: the entry plus whether a [policy =] line arrived *)
+  let current : (entry * bool) option ref = ref None in
+  let commit () =
+    match !current with
+    | None -> ()
+    | Some (e, policy_seen) ->
+        if not policy_seen then
+          diags :=
+            err ~line:e.line "[module %S] has no policy line" e.key :: !diags
+        else if Hashtbl.mem t.tbl e.key then
+          diags :=
+            err ~line:e.line "duplicate [module %S] entry" e.key :: !diags
+        else begin
+          Hashtbl.replace t.tbl e.key e;
+          t.order <- e :: t.order
+        end;
+        current := None
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim (strip_comment raw) in
+      if s = "" then ()
+      else if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']'
+      then begin
+        commit ();
+        let inner = String.trim (String.sub s 1 (String.length s - 2)) in
+        let mod_prefix = "module " in
+        let pl = String.length mod_prefix in
+        if String.length inner > pl && String.sub inner 0 pl = mod_prefix then
+          match quoted (String.sub inner pl (String.length inner - pl)) with
+          | Some key ->
+              current :=
+                Some ({ key; policy = Seq_only; line; reason = None }, false)
+          | None -> diags := err ~line "malformed module header: %s" s :: !diags
+        else diags := err ~line "unknown section: %s" s :: !diags
+      end
+      else
+        match String.index_opt s '=' with
+        | None -> diags := err ~line "expected 'key = \"value\"': %s" s :: !diags
+        | Some eq -> (
+            let k = String.trim (String.sub s 0 eq) in
+            let v = String.sub s (eq + 1) (String.length s - eq - 1) in
+            match (!current, quoted v) with
+            | None, _ ->
+                diags :=
+                  err ~line "%S outside a [module ...] section" k :: !diags
+            | _, None ->
+                diags := err ~line "expected a quoted value for %S" k :: !diags
+            | Some (e, seen), Some v -> (
+                match k with
+                | "policy" -> (
+                    match policy_of_string v with
+                    | Some p -> current := Some ({ e with policy = p }, true)
+                    | None ->
+                        diags :=
+                          err ~line
+                            "unknown policy %S (want domain_safe, seq_only \
+                             or guarded_by:<lock>)"
+                            v
+                          :: !diags)
+                | "reason" -> current := Some ({ e with reason = Some v }, seen)
+                | _ -> diags := err ~line "unknown key %S" k :: !diags)))
+    (String.split_on_char '\n' src);
+  commit ();
+  (t, List.rev !diags)
+
+(** Load and parse a registry file; a missing file is an empty registry
+    (nothing grandfathered), an unreadable one is a parse error. *)
+let load (path : string) : t * Analysis.Diag.t list =
+  match open_in_bin path with
+  | exception Sys_error _ -> (empty (), [])
+  | ic ->
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse ~path src

@@ -1,0 +1,296 @@
+(** Domain-safety source lint: the static half of Xsan.
+
+    Parses each [lib/**/*.ml] with the host compiler's own frontend
+    (compiler-libs) and flags module-initialization-time creation of
+    shared mutable state — the stuff that becomes a data race the moment
+    an Xpar chunk closure touches it from a worker domain:
+
+    - XSAN001: a top-level [ref] cell
+    - XSAN002: a top-level mutable container ([Hashtbl]/[Queue]/[Stack]/
+      [Buffer] [.create]) — none of these are domain-safe
+    - XSAN003: a top-level [lazy] value (concurrent [Lazy.force] from
+      two domains raises or races)
+    - XSAN004: use of the global [Random] state anywhere in the module
+      (domain-local since OCaml 5, so not a race, but a nondeterminism
+      hazard under Xpar's varying schedules; use [Random.State]) —
+      Warning severity
+    - XSAN005: a raw [Mutex.create] — use the named, lock-order-tracked
+      [Xpar.Lock] instead
+    - XSAN008: a stale registry entry (names a module that no longer
+      exists under the scanned roots)
+    - XSAN009: unparseable source / malformed registry
+
+    "Top-level" means evaluated at module initialization: the scan
+    descends through [let]s, tuples, records, applications, sequences
+    and submodule structures, but *not* into function bodies — state
+    created per call is not shared (the one heuristic gap is a closure
+    over a creation inside a top-level binding's body, documented in
+    docs/CONCURRENCY.md).
+
+    Findings are suppressed — but still counted — for modules the
+    {!Registry} annotates ([domain_safe] / [guarded_by:<lock>]);
+    [seq_only] modules are skipped entirely. The build alias
+    [@racecheck] fails on any unsuppressed Error, so new shared state
+    needs either a lock or an explicit, reviewed annotation to land. *)
+
+module D = Analysis.Diag
+
+let pos_of (loc : Location.t) : Xdm.Srcloc.pos =
+  let p = loc.Location.loc_start in
+  {
+    Xdm.Srcloc.line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol + 1;
+    offset = p.Lexing.pos_cnum;
+  }
+
+let diag ~code ~severity ~loc fmt =
+  D.make ~pos:(pos_of loc) ~code ~severity fmt
+
+(* The containers whose [create] is flagged. [Array.make]/[Bytes.create]
+   are deliberately out: shared arrays are almost always index-disjoint
+   chunk outputs (Xpar's own slots), and flagging them would bury the
+   signal. *)
+let mutable_containers = [ "Hashtbl"; "Queue"; "Stack"; "Buffer" ]
+
+let creation_finding ~loc (lid : Longident.t) : D.t option =
+  match Longident.flatten lid with
+  | [ "ref" ] ->
+      Some
+        (diag ~code:"XSAN001" ~severity:D.Error ~loc
+           "top-level ref cell: shared across domains once any Xpar chunk \
+            closure reaches this module; use Atomic.t, or annotate the \
+            module in xsan.toml")
+  | [ m; "create" ] when List.mem m mutable_containers ->
+      Some
+        (diag ~code:"XSAN002" ~severity:D.Error ~loc
+           "top-level %s.create: %s is not domain-safe; guard it with an \
+            Xpar.Lock (and annotate guarded_by:<lock>) or keep it per-call"
+           m m)
+  | [ "Mutex"; "create" ] ->
+      Some
+        (diag ~code:"XSAN005" ~severity:D.Error ~loc
+           "raw Mutex.create: use Xpar.Lock.create ~name so the lock \
+            participates in lock-order/deadlock tracking")
+  | _ -> None
+
+(* --- pass 1: module-initialization-time creations ------------------- *)
+
+(* Walks only expressions evaluated when the module initializes. The
+   match whitelists the constructors we descend through; everything else
+   — including function constructs, whose parsetree shape changed across
+   compiler versions — falls to the catch-all and is not entered. *)
+let rec scan_init ~(add : D.t -> unit) (e : Parsetree.expression) =
+  let open Parsetree in
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      (match creation_finding ~loc:e.pexp_loc txt with
+      | Some d -> add d
+      | None -> ());
+      List.iter (fun (_, a) -> scan_init ~add a) args
+  | Pexp_apply (f, args) ->
+      scan_init ~add f;
+      List.iter (fun (_, a) -> scan_init ~add a) args
+  | Pexp_lazy _ ->
+      add
+        (diag ~code:"XSAN003" ~severity:D.Error ~loc:e.pexp_loc
+           "top-level lazy value: concurrent Lazy.force from two domains \
+            races (RacyLazy); force it eagerly at startup or guard it")
+  | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> scan_init ~add vb.pvb_expr) vbs;
+      scan_init ~add body
+  | Pexp_sequence (a, b) ->
+      scan_init ~add a;
+      scan_init ~add b
+  | Pexp_tuple es -> List.iter (scan_init ~add) es
+  | Pexp_array es -> List.iter (scan_init ~add) es
+  | Pexp_record (fields, base) ->
+      List.iter (fun (_, v) -> scan_init ~add v) fields;
+      Option.iter (scan_init ~add) base
+  | Pexp_field (e, _) -> scan_init ~add e
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> scan_init ~add e
+  | Pexp_ifthenelse (c, t, f) ->
+      scan_init ~add c;
+      scan_init ~add t;
+      Option.iter (scan_init ~add) f
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> scan_init ~add e
+  | Pexp_open (_, e) -> scan_init ~add e
+  | Pexp_match (e, _) | Pexp_try (e, _) ->
+      (* case bodies run at init too, but creations there are value-
+         dependent; the scrutinee is the common case *)
+      scan_init ~add e
+  | _ -> ()
+
+let rec scan_structure ~add (str : Parsetree.structure) =
+  List.iter (scan_item ~add) str
+
+and scan_item ~add (it : Parsetree.structure_item) =
+  let open Parsetree in
+  match it.pstr_desc with
+  | Pstr_value (_, vbs) ->
+      List.iter (fun vb -> scan_init ~add vb.pvb_expr) vbs
+  | Pstr_eval (e, _) -> scan_init ~add e
+  | Pstr_module mb -> scan_module_expr ~add mb.pmb_expr
+  | Pstr_recmodule mbs ->
+      List.iter (fun mb -> scan_module_expr ~add mb.pmb_expr) mbs
+  | Pstr_include i -> scan_module_expr ~add i.pincl_mod
+  | _ -> ()
+
+and scan_module_expr ~add (me : Parsetree.module_expr) =
+  let open Parsetree in
+  match me.pmod_desc with
+  | Pmod_structure str -> scan_structure ~add str
+  | Pmod_constraint (me, _) -> scan_module_expr ~add me
+  | _ -> () (* functors evaluate at application; idents create nothing *)
+
+(* --- pass 2: global Random state, anywhere -------------------------- *)
+
+let random_pass ~add (str : Parsetree.structure) =
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } -> (
+              match Longident.flatten txt with
+              | "Random" :: f :: _ when f <> "State" ->
+                  add
+                    (diag ~code:"XSAN004" ~severity:D.Warning ~loc
+                       "global Random state (Random.%s): domain-local but \
+                        schedule-dependent under Xpar — seed an explicit \
+                        Random.State instead"
+                       f)
+              | _ -> ())
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  it.structure it str
+
+(* --- file-level API -------------------------------------------------- *)
+
+(** All raw findings for one compilation unit (no registry applied). *)
+let check_source ~filename (src : string) : D.t list =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf filename;
+  match Parse.implementation lexbuf with
+  | exception e ->
+      [
+        D.make
+          ~pos:{ Xdm.Srcloc.line = 1; col = 1; offset = 0 }
+          ~code:"XSAN009" ~severity:D.Error "cannot parse %s: %s" filename
+          (Printexc.to_string e);
+      ]
+  | str ->
+      let acc = ref [] in
+      let add d = acc := d :: !acc in
+      scan_structure ~add str;
+      random_pass ~add str;
+      List.sort D.compare !acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file (path : string) : D.t list =
+  match read_file path with
+  | exception Sys_error m ->
+      [
+        D.make ~code:"XSAN009" ~severity:D.Error "cannot read %s: %s" path m;
+      ]
+  | src -> check_source ~filename:path src
+
+(* --- directory scan under a registry --------------------------------- *)
+
+type file_report = {
+  path : string;
+  modkey : string;  (** registry key this file resolves to *)
+  policy : Registry.policy option;
+  diags : D.t list;  (** findings that survive the registry *)
+  suppressed : int;  (** findings silenced by a domain_safe/guarded_by *)
+}
+
+type result = {
+  reports : file_report list;  (** one per scanned file, path order *)
+  registry_diags : D.t list;  (** XSAN008 stale entries, XSAN009 parse *)
+  files : int;
+  findings : int;  (** unsuppressed findings across all files *)
+  errors : int;  (** unsuppressed Error-severity count (the exit code) *)
+}
+
+(* "lib/xprof/xprof.ml" -> "xprof/xprof"; keys are root-relative so the
+   registry is stable however the scanner is invoked. *)
+let modkey_of_path path =
+  let p =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+  in
+  let p =
+    if String.length p > 4 && String.sub p 0 4 = "lib/" then
+      String.sub p 4 (String.length p - 4)
+    else p
+  in
+  Filename.remove_extension p
+
+let rec ml_files_under ~exclude path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun f ->
+           ml_files_under ~exclude (Filename.concat path f))
+  else if
+    Filename.check_suffix path ".ml"
+    && not (List.mem (Filename.basename path) exclude)
+  then [ path ]
+  else []
+
+(** Lint every [.ml] under [roots] (files are taken as-is), applying
+    [registry] policies per module key. [exclude] lists basenames to
+    skip — dune-generated copies whose sources are scanned separately
+    (the scan may run inside [_build], where generated files exist). *)
+let scan ?(registry = Registry.empty ()) ?(registry_diags = [])
+    ?(exclude = []) (roots : string list) : result =
+  let files = List.concat_map (ml_files_under ~exclude) roots in
+  let seen = Hashtbl.create 32 in
+  let reports =
+    List.map
+      (fun path ->
+        let modkey = modkey_of_path path in
+        Hashtbl.replace seen modkey ();
+        let entry = Registry.find registry modkey in
+        let policy = Option.map (fun e -> e.Registry.policy) entry in
+        match policy with
+        | Some Registry.Seq_only ->
+            { path; modkey; policy; diags = []; suppressed = 0 }
+        | Some (Registry.Domain_safe | Registry.Guarded_by _) ->
+            let found = check_file path in
+            { path; modkey; policy; diags = []; suppressed = List.length found }
+        | None ->
+            { path; modkey; policy; diags = check_file path; suppressed = 0 })
+      files
+  in
+  let stale =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+        if Hashtbl.mem seen e.Registry.key then None
+        else
+          Some
+            (D.make
+               ~pos:{ Xdm.Srcloc.line = e.Registry.line; col = 1; offset = 0 }
+               ~code:"XSAN008" ~severity:D.Error
+               "stale registry entry: no module %S under the scanned roots"
+               e.Registry.key))
+      (Registry.entries registry)
+  in
+  let registry_diags = registry_diags @ stale in
+  let kept = List.concat_map (fun r -> r.diags) reports @ registry_diags in
+  {
+    reports;
+    registry_diags;
+    files = List.length files;
+    findings = List.length kept;
+    errors = List.length (List.filter D.is_error kept);
+  }

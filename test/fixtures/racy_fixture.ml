@@ -1,0 +1,21 @@
+(* Deliberately racy module: the committed seed fixture for the Xsan
+   lint tests. This directory has no dune file, so the module is never
+   compiled — t_xsan feeds its source to Srccheck and asserts every
+   diagnostic class fires (XSAN001..005). Do not "fix" this file. *)
+
+let hits = ref 0
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let crc_table = lazy (Array.init 256 (fun i -> (i * 7) land 0xff))
+let guard = Mutex.create ()
+
+let lookup k =
+  incr hits;
+  match Hashtbl.find_opt cache k with
+  | Some v -> v
+  | None ->
+      let v = Random.int 1000 in
+      Mutex.lock guard;
+      Hashtbl.replace cache k v;
+      Mutex.unlock guard;
+      ignore (Lazy.force crc_table);
+      v
