@@ -1471,6 +1471,134 @@ let durability_suite ~quick ~out () =
   Printf.printf "spliced \"durability\" section into %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Server suite (--suite server): the "server" section of              *)
+(* BENCH_micro.json — sustained QPS and tail latency through the Xnet  *)
+(* wire protocol at 1/4/16 concurrent client connections, plus the     *)
+(* cold-vs-warm plan-cache contrast over the wire. The server runs     *)
+(* in-process on an ephemeral port, so the numbers include the full    *)
+(* protocol round trip (encode, loopback TCP, decode, engine, reply)   *)
+(* but no scheduler noise from a second process.                       *)
+(* ------------------------------------------------------------------ *)
+
+(** One timed load level: [clients] connections each firing [query]
+    back-to-back for [duration] seconds. Returns (qps, latency hist). *)
+let server_load ~port ~clients ~duration ~query () =
+  let lats = Array.make clients [] in
+  let t_start = Unix.gettimeofday () in
+  let deadline = t_start +. duration in
+  let body i () =
+    let c = Xnet.Client.connect ~host:"127.0.0.1" ~port () in
+    Fun.protect
+      ~finally:(fun () -> Xnet.Client.close c)
+      (fun () ->
+        let acc = ref [] in
+        while Unix.gettimeofday () < deadline do
+          let t0 = Unix.gettimeofday () in
+          ignore (Xnet.Client.exec c query);
+          acc := ((Unix.gettimeofday () -. t0) *. 1000.) :: !acc
+        done;
+        lats.(i) <- !acc)
+  in
+  let threads = List.init clients (fun i -> Thread.create (body i) ()) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  let h = Xprof.Hist.create () in
+  let total = ref 0 in
+  Array.iter
+    (fun l ->
+      total := !total + List.length l;
+      List.iter (Xprof.Hist.add h) l)
+    lats;
+  (float_of_int !total /. elapsed, h)
+
+let server_suite ~quick ~out () =
+  let n = if quick then 150 else 500 in
+  let duration = if quick then 0.4 else 2.0 in
+  let cold_iters = if quick then 5 else 15 in
+  Printf.printf "== server suite: %d orders, %.1fs per load level%s\n%!" n
+    duration
+    (if quick then " (--quick)" else "");
+  let db = corpus_db ~n () in
+  let srv =
+    Xnet.Server.start ~engine:db
+      { Xnet.Server.default_config with port = 0; max_sessions = 64 }
+  in
+  let port = Xnet.Server.port srv in
+  (* an index-eligible paper-shaped query: representative of the
+     steady-state request mix the paper argues becomes servable *)
+  let query =
+    "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 990]"
+  in
+  (* Cold vs shared-plan-cache warm, through the wire, single client.
+     The reset happens between requests with no statement in flight, so
+     it cannot race the session thread. *)
+  let conn = Xnet.Client.connect ~host:"127.0.0.1" ~port () in
+  let cold_h = Xprof.Hist.create () and warm_h = Xprof.Hist.create () in
+  for _ = 1 to cold_iters do
+    Engine.reset_plan_cache db;
+    let t0 = Unix.gettimeofday () in
+    ignore (Xnet.Client.exec conn query);
+    Xprof.Hist.add cold_h ((Unix.gettimeofday () -. t0) *. 1000.)
+  done;
+  ignore (Xnet.Client.exec conn query) (* ensure the cache is hot *);
+  for _ = 1 to cold_iters do
+    let t0 = Unix.gettimeofday () in
+    ignore (Xnet.Client.exec conn query);
+    Xprof.Hist.add warm_h ((Unix.gettimeofday () -. t0) *. 1000.)
+  done;
+  Xnet.Client.close conn;
+  let cold_p50 = Xprof.Hist.p50 cold_h and warm_p50 = Xprof.Hist.p50 warm_h in
+  Printf.printf
+    "  cold (plan-cache reset) p50 %.3f ms | warm (shared cache) p50 %.3f ms\n%!"
+    cold_p50 warm_p50;
+  let hits_before =
+    (Engine.plan_cache_stats db).Engine.Plan_cache.hits
+  in
+  let levels =
+    List.map
+      (fun clients ->
+        let qps, h = server_load ~port ~clients ~duration ~query () in
+        Printf.printf
+          "  %2d clients: %7.0f qps | p50 %.3f ms | p95 %.3f ms | p99 %.3f \
+           ms\n%!"
+          clients qps (Xprof.Hist.p50 h) (Xprof.Hist.p95 h) (Xprof.Hist.p99 h);
+        ( string_of_int clients,
+          J.Obj
+            [
+              ("qps", J.Float qps);
+              ("p50_ms", J.Float (Xprof.Hist.p50 h));
+              ("p95_ms", J.Float (Xprof.Hist.p95 h));
+              ("p99_ms", J.Float (Xprof.Hist.p99 h));
+              ("requests", J.Int (Xprof.Hist.count h));
+            ] ))
+      [ 1; 4; 16 ]
+  in
+  let hits_after = (Engine.plan_cache_stats db).Engine.Plan_cache.hits in
+  Xnet.Server.stop srv;
+  let section =
+    J.Obj
+      [
+        ("backend", J.Str Xpar.backend);
+        ("query", J.Str query);
+        ("quick", J.Bool quick);
+        ("cold_p50_ms", J.Float cold_p50);
+        ("warm_p50_ms", J.Float warm_p50);
+        ("clients", J.Obj levels);
+        ( "plan_cache",
+          J.Obj
+            [
+              ("hits", J.Int hits_after);
+              (* every concurrent client's compile after the first is a
+                 hit on the cache another session warmed *)
+              ("shared_ok", J.Bool (hits_after > hits_before));
+            ] );
+        ("ok", J.Bool (warm_p50 <= cold_p50));
+      ]
+  in
+  splice_section ~out ~key:"server" section;
+  Printf.printf "spliced \"server\" section into %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -1511,9 +1639,17 @@ let () =
       in
       durability_suite ~quick ~out ();
       exit 0
+  | Some "server" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      server_suite ~quick ~out ();
+      exit 0
   | Some other ->
       Printf.eprintf
-        "unknown suite %S (available: micro, parallel, prepared, durability)\n"
+        "unknown suite %S (available: micro, parallel, prepared, durability, \
+         server)\n"
         other;
       exit 2
   | None -> ());

@@ -34,6 +34,11 @@
     statement is written ahead to DIR's log before it commits, and
     reopening the directory recovers committed data after a crash.
 
+    With [--connect HOST:PORT] the shell runs against a remote [xqdbd]
+    over the Xnet wire protocol instead of embedding an engine;
+    statements, [\prepare]/[\exec], [\cursor], [\limits], [\metrics] and
+    [\checkpoint] execute server-side (docs/SERVER.md).
+
     Batch linting: [xqdb --lint FILE...] analyzes each file (one
     statement per file) and exits non-zero if any Error-severity
     diagnostic is found; [--json] switches to machine-readable output. *)
@@ -52,9 +57,32 @@ let maybe_print_profile db =
     else print_string (Xprof.report p)
   end
 
-(** [\limits] — bare: show; [off]: clear; otherwise whitespace-separated
-    [steps=N nodes=N depth=N timeout=SECS] assignments (merged into the
-    current limits). *)
+(** Merge whitespace-separated [steps=N nodes=N depth=N timeout=SECS]
+    assignments into [cur] (shared by the local and remote [\limits]). *)
+let limits_of_args (cur : Xdm.Limits.t) (args : string) : Xdm.Limits.t =
+  let l = ref cur in
+  String.split_on_char ' ' args
+  |> List.filter (fun s -> s <> "")
+  |> List.iter (fun kv ->
+         match String.index_opt kv '=' with
+         | None -> Printf.printf "bad \\limits argument %S (want key=value)\n" kv
+         | Some i -> (
+             let k = String.sub kv 0 i in
+             let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+             match (k, int_of_string_opt v, float_of_string_opt v) with
+             | "steps", Some n, _ -> l := { !l with Xdm.Limits.max_steps = Some n }
+             | "nodes", Some n, _ -> l := { !l with Xdm.Limits.max_nodes = Some n }
+             | "depth", Some n, _ -> l := { !l with Xdm.Limits.max_depth = Some n }
+             | "timeout", _, Some s -> l := { !l with Xdm.Limits.timeout = Some s }
+             | _ ->
+                 Printf.printf
+                   "bad \\limits argument %S (want steps=N nodes=N depth=N \
+                    timeout=SECS)\n"
+                   kv));
+  !l
+
+(** [\limits] — bare: show; [off]: clear; otherwise assignments merged
+    into the current limits. *)
 let set_limits_cmd db (args : string) =
   let args = String.trim args in
   if args = "" then
@@ -64,26 +92,7 @@ let set_limits_cmd db (args : string) =
     print_endline "limits cleared"
   end
   else begin
-    let l = ref (Engine.limits db) in
-    String.split_on_char ' ' args
-    |> List.filter (fun s -> s <> "")
-    |> List.iter (fun kv ->
-           match String.index_opt kv '=' with
-           | None -> Printf.printf "bad \\limits argument %S (want key=value)\n" kv
-           | Some i -> (
-               let k = String.sub kv 0 i in
-               let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-               match (k, int_of_string_opt v, float_of_string_opt v) with
-               | "steps", Some n, _ -> l := { !l with Xdm.Limits.max_steps = Some n }
-               | "nodes", Some n, _ -> l := { !l with Xdm.Limits.max_nodes = Some n }
-               | "depth", Some n, _ -> l := { !l with Xdm.Limits.max_depth = Some n }
-               | "timeout", _, Some s -> l := { !l with Xdm.Limits.timeout = Some s }
-               | _ ->
-                   Printf.printf
-                     "bad \\limits argument %S (want steps=N nodes=N depth=N \
-                      timeout=SECS)\n"
-                     kv));
-    Engine.set_limits db !l;
+    Engine.set_limits db (limits_of_args (Engine.limits db) args);
     print_endline (Xdm.Limits.to_string (Engine.limits db))
   end
 
@@ -117,21 +126,21 @@ let split_args (s : string) : string list =
   flush_tok ();
   List.rev !out
 
+let is_ident s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         ('a' <= c && c <= 'z')
+         || ('A' <= c && c <= 'Z')
+         || ('0' <= c && c <= '9')
+         || c = '_')
+       s
+
 (** Sort [\exec] arguments into positional SQL values and named XQuery
     bindings: a [name=value] token (identifier before the [=]) binds a
     variable, anything else is positional. *)
 let parse_bindings (toks : string list) :
     Storage.Sql_value.t list * (string * Xdm.Item.seq) list =
-  let is_ident s =
-    s <> ""
-    && String.for_all
-         (fun c ->
-           ('a' <= c && c <= 'z')
-           || ('A' <= c && c <= 'Z')
-           || ('0' <= c && c <= '9')
-           || c = '_')
-         s
-  in
   List.partition_map
     (fun tok ->
       match String.index_opt tok '=' with
@@ -372,6 +381,184 @@ let exec_line db line =
   | Exit -> raise Exit
   | e -> report_error e
 
+(* ------------------------------------------------------------------ *)
+(* Remote mode: --connect HOST:PORT speaks the Xnet wire protocol to a
+   running xqdbd instead of embedding an engine. The same meta-command
+   surface where it makes sense remotely: statements, \prepare, \exec,
+   \cursor, \limits, \metrics, \checkpoint, \explain, \q. Values travel
+   as literal strings and are parsed server-side with the same rules as
+   the local \exec.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Like {!parse_bindings} but keeping the literal strings: the server
+    does the parsing. *)
+let parse_raw_bindings (toks : string list) : Xnet.Proto.bindings =
+  let params, vars =
+    List.partition_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i when i > 0 && is_ident (String.sub tok 0 i) ->
+            Either.Right
+              ( String.sub tok 0 i,
+                String.sub tok (i + 1) (String.length tok - i - 1) )
+        | _ -> Either.Left tok)
+      toks
+  in
+  { Xnet.Proto.params; vars }
+
+let print_remote_okay (o : Xnet.Client.okay) =
+  (match o.Xnet.Client.payload with
+  | Xnet.Proto.Wrows { cols; rows } ->
+      if cols <> [] then print_endline (String.concat " | " cols);
+      List.iter (fun row -> print_endline (String.concat " | " row)) rows;
+      Printf.printf "(%d rows)\n" (List.length rows)
+  | Xnet.Proto.Witems items ->
+      List.iter print_endline items;
+      Printf.printf "(%d items)\n" (List.length items));
+  if !explain then begin
+    List.iter (fun n -> Printf.printf "-- %s\n" n) o.Xnet.Client.notes;
+    List.iter (fun n -> Printf.printf "-- %s\n" n) o.Xnet.Client.diagnostics
+  end
+
+(* The server enforces limits per session; the client only needs the
+   current value to support incremental \limits merges. *)
+let remote_limits = ref Xdm.Limits.unlimited
+
+let remote_limits_cmd conn (args : string) =
+  let args = String.trim args in
+  if args = "" then print_endline (Xdm.Limits.to_string !remote_limits)
+  else begin
+    (if args = "off" then remote_limits := Xdm.Limits.unlimited
+     else remote_limits := limits_of_args !remote_limits args);
+    Xnet.Client.set_limits conn !remote_limits;
+    print_endline (Xdm.Limits.to_string !remote_limits)
+  end
+
+let remote_prepare_cmd conn (args : string) =
+  let args = String.trim args in
+  match String.index_opt args ' ' with
+  | None -> print_endline "usage: \\prepare NAME STATEMENT"
+  | Some i ->
+      let name = String.sub args 0 i in
+      let src =
+        String.trim (String.sub args (i + 1) (String.length args - i - 1))
+      in
+      (match Xnet.Client.prepare conn ~name src with
+      | [] -> Printf.printf "prepared %s (no parameters)\n" name
+      | ps ->
+          Printf.printf "prepared %s (parameters: %s)\n" name
+            (String.concat ", " ps))
+
+let remote_exec_cmd conn (args : string) =
+  let args = String.trim args in
+  let name, rest =
+    match String.index_opt args ' ' with
+    | None -> (args, "")
+    | Some i ->
+        ( String.sub args 0 i,
+          String.sub args (i + 1) (String.length args - i - 1) )
+  in
+  let b = parse_raw_bindings (split_args rest) in
+  print_remote_okay (Xnet.Client.execute ~b conn name)
+
+let remote_cursor_cmd conn (args : string) =
+  let args = String.trim args in
+  let usage () = print_endline "usage: \\cursor COUNT STATEMENT" in
+  match String.index_opt args ' ' with
+  | None -> usage ()
+  | Some i -> (
+      match int_of_string_opt (String.sub args 0 i) with
+      | None -> usage ()
+      | Some n ->
+          let src =
+            String.trim (String.sub args (i + 1) (String.length args - i - 1))
+          in
+          let cursor, cols = Xnet.Client.open_cursor conn src in
+          if cols <> [] then print_endline (String.concat " | " cols);
+          let elems, finished = Xnet.Client.fetch conn ~cursor ~max:n in
+          List.iter
+            (function
+              | Xnet.Proto.Brow row ->
+                  print_endline (String.concat " | " row)
+              | Xnet.Proto.Bitem xml -> print_endline xml)
+            elems;
+          if not finished then Xnet.Client.close_cursor conn cursor;
+          Printf.printf "(%d pulled; cursor closed)\n" (List.length elems))
+
+let remote_exec_one conn (line : string) =
+  let line = String.trim line in
+  let has_prefix p =
+    String.length line > String.length p
+    && String.sub line 0 (String.length p) = p
+  in
+  let after p =
+    String.sub line (String.length p) (String.length line - String.length p)
+  in
+  if line = "" then ()
+  else if line = "\\q" then raise Exit
+  else if line = "\\explain on" then explain := true
+  else if line = "\\explain off" then explain := false
+  else if line = "\\limits" then remote_limits_cmd conn ""
+  else if has_prefix "\\limits " then remote_limits_cmd conn (after "\\limits ")
+  else if line = "\\metrics" then print_string (Xnet.Client.stats conn)
+  else if line = "\\checkpoint" then begin
+    Xnet.Client.checkpoint conn;
+    print_endline "checkpoint requested"
+  end
+  else if has_prefix "\\prepare " then remote_prepare_cmd conn (after "\\prepare ")
+  else if has_prefix "\\exec " then remote_exec_cmd conn (after "\\exec ")
+  else if has_prefix "\\cursor " then remote_cursor_cmd conn (after "\\cursor ")
+  else if String.length line > 0 && line.[0] = '\\' then
+    Printf.printf "meta command not available over --connect: %s\n" line
+  else print_remote_okay (Xnet.Client.exec conn line)
+
+let remote_exec_line conn line =
+  try remote_exec_one conn line with
+  | Exit -> raise Exit
+  | Xnet.Client.Net_error m ->
+      Printf.printf "CONNECTION ERROR: %s\n" m;
+      raise Exit
+  | e -> report_error e
+
+let remote_main (hostport : string) (script : string option) : unit =
+  let host, port =
+    match String.rindex_opt hostport ':' with
+    | Some i -> (
+        let h = String.sub hostport 0 i in
+        let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+        match int_of_string_opt p with
+        | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+        | None -> failwith (Printf.sprintf "bad --connect address %S" hostport))
+    | None -> failwith (Printf.sprintf "bad --connect address %S (want HOST:PORT)" hostport)
+  in
+  let conn = Xnet.Client.connect ~user:(Sys.getenv_opt "USER" |> Option.value ~default:"anon") ~host ~port () in
+  Printf.printf "connected to %s (session %d)\n"
+    (Xnet.Client.server conn) (Xnet.Client.session conn);
+  Fun.protect
+    ~finally:(fun () -> Xnet.Client.close conn)
+    (fun () ->
+      match script with
+      | Some f ->
+          In_channel.with_open_text f (fun ic ->
+              try
+                while true do
+                  match In_channel.input_line ic with
+                  | None -> raise Exit
+                  | Some line -> remote_exec_line conn line
+                done
+              with Exit -> ())
+      | None ->
+          (try
+             while true do
+               print_string "xqdb> ";
+               flush stdout;
+               match In_channel.input_line stdin with
+               | None -> raise Exit
+               | Some line -> remote_exec_line conn line
+             done
+           with Exit | End_of_file -> ());
+          print_endline "bye")
+
 let repl db =
   (try
      while true do
@@ -445,6 +632,19 @@ let no_fsync =
           "With $(b,--data-dir): skip the per-commit fsync (still durable \
            against process crashes, not against power loss).")
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Remote mode: connect to a running $(b,xqdbd) over the Xnet \
+           wire protocol instead of embedding an engine. Statements, \
+           \\\\prepare/\\\\exec, \\\\cursor, \\\\limits, \\\\metrics and \
+           \\\\checkpoint run server-side; engine flags like \
+           $(b,--data-dir) and $(b,--parallel) are the server's business \
+           and are rejected here. See docs/SERVER.md.")
+
 let profile_file =
   Arg.(
     value
@@ -489,7 +689,30 @@ let run_file db f =
         done
       with Exit -> ())
 
-let main script demo parallel do_explain lint json profile data_dir no_fsync =
+let main script demo parallel do_explain lint json profile data_dir no_fsync
+    connect =
+  match connect with
+  | Some hostport ->
+      explain := do_explain;
+      if demo || parallel > 1 || lint <> [] || profile <> None
+         || data_dir <> None || no_fsync
+      then begin
+        prerr_endline
+          "xqdb: --connect is incompatible with --demo/--parallel/--lint/\
+           --profile/--data-dir/--no-fsync (those belong to the server)";
+        exit 2
+      end;
+      (try remote_main hostport script with
+      | Failure m ->
+          prerr_endline ("xqdb: " ^ m);
+          exit 2
+      | Xnet.Client.Net_error m ->
+          prerr_endline ("xqdb: " ^ m);
+          exit 1
+      | Xdm.Xerror.Error { code; msg } ->
+          Printf.eprintf "xqdb: ERROR [%s] %s\n" code msg;
+          exit 1)
+  | None ->
   let db =
     match data_dir with
     | None -> Engine.create ()
@@ -515,6 +738,6 @@ let cmd =
     (Cmd.info "xqdb" ~doc:"XML database shell (XQuery + SQL/XML + XML indexes)")
     Term.(
       const main $ script $ demo $ parallel $ do_explain $ lint_files
-      $ json_out $ profile_file $ data_dir_arg $ no_fsync)
+      $ json_out $ profile_file $ data_dir_arg $ no_fsync $ connect_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,141 @@
+(** xqdbd — the network server: one shared engine served to concurrent
+    remote sessions over the Xnet wire protocol (docs/SERVER.md).
+
+    Sessions share the plan cache (a statement one client compiled is a
+    cache hit for every other), get private prepared-statement
+    namespaces and per-session governor budgets, and are capped by
+    [--max-sessions] (further connections get an XQDB0001 error frame).
+    SIGTERM/SIGINT trigger a graceful drain: stop accepting, let live
+    sessions finish (up to [--drain-timeout]), force stragglers shut,
+    exit 0. [--metrics PORT] serves the Xprof plaintext exposition on a
+    second listener. *)
+
+let parse_hostport ~what (s : string) : string * int =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let h = String.sub s 0 i in
+      let p = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt p with
+      | Some p when p >= 0 -> ((if h = "" then "127.0.0.1" else h), p)
+      | _ -> failwith (Printf.sprintf "bad %s address %S" what s))
+  | None -> failwith (Printf.sprintf "bad %s address %S (want HOST:PORT)" what s)
+
+(* Signal handlers only flip this flag; the drain itself (joins,
+   socket shutdowns) runs on the main thread's wait loop below. *)
+let want_stop = Atomic.make false
+
+let main listen metrics data_dir no_fsync max_sessions parallel drain_timeout =
+  let host, port =
+    try parse_hostport ~what:"--listen" listen
+    with Failure m ->
+      prerr_endline ("xqdbd: " ^ m);
+      exit 2
+  in
+  let engine =
+    match data_dir with
+    | None -> Engine.create ()
+    | Some dir -> Engine.open_db ~sync:(not no_fsync) ~data_dir:dir ()
+  in
+  if parallel > 1 then Engine.set_parallelism engine parallel;
+  let log m =
+    Printf.printf "xqdbd: %s\n" m;
+    flush stdout
+  in
+  let cfg =
+    {
+      Xnet.Server.host;
+      port;
+      metrics_port = metrics;
+      max_sessions;
+      drain_timeout;
+      log;
+    }
+  in
+  let srv =
+    try Xnet.Server.start ~engine cfg
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "xqdbd: cannot listen on %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set want_stop true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  while not (Atomic.get want_stop) do
+    Thread.delay 0.05
+  done;
+  log "shutting down (draining sessions)";
+  Xnet.Server.stop srv;
+  Engine.close engine;
+  log "bye";
+  exit 0
+
+open Cmdliner
+
+let listen_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1:5499"
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:"Address to serve the wire protocol on (port 0 = ephemeral).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics" ] ~docv:"PORT"
+        ~doc:
+          "Also serve the plaintext metrics exposition (Xprof registry + \
+           server gauges + plan-cache line) on $(docv); one response per \
+           connection. See docs/OBSERVABILITY.md.")
+
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Serve a durable database from $(docv) (created and recovered \
+           as needed). Without this flag the server is in-memory and its \
+           contents die with the process.")
+
+let no_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:"With $(b,--data-dir): skip the per-commit fsync.")
+
+let max_sessions_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:
+          "Admission cap: concurrent sessions beyond $(docv) are refused \
+           with an XQDB0001 error frame.")
+
+let parallel_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "parallel" ] ~docv:"N"
+        ~doc:
+          "Evaluate scan-shaped work on $(docv) domains (statements still \
+           serialize on the shared engine; parallelism lives inside a \
+           statement).")
+
+let drain_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "drain-timeout" ] ~docv:"SECS"
+        ~doc:
+          "On SIGTERM/SIGINT, wait up to $(docv) seconds for live \
+           sessions to finish before forcing their sockets shut.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "xqdbd"
+       ~doc:"XML database network server (Xnet wire protocol)")
+    Term.(
+      const main $ listen_arg $ metrics_arg $ data_dir_arg $ no_fsync_arg
+      $ max_sessions_arg $ parallel_arg $ drain_arg)
+
+let () = exit (Cmd.eval cmd)

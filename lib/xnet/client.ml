@@ -1,0 +1,130 @@
+(** Xnet blocking client: one TCP connection = one server session.
+
+    Every call writes one request frame and reads frames until the
+    request's answer arrives. Server [Err] frames re-raise as
+    [Xdm.Xerror.Error] with the server's code — remote error handling is
+    the same [try Engine.* with Xerror.Error] shape callers already
+    have; transport problems (refused, disconnected, protocol garbage)
+    raise {!Net_error} instead. Not thread-safe: one connection per
+    thread. *)
+
+exception Net_error of string
+
+let neterr fmt = Printf.ksprintf (fun m -> raise (Net_error m)) fmt
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  session : int;
+  server : string;
+  mutable closed : bool;
+}
+
+let session t = t.session
+let server t = t.server
+
+let recv t =
+  try Proto.decode_server (Proto.read_frame t.ic) with
+  | End_of_file -> neterr "server closed the connection"
+  | Sys_error m -> neterr "connection lost: %s" m
+  | Proto.Bad_frame m -> neterr "protocol error: %s" m
+
+let send t m =
+  try Proto.write_frame t.oc (Proto.encode_client m)
+  with Sys_error m -> neterr "connection lost: %s" m
+
+(* One request, one reply; Err frames become engine-shaped errors. *)
+let rpc t m =
+  send t m;
+  match recv t with
+  | Proto.Err { code; msg } -> raise (Xdm.Xerror.Error { code; msg })
+  | reply -> reply
+
+let connect ?(user = "anon") ?(client = "xqdb") ~host ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> neterr "cannot resolve %s" host
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found -> neterr "cannot resolve %s" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     neterr "cannot connect to %s:%d: %s" host port (Unix.error_message e));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  let t = { fd; ic; oc; session = 0; server = ""; closed = false } in
+  try
+    match rpc t (Proto.Hello { user; client }) with
+    | Proto.Ready { session; server; version } ->
+        if version <> Proto.version then
+          neterr "server speaks protocol v%d, client v%d" version
+            Proto.version;
+        { t with session; server }
+    | _ -> neterr "expected Ready after Hello"
+  with e ->
+    (* an admission reject (XQDB0001 Err) or protocol failure must not
+       leak the socket *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+type okay = {
+  payload : Proto.result_payload;
+  notes : string list;
+  indexes_used : string list;
+  diagnostics : string list;
+}
+
+let okay_of = function
+  | Proto.Okay { payload; notes; indexes_used; diagnostics } ->
+      { payload; notes; indexes_used; diagnostics }
+  | _ -> neterr "expected Okay"
+
+let exec ?(b = Proto.no_bindings) t src = okay_of (rpc t (Proto.Exec { src; b }))
+
+let prepare t ~name src =
+  match rpc t (Proto.Prepare { name; src }) with
+  | Proto.Prepared { params; _ } -> params
+  | _ -> neterr "expected Prepared"
+
+let execute ?(b = Proto.no_bindings) t name =
+  okay_of (rpc t (Proto.Execute { name; b }))
+
+let open_cursor ?(b = Proto.no_bindings) t src =
+  match rpc t (Proto.Open_cursor { src; b }) with
+  | Proto.Cursor_opened { cursor; cols } -> (cursor, cols)
+  | _ -> neterr "expected Cursor_opened"
+
+let fetch t ~cursor ~max =
+  match rpc t (Proto.Fetch { cursor; max }) with
+  | Proto.Batch { elems; finished } -> (elems, finished)
+  | _ -> neterr "expected Batch"
+
+let close_cursor t cursor =
+  match rpc t (Proto.Close_cursor { cursor }) with
+  | Proto.Cursor_closed _ -> ()
+  | _ -> neterr "expected Cursor_closed"
+
+let set_limits t l = ignore (okay_of (rpc t (Proto.Set_limits l)))
+let checkpoint t = ignore (okay_of (rpc t Proto.Checkpoint))
+
+let stats t =
+  match rpc t Proto.Stats with
+  | Proto.Stats_text s -> s
+  | _ -> neterr "expected Stats_text"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try
+       send t Proto.Quit;
+       match recv t with Proto.Bye -> () | _ -> ()
+     with Net_error _ | Xdm.Xerror.Error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

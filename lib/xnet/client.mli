@@ -1,0 +1,60 @@
+(** Xnet blocking client: one TCP connection = one server session.
+
+    Server [Err] frames re-raise as [Xdm.Xerror.Error] with the
+    server-side code, so remote error handling matches local [Engine]
+    calls; transport problems raise {!Net_error}. Not thread-safe — use
+    one connection per thread. *)
+
+exception Net_error of string
+
+type t
+
+(** Connect and run the [Hello]/[Ready] handshake. The auth stub
+    accepts any [user] (default ["anon"]). Raises {!Net_error} on
+    refusal/transport failure and [Xdm.Xerror.Error] [XQDB0001] when
+    the server rejects the session for capacity. *)
+val connect :
+  ?user:string -> ?client:string -> host:string -> port:int -> unit -> t
+
+(** Server-assigned session id. *)
+val session : t -> int
+
+(** Server software name from [Ready]. *)
+val server : t -> string
+
+type okay = {
+  payload : Proto.result_payload;
+  notes : string list;
+  indexes_used : string list;
+  diagnostics : string list;
+}
+
+(** Execute one statement (SQL/XML or XQuery) with optional bindings. *)
+val exec : ?b:Proto.bindings -> t -> string -> okay
+
+(** Prepare [src] under [name] in this session's namespace; returns the
+    parameter slots in binding order. *)
+val prepare : t -> name:string -> string -> string list
+
+val execute : ?b:Proto.bindings -> t -> string -> okay
+
+(** Open a server-side cursor; returns (cursor id, column names). *)
+val open_cursor : ?b:Proto.bindings -> t -> string -> int * string list
+
+(** Pull up to [max] elements; [(elems, finished)] — once [finished]
+    the server has already closed the cursor. *)
+val fetch : t -> cursor:int -> max:int -> Proto.elem list * bool
+
+val close_cursor : t -> int -> unit
+
+(** Set this session's governor budgets for all later statements. *)
+val set_limits : t -> Xdm.Limits.t -> unit
+
+val checkpoint : t -> unit
+
+(** The server's [\metrics]-style plaintext stats. *)
+val stats : t -> string
+
+(** Send [Quit], wait for [Bye] (best-effort) and close the socket.
+    Idempotent. *)
+val close : t -> unit

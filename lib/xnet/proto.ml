@@ -1,0 +1,412 @@
+(** Xnet wire protocol: length-prefixed binary frames over TCP.
+
+    Every frame is [[u32 length][u8 tag][payload]]; [length] counts the
+    tag byte plus the payload and is bounded by {!max_frame}, so a
+    malformed or hostile peer can neither make the server allocate
+    unbounded memory nor desynchronize the stream silently — an
+    oversized length or a short read kills exactly one connection.
+    Integers are big-endian; strings are [u32] length + bytes; lists are
+    [u32] count + elements; options are a [u8] presence byte.
+
+    Parameter values travel as literal strings and are parsed server-side
+    with the same rules as the shell's [\exec] ([Engine.sql_value_of_string]
+    / [Engine.atomic_of_string]: single quotes force a string, otherwise
+    integers then doubles are recognized). Results travel pre-rendered —
+    rows as display strings, XDM items as serialized XML — so the client
+    needs no XDM of its own.
+
+    docs/SERVER.md is the normative description of the format and the
+    session lifecycle; [test/t_xnet.ml] holds the encode ≡ decode
+    roundtrip property and the malformed-frame torture tests. *)
+
+(** Raised by decoders on truncated payloads, unknown tags, or
+    out-of-range lengths. The server answers it with an [XQDB0006] error
+    frame and closes the connection. *)
+exception Bad_frame of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_frame m)) fmt
+
+(** Hard ceiling on a frame's [length] field (16 MiB). *)
+let max_frame = 16 * 1024 * 1024
+
+(** Protocol version carried in [Hello]/[Ready]. *)
+let version = 1
+
+(** Parameter bindings of one statement: positional SQL [?] values and
+    named XQuery [$var] values, both as literal strings. *)
+type bindings = { params : string list; vars : (string * string) list }
+
+let no_bindings = { params = []; vars = [] }
+
+type client_msg =
+  | Hello of { user : string; client : string }
+      (** must be the session's first frame; the auth stub accepts any
+          user name and echoes a session id back in [Ready] *)
+  | Exec of { src : string; b : bindings }
+  | Prepare of { name : string; src : string }
+  | Execute of { name : string; b : bindings }
+  | Open_cursor of { src : string; b : bindings }
+  | Fetch of { cursor : int; max : int }
+  | Close_cursor of { cursor : int }
+  | Set_limits of Xdm.Limits.t
+      (** per-session resource budgets, applied to every subsequent
+          statement of this session only *)
+  | Checkpoint
+  | Stats  (** the [\metrics]-equivalent stats frame *)
+  | Quit
+
+(** One cursor batch element: a rendered relational row or one
+    serialized XDM item. *)
+type elem = Brow of string list | Bitem of string
+
+type result_payload =
+  | Wrows of { cols : string list; rows : string list list }
+  | Witems of string list
+
+type server_msg =
+  | Ready of { session : int; server : string; version : int }
+  | Okay of {
+      payload : result_payload;
+      notes : string list;
+      indexes_used : string list;
+      diagnostics : string list;
+    }
+  | Err of { code : string; msg : string }
+      (** [code] is an Xdm error code ([XQDB0001] admission/budget,
+          [XPST0003] syntax, …) or [XQDB0006] for protocol errors *)
+  | Prepared of { name : string; params : string list }
+  | Cursor_opened of { cursor : int; cols : string list }
+  | Cursor_closed of { cursor : int }
+  | Batch of { elems : elem list; finished : bool }
+  | Stats_text of string
+  | Bye
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  if v < 0 then bad "u32 out of range: %d" v;
+  Buffer.add_int32_be buf (Int32.of_int v)
+
+let put_i64 buf v = Buffer.add_int64_be buf v
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf f xs =
+  put_u32 buf (List.length xs);
+  List.iter (f buf) xs
+
+let put_opt_int buf = function
+  | None -> put_u8 buf 0
+  | Some v ->
+      put_u8 buf 1;
+      put_i64 buf (Int64.of_int v)
+
+let put_opt_float buf = function
+  | None -> put_u8 buf 0
+  | Some v ->
+      put_u8 buf 1;
+      put_i64 buf (Int64.bits_of_float v)
+
+let put_bindings buf b =
+  put_list buf put_str b.params;
+  put_list buf
+    (fun buf (k, v) ->
+      put_str buf k;
+      put_str buf v)
+    b.vars
+
+let put_limits buf (l : Xdm.Limits.t) =
+  put_opt_int buf l.Xdm.Limits.max_steps;
+  put_opt_int buf l.Xdm.Limits.max_nodes;
+  put_opt_int buf l.Xdm.Limits.max_depth;
+  put_opt_float buf l.Xdm.Limits.timeout
+
+(** Encode a client message as [tag ^ payload] (the length prefix is
+    added by {!write_frame}). *)
+let encode_client (m : client_msg) : string =
+  let buf = Buffer.create 64 in
+  (match m with
+  | Hello { user; client } ->
+      put_u8 buf 0x01;
+      put_u32 buf version;
+      put_str buf user;
+      put_str buf client
+  | Exec { src; b } ->
+      put_u8 buf 0x02;
+      put_str buf src;
+      put_bindings buf b
+  | Prepare { name; src } ->
+      put_u8 buf 0x03;
+      put_str buf name;
+      put_str buf src
+  | Execute { name; b } ->
+      put_u8 buf 0x04;
+      put_str buf name;
+      put_bindings buf b
+  | Open_cursor { src; b } ->
+      put_u8 buf 0x05;
+      put_str buf src;
+      put_bindings buf b
+  | Fetch { cursor; max } ->
+      put_u8 buf 0x06;
+      put_u32 buf cursor;
+      put_u32 buf max
+  | Close_cursor { cursor } ->
+      put_u8 buf 0x07;
+      put_u32 buf cursor
+  | Set_limits l ->
+      put_u8 buf 0x08;
+      put_limits buf l
+  | Checkpoint -> put_u8 buf 0x09
+  | Stats -> put_u8 buf 0x0a
+  | Quit -> put_u8 buf 0x0b);
+  Buffer.contents buf
+
+let put_elem buf = function
+  | Brow cells ->
+      put_u8 buf 0;
+      put_list buf put_str cells
+  | Bitem xml ->
+      put_u8 buf 1;
+      put_str buf xml
+
+let put_payload buf = function
+  | Wrows { cols; rows } ->
+      put_u8 buf 0;
+      put_list buf put_str cols;
+      put_list buf (fun buf row -> put_list buf put_str row) rows
+  | Witems items ->
+      put_u8 buf 1;
+      put_list buf put_str items
+
+let encode_server (m : server_msg) : string =
+  let buf = Buffer.create 128 in
+  (match m with
+  | Ready { session; server; version } ->
+      put_u8 buf 0x81;
+      put_u32 buf session;
+      put_str buf server;
+      put_u32 buf version
+  | Okay { payload; notes; indexes_used; diagnostics } ->
+      put_u8 buf 0x82;
+      put_payload buf payload;
+      put_list buf put_str notes;
+      put_list buf put_str indexes_used;
+      put_list buf put_str diagnostics
+  | Err { code; msg } ->
+      put_u8 buf 0x83;
+      put_str buf code;
+      put_str buf msg
+  | Prepared { name; params } ->
+      put_u8 buf 0x84;
+      put_str buf name;
+      put_list buf put_str params
+  | Cursor_opened { cursor; cols } ->
+      put_u8 buf 0x85;
+      put_u32 buf cursor;
+      put_list buf put_str cols
+  | Cursor_closed { cursor } ->
+      put_u8 buf 0x86;
+      put_u32 buf cursor
+  | Batch { elems; finished } ->
+      put_u8 buf 0x87;
+      put_list buf put_elem elems;
+      put_u8 buf (if finished then 1 else 0)
+  | Stats_text text ->
+      put_u8 buf 0x88;
+      put_str buf text
+  | Bye -> put_u8 buf 0x89);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type rd = { s : string; mutable pos : int }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.s then bad "truncated payload"
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.s r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then bad "negative u32";
+  v
+
+let get_i64 r =
+  need r 8;
+  let v = String.get_int64_be r.s r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_str r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r f =
+  let n = get_u32 r in
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f r :: acc) in
+  go n []
+
+let get_opt_int r =
+  match get_u8 r with
+  | 0 -> None
+  | 1 -> Some (Int64.to_int (get_i64 r))
+  | b -> bad "bad option byte %d" b
+
+let get_opt_float r =
+  match get_u8 r with
+  | 0 -> None
+  | 1 -> Some (Int64.float_of_bits (get_i64 r))
+  | b -> bad "bad option byte %d" b
+
+let get_bindings r =
+  let params = get_list r get_str in
+  let vars =
+    get_list r (fun r ->
+        let k = get_str r in
+        let v = get_str r in
+        (k, v))
+  in
+  { params; vars }
+
+let get_limits r : Xdm.Limits.t =
+  let max_steps = get_opt_int r in
+  let max_nodes = get_opt_int r in
+  let max_depth = get_opt_int r in
+  let timeout = get_opt_float r in
+  { Xdm.Limits.max_steps; max_nodes; max_depth; timeout }
+
+let drained r k = if r.pos <> String.length r.s then bad "trailing bytes" else k
+
+(** Decode one client frame payload (tag + body, as returned by
+    {!read_frame}). Raises {!Bad_frame} on anything malformed, including
+    trailing garbage. *)
+let decode_client (payload : string) : client_msg =
+  let r = { s = payload; pos = 0 } in
+  let m =
+    match get_u8 r with
+    | 0x01 ->
+        let v = get_u32 r in
+        if v <> version then bad "unsupported protocol version %d" v;
+        let user = get_str r in
+        let client = get_str r in
+        Hello { user; client }
+    | 0x02 ->
+        let src = get_str r in
+        let b = get_bindings r in
+        Exec { src; b }
+    | 0x03 ->
+        let name = get_str r in
+        let src = get_str r in
+        Prepare { name; src }
+    | 0x04 ->
+        let name = get_str r in
+        let b = get_bindings r in
+        Execute { name; b }
+    | 0x05 ->
+        let src = get_str r in
+        let b = get_bindings r in
+        Open_cursor { src; b }
+    | 0x06 ->
+        let cursor = get_u32 r in
+        let max = get_u32 r in
+        Fetch { cursor; max }
+    | 0x07 -> Close_cursor { cursor = get_u32 r }
+    | 0x08 -> Set_limits (get_limits r)
+    | 0x09 -> Checkpoint
+    | 0x0a -> Stats
+    | 0x0b -> Quit
+    | t -> bad "unknown client frame tag 0x%02x" t
+  in
+  drained r m
+
+let get_elem r =
+  match get_u8 r with
+  | 0 -> Brow (get_list r get_str)
+  | 1 -> Bitem (get_str r)
+  | b -> bad "bad batch element kind %d" b
+
+let get_payload r =
+  match get_u8 r with
+  | 0 ->
+      let cols = get_list r get_str in
+      let rows = get_list r (fun r -> get_list r get_str) in
+      Wrows { cols; rows }
+  | 1 -> Witems (get_list r get_str)
+  | b -> bad "bad payload kind %d" b
+
+let decode_server (payload : string) : server_msg =
+  let r = { s = payload; pos = 0 } in
+  let m =
+    match get_u8 r with
+    | 0x81 ->
+        let session = get_u32 r in
+        let server = get_str r in
+        let version = get_u32 r in
+        Ready { session; server; version }
+    | 0x82 ->
+        let payload = get_payload r in
+        let notes = get_list r get_str in
+        let indexes_used = get_list r get_str in
+        let diagnostics = get_list r get_str in
+        Okay { payload; notes; indexes_used; diagnostics }
+    | 0x83 ->
+        let code = get_str r in
+        let msg = get_str r in
+        Err { code; msg }
+    | 0x84 ->
+        let name = get_str r in
+        let params = get_list r get_str in
+        Prepared { name; params }
+    | 0x85 ->
+        let cursor = get_u32 r in
+        let cols = get_list r get_str in
+        Cursor_opened { cursor; cols }
+    | 0x86 -> Cursor_closed { cursor = get_u32 r }
+    | 0x87 ->
+        let elems = get_list r get_elem in
+        let finished = get_u8 r <> 0 in
+        Batch { elems; finished }
+    | 0x88 -> Stats_text (get_str r)
+    | 0x89 -> Bye
+    | t -> bad "unknown server frame tag 0x%02x" t
+  in
+  drained r m
+
+(* ------------------------------------------------------------------ *)
+(* Frame I/O                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Write one frame (length prefix + payload) and flush. *)
+let write_frame (oc : out_channel) (payload : string) : unit =
+  let n = String.length payload in
+  if n = 0 || n > max_frame then bad "frame payload length %d out of range" n;
+  output_binary_int oc n;
+  output_string oc payload;
+  flush oc
+
+(** Read one frame's payload. Raises [End_of_file] on a clean or
+    mid-frame disconnect and {!Bad_frame} on an out-of-range length —
+    the reader cannot resynchronize after either, so the connection must
+    be dropped. *)
+let read_frame (ic : in_channel) : string =
+  let n = input_binary_int ic in
+  if n <= 0 || n > max_frame then bad "frame length %d out of range" n;
+  really_input_string ic n

@@ -1,0 +1,102 @@
+(** Xnet wire protocol: length-prefixed binary frames over TCP.
+
+    Frame layout: [[u32 length][u8 tag][payload]] where [length] counts
+    the tag byte plus the payload, bounded by {!max_frame}. Integers are
+    big-endian; strings are [u32] length + bytes; lists are [u32] count +
+    elements; options a [u8] presence byte. Client tags occupy
+    [0x01..0x7f], server tags [0x81..0xff], so a frame fed to the wrong
+    decoder fails loudly instead of mis-parsing.
+
+    docs/SERVER.md is the normative spec; [test/t_xnet.ml] holds the
+    qcheck roundtrip property (client-encode ≡ server-decode) and the
+    malformed-frame torture tests. *)
+
+(** Raised by decoders on truncated payloads, trailing garbage, unknown
+    tags, or out-of-range lengths. The server answers it with an
+    [XQDB0006] error frame and closes the connection; the client raises
+    it through [Client.Net_error]. *)
+exception Bad_frame of string
+
+(** Hard ceiling on a frame's [length] field: 16 MiB. A peer announcing
+    more is protocol-broken (or hostile) and gets disconnected without
+    the allocation. *)
+val max_frame : int
+
+(** Protocol version carried in [Hello] and [Ready]; the server rejects
+    a mismatched [Hello]. *)
+val version : int
+
+(** Parameter bindings of one statement: positional SQL [?] values and
+    named XQuery [$var] values, both as literal strings parsed
+    server-side with the shell's [\exec] rules. *)
+type bindings = { params : string list; vars : (string * string) list }
+
+val no_bindings : bindings
+
+type client_msg =
+  | Hello of { user : string; client : string }
+      (** must be the session's first frame; the auth stub accepts any
+          user and answers [Ready] *)
+  | Exec of { src : string; b : bindings }
+  | Prepare of { name : string; src : string }
+  | Execute of { name : string; b : bindings }
+      (** [name] resolves in this session's namespace only *)
+  | Open_cursor of { src : string; b : bindings }
+  | Fetch of { cursor : int; max : int }
+  | Close_cursor of { cursor : int }
+  | Set_limits of Xdm.Limits.t
+      (** per-session resource budgets for every later statement *)
+  | Checkpoint
+  | Stats  (** the [\metrics]-equivalent stats frame *)
+  | Quit
+
+(** One cursor batch element: a rendered relational row or one
+    serialized XDM item. *)
+type elem = Brow of string list | Bitem of string
+
+(** A full (non-cursor) result: a relational row set with column names,
+    or a sequence of serialized XDM items. *)
+type result_payload =
+  | Wrows of { cols : string list; rows : string list list }
+  | Witems of string list
+
+type server_msg =
+  | Ready of { session : int; server : string; version : int }
+  | Okay of {
+      payload : result_payload;
+      notes : string list;
+      indexes_used : string list;
+      diagnostics : string list;
+    }  (** mirrors [Engine.outcome] minus the profile *)
+  | Err of { code : string; msg : string }
+      (** [code] is an Xdm error code ([XQDB0001] admission/budget, …)
+          or [XQDB0006] for protocol errors *)
+  | Prepared of { name : string; params : string list }
+  | Cursor_opened of { cursor : int; cols : string list }
+  | Cursor_closed of { cursor : int }
+  | Batch of { elems : elem list; finished : bool }
+      (** [finished] means the cursor is exhausted and already closed
+          server-side *)
+  | Stats_text of string  (** Xprof plaintext exposition *)
+  | Bye
+
+(** Encode to [tag ^ payload]; the length prefix is added by
+    {!write_frame}. *)
+val encode_client : client_msg -> string
+
+val encode_server : server_msg -> string
+
+(** Decode a frame payload as returned by {!read_frame}. Raise
+    {!Bad_frame} on anything malformed, including trailing bytes. *)
+val decode_client : string -> client_msg
+
+val decode_server : string -> server_msg
+
+(** Write one frame (length prefix + payload) and flush. Raises
+    {!Bad_frame} if the payload is empty or exceeds {!max_frame}. *)
+val write_frame : out_channel -> string -> unit
+
+(** Read one frame's payload. Raises [End_of_file] on a clean or
+    mid-frame disconnect and {!Bad_frame} on an out-of-range length;
+    neither is resynchronizable, so the connection must be dropped. *)
+val read_frame : in_channel -> string

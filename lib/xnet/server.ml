@@ -1,0 +1,625 @@
+(** Xnet server: a thread-per-connection accept loop serving the wire
+    protocol of {!Proto} over one shared sealed {!Engine.t}.
+
+    Concurrency model. The engine itself is not thread-safe, so every
+    engine call — statement execution, cursor pulls, registry access,
+    metrics rendering — happens under one server-wide engine lock
+    ("xnet.engine"); sessions therefore interleave at statement/batch
+    granularity, and the PR-4 plan cache inside the engine is shared
+    across sessions for free (session B's compile of a text session A
+    already ran is a cache hit — the server-smoke CI job asserts the hit
+    counter rises across connections). A second lock ("xnet.sessions")
+    guards the session table; the two are never nested, which the
+    lock-order tracker verifies at runtime since both are registered
+    with {!Xpar.Lockorder}.
+
+    Sessions run on systhreads, not domains: connection handling is
+    I/O-bound and must work on the 4.14 leg, while the parallel work
+    inside a statement (scans, index intersection, bulk loads) still
+    fans out to the Xpar domain pool under the engine lock. Because
+    systhreads share their domain's DLS, [start] installs a
+    [Thread.id]-based held-stack provider into {!Xpar.Lockorder} —
+    without it the tracker would report phantom lock-order edges between
+    per-session acquisitions (see docs/CONCURRENCY.md).
+
+    Per-session state: a prepared-statement namespace (names resolve
+    only within the session that prepared them), open cursors, and a
+    governor budget ([Set_limits]) applied to the engine before each of
+    the session's statements. Admission control is the [max_sessions]
+    cap: an accept past the cap is answered with an [XQDB0001] error
+    frame — the same code the governor uses for in-statement budgets —
+    and closed. *)
+
+(* A real mutex even where Xpar.Lock is the sequential no-op backend
+   (OCaml 4.x): systhreads are preemptive there too. Instrumented by
+   hand with the same Lockorder protocol Xpar.Lock.with_lock follows. *)
+module Nlock = struct
+  type t = { mu : Mutex.t; id : Xpar.Lockorder.lock_id }
+
+  let create ~name () =
+    { mu = Mutex.create (); id = Xpar.Lockorder.register name }
+
+  let with_lock t f =
+    Xpar.Lockorder.acquiring t.id;
+    Mutex.lock t.mu;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.unlock t.mu;
+        Xpar.Lockorder.released t.id)
+      f
+end
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (tests) *)
+  metrics_port : int option;  (** [Some 0] again picks ephemeral *)
+  max_sessions : int;
+  drain_timeout : float;
+      (** seconds [stop] waits for live sessions to finish before
+          forcing their sockets shut *)
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 5499;
+    metrics_port = None;
+    max_sessions = 64;
+    drain_timeout = 5.0;
+    log = ignore;
+  }
+
+type cursor_state =
+  | Live of Engine.Cursor.t
+      (** streams lazily; pulls happen under the engine lock *)
+  | Materialized of { cols : string list; mutable rest : Proto.elem list }
+      (** parameterized cursors are drained at open: a live one keeps
+          its bindings installed on the engine, which is unsound once
+          other sessions interleave statements *)
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  mutable limits : Xdm.Limits.t;
+  stmts : (string, Engine.stmt) Hashtbl.t;  (** per-session namespace *)
+  cursors : (int, cursor_state) Hashtbl.t;
+  mutable next_cursor : int;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  port : int;
+  metrics_fd : Unix.file_descr option;
+  metrics_port : int option;
+  elock : Nlock.t;
+  slock : Nlock.t;
+  sessions : (int, session) Hashtbl.t;  (* guarded by slock *)
+  mutable next_sid : int;  (* guarded by slock *)
+  mutable session_threads : Thread.t list;  (* guarded by slock *)
+  stopping : bool Atomic.t;
+  stop_r : Unix.file_descr;  (* self-pipe waking the accept selects *)
+  stop_w : Unix.file_descr;
+  started_at : float;
+  mutable accept_thread : Thread.t option;
+  mutable metrics_thread : Thread.t option;
+}
+
+let port t = t.port
+let metrics_port t = t.metrics_port
+
+let active_sessions t =
+  Nlock.with_lock t.slock (fun () -> Hashtbl.length t.sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome / binding conversion                                        *)
+(* ------------------------------------------------------------------ *)
+
+let params_of (b : Proto.bindings) =
+  List.map Engine.sql_value_of_string b.Proto.params
+
+let vars_of (b : Proto.bindings) =
+  List.map
+    (fun (k, v) -> (k, [ Xdm.Item.A (Engine.atomic_of_string v) ]))
+    b.Proto.vars
+
+let render_payload : Engine.payload -> Proto.result_payload = function
+  | Engine.Rows { cols; rows } ->
+      Proto.Wrows
+        { cols; rows = List.map (List.map Storage.Sql_value.to_display) rows }
+  | Engine.Items items ->
+      Proto.Witems (List.map (fun it -> Engine.to_xml [ it ]) items)
+
+let okay_of_outcome (o : Engine.outcome) : Proto.server_msg =
+  Proto.Okay
+    {
+      payload = render_payload o.Engine.payload;
+      notes = o.Engine.notes;
+      indexes_used = o.Engine.indexes_used;
+      diagnostics = o.Engine.diagnostics;
+    }
+
+let elem_of_cursor_elem : Engine.Cursor.elem -> Proto.elem = function
+  | Engine.Cursor.Row cells ->
+      Proto.Brow (List.map Storage.Sql_value.to_display cells)
+  | Engine.Cursor.Item it -> Proto.Bitem (Engine.to_xml [ it ])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* All registry access goes under the engine lock: Xprof.Registry is a
+   plain Hashtbl with no locking of its own. Session counts are computed
+   under slock *before* elock is taken — the two locks are never held
+   together, by design. *)
+let stats_text t =
+  let live = active_sessions t in
+  Nlock.with_lock t.elock (fun () ->
+      let reg = Engine.registry t.engine in
+      Engine.refresh_lock_metrics t.engine;
+      let uptime = Unix.gettimeofday () -. t.started_at in
+      let requests = !(Xprof.Registry.counter reg "xnet_requests_total") in
+      Xprof.Registry.set_gauge reg "xnet_uptime_seconds" uptime;
+      Xprof.Registry.set_gauge reg "xnet_sessions_active" (float_of_int live);
+      Xprof.Registry.set_gauge reg "xnet_qps"
+        (if uptime > 0. then float_of_int requests /. uptime else 0.);
+      let pc = Engine.plan_cache_stats t.engine in
+      Xprof.Registry.to_string reg
+      ^ Printf.sprintf
+          "plan_cache size=%d capacity=%d hits=%d misses=%d invalidations=%d\n"
+          pc.Engine.Plan_cache.size pc.Engine.Plan_cache.capacity
+          pc.Engine.Plan_cache.hits pc.Engine.Plan_cache.misses
+          pc.Engine.Plan_cache.invalidations)
+
+(* ------------------------------------------------------------------ *)
+(* Session request handling                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one engine call under the engine lock with this session's
+   governor budget installed. The engine keeps the last set limits, so
+   installing before every statement makes budgets per-session even
+   though the engine is shared. *)
+let with_engine t (sess : session) f =
+  Nlock.with_lock t.elock (fun () ->
+      Engine.set_limits t.engine sess.limits;
+      Xprof.Registry.incr (Engine.registry t.engine) "xnet_requests_total";
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Xprof.Registry.observe
+            (Engine.registry t.engine)
+            "xnet_request_ms"
+            ((Unix.gettimeofday () -. t0) *. 1000.))
+        (fun () -> f t.engine))
+
+let close_cursor_state t = function
+  | Live c -> Nlock.with_lock t.elock (fun () -> Engine.Cursor.close c)
+  | Materialized m -> m.rest <- []
+
+(* Answer one decoded request. Returns [false] when the session should
+   end (Quit). Xdm errors are caught by the caller and become Err
+   frames; the session survives them. *)
+let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
+  let reply msg = Proto.write_frame oc (Proto.encode_server msg) in
+  (match m with
+  | Proto.Hello _ ->
+      reply (Proto.Err { code = "XQDB0006"; msg = "duplicate Hello" })
+  | Proto.Exec { src; b } ->
+      let out =
+        with_engine t sess (fun e ->
+            Engine.exec ~params:(params_of b) ~vars:(vars_of b) e src)
+      in
+      reply (okay_of_outcome out)
+  | Proto.Prepare { name; src } ->
+      let st = with_engine t sess (fun e -> Engine.prepare e src) in
+      Hashtbl.replace sess.stmts name st;
+      reply (Proto.Prepared { name; params = Engine.stmt_params st })
+  | Proto.Execute { name; b } -> (
+      match Hashtbl.find_opt sess.stmts name with
+      | None ->
+          reply
+            (Proto.Err
+               {
+                 code = "XPST0008";
+                 msg = Printf.sprintf "unknown prepared statement: %s" name;
+               })
+      | Some st ->
+          let out =
+            with_engine t sess (fun _ ->
+                Engine.execute ~params:(params_of b) ~vars:(vars_of b) st)
+          in
+          reply (okay_of_outcome out))
+  | Proto.Open_cursor { src; b } ->
+      let params = params_of b and vars = vars_of b in
+      let state, cols =
+        if params = [] && vars = [] then
+          with_engine t sess (fun e ->
+              let c = Engine.open_cursor e src in
+              (Live c, Engine.Cursor.columns c))
+        else
+          (* materialize now: a parameterized cursor left live would pin
+             its bindings on the shared engine across other sessions'
+             statements *)
+          with_engine t sess (fun e ->
+              let c = Engine.open_cursor ~params ~vars e src in
+              let cols = Engine.Cursor.columns c in
+              let elems = ref [] in
+              (try
+                 let rec drain () =
+                   match Engine.Cursor.next c with
+                   | None -> ()
+                   | Some el ->
+                       elems := elem_of_cursor_elem el :: !elems;
+                       drain ()
+                 in
+                 drain ()
+               with e ->
+                 Engine.Cursor.close c;
+                 raise e);
+              Engine.Cursor.close c;
+              (Materialized { cols; rest = List.rev !elems }, cols))
+      in
+      let cid = sess.next_cursor in
+      sess.next_cursor <- cid + 1;
+      Hashtbl.replace sess.cursors cid state;
+      reply (Proto.Cursor_opened { cursor = cid; cols })
+  | Proto.Fetch { cursor; max } -> (
+      match Hashtbl.find_opt sess.cursors cursor with
+      | None ->
+          reply
+            (Proto.Err
+               {
+                 code = "XQDB0006";
+                 msg = Printf.sprintf "unknown cursor %d" cursor;
+               })
+      | Some state ->
+          let max = if max <= 0 then 1 else max in
+          let elems, finished =
+            match state with
+            | Live c ->
+                with_engine t sess (fun _ ->
+                    let rec pull k acc =
+                      if k = 0 then (List.rev acc, false)
+                      else
+                        match Engine.Cursor.next c with
+                        | None -> (List.rev acc, true)
+                        | Some el -> pull (k - 1) (elem_of_cursor_elem el :: acc)
+                    in
+                    let elems, fin = pull max [] in
+                    if fin then Engine.Cursor.close c;
+                    (elems, fin))
+            | Materialized m ->
+                let rec take k = function
+                  | rest when k = 0 -> ([], rest)
+                  | [] -> ([], [])
+                  | x :: rest ->
+                      let taken, left = take (k - 1) rest in
+                      (x :: taken, left)
+                in
+                let taken, left = take max m.rest in
+                m.rest <- left;
+                (taken, left = [])
+          in
+          if finished then Hashtbl.remove sess.cursors cursor;
+          reply (Proto.Batch { elems; finished }))
+  | Proto.Close_cursor { cursor } ->
+      (match Hashtbl.find_opt sess.cursors cursor with
+      | None -> ()
+      | Some state ->
+          close_cursor_state t state;
+          Hashtbl.remove sess.cursors cursor);
+      reply (Proto.Cursor_closed { cursor })
+  | Proto.Set_limits l ->
+      sess.limits <- l;
+      reply
+        (Proto.Okay
+           {
+             payload = Proto.Witems [];
+             notes = [ "limits: " ^ Xdm.Limits.to_string l ];
+             indexes_used = [];
+             diagnostics = [];
+           })
+  | Proto.Checkpoint ->
+      with_engine t sess (fun e -> Engine.checkpoint e);
+      reply
+        (Proto.Okay
+           {
+             payload = Proto.Witems [];
+             notes = [ "checkpoint complete" ];
+             indexes_used = [];
+             diagnostics = [];
+           })
+  | Proto.Stats -> reply (Proto.Stats_text (stats_text t))
+  | Proto.Quit -> reply Proto.Bye);
+  m <> Proto.Quit
+
+(* ------------------------------------------------------------------ *)
+(* Session lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Tear down a session: close its cursors (releasing any governor
+   budget a live cursor was still charging), drop it from the table,
+   close the socket. Runs exactly once per session (the session thread's
+   finally). *)
+let cleanup_session t (sess : session) =
+  Hashtbl.iter (fun _ st -> close_cursor_state t st) sess.cursors;
+  Hashtbl.reset sess.cursors;
+  Hashtbl.reset sess.stmts;
+  Nlock.with_lock t.slock (fun () -> Hashtbl.remove t.sessions sess.sid);
+  close_fd sess.fd
+
+let server_name = "xqdbd"
+
+(* The per-connection thread body: Hello handshake, then a decode →
+   handle → reply loop. Engine errors turn into Err frames on a live
+   session; protocol errors and disconnects end it. *)
+let session_loop t (sess : session) =
+  let ic = Unix.in_channel_of_descr sess.fd in
+  let oc = Unix.out_channel_of_descr sess.fd in
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  let reply msg = Proto.write_frame oc (Proto.encode_server msg) in
+  (try
+     (match Proto.decode_client (Proto.read_frame ic) with
+     | Proto.Hello { user; client = _ } ->
+         t.cfg.log
+           (Printf.sprintf "session %d: hello from %S" sess.sid user);
+         (* auth stub: any user is accepted *)
+         reply
+           (Proto.Ready
+              {
+                session = sess.sid;
+                server = server_name;
+                version = Proto.version;
+              })
+     | _ -> raise (Proto.Bad_frame "expected Hello"));
+     let continue = ref true in
+     while !continue && not (Atomic.get t.stopping) do
+       match Proto.decode_client (Proto.read_frame ic) with
+       | m -> (
+           try continue := handle_request t sess oc m
+           with Xdm.Xerror.Error { code; msg } ->
+             reply (Proto.Err { code; msg }))
+     done;
+     if Atomic.get t.stopping && !continue then reply Proto.Bye
+   with
+  | End_of_file | Sys_error _ -> () (* disconnect, possibly mid-frame *)
+  | Proto.Bad_frame msg ->
+      (try reply (Proto.Err { code = "XQDB0006"; msg }) with _ -> ())
+  | Xdm.Xerror.Error { code; msg } ->
+      (try reply (Proto.Err { code; msg }) with _ -> ()));
+  cleanup_session t sess;
+  t.cfg.log (Printf.sprintf "session %d: closed" sess.sid)
+
+(* Over-capacity connections still get a proper protocol goodbye: read
+   their Hello (briefly), answer XQDB0001, close. Writing before the
+   client's first read could otherwise turn into a RST that eats the
+   error frame. *)
+let reject_session t fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+     let ic = Unix.in_channel_of_descr fd in
+     set_binary_mode_in ic true;
+     (try ignore (Proto.read_frame ic) with _ -> ());
+     let oc = Unix.out_channel_of_descr fd in
+     set_binary_mode_out oc true;
+     Proto.write_frame oc
+       (Proto.encode_server
+          (Proto.Err
+             {
+               code = "XQDB0001";
+               msg =
+                 Printf.sprintf "server at capacity (%d sessions)"
+                   t.cfg.max_sessions;
+             }))
+   with _ -> ());
+  close_fd fd;
+  Nlock.with_lock t.elock (fun () ->
+      Xprof.Registry.incr (Engine.registry t.engine)
+        "xnet_admission_rejections_total")
+
+let spawn_session t fd =
+  let admitted =
+    Nlock.with_lock t.slock (fun () ->
+        if Hashtbl.length t.sessions >= t.cfg.max_sessions then None
+        else begin
+          let sid = t.next_sid in
+          t.next_sid <- sid + 1;
+          let sess =
+            {
+              sid;
+              fd;
+              limits = Xdm.Limits.unlimited;
+              stmts = Hashtbl.create 8;
+              cursors = Hashtbl.create 4;
+              next_cursor = 1;
+            }
+          in
+          Hashtbl.replace t.sessions sid sess;
+          Some sess
+        end)
+  in
+  match admitted with
+  | None ->
+      let th = Thread.create (fun () -> reject_session t fd) () in
+      Nlock.with_lock t.slock (fun () ->
+          t.session_threads <- th :: t.session_threads)
+  | Some sess ->
+      Nlock.with_lock t.elock (fun () ->
+          Xprof.Registry.incr (Engine.registry t.engine) "xnet_sessions_total");
+      let th = Thread.create (fun () -> session_loop t sess) () in
+      Nlock.with_lock t.slock (fun () ->
+          t.session_threads <- th :: t.session_threads)
+
+(* ------------------------------------------------------------------ *)
+(* Accept loops                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Block until [fd] is readable or the stop pipe fires; the self-pipe is
+   what makes SIGTERM-driven drain prompt instead of waiting out a
+   blocking accept. *)
+let wait_readable t fd =
+  match Unix.select [ fd; t.stop_r ] [] [] (-1.) with
+  | rs, _, _ -> List.mem fd rs && not (List.mem t.stop_r rs)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> not (Atomic.get t.stopping)
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue && not (Atomic.get t.stopping) do
+    if wait_readable t t.listen_fd then (
+      match Unix.accept t.listen_fd with
+      | fd, _ -> spawn_session t fd
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ()
+      | exception Unix.Unix_error _ -> continue := false)
+    else continue := false
+  done;
+  close_fd t.listen_fd
+
+(* One-shot plaintext metrics endpoint: reply-and-close, no request
+   parsing (an HTTP/1.0-shaped response keeps curl happy; nc sees the
+   same body after two header lines). *)
+let metrics_loop t fd =
+  let continue = ref true in
+  while !continue && not (Atomic.get t.stopping) do
+    if wait_readable t fd then (
+      match Unix.accept fd with
+      | cfd, _ ->
+          (try
+             let body = stats_text t in
+             let resp =
+               Printf.sprintf
+                 "HTTP/1.0 200 OK\r\n\
+                  Content-Type: text/plain; version=0.0.4\r\n\
+                  Content-Length: %d\r\n\
+                  \r\n\
+                  %s"
+                 (String.length body) body
+             in
+             ignore
+               (Unix.write_substring cfd resp 0 (String.length resp));
+             (try Unix.shutdown cfd Unix.SHUTDOWN_SEND
+              with Unix.Unix_error _ -> ())
+           with _ -> ());
+          close_fd cfd
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ()
+      | exception Unix.Unix_error _ -> continue := false)
+    else continue := false
+  done;
+  close_fd fd
+
+(* ------------------------------------------------------------------ *)
+(* Start / stop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let listen_on ~host ~port =
+  let addr = Unix.inet_addr_of_string host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     close_fd fd;
+     raise e);
+  Unix.listen fd 64;
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, bound)
+
+let start ~engine cfg =
+  (* writes to a dead client must surface as EPIPE, not kill the
+     process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* per-systhread held-lock stacks for the lock-order tracker; see the
+     module comment *)
+  Xpar.Lockorder.set_thread_id_provider
+    (Some (fun () -> Thread.id (Thread.self ())));
+  let listen_fd, port = listen_on ~host:cfg.host ~port:cfg.port in
+  let metrics =
+    match cfg.metrics_port with
+    | None -> None
+    | Some p -> Some (listen_on ~host:cfg.host ~port:p)
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      engine;
+      cfg;
+      listen_fd;
+      port;
+      metrics_fd = Option.map fst metrics;
+      metrics_port = Option.map snd metrics;
+      elock = Nlock.create ~name:"xnet.engine" ();
+      slock = Nlock.create ~name:"xnet.sessions" ();
+      sessions = Hashtbl.create 16;
+      next_sid = 1;
+      session_threads = [];
+      stopping = Atomic.make false;
+      stop_r;
+      stop_w;
+      started_at = Unix.gettimeofday ();
+      accept_thread = None;
+      metrics_thread = None;
+    }
+  in
+  (* pre-create the server metrics so /metrics shows zeros before the
+     first request *)
+  Nlock.with_lock t.elock (fun () ->
+      let reg = Engine.registry engine in
+      ignore (Xprof.Registry.counter reg "xnet_requests_total");
+      ignore (Xprof.Registry.counter reg "xnet_sessions_total");
+      ignore (Xprof.Registry.counter reg "xnet_admission_rejections_total");
+      ignore (Xprof.Registry.hist reg "xnet_request_ms"));
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match t.metrics_fd with
+  | Some fd -> t.metrics_thread <- Some (Thread.create (fun () -> metrics_loop t fd) ())
+  | None -> ());
+  cfg.log
+    (Printf.sprintf "listening on %s:%d%s" cfg.host port
+       (match t.metrics_port with
+       | Some mp -> Printf.sprintf " (metrics on %d)" mp
+       | None -> ""));
+  t
+
+(* Graceful drain: stop accepting, give live sessions [drain_timeout]
+   seconds to finish on their own, then force the stragglers' sockets
+   shut and join every thread. After [stop] returns, zero session
+   threads are running and [active_sessions] is 0. *)
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    let deadline = Unix.gettimeofday () +. t.cfg.drain_timeout in
+    while active_sessions t > 0 && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    let stragglers =
+      Nlock.with_lock t.slock (fun () ->
+          Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [])
+    in
+    List.iter
+      (fun s ->
+        try Unix.shutdown s.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      stragglers;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.metrics_thread with Some th -> Thread.join th | None -> ());
+    let threads =
+      Nlock.with_lock t.slock (fun () -> t.session_threads)
+    in
+    List.iter Thread.join threads;
+    close_fd t.stop_r;
+    close_fd t.stop_w;
+    let leaked = active_sessions t in
+    t.cfg.log
+      (Printf.sprintf "drained: %d forced, %d leaked sessions"
+         (List.length stragglers) leaked)
+  end

@@ -1,0 +1,68 @@
+(** Xnet server: thread-per-connection accept loop serving {!Proto}
+    over one shared sealed [Engine.t].
+
+    All engine calls are serialized by a named lock ("xnet.engine"), so
+    sessions interleave at statement granularity and share the engine's
+    plan cache; the session table is guarded by a second, never-nested
+    lock ("xnet.sessions"). Both are registered with {!Xpar.Lockorder},
+    and [start] installs a per-systhread held-stack provider so the
+    tracker distinguishes connection threads (see docs/CONCURRENCY.md).
+    Parallel work *inside* a statement still fans out to the Xpar domain
+    pool. Session lifecycle, admission control and the drain algorithm
+    are specified in docs/SERVER.md. *)
+
+(** A real mutex (even on the OCaml 4.x sequential Xpar backend, where
+    [Xpar.Lock] is a no-op) instrumented with {!Xpar.Lockorder}.
+    Exposed for tests that exercise the lock-order tracker under
+    systhreads. *)
+module Nlock : sig
+  type t
+
+  val create : name:string -> unit -> t
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (tests) *)
+  metrics_port : int option;
+      (** plaintext metrics endpoint; [Some 0] again picks ephemeral *)
+  max_sessions : int;
+      (** admission cap; connections past it get an [XQDB0001] error
+          frame and are closed *)
+  drain_timeout : float;
+      (** seconds {!stop} waits for live sessions before forcing their
+          sockets shut *)
+  log : string -> unit;
+}
+
+(** 127.0.0.1:5499, no metrics listener, 64 sessions, 5 s drain,
+    silent log. *)
+val default_config : config
+
+type t
+
+(** Bind, listen and spawn the accept (and metrics) threads. Also
+    ignores SIGPIPE process-wide and installs the Lockorder thread-id
+    provider. Raises [Unix.Unix_error] if a port cannot be bound. *)
+val start : engine:Engine.t -> config -> t
+
+(** The bound port (useful with [port = 0]). *)
+val port : t -> int
+
+val metrics_port : t -> int option
+
+(** Live (admitted, not yet closed) sessions. *)
+val active_sessions : t -> int
+
+(** The [\metrics]-style exposition: Xprof registry plaintext plus
+    server gauges ([xnet_sessions_active], [xnet_qps],
+    [xnet_uptime_seconds], [xnet_requests_total], …) and a plan-cache
+    summary line. Thread-safe. *)
+val stats_text : t -> string
+
+(** Graceful drain: stop accepting, wait up to [drain_timeout] for live
+    sessions to finish, force-shut stragglers, join every thread. After
+    [stop] returns no server thread is running and {!active_sessions}
+    is 0. Idempotent. *)
+val stop : t -> unit

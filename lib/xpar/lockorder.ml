@@ -63,6 +63,37 @@ let name_of id =
 let held : (lock_id * Printexc.raw_backtrace) list B.Tls.key =
   B.Tls.make (fun () -> [])
 
+(* Systhreads share their domain's DLS, so a thread-per-connection
+   server (lib/xnet) would interleave every session's acquisitions in
+   one stack and report phantom order edges between locks never held
+   together. Such servers install a thread-id provider
+   (Thread.id (Thread.self ())) and each thread's held stack moves to
+   [tl_held] under [glock] — still a leaf lock, so the tracker cannot
+   observe itself. *)
+let tid_provider : (unit -> int) option Atomic.t = Atomic.make None
+let set_thread_id_provider p = Atomic.set tid_provider p
+
+let tl_held : (int, (lock_id * Printexc.raw_backtrace) list) Hashtbl.t =
+  Hashtbl.create 64
+
+let get_held () =
+  match Atomic.get tid_provider with
+  | None -> B.Tls.get held
+  | Some tid ->
+      let k = tid () in
+      B.Lock.with_lock glock (fun () ->
+          Option.value ~default:[] (Hashtbl.find_opt tl_held k))
+
+let set_held hs =
+  match Atomic.get tid_provider with
+  | None -> B.Tls.set held hs
+  | Some tid -> (
+      let k = tid () in
+      B.Lock.with_lock glock (fun () ->
+          match hs with
+          | [] -> Hashtbl.remove tl_held k
+          | _ -> Hashtbl.replace tl_held k hs))
+
 let stack_depth = 16
 
 let record_edge ~from_id ~from_raw ~to_id ~to_raw =
@@ -87,13 +118,13 @@ let acquiring id =
   if Atomic.get tracking_on then begin
     Atomic.incr acquisitions;
     let raw = Printexc.get_callstack stack_depth in
-    let hs = B.Tls.get held in
+    let hs = get_held () in
     List.iter
       (fun (h, hraw) ->
         if h <> id then
           record_edge ~from_id:h ~from_raw:hraw ~to_id:id ~to_raw:raw)
       hs;
-    B.Tls.set held ((id, raw) :: hs)
+    set_held ((id, raw) :: hs)
   end
 
 (** Pop the topmost occurrence of [id] from the held stack (tolerates a
@@ -104,7 +135,7 @@ let released id =
     | (h, _) :: rest when h = id -> rest
     | x :: rest -> x :: drop rest
   in
-  B.Tls.set held (drop (B.Tls.get held))
+  set_held (drop (get_held ()))
 
 (* --- analysis ------------------------------------------------------ *)
 

@@ -106,6 +106,18 @@ module Lockorder : sig
 
   val released : lock_id -> unit
 
+  (** Held-lock stacks are per-domain by default (Domain.DLS), which is
+      wrong once systhreads are in play: every thread of a domain shares
+      the DLS, so one thread's held locks contaminate another's
+      acquisitions and the tracker reports phantom edges (and phantom
+      deadlock cycles) between locks never actually nested. A
+      thread-per-connection server installs
+      [set_thread_id_provider (Some (fun () -> Thread.id (Thread.self ())))]
+      once at startup and each thread gets its own stack; [None]
+      restores the per-domain default. The [lib/xnet] server does this
+      in [Server.start]. *)
+  val set_thread_id_provider : (unit -> int) option -> unit
+
   (** Tracking is on by default; turn it off to shed the (small)
       per-acquisition cost in benchmarks. *)
   val set_tracking : bool -> unit

@@ -1,0 +1,519 @@
+(** Xnet protocol and server torture tests.
+
+    Three layers: pure codec properties (qcheck roundtrip
+    client-encode ≡ server-decode, plus the server direction), raw-socket
+    frame torture against a live server (truncated / oversized / garbage
+    frames, non-Hello openings), and full-stack session behavior through
+    the client library — shared plan cache across sessions, per-session
+    governor budgets ([XQDB0001] over the wire), admission rejection past
+    [--max-sessions], mid-cursor disconnect releasing the cursor (and
+    its governor charge), and graceful drain with zero leaked
+    sessions. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Codec roundtrip properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_string = QCheck.Gen.(string_size ~gen:char (int_bound 30))
+let gen_small_list g = QCheck.Gen.(list_size (int_bound 4) g)
+
+let gen_bindings =
+  QCheck.Gen.(
+    map2
+      (fun params vars -> { Xnet.Proto.params; vars })
+      (gen_small_list gen_string)
+      (gen_small_list (pair gen_string gen_string)))
+
+let gen_limits =
+  QCheck.Gen.(
+    map
+      (fun (steps, nodes, depth, timeout) ->
+        {
+          Xdm.Limits.max_steps = steps;
+          max_nodes = nodes;
+          max_depth = depth;
+          timeout = Option.map float_of_int timeout;
+        })
+      (quad (opt nat) (opt nat) (opt nat) (opt nat)))
+
+let gen_client_msg : Xnet.Proto.client_msg QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun user client -> Xnet.Proto.Hello { user; client })
+          gen_string gen_string;
+        map2 (fun src b -> Xnet.Proto.Exec { src; b }) gen_string gen_bindings;
+        map2
+          (fun name src -> Xnet.Proto.Prepare { name; src })
+          gen_string gen_string;
+        map2
+          (fun name b -> Xnet.Proto.Execute { name; b })
+          gen_string gen_bindings;
+        map2
+          (fun src b -> Xnet.Proto.Open_cursor { src; b })
+          gen_string gen_bindings;
+        map2 (fun cursor max -> Xnet.Proto.Fetch { cursor; max }) nat nat;
+        map (fun cursor -> Xnet.Proto.Close_cursor { cursor }) nat;
+        map (fun l -> Xnet.Proto.Set_limits l) gen_limits;
+        return Xnet.Proto.Checkpoint;
+        return Xnet.Proto.Stats;
+        return Xnet.Proto.Quit;
+      ])
+
+let gen_elem =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r -> Xnet.Proto.Brow r) (gen_small_list gen_string);
+        map (fun s -> Xnet.Proto.Bitem s) gen_string;
+      ])
+
+let gen_payload =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun cols rows -> Xnet.Proto.Wrows { cols; rows })
+          (gen_small_list gen_string)
+          (gen_small_list (gen_small_list gen_string));
+        map (fun items -> Xnet.Proto.Witems items) (gen_small_list gen_string);
+      ])
+
+let gen_server_msg : Xnet.Proto.server_msg QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun session server ->
+            Xnet.Proto.Ready
+              { session; server; version = Xnet.Proto.version })
+          nat gen_string;
+        map2
+          (fun payload (notes, indexes_used, diagnostics) ->
+            Xnet.Proto.Okay { payload; notes; indexes_used; diagnostics })
+          gen_payload
+          (triple (gen_small_list gen_string) (gen_small_list gen_string)
+             (gen_small_list gen_string));
+        map2 (fun code msg -> Xnet.Proto.Err { code; msg }) gen_string
+          gen_string;
+        map2
+          (fun name params -> Xnet.Proto.Prepared { name; params })
+          gen_string (gen_small_list gen_string);
+        map2
+          (fun cursor cols -> Xnet.Proto.Cursor_opened { cursor; cols })
+          nat (gen_small_list gen_string);
+        map (fun cursor -> Xnet.Proto.Cursor_closed { cursor }) nat;
+        map2
+          (fun elems finished -> Xnet.Proto.Batch { elems; finished })
+          (gen_small_list gen_elem) bool;
+        map (fun s -> Xnet.Proto.Stats_text s) gen_string;
+        return Xnet.Proto.Bye;
+      ])
+
+(* Hello roundtrips only at the supported version, so pin it there (the
+   generator never produces another version). *)
+let prop_client_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"xnet: client-encode = server-decode (roundtrip)"
+    (QCheck.make gen_client_msg)
+    (fun m ->
+      Xnet.Proto.decode_client (Xnet.Proto.encode_client m) = m)
+
+let prop_server_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"xnet: server-encode = client-decode (roundtrip)"
+    (QCheck.make gen_server_msg)
+    (fun m ->
+      Xnet.Proto.decode_server (Xnet.Proto.encode_server m) = m)
+
+(* Arbitrary bytes never crash the decoder: they either parse or raise
+   Bad_frame — nothing else escapes. *)
+let prop_decoder_total =
+  QCheck.Test.make ~count:500 ~name:"xnet: decoder is total on garbage"
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s ->
+      (try ignore (Xnet.Proto.decode_client s)
+       with Xnet.Proto.Bad_frame _ -> ());
+      (try ignore (Xnet.Proto.decode_server s)
+       with Xnet.Proto.Bad_frame _ -> ());
+      true)
+
+let codec_unit_tests =
+  [
+    tc "truncated payload raises Bad_frame" (fun () ->
+        let enc = Xnet.Proto.encode_client (Xnet.Proto.Exec { src = "SELECT 1"; b = Xnet.Proto.no_bindings }) in
+        let cut = String.sub enc 0 (String.length enc - 3) in
+        match Xnet.Proto.decode_client cut with
+        | _ -> Alcotest.fail "expected Bad_frame"
+        | exception Xnet.Proto.Bad_frame _ -> ());
+    tc "trailing garbage raises Bad_frame" (fun () ->
+        let enc = Xnet.Proto.encode_client Xnet.Proto.Quit ^ "zz" in
+        match Xnet.Proto.decode_client enc with
+        | _ -> Alcotest.fail "expected Bad_frame"
+        | exception Xnet.Proto.Bad_frame _ -> ());
+    tc "client decoder rejects server tags and vice versa" (fun () ->
+        let s = Xnet.Proto.encode_server Xnet.Proto.Bye in
+        (match Xnet.Proto.decode_client s with
+        | _ -> Alcotest.fail "expected Bad_frame"
+        | exception Xnet.Proto.Bad_frame _ -> ());
+        let c = Xnet.Proto.encode_client Xnet.Proto.Quit in
+        match Xnet.Proto.decode_server c with
+        | _ -> Alcotest.fail "expected Bad_frame"
+        | exception Xnet.Proto.Bad_frame _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Live-server fixtures                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* An ephemeral-port server over a paper_db engine; every test tears it
+   down, so no state leaks between tests. *)
+let with_server ?(max_sessions = 8) f =
+  let db = paper_db ~n_orders:30 () in
+  let srv =
+    Xnet.Server.start ~engine:db
+      {
+        Xnet.Server.default_config with
+        port = 0;
+        max_sessions;
+        drain_timeout = 2.0;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Xnet.Server.stop srv) (fun () -> f db srv)
+
+let with_client srv f =
+  let c =
+    Xnet.Client.connect ~host:"127.0.0.1" ~port:(Xnet.Server.port srv) ()
+  in
+  Fun.protect ~finally:(fun () -> Xnet.Client.close c) (fun () -> f c)
+
+(* Wait out the server's asynchronous session teardown. *)
+let eventually ?(timeout = 5.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* A raw protocol connection bypassing the client library, for torture
+   that the library refuses to produce. *)
+let raw_connect srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Xnet.Server.port srv));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  set_binary_mode_in ic true;
+  set_binary_mode_out oc true;
+  (fd, ic, oc)
+
+let raw_hello oc ic =
+  Xnet.Proto.write_frame oc
+    (Xnet.Proto.encode_client
+       (Xnet.Proto.Hello { user = "torture"; client = "t_xnet" }));
+  match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
+  | Xnet.Proto.Ready _ -> ()
+  | _ -> Alcotest.fail "expected Ready"
+
+let expect_err_frame ~code ic =
+  match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
+  | Xnet.Proto.Err e ->
+      check Alcotest.string "error frame code" code e.code
+  | _ -> Alcotest.failf "expected Err [%s] frame" code
+
+(* ------------------------------------------------------------------ *)
+(* Frame torture against a live server                                 *)
+(* ------------------------------------------------------------------ *)
+
+let torture_tests =
+  [
+    tc "garbage frame answered with XQDB0006, connection closed" (fun () ->
+        with_server (fun _db srv ->
+            let fd, ic, oc = raw_connect srv in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                raw_hello oc ic;
+                Xnet.Proto.write_frame oc "\xff\xfe\xfd\xfc";
+                expect_err_frame ~code:"XQDB0006" ic;
+                (match Xnet.Proto.read_frame ic with
+                | _ -> Alcotest.fail "expected EOF after protocol error"
+                | exception End_of_file -> ());
+                Alcotest.(check bool)
+                  "session reaped" true
+                  (eventually (fun () -> Xnet.Server.active_sessions srv = 0)))));
+    tc "oversized frame length rejected without allocation" (fun () ->
+        with_server (fun _db srv ->
+            let fd, ic, oc = raw_connect srv in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                raw_hello oc ic;
+                (* length claims 1 GiB; the server must refuse before
+                   reading (or allocating) a byte of it *)
+                output_binary_int oc 0x40000000;
+                flush oc;
+                expect_err_frame ~code:"XQDB0006" ic)));
+    tc "truncated frame (disconnect mid-payload) reaps the session"
+      (fun () ->
+        with_server (fun _db srv ->
+            let fd, ic, oc = raw_connect srv in
+            raw_hello oc ic;
+            output_binary_int oc 100;
+            output_string oc "only-ten-b";
+            flush oc;
+            Unix.close fd;
+            Alcotest.(check bool)
+              "session reaped" true
+              (eventually (fun () -> Xnet.Server.active_sessions srv = 0))));
+    tc "first frame must be Hello" (fun () ->
+        with_server (fun _db srv ->
+            let fd, ic, oc = raw_connect srv in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Xnet.Proto.write_frame oc
+                  (Xnet.Proto.encode_client
+                     (Xnet.Proto.Exec
+                        { src = "SELECT 1"; b = Xnet.Proto.no_bindings }));
+                expect_err_frame ~code:"XQDB0006" ic)));
+    tc "wrong protocol version in Hello is refused" (fun () ->
+        with_server (fun _db srv ->
+            let fd, ic, oc = raw_connect srv in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                (* hand-build a Hello with version 99: tag 0x01, u32 99,
+                   then two empty strings *)
+                let buf = Buffer.create 16 in
+                Buffer.add_char buf '\x01';
+                Buffer.add_int32_be buf 99l;
+                Buffer.add_int32_be buf 0l;
+                Buffer.add_int32_be buf 0l;
+                Xnet.Proto.write_frame oc (Buffer.contents buf);
+                expect_err_frame ~code:"XQDB0006" ic)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Full-stack session behavior                                         *)
+(* ------------------------------------------------------------------ *)
+
+let counter db name = !(Xprof.Registry.counter (Engine.registry db) name)
+
+let session_tests =
+  [
+    tc "statements, prepared namespace and cursors over the wire" (fun () ->
+        with_server (fun _db srv ->
+            with_client srv (fun c ->
+                let o = Xnet.Client.exec c "SELECT ordid FROM orders" in
+                (match o.Xnet.Client.payload with
+                | Xnet.Proto.Wrows { rows; _ } ->
+                    check Alcotest.int "row count" 30 (List.length rows)
+                | _ -> Alcotest.fail "expected rows");
+                let params =
+                  Xnet.Client.prepare c ~name:"byid"
+                    "SELECT ordid FROM orders WHERE ordid = ?"
+                in
+                check
+                  Alcotest.(list string)
+                  "parameter slots" [ "?1" ] params;
+                let o =
+                  Xnet.Client.execute c "byid"
+                    ~b:{ Xnet.Proto.params = [ "3" ]; vars = [] }
+                in
+                (match o.Xnet.Client.payload with
+                | Xnet.Proto.Wrows { rows; _ } ->
+                    check Alcotest.int "one row" 1 (List.length rows)
+                | _ -> Alcotest.fail "expected rows");
+                (* prepared names are per-session: a second session does
+                   not see "byid" *)
+                with_client srv (fun c2 ->
+                    expect_error "XPST0008" (fun () ->
+                        Xnet.Client.execute c2 "byid"));
+                (* cursor: pull 5 of 30, then close early *)
+                let cursor, cols =
+                  Xnet.Client.open_cursor c "SELECT ordid FROM orders"
+                in
+                check Alcotest.(list string) "cursor cols" [ "ordid" ] cols;
+                let elems, finished = Xnet.Client.fetch c ~cursor ~max:5 in
+                check Alcotest.int "batch size" 5 (List.length elems);
+                check Alcotest.bool "not finished" false finished;
+                Xnet.Client.close_cursor c cursor)));
+    tc "plan cache is shared across sessions" (fun () ->
+        with_server (fun db srv ->
+            let q =
+              "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 990]"
+            in
+            with_client srv (fun c1 -> ignore (Xnet.Client.exec c1 q));
+            let hits0 = counter db "plan_cache_hits_total" in
+            with_client srv (fun c2 ->
+                let o = Xnet.Client.exec c2 q in
+                Alcotest.(check bool)
+                  "second session reports a plan-cache hit" true
+                  (List.exists
+                     (contains_sub ~affix:"plan cache: hit")
+                     o.Xnet.Client.diagnostics));
+            Alcotest.(check bool)
+              "hit counter rose across sessions" true
+              (counter db "plan_cache_hits_total" > hits0)));
+    tc "per-session governor budget raises XQDB0001 over the wire"
+      (fun () ->
+        with_server (fun _db srv ->
+            let hungry =
+              "for $i in db2-fn:xmlcolumn('ORDERS.ORDDOC') \
+               //order[lineitem/@*>100] return $i"
+            in
+            with_client srv (fun starving ->
+                Xnet.Client.set_limits starving
+                  { Xdm.Limits.unlimited with Xdm.Limits.max_steps = Some 50 };
+                expect_error "XQDB0001" (fun () ->
+                    Xnet.Client.exec starving hungry);
+                (* the session survives its budget error *)
+                Xnet.Client.set_limits starving Xdm.Limits.unlimited;
+                ignore
+                  (Xnet.Client.exec starving
+                     "SELECT id FROM products WHERE id = 'nope'");
+                (* and the budget is per-session: a fresh session runs
+                   the same statement unlimited *)
+                with_client srv (fun fine ->
+                    ignore (Xnet.Client.exec fine hungry)))));
+    tc "admission rejection past max-sessions is XQDB0001" (fun () ->
+        with_server ~max_sessions:1 (fun _db srv ->
+            with_client srv (fun _keeper ->
+                expect_error "XQDB0001" (fun () ->
+                    Xnet.Client.connect ~host:"127.0.0.1"
+                      ~port:(Xnet.Server.port srv) ()));
+            (* capacity frees up once the keeper disconnects *)
+            Alcotest.(check bool)
+              "session reaped" true
+              (eventually (fun () -> Xnet.Server.active_sessions srv = 0));
+            with_client srv (fun c -> ignore (Xnet.Client.exec c "SELECT id FROM products"))));
+    tc "mid-cursor disconnect closes the cursor and frees the session"
+      (fun () ->
+        with_server (fun db srv ->
+            let opened0 = counter db "cursors_opened_total" in
+            let fd, ic, oc = raw_connect srv in
+            raw_hello oc ic;
+            Xnet.Proto.write_frame oc
+              (Xnet.Proto.encode_client
+                 (Xnet.Proto.Open_cursor
+                    {
+                      src = "SELECT ordid FROM orders";
+                      b = Xnet.Proto.no_bindings;
+                    }));
+            (match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
+            | Xnet.Proto.Cursor_opened _ -> ()
+            | _ -> Alcotest.fail "expected Cursor_opened");
+            Xnet.Proto.write_frame oc
+              (Xnet.Proto.encode_client (Xnet.Proto.Fetch { cursor = 1; max = 3 }));
+            (match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
+            | Xnet.Proto.Batch { elems; finished } ->
+                check Alcotest.int "partial batch" 3 (List.length elems);
+                check Alcotest.bool "not finished" false finished
+            | _ -> Alcotest.fail "expected Batch");
+            (* vanish mid-cursor: no Close_cursor, no Quit *)
+            Unix.close fd;
+            Alcotest.(check bool)
+              "session reaped" true
+              (eventually (fun () -> Xnet.Server.active_sessions srv = 0));
+            check Alcotest.int "orphaned cursor was closed"
+              (opened0 + 1)
+              (counter db "cursors_closed_total");
+            (* no parallel-region or domain-pool work leaked with it *)
+            Alcotest.(check bool) "xpar idle" true (Xpar.idle ())));
+    tc "drain: stop with a live session leaks nothing" (fun () ->
+        let db = paper_db ~n_orders:10 () in
+        let srv =
+          Xnet.Server.start ~engine:db
+            {
+              Xnet.Server.default_config with
+              port = 0;
+              (* short timeout: the live idle session below must be
+                 force-shut, not waited out *)
+              drain_timeout = 0.3;
+            }
+        in
+        let c =
+          Xnet.Client.connect ~host:"127.0.0.1" ~port:(Xnet.Server.port srv) ()
+        in
+        ignore (Xnet.Client.exec c "SELECT id FROM products");
+        Xnet.Server.stop srv;
+        check Alcotest.int "zero leaked sessions" 0
+          (Xnet.Server.active_sessions srv);
+        (* the forced shutdown surfaces client-side as a transport error
+           on the next call *)
+        (match Xnet.Client.exec c "SELECT id FROM products" with
+        | _ -> Alcotest.fail "expected Net_error after drain"
+        | exception Xnet.Client.Net_error _ -> ());
+        Xnet.Client.close c);
+    tc "stats frame carries server gauges and plan-cache line" (fun () ->
+        with_server (fun _db srv ->
+            with_client srv (fun c ->
+                ignore (Xnet.Client.exec c "SELECT id FROM products");
+                let s = Xnet.Client.stats c in
+                List.iter
+                  (fun needle ->
+                    Alcotest.(check bool)
+                      (needle ^ " present") true
+                      (contains_sub ~affix:needle s))
+                  [
+                    "xnet_requests_total";
+                    "xnet_sessions_active";
+                    "xnet_qps";
+                    "xnet_uptime_seconds";
+                    "plan_cache size=";
+                  ])));
+  ]
+
+(* Lockorder hygiene: with the thread-id provider installed (by
+   Server.start), concurrent sessions must not fabricate phantom
+   cross-thread edges between the server's own locks — and above all no
+   cycle between "xnet.engine" and "xnet.sessions", which are never
+   nested by construction. *)
+let lockorder_tests =
+  [
+    tc "no lock-order cycle between server locks under concurrency"
+      (fun () ->
+        with_server (fun _db srv ->
+            let threads =
+              List.init 4 (fun _ ->
+                  Thread.create
+                    (fun () ->
+                      with_client srv (fun c ->
+                          for _ = 1 to 5 do
+                            ignore
+                              (Xnet.Client.exec c "SELECT ordid FROM orders")
+                          done))
+                    ())
+            in
+            List.iter Thread.join threads;
+            let cycles = Xpar.Lockorder.cycles () in
+            let server_cycle =
+              List.exists
+                (List.exists (fun n ->
+                     n = "xnet.engine" || n = "xnet.sessions"))
+                cycles
+            in
+            Alcotest.(check bool)
+              "no potential deadlock involving server locks" false
+              server_cycle));
+  ]
+
+let suite =
+  [
+    ("xnet:codec", codec_unit_tests);
+    ( "xnet:prop",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_client_roundtrip; prop_server_roundtrip; prop_decoder_total ] );
+    ("xnet:torture", torture_tests);
+    ("xnet:session", session_tests);
+    ("xnet:lockorder", lockorder_tests);
+  ]
