@@ -80,10 +80,10 @@ let n_docs = 4000
 
 let build_db ?(n = n_docs) ?(params = Workload.Orders_gen.default) () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
-  ignore (Engine.sql db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.exec db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
   ignore
-    (Engine.sql db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
+    (Engine.exec db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
   let p =
     { params with Workload.Orders_gen.n_customers = 200; n_products = 300 }
   in
@@ -94,16 +94,21 @@ let build_db ?(n = n_docs) ?(params = Workload.Orders_gen.default) () =
   List.iter
     (fun (id, name) ->
       ignore
-        (Engine.sql db
+        (Engine.exec db
            (Printf.sprintf "INSERT INTO products VALUES ('%s', '%s')" id name)))
     (Workload.Orders_gen.products p);
   db
 
-let ddl db stmts = List.iter (fun s -> ignore (Engine.sql db s)) stmts
+let ddl db stmts = List.iter (fun s -> ignore (Engine.exec db s)) stmts
 
-let xq_n db src () = List.length (fst (Engine.xquery db src))
-let xq_noidx_n db src () = List.length (Engine.xquery_noindex db src)
-let sql_n db src () = List.length (Engine.sql db src).Sqlxml.Sql_exec.rrows
+let xq_n db src () = List.length (Engine.outcome_items (Engine.exec db src))
+let xq_noidx_n db src () =
+  let saved = Engine.use_indexes db in
+  Engine.set_use_indexes db false;
+  Fun.protect
+    ~finally:(fun () -> Engine.set_use_indexes db saved)
+    (fun () -> List.length (Engine.outcome_items (Engine.exec db src)))
+let sql_n db src () = List.length (Engine.outcome_rows (Engine.exec db src))
 
 (* ------------------------------------------------------------------ *)
 (* E1 — index eligibility (§2.2, Queries 1/2)                          *)
@@ -367,7 +372,7 @@ let e7 () =
 
 let e8 () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore (Engine.exec db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
   let p =
     {
       Workload.Orders_gen.default with
@@ -383,7 +388,7 @@ let e8 () =
        AS DOUBLE";
     ];
   let db2 = Engine.create () in
-  ignore (Engine.sql db2 "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore (Engine.exec db2 "CREATE TABLE customer (cid INTEGER, cdoc XML)");
   Engine.load_documents db2 ~table:"customer" ~column:"cdoc"
     (Workload.Orders_gen.customers p);
   ddl db2
@@ -415,7 +420,7 @@ let e8 () =
 
 let e9 () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
   let p = { Workload.Orders_gen.default with string_price_frac = 0.3 } in
   Engine.load_documents db ~table:"orders" ~column:"orddoc"
     (Workload.Orders_gen.orders p n_docs);
@@ -425,7 +430,7 @@ let e9 () =
        AS VARCHAR(30)";
     ];
   let db2 = Engine.create () in
-  ignore (Engine.sql db2 "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.exec db2 "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
   Engine.load_documents db2 ~table:"orders" ~column:"orddoc"
     (Workload.Orders_gen.orders p n_docs);
   ddl db2
@@ -505,7 +510,7 @@ let e11 () =
   in
   let scanned q =
     List.iter Xmlindex.Xindex.reset_stats (Engine.xml_indexes db);
-    ignore (fst (Engine.xquery db q));
+    ignore (Engine.exec db q);
     List.fold_left
       (fun acc (i : Xmlindex.Xindex.t) ->
         acc + i.Xmlindex.Xindex.stats.Xmlindex.Xindex.entries_scanned)
@@ -535,7 +540,7 @@ let e12 () =
     "\nE12 (§2.1) — tolerant indexes: uncastable values are skipped, \
      inserts never blocked\n";
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE addresses (aid INTEGER, adoc XML)");
+  ignore (Engine.exec db "CREATE TABLE addresses (aid INTEGER, adoc XML)");
   ddl db
     [
       "CREATE INDEX pc_num ON addresses(adoc) USING XMLPATTERN \
@@ -640,7 +645,7 @@ let e14 () =
     (fun (name, idxs) ->
       let run () =
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+        ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
         ddl db idxs;
         Engine.load_parsed_documents db ~table:"orders" ~column:"orddoc"
           parsed
@@ -663,7 +668,7 @@ let e15 () =
      version): a broad //@* index is much larger than a targeted one. *)
   let mk () =
     let db = Engine.create () in
-    ignore (Engine.sql db "CREATE TABLE feeds (fid INTEGER, feed XML)");
+    ignore (Engine.exec db "CREATE TABLE feeds (fid INTEGER, feed XML)");
     Engine.load_documents db ~table:"feeds" ~column:"feed"
       (Workload.Feeds_gen.feeds
          { Workload.Feeds_gen.default with extension_frac = 0.6 }
@@ -1249,7 +1254,7 @@ let parallel_suite ~quick ~out () =
   in
   let load_run () =
     let fresh = Engine.create () in
-    ignore (Engine.sql fresh "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    ignore (Engine.exec fresh "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
     ddl fresh
       [
         "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
@@ -1351,7 +1356,7 @@ let durability_suite ~quick ~out () =
       n
   in
   let load_into db =
-    ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+    ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
     ddl db
       [
         "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
@@ -1386,13 +1391,13 @@ let durability_suite ~quick ~out () =
       ~finally:(fun () -> bench_rm_rf dir)
       (fun () ->
         let db = Engine.open_db ~sync:false ~data_dir:dir () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (Engine.exec db "CREATE TABLE t (a integer, d XML)");
         ignore
-          (Engine.sql db
+          (Engine.exec db
              "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
         for i = 1 to stmts do
           ignore
-            (Engine.sql db
+            (Engine.exec db
                (Printf.sprintf "INSERT INTO t VALUES (%d, '<a><p>%d</p></a>')"
                   i i))
         done;
@@ -1418,7 +1423,7 @@ let durability_suite ~quick ~out () =
               "recovery_redo_records")
         in
         let rows =
-          List.length (Engine.sql db2 "SELECT a FROM t").Sqlxml.Sql_exec.rrows
+          List.length (Engine.outcome_rows (Engine.exec db2 "SELECT a FROM t"))
         in
         let ok = rows = stmts in
         let open_ms = Xprof.Hist.p50 h in
@@ -1599,6 +1604,126 @@ let server_suite ~quick ~out () =
   Printf.printf "spliced \"server\" section into %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Txn suite (--suite txn): the "txn" section of BENCH_micro.json —    *)
+(* the PR's headline claim, measured: reader tail latency while a      *)
+(* bulk-loading read-write transaction runs must stay within 2x of an  *)
+(* idle engine, because reads run on pinned MVCC snapshots and never   *)
+(* wait for the writer. Also reports writer throughput and the         *)
+(* begin/commit round-trip cost on an empty transaction.               *)
+(* ------------------------------------------------------------------ *)
+
+let txn_suite ~quick ~out () =
+  let n = if quick then 150 else 500 in
+  let duration = if quick then 0.5 else 2.0 in
+  Printf.printf
+    "txn suite — reader p95 idle vs during a bulk-loading transaction, %d \
+     orders, %.1fs per phase%s\n%!"
+    n duration
+    (if quick then " (--quick)" else "");
+  let db = corpus_db ~n () in
+  Engine.enable_concurrent db;
+  (* the reader probes a table the load never touches: the measurement is
+     whether readers queue behind the writer, so the reader's own data
+     size must not grow under it mid-phase *)
+  let query = "db2-fn:xmlcolumn('CUSTOMER.CDOC')/customer[id = 7]" in
+  ignore (Engine.exec db query) (* warm the plan cache *);
+  let read_for secs =
+    let h = Xprof.Hist.create () in
+    let deadline = Unix.gettimeofday () +. secs in
+    while Unix.gettimeofday () < deadline do
+      let t0 = Unix.gettimeofday () in
+      ignore (Engine.exec db query);
+      Xprof.Hist.add h ((Unix.gettimeofday () -. t0) *. 1000.)
+    done;
+    h
+  in
+  let idle = read_for duration in
+  (* writer thread: back-to-back explicit transactions, 20 inserts each.
+     One constant statement text, so the load compiles once and hits the
+     shared plan cache after that — a flood of unique statement strings
+     would measure cache-eviction thrash, not snapshot isolation *)
+  let insert =
+    "INSERT INTO orders VALUES (1000000, '<order id=\"1000000\"><lineitem \
+     price=\"5.0\"><product><id>BULK</id></product></lineitem></order>')"
+  in
+  let stop = Atomic.make false in
+  let commits = ref 0 and rows = ref 0 in
+  let writer =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          let tx = Engine.Txn.begin_ db in
+          for _ = 1 to 20 do
+            ignore (Engine.exec ~txn:tx db insert)
+          done;
+          Engine.Txn.commit tx;
+          incr commits;
+          rows := !rows + 20
+        done)
+      ()
+  in
+  let loaded = read_for duration in
+  Atomic.set stop true;
+  Thread.join writer;
+  let idle_p95 = Xprof.Hist.p95 idle
+  and loaded_p95 = Xprof.Hist.p95 loaded in
+  (* the committed rows are visible once the load stops *)
+  let final =
+    List.length
+      (Engine.outcome_rows
+         (Engine.exec db "SELECT ordid FROM orders WHERE ordid >= 1000000"))
+  in
+  let visibility_ok = final = !rows in
+  (* headline gate: snapshot readers must not queue behind the writer.
+     2x plus a small absolute floor so sub-millisecond baselines do not
+     flap on scheduler noise. *)
+  let reader_ok = loaded_p95 <= (2.0 *. idle_p95) +. 0.5 in
+  (* begin/commit round trip with nothing in the transaction *)
+  let empty_txn_ms =
+    p50_ms ~iters:(if quick then 5 else 9) ~batch:50 (fun () ->
+        Engine.Txn.commit (Engine.Txn.begin_ db))
+  in
+  Printf.printf
+    "  reader p95 idle %8.3f ms | during load %8.3f ms (%.2fx) — %s\n"
+    idle_p95 loaded_p95
+    (loaded_p95 /. Float.max idle_p95 1e-9)
+    (if reader_ok then "ok" else "VIOLATION");
+  Printf.printf
+    "  writer: %d commits, %d rows (%d visible after drain — %s)\n" !commits
+    !rows final
+    (if visibility_ok then "ok" else "LOST");
+  Printf.printf "  empty begin+commit p50 %8.3f ms\n%!" empty_txn_ms;
+  let section =
+    J.Obj
+      [
+        ("backend", J.Str Xpar.backend);
+        ("quick", J.Bool quick);
+        ("query", J.Str query);
+        ( "reader",
+          J.Obj
+            [
+              ("idle_p95_ms", J.Float idle_p95);
+              ("during_load_p95_ms", J.Float loaded_p95);
+              ("idle_requests", J.Int (Xprof.Hist.count idle));
+              ("during_load_requests", J.Int (Xprof.Hist.count loaded));
+              ("ok", J.Bool reader_ok);
+            ] );
+        ( "writer",
+          J.Obj
+            [
+              ("commits", J.Int !commits);
+              ("rows", J.Int !rows);
+              ("rows_per_s", J.Float (float_of_int !rows /. duration));
+            ] );
+        ("empty_txn_p50_ms", J.Float empty_txn_ms);
+        ("visibility_ok", J.Bool visibility_ok);
+        ("ok", J.Bool (reader_ok && visibility_ok));
+      ]
+  in
+  splice_section ~out ~key:"txn" section;
+  Printf.printf "spliced \"txn\" section into %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -1646,10 +1771,17 @@ let () =
       in
       server_suite ~quick ~out ();
       exit 0
+  | Some "txn" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      txn_suite ~quick ~out ();
+      exit 0
   | Some other ->
       Printf.eprintf
         "unknown suite %S (available: micro, parallel, prepared, durability, \
-         server)\n"
+         server, txn)\n"
         other;
       exit 2
   | None -> ());

@@ -24,6 +24,12 @@
                           for SQL, [var=value] pairs for XQuery
     - [\cursor K S]       stream at most K results of S through a cursor,
                           then close it (unpulled results never compute)
+    - [\begin [read]]     open an explicit transaction (read-write by
+                          default, read-only with [read]); statements run
+                          inside it until [\commit] or [\rollback]
+                          (docs/TRANSACTIONS.md)
+    - [\commit]           publish the open transaction atomically
+    - [\rollback]         discard it — rows and index entries revert
     - [\cache]            plan-cache statistics
     - [\tables] [\idx]    catalog listings
     - [\checkpoint]       durable mode: snapshot the catalog and truncate
@@ -98,6 +104,37 @@ let set_limits_cmd db (args : string) =
 
 (* Prepared statements of this shell session, by user-chosen name. *)
 let prepared : (string, Engine.stmt) Hashtbl.t = Hashtbl.create 8
+
+(* The shell's open explicit transaction, if any: every statement,
+   [\exec] and [\cursor] runs inside it until \commit/\rollback. *)
+let current_txn : Engine.Txn.txn option ref = ref None
+
+let txn_begin_cmd db (arg : string) =
+  match (!current_txn, String.trim arg) with
+  | Some _, _ ->
+      print_endline
+        "a transaction is already open (\\commit or \\rollback it first)"
+  | None, "" ->
+      current_txn := Some (Engine.Txn.begin_ db);
+      print_endline "BEGIN (read-write)"
+  | None, "read" ->
+      current_txn := Some (Engine.Txn.begin_ ~mode:Engine.Txn.Read_only db);
+      print_endline "BEGIN (read-only)"
+  | None, a -> Printf.printf "bad \\begin argument %S (usage: \\begin [read])\n" a
+
+let txn_end_cmd ~commit =
+  match !current_txn with
+  | None -> print_endline "no transaction is open (use \\begin)"
+  | Some tx ->
+      current_txn := None;
+      if commit then begin
+        Engine.Txn.commit tx;
+        print_endline "COMMIT"
+      end
+      else begin
+        Engine.Txn.rollback tx;
+        print_endline "ROLLBACK"
+      end
 
 (** Split [\exec] arguments on whitespace; single quotes group (and stay
     in the token, so the value parsers can see them). *)
@@ -198,7 +235,7 @@ let exec_cmd db (args : string) =
   | None -> Printf.printf "no prepared statement %S (use \\prepare)\n" name
   | Some st ->
       let params, vars = parse_bindings (split_args rest) in
-      print_outcome db (Engine.execute ~params ~vars st)
+      print_outcome db (Engine.execute ?txn:!current_txn ~params ~vars st)
 
 let cursor_cmd db (args : string) =
   let args = String.trim args in
@@ -212,7 +249,7 @@ let cursor_cmd db (args : string) =
           let src =
             String.trim (String.sub args (i + 1) (String.length args - i - 1))
           in
-          let cur = Engine.open_cursor db src in
+          let cur = Engine.open_cursor ?txn:!current_txn db src in
           Fun.protect
             ~finally:(fun () -> Engine.Cursor.close cur)
             (fun () ->
@@ -245,10 +282,10 @@ let cache_cmd db =
     s.Engine.Plan_cache.invalidations s.Engine.Plan_cache.evictions
 
 let load_demo db =
-  ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
-  ignore (Engine.sql db "CREATE TABLE customer (cid integer, cdoc XML)");
+  ignore (Engine.exec db "CREATE TABLE orders (ordid integer, orddoc XML)");
+  ignore (Engine.exec db "CREATE TABLE customer (cid integer, cdoc XML)");
   ignore
-    (Engine.sql db "CREATE TABLE products (id varchar(13), name varchar(32))");
+    (Engine.exec db "CREATE TABLE products (id varchar(13), name varchar(32))");
   let p = { Workload.Orders_gen.default with n_customers = 50; n_products = 40 } in
   Engine.load_documents db ~table:"orders" ~column:"orddoc"
     (Workload.Orders_gen.orders p 500);
@@ -257,7 +294,7 @@ let load_demo db =
   List.iter
     (fun (id, name) ->
       ignore
-        (Engine.sql db
+        (Engine.exec db
            (Printf.sprintf "INSERT INTO products VALUES ('%s', '%s')" id name)))
     (Workload.Orders_gen.products p);
   print_endline
@@ -336,6 +373,11 @@ let exec_one db (line : string) =
     print_string (Xprof.Registry.to_string (Engine.registry db));
     cache_cmd db
   end
+  else if line = "\\begin" then txn_begin_cmd db ""
+  else if String.length line > 7 && String.sub line 0 7 = "\\begin " then
+    txn_begin_cmd db (String.sub line 7 (String.length line - 7))
+  else if line = "\\commit" then txn_end_cmd ~commit:true
+  else if line = "\\rollback" then txn_end_cmd ~commit:false
   else if line = "\\xsan" then print_string (Xpar.Lockorder.report ())
   else if line = "\\cache" then cache_cmd db
   else if line = "\\checkpoint" then (
@@ -360,7 +402,7 @@ let exec_one db (line : string) =
     (* The sealed entry point auto-detects SQL vs stand-alone XQuery,
        goes through the plan cache (repeated statements compile once) and
        applies the strict-mode static gate at compile time. *)
-    print_outcome db (Engine.exec db line)
+    print_outcome db (Engine.exec ?txn:!current_txn db line)
 
 (** Report any statement failure without killing the session. The final
     catch-all matters: a statement that parses as SQL but dies on an
@@ -385,7 +427,8 @@ let exec_line db line =
 (* Remote mode: --connect HOST:PORT speaks the Xnet wire protocol to a
    running xqdbd instead of embedding an engine. The same meta-command
    surface where it makes sense remotely: statements, \prepare, \exec,
-   \cursor, \limits, \metrics, \checkpoint, \explain, \q. Values travel
+   \cursor, \limits, \metrics, \checkpoint, \begin/\commit/\rollback
+   (the server holds the transaction), \explain, \q. Values travel
    as literal strings and are parsed server-side with the same rules as
    the local \exec.                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -500,6 +543,22 @@ let remote_exec_one conn (line : string) =
   else if line = "\\explain off" then explain := false
   else if line = "\\limits" then remote_limits_cmd conn ""
   else if has_prefix "\\limits " then remote_limits_cmd conn (after "\\limits ")
+  else if line = "\\begin" then begin
+    Xnet.Client.txn_begin conn;
+    print_endline "BEGIN (read-write)"
+  end
+  else if line = "\\begin read" then begin
+    Xnet.Client.txn_begin ~mode:Xnet.Proto.Read_only conn;
+    print_endline "BEGIN (read-only)"
+  end
+  else if line = "\\commit" then begin
+    Xnet.Client.txn_commit conn;
+    print_endline "COMMIT"
+  end
+  else if line = "\\rollback" then begin
+    Xnet.Client.txn_rollback conn;
+    print_endline "ROLLBACK"
+  end
   else if line = "\\metrics" then print_string (Xnet.Client.stats conn)
   else if line = "\\checkpoint" then begin
     Xnet.Client.checkpoint conn;
@@ -723,7 +782,13 @@ let main script demo parallel do_explain lint json profile data_dir no_fsync
   if demo then load_demo db;
   if lint <> [] then exit (lint_main db lint json);
   Fun.protect
-    ~finally:(fun () -> Engine.close db)
+    ~finally:(fun () ->
+      (* a transaction left open at exit is rolled back, like a dropped
+         server session *)
+      (match !current_txn with
+      | Some tx -> ( try Engine.Txn.rollback tx with _ -> ())
+      | None -> ());
+      Engine.close db)
     (fun () ->
       match (profile, script) with
       | Some f, _ ->

@@ -3,8 +3,11 @@
 
     Sessions share the plan cache (a statement one client compiled is a
     cache hit for every other), get private prepared-statement
-    namespaces and per-session governor budgets, and are capped by
-    [--max-sessions] (further connections get an XQDB0001 error frame).
+    namespaces, per-session governor budgets and per-session explicit
+    transactions (wire v2 Begin/Commit/Rollback — reads run on MVCC
+    snapshots and never block behind another session's bulk load), and
+    are capped by [--max-sessions] (further connections get an XQDB0001
+    error frame).
     SIGTERM/SIGINT trigger a graceful drain: stop accepting, let live
     sessions finish (up to [--drain-timeout]), force stragglers shut,
     exit 0. [--metrics PORT] serves the Xprof plaintext exposition on a
@@ -118,9 +121,9 @@ let parallel_arg =
     value & opt int 1
     & info [ "parallel" ] ~docv:"N"
         ~doc:
-          "Evaluate scan-shaped work on $(docv) domains (statements still \
-           serialize on the shared engine; parallelism lives inside a \
-           statement).")
+          "Evaluate scan-shaped work on $(docv) domains within a \
+           statement. Across sessions, reads run concurrently on MVCC \
+           snapshots; only the single-writer commit path serializes.")
 
 let drain_arg =
   Arg.(

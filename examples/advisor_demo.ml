@@ -55,24 +55,24 @@ let bad_queries =
 
 let () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
-  ignore (Engine.sql db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.exec db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
   ignore
-    (Engine.sql db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
+    (Engine.exec db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/@price' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX price_el ON orders(orddoc) USING XMLPATTERN '//price' \
         AS VARCHAR(30)");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX broad ON orders(orddoc) USING XMLPATTERN '//*' AS \
         VARCHAR(50)");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX c_nation ON customer(cdoc) USING XMLPATTERN \
         '//nation' AS DOUBLE");
   List.iter

@@ -10,28 +10,27 @@ let db = Engine.create ()
 
 let show_sql caption src =
   (try
-     let r = Engine.sql db src in
+     let o = Engine.exec db src in
      Printf.printf "%-52s -> %4d rows  [indexes: %s]\n" caption
-       (List.length r.Sqlxml.Sql_exec.rrows)
-       (String.concat "," (Engine.last_indexes_used db))
-   with
-  | Sqlxml.Sql_exec.Sql_runtime_error m ->
-      Printf.printf "%-52s -> runtime error: %s\n" caption m);
+       (List.length (Engine.outcome_rows o))
+       (String.concat "," o.Engine.indexes_used)
+   with Xdm.Xerror.Error e ->
+     Printf.printf "%-52s -> runtime error: %s\n" caption e.msg);
   ()
 
 let show_xq caption src =
   try
-    let items, plan = Engine.xquery db src in
+    let o = Engine.exec db src in
     Printf.printf "%-52s -> %4d items [indexes: %s]\n" caption
-      (List.length items)
-      (String.concat "," plan.Planner.indexes_used)
+      (List.length (Engine.outcome_items o))
+      (String.concat "," o.Engine.indexes_used)
   with Xdm.Xerror.Error e ->
     Printf.printf "%-52s -> error [%s] %s\n" caption e.code e.msg
 
 let () =
-  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
-  ignore (Engine.sql db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
-  ignore (Engine.sql db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
+  ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.exec db "CREATE TABLE customer (cid INTEGER, cdoc XML)");
+  ignore (Engine.exec db "CREATE TABLE products (id VARCHAR(13), name VARCHAR(32))");
   let p =
     { Workload.Orders_gen.default with n_customers = 40; n_products = 60 }
   in
@@ -42,23 +41,23 @@ let () =
   List.iter
     (fun (id, name) ->
       ignore
-        (Engine.sql db
+        (Engine.exec db
            (Printf.sprintf "INSERT INTO products VALUES ('%s', '%s')" id name)))
     (Workload.Orders_gen.products p);
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/@price' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX c_custid ON customer(cdoc) USING XMLPATTERN \
         '/customer/id' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX li_pid ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/product/id' AS VARCHAR(20)");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX price_el ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/price' AS DOUBLE");
 

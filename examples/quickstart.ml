@@ -8,7 +8,7 @@ let () =
   let db = Engine.create () in
 
   (* 1. DDL: a table with a native XML column. *)
-  ignore (Engine.sql db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
+  ignore (Engine.exec db "CREATE TABLE orders (ordid INTEGER, orddoc XML)");
 
   (* 2. Load a synthetic order collection: many small documents, the
         workload shape the paper says XML indexes exist for. *)
@@ -21,21 +21,24 @@ let () =
 
   (* 3. A value query before any index exists: full collection scan. *)
   let query = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price > 995]" in
+  Engine.set_use_indexes db false;
   let t0 = Unix.gettimeofday () in
-  let baseline = Engine.xquery_noindex db query in
+  let baseline = Engine.outcome_items (Engine.exec db query) in
+  Engine.set_use_indexes db true;
   let t_scan = Unix.gettimeofday () -. t0 in
   Printf.printf "collection scan: %d orders in %.2f ms\n"
     (List.length baseline) (1000. *. t_scan);
 
   (* 4. CREATE INDEX ... USING XMLPATTERN (the paper's li_price). *)
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/@price' AS DOUBLE");
 
   (* 5. The same query now pre-filters documents through the index. *)
   let t0 = Unix.gettimeofday () in
-  let indexed, plan = Engine.xquery db query in
+  let o = Engine.exec db query in
+  let indexed = Engine.outcome_items o in
   let t_idx = Unix.gettimeofday () -. t0 in
   Printf.printf "index probe:     %d orders in %.2f ms (%.0fx faster)\n"
     (List.length indexed) (1000. *. t_idx)
@@ -45,14 +48,14 @@ let () =
     = Xmlparse.Xml_writer.seq_to_string indexed);
 
   print_endline "\nEXPLAIN:";
-  List.iter (fun n -> Printf.printf "  %s\n" n) plan.Planner.notes;
+  List.iter (fun n -> Printf.printf "  %s\n" n) o.Engine.notes;
 
   (* 6. The SQL/XML face of the same database. *)
   let r =
-    Engine.sql db
+    Engine.exec db
       "SELECT ordid FROM orders WHERE XMLExists('$o//lineitem[@price > \
        995]' passing orddoc as \"o\")"
   in
   Printf.printf "\nSQL/XML XMLEXISTS: %d rows (indexes used: %s)\n"
-    (List.length r.Sqlxml.Sql_exec.rrows)
-    (String.concat ", " (Engine.last_indexes_used db))
+    (List.length (Engine.outcome_rows r))
+    (String.concat ", " r.Engine.indexes_used)

@@ -10,14 +10,14 @@
 
 let () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE feeds (fid INTEGER, feed XML)");
+  ignore (Engine.exec db "CREATE TABLE feeds (fid INTEGER, feed XML)");
   ignore
-    (Engine.sql db "CREATE TABLE authors (handle VARCHAR(20), karma INTEGER)");
+    (Engine.exec db "CREATE TABLE authors (handle VARCHAR(20), karma INTEGER)");
   Engine.load_documents db ~table:"feeds" ~column:"feed"
     (Workload.Feeds_gen.feeds Workload.Feeds_gen.default 400);
   for i = 0 to 49 do
     ignore
-      (Engine.sql db
+      (Engine.exec db
          (Printf.sprintf "INSERT INTO authors VALUES ('author%d', %d)" i
             (i * 7 mod 100)))
   done;
@@ -25,17 +25,17 @@ let () =
   (* Namespace-wildcard index: one index covers dc:creator no matter which
      prefix a document used (Tip 10). *)
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX creators ON feeds(feed) USING XMLPATTERN \
         '//*:creator' AS VARCHAR(30)");
   (* Broad numeric attribute index (//@* AS DOUBLE, Section 2.1's
      "unpredictable query workloads"). *)
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX nums ON feeds(feed) USING XMLPATTERN '//@*' AS DOUBLE");
   (* xsi:type made pubDate a typed date: a date index applies. *)
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX pubdates ON feeds(feed) USING XMLPATTERN '//pubDate' \
         AS DATE");
 
@@ -46,20 +46,20 @@ let () =
      db2-fn:xmlcolumn('FEEDS.FEED')//item[dc:creator = \
      \"author7\"]/title/text()"
   in
-  let titles, plan = Engine.xquery db q in
+  let o1 = Engine.exec db q in
   Printf.printf "stories by author7: %d [indexes: %s]\n"
-    (List.length titles)
-    (String.concat "," plan.Planner.indexes_used);
+    (List.length (Engine.outcome_items o1))
+    (String.concat "," o1.Engine.indexes_used);
 
   (* 2. Big attachments via the broad numeric attribute index. *)
   let q2 =
     "declare namespace media = \"http://search.yahoo.com/mrss/\"; \
      db2-fn:xmlcolumn('FEEDS.FEED')//item[media:content/@fileSize > 90000]"
   in
-  let items, plan2 = Engine.xquery db q2 in
+  let o2 = Engine.exec db q2 in
   Printf.printf "items with >90KB media: %d [indexes: %s]\n"
-    (List.length items)
-    (String.concat "," plan2.Planner.indexes_used);
+    (List.length (Engine.outcome_items o2))
+    (String.concat "," o2.Engine.indexes_used);
 
   (* 3. Date-typed predicate (value comparison works because xsi:type made
         pubDate an xs:date). *)
@@ -67,41 +67,41 @@ let () =
     "db2-fn:xmlcolumn('FEEDS.FEED')//item[pubDate/xs:date(.) >= \
      xs:date(\"2006-06-01\")]"
   in
-  let recent, plan3 = Engine.xquery db q3 in
+  let o3 = Engine.exec db q3 in
   Printf.printf "stories since 2006-06-01: %d [indexes: %s]\n"
-    (List.length recent)
-    (String.concat "," plan3.Planner.indexes_used);
+    (List.length (Engine.outcome_items o3))
+    (String.concat "," o3.Engine.indexes_used);
 
   (* 4. SQL/XML join of feeds against the relational author table:
         XMLTable extracts, SQL aggregatively joins. *)
   let r =
-    Engine.sql db
+    Engine.exec db
       "SELECT a.handle, a.karma FROM authors a, feeds f WHERE \
        XMLExists('declare namespace dc = \
        \"http://purl.org/dc/elements/1.1/\"; $feed//item[dc:creator eq \
        $h]' passing f.feed as \"feed\", a.handle as \"h\") AND a.karma > 90"
   in
   Printf.printf "author rows with karma > 90 and ≥1 story: %d [indexes: %s]\n"
-    (List.length r.Sqlxml.Sql_exec.rrows)
-    (String.concat "," (Engine.last_indexes_used db));
+    (List.length (Engine.outcome_rows r))
+    (String.concat "," r.Engine.indexes_used);
 
   (* 5. Publish a summary document with XMLELEMENT + XMLQuery. *)
   let r2 =
-    Engine.sql db
+    Engine.exec db
       "SELECT XMLELEMENT(NAME summary, fid, XMLQuery('count($f//item)' \
        passing feed as \"f\")) FROM feeds WHERE XMLExists('declare \
        namespace geo = \"http://www.w3.org/2003/01/geo/wgs84_pos#\"; \
        $f//item[geo:lat/xs:double(.) > 60]' passing feed as \"f\")"
   in
   Printf.printf "published %d arctic-channel summaries, e.g. %s\n"
-    (List.length r2.Sqlxml.Sql_exec.rrows)
-    (match r2.Sqlxml.Sql_exec.rrows with
+    (List.length (Engine.outcome_rows r2))
+    (match Engine.outcome_rows r2 with
     | row :: _ -> Storage.Sql_value.to_display (List.hd row)
     | [] -> "(none)");
 
   (* 6. An undeclared prefix is a *static* error with a W3C code — the
         engine does not silently return empty results. *)
-  (try ignore (Engine.xquery db "db2-fn:xmlcolumn('FEEDS.FEED')//geo:lat")
+  (try ignore (Engine.exec db "db2-fn:xmlcolumn('FEEDS.FEED')//geo:lat")
    with Xdm.Xerror.Error e ->
      Printf.printf "undeclared prefix correctly rejected: [%s] %s\n" e.code
        e.msg);

@@ -11,7 +11,7 @@
 
 let () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE addresses (aid INTEGER, adoc XML)");
+  ignore (Engine.exec db "CREATE TABLE addresses (aid INTEGER, adoc XML)");
 
   (* Era 1: US-only postal codes, numeric schema. *)
   let us_docs = Workload.Feeds_gen.addresses ~canadian_frac:0.0 500 in
@@ -24,11 +24,11 @@ let () =
   (* Both a numeric and a string index on the same data (the paper's
      coexistence requirement). *)
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX pc_num ON addresses(adoc) USING XMLPATTERN \
         '//postalcode' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (Engine.exec db
        "CREATE INDEX pc_str ON addresses(adoc) USING XMLPATTERN \
         '//postalcode' AS VARCHAR(12)");
 
@@ -65,18 +65,19 @@ let () =
   let numeric_q =
     "db2-fn:xmlcolumn('ADDRESSES.ADOC')//address[postalcode > 99000]"
   in
-  let r, plan = Engine.xquery db numeric_q in
-  Printf.printf "numeric query: %d addresses [indexes: %s]\n" (List.length r)
-    (String.concat "," plan.Planner.indexes_used);
+  let o = Engine.exec db numeric_q in
+  Printf.printf "numeric query: %d addresses [indexes: %s]\n"
+    (List.length (Engine.outcome_items o))
+    (String.concat "," o.Engine.indexes_used);
 
   (* New string queries use the varchar index. *)
   let string_q =
     "db2-fn:xmlcolumn('ADDRESSES.ADOC')//address[postalcode > \"K\"]"
   in
-  let r2, plan2 = Engine.xquery db string_q in
+  let o2 = Engine.exec db string_q in
   Printf.printf "string query:  %d addresses [indexes: %s]\n"
-    (List.length r2)
-    (String.concat "," plan2.Planner.indexes_used);
+    (List.length (Engine.outcome_items o2))
+    (String.concat "," o2.Engine.indexes_used);
 
   (* Per-document schemas: validate only the numeric-code documents
      against v1, the rest against a v2 string schema — in one column. *)

@@ -206,6 +206,32 @@ let statement t ?ddl (f : unit -> 'a) : 'a =
       t.active <- false;
       raise ex
 
+(* -- explicit transactions: one WAL group spanning many statements -- *)
+
+(** Open a transaction-wide WAL group. Every DML statement the engine
+    runs until {!txn_commit}/{!txn_abort} journals its redo records
+    into this single group, so recovery applies the transaction all or
+    nothing — the same abandoned-group semantics Wal.replay already
+    gives a crashed single statement. Caller holds the engine's writer
+    slot, so no other group can interleave. *)
+let txn_begin t =
+  t.seq <- t.seq + 1;
+  Wal.append t.wal (Wal.Begin t.seq);
+  t.active <- true
+
+(** Commit point of the transaction: append the Commit record and (in
+    sync mode) fsync. A crash strictly before this call recovers to the
+    transaction never having happened; after it, to the transaction
+    fully applied. *)
+let txn_commit t =
+  t.active <- false;
+  Wal.commit t.wal t.seq
+
+(** Abort: stop journaling and leave the group uncommitted — replay
+    abandons it when the next group begins (or at the log's end). The
+    in-memory undo rollback is the engine's job. *)
+let txn_abort t = t.active <- false
+
 (** Wire [tbl]'s row journal into the WAL. Records flow only inside a
     statement group (recovery replay and undo rollback stay silent). *)
 let journal_table t (tbl : Storage.Table.t) =

@@ -59,6 +59,18 @@ val statement : t -> ?ddl:string -> (unit -> 'a) -> 'a
     stay silent. *)
 val journal_table : t -> Storage.Table.t -> unit
 
+(** Explicit transactions: one WAL group spanning many statements.
+    {!txn_begin} opens the group (caller holds the engine's writer
+    slot, so no other group can interleave); every DML statement until
+    the close journals into it. {!txn_commit} appends the Commit record
+    (the transaction's durability point — a crash before it recovers to
+    the transaction never having happened, never to a partial one).
+    {!txn_abort} leaves the group uncommitted, which replay abandons. *)
+val txn_begin : t -> unit
+
+val txn_commit : t -> unit
+val txn_abort : t -> unit
+
 (** Write a new-generation snapshot of the catalog, atomically publish it
     via the MANIFEST, start a fresh WAL and remove the old generation's
     files. Fault points ["checkpoint.begin"] / ["checkpoint.end"] bracket

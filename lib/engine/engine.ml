@@ -39,6 +39,19 @@ type compiled_stmt =
       (** parsed statement + number of [?] parameter slots *)
   | CXquery of Planner.compiled
 
+(** One published MVCC state: a copy-on-write catalog image plus
+    guard-wrapped views of the live indexes, stamped with the commit
+    sequence number it reflects. Read transactions pin a snapshot and
+    evaluate against it for their whole lifetime; the single writer
+    publishes a fresh one at every commit (unchanged tables reuse their
+    cached copies — see {!Storage.Table.snapshot}). *)
+type snapshot = {
+  snap_csn : int;
+  snap_db : Storage.Database.t;
+  snap_x : Xmlindex.Xindex.t list;  (** snapshot views, ctx (newest-first) order *)
+  snap_r : Xmlindex.Rel_index.t list;
+}
+
 type t = {
   sqlctx : E.ctx;
   registry : Xprof.Registry.t;
@@ -48,7 +61,60 @@ type t = {
   cache : compiled_stmt Plan_cache.t;
   mutable dur : Durable.t option;
       (** the data directory behind {!open_db}; [None] = in-memory *)
+  (* -- MVCC transaction state -- *)
+  mutable committed : snapshot option;
+      (** the last published snapshot; guarded by [snap_mu] *)
+  mutable csn : int;  (** commit sequence number: bumped per write commit *)
+  mutable concurrent : bool;
+      (** snapshot-publication mode: off until the first {!Txn.begin_}
+          (or the server enables it), so purely sequential embedders pay
+          nothing for MVCC *)
+  mutable writer_txn : bool;
+      (** an explicit read-write transaction holds the writer slot;
+          guarded by [snap_mu] *)
+  writer_mu : Mutex.t;
+      (** the single-writer slot: autocommit writes hold it per
+          statement, explicit read-write transactions across their whole
+          lifetime *)
+  snap_mu : Mutex.t;  (** leaf lock: [committed]/[writer_txn] pointer flips *)
+  compile_mu : Mutex.t;
+      (** serializes plan-cache lookup + compilation (compilation reads
+          the live catalog, and the cache's own lock is a no-op on the
+          sequential Xpar backend) *)
+  snap_memo_lock : Xpar.Lock.t;
+      (** one shared embedded-query memo lock for every snapshot context
+          this engine builds, so per-statement contexts don't register
+          fresh Lockorder names *)
 }
+
+(* Lock-order identities are module-level: every engine's writer slot is
+   the same lock from the tracker's point of view, keeping its tables
+   small across the many short-lived engines the test suites create.
+   Documented order: engine.writer > engine.compile > engine.snapshot
+   (a later lock is never taken while holding an earlier one... the
+   writer may take compile (DDL) and snapshot (publish); compile and
+   snapshot never nest the other way). *)
+let writer_lock_id = Xpar.Lockorder.register "engine.writer"
+let snap_lock_id = Xpar.Lockorder.register "engine.snapshot"
+let compile_lock_id = Xpar.Lockorder.register "engine.compile"
+
+let with_mu id mu f =
+  Xpar.Lockorder.acquiring id;
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      Xpar.Lockorder.released id;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      Xpar.Lockorder.released id;
+      raise e
+
+(** Transaction-discipline errors: write-write conflicts, writes in a
+    read-only transaction, DDL/checkpoint inside an explicit
+    transaction, statements on a finished handle. *)
+let txn_error fmt = Xdm.Xerror.raise_err "XQDB0007" fmt
 
 let database t = E.database t.sqlctx
 
@@ -57,7 +123,20 @@ let catalog t : Planner.catalog =
 
 let mk_engine ?(registry = Xprof.Registry.create ()) db =
   let t =
-    { sqlctx = E.create db; registry; cache = Plan_cache.create (); dur = None }
+    {
+      sqlctx = E.create db;
+      registry;
+      cache = Plan_cache.create ();
+      dur = None;
+      committed = None;
+      csn = 0;
+      concurrent = false;
+      writer_txn = false;
+      writer_mu = Mutex.create ();
+      snap_mu = Mutex.create ();
+      compile_mu = Mutex.create ();
+      snap_memo_lock = Xpar.Lock.create ~name:"sqlexec.memo.snapshot" ();
+    }
   in
   (* the strict-mode gate: Sql_exec cannot depend on the analyzer, so the
      facade installs it (off until [set_strict_types true]) *)
@@ -205,14 +284,172 @@ let with_wal t (cls : [ `Read | `Dml | `Ddl ]) ~(src : string option)
   | Some dur, `Dml -> Durable.statement dur f
   | Some dur, `Ddl -> Durable.statement dur ?ddl:src f
 
+(* ------------------------------------------------------------------ *)
+(* MVCC snapshots & the single-writer slot                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Build (but do not publish) a snapshot of the current committed
+    state. Caller holds the writer slot, so nothing mutates underneath:
+    tables are copy-on-write ({!Storage.Table.snapshot} reuses cached
+    copies for tables untouched since the last publish), indexes become
+    guard-wrapped views sharing the live trees. The guard is the
+    process-wide shrink epoch: as long as no index entry has been
+    *removed* since this snapshot was taken, a probe against the live
+    tree is a sound Definition-1 pre-filter for the snapshot (extra row
+    ids from newer inserts are harmless, and only removals could lose
+    one). A failed guard degrades the probe to the snapshot table's full
+    row-id set — still a superset, never a wrong answer. *)
+let build_snapshot t : snapshot =
+  let snap_db = Storage.Database.snapshot (database t) in
+  let epoch = Storage.Table.shrink_epoch () in
+  let guard () = Storage.Table.shrink_epoch () = epoch in
+  let all_rows tname () =
+    match Storage.Database.find_table snap_db tname with
+    | None -> Xdm.Int_set.empty
+    | Some tbl ->
+        List.fold_left
+          (fun acc (r : Storage.Table.row) ->
+            Xdm.Int_set.add r.Storage.Table.row_id acc)
+          Xdm.Int_set.empty (Storage.Table.rows tbl)
+  in
+  let snap_x =
+    List.map
+      (fun (i : Xmlindex.Xindex.t) ->
+        Xmlindex.Xindex.snapshot_view i ~guard
+          ~fallback:(all_rows i.Xmlindex.Xindex.def.Xmlindex.Xindex.table))
+      (xml_indexes t)
+  in
+  let snap_r =
+    List.map
+      (fun (i : Xmlindex.Rel_index.t) ->
+        Xmlindex.Rel_index.snapshot_view i ~guard
+          ~fallback:(all_rows i.Xmlindex.Rel_index.table))
+      (rel_indexes t)
+  in
+  { snap_csn = 0; snap_db; snap_x; snap_r }
+
+(** Publish the current state as the newest committed snapshot. Caller
+    holds the writer slot. The csn bump and the pointer flip happen
+    together under [snap_mu], so readers always observe a snapshot whose
+    stamp matches the engine's csn — in steady concurrent state a reader
+    never finds the published snapshot stale. *)
+let publish_locked t =
+  if t.concurrent then begin
+    let s = build_snapshot t in
+    with_mu snap_lock_id t.snap_mu (fun () ->
+        t.csn <- t.csn + 1;
+        t.committed <- Some { s with snap_csn = t.csn });
+    Xprof.Registry.incr t.registry "snapshots_published_total"
+  end
+
+(** Run [f] holding the autocommit writer slot. Refused (XQDB0007) while
+    an explicit read-write transaction owns the slot — queueing behind a
+    potentially long transaction would be a silent lock, and the caller
+    asked for autocommit. Publishes the resulting state on both success
+    and failure: a failed statement's undo rollback also changed table
+    versions, so the cached snapshot must be refreshed either way. *)
+let autocommit_write t (f : unit -> 'a) : 'a =
+  with_mu snap_lock_id t.snap_mu (fun () ->
+      if t.writer_txn then
+        txn_error
+          "write-write conflict: an explicit read-write transaction holds \
+           the writer slot");
+  with_mu writer_lock_id t.writer_mu (fun () ->
+      match f () with
+      | v ->
+          publish_locked t;
+          v
+      | exception e ->
+          publish_locked t;
+          raise e)
+
+(** Switch the engine into snapshot-publication mode (idempotent). Off
+    by default so purely sequential embedders never pay for snapshot
+    copies; the first {!Txn.begin_} — or the network server at startup —
+    turns it on, after which every write commit publishes. *)
+let enable_concurrent t =
+  if not t.concurrent then begin
+    t.concurrent <- true;
+    (* publish the initial snapshot under the writer slot *)
+    autocommit_write t (fun () -> ())
+  end
+
+let concurrent_mode t = t.concurrent
+
+(** Pin the newest committed snapshot. In steady concurrent state this
+    is one mutex-protected pointer read; the slow path (no snapshot yet,
+    or writes happened before [concurrent] was switched on) takes the
+    writer slot once to publish. *)
+let rec pin t : snapshot =
+  let fresh =
+    with_mu snap_lock_id t.snap_mu (fun () ->
+        match t.committed with
+        | Some s when s.snap_csn = t.csn -> Some s
+        | _ -> None)
+  in
+  match fresh with
+  | Some s -> s
+  | None ->
+      autocommit_write t (fun () -> ());
+      pin t
+
+(* ------------------------------------------------------------------ *)
+(* Execution environments                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Where a statement runs: an execution context plus the planner
+    catalog it should consult. The live environment is the engine's own
+    context; snapshot environments are private per-statement (or
+    per-cursor) contexts over a pinned snapshot, so concurrent readers
+    share nothing mutable with the writer or each other. *)
+type exec_env = { ectx : E.ctx; ecat : Planner.catalog }
+
+let live_env t : exec_env = { ectx = t.sqlctx; ecat = catalog t }
+
+(** A private execution context over a pinned snapshot: fresh [E.ctx]
+    around the snapshot catalog with the snapshot index views attached,
+    inheriting the engine's execution settings (index use, parallelism,
+    limits — overridable per call for per-session budgets). Cheap to
+    build: the expensive copy-on-write happened at publish time. *)
+let read_env ?limits t (snap : snapshot) : exec_env =
+  let c = E.create ~memo_lock:t.snap_memo_lock snap.snap_db in
+  (* ctx index lists are built by consing, newest first *)
+  List.iter (E.attach_xml_index c) (List.rev snap.snap_x);
+  List.iter (E.attach_rel_index c) (List.rev snap.snap_r);
+  E.set_use_indexes c (use_indexes t);
+  E.set_parallelism c (parallelism t);
+  E.set_limits c (match limits with Some l -> l | None -> E.limits t.sqlctx);
+  { ectx = c; ecat = { Planner.db = snap.snap_db; indexes = snap.snap_x } }
+
+(** Apply a per-call limits override to a (live) context for the
+    duration of [f]. Snapshot contexts are private, so they set limits
+    directly; this save/restore is for the engine's own context. *)
+let with_limits_override ctx (limits : Xdm.Limits.t option) f =
+  match limits with
+  | None -> f ()
+  | Some l ->
+      let saved = E.limits ctx in
+      E.set_limits ctx l;
+      Fun.protect ~finally:(fun () -> E.set_limits ctx saved) f
+
 (** Write a new-generation snapshot, publish it atomically and truncate
-    the WAL. No-op on an in-memory handle. *)
+    the WAL. No-op on an in-memory handle. Takes the writer slot (and is
+    refused inside an explicit transaction): a checkpoint must capture a
+    committed state, not a half-applied one. *)
 let checkpoint t =
+  (* refused while an explicit transaction holds the writer slot — even
+     on an in-memory engine, where it is otherwise a no-op — so the
+     discipline does not depend on how the engine was opened *)
+  with_mu snap_lock_id t.snap_mu (fun () ->
+      if t.writer_txn then
+        txn_error "checkpoint is not allowed inside an explicit transaction");
   match t.dur with
   | None -> ()
   | Some dur ->
-      Durable.checkpoint dur ~db:(database t)
-        ~xindexes:(E.xml_indexes t.sqlctx) ~rindexes:(E.rel_indexes t.sqlctx);
+      autocommit_write t (fun () ->
+          Durable.checkpoint dur ~db:(database t)
+            ~xindexes:(E.xml_indexes t.sqlctx)
+            ~rindexes:(E.rel_indexes t.sqlctx));
       Xprof.Registry.incr t.registry "checkpoints_total"
 
 (** Flush and close the data directory. The handle keeps working as an
@@ -260,10 +497,14 @@ let coerce_errors (f : unit -> 'a) : 'a =
    limits only affect execution, so they are deliberately absent. *)
 let fingerprint t = if strict_types t then "strict" else "lax"
 
-let plan_cache_stats t : Plan_cache.stats = Plan_cache.stats t.cache
+(* Both take the compile lock: the cache's counters and table are
+   otherwise mutated concurrently by lookup_compiled. *)
+let plan_cache_stats t : Plan_cache.stats =
+  with_mu compile_lock_id t.compile_mu (fun () -> Plan_cache.stats t.cache)
 
 (** Drop every cached plan (used by benchmarks to time cold compiles). *)
-let reset_plan_cache t = Plan_cache.clear t.cache
+let reset_plan_cache t =
+  with_mu compile_lock_id t.compile_mu (fun () -> Plan_cache.clear t.cache)
 
 (* SQL keywords that can start a statement: when a source fails both
    parsers, report it with the front end it was evidently written for. *)
@@ -306,6 +547,12 @@ let compile_stmt t (src : string) : compiled_stmt =
     miss. Returns the compiled statement plus a cache-event diagnostic
     line. *)
 let lookup_compiled t (src : string) : compiled_stmt * string =
+  (* one statement compiles at a time: compilation reads the live
+     catalog, and the cache's own lock is a no-op on the sequential Xpar
+     backend. DDL executes under this same lock (inside the writer
+     slot), so a concurrent compile never sees a half-applied schema.
+     Cache hits stay cheap — the lock outlines only lookup + compile. *)
+  with_mu compile_lock_id t.compile_mu @@ fun () ->
   let gen = E.catalog_gen t.sqlctx in
   let fp = fingerprint t in
   let before = Plan_cache.stats t.cache in
@@ -436,24 +683,33 @@ let profile_snapshot t =
 (* Execution of compiled statements                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_compiled t (cs : compiled_stmt) ~(src : string) ~(diag : string)
-    ~(params : SV.t list) ~(vars : (string * Xdm.Item.seq) list) : outcome =
+(** Statement class for transaction dispatch: XQuery never writes. *)
+let class_of (cs : compiled_stmt) : [ `Read | `Dml | `Ddl ] =
+  match cs with
+  | CSql (stmt, _) -> E.stmt_class stmt
+  | CXquery _ -> `Read
+
+(** Run a compiled statement against an environment. [wrap] brackets the
+    SQL execution proper — identity for reads and transaction-scoped
+    statements, the WAL statement group (plus compile lock for DDL) for
+    autocommit writes. *)
+let run_env t (env : exec_env) (cs : compiled_stmt)
+    ~(wrap : [ `Read | `Dml | `Ddl ] -> (unit -> E.result) -> E.result)
+    ~(diag : string) ~(params : SV.t list)
+    ~(vars : (string * Xdm.Item.seq) list) : outcome =
   match cs with
   | CSql (stmt, nslots) -> (
       check_sql_arity nslots params vars;
-      E.set_params t.sqlctx (Array.of_list params);
-      let fin () = E.set_params t.sqlctx [||] in
-      match
-        with_wal t (E.stmt_class stmt) ~src:(Some src) (fun () ->
-            E.exec t.sqlctx stmt)
-      with
+      E.set_params env.ectx (Array.of_list params);
+      let fin () = E.set_params env.ectx [||] in
+      match wrap (E.stmt_class stmt) (fun () -> E.exec env.ectx stmt) with
       | r ->
           fin ();
           record_statement t;
           {
             payload = Rows { cols = r.E.rcols; rows = r.E.rrows };
-            notes = E.last_notes t.sqlctx;
-            indexes_used = E.last_used t.sqlctx;
+            notes = E.last_notes env.ectx;
+            indexes_used = E.last_used env.ectx;
             diagnostics = [ diag ];
             profile = profile_snapshot t;
           }
@@ -463,12 +719,12 @@ let run_compiled t (cs : compiled_stmt) ~(src : string) ~(diag : string)
           raise ex)
   | CXquery c -> (
       check_xquery_bindings c vars params;
-      let prof = profile t in
+      let prof = E.profile env.ectx in
       Xprof.start_statement prof;
       match
-        Planner.execute_compiled ~limits:(limits t) ~prof
-          ~use_indexes:(use_indexes t) ~vars ~parallelism:(parallelism t)
-          (catalog t) c
+        Planner.execute_compiled ~limits:(E.limits env.ectx) ~prof
+          ~use_indexes:(E.use_indexes env.ectx) ~vars
+          ~parallelism:(E.parallelism env.ectx) env.ecat c
       with
       | items, plan ->
           Xprof.finish_statement prof;
@@ -485,15 +741,213 @@ let run_compiled t (cs : compiled_stmt) ~(src : string) ~(diag : string)
           record_statement t;
           raise ex)
 
+(** The WAL-group [wrap] for autocommit writes; caller holds the writer
+    slot. DDL additionally takes the compile lock so no statement
+    compiles against a half-applied schema. *)
+let autocommit_wrap t ~(src : string) (cls : [ `Read | `Dml | `Ddl ])
+    (f : unit -> 'a) : 'a =
+  match cls with
+  | `Ddl ->
+      with_mu compile_lock_id t.compile_mu (fun () ->
+          with_wal t cls ~src:(Some src) f)
+  | `Read | `Dml -> with_wal t cls ~src:(Some src) f
+
+(** Implicit-transaction (autocommit) execution: reads run against the
+    newest committed snapshot once the engine is in concurrent mode
+    (never blocking behind the writer slot), writes take the writer slot
+    for the duration of one statement. *)
+let run_implicit t (cs : compiled_stmt) ~(src : string) ~(diag : string)
+    ~params ~vars ~(limits : Xdm.Limits.t option) : outcome =
+  match class_of cs with
+  | `Read ->
+      if t.concurrent then
+        run_env t (read_env ?limits t (pin t)) cs
+          ~wrap:(fun _ f -> f ())
+          ~diag ~params ~vars
+      else
+        with_limits_override t.sqlctx limits (fun () ->
+            run_env t (live_env t) cs
+              ~wrap:(fun _ f -> f ())
+              ~diag ~params ~vars)
+  | `Dml | `Ddl ->
+      autocommit_write t (fun () ->
+          with_limits_override t.sqlctx limits (fun () ->
+              run_env t (live_env t) cs ~wrap:(autocommit_wrap t ~src) ~diag
+                ~params ~vars))
+
+(* ------------------------------------------------------------------ *)
+(* Explicit transactions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Explicit transaction handles (snapshot isolation, single writer).
+
+    A [Read_only] transaction pins the newest committed snapshot at
+    begin and evaluates every statement against it — concurrent commits,
+    bulk loads and rollbacks are invisible until the next transaction.
+    A [Read_write] transaction owns the engine's single writer slot from
+    begin to commit/rollback: its statements run on the live state
+    (read-your-writes), journal into one WAL group whose Commit record
+    is the durability point, and accumulate one transaction-wide undo
+    log so rollback restores rows *and* index entries. A second
+    concurrent writer — explicit or autocommit — is refused immediately
+    with [XQDB0007] (write-write conflict), not queued. *)
+module Txn = struct
+  type mode = Read_only | Read_write
+
+  type txn = {
+    tx_engine : t;
+    tx_mode : mode;
+    tx_snap : snapshot option;  (** the pinned snapshot ([Read_only]) *)
+    tx_undo : Storage.Undo.t option;
+        (** the transaction-wide undo log ([Read_write]) *)
+    mutable tx_state : [ `Active | `Committed | `Rolled_back ];
+  }
+
+  let mode tx = tx.tx_mode
+  let active tx = tx.tx_state = `Active
+
+  let begin_ ?(mode = Read_write) t : txn =
+    coerce_errors @@ fun () ->
+    enable_concurrent t;
+    Xprof.Registry.incr t.registry "txn_begins_total";
+    match mode with
+    | Read_only ->
+        {
+          tx_engine = t;
+          tx_mode = mode;
+          tx_snap = Some (pin t);
+          tx_undo = None;
+          tx_state = `Active;
+        }
+    | Read_write ->
+        with_mu snap_lock_id t.snap_mu (fun () ->
+            if t.writer_txn then
+              txn_error
+                "write-write conflict: another read-write transaction is \
+                 active";
+            t.writer_txn <- true);
+        (match
+           Xpar.Lockorder.acquiring writer_lock_id;
+           Mutex.lock t.writer_mu
+         with
+        | () -> ()
+        | exception e ->
+            with_mu snap_lock_id t.snap_mu (fun () -> t.writer_txn <- false);
+            raise e);
+        (* from here the writer slot is ours; anything that raises
+           before the handle exists (e.g. an injected WAL fault in
+           [Durable.txn_begin]) must give the slot back, or the engine
+           is wedged and the lock tracker's held stack leaks *)
+        (match
+           (match t.dur with Some d -> Durable.txn_begin d | None -> ());
+           let undo = Storage.Undo.create () in
+           E.set_txn_undo t.sqlctx (Some undo);
+           undo
+         with
+        | undo ->
+            {
+              tx_engine = t;
+              tx_mode = mode;
+              tx_snap = None;
+              tx_undo = Some undo;
+              tx_state = `Active;
+            }
+        | exception e ->
+            E.set_txn_undo t.sqlctx None;
+            Mutex.unlock t.writer_mu;
+            Xpar.Lockorder.released writer_lock_id;
+            with_mu snap_lock_id t.snap_mu (fun () -> t.writer_txn <- false);
+            raise e)
+
+  (** Close the transaction. For writers: apply (or roll back) the
+      transaction-wide undo log, close the WAL group, publish the
+      resulting committed state and release the writer slot — the
+      release happens even when the durability step raises (e.g. an
+      injected fsync fault), so the engine is never left wedged. *)
+  let finish (tx : txn) ~(commit : bool) : unit =
+    (match tx.tx_state with
+    | `Active -> ()
+    | `Committed | `Rolled_back ->
+        txn_error "transaction handle is no longer active");
+    tx.tx_state <- (if commit then `Committed else `Rolled_back);
+    let t = tx.tx_engine in
+    match tx.tx_undo with
+    | None -> () (* read-only: just unpin the snapshot *)
+    | Some undo ->
+        Fun.protect
+          ~finally:(fun () ->
+            publish_locked t;
+            Mutex.unlock t.writer_mu;
+            Xpar.Lockorder.released writer_lock_id;
+            with_mu snap_lock_id t.snap_mu (fun () -> t.writer_txn <- false))
+          (fun () ->
+            E.set_txn_undo t.sqlctx None;
+            if commit then begin
+              Storage.Undo.commit undo;
+              match t.dur with
+              | Some d -> Durable.txn_commit d
+              | None -> ()
+            end
+            else begin
+              Storage.Undo.rollback undo;
+              match t.dur with
+              | Some d -> Durable.txn_abort d
+              | None -> ()
+            end)
+
+  let commit tx =
+    coerce_errors (fun () -> finish tx ~commit:true);
+    Xprof.Registry.incr tx.tx_engine.registry "txn_commits_total"
+
+  let rollback tx =
+    coerce_errors (fun () -> finish tx ~commit:false);
+    Xprof.Registry.incr tx.tx_engine.registry "txn_rollbacks_total"
+end
+
+(** Dispatch a statement into an explicit transaction. *)
+let run_in_txn t (tx : Txn.txn) (cs : compiled_stmt) ~(diag : string) ~params
+    ~vars ~(limits : Xdm.Limits.t option) : outcome =
+  if tx.Txn.tx_engine != t then
+    txn_error "transaction belongs to a different engine";
+  if tx.Txn.tx_state <> `Active then
+    txn_error "transaction handle is no longer active";
+  match (tx.Txn.tx_mode, class_of cs) with
+  | Txn.Read_only, `Read ->
+      let snap = Option.get tx.Txn.tx_snap in
+      run_env t (read_env ?limits t snap) cs
+        ~wrap:(fun _ f -> f ())
+        ~diag ~params ~vars
+  | Txn.Read_only, (`Dml | `Ddl) ->
+      txn_error "read-only transaction cannot execute a write statement"
+  | Txn.Read_write, `Ddl ->
+      txn_error
+        "DDL is not allowed inside an explicit transaction; run it in \
+         autocommit"
+  | Txn.Read_write, (`Read | `Dml) ->
+      (* read-your-writes on the live state; DML journals into the
+         transaction's open WAL group, its undo actions are absorbed
+         into the transaction-wide log by the executor *)
+      with_limits_override t.sqlctx limits (fun () ->
+          run_env t (live_env t) cs
+            ~wrap:(fun _ f -> f ())
+            ~diag ~params ~vars)
+
 (** Execute a statement through the plan cache: compile (or reuse the
     cached compiled form), plan, run. This is the one-shot face of the
     prepared-statement machinery — calling it twice with the same text
-    compiles once. *)
+    compiles once. Without [?txn] the statement autocommits (reads off
+    the newest committed snapshot in concurrent mode, writes under the
+    writer slot); with [?txn] it runs inside that transaction. [?limits]
+    overrides the engine-level resource budgets for this call only (the
+    server uses it for per-session governors). *)
 let exec ?(params : SV.t list = []) ?(vars : (string * Xdm.Item.seq) list = [])
-    t (src : string) : outcome =
+    ?(txn : Txn.txn option) ?(limits : Xdm.Limits.t option) t (src : string) :
+    outcome =
   coerce_errors (fun () ->
       let cs, diag = lookup_compiled t src in
-      run_compiled t cs ~src ~diag ~params ~vars)
+      match txn with
+      | Some tx -> run_in_txn t tx cs ~diag ~params ~vars ~limits
+      | None -> run_implicit t cs ~src ~diag ~params ~vars ~limits)
 
 (* ------------------------------------------------------------------ *)
 (* Prepared statements                                                 *)
@@ -522,8 +976,8 @@ let stmt_src (s : stmt) = s.st_src
     names for XQuery. *)
 let stmt_params (s : stmt) = s.st_params
 
-let execute ?(params = []) ?(vars = []) (s : stmt) : outcome =
-  exec ~params ~vars s.st_engine s.st_src
+let execute ?(params = []) ?(vars = []) ?txn ?limits (s : stmt) : outcome =
+  exec ~params ~vars ?txn ?limits s.st_engine s.st_src
 
 (* ------------------------------------------------------------------ *)
 (* Cursors                                                             *)
@@ -583,57 +1037,111 @@ module Cursor = struct
     go acc
 end
 
+(** Open a cursor against an environment. [wrap] as in {!run_env}. On a
+    snapshot environment the context is private to this cursor, so its
+    parameters stay pinned for the cursor's whole lifetime without
+    blocking anything else on the engine. *)
+let cursor_in_env t (env : exec_env) (cs : compiled_stmt)
+    ~(wrap :
+       [ `Read | `Dml | `Ddl ] ->
+       (unit -> string list * SV.t list Seq.t) ->
+       string list * SV.t list Seq.t) ~params ~vars : Cursor.t =
+  match cs with
+  | CSql (stmt, nslots) ->
+      check_sql_arity nslots params vars;
+      E.set_params env.ectx (Array.of_list params);
+      (* reads stream lazily ([wrap] passes them through); DML and DDL
+         materialize inside exec_seq, so any WAL group closes before the
+         cursor is handed back *)
+      let cols, rows = wrap (E.stmt_class stmt) (fun () -> E.exec_seq env.ectx stmt) in
+      {
+        Cursor.seq = Seq.map (fun r -> Cursor.Row r) rows;
+        state = `Open;
+        cols;
+        registry = t.registry;
+        produced = 0;
+      }
+  | CXquery c ->
+      check_xquery_bindings c vars params;
+      let items, _plan, _meter =
+        Planner.execute_compiled_seq ~limits:(E.limits env.ectx)
+          ~prof:(E.profile env.ectx) ~use_indexes:(E.use_indexes env.ectx)
+          ~vars env.ecat c
+      in
+      {
+        Cursor.seq = Seq.map (fun i -> Cursor.Item i) items;
+        state = `Open;
+        cols = [];
+        registry = t.registry;
+        produced = 0;
+      }
+
 (** Open a streaming cursor over a statement. Rows/items are produced as
     the consumer pulls: SELECTs without aggregation/ORDER BY stream
     straight off the table scan, path-shaped and FLWOR-shaped XQueries
     stream per document/binding (others fall back to materializing, then
-    streaming the result). The statement's parameters stay bound to the
-    engine for the cursor's lifetime — interleaving other statements on
-    the same engine while a parameterized SQL cursor is open is
+    streaming the result).
+
+    In concurrent mode (or inside a read-only [?txn]) a read cursor gets
+    its own private context over a pinned snapshot: it streams lazily
+    off immutable state, its parameters are pinned privately, and it
+    stays valid — and consistent — however long the client fetches,
+    regardless of concurrent commits. On a sequential (non-concurrent)
+    engine the historical behavior is kept: the statement's parameters
+    stay bound to the engine for the cursor's lifetime, so interleaving
+    other parameterized statements while such a cursor is open is
     unsupported. *)
 let open_cursor ?(params : SV.t list = [])
-    ?(vars : (string * Xdm.Item.seq) list = []) t (src : string) : Cursor.t =
+    ?(vars : (string * Xdm.Item.seq) list = []) ?(txn : Txn.txn option)
+    ?(limits : Xdm.Limits.t option) t (src : string) : Cursor.t =
   coerce_errors (fun () ->
       let cs, _ = lookup_compiled t src in
+      let live_wrap _cls f = f () in
       let cur =
-        match cs with
-        | CSql (stmt, nslots) ->
-            check_sql_arity nslots params vars;
-            E.set_params t.sqlctx (Array.of_list params);
-            (* reads stream lazily (with_wal passes them through); DML
-               and DDL materialize inside exec_seq, so the WAL group
-               closes before the cursor is handed back *)
-            let cols, rows =
-              with_wal t (E.stmt_class stmt) ~src:(Some src) (fun () ->
-                  E.exec_seq t.sqlctx stmt)
-            in
-            {
-              Cursor.seq = Seq.map (fun r -> Cursor.Row r) rows;
-              state = `Open;
-              cols;
-              registry = t.registry;
-              produced = 0;
-            }
-        | CXquery c ->
-            check_xquery_bindings c vars params;
-            let items, _plan, _meter =
-              Planner.execute_compiled_seq ~limits:(limits t)
-                ~prof:(profile t) ~use_indexes:(use_indexes t) ~vars
-                (catalog t) c
-            in
-            {
-              Cursor.seq = Seq.map (fun i -> Cursor.Item i) items;
-              state = `Open;
-              cols = [];
-              registry = t.registry;
-              produced = 0;
-            }
+        match txn with
+        | Some tx -> (
+            if tx.Txn.tx_engine != t then
+              txn_error "transaction belongs to a different engine";
+            if tx.Txn.tx_state <> `Active then
+              txn_error "transaction handle is no longer active";
+            match (tx.Txn.tx_mode, class_of cs) with
+            | Txn.Read_only, `Read ->
+                cursor_in_env t
+                  (read_env ?limits t (Option.get tx.Txn.tx_snap))
+                  cs ~wrap:live_wrap ~params ~vars
+            | Txn.Read_only, (`Dml | `Ddl) ->
+                txn_error
+                  "read-only transaction cannot execute a write statement"
+            | Txn.Read_write, `Ddl ->
+                txn_error
+                  "DDL is not allowed inside an explicit transaction; run \
+                   it in autocommit"
+            | Txn.Read_write, (`Read | `Dml) ->
+                (* read-your-writes off the live state; DML materializes
+                   inside exec_seq, journaling into the transaction's
+                   open WAL group *)
+                cursor_in_env t (live_env t) cs ~wrap:live_wrap ~params ~vars)
+        | None -> (
+            match class_of cs with
+            | `Read when t.concurrent ->
+                cursor_in_env t (read_env ?limits t (pin t)) cs
+                  ~wrap:live_wrap ~params ~vars
+            | `Read ->
+                with_limits_override t.sqlctx limits (fun () ->
+                    cursor_in_env t (live_env t) cs ~wrap:live_wrap ~params
+                      ~vars)
+            | `Dml | `Ddl ->
+                autocommit_write t (fun () ->
+                    with_limits_override t.sqlctx limits (fun () ->
+                        cursor_in_env t (live_env t) cs
+                          ~wrap:(autocommit_wrap t ~src) ~params ~vars)))
       in
       Xprof.Registry.incr t.registry "cursors_opened_total";
       cur)
 
-let execute_cursor ?(params = []) ?(vars = []) (s : stmt) : Cursor.t =
-  open_cursor ~params ~vars s.st_engine s.st_src
+let execute_cursor ?(params = []) ?(vars = []) ?txn ?limits (s : stmt) :
+    Cursor.t =
+  open_cursor ~params ~vars ?txn ?limits s.st_engine s.st_src
 
 (* ------------------------------------------------------------------ *)
 (* SQL/XML (deprecated one-shot wrappers)                              *)
@@ -645,14 +1153,21 @@ let execute_cursor ?(params = []) ?(vars = []) (s : stmt) : Cursor.t =
     layer-private exceptions. *)
 let sql t (src : string) : E.result =
   (* inlines E.exec_string so the statement can be classified and run as
-     a WAL group on a durable handle; exception behavior is unchanged *)
+     a WAL group on a durable handle; exception behavior is unchanged.
+     Routed through the same implicit-autocommit writer discipline as
+     {!exec}: writes take the writer slot (and are refused while an
+     explicit transaction holds it), so legacy callers stay safe on a
+     concurrent engine. *)
   let go () =
     let stmt = Sqlxml.Sql_parser.parse src in
     (match (E.strict_static t.sqlctx, E.static_check t.sqlctx) with
     | true, Some check -> check ~src stmt
     | _ -> ());
-    with_wal t (E.stmt_class stmt) ~src:(Some src) (fun () ->
-        E.exec t.sqlctx stmt)
+    match E.stmt_class stmt with
+    | `Read -> E.exec t.sqlctx stmt
+    | (`Dml | `Ddl) as cls ->
+        autocommit_write t (fun () ->
+            autocommit_wrap t ~src cls (fun () -> E.exec t.sqlctx stmt))
   in
   match go () with
   | r ->
@@ -753,6 +1268,7 @@ let insert_parsed_docs t tbl coli ~log (docs : Xdm.Node.t list) =
     docs
 
 let load_documents t ~table ~column (docs : string list) : unit =
+  autocommit_write t @@ fun () ->
   with_wal t `Dml ~src:None @@ fun () ->
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
@@ -812,6 +1328,7 @@ let load_documents t ~table ~column (docs : string list) : unit =
     benchmark's timed region should call when it wants to measure insert
     + index maintenance rather than parsing. *)
 let load_parsed_documents t ~table ~column (docs : Xdm.Node.t list) : unit =
+  autocommit_write t @@ fun () ->
   with_wal t `Dml ~src:None @@ fun () ->
   let tbl = Storage.Database.table_exn (database t) table in
   let coli = Storage.Table.col_index_exn tbl column in
@@ -861,6 +1378,8 @@ let check_consistency t : (string * string list) list =
     (per-document typing, Section 2.1 of the paper). Returns the number of
     annotated nodes. *)
 let validate_column t ~table ~column (schema : Xschema.t) : int =
+  (* annotates document nodes in place — writer-side work *)
+  autocommit_write t @@ fun () ->
   let tbl = Storage.Database.table_exn (database t) table in
   List.fold_left
     (fun acc (_, doc) -> acc + Xschema.validate schema doc)

@@ -16,8 +16,10 @@
     [XPST0008] unknown names, [XPDY0002] missing parameter bindings,
     [FORG0001] bad casts, [XQDB0001] resource budget, [XQDB0003]
     runtime/value errors, [FODC0002] malformed documents, [XQDB0004]
-    internal faults. (The deprecated {!sql}/{!xquery} wrappers keep
-    their historical layer-private exceptions.) *)
+    internal faults, [XQDB0007] transaction discipline (write-write
+    conflicts, writes in a read-only transaction, DDL or checkpoint
+    inside an explicit transaction). (The deprecated {!sql}/{!xquery}
+    wrappers keep their historical layer-private exceptions.) *)
 
 (** Re-export: the Tips 1–12 advisor. *)
 module Advisor = Advisor
@@ -54,7 +56,8 @@ val data_dir : t -> string option
 (** Write a new-generation snapshot of the whole catalog, publish it
     atomically (tmp-file + rename of the MANIFEST) and start a fresh WAL.
     Bounds recovery time; the shell exposes it as [\checkpoint]. No-op on
-    an in-memory handle. *)
+    an in-memory handle. Takes the writer slot; refused with [XQDB0007]
+    while an explicit read-write transaction is active. *)
 val checkpoint : t -> unit
 
 (** Flush and close the data directory; the handle keeps working as an
@@ -153,14 +156,82 @@ val outcome_rows : outcome -> Storage.Sql_value.t list list
 
 val outcome_items : outcome -> Xdm.Item.seq
 
+(** {1 Transactions}
+
+    The engine is a single-writer, multi-reader MVCC system with
+    snapshot isolation (see docs/TRANSACTIONS.md):
+
+    - A [Read_only] transaction pins the newest committed snapshot at
+      {!Txn.begin_} and evaluates every statement against it. It never
+      blocks — not behind autocommit writes, not behind a concurrent
+      bulk load in a read-write transaction — and never sees a
+      half-applied write.
+    - A [Read_write] transaction (the default mode) owns the engine's
+      single writer slot from begin to commit/rollback. Its statements
+      see their own writes; on a durable handle they journal into one
+      WAL group whose Commit record is the durability point (a crash
+      mid-transaction recovers to the transaction never having
+      happened). {!Txn.rollback} restores rows and index entries from
+      the transaction-wide undo log.
+    - A second concurrent writer — explicit or autocommit — is refused
+      immediately with [XQDB0007] (write-write conflict), not queued.
+      DDL and {!checkpoint} inside an explicit transaction are refused
+      with the same code.
+
+    Statements without a [?txn] argument autocommit, exactly as before
+    this API existed — existing callers compile and behave unchanged. *)
+
+module Txn : sig
+  (** [Read_only] pins a snapshot; [Read_write] (default) takes the
+      writer slot. *)
+  type mode = Read_only | Read_write
+
+  (** A transaction handle. Not thread-safe itself: one session drives
+      one handle. *)
+  type txn
+
+  (** Start a transaction. Raises [XQDB0007] if [Read_write] and another
+      read-write transaction is active on this engine. The first
+      [begin_] on an engine switches it into concurrent (snapshot
+      publication) mode. *)
+  val begin_ : ?mode:mode -> t -> txn
+
+  (** Commit: for writers, make the transaction's effects the newest
+      committed state (durable once the WAL Commit record is synced) and
+      release the writer slot. Raises [XQDB0007] on a finished handle. *)
+  val commit : txn -> unit
+
+  (** Roll back: undo every row and index change the transaction made
+      (writers), release the writer slot. The WAL group is left
+      uncommitted, which recovery abandons. *)
+  val rollback : txn -> unit
+
+  val mode : txn -> mode
+  val active : txn -> bool
+end
+
+(** Switch the engine into concurrent (snapshot publication) mode now,
+    without starting a transaction: after this, implicit (autocommit)
+    reads run against the newest committed snapshot instead of the live
+    state, so they never block behind the writer slot. Idempotent; the
+    network server calls it at startup. *)
+val enable_concurrent : t -> unit
+
+val concurrent_mode : t -> bool
+
 (** {1 Execution} *)
 
 (** Execute a statement (SQL/XML if it parses as SQL, else stand-alone
     XQuery) through the plan cache. [params] binds SQL [?] slots in
-    order; [vars] binds XQuery [$var] parameter slots. *)
+    order; [vars] binds XQuery [$var] parameter slots. [txn] runs the
+    statement inside an explicit transaction (autocommit otherwise);
+    [limits] overrides the engine-level resource budgets for this call
+    only (per-session governors). *)
 val exec :
   ?params:Storage.Sql_value.t list ->
   ?vars:(string * Xdm.Item.seq) list ->
+  ?txn:Txn.txn ->
+  ?limits:Xdm.Limits.t ->
   t ->
   string ->
   outcome
@@ -190,6 +261,8 @@ val stmt_params : stmt -> string list
 val execute :
   ?params:Storage.Sql_value.t list ->
   ?vars:(string * Xdm.Item.seq) list ->
+  ?txn:Txn.txn ->
+  ?limits:Xdm.Limits.t ->
   stmt ->
   outcome
 
@@ -224,11 +297,19 @@ end
     SELECTs without aggregation/ORDER BY stream off the table scan;
     path- and FLWOR-shaped XQueries stream per document/binding; other
     statements fall back to materializing, then streaming the result.
-    A parameterized SQL cursor keeps its bindings installed on the
-    engine — don't interleave other statements while it is open. *)
+
+    In concurrent mode — or inside a read-only [?txn] — a read cursor
+    gets a private context over a pinned snapshot: it streams lazily off
+    immutable state, its parameter bindings are private, and it stays
+    consistent however long the client fetches, regardless of concurrent
+    commits. On a sequential engine the historical caveat stands: a
+    parameterized SQL cursor keeps its bindings installed on the engine,
+    so don't interleave other statements while it is open. *)
 val open_cursor :
   ?params:Storage.Sql_value.t list ->
   ?vars:(string * Xdm.Item.seq) list ->
+  ?txn:Txn.txn ->
+  ?limits:Xdm.Limits.t ->
   t ->
   string ->
   Cursor.t
@@ -236,6 +317,8 @@ val open_cursor :
 val execute_cursor :
   ?params:Storage.Sql_value.t list ->
   ?vars:(string * Xdm.Item.seq) list ->
+  ?txn:Txn.txn ->
+  ?limits:Xdm.Limits.t ->
   stmt ->
   Cursor.t
 
@@ -300,20 +383,27 @@ val to_xml : Xdm.Item.seq -> string
 (** {1 Deprecated one-shot wrappers}
 
     Kept for existing callers; they bypass the plan cache and keep their
-    historical exception behavior. New code should use {!exec},
-    {!prepare} and {!open_cursor}. *)
+    historical exception behavior (writes are still routed through the
+    implicit-autocommit writer slot, so they stay safe on a concurrent
+    engine). New code should use {!exec}, {!prepare} and
+    {!open_cursor}. *)
 
 (** Deprecated: use {!exec}. *)
 val sql : t -> string -> Sqlxml.Sql_exec.result
+[@@deprecated "use Engine.exec (structured outcome, plan cache, ?txn)"]
 
 (** Deprecated: read [outcome.notes]. *)
 val last_notes : t -> string list
+[@@deprecated "read outcome.notes from Engine.exec"]
 
 (** Deprecated: read [outcome.indexes_used]. *)
 val last_indexes_used : t -> string list
+[@@deprecated "read outcome.indexes_used from Engine.exec"]
 
 (** Deprecated: use {!exec}/{!prepare} (cached compilation, parameters). *)
 val xquery : t -> string -> Xdm.Item.seq * Planner.t
+[@@deprecated "use Engine.exec (plan cache, parameters, ?txn)"]
 
 (** Deprecated: use {!set_use_indexes} [false] + {!exec}. *)
 val xquery_noindex : t -> string -> Xdm.Item.seq
+[@@deprecated "use Engine.set_use_indexes false + Engine.exec"]

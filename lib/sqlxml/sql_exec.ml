@@ -66,9 +66,19 @@ type ctx = {
       (** guards [resolved]/[embed_plans] when parallel scan chunks race
           to memoize an embedded query (no-op lock on the sequential
           backend) *)
+  mutable txn_undo : Storage.Undo.t option;
+      (** transaction-level undo sink: when set (engine read-write
+          transactions), [exec] absorbs each committed statement's undo
+          log here instead of discarding it, so the whole transaction
+          can roll back in LIFO order *)
 }
 
-let create db =
+let create ?memo_lock db =
+  let memo_lock =
+    match memo_lock with
+    | Some l -> l
+    | None -> Xpar.Lock.create ~name:"sqlexec.memo" ()
+  in
   {
     db;
     xindexes = [];
@@ -86,7 +96,8 @@ let create db =
     static_check = None;
     prof = Xprof.create ();
     parallelism = 1;
-    memo_lock = Xpar.Lock.create ~name:"sqlexec.memo" ();
+    memo_lock;
+    txn_undo = None;
   }
 
 let note ctx fmt =
@@ -132,6 +143,14 @@ let bump_catalog_gen ctx = ctx.catalog_gen <- ctx.catalog_gen + 1
 
 (** Install the positional [?] parameter values for the next statement. *)
 let set_params ctx ps = ctx.params <- ps
+
+(** Install (or clear) the transaction-level undo sink; see [txn_undo]. *)
+let set_txn_undo ctx u = ctx.txn_undo <- u
+
+(** The memo lock, so the engine can share one lock across the ephemeral
+    contexts it builds over MVCC snapshots (creating a named lock per
+    context would grow the Lockorder tables without bound). *)
+let memo_lock ctx = ctx.memo_lock
 
 type result = { rcols : string list; rrows : SV.t list list }
 
@@ -1364,7 +1383,9 @@ let rec exec ctx (stmt : stmt) : result =
   in
   match exec_inner ctx log stmt with
   | r ->
-      Storage.Undo.commit log;
+      (match ctx.txn_undo with
+      | None -> Storage.Undo.commit log
+      | Some txn -> Storage.Undo.absorb ~into:txn log);
       finish ();
       r
   | exception Unbound c ->

@@ -39,6 +39,16 @@ let tables db =
   Hashtbl.fold (fun _ t acc -> t :: acc) db.tables []
   |> List.sort (fun (a : Table.t) b -> compare a.Table.name b.Table.name)
 
+(** A read-only catalog snapshot: every table is snapshotted (see
+    {!Table.snapshot}); no durable journal hook is wired in, so nothing
+    a reader evaluates can write. Caller must hold the writer slot. *)
+let snapshot db =
+  let s = { tables = Hashtbl.create (Hashtbl.length db.tables); on_new_table = None } in
+  Hashtbl.iter
+    (fun key t -> Hashtbl.replace s.tables key (Table.snapshot t))
+    db.tables;
+  s
+
 (** Parse a ['TABLE.COLUMN'] reference (as used by db2-fn:xmlcolumn). *)
 let split_colref (s : string) : (string * string) option =
   match String.index_opt s '.' with

@@ -28,6 +28,16 @@ let intern t (node : Node.t) : int =
       Hashtbl.add t.steps_of id (Node.rooted_path node);
       id
 
+(** An independent copy sharing no mutable state: snapshot readers
+    resolve path ids against the copy while the writer keeps interning
+    into the original. *)
+let copy t =
+  {
+    by_key = Hashtbl.copy t.by_key;
+    steps_of = Hashtbl.copy t.steps_of;
+    next = t.next;
+  }
+
 let find t (node : Node.t) : int option =
   Hashtbl.find_opt t.by_key (Node.path_key node)
 

@@ -34,7 +34,29 @@ type t = {
       (** WAL redo-record sink (durable mode only) *)
   path_tables : (string, Path_table.t) Hashtbl.t;
       (** per XML column: its path table *)
+  mutable version : int;
+      (** bumped by every row mutation (including rollback closures);
+          lets {!snapshot} reuse a cached copy of an unchanged table *)
+  mutable frozen : (int * t) option;
+      (** memoized [(version, snapshot)] of the last {!snapshot} call *)
 }
+
+(* The shrink epoch: a process-wide counter bumped *before* any
+   operation that removes a row (delete, the delete half of update, or
+   a rollback closure undoing an insert/update). MVCC snapshot readers
+   probing the shared live index trees use it seqlock-style: capture
+   the epoch when the snapshot is taken, and accept a probe result only
+   if the epoch is unchanged when the probe returns. Probes are
+   Definition-1 pre-filters (supersets are always sound, missing row
+   ids are not), and entries only *leave* an index when a row leaves a
+   table — so an unchanged epoch proves no entry the snapshot needs
+   could have vanished mid-probe. Insert-only traffic (bulk loads)
+   never bumps it. *)
+let shrink_epoch_ctr = Atomic.make 0
+let shrink_epoch () = Atomic.get shrink_epoch_ctr
+let bump_shrink_epoch () = Atomic.incr shrink_epoch_ctr
+
+let bump t = t.version <- t.version + 1
 
 let create name cols =
   let t =
@@ -46,6 +68,8 @@ let create name cols =
       hooks = [];
       journal = None;
       path_tables = Hashtbl.create 4;
+      version = 0;
+      frozen = None;
     }
   in
   List.iter
@@ -129,6 +153,8 @@ let record_undo_insert t log row =
   | None -> ()
   | Some log ->
       Undo.record log (fun () ->
+          bump_shrink_epoch ();
+          bump t;
           List.iter (fun h -> quiet h.on_delete row) t.hooks;
           Hashtbl.remove t.rows row.row_id;
           (* reclaim the id if nothing was allocated after it, so a rolled-
@@ -140,6 +166,7 @@ let record_undo_delete t log row =
   | None -> ()
   | Some log ->
       Undo.record log (fun () ->
+          bump t;
           Hashtbl.replace t.rows row.row_id row;
           List.iter (fun h -> quiet h.on_insert row) t.hooks)
 
@@ -148,6 +175,8 @@ let record_undo_update t log old_row new_row =
   | None -> ()
   | Some log ->
       Undo.record log (fun () ->
+          bump_shrink_epoch ();
+          bump t;
           List.iter (fun h -> quiet h.on_delete new_row) t.hooks;
           Hashtbl.replace t.rows old_row.row_id old_row;
           List.iter (fun h -> quiet h.on_insert old_row) t.hooks)
@@ -166,6 +195,7 @@ let insert ?log t (values : Sql_value.t list) : int =
   let id = t.next_row_id in
   t.next_row_id <- id + 1;
   let row = { row_id = id; values = Array.of_list values } in
+  bump t;
   Hashtbl.replace t.rows id row;
   record_undo_insert t log row;
   intern_row_paths t row;
@@ -177,6 +207,8 @@ let delete ?log t row_id =
   match Hashtbl.find_opt t.rows row_id with
   | None -> false
   | Some row ->
+      bump_shrink_epoch ();
+      bump t;
       Hashtbl.remove t.rows row_id;
       record_undo_delete t log row;
       List.iter (fun h -> h.on_delete row) t.hooks;
@@ -199,6 +231,8 @@ let update ?log t row_id (values : Sql_value.t list) : bool =
       in
       let new_row = { row_id; values = Array.of_list values } in
       record_undo_update t log old_row new_row;
+      bump_shrink_epoch ();
+      bump t;
       List.iter (fun h -> h.on_delete old_row) t.hooks;
       Hashtbl.replace t.rows row_id new_row;
       intern_row_paths t new_row;
@@ -213,6 +247,7 @@ let update ?log t row_id (values : Sql_value.t list) : bool =
     rolled back). *)
 let apply_jop t (op : jop) =
   let put (row : row) =
+    bump t;
     Hashtbl.replace t.rows row.row_id row;
     if row.row_id >= t.next_row_id then t.next_row_id <- row.row_id + 1;
     intern_row_paths t row;
@@ -222,6 +257,8 @@ let apply_jop t (op : jop) =
     match Hashtbl.find_opt t.rows row.row_id with
     | None -> ()
     | Some live ->
+        bump_shrink_epoch ();
+        bump t;
         Hashtbl.remove t.rows row.row_id;
         List.iter (fun h -> h.on_delete live) t.hooks
   in
@@ -242,6 +279,39 @@ let rows t =
   |> List.sort (fun a b -> compare a.row_id b.row_id)
 
 let value_of t (r : row) col = r.values.(col_index_exn t col)
+
+(** A read-only copy-on-write snapshot of the table: the row map and
+    path tables are copied (rows themselves are immutable records and
+    are shared), hooks and the journal sink are dropped so nothing a
+    reader does can reach the live indexes or the WAL. Consecutive
+    snapshots of an unchanged table return the same copy — during a
+    read-mostly workload each commit re-copies only the tables the
+    writer actually touched, which is the copy-on-write version chain
+    the MVCC layer builds on. Must be called with writers quiesced (the
+    engine holds its writer slot while publishing). *)
+let snapshot t =
+  match t.frozen with
+  | Some (v, s) when v = t.version -> s
+  | _ ->
+      let pts = Hashtbl.create (Hashtbl.length t.path_tables) in
+      Hashtbl.iter
+        (fun col pt -> Hashtbl.replace pts col (Path_table.copy pt))
+        t.path_tables;
+      let s =
+        {
+          name = t.name;
+          cols = t.cols;
+          rows = Hashtbl.copy t.rows;
+          next_row_id = t.next_row_id;
+          hooks = [];
+          journal = None;
+          path_tables = pts;
+          version = 0;
+          frozen = None;
+        }
+      in
+      t.frozen <- Some (t.version, s);
+      s
 
 (** All (row id, document node) pairs of an XML column, insertion order. *)
 let xml_docs t col : (int * Xdm.Node.t) list =

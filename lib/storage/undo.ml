@@ -37,3 +37,12 @@ let rollback log =
 
 (** Forget all recorded actions (statement committed). *)
 let commit log = log.actions <- []
+
+(** Move every action of [src] onto the front of [into], emptying [src].
+    The transaction layer uses this to absorb each statement's undo log
+    into a transaction-level log: on rollback the most recent
+    statement's compensations replay first, preserving global LIFO
+    order across the whole transaction. *)
+let absorb ~into src =
+  into.actions <- src.actions @ into.actions;
+  src.actions <- []

@@ -1,0 +1,31 @@
+(** Index tree latches.
+
+    MVCC snapshot readers share the live B+Trees with the single writer
+    (copying a tree per snapshot would defeat bulk-load throughput), so
+    every tree mutation and every probe runs under the owning index's
+    latch — a real mutex even on the sequential Xpar backend, because
+    server sessions are preemptive systhreads on OCaml 4.14 too. The
+    latch is held per document insert / per probe, never across a whole
+    statement: a reader waits behind one index operation, not behind
+    the bulk load that issued it.
+
+    All latches share one Lockorder id ("xmlindex.tree"): they are
+    leaf locks, taken one at a time (a probe never nests inside another
+    index's operation), so a single id keeps the tracker's tables small
+    while still catching any future attempt to nest something under a
+    tree latch. *)
+
+let id = Xpar.Lockorder.register "xmlindex.tree"
+
+let with_latch (mu : Mutex.t) f =
+  Xpar.Lockorder.acquiring id;
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      Xpar.Lockorder.released id;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      Xpar.Lockorder.released id;
+      raise e

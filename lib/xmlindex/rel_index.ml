@@ -17,33 +17,50 @@ end
 
 module BT = Btree.Make (Key)
 
+(** Snapshot-view probe discipline; see {!Xindex.view}. *)
+type view = { guard : unit -> bool; fallback : unit -> Xdm.Int_set.t }
+
 type t = {
   iname : string;
   table : string;
   column : string;
   tree : unit BT.t;
+  latch : Mutex.t;  (** guards tree mutations and probes (see Latch) *)
+  view : view option;  (** [Some _] on snapshot views only *)
   mutable entries_scanned : int;
   prof : Xprof.t;
 }
 
 let create ?(prof = Xprof.disabled) ~iname ~table ~column () =
   { iname; table; column; tree = BT.create ~order:64 ~prof ();
-    entries_scanned = 0; prof }
+    latch = Mutex.create (); view = None; entries_scanned = 0; prof }
+
+(** A read-only MVCC view sharing the tree and latch; probes answer
+    with [fallback] (all snapshot row ids) whenever [guard] reports
+    that entries may have been removed since the snapshot was taken. *)
+let snapshot_view (idx : t) ~(guard : unit -> bool)
+    ~(fallback : unit -> Xdm.Int_set.t) : t =
+  { idx with view = Some { guard; fallback }; entries_scanned = 0;
+    prof = Xprof.disabled }
 
 let insert idx ~row (v : Sql_value.t) =
   match v with
   | Sql_value.Null | Sql_value.Xml _ -> ()
-  | v -> BT.insert idx.tree { Key.v; row } ()
+  | v ->
+      Latch.with_latch idx.latch (fun () ->
+          BT.insert idx.tree { Key.v; row } ())
 
 let delete idx ~row (v : Sql_value.t) =
   match v with
   | Sql_value.Null | Sql_value.Xml _ -> false
-  | v -> BT.delete idx.tree { Key.v; row }
+  | v ->
+      Latch.with_latch idx.latch (fun () -> BT.delete idx.tree { Key.v; row })
 
-let entry_count idx = BT.size idx.tree
+let entry_count idx = Latch.with_latch idx.latch (fun () -> BT.size idx.tree)
 
 (** All entries in key order (snapshot dump). *)
-let entries idx : Key.t list = List.map fst (BT.to_list idx.tree)
+let entries idx : Key.t list =
+  Latch.with_latch idx.latch (fun () -> List.map fst (BT.to_list idx.tree))
 
 (** Rebuild from snapshot entries; relational keys are stable across a
     reload (no node ids), so the dumped order is already the key order. *)
@@ -55,6 +72,8 @@ let of_entries ?(prof = Xprof.disabled) ~iname ~table ~column
     table;
     column;
     tree = BT.of_sorted ~order:64 ~prof arr;
+    latch = Mutex.create ();
+    view = None;
     entries_scanned = 0;
     prof;
   }
@@ -78,12 +97,18 @@ let probe idx ~(lo : (Sql_value.t * bool) option)
     | Some (v, false) -> BT.Excl (lo_key v)
   in
   Xprof.probe idx.prof;
-  Xprof.spanned idx.prof ("IXSCAN " ^ idx.iname) (fun () ->
-      BT.fold_range idx.tree ~lo ~hi
-        (fun acc (k : Key.t) () ->
-          idx.entries_scanned <- idx.entries_scanned + 1;
-          Xprof.entry idx.prof;
-          Xdm.Int_set.add k.Key.row acc)
-        Xdm.Int_set.empty)
+  let rows =
+    Xprof.spanned idx.prof ("IXSCAN " ^ idx.iname) (fun () ->
+        Latch.with_latch idx.latch (fun () ->
+            BT.fold_range idx.tree ~lo ~hi
+              (fun acc (k : Key.t) () ->
+                idx.entries_scanned <- idx.entries_scanned + 1;
+                Xprof.entry idx.prof;
+                Xdm.Int_set.add k.Key.row acc)
+              Xdm.Int_set.empty))
+  in
+  match idx.view with
+  | Some v when not (v.guard ()) -> v.fallback ()
+  | _ -> rows
 
 let probe_eq idx v = probe idx ~lo:(Some (v, true)) ~hi:(Some (v, true))

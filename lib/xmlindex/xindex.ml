@@ -61,26 +61,54 @@ type stats = {
   mutable deletes : int;
 }
 
+(** An MVCC snapshot view over a live index (see {!snapshot_view}):
+    probes run against the shared tree, then [guard] decides whether
+    the result is trustworthy for the pinned snapshot. If entries may
+    have been removed since the snapshot was taken ([guard] = false),
+    the probe answers with [fallback] — the full row-id set of the
+    snapshot's table — instead. Probes are Definition-1 pre-filters, so
+    a superset is always sound; only *missing* row ids would be wrong. *)
+type view = { guard : unit -> bool; fallback : unit -> Int_set.t }
+
 type t = {
   def : def;
   tree : unit BT.t;
+  latch : Mutex.t;
+      (** guards every tree mutation and probe; shared between the live
+          index and all of its snapshot views *)
+  view : view option;  (** [Some _] on snapshot views only *)
   stats : stats;
   prof : Xprof.t;  (** probes charge [index_probes]/[index_entries_scanned]
                        and B+Tree page reads against this profile *)
 }
 
+let fresh_stats () =
+  { entries_scanned = 0; probes = 0; inserts = 0; deletes = 0 }
+
 let create ?(prof = Xprof.disabled) def =
   {
     def;
     tree = BT.create ~order:64 ~prof ();
-    stats = { entries_scanned = 0; probes = 0; inserts = 0; deletes = 0 };
+    latch = Mutex.create ();
+    view = None;
+    stats = fresh_stats ();
     prof;
   }
 
-let entry_count idx = BT.size idx.tree
+(** A read-only view of this index for one MVCC snapshot: shares the
+    tree (and its latch) but answers probes through the
+    [guard]/[fallback] discipline above, and keeps its own stats so
+    concurrent readers do not fight the writer over counters. *)
+let snapshot_view (idx : t) ~(guard : unit -> bool)
+    ~(fallback : unit -> Int_set.t) : t =
+  { idx with view = Some { guard; fallback }; stats = fresh_stats ();
+    prof = Xprof.disabled }
+
+let entry_count idx = Latch.with_latch idx.latch (fun () -> BT.size idx.tree)
 
 (** All index entries in key order (snapshot dump). *)
-let entries idx : Key.t list = List.map fst (BT.to_list idx.tree)
+let entries idx : Key.t list =
+  Latch.with_latch idx.latch (fun () -> List.map fst (BT.to_list idx.tree))
 
 (** Rebuild an index from snapshot entries: re-sorts (node ids are remapped
     during restore, which can perturb key order) and bulk-loads. *)
@@ -93,6 +121,8 @@ let of_entries ?(prof = Xprof.disabled) def (entries : Key.t list) : t =
   {
     def;
     tree = BT.of_sorted ~order:64 ~prof arr;
+    latch = Mutex.create ();
+    view = None;
     stats = { entries_scanned = 0; probes = 0; inserts = Array.length arr; deletes = 0 };
     prof;
   }
@@ -154,7 +184,8 @@ let insert_entries (idx : t) (pt : Storage.Path_table.t) ~(row : int)
   List.iter
     (fun ((n : Node.t), v) ->
       let path = Storage.Path_table.intern pt n in
-      BT.insert idx.tree { Key.v; path; row; node = n.Node.id } ();
+      Latch.with_latch idx.latch (fun () ->
+          BT.insert idx.tree { Key.v; path; row; node = n.Node.id } ());
       idx.stats.inserts <- idx.stats.inserts + 1)
     entries
 
@@ -175,7 +206,9 @@ let delete_doc (idx : t) (pt : Storage.Path_table.t) ~(row : int)
                  | Some p -> p
                  | None -> -1
                in
-               if BT.delete idx.tree { Key.v; path; row; node = n.Node.id }
+               if
+                 Latch.with_latch idx.latch (fun () ->
+                     BT.delete idx.tree { Key.v; path; row; node = n.Node.id })
                then idx.stats.deletes <- idx.stats.deletes + 1
            | None -> ())
 
@@ -214,12 +247,13 @@ let check_consistency (idx : t) (pt : Storage.Path_table.t)
                | None -> ()))
     docs;
   let diffs = ref [] in
+  Latch.with_latch idx.latch (fun () ->
   BT.iter idx.tree (fun k () ->
       if Hashtbl.mem expected k then Hashtbl.remove expected k
       else
         diffs :=
           Printf.sprintf "%s: stale entry %s" idx.def.iname (describe_key k)
-          :: !diffs);
+          :: !diffs));
   Hashtbl.iter
     (fun k () ->
       diffs :=
@@ -262,14 +296,20 @@ let probe_range (idx : t) ~(paths : Int_set.t) (r : range) : Int_set.t =
   in
   idx.stats.probes <- idx.stats.probes + 1;
   Xprof.probe idx.prof;
-  Xprof.spanned idx.prof ("XISCAN " ^ idx.def.iname) (fun () ->
-      BT.fold_range idx.tree ~lo ~hi
-        (fun acc (k : Key.t) () ->
-          idx.stats.entries_scanned <- idx.stats.entries_scanned + 1;
-          Xprof.entry idx.prof;
-          if Int_set.mem k.Key.path paths then Int_set.add k.Key.row acc
-          else acc)
-        Int_set.empty)
+  let rows =
+    Xprof.spanned idx.prof ("XISCAN " ^ idx.def.iname) (fun () ->
+        Latch.with_latch idx.latch (fun () ->
+            BT.fold_range idx.tree ~lo ~hi
+              (fun acc (k : Key.t) () ->
+                idx.stats.entries_scanned <- idx.stats.entries_scanned + 1;
+                Xprof.entry idx.prof;
+                if Int_set.mem k.Key.path paths then Int_set.add k.Key.row acc
+                else acc)
+              Int_set.empty))
+  in
+  match idx.view with
+  | Some v when not (v.guard ()) -> v.fallback ()
+  | _ -> rows
 
 (** The set of path ids in [pt] that satisfy the *query* path pattern
     [qpat] (the index is a superset of the query path by eligibility, so

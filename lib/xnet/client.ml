@@ -18,11 +18,13 @@ type t = {
   oc : out_channel;
   session : int;
   server : string;
+  version : int;  (** negotiated protocol version *)
   mutable closed : bool;
 }
 
 let session t = t.session
 let server t = t.server
+let protocol_version t = t.version
 
 let recv t =
   try Proto.decode_server (Proto.read_frame t.ic) with
@@ -59,14 +61,18 @@ let connect ?(user = "anon") ?(client = "xqdb") ~host ~port () =
   let oc = Unix.out_channel_of_descr fd in
   set_binary_mode_in ic true;
   set_binary_mode_out oc true;
-  let t = { fd; ic; oc; session = 0; server = ""; closed = false } in
+  let t =
+    { fd; ic; oc; session = 0; server = ""; version = 1; closed = false }
+  in
   try
-    match rpc t (Proto.Hello { user; client }) with
+    match rpc t (Proto.Hello { version = Proto.version; user; client }) with
     | Proto.Ready { session; server; version } ->
-        if version <> Proto.version then
-          neterr "server speaks protocol v%d, client v%d" version
-            Proto.version;
-        { t with session; server }
+        (* the server negotiated [min client server]; anything above our
+           own version (or below 1) is a broken peer *)
+        if version < 1 || version > Proto.version then
+          neterr "server negotiated unsupported protocol v%d (client v%d)"
+            version Proto.version;
+        { t with session; server; version }
     | _ -> neterr "expected Ready after Hello"
   with e ->
     (* an admission reject (XQDB0001 Err) or protocol failure must not
@@ -113,6 +119,24 @@ let close_cursor t cursor =
 
 let set_limits t l = ignore (okay_of (rpc t (Proto.Set_limits l)))
 let checkpoint t = ignore (okay_of (rpc t Proto.Checkpoint))
+
+(* Transactions are a v2 frame set; fail locally on a v1-negotiated
+   session rather than ship a frame the server will kill us over. *)
+let need_v2 t what =
+  if t.version < 2 then
+    neterr "%s requires protocol v2 (negotiated v%d)" what t.version
+
+let txn_begin ?(mode = Proto.Read_write) t =
+  need_v2 t "Begin";
+  ignore (okay_of (rpc t (Proto.Begin { mode })))
+
+let txn_commit t =
+  need_v2 t "Commit";
+  ignore (okay_of (rpc t Proto.Commit))
+
+let txn_rollback t =
+  need_v2 t "Rollback";
+  ignore (okay_of (rpc t Proto.Rollback))
 
 let stats t =
   match rpc t Proto.Stats with

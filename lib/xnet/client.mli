@@ -22,6 +22,10 @@ val session : t -> int
 (** Server software name from [Ready]. *)
 val server : t -> string
 
+(** Negotiated protocol version ([min] of client and server, from the
+    [Ready] frame): 2 against a current server, 1 against a PR-8 one. *)
+val protocol_version : t -> int
+
 type okay = {
   payload : Proto.result_payload;
   notes : string list;
@@ -49,6 +53,17 @@ val close_cursor : t -> int -> unit
 
 (** Set this session's governor budgets for all later statements. *)
 val set_limits : t -> Xdm.Limits.t -> unit
+
+(** Open an explicit transaction in this session (default
+    [Read_write]); every later statement of the session runs inside it
+    until {!txn_commit}/{!txn_rollback}. Raises [Xdm.Xerror.Error]
+    [XQDB0007] if one is already open (or, for [Read_write], if another
+    session holds the writer), and {!Net_error} locally when the
+    negotiated protocol is v1. *)
+val txn_begin : ?mode:Proto.txn_mode -> t -> unit
+
+val txn_commit : t -> unit
+val txn_rollback : t -> unit
 
 val checkpoint : t -> unit
 

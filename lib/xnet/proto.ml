@@ -29,8 +29,12 @@ let bad fmt = Printf.ksprintf (fun m -> raise (Bad_frame m)) fmt
 (** Hard ceiling on a frame's [length] field (16 MiB). *)
 let max_frame = 16 * 1024 * 1024
 
-(** Protocol version carried in [Hello]/[Ready]. *)
-let version = 1
+(** Highest protocol version this build speaks. [Hello] carries the
+    client's version; the server answers [Ready] with the negotiated
+    version, [min client server]. Version 1 is the PR-8 frame set;
+    version 2 adds the transaction frames ([Begin]/[Commit]/
+    [Rollback]). *)
+let version = 2
 
 (** Parameter bindings of one statement: positional SQL [?] values and
     named XQuery [$var] values, both as literal strings. *)
@@ -38,10 +42,14 @@ type bindings = { params : string list; vars : (string * string) list }
 
 let no_bindings = { params = []; vars = [] }
 
+(** Transaction mode requested by a v2 [Begin] frame. *)
+type txn_mode = Read_only | Read_write
+
 type client_msg =
-  | Hello of { user : string; client : string }
+  | Hello of { version : int; user : string; client : string }
       (** must be the session's first frame; the auth stub accepts any
-          user name and echoes a session id back in [Ready] *)
+          user name and echoes a session id back in [Ready], whose
+          [version] field is the negotiated protocol version *)
   | Exec of { src : string; b : bindings }
   | Prepare of { name : string; src : string }
   | Execute of { name : string; b : bindings }
@@ -54,6 +62,10 @@ type client_msg =
   | Checkpoint
   | Stats  (** the [\metrics]-equivalent stats frame *)
   | Quit
+  | Begin of { mode : txn_mode }
+      (** v2: open an explicit transaction in this session *)
+  | Commit  (** v2: commit the session's open transaction *)
+  | Rollback  (** v2: roll back the session's open transaction *)
 
 (** One cursor batch element: a rendered relational row or one
     serialized XDM item. *)
@@ -132,9 +144,9 @@ let put_limits buf (l : Xdm.Limits.t) =
 let encode_client (m : client_msg) : string =
   let buf = Buffer.create 64 in
   (match m with
-  | Hello { user; client } ->
+  | Hello { version = v; user; client } ->
       put_u8 buf 0x01;
-      put_u32 buf version;
+      put_u32 buf v;
       put_str buf user;
       put_str buf client
   | Exec { src; b } ->
@@ -165,7 +177,12 @@ let encode_client (m : client_msg) : string =
       put_limits buf l
   | Checkpoint -> put_u8 buf 0x09
   | Stats -> put_u8 buf 0x0a
-  | Quit -> put_u8 buf 0x0b);
+  | Quit -> put_u8 buf 0x0b
+  | Begin { mode } ->
+      put_u8 buf 0x0c;
+      put_u8 buf (match mode with Read_only -> 0 | Read_write -> 1)
+  | Commit -> put_u8 buf 0x0d
+  | Rollback -> put_u8 buf 0x0e);
   Buffer.contents buf
 
 let put_elem buf = function
@@ -304,10 +321,10 @@ let decode_client (payload : string) : client_msg =
     match get_u8 r with
     | 0x01 ->
         let v = get_u32 r in
-        if v <> version then bad "unsupported protocol version %d" v;
+        if v < 1 then bad "unsupported protocol version %d" v;
         let user = get_str r in
         let client = get_str r in
-        Hello { user; client }
+        Hello { version = v; user; client }
     | 0x02 ->
         let src = get_str r in
         let b = get_bindings r in
@@ -333,6 +350,17 @@ let decode_client (payload : string) : client_msg =
     | 0x09 -> Checkpoint
     | 0x0a -> Stats
     | 0x0b -> Quit
+    | 0x0c ->
+        Begin
+          {
+            mode =
+              (match get_u8 r with
+              | 0 -> Read_only
+              | 1 -> Read_write
+              | b -> bad "bad transaction mode byte %d" b);
+          }
+    | 0x0d -> Commit
+    | 0x0e -> Rollback
     | t -> bad "unknown client frame tag 0x%02x" t
   in
   drained r m

@@ -22,8 +22,12 @@ exception Bad_frame of string
     the allocation. *)
 val max_frame : int
 
-(** Protocol version carried in [Hello] and [Ready]; the server rejects
-    a mismatched [Hello]. *)
+(** Highest protocol version this build speaks (2). [Hello] carries
+    the client's version; the server never rejects a newer client but
+    answers [Ready] with the negotiated version, [min client server].
+    Version 1 (PR 8) lacks the transaction frames; a [Begin]/[Commit]/
+    [Rollback] on a v1-negotiated session is a protocol error
+    ([XQDB0006]). *)
 val version : int
 
 (** Parameter bindings of one statement: positional SQL [?] values and
@@ -33,10 +37,13 @@ type bindings = { params : string list; vars : (string * string) list }
 
 val no_bindings : bindings
 
+(** Transaction mode requested by a v2 [Begin] frame. *)
+type txn_mode = Read_only | Read_write
+
 type client_msg =
-  | Hello of { user : string; client : string }
+  | Hello of { version : int; user : string; client : string }
       (** must be the session's first frame; the auth stub accepts any
-          user and answers [Ready] *)
+          user and answers [Ready] with the negotiated version *)
   | Exec of { src : string; b : bindings }
   | Prepare of { name : string; src : string }
   | Execute of { name : string; b : bindings }
@@ -49,6 +56,12 @@ type client_msg =
   | Checkpoint
   | Stats  (** the [\metrics]-equivalent stats frame *)
   | Quit
+  | Begin of { mode : txn_mode }
+      (** v2: open an explicit transaction ({!Engine.Txn.begin_}) bound
+          to this session; refused with [XQDB0007] if one is already
+          open *)
+  | Commit  (** v2: commit the session's open transaction *)
+  | Rollback  (** v2: roll back the session's open transaction *)
 
 (** One cursor batch element: a rendered relational row or one
     serialized XDM item. *)

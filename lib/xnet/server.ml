@@ -1,34 +1,39 @@
 (** Xnet server: a thread-per-connection accept loop serving the wire
     protocol of {!Proto} over one shared sealed {!Engine.t}.
 
-    Concurrency model. The engine itself is not thread-safe, so every
-    engine call — statement execution, cursor pulls, registry access,
-    metrics rendering — happens under one server-wide engine lock
-    ("xnet.engine"); sessions therefore interleave at statement/batch
-    granularity, and the PR-4 plan cache inside the engine is shared
-    across sessions for free (session B's compile of a text session A
-    already ran is a cache hit — the server-smoke CI job asserts the hit
-    counter rises across connections). A second lock ("xnet.sessions")
-    guards the session table; the two are never nested, which the
-    lock-order tracker verifies at runtime since both are registered
-    with {!Xpar.Lockorder}.
+    Concurrency model. [start] switches the engine into concurrent mode
+    ({!Engine.enable_concurrent}), so the server holds no engine-wide
+    lock of its own: sessions call the engine directly and the engine's
+    MVCC discipline does the serialization — reads (and read cursors)
+    run on pinned immutable snapshots, writes fold into the engine's
+    single-writer slot. A reader session therefore never blocks behind
+    another session's bulk load; the PR-8 "xnet.engine" lock that
+    serialized every statement is gone. The engine's plan cache is
+    still shared across sessions (session B's compile of a text session
+    A already ran is a cache hit — the server-smoke CI job asserts the
+    hit counter rises across connections). The one server lock left,
+    "xnet.sessions", guards the session table and is registered with
+    {!Xpar.Lockorder}.
 
     Sessions run on systhreads, not domains: connection handling is
     I/O-bound and must work on the 4.14 leg, while the parallel work
     inside a statement (scans, index intersection, bulk loads) still
-    fans out to the Xpar domain pool under the engine lock. Because
-    systhreads share their domain's DLS, [start] installs a
-    [Thread.id]-based held-stack provider into {!Xpar.Lockorder} —
-    without it the tracker would report phantom lock-order edges between
-    per-session acquisitions (see docs/CONCURRENCY.md).
+    fans out to the Xpar domain pool. Because systhreads share their
+    domain's DLS, [start] installs a [Thread.id]-based held-stack
+    provider into {!Xpar.Lockorder} — without it the tracker would
+    report phantom lock-order edges between per-session acquisitions
+    (see docs/CONCURRENCY.md).
 
     Per-session state: a prepared-statement namespace (names resolve
-    only within the session that prepared them), open cursors, and a
-    governor budget ([Set_limits]) applied to the engine before each of
-    the session's statements. Admission control is the [max_sessions]
-    cap: an accept past the cap is answered with an [XQDB0001] error
-    frame — the same code the governor uses for in-statement budgets —
-    and closed. *)
+    only within the session that prepared them), open cursors, the
+    governor budget ([Set_limits], passed as [?limits] to every engine
+    call of this session), the negotiated protocol version, and — new
+    in wire v2 — at most one open {!Engine.Txn.txn}: [Begin] binds a
+    transaction to the session, every later statement runs inside it
+    until [Commit]/[Rollback], and a disconnect rolls it back.
+    Admission control is the [max_sessions] cap: an accept past the cap
+    is answered with an [XQDB0001] error frame — the same code the
+    governor uses for in-statement budgets — and closed. *)
 
 (* A real mutex even where Xpar.Lock is the sequential no-op backend
    (OCaml 4.x): systhreads are preemptive there too. Instrumented by
@@ -70,18 +75,22 @@ let default_config =
     log = ignore;
   }
 
-type cursor_state =
-  | Live of Engine.Cursor.t
-      (** streams lazily; pulls happen under the engine lock *)
-  | Materialized of { cols : string list; mutable rest : Proto.elem list }
-      (** parameterized cursors are drained at open: a live one keeps
-          its bindings installed on the engine, which is unsound once
-          other sessions interleave statements *)
+(* Every cursor streams lazily off the engine: in concurrent mode a
+   read cursor owns a private context over a pinned snapshot, so its
+   parameter bindings and its view of the data are immune to whatever
+   other sessions run between two Fetch frames. The PR-8 server had to
+   materialize parameterized cursors at open; that path is gone.
+   [in_txn] marks cursors opened inside the session's explicit
+   transaction: they are closed when it ends, since a write-transaction
+   cursor must not be pulled after the writer slot is released. *)
+type cursor_state = { cur : Engine.Cursor.t; in_txn : bool }
 
 type session = {
   sid : int;
   fd : Unix.file_descr;
+  mutable proto_version : int;  (** negotiated in Hello; 1 or 2 *)
   mutable limits : Xdm.Limits.t;
+  mutable txn : Engine.Txn.txn option;  (** wire v2 explicit transaction *)
   stmts : (string, Engine.stmt) Hashtbl.t;  (** per-session namespace *)
   cursors : (int, cursor_state) Hashtbl.t;
   mutable next_cursor : int;
@@ -94,7 +103,6 @@ type t = {
   port : int;
   metrics_fd : Unix.file_descr option;
   metrics_port : int option;
-  elock : Nlock.t;
   slock : Nlock.t;
   sessions : (int, session) Hashtbl.t;  (* guarded by slock *)
   mutable next_sid : int;  (* guarded by slock *)
@@ -150,53 +158,63 @@ let elem_of_cursor_elem : Engine.Cursor.elem -> Proto.elem = function
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* All registry access goes under the engine lock: Xprof.Registry is a
-   plain Hashtbl with no locking of its own. Session counts are computed
-   under slock *before* elock is taken — the two locks are never held
-   together, by design. *)
+(* Xprof.Registry serializes its own access (PR 9), and
+   [Engine.plan_cache_stats] reads under the engine's compile lock, so
+   stats need no server-wide lock. *)
 let stats_text t =
   let live = active_sessions t in
-  Nlock.with_lock t.elock (fun () ->
-      let reg = Engine.registry t.engine in
-      Engine.refresh_lock_metrics t.engine;
-      let uptime = Unix.gettimeofday () -. t.started_at in
-      let requests = !(Xprof.Registry.counter reg "xnet_requests_total") in
-      Xprof.Registry.set_gauge reg "xnet_uptime_seconds" uptime;
-      Xprof.Registry.set_gauge reg "xnet_sessions_active" (float_of_int live);
-      Xprof.Registry.set_gauge reg "xnet_qps"
-        (if uptime > 0. then float_of_int requests /. uptime else 0.);
-      let pc = Engine.plan_cache_stats t.engine in
-      Xprof.Registry.to_string reg
-      ^ Printf.sprintf
-          "plan_cache size=%d capacity=%d hits=%d misses=%d invalidations=%d\n"
-          pc.Engine.Plan_cache.size pc.Engine.Plan_cache.capacity
-          pc.Engine.Plan_cache.hits pc.Engine.Plan_cache.misses
-          pc.Engine.Plan_cache.invalidations)
+  let reg = Engine.registry t.engine in
+  Engine.refresh_lock_metrics t.engine;
+  let uptime = Unix.gettimeofday () -. t.started_at in
+  let requests = !(Xprof.Registry.counter reg "xnet_requests_total") in
+  Xprof.Registry.set_gauge reg "xnet_uptime_seconds" uptime;
+  Xprof.Registry.set_gauge reg "xnet_sessions_active" (float_of_int live);
+  Xprof.Registry.set_gauge reg "xnet_qps"
+    (if uptime > 0. then float_of_int requests /. uptime else 0.);
+  let pc = Engine.plan_cache_stats t.engine in
+  Xprof.Registry.to_string reg
+  ^ Printf.sprintf
+      "plan_cache size=%d capacity=%d hits=%d misses=%d invalidations=%d\n"
+      pc.Engine.Plan_cache.size pc.Engine.Plan_cache.capacity
+      pc.Engine.Plan_cache.hits pc.Engine.Plan_cache.misses
+      pc.Engine.Plan_cache.invalidations
 
 (* ------------------------------------------------------------------ *)
 (* Session request handling                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Run one engine call under the engine lock with this session's
-   governor budget installed. The engine keeps the last set limits, so
-   installing before every statement makes budgets per-session even
-   though the engine is shared. *)
-let with_engine t (sess : session) f =
-  Nlock.with_lock t.elock (fun () ->
-      Engine.set_limits t.engine sess.limits;
-      Xprof.Registry.incr (Engine.registry t.engine) "xnet_requests_total";
-      let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () ->
-          Xprof.Registry.observe
-            (Engine.registry t.engine)
-            "xnet_request_ms"
-            ((Unix.gettimeofday () -. t0) *. 1000.))
-        (fun () -> f t.engine))
+(* Count and time one engine request. No lock: the concurrent-mode
+   engine synchronizes itself, and the session's governor budget rides
+   along as the [?limits] argument of each call instead of being
+   installed into shared engine state. *)
+let instrument t f =
+  let reg = Engine.registry t.engine in
+  Xprof.Registry.incr reg "xnet_requests_total";
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      Xprof.Registry.observe reg "xnet_request_ms"
+        ((Unix.gettimeofday () -. t0) *. 1000.))
+    f
 
-let close_cursor_state t = function
-  | Live c -> Nlock.with_lock t.elock (fun () -> Engine.Cursor.close c)
-  | Materialized m -> m.rest <- []
+let close_cursor_state (st : cursor_state) = Engine.Cursor.close st.cur
+
+(* End the session's explicit transaction. The engine finishes the
+   handle even when commit itself fails, so the session slot is cleared
+   unconditionally; cursors opened inside the transaction die with it. *)
+let end_txn (sess : session) ~commit tx =
+  let in_txn =
+    Hashtbl.fold
+      (fun cid st acc -> if st.in_txn then (cid, st) :: acc else acc)
+      sess.cursors []
+  in
+  List.iter
+    (fun (cid, st) ->
+      close_cursor_state st;
+      Hashtbl.remove sess.cursors cid)
+    in_txn;
+  sess.txn <- None;
+  if commit then Engine.Txn.commit tx else Engine.Txn.rollback tx
 
 (* Answer one decoded request. Returns [false] when the session should
    end (Quit). Xdm errors are caught by the caller and become Err
@@ -208,12 +226,13 @@ let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
       reply (Proto.Err { code = "XQDB0006"; msg = "duplicate Hello" })
   | Proto.Exec { src; b } ->
       let out =
-        with_engine t sess (fun e ->
-            Engine.exec ~params:(params_of b) ~vars:(vars_of b) e src)
+        instrument t (fun () ->
+            Engine.exec ?txn:sess.txn ~limits:sess.limits
+              ~params:(params_of b) ~vars:(vars_of b) t.engine src)
       in
       reply (okay_of_outcome out)
   | Proto.Prepare { name; src } ->
-      let st = with_engine t sess (fun e -> Engine.prepare e src) in
+      let st = instrument t (fun () -> Engine.prepare t.engine src) in
       Hashtbl.replace sess.stmts name st;
       reply (Proto.Prepared { name; params = Engine.stmt_params st })
   | Proto.Execute { name; b } -> (
@@ -227,44 +246,25 @@ let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
                })
       | Some st ->
           let out =
-            with_engine t sess (fun _ ->
-                Engine.execute ~params:(params_of b) ~vars:(vars_of b) st)
+            instrument t (fun () ->
+                Engine.execute ?txn:sess.txn ~limits:sess.limits
+                  ~params:(params_of b) ~vars:(vars_of b) st)
           in
           reply (okay_of_outcome out))
   | Proto.Open_cursor { src; b } ->
-      let params = params_of b and vars = vars_of b in
-      let state, cols =
-        if params = [] && vars = [] then
-          with_engine t sess (fun e ->
-              let c = Engine.open_cursor e src in
-              (Live c, Engine.Cursor.columns c))
-        else
-          (* materialize now: a parameterized cursor left live would pin
-             its bindings on the shared engine across other sessions'
-             statements *)
-          with_engine t sess (fun e ->
-              let c = Engine.open_cursor ~params ~vars e src in
-              let cols = Engine.Cursor.columns c in
-              let elems = ref [] in
-              (try
-                 let rec drain () =
-                   match Engine.Cursor.next c with
-                   | None -> ()
-                   | Some el ->
-                       elems := elem_of_cursor_elem el :: !elems;
-                       drain ()
-                 in
-                 drain ()
-               with e ->
-                 Engine.Cursor.close c;
-                 raise e);
-              Engine.Cursor.close c;
-              (Materialized { cols; rest = List.rev !elems }, cols))
+      (* always live: the cursor's private snapshot context keeps its
+         bindings pinned without touching shared engine state, so
+         nothing is materialized before the first Fetch *)
+      let c =
+        instrument t (fun () ->
+            Engine.open_cursor ?txn:sess.txn ~limits:sess.limits
+              ~params:(params_of b) ~vars:(vars_of b) t.engine src)
       in
       let cid = sess.next_cursor in
       sess.next_cursor <- cid + 1;
-      Hashtbl.replace sess.cursors cid state;
-      reply (Proto.Cursor_opened { cursor = cid; cols })
+      Hashtbl.replace sess.cursors cid { cur = c; in_txn = sess.txn <> None };
+      reply
+        (Proto.Cursor_opened { cursor = cid; cols = Engine.Cursor.columns c })
   | Proto.Fetch { cursor; max } -> (
       match Hashtbl.find_opt sess.cursors cursor with
       | None ->
@@ -274,41 +274,26 @@ let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
                  code = "XQDB0006";
                  msg = Printf.sprintf "unknown cursor %d" cursor;
                })
-      | Some state ->
+      | Some { cur = c; _ } ->
           let max = if max <= 0 then 1 else max in
-          let elems, finished =
-            match state with
-            | Live c ->
-                with_engine t sess (fun _ ->
-                    let rec pull k acc =
-                      if k = 0 then (List.rev acc, false)
-                      else
-                        match Engine.Cursor.next c with
-                        | None -> (List.rev acc, true)
-                        | Some el -> pull (k - 1) (elem_of_cursor_elem el :: acc)
-                    in
-                    let elems, fin = pull max [] in
-                    if fin then Engine.Cursor.close c;
-                    (elems, fin))
-            | Materialized m ->
-                let rec take k = function
-                  | rest when k = 0 -> ([], rest)
-                  | [] -> ([], [])
-                  | x :: rest ->
-                      let taken, left = take (k - 1) rest in
-                      (x :: taken, left)
-                in
-                let taken, left = take max m.rest in
-                m.rest <- left;
-                (taken, left = [])
+          let rec pull k acc =
+            if k = 0 then (List.rev acc, false)
+            else
+              match Engine.Cursor.next c with
+              | None -> (List.rev acc, true)
+              | Some el -> pull (k - 1) (elem_of_cursor_elem el :: acc)
           in
-          if finished then Hashtbl.remove sess.cursors cursor;
+          let elems, finished = pull max [] in
+          if finished then begin
+            Engine.Cursor.close c;
+            Hashtbl.remove sess.cursors cursor
+          end;
           reply (Proto.Batch { elems; finished }))
   | Proto.Close_cursor { cursor } ->
       (match Hashtbl.find_opt sess.cursors cursor with
       | None -> ()
       | Some state ->
-          close_cursor_state t state;
+          close_cursor_state state;
           Hashtbl.remove sess.cursors cursor);
       reply (Proto.Cursor_closed { cursor })
   | Proto.Set_limits l ->
@@ -322,7 +307,7 @@ let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
              diagnostics = [];
            })
   | Proto.Checkpoint ->
-      with_engine t sess (fun e -> Engine.checkpoint e);
+      instrument t (fun () -> Engine.checkpoint t.engine);
       reply
         (Proto.Okay
            {
@@ -332,7 +317,60 @@ let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
              diagnostics = [];
            })
   | Proto.Stats -> reply (Proto.Stats_text (stats_text t))
-  | Proto.Quit -> reply Proto.Bye);
+  | Proto.Quit -> reply Proto.Bye
+  | Proto.Begin { mode } ->
+      if sess.proto_version < 2 then
+        reply
+          (Proto.Err
+             {
+               code = "XQDB0006";
+               msg = "Begin requires protocol v2 (session negotiated v1)";
+             })
+      else if sess.txn <> None then
+        reply
+          (Proto.Err
+             {
+               code = "XQDB0007";
+               msg = "a transaction is already open in this session";
+             })
+      else begin
+        let mode, label =
+          match mode with
+          | Proto.Read_only -> (Engine.Txn.Read_only, "read-only")
+          | Proto.Read_write -> (Engine.Txn.Read_write, "read-write")
+        in
+        let tx = instrument t (fun () -> Engine.Txn.begin_ ~mode t.engine) in
+        sess.txn <- Some tx;
+        reply
+          (Proto.Okay
+             {
+               payload = Proto.Witems [];
+               notes = [ "begin (" ^ label ^ ")" ];
+               indexes_used = [];
+               diagnostics = [];
+             })
+      end
+  | Proto.Commit | Proto.Rollback -> (
+      let commit = m = Proto.Commit in
+      let word = if commit then "commit" else "rollback" in
+      match sess.txn with
+      | None ->
+          reply
+            (Proto.Err
+               {
+                 code = "XQDB0007";
+                 msg = "no transaction is open in this session";
+               })
+      | Some tx ->
+          instrument t (fun () -> end_txn sess ~commit tx);
+          reply
+            (Proto.Okay
+               {
+                 payload = Proto.Witems [];
+                 notes = [ word ];
+                 indexes_used = [];
+                 diagnostics = [];
+               })));
   m <> Proto.Quit
 
 (* ------------------------------------------------------------------ *)
@@ -342,12 +380,23 @@ let handle_request t (sess : session) oc (m : Proto.client_msg) : bool =
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Tear down a session: close its cursors (releasing any governor
-   budget a live cursor was still charging), drop it from the table,
-   close the socket. Runs exactly once per session (the session thread's
-   finally). *)
+   budget a live cursor was still charging), roll back an open
+   transaction — a disconnect mid-transaction must release the writer
+   slot and undo its statements — drop the session from the table,
+   close the socket. Runs exactly once per session (the session
+   thread's finally). *)
 let cleanup_session t (sess : session) =
-  Hashtbl.iter (fun _ st -> close_cursor_state t st) sess.cursors;
+  Hashtbl.iter (fun _ st -> close_cursor_state st) sess.cursors;
   Hashtbl.reset sess.cursors;
+  (match sess.txn with
+  | Some tx -> (
+      sess.txn <- None;
+      try Engine.Txn.rollback tx
+      with e ->
+        t.cfg.log
+          (Printf.sprintf "session %d: rollback on disconnect failed: %s"
+             sess.sid (Printexc.to_string e)))
+  | None -> ());
   Hashtbl.reset sess.stmts;
   Nlock.with_lock t.slock (fun () -> Hashtbl.remove t.sessions sess.sid);
   close_fd sess.fd
@@ -365,16 +414,20 @@ let session_loop t (sess : session) =
   let reply msg = Proto.write_frame oc (Proto.encode_server msg) in
   (try
      (match Proto.decode_client (Proto.read_frame ic) with
-     | Proto.Hello { user; client = _ } ->
+     | Proto.Hello { version; user; client = _ } ->
+         (* negotiate down to the older peer's version; a v1 client gets
+            a v1 session (no transaction frames), a v3+ client gets v2 *)
+         sess.proto_version <- min version Proto.version;
          t.cfg.log
-           (Printf.sprintf "session %d: hello from %S" sess.sid user);
+           (Printf.sprintf "session %d: hello from %S (protocol v%d)"
+              sess.sid user sess.proto_version);
          (* auth stub: any user is accepted *)
          reply
            (Proto.Ready
               {
                 session = sess.sid;
                 server = server_name;
-                version = Proto.version;
+                version = sess.proto_version;
               })
      | _ -> raise (Proto.Bad_frame "expected Hello"));
      let continue = ref true in
@@ -418,9 +471,8 @@ let reject_session t fd =
              }))
    with _ -> ());
   close_fd fd;
-  Nlock.with_lock t.elock (fun () ->
-      Xprof.Registry.incr (Engine.registry t.engine)
-        "xnet_admission_rejections_total")
+  Xprof.Registry.incr (Engine.registry t.engine)
+    "xnet_admission_rejections_total"
 
 let spawn_session t fd =
   let admitted =
@@ -433,7 +485,9 @@ let spawn_session t fd =
             {
               sid;
               fd;
+              proto_version = 1;
               limits = Xdm.Limits.unlimited;
+              txn = None;
               stmts = Hashtbl.create 8;
               cursors = Hashtbl.create 4;
               next_cursor = 1;
@@ -449,8 +503,7 @@ let spawn_session t fd =
       Nlock.with_lock t.slock (fun () ->
           t.session_threads <- th :: t.session_threads)
   | Some sess ->
-      Nlock.with_lock t.elock (fun () ->
-          Xprof.Registry.incr (Engine.registry t.engine) "xnet_sessions_total");
+      Xprof.Registry.incr (Engine.registry t.engine) "xnet_sessions_total";
       let th = Thread.create (fun () -> session_loop t sess) () in
       Nlock.with_lock t.slock (fun () ->
           t.session_threads <- th :: t.session_threads)
@@ -542,6 +595,8 @@ let start ~engine cfg =
      module comment *)
   Xpar.Lockorder.set_thread_id_provider
     (Some (fun () -> Thread.id (Thread.self ())));
+  (* MVCC snapshots on: sessions call the engine without a server lock *)
+  Engine.enable_concurrent engine;
   let listen_fd, port = listen_on ~host:cfg.host ~port:cfg.port in
   let metrics =
     match cfg.metrics_port with
@@ -557,7 +612,6 @@ let start ~engine cfg =
       port;
       metrics_fd = Option.map fst metrics;
       metrics_port = Option.map snd metrics;
-      elock = Nlock.create ~name:"xnet.engine" ();
       slock = Nlock.create ~name:"xnet.sessions" ();
       sessions = Hashtbl.create 16;
       next_sid = 1;
@@ -572,12 +626,11 @@ let start ~engine cfg =
   in
   (* pre-create the server metrics so /metrics shows zeros before the
      first request *)
-  Nlock.with_lock t.elock (fun () ->
-      let reg = Engine.registry engine in
-      ignore (Xprof.Registry.counter reg "xnet_requests_total");
-      ignore (Xprof.Registry.counter reg "xnet_sessions_total");
-      ignore (Xprof.Registry.counter reg "xnet_admission_rejections_total");
-      ignore (Xprof.Registry.hist reg "xnet_request_ms"));
+  let reg = Engine.registry engine in
+  ignore (Xprof.Registry.counter reg "xnet_requests_total");
+  ignore (Xprof.Registry.counter reg "xnet_sessions_total");
+  ignore (Xprof.Registry.counter reg "xnet_admission_rejections_total");
+  ignore (Xprof.Registry.hist reg "xnet_request_ms");
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   (match t.metrics_fd with
   | Some fd -> t.metrics_thread <- Some (Thread.create (fun () -> metrics_loop t fd) ())

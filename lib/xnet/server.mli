@@ -1,15 +1,22 @@
 (** Xnet server: thread-per-connection accept loop serving {!Proto}
     over one shared sealed [Engine.t].
 
-    All engine calls are serialized by a named lock ("xnet.engine"), so
-    sessions interleave at statement granularity and share the engine's
-    plan cache; the session table is guarded by a second, never-nested
-    lock ("xnet.sessions"). Both are registered with {!Xpar.Lockorder},
-    and [start] installs a per-systhread held-stack provider so the
-    tracker distinguishes connection threads (see docs/CONCURRENCY.md).
-    Parallel work *inside* a statement still fans out to the Xpar domain
-    pool. Session lifecycle, admission control and the drain algorithm
-    are specified in docs/SERVER.md. *)
+    [start] switches the engine into concurrent mode
+    ([Engine.enable_concurrent]): sessions call the engine directly —
+    reads run on pinned MVCC snapshots, writes serialize on the
+    engine's single-writer slot — so a reader session never blocks
+    behind another session's bulk load, and the plan cache is shared
+    across sessions. The one server lock, "xnet.sessions", guards the
+    session table and is registered with {!Xpar.Lockorder}; [start]
+    installs a per-systhread held-stack provider so the tracker
+    distinguishes connection threads (see docs/CONCURRENCY.md).
+    Parallel work *inside* a statement still fans out to the Xpar
+    domain pool.
+
+    Wire v2 sessions may hold one explicit transaction ([Begin] /
+    [Commit] / [Rollback] frames, mapped onto [Engine.Txn]); a
+    disconnect rolls it back. Session lifecycle, admission control and
+    the drain algorithm are specified in docs/SERVER.md. *)
 
 (** A real mutex (even on the OCaml 4.x sequential Xpar backend, where
     [Xpar.Lock] is a no-op) instrumented with {!Xpar.Lockorder}.
@@ -42,9 +49,10 @@ val default_config : config
 
 type t
 
-(** Bind, listen and spawn the accept (and metrics) threads. Also
-    ignores SIGPIPE process-wide and installs the Lockorder thread-id
-    provider. Raises [Unix.Unix_error] if a port cannot be bound. *)
+(** Bind, listen and spawn the accept (and metrics) threads. Switches
+    [engine] into concurrent (MVCC snapshot) mode, ignores SIGPIPE
+    process-wide and installs the Lockorder thread-id provider. Raises
+    [Unix.Unix_error] if a port cannot be bound. *)
 val start : engine:Engine.t -> config -> t
 
 (** The bound port (useful with [port = 0]). *)

@@ -179,18 +179,34 @@ module Registry = struct
   type t = {
     tbl : (string, metric) Hashtbl.t;
     mutable names : string list;  (** reverse insertion order *)
+    mu : Mutex.t;
+        (** a registry is shared by every server session, so the table,
+            the name list and counter read-modify-writes are guarded by
+            this internal leaf mutex (real even on the sequential Xpar
+            backend); it is never held while calling out *)
   }
 
-  let create () = { tbl = Hashtbl.create 16; names = [] }
+  let create () = { tbl = Hashtbl.create 16; names = []; mu = Mutex.create () }
+
+  let locked r f =
+    Mutex.lock r.mu;
+    match f () with
+    | v ->
+        Mutex.unlock r.mu;
+        v
+    | exception e ->
+        Mutex.unlock r.mu;
+        raise e
 
   let find_or_add r name mk =
-    match Hashtbl.find_opt r.tbl name with
-    | Some m -> m
-    | None ->
-        let m = mk () in
-        Hashtbl.add r.tbl name m;
-        r.names <- name :: r.names;
-        m
+    locked r (fun () ->
+        match Hashtbl.find_opt r.tbl name with
+        | Some m -> m
+        | None ->
+            let m = mk () in
+            Hashtbl.add r.tbl name m;
+            r.names <- name :: r.names;
+            m)
 
   let kind_err name want =
     invalid_arg
@@ -207,7 +223,7 @@ module Registry = struct
   let incr ?(by = 1) r name =
     if by < 0 then invalid_arg "Xprof.Registry.incr: negative increment";
     let c = counter r name in
-    c := !c + by
+    locked r (fun () -> c := !c + by)
 
   let gauge r name =
     match find_or_add r name (fun () -> MGauge (ref 0.)) with
@@ -221,10 +237,13 @@ module Registry = struct
     | MHist h -> h
     | _ -> kind_err name "histogram"
 
-  let observe r name v = Hist.add (hist r name) v
+  let observe r name v =
+    let h = hist r name in
+    locked r (fun () -> Hist.add h v)
 
   let metrics r : (string * metric) list =
-    List.rev_map (fun n -> (n, Hashtbl.find r.tbl n)) r.names
+    locked r (fun () ->
+        List.rev_map (fun n -> (n, Hashtbl.find r.tbl n)) r.names)
 
   let to_json r : Json.t =
     Json.Obj

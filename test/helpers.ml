@@ -36,15 +36,63 @@ let expect_error code f =
   | exception Xerror.Error e ->
       check Alcotest.string "error code" code e.code
 
+(** {2 Sealed-path statement helpers}
+
+    The tests below predate the structured {!Engine.exec} API and were
+    written against the deprecated one-shot wrappers. These helpers keep
+    the historical shapes ([Sql_exec.result] rows, [(items, plan)]
+    pairs, last-statement accessors) while routing every statement
+    through the sealed path — plan cache, autocommit writer slot, coded
+    errors. *)
+
+let last_outcome : Engine.outcome option ref = ref None
+
+let exec db src : Engine.outcome =
+  let o = Engine.exec db src in
+  last_outcome := Some o;
+  o
+
+(** [Engine.sql] replacement: same result record, sealed path. Errors
+    arrive coded ([Xdm.Xerror.Error]) rather than layer-private. *)
+let sql db src : Sqlxml.Sql_exec.result =
+  match (exec db src).Engine.payload with
+  | Engine.Rows { cols; rows } ->
+      { Sqlxml.Sql_exec.rcols = cols; rrows = rows }
+  | Engine.Items _ -> Alcotest.fail "expected a rows payload"
+
+(** [Engine.xquery] replacement: [(items, plan)] with the plan rebuilt
+    from the outcome (restrictions are not surfaced by [exec]). *)
+let xquery db src : Item.seq * Planner.t =
+  let o = exec db src in
+  ( Engine.outcome_items o,
+    {
+      Planner.restrictions = [];
+      notes = o.Engine.notes;
+      indexes_used = o.Engine.indexes_used;
+    } )
+
+(** [Engine.xquery_noindex] replacement: run with index use off. *)
+let xquery_noindex db src : Item.seq =
+  let saved = Engine.use_indexes db in
+  Engine.set_use_indexes db false;
+  Fun.protect
+    ~finally:(fun () -> Engine.set_use_indexes db saved)
+    (fun () -> Engine.outcome_items (exec db src))
+
+let last_notes (_ : Engine.t) : string list =
+  match !last_outcome with Some o -> o.Engine.notes | None -> []
+
+let last_indexes_used (_ : Engine.t) : string list =
+  match !last_outcome with Some o -> o.Engine.indexes_used | None -> []
+
 (** A fresh engine preloaded with the paper's three tables and [n] orders
     with deterministic content. *)
 let paper_db ?(n_orders = 60) ?(orders_params = Workload.Orders_gen.default)
     () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
-  ignore (Engine.sql db "CREATE TABLE customer (cid integer, cdoc XML)");
-  ignore
-    (Engine.sql db "CREATE TABLE products (id varchar(13), name varchar(32))");
+  ignore (sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
+  ignore (sql db "CREATE TABLE customer (cid integer, cdoc XML)");
+  ignore (sql db "CREATE TABLE products (id varchar(13), name varchar(32))");
   let p = { orders_params with Workload.Orders_gen.n_customers = 20; n_products = 30 } in
   Engine.load_documents db ~table:"orders" ~column:"orddoc"
     (Workload.Orders_gen.orders p n_orders);
@@ -53,7 +101,7 @@ let paper_db ?(n_orders = 60) ?(orders_params = Workload.Orders_gen.default)
   List.iter
     (fun (id, name) ->
       ignore
-        (Engine.sql db
+        (sql db
            (Printf.sprintf "INSERT INTO products VALUES ('%s', '%s')" id name)))
     (Workload.Orders_gen.products p);
   db
@@ -62,8 +110,8 @@ let paper_db ?(n_orders = 60) ?(orders_params = Workload.Orders_gen.default)
     XQuery produce identical serialized results (Definition 1), and
     return the plan. *)
 let assert_def1 db src : Planner.t =
-  let with_idx, plan = Engine.xquery db src in
-  let without = Engine.xquery_noindex db src in
+  let with_idx, plan = xquery db src in
+  let without = xquery_noindex db src in
   check Alcotest.string
     ("Definition 1: " ^ src)
     (Xmlparse.Xml_writer.seq_to_string without)
@@ -73,7 +121,7 @@ let assert_def1 db src : Planner.t =
 let used plan = plan.Planner.indexes_used
 
 (** Row count of a SQL statement. *)
-let sql_count db src = List.length (Engine.sql db src).Sqlxml.Sql_exec.rrows
+let sql_count db src = List.length (sql db src).Sqlxml.Sql_exec.rrows
 
 (** Substring test (avoids external deps). *)
 let contains_sub ~affix s =

@@ -6,11 +6,11 @@ open Helpers
 let mk_db () =
   let db = paper_db ~n_orders:10 () in
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/@price' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX price_el ON orders(orddoc) USING XMLPATTERN '//price' \
         AS VARCHAR(30)");
   db
@@ -126,9 +126,9 @@ let advisor_tests =
         check Alcotest.bool "tip 11" true (List.mem 11 ts));
     tc "Tip 10 fires on namespace-only mismatch" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE customer (cid integer, cdoc XML)");
+        ignore (sql db "CREATE TABLE customer (cid integer, cdoc XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX c_nation ON customer(cdoc) USING XMLPATTERN \
               '//nation' AS DOUBLE");
         let ts =
@@ -142,9 +142,9 @@ let advisor_tests =
     tc "Tip 12 fires when only a //* index exists for an attribute \
         predicate" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX broad ON orders(orddoc) USING XMLPATTERN '//*' \
               AS VARCHAR(50)");
         let ts =

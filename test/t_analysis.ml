@@ -8,7 +8,7 @@ module D = Analysis.Diag
 let mk_db () =
   let db = paper_db ~n_orders:10 () in
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/@price' AS DOUBLE");
   db
@@ -69,7 +69,7 @@ let contrast_tests =
     tc "Query 14 in strict mode is rejected before execution" (fun () ->
         let db = paper_db ~n_orders:3 () in
         Engine.set_strict_types db true;
-        (match Engine.sql db query14 with
+        (match sql db query14 with
         | _ -> Alcotest.fail "expected a static rejection"
         | exception Xdm.Xerror.Error { code; msg } ->
             check Alcotest.string "code" "XPTY0004" code;
@@ -80,7 +80,7 @@ let contrast_tests =
     tc "strict mode gates stand-alone XQuery too" (fun () ->
         let db = paper_db ~n_orders:3 () in
         Engine.set_strict_types db true;
-        match Engine.xquery db "1 + \"abc\"" with
+        match xquery db "1 + \"abc\"" with
         | _ -> Alcotest.fail "expected a static rejection"
         | exception Xdm.Xerror.Error { code; _ } ->
             check Alcotest.string "code" "XPTY0004" code);

@@ -120,17 +120,17 @@ let arb_case =
 
 let run_case (docs, query, idxs) =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+  ignore (Helpers.sql db "CREATE TABLE t (id integer, d XML)");
   Engine.load_documents db ~table:"t" ~column:"d" docs;
-  List.iter (fun i -> ignore (Engine.sql db index_defs.(i))) idxs;
+  List.iter (fun i -> ignore (Helpers.sql db index_defs.(i))) idxs;
   let serial r = Xmlparse.Xml_writer.seq_to_string r in
   let indexed =
-    match Engine.xquery db query with
+    match Helpers.xquery db query with
     | r, _ -> Ok (serial r)
     | exception Xdm.Xerror.Error e -> Error e.code
   in
   let scanned =
-    match Engine.xquery_noindex db query with
+    match Helpers.xquery_noindex db query with
     | r -> Ok (serial r)
     | exception Xdm.Xerror.Error e -> Error e.code
   in
@@ -181,9 +181,9 @@ let arb_sql_case =
 
 let run_sql_case (docs, query, idxs) =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+  ignore (Helpers.sql db "CREATE TABLE t (id integer, d XML)");
   Engine.load_documents db ~table:"t" ~column:"d" docs;
-  List.iter (fun i -> ignore (Engine.sql db index_defs.(i))) idxs;
+  List.iter (fun i -> ignore (Helpers.sql db index_defs.(i))) idxs;
   let show r =
     String.concat "\n"
       (List.map
@@ -192,10 +192,10 @@ let run_sql_case (docs, query, idxs) =
          r.Sqlxml.Sql_exec.rrows)
   in
   let indexed =
-    try Ok (show (Engine.sql db query)) with _ -> Error ()
+    try Ok (show (Helpers.sql db query)) with _ -> Error ()
   in
   Engine.set_use_indexes db false;
-  let scanned = try Ok (show (Engine.sql db query)) with _ -> Error () in
+  let scanned = try Ok (show (Helpers.sql db query)) with _ -> Error () in
   match (indexed, scanned) with
   | Ok a, Ok b -> a = b
   | Error _, Error _ | Ok _, Error _ -> true

@@ -109,7 +109,7 @@ let counter db name = !(Xprof.Registry.counter (Engine.registry db) name)
 (* Workloads: named statement sequences                                *)
 (* ------------------------------------------------------------------ *)
 
-let sqlop s = (s, fun db -> ignore (Engine.sql db s))
+let sqlop s = (s, fun db -> ignore (sql db s))
 
 (* Big enough that the checkpoint's snapshot exceeds the 64-page buffer
    pool, so the eviction/write-back paths (page.evict, page.write) are
@@ -221,6 +221,89 @@ let sweep_tc name ops ~par ~ns =
         (fun point -> List.iter (fun n -> crash_cycle ~par ~point ~n ops) ns)
         (Faultinject.points ()))
 
+(* -- explicit transactions: crash-mid-commit all-or-nothing -------- *)
+
+let txn_setup db =
+  ignore (sql db "CREATE TABLE t (a integer, d XML)");
+  ignore
+    (sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+  ignore (sql db "INSERT INTO t VALUES (1, '<a><p>1</p></a>')")
+
+(* Three DML statements in one explicit transaction: the WAL must treat
+   them as a single group, so a crash anywhere inside (or during the
+   commit itself) recovers to the pre-txn state or the full post-txn
+   state — never to one or two of the statements. *)
+let txn_body db =
+  let tx = Engine.Txn.begin_ db in
+  Fun.protect
+    ~finally:(fun () ->
+      (* a fault abandons the handle mid-transaction; a real crash takes
+         the process's locks with it, but the in-process simulation must
+         release the writer slot (and its Lockorder held-stack entry) or
+         the leak bleeds into later tests. Rolling back writes nothing
+         to the WAL, so the on-disk crash state is untouched. *)
+      if Engine.Txn.active tx then
+        try Engine.Txn.rollback tx with _ -> ())
+    (fun () ->
+      ignore
+        (Engine.exec ~txn:tx db "INSERT INTO t VALUES (2, '<a><p>2</p></a>')");
+      ignore
+        (Engine.exec ~txn:tx db
+           "UPDATE t SET d = '<a><p>100</p></a>' WHERE a = 1");
+      ignore
+        (Engine.exec ~txn:tx db "INSERT INTO t VALUES (3, '<a><p>3</p></a>')");
+      Engine.Txn.commit tx)
+
+let txn_reference with_txn =
+  let db = Engine.create () in
+  txn_setup db;
+  if with_txn then txn_body db;
+  state db
+
+let txn_crash_cycle ~par ~point ~n =
+  with_dir (fun dir ->
+      let db = Engine.open_db ~data_dir:dir () in
+      Engine.set_parallelism db par;
+      txn_setup db;
+      let committed = ref false and faulted = ref false in
+      Faultinject.with_fault ~point ~n (fun () ->
+          try
+            txn_body db;
+            committed := true
+          with Faultinject.Injected _ -> faulted := true);
+      if !faulted then Hashtbl.replace fired point ();
+      Engine.simulate_crash db;
+      let db2 = Engine.open_db ~data_dir:dir () in
+      Fun.protect
+        ~finally:(fun () -> Engine.close db2)
+        (fun () ->
+          assert_consistent db2;
+          let recovered = state db2 in
+          (* a commit that returned must be durable; a fault leaves the
+             ambiguous window around the Commit record — in or out, but
+             never half-applied *)
+          let ok =
+            (recovered = txn_reference true && (!committed || !faulted))
+            || (recovered = txn_reference false && not !committed)
+          in
+          if not ok then
+            Alcotest.failf
+              "txn recovered to a partial state: point=%s n=%d par=%d \
+               (commit %s, fault %s)"
+              point n par
+              (if !committed then "returned" else "did not return")
+              (if !faulted then "fired" else "did not fire")))
+
+let txn_sweep_tc ~par ~ns =
+  tc
+    (Printf.sprintf
+       "crash-mid-commit txn: all-or-nothing over every point (par %d)" par)
+    (fun () ->
+      List.iter
+        (fun point ->
+          List.iter (fun n -> txn_crash_cycle ~par ~point ~n) ns)
+        (Faultinject.points ()))
+
 let torture_tests =
   [
     sweep_tc "bulk load" bulk_load_ops ~par:1 ~ns:[ 1; 7 ];
@@ -229,6 +312,9 @@ let torture_tests =
     sweep_tc "UPDATE" update_ops ~par:4 ~ns:[ 1 ];
     sweep_tc "CREATE INDEX backfill" backfill_ops ~par:1 ~ns:[ 1; 7 ];
     sweep_tc "CREATE INDEX backfill" backfill_ops ~par:4 ~ns:[ 1 ];
+    txn_sweep_tc ~par:1 ~ns:[ 1; 5 ];
+    txn_sweep_tc ~par:2 ~ns:[ 1 ];
+    txn_sweep_tc ~par:4 ~ns:[ 1 ];
     tc "coverage: every registered fault point fired somewhere" (fun () ->
         List.iter
           (fun p ->
@@ -241,13 +327,13 @@ let torture_tests =
 (* ------------------------------------------------------------------ *)
 
 let setup_small db =
-  ignore (Engine.sql db "CREATE TABLE t (a integer, w date, d XML)");
+  ignore (sql db "CREATE TABLE t (a integer, w date, d XML)");
   ignore
-    (Engine.sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
-  ignore (Engine.sql db "CREATE INDEX ra ON t(a)");
+    (sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+  ignore (sql db "CREATE INDEX ra ON t(a)");
   for i = 1 to 8 do
     ignore
-      (Engine.sql db
+      (sql db
          (Printf.sprintf
             "INSERT INTO t VALUES (%d, '2006-0%d-15', '<a><p>%d</p></a>')" i
             (1 + (i mod 9)) i))
@@ -306,9 +392,9 @@ let roundtrip_tests =
             setup_small db;
             Engine.checkpoint db;
             ignore
-              (Engine.sql db
+              (sql db
                  "INSERT INTO t VALUES (99, NULL, '<a><p>99</p></a>')");
-            ignore (Engine.sql db "DELETE FROM t WHERE a = 2");
+            ignore (sql db "DELETE FROM t WHERE a = 2");
             let before = state db in
             Engine.close db;
             let db2 = Engine.open_db ~data_dir:dir () in
@@ -327,7 +413,7 @@ let roundtrip_tests =
             check Alcotest.(option string) "detached" None (Engine.data_dir db);
             (* mutations still work; they are just no longer durable *)
             ignore
-              (Engine.sql db "INSERT INTO t VALUES (50, NULL, '<a><p>50</p></a>')");
+              (sql db "INSERT INTO t VALUES (50, NULL, '<a><p>50</p></a>')");
             let db2 = Engine.open_db ~data_dir:dir () in
             Fun.protect
               ~finally:(fun () -> Engine.close db2)
@@ -428,13 +514,13 @@ let torn_write_prop =
     (fun (tpos, fpos, byte) ->
       with_dir (fun dir ->
           let db = Engine.open_db ~sync:false ~data_dir:dir () in
-          ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+          ignore (sql db "CREATE TABLE t (a integer, d XML)");
           ignore
-            (Engine.sql db
+            (sql db
                "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
           for i = 1 to 12 do
             ignore
-              (Engine.sql db
+              (sql db
                  (Printf.sprintf
                     "INSERT INTO t VALUES (%d, '<a><p>%d</p></a>')" i i))
           done;
@@ -467,7 +553,7 @@ let torn_write_prop =
                     List.sort compare
                       (List.concat_map
                          (List.map Storage.Sql_value.to_display)
-                         (Engine.sql db2 "SELECT a FROM t").Sqlxml.Sql_exec
+                         (sql db2 "SELECT a FROM t").Sqlxml.Sql_exec
                            .rrows)
                   in
                   let k = List.length rows in

@@ -73,33 +73,33 @@ let sql_order_tests =
   [
     tc "ORDER BY ascending and descending" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, s varchar(10))");
+        ignore (sql db "CREATE TABLE t (a integer, s varchar(10))");
         ignore
-          (Engine.sql db
+          (sql db
              "INSERT INTO t VALUES (3, 'c'), (1, 'a'), (2, 'b')");
         let col r = List.map List.hd r.Sqlxml.Sql_exec.rrows in
         check Alcotest.bool "asc" true
-          (col (Engine.sql db "SELECT a FROM t ORDER BY a")
+          (col (sql db "SELECT a FROM t ORDER BY a")
           = [ Storage.Sql_value.Int 1L; Storage.Sql_value.Int 2L;
               Storage.Sql_value.Int 3L ]);
         check Alcotest.bool "desc" true
-          (col (Engine.sql db "SELECT a FROM t ORDER BY a DESC")
+          (col (sql db "SELECT a FROM t ORDER BY a DESC")
           = [ Storage.Sql_value.Int 3L; Storage.Sql_value.Int 2L;
               Storage.Sql_value.Int 1L ]));
     tc "ORDER BY puts NULLs last ascending" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (2), (NULL), (1)");
-        let r = Engine.sql db "SELECT a FROM t ORDER BY a" in
+        ignore (sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "INSERT INTO t VALUES (2), (NULL), (1)");
+        let r = sql db "SELECT a FROM t ORDER BY a" in
         check Alcotest.bool "nulls last" true
           (List.map List.hd r.Sqlxml.Sql_exec.rrows
           = [ Storage.Sql_value.Int 1L; Storage.Sql_value.Int 2L;
               Storage.Sql_value.Null ]));
     tc "FETCH FIRST n ROWS ONLY" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "CREATE TABLE t (a integer)");
         for i = 1 to 20 do
-          ignore (Engine.sql db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+          ignore (sql db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
         done;
         check Alcotest.int "limited" 5
           (sql_count db "SELECT a FROM t ORDER BY a DESC FETCH FIRST 5 ROWS ONLY");
@@ -107,12 +107,12 @@ let sql_order_tests =
           (sql_count db "SELECT a FROM t LIMIT 3"));
     tc "ORDER BY an XMLCast key" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (sql db "CREATE TABLE t (a integer, d XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "INSERT INTO t VALUES (1, '<v>30</v>'), (2, '<v>7</v>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT a FROM t ORDER BY XMLCast(XMLQuery('$d/v' passing d as \
              \"d\") as DOUBLE)"
         in
@@ -125,17 +125,17 @@ let cost_tests =
   [
     tc "planner prefers the narrower (smaller) eligible index" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 100 (fun i ->
                Printf.sprintf
                  "<a><b p=\"%d\"/><c q=\"%d\" r=\"%d\" s=\"%d\"/></a>" i i i i));
         (* broad index holds 4x the entries of the narrow one *)
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX broad ON t(d) USING XMLPATTERN '//@*' AS DOUBLE");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX narrow ON t(d) USING XMLPATTERN '//b/@p' AS DOUBLE");
         let plan = assert_def1 db "db2-fn:xmlcolumn('T.D')//a[b/@p = 5]" in
         check Alcotest.(list string) "narrow chosen" [ "narrow" ]
@@ -157,11 +157,11 @@ let computed_ctor_tests =
         eval_str "attribute p { 5 } is attribute p { 5 }" "false");
     tc "computed constructors also block indexing (Tip 7 family)" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         let plan =
           assert_def1 db
@@ -174,16 +174,16 @@ let delete_tests =
   [
     tc "DELETE removes rows and maintains indexes" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (sql db "CREATE TABLE t (a integer, d XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ip ON t(d) USING XMLPATTERN '//@p' AS DOUBLE");
         for i = 1 to 20 do
           ignore
-            (Engine.sql db
+            (sql db
                (Printf.sprintf "INSERT INTO t VALUES (%d, '<x p=\"%d\"/>')" i i))
         done;
-        let r = Engine.sql db "DELETE FROM t WHERE a > 10" in
+        let r = sql db "DELETE FROM t WHERE a > 10" in
         check Alcotest.bool "10 deleted" true
           (List.hd (List.hd r.Sqlxml.Sql_exec.rrows) = Storage.Sql_value.Int 10L);
         check Alcotest.int "10 remain" 10 (sql_count db "SELECT a FROM t");
@@ -198,30 +198,30 @@ let delete_tests =
           (List.mem "ip" plan.Planner.indexes_used));
     tc "DELETE with XMLExists condition" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (sql db "CREATE TABLE t (a integer, d XML)");
         for i = 1 to 10 do
           ignore
-            (Engine.sql db
+            (sql db
                (Printf.sprintf "INSERT INTO t VALUES (%d, '<x p=\"%d\"/>')" i i))
         done;
         ignore
-          (Engine.sql db
+          (sql db
              "DELETE FROM t WHERE XMLExists('$d/x[@p > 7]' passing d as \"d\")");
         check Alcotest.int "7 remain" 7 (sql_count db "SELECT a FROM t"));
     tc "DELETE without WHERE empties the table" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (1), (2)");
-        ignore (Engine.sql db "DELETE FROM t");
+        ignore (sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "INSERT INTO t VALUES (1), (2)");
+        ignore (sql db "DELETE FROM t");
         check Alcotest.int "empty" 0 (sql_count db "SELECT a FROM t"));
   ]
 
 let aggregate_tests =
   let mk () =
     let db = Engine.create () in
-    ignore (Engine.sql db "CREATE TABLE s (dept varchar(10), pay integer)");
+    ignore (sql db "CREATE TABLE s (dept varchar(10), pay integer)");
     ignore
-      (Engine.sql db
+      (sql db
          "INSERT INTO s VALUES ('eng', 100), ('eng', 200), ('ops', 50),           ('ops', NULL)");
     db
   in
@@ -229,7 +229,7 @@ let aggregate_tests =
   [
     tc "COUNT(*) counts rows, COUNT(col) skips NULLs" (fun () ->
         let db = mk () in
-        let row q = List.hd (Engine.sql db q).Sqlxml.Sql_exec.rrows in
+        let row q = List.hd (sql db q).Sqlxml.Sql_exec.rrows in
         check Alcotest.bool "count-star" true
           (row "SELECT COUNT(*) FROM s" = [ Int 4L ]);
         check Alcotest.bool "count col" true
@@ -237,7 +237,7 @@ let aggregate_tests =
     tc "GROUP BY with SUM/AVG/MIN/MAX" (fun () ->
         let db = mk () in
         let r =
-          Engine.sql db
+          sql db
             "SELECT dept, SUM(pay), AVG(pay), MIN(pay), MAX(pay) FROM s              GROUP BY dept ORDER BY dept"
         in
         check Alcotest.bool "rows" true
@@ -248,36 +248,37 @@ let aggregate_tests =
             ]));
     tc "SUM over all NULLs is NULL" (fun () ->
         let db = mk () in
-        ignore (Engine.sql db "DELETE FROM s WHERE pay IS NOT NULL");
-        let r = Engine.sql db "SELECT SUM(pay) FROM s" in
+        ignore (sql db "DELETE FROM s WHERE pay IS NOT NULL");
+        let r = sql db "SELECT SUM(pay) FROM s" in
         check Alcotest.bool "null" true
           (r.Sqlxml.Sql_exec.rrows = [ [ Null ] ]));
     tc "aggregate over XMLCast values" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (sql db "CREATE TABLE t (a integer, d XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "INSERT INTO t VALUES (1, '<v>10</v>'), (2, '<v>32</v>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT SUM(XMLCast(XMLQuery('$d/v' passing d as \"d\") as              DOUBLE)) FROM t"
         in
         check Alcotest.bool "42" true
           (r.Sqlxml.Sql_exec.rrows = [ [ Double 42. ] ]));
     tc "aggregate outside grouping context errors" (fun () ->
         let db = mk () in
-        match Engine.sql db "SELECT dept FROM s WHERE SUM(pay) > 10" with
+        match sql db "SELECT dept FROM s WHERE SUM(pay) > 10" with
         | _ -> Alcotest.fail "should fail"
-        | exception Sqlxml.Sql_exec.Sql_runtime_error _ -> ());
+        | exception Xdm.Xerror.Error e ->
+            check Alcotest.string "coded" "XQDB0003" e.code);
     tc "EXPLAIN SELECT returns plan rows" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, '<v>5</v>')");
+        ignore (sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (sql db "INSERT INTO t VALUES (1, '<v>5</v>')");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX iv ON t(d) USING XMLPATTERN '//v' AS DOUBLE");
         let r =
-          Engine.sql db
+          sql db
             "EXPLAIN SELECT a FROM t WHERE XMLExists('$d/v[. > 1]' passing              d as \"d\")"
         in
         check Alcotest.bool "has XISCAN row" true
@@ -288,12 +289,12 @@ let aggregate_tests =
              r.Sqlxml.Sql_exec.rrows));
     tc "XMLAGG concatenates group XML values" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (g integer, d XML)");
+        ignore (sql db "CREATE TABLE t (g integer, d XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "INSERT INTO t VALUES (1, '<v>a</v>'), (1, '<v>b</v>'), (2,               '<v>c</v>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT g, XMLAGG(XMLQuery('$d/v' passing d as \"d\")) FROM t              GROUP BY g ORDER BY g"
         in
         match r.Sqlxml.Sql_exec.rrows with
@@ -304,7 +305,7 @@ let aggregate_tests =
     tc "GROUP BY ORDER BY aggregate key" (fun () ->
         let db = mk () in
         let r =
-          Engine.sql db
+          sql db
             "SELECT dept, SUM(pay) FROM s GROUP BY dept ORDER BY SUM(pay)              DESC"
         in
         check Alcotest.bool "eng first" true

@@ -116,14 +116,14 @@ let between_fn_tests =
               200)])"));
     tc "xqdb:between single merged scan via index (Definition 1)" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 100 (fun i ->
                Printf.sprintf "<a><price>%d</price><price>%d</price></a>"
                  (i * 7 mod 300)
                  ((i * 13) mod 300)));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX pe ON t(d) USING XMLPATTERN '//price' AS DOUBLE");
         let q =
           "db2-fn:xmlcolumn('T.D')//a[xqdb:between(price, 100, 120)]"
@@ -142,16 +142,16 @@ let planner_tests =
   [
     tc "IXAND intersects multiple probes" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 60 (fun i ->
                Printf.sprintf "<a><b>%d</b><c>%d</c></a>" (i mod 10)
                  (i mod 6)));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ic ON t(d) USING XMLPATTERN '//c' AS DOUBLE");
         let plan =
           assert_def1 db "db2-fn:xmlcolumn('T.D')//a[b = 3 and c = 3]"
@@ -164,11 +164,11 @@ let planner_tests =
           (List.length plan.Planner.indexes_used));
     tc "IXOR unions or-branches when both sides eligible" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 40 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         let plan =
           assert_def1 db "db2-fn:xmlcolumn('T.D')//a[b = 3 or b = 7]"
@@ -179,12 +179,12 @@ let planner_tests =
              plan.Planner.notes));
     tc "or with one ineligible branch falls back to scan" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 20 (fun i ->
                Printf.sprintf "<a><b>%d</b><c>x%d</c></a>" i i));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         let plan =
           assert_def1 db
@@ -197,14 +197,14 @@ let planner_tests =
     tc "semi-join reduction: whole-collection join operand evaluated"
       (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
-        ignore (Engine.sql db "CREATE TABLE u (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE u (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 50 (fun i -> Printf.sprintf "<a><k>%d</k></a>" i));
         Engine.load_documents db ~table:"u" ~column:"d"
           [ "<w><k>7</k></w>"; "<w><k>13</k></w>" ];
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX tk ON t(d) USING XMLPATTERN '//k' AS DOUBLE");
         let plan =
           assert_def1 db
@@ -217,13 +217,13 @@ let planner_tests =
              plan.Planner.notes));
     tc "date index serves date-cast predicates" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 30 (fun i ->
                Printf.sprintf "<a><when>200%d-0%d-15</when></a>" (i mod 7)
                  (1 + (i mod 9))));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX dw ON t(d) USING XMLPATTERN '//when' AS DATE");
         let plan =
           assert_def1 db

@@ -59,21 +59,21 @@ let logic3_tests =
   [
     tc "NOT of unknown stays unknown (row filtered)" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (NULL), (1)");
+        ignore (sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "INSERT INTO t VALUES (NULL), (1)");
         (* NOT (a = 1): for NULL → unknown → filtered *)
         check Alcotest.int "rows" 0
           (sql_count db "SELECT a FROM t WHERE NOT a = 1 AND a IS NULL"));
     tc "unknown OR true is true" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (NULL)");
+        ignore (sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "INSERT INTO t VALUES (NULL)");
         check Alcotest.int "rows" 1
           (sql_count db "SELECT a FROM t WHERE a = 1 OR a IS NULL"));
     tc "unknown AND false is false" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (NULL)");
+        ignore (sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "INSERT INTO t VALUES (NULL)");
         check Alcotest.int "rows" 0
           (sql_count db "SELECT a FROM t WHERE a = 1 AND a IS NOT NULL"));
   ]
@@ -82,11 +82,11 @@ let analysis_shape_tests =
   [
     tc "nested FLWOR inside for-binding is analyzed" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         let plan =
           assert_def1 db
@@ -97,11 +97,11 @@ let analysis_shape_tests =
           (List.mem "ib" plan.Planner.indexes_used));
     tc "predicate inside quantifier binding path" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         let plan =
           assert_def1 db
@@ -112,11 +112,11 @@ let analysis_shape_tests =
           (List.mem "ib" plan.Planner.indexes_used));
     tc "if-then-else branches OR together" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 30 (fun i -> Printf.sprintf "<a><b>%d</b></a>" i));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//b' AS DOUBLE");
         let plan =
           assert_def1 db
@@ -128,14 +128,14 @@ let analysis_shape_tests =
           (List.mem "ib" plan.Planner.indexes_used));
     tc "deep path with multiple // gaps" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           [
             "<r><x><a><deep><b>9</b></deep></a></x></r>";
             "<r><a><b>1</b></a></r>";
           ];
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ib ON t(d) USING XMLPATTERN '//a//b' AS DOUBLE");
         let plan = assert_def1 db "db2-fn:xmlcolumn('T.D')//a//b[. > 5]" in
         check Alcotest.bool "ib used" true

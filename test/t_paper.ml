@@ -9,19 +9,19 @@ module SV = Storage.Sql_value
 let mk_db () =
   let db = paper_db ~n_orders:80 () in
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/@price' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX o_custid ON orders(orddoc) USING XMLPATTERN '//custid' \
         AS DOUBLE");
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX c_custid ON customer(cdoc) USING XMLPATTERN \
         '/customer/id' AS DOUBLE");
   ignore
-    (Engine.sql db
+    (sql db
        "CREATE INDEX li_pid ON orders(orddoc) USING XMLPATTERN \
         '//lineitem/product/id' AS VARCHAR(20)");
   db
@@ -56,18 +56,18 @@ let q1_30 =
       (fun () ->
         (* the no-price document must appear in Query 2's answer *)
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
         Engine.load_documents db ~table:"orders" ~column:"orddoc"
           [
             Workload.Orders_gen.no_price_doc;
             "<order><lineitem price=\"99.50\" quantity=\"150\"/></order>";
           ];
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
               '//lineitem/@price' AS DOUBLE");
         let r, _ =
-          Engine.xquery db
+          xquery db
             "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>100]"
         in
         check Alcotest.int "both orders qualify" 2 (List.length r));
@@ -102,18 +102,18 @@ let q1_30 =
              as \"order\") FROM orders"
         in
         check Alcotest.int "all rows" 80 n;
-        check Alcotest.(list string) "no index" [] (Engine.last_indexes_used db));
+        check Alcotest.(list string) "no index" [] (last_indexes_used db));
     tc "Query 6: VALUES XMLQuery over the whole column is one row and \
         indexable" (fun () ->
         let db = Lazy.force db in
         let r =
-          Engine.sql db
+          sql db
             "VALUES (XMLQuery('db2-fn:xmlcolumn(\"ORDERS.ORDDOC\") \
              //lineitem[@price > 100] '))"
         in
         check Alcotest.int "one row" 1 (List.length r.Sqlxml.Sql_exec.rrows);
         check Alcotest.bool "li_price" true
-          (List.mem "li_price" (Engine.last_indexes_used db)));
+          (List.mem "li_price" (last_indexes_used db)));
     tc "Query 7: stand-alone XQuery returns one row per lineitem" (fun () ->
         let db = Lazy.force db in
         let plan =
@@ -130,7 +130,7 @@ let q1_30 =
              \"order\")"
         in
         check Alcotest.bool "li_price" true
-          (List.mem "li_price" (Engine.last_indexes_used db));
+          (List.mem "li_price" (last_indexes_used db));
         check Alcotest.bool "filters" true (n8 < 80 && n8 > 0));
     tc "Query 9: boolean inside XMLExists returns ALL rows" (fun () ->
         let db = Lazy.force db in
@@ -141,7 +141,7 @@ let q1_30 =
              \"order\")"
         in
         check Alcotest.int "all 80 rows" 80 n9;
-        check Alcotest.(list string) "no index" [] (Engine.last_indexes_used db));
+        check Alcotest.(list string) "no index" [] (last_indexes_used db));
     tc "Query 10: XMLExists + XMLQuery combination filters" (fun () ->
         let db = Lazy.force db in
         let n =
@@ -153,7 +153,7 @@ let q1_30 =
         in
         check Alcotest.bool "filters" true (n < 80);
         check Alcotest.bool "li_price" true
-          (List.mem "li_price" (Engine.last_indexes_used db)));
+          (List.mem "li_price" (last_indexes_used db)));
     tc "Query 11: XMLTable row-producer is index eligible; one row per \
         lineitem" (fun () ->
         let db = Lazy.force db in
@@ -164,7 +164,7 @@ let q1_30 =
              \"lineitem\" XML BY REF PATH '.') as t(lineitem)"
         in
         check Alcotest.bool "li_price" true
-          (List.mem "li_price" (Engine.last_indexes_used db));
+          (List.mem "li_price" (last_indexes_used db));
         (* more lineitems than qualifying orders *)
         let n8 =
           sql_count db
@@ -175,13 +175,13 @@ let q1_30 =
     tc "Query 12: predicate in COLUMNS gives NULLs, not filtering" (fun () ->
         let db = Lazy.force db in
         let r =
-          Engine.sql db
+          sql db
             "SELECT o.ordid, t.lineitem, t.price FROM orders o, \
              XMLTable('$order//lineitem' passing o.orddoc as \"order\" \
              COLUMNS \"lineitem\" XML BY REF PATH '.', \"price\" \
              DECIMAL(6,3) PATH '@price[. > 100]') as t(lineitem, price)"
         in
-        check Alcotest.(list string) "no index" [] (Engine.last_indexes_used db);
+        check Alcotest.(list string) "no index" [] (last_indexes_used db);
         let nulls =
           List.length
             (List.filter
@@ -200,37 +200,39 @@ let q1_30 =
         in
         check Alcotest.bool "rows" true (n > 0);
         check Alcotest.bool "li_pid used" true
-          (List.mem "li_pid" (Engine.last_indexes_used db)));
+          (List.mem "li_pid" (last_indexes_used db)));
     tc "Query 14: SQL-side join via XMLCast fails on multi-lineitem orders"
       (fun () ->
         let db = Lazy.force db in
         (* orders have several lineitems: XMLCast hits a multi-item
            sequence and raises, exactly the paper's warning *)
         match
-          Engine.sql db
+          sql db
             "SELECT p.name FROM products p, orders o WHERE p.id = \
              XMLCast(XMLQuery('$order//lineitem/product/id' passing \
              o.orddoc as \"order\") as VARCHAR(13))"
         with
         | _ -> Alcotest.fail "expected an XMLCast type error"
-        | exception Sqlxml.Sql_exec.Sql_runtime_error m ->
+        | exception Xdm.Xerror.Error e ->
+            check Alcotest.string "coded" "XQDB0003" e.code;
             check Alcotest.bool "singleton error" true
-              (Helpers.contains_sub ~affix:"more than one item" m));
+              (Helpers.contains_sub ~affix:"more than one item" e.msg));
     tc "Query 14b: VARCHAR(13) length failure mode" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql db "CREATE TABLE orders (ordid integer, orddoc XML)");
         Engine.load_documents db ~table:"orders" ~column:"orddoc"
           [ "<order><lineitem><product><id>id-that-is-way-too-long</id></product></lineitem></order>" ];
         match
-          Engine.sql db
+          sql db
             "SELECT ordid FROM orders o WHERE 'x' = \
              XMLCast(XMLQuery('$order//lineitem/product/id' passing \
              o.orddoc as \"order\") as VARCHAR(13))"
         with
         | _ -> Alcotest.fail "expected a length error"
-        | exception Sqlxml.Sql_exec.Sql_runtime_error m ->
+        | exception Xdm.Xerror.Error e ->
+            check Alcotest.string "coded" "XQDB0003" e.code;
             check Alcotest.bool "length error" true
-              (Helpers.contains_sub ~affix:"too long" m));
+              (Helpers.contains_sub ~affix:"too long" e.msg));
     tc "Query 15: SQL-side XML-XML join uses no index" (fun () ->
         let db = Lazy.force db in
         let n =
@@ -241,7 +243,7 @@ let q1_30 =
              passing c.cdoc as \"cust\") as DOUBLE)"
         in
         check Alcotest.int "joined rows" 80 n;
-        check Alcotest.(list string) "no index" [] (Engine.last_indexes_used db));
+        check Alcotest.(list string) "no index" [] (last_indexes_used db));
     tc "Query 16: XQuery-side XML-XML join probes c_custid per order"
       (fun () ->
         let db = Lazy.force db in
@@ -254,7 +256,7 @@ let q1_30 =
         in
         check Alcotest.int "same answer as Query 15" 80 n;
         check Alcotest.bool "c_custid used" true
-          (List.mem "c_custid" (Engine.last_indexes_used db)));
+          (List.mem "c_custid" (last_indexes_used db)));
     tc "Query 17 vs 18: for is indexable, let is not (Section 3.4)"
       (fun () ->
         let db = Lazy.force db in
@@ -274,12 +276,12 @@ let q1_30 =
         document)" (fun () ->
         let db = Lazy.force db in
         let r17, _ =
-          Engine.xquery db
+          xquery db
             "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') for $item in \
              $doc//lineitem[@price > 100] return <result>{$item}</result>"
         in
         let r18, _ =
-          Engine.xquery db
+          xquery db
             "for $doc in db2-fn:xmlcolumn('ORDERS.ORDDOC') let $item := \
              $doc//lineitem[@price > 100] return <result>{$item}</result>"
         in
@@ -322,8 +324,8 @@ let q1_30 =
     tc "Query 28: namespaced data — ns-less index ineligible, wildcard and \
         @price indexes eligible (Section 3.7)" (fun () ->
         let dbn = Engine.create () in
-        ignore (Engine.sql dbn "CREATE TABLE orders (ordid integer, orddoc XML)");
-        ignore (Engine.sql dbn "CREATE TABLE customer (cid integer, cdoc XML)");
+        ignore (sql dbn "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql dbn "CREATE TABLE customer (cid integer, cdoc XML)");
         let p =
           {
             Workload.Orders_gen.default with
@@ -339,11 +341,11 @@ let q1_30 =
              { p with namespace = Some "http://ournamespaces.com/customer" });
         (* the paper's failing indexes *)
         ignore
-          (Engine.sql dbn
+          (sql dbn
              "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
               '//lineitem/@price' AS DOUBLE");
         ignore
-          (Engine.sql dbn
+          (sql dbn
              "CREATE INDEX c_nation ON customer(cdoc) USING XMLPATTERN \
               '//nation' AS DOUBLE");
         let q28 =
@@ -366,11 +368,11 @@ let q1_30 =
           (uses_index plan "li_price");
         (* the paper's fixes *)
         ignore
-          (Engine.sql dbn
+          (sql dbn
              "CREATE INDEX c_nation_ns2 ON customer(cdoc) USING XMLPATTERN \
               '//*:nation' AS DOUBLE");
         ignore
-          (Engine.sql dbn
+          (sql dbn
              "CREATE INDEX li_price_ns ON orders(orddoc) USING XMLPATTERN \
               '//@price' AS DOUBLE");
         let plan2 = assert_def1 dbn q28 in
@@ -380,14 +382,14 @@ let q1_30 =
           (uses_index plan2 "li_price_ns"));
     tc "Query 29: /text() misalignment (Section 3.8)" (fun () ->
         let dbt = Engine.create () in
-        ignore (Engine.sql dbt "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql dbt "CREATE TABLE orders (ordid integer, orddoc XML)");
         Engine.load_documents dbt ~table:"orders" ~column:"orddoc"
           [
             Workload.Orders_gen.usd_price_doc;
             "<order><lineitem><price>99.50</price></lineitem></order>";
           ];
         ignore
-          (Engine.sql dbt
+          (sql dbt
              "CREATE INDEX price_text ON orders(orddoc) USING XMLPATTERN \
               '//price' AS VARCHAR(30)");
         let plan =
@@ -401,7 +403,7 @@ let q1_30 =
           (uses_index plan "price_text");
         (* and the correct text() index works *)
         ignore
-          (Engine.sql dbt
+          (sql dbt
              "CREATE INDEX price_t ON orders(orddoc) USING XMLPATTERN \
               '//price/text()' AS VARCHAR(30)");
         let plan2 =
@@ -425,7 +427,7 @@ let q1_30 =
       (fun () ->
         let db = Lazy.force db in
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX li_price_el ON orders(orddoc) USING XMLPATTERN \
               '//lineitem/price' AS DOUBLE");
         let plan =

@@ -25,7 +25,7 @@ let levels = [ 1; 2; 4 ]
 let mk_db () =
   let db = paper_db ~n_orders:80 () in
   List.iter
-    (fun ddl -> ignore (Engine.sql db ddl))
+    (fun ddl -> ignore (sql db ddl))
     [
       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
        '//lineitem/@price' AS DOUBLE";
@@ -205,8 +205,8 @@ let corpus_tests =
         List.iter (fun (id, src) -> assert_diff db id src) corpus);
     tc "Query 28 (namespaces) at parallelism 1/2/4" (fun () ->
         let dbn = Engine.create () in
-        ignore (Engine.sql dbn "CREATE TABLE orders (ordid integer, orddoc XML)");
-        ignore (Engine.sql dbn "CREATE TABLE customer (cid integer, cdoc XML)");
+        ignore (sql dbn "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql dbn "CREATE TABLE customer (cid integer, cdoc XML)");
         let p =
           {
             Workload.Orders_gen.default with
@@ -221,11 +221,11 @@ let corpus_tests =
           (Workload.Orders_gen.customers
              { p with namespace = Some "http://ournamespaces.com/customer" });
         ignore
-          (Engine.sql dbn
+          (sql dbn
              "CREATE INDEX c_nation_ns2 ON customer(cdoc) USING XMLPATTERN \
               '//*:nation' AS DOUBLE");
         ignore
-          (Engine.sql dbn
+          (sql dbn
              "CREATE INDEX li_price_ns ON orders(orddoc) USING XMLPATTERN \
               '//@price' AS DOUBLE");
         assert_diff dbn "Q28"
@@ -239,14 +239,14 @@ let corpus_tests =
            $ord");
     tc "Query 29 (/text() misalignment) at parallelism 1/2/4" (fun () ->
         let dbt = Engine.create () in
-        ignore (Engine.sql dbt "CREATE TABLE orders (ordid integer, orddoc XML)");
+        ignore (sql dbt "CREATE TABLE orders (ordid integer, orddoc XML)");
         Engine.load_documents dbt ~table:"orders" ~column:"orddoc"
           [
             Workload.Orders_gen.usd_price_doc;
             "<order><lineitem><price>99.50</price></lineitem></order>";
           ];
         ignore
-          (Engine.sql dbt
+          (sql dbt
              "CREATE INDEX price_t ON orders(orddoc) USING XMLPATTERN \
               '//price/text()' AS VARCHAR(30)");
         assert_diff dbt "Q29"
@@ -413,9 +413,9 @@ let guarantee_tests =
     tc "storage.insert fault inside a parallel load rolls back" (fun () ->
         Fun.protect ~finally:Faultinject.reset (fun () ->
             let db = Engine.create () in
-            ignore (Engine.sql db "CREATE TABLE t (id integer, doc XML)");
+            ignore (sql db "CREATE TABLE t (id integer, doc XML)");
             ignore
-              (Engine.sql db
+              (sql db
                  "CREATE INDEX ti ON t(doc) USING XMLPATTERN '//@price' AS \
                   DOUBLE");
             let table () =
@@ -447,7 +447,7 @@ let guarantee_tests =
       (fun () ->
         Fun.protect ~finally:Faultinject.reset (fun () ->
             let db = Engine.create () in
-            ignore (Engine.sql db "CREATE TABLE t (id integer, doc XML)");
+            ignore (sql db "CREATE TABLE t (id integer, doc XML)");
             Engine.load_documents db ~table:"t" ~column:"doc"
               (Workload.Orders_gen.orders Workload.Orders_gen.default 40);
             let rows0 =
@@ -457,7 +457,7 @@ let guarantee_tests =
             Engine.set_parallelism db 4;
             Faultinject.arm ~point:"index.insert_doc" ~n:20;
             (match
-               Engine.sql db
+               sql db
                  "CREATE INDEX ti ON t(doc) USING XMLPATTERN '//@price' AS \
                   DOUBLE"
              with
@@ -478,7 +478,7 @@ let guarantee_tests =
               (Engine.check_consistency db);
             (* retry succeeds and the index is complete *)
             ignore
-              (Engine.sql db
+              (sql db
                  "CREATE INDEX ti ON t(doc) USING XMLPATTERN '//@price' AS \
                   DOUBLE");
             check Alcotest.int "index created on retry" 1

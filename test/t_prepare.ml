@@ -312,15 +312,15 @@ let corpus_db =
   lazy
     (let db = paper_db ~n_orders:30 () in
      ignore
-       (Engine.sql db
+       (sql db
           "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
            '//lineitem/@price' AS DOUBLE");
      ignore
-       (Engine.sql db
+       (sql db
           "CREATE INDEX li_pid ON orders(orddoc) USING XMLPATTERN \
            '//lineitem/product/id' AS VARCHAR(20)");
      ignore
-       (Engine.sql db
+       (sql db
           "CREATE INDEX c_custid ON customer(cdoc) USING XMLPATTERN \
            '/customer/id' AS DOUBLE");
      db)

@@ -44,7 +44,7 @@ let xq_lexer_tests =
 let sql_robustness_tests =
   let db () =
     let db = Engine.create () in
-    ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+    ignore (sql db "CREATE TABLE t (a integer, d XML)");
     db
   in
   [
@@ -54,62 +54,57 @@ let sql_robustness_tests =
           (sql_count db "SELECT a FROM t -- trailing comment"));
     tc "case-insensitive keywords and identifiers" (fun () ->
         let db = db () in
-        ignore (Engine.sql db "insert into T values (1, null)");
+        ignore (sql db "insert into T values (1, null)");
         check Alcotest.int "rows" 1 (sql_count db "select A from T where A = 1"));
     tc "quoted identifiers preserve case" (fun () ->
         let db = db () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, '<x><Y>2</Y></x>')");
+        ignore (sql db "INSERT INTO t VALUES (1, '<x><Y>2</Y></x>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT q.\"MixedCase\" FROM t, XMLTable('$d/x/Y' passing d as \
              \"d\" COLUMNS \"MixedCase\" INTEGER PATH '.') AS q(\"MixedCase\")"
         in
         check Alcotest.int "rows" 1 (List.length r.Sqlxml.Sql_exec.rrows));
     tc "bad XMLPATTERN in DDL is rejected" (fun () ->
         let db = db () in
-        match
-          Engine.sql db
-            "CREATE INDEX bad ON t(d) USING XMLPATTERN 'a[b]' AS DOUBLE"
-        with
-        | _ -> Alcotest.fail "should fail"
-        | exception Sqlxml.Sql_exec.Sql_runtime_error _ -> ());
+        expect_error "XQDB0003" (fun () ->
+            sql db
+              "CREATE INDEX bad ON t(d) USING XMLPATTERN 'a[b]' AS DOUBLE"));
     tc "bad embedded XQuery fails at SQL parse time" (fun () ->
         let db = db () in
-        match
-          Engine.sql db
-            "SELECT a FROM t WHERE XMLExists('for $x in' passing d as \"d\")"
-        with
-        | _ -> Alcotest.fail "should fail"
-        | exception Sqlxml.Sql_lexer.Sql_syntax_error _ -> ());
+        expect_error "XPST0003" (fun () ->
+            sql db
+              "SELECT a FROM t WHERE XMLExists('for $x in' passing d as \"d\")"));
     tc "insert arity mismatch" (fun () ->
         let db = db () in
         expect_error "XQDB0003" (fun () ->
-            ignore (Engine.sql db "INSERT INTO t VALUES (1)")));
+            ignore (sql db "INSERT INTO t VALUES (1)")));
     tc "unknown table" (fun () ->
         let db = db () in
         expect_error "XQDB0002" (fun () ->
-            ignore (Engine.sql db "SELECT x FROM nosuch")));
+            ignore (sql db "SELECT x FROM nosuch")));
     tc "malformed XML document rejected on insert" (fun () ->
         let db = db () in
-        match Engine.sql db "INSERT INTO t VALUES (1, '<a><b></a>')" with
+        match sql db "INSERT INTO t VALUES (1, '<a><b></a>')" with
         | _ -> Alcotest.fail "should fail"
-        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+        | exception Xdm.Xerror.Error e ->
+            check Alcotest.string "coded" "FODC0002" e.code);
     tc "string literal escaping ('' inside SQL strings)" (fun () ->
         let db = db () in
-        ignore (Engine.sql db "CREATE TABLE s (v varchar(20))");
-        ignore (Engine.sql db "INSERT INTO s VALUES ('it''s')");
+        ignore (sql db "CREATE TABLE s (v varchar(20))");
+        ignore (sql db "INSERT INTO s VALUES ('it''s')");
         check Alcotest.int "found" 1
           (sql_count db "SELECT v FROM s WHERE v = 'it''s'"));
     tc "date column coercion from literal" (fun () ->
         let db = db () in
-        ignore (Engine.sql db "CREATE TABLE dts (w date)");
-        ignore (Engine.sql db "INSERT INTO dts VALUES ('2006-09-15')");
+        ignore (sql db "CREATE TABLE dts (w date)");
+        ignore (sql db "INSERT INTO dts VALUES ('2006-09-15')");
         check Alcotest.int "range" 1
           (sql_count db "SELECT w FROM dts WHERE w > '2006-01-01'"));
     tc "timestamp column" (fun () ->
         let db = db () in
-        ignore (Engine.sql db "CREATE TABLE ts (w timestamp)");
-        ignore (Engine.sql db "INSERT INTO ts VALUES ('2006-09-15T13:00:00')");
+        ignore (sql db "CREATE TABLE ts (w timestamp)");
+        ignore (sql db "INSERT INTO ts VALUES ('2006-09-15T13:00:00')");
         check Alcotest.int "eq" 1
           (sql_count db
              "SELECT w FROM ts WHERE w = '2006-09-15T13:00:00'"));
@@ -119,13 +114,13 @@ let date_between_tests =
   [
     tc "xqdb:between over dates with a DATE index" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (id integer, d XML)");
+        ignore (sql db "CREATE TABLE t (id integer, d XML)");
         Engine.load_documents db ~table:"t" ~column:"d"
           (List.init 50 (fun i ->
                Printf.sprintf "<e><when>200%d-0%d-01</when></e>" (i mod 7)
                  (1 + (i mod 9))));
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX dw ON t(d) USING XMLPATTERN '//when' AS DATE");
         let q =
           "db2-fn:xmlcolumn('T.D')//e[when/xs:date(.) >= \
@@ -145,9 +140,9 @@ let date_between_tests =
     [n] documents via one (committed) bulk load. *)
 let indexed_db ?(n = 10) () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+  ignore (sql db "CREATE TABLE t (a integer, d XML)");
   ignore
-    (Engine.sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
+    (sql db "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
   Engine.load_documents db ~table:"t" ~column:"d"
     (List.init n (fun i -> Printf.sprintf "<a><p>%d</p></a>" i));
   db
@@ -174,12 +169,13 @@ let atomicity_tests =
         let rows0 = Storage.Table.row_count (table db "t") in
         let entries0 = entry_counts db in
         (match
-           Engine.sql db
+           sql db
              "INSERT INTO t VALUES (100, '<a><p>100</p></a>'), \
               (101, '<a><p>101</p></a>'), (102, '<a><p>102</a>')"
          with
         | _ -> Alcotest.fail "should fail on the malformed third row"
-        | exception Xmlparse.Xml_parser.Xml_error _ -> ());
+        | exception Xdm.Xerror.Error e ->
+            check Alcotest.string "coded" "FODC0002" e.code);
         check Alcotest.int "row_count unchanged" rows0
           (Storage.Table.row_count (table db "t"));
         check
@@ -188,12 +184,12 @@ let atomicity_tests =
         assert_consistent db);
     tc "UPDATE failing mid-scan restores prior values" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE u (w date, src varchar(20))");
-        ignore (Engine.sql db "INSERT INTO u VALUES (NULL, '2006-05-05')");
-        ignore (Engine.sql db "INSERT INTO u VALUES (NULL, 'notadate')");
+        ignore (sql db "CREATE TABLE u (w date, src varchar(20))");
+        ignore (sql db "INSERT INTO u VALUES (NULL, '2006-05-05')");
+        ignore (sql db "INSERT INTO u VALUES (NULL, 'notadate')");
         (* row 1 coerces fine, row 2 fails — row 1's update must revert *)
         expect_error "FORG0001" (fun () ->
-            ignore (Engine.sql db "UPDATE u SET w = src"));
+            ignore (sql db "UPDATE u SET w = src"));
         check Alcotest.int "both w still NULL" 2
           (sql_count db "SELECT w FROM u WHERE w IS NULL"));
     tc "UPDATE failing mid-scan restores index entries" (fun () ->
@@ -205,7 +201,7 @@ let atomicity_tests =
           [ "<a><p>notanumber</p></a>" ];
         let entries0 = entry_counts db in
         (match
-           Engine.sql db
+           sql db
              "UPDATE t SET d = XMLQUERY('<a><p>{$D/a/p + 1}</p></a>' \
               PASSING d AS \"D\")"
          with
@@ -219,11 +215,11 @@ let atomicity_tests =
            shifts every p up by one) *)
         check Alcotest.int "p=0 doc still there" 1
           (List.length
-             (fst (Engine.xquery db "db2-fn:xmlcolumn('T.D')//a[p = 0]"))));
+             (fst (xquery db "db2-fn:xmlcolumn('T.D')//a[p = 0]"))));
     tc "successful UPDATE rewrites rows and keeps indexes consistent"
       (fun () ->
         let db = indexed_db ~n:5 () in
-        let r = Engine.sql db "UPDATE t SET d = '<a><p>777</p></a>' WHERE a = 2" in
+        let r = sql db "UPDATE t SET d = '<a><p>777</p></a>' WHERE a = 2" in
         check Alcotest.(list (list string)) "updated 1"
           [ [ "1" ] ]
           (List.map
@@ -236,7 +232,7 @@ let atomicity_tests =
     tc "UPDATE of unknown SET column is a catalog error" (fun () ->
         let db = indexed_db ~n:1 () in
         expect_error "XQDB0002" (fun () ->
-            ignore (Engine.sql db "UPDATE t SET nosuch = 1")));
+            ignore (sql db "UPDATE t SET nosuch = 1")));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -276,7 +272,7 @@ let faultinject_tests =
         let rows0 = Storage.Table.row_count (table db "t") in
         Faultinject.with_fault ~point:"storage.insert" ~n:2 (fun () ->
             match
-              Engine.sql db
+              sql db
                 "INSERT INTO t VALUES (50, '<a><p>50</p></a>'), \
                  (51, '<a><p>51</p></a>'), (52, '<a><p>52</p></a>')"
             with
@@ -287,9 +283,9 @@ let faultinject_tests =
         assert_consistent db);
     tc "armed fault at btree.split rolls back cleanly" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer, d XML)");
+        ignore (sql db "CREATE TABLE t (a integer, d XML)");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ip ON t(d) USING XMLPATTERN '//p' AS DOUBLE");
         (* enough entries to overflow an order-64 leaf mid-load *)
         Faultinject.with_fault ~point:"btree.split" ~n:1 (fun () ->
@@ -314,7 +310,7 @@ let faultinject_tests =
         let rows0 = Storage.Table.row_count (table db "t") in
         let entries0 = entry_counts db in
         Faultinject.with_fault ~point:"index.delete_doc" ~n:3 (fun () ->
-            match Engine.sql db "DELETE FROM t" with
+            match sql db "DELETE FROM t" with
             | _ -> Alcotest.fail "should fail"
             | exception Faultinject.Injected _ -> ());
         check Alcotest.int "row_count unchanged" rows0
@@ -330,15 +326,15 @@ let faultinject_tests =
                evaluation; whichever operation trips the armed point, the
                per-statement undo must leave the engine consistent *)
             (try
-               ignore (Engine.sql db "CREATE INDEX ra ON t(a)");
+               ignore (sql db "CREATE INDEX ra ON t(a)");
                Engine.load_documents db ~table:"t" ~column:"d"
                  (List.init 30 (fun i ->
                       Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 500)));
                ignore
-                 (Engine.sql db
+                 (sql db
                     "UPDATE t SET d = XMLQUERY('<a><p>{($D/a/p)[1] + \
                      1}</p></a>' PASSING d AS \"D\") WHERE a < 3");
-               ignore (Engine.sql db "DELETE FROM t WHERE a = 1")
+               ignore (sql db "DELETE FROM t WHERE a = 1")
              with Faultinject.Injected _ -> ());
             assert_consistent db));
     tc "check_consistency reports an injected bogus entry" (fun () ->
@@ -378,21 +374,21 @@ let governor_tests =
         let db = paper_db ~n_orders:500 () in
         Engine.set_limits db (limits_with ~steps:10_000 ());
         expect_error "XQDB0001" (fun () ->
-            ignore (Engine.xquery db pathological_query));
+            ignore (xquery db pathological_query));
         (* the same query succeeds with the budget raised *)
         Engine.set_limits db (limits_with ~steps:100_000_000 ());
-        let items, _ = Engine.xquery db pathological_query in
+        let items, _ = xquery db pathological_query in
         check Alcotest.bool "has results" true (items <> []));
     tc "step budget applies to SQL row scans too" (fun () ->
         let db = Engine.create () in
-        ignore (Engine.sql db "CREATE TABLE t (a integer)");
+        ignore (sql db "CREATE TABLE t (a integer)");
         for i = 1 to 100 do
           ignore
-            (Engine.sql db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+            (sql db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
         done;
         Engine.set_limits db (limits_with ~steps:50 ());
         expect_error "XQDB0001" (fun () ->
-            ignore (Engine.sql db "SELECT a FROM t"));
+            ignore (sql db "SELECT a FROM t"));
         Engine.set_limits db Xdm.Limits.unlimited;
         check Alcotest.int "unlimited scan ok" 100
           (sql_count db "SELECT a FROM t"));

@@ -6,19 +6,19 @@ module SV = Storage.Sql_value
 
 let fresh () =
   let db = Engine.create () in
-  ignore (Engine.sql db "CREATE TABLE t (a integer, s varchar(10), d XML)");
+  ignore (sql db "CREATE TABLE t (a integer, s varchar(10), d XML)");
   db
 
 let sql_tests =
   [
     tc "insert and select star" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a/>')");
-        ignore (Engine.sql db "INSERT INTO t VALUES (2, 'y', NULL)");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a/>')");
+        ignore (sql db "INSERT INTO t VALUES (2, 'y', NULL)");
         check Alcotest.int "rows" 2 (sql_count db "SELECT * FROM t"));
     tc "where with literals and 3VL NULL" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', NULL), (2, NULL, NULL)");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', NULL), (2, NULL, NULL)");
         check Alcotest.int "s = 'x'" 1 (sql_count db "SELECT a FROM t WHERE s = 'x'");
         (* NULL <> 'x' is unknown, row dropped *)
         check Alcotest.int "s <> 'x'" 0
@@ -29,61 +29,61 @@ let sql_tests =
           (sql_count db "SELECT a FROM t WHERE s IS NOT NULL"));
     tc "SQL string comparison ignores trailing blanks" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'abc   ', NULL)");
+        ignore (sql db "INSERT INTO t VALUES (1, 'abc   ', NULL)");
         check Alcotest.int "found" 1
           (sql_count db "SELECT a FROM t WHERE s = 'abc'"));
     tc "cross join cardinality" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "CREATE TABLE u (b integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', NULL)");
-        ignore (Engine.sql db "INSERT INTO u VALUES (10), (20), (30)");
+        ignore (sql db "CREATE TABLE u (b integer)");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', NULL)");
+        ignore (sql db "INSERT INTO u VALUES (10), (20), (30)");
         check Alcotest.int "2*3" 6 (sql_count db "SELECT a, b FROM t, u"));
     tc "equijoin" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "CREATE TABLE u (b integer)");
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', NULL)");
-        ignore (Engine.sql db "INSERT INTO u VALUES (2), (3)");
+        ignore (sql db "CREATE TABLE u (b integer)");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', NULL)");
+        ignore (sql db "INSERT INTO u VALUES (2), (3)");
         check Alcotest.int "matches" 1
           (sql_count db "SELECT a FROM t, u WHERE a = b"));
     tc "relational index join probing" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "CREATE TABLE u (b integer)");
+        ignore (sql db "CREATE TABLE u (b integer)");
         for i = 1 to 50 do
           ignore
-            (Engine.sql db
+            (sql db
                (Printf.sprintf "INSERT INTO t VALUES (%d, 'x', NULL)" i))
         done;
-        ignore (Engine.sql db "INSERT INTO u VALUES (7), (13)");
-        ignore (Engine.sql db "CREATE INDEX t_a ON t(a)");
+        ignore (sql db "INSERT INTO u VALUES (7), (13)");
+        ignore (sql db "CREATE INDEX t_a ON t(a)");
         check Alcotest.int "joined" 2
           (sql_count db "SELECT a FROM u, t WHERE b = a");
         check Alcotest.bool "t_a used" true
-          (List.mem "t_a" (Engine.last_indexes_used db)));
+          (List.mem "t_a" (last_indexes_used db)));
     tc "relational index range probe" (fun () ->
         let db = fresh () in
         for i = 1 to 30 do
           ignore
-            (Engine.sql db
+            (sql db
                (Printf.sprintf "INSERT INTO t VALUES (%d, 'x', NULL)" i))
         done;
-        ignore (Engine.sql db "CREATE INDEX t_a ON t(a)");
+        ignore (sql db "CREATE INDEX t_a ON t(a)");
         check Alcotest.int "a > 25" 5 (sql_count db "SELECT a FROM t WHERE a > 25");
         check Alcotest.bool "used" true
-          (List.mem "t_a" (Engine.last_indexes_used db)));
+          (List.mem "t_a" (last_indexes_used db)));
     tc "XMLQuery returns empty XML, not NULL rows" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a><b>1</b></a>')");
-        ignore (Engine.sql db "INSERT INTO t VALUES (2, 'y', '<a/>')");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a><b>1</b></a>')");
+        ignore (sql db "INSERT INTO t VALUES (2, 'y', '<a/>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT XMLQuery('$d//b' passing d as \"d\") FROM t"
         in
         check Alcotest.int "rows" 2 (List.length r.Sqlxml.Sql_exec.rrows));
     tc "XMLCast of empty sequence is NULL" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a/>')");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a/>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT XMLCast(XMLQuery('$d//b' passing d as \"d\") as DOUBLE) \
              FROM t"
         in
@@ -91,19 +91,16 @@ let sql_tests =
           (List.hd r.Sqlxml.Sql_exec.rrows = [ SV.Null ]));
     tc "XMLCast numeric conversion failure is a runtime error" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a>abc</a>')");
-        match
-          Engine.sql db
-            "SELECT XMLCast(XMLQuery('$d/a' passing d as \"d\") as DOUBLE) \
-             FROM t"
-        with
-        | _ -> Alcotest.fail "expected error"
-        | exception Sqlxml.Sql_exec.Sql_runtime_error _ -> ());
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a>abc</a>')");
+        expect_error "XQDB0003" (fun () ->
+            sql db
+              "SELECT XMLCast(XMLQuery('$d/a' passing d as \"d\") as DOUBLE) \
+               FROM t"));
     tc "XMLELEMENT publishing" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (7, 'x', NULL)");
+        ignore (sql db "INSERT INTO t VALUES (7, 'x', NULL)");
         let r =
-          Engine.sql db "SELECT XMLELEMENT(NAME wrapped, a, s) FROM t"
+          sql db "SELECT XMLELEMENT(NAME wrapped, a, s) FROM t"
         in
         match List.hd r.Sqlxml.Sql_exec.rrows with
         | [ SV.Xml seq ] ->
@@ -112,10 +109,10 @@ let sql_tests =
         | _ -> Alcotest.fail "expected XML");
     tc "XMLTable BY VALUE copies nodes (fresh identity)" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a><b>1</b></a>')");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a><b>1</b></a>')");
         let get by =
           let r =
-            Engine.sql db
+            sql db
               (Printf.sprintf
                  "SELECT x.c FROM t, XMLTable('$d//b' passing d as \"d\" \
                   COLUMNS \"c\" XML BY %s PATH '.') AS x(c)"
@@ -133,9 +130,9 @@ let sql_tests =
           (by_val.Xdm.Node.parent = None));
     tc "XMLTable column type conversion and errors" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a><n>42</n></a>')");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a><n>42</n></a>')");
         let r =
-          Engine.sql db
+          sql db
             "SELECT x.v FROM t, XMLTable('$d/a' passing d as \"d\" COLUMNS \
              \"v\" INTEGER PATH 'n') AS x(v)"
         in
@@ -143,49 +140,45 @@ let sql_tests =
           (List.hd r.Sqlxml.Sql_exec.rrows = [ SV.Int 42L ]));
     tc "DROP INDEX removes it from planning" (fun () ->
         let db = fresh () in
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a p=\"5\"/>')");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a p=\"5\"/>')");
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ip ON t(d) USING XMLPATTERN '//@p' AS DOUBLE");
         ignore
-          (Engine.sql db
+          (sql db
              "SELECT a FROM t WHERE XMLExists('$d/a[@p > 1]' passing d as \"d\")");
         check Alcotest.bool "used" true
-          (List.mem "ip" (Engine.last_indexes_used db));
-        ignore (Engine.sql db "DROP INDEX ip");
+          (List.mem "ip" (last_indexes_used db));
+        ignore (sql db "DROP INDEX ip");
         ignore
-          (Engine.sql db
+          (sql db
              "SELECT a FROM t WHERE XMLExists('$d/a[@p > 1]' passing d as \"d\")");
-        check Alcotest.(list string) "gone" [] (Engine.last_indexes_used db));
+        check Alcotest.(list string) "gone" [] (last_indexes_used db));
     tc "index maintenance under INSERT after CREATE INDEX" (fun () ->
         let db = fresh () in
         ignore
-          (Engine.sql db
+          (sql db
              "CREATE INDEX ip ON t(d) USING XMLPATTERN '//@p' AS DOUBLE");
-        ignore (Engine.sql db "INSERT INTO t VALUES (1, 'x', '<a p=\"5\"/>')");
-        ignore (Engine.sql db "INSERT INTO t VALUES (2, 'y', '<a p=\"15\"/>')");
+        ignore (sql db "INSERT INTO t VALUES (1, 'x', '<a p=\"5\"/>')");
+        ignore (sql db "INSERT INTO t VALUES (2, 'y', '<a p=\"15\"/>')");
         let n =
           sql_count db
             "SELECT a FROM t WHERE XMLExists('$d/a[@p > 10]' passing d as \"d\")"
         in
         check Alcotest.int "one row" 1 n;
         check Alcotest.bool "used" true
-          (List.mem "ip" (Engine.last_indexes_used db)));
+          (List.mem "ip" (last_indexes_used db)));
     tc "duplicate table rejected" (fun () ->
         let db = fresh () in
-        match Engine.sql db "CREATE TABLE t (x integer)" with
+        match sql db "CREATE TABLE t (x integer)" with
         | _ -> Alcotest.fail "should fail"
         | exception Xdm.Xerror.Error { code = "XQDB0002"; _ } -> ());
     tc "unknown column is a runtime error" (fun () ->
         let db = fresh () in
-        match Engine.sql db "SELECT nosuch FROM t" with
-        | _ -> Alcotest.fail "should fail"
-        | exception Sqlxml.Sql_exec.Sql_runtime_error _ -> ());
+        expect_error "XQDB0003" (fun () -> sql db "SELECT nosuch FROM t"));
     tc "syntax error reported" (fun () ->
         let db = fresh () in
-        match Engine.sql db "SELECT FROM WHERE" with
-        | _ -> Alcotest.fail "should fail"
-        | exception Sqlxml.Sql_lexer.Sql_syntax_error _ -> ());
+        expect_error "XPST0003" (fun () -> sql db "SELECT FROM WHERE"));
   ]
 
 let suite = [ ("sqlxml:exec", sql_tests) ]

@@ -43,7 +43,9 @@ let gen_client_msg : Xnet.Proto.client_msg QCheck.Gen.t =
     oneof
       [
         map2
-          (fun user client -> Xnet.Proto.Hello { user; client })
+          (fun user client ->
+            Xnet.Proto.Hello
+              { version = Xnet.Proto.version; user; client })
           gen_string gen_string;
         map2 (fun src b -> Xnet.Proto.Exec { src; b }) gen_string gen_bindings;
         map2
@@ -61,6 +63,16 @@ let gen_client_msg : Xnet.Proto.client_msg QCheck.Gen.t =
         return Xnet.Proto.Checkpoint;
         return Xnet.Proto.Stats;
         return Xnet.Proto.Quit;
+        map
+          (fun ro ->
+            Xnet.Proto.Begin
+              {
+                mode =
+                  (if ro then Xnet.Proto.Read_only else Xnet.Proto.Read_write);
+              })
+          bool;
+        return Xnet.Proto.Commit;
+        return Xnet.Proto.Rollback;
       ])
 
 let gen_elem =
@@ -113,8 +125,8 @@ let gen_server_msg : Xnet.Proto.server_msg QCheck.Gen.t =
         return Xnet.Proto.Bye;
       ])
 
-(* Hello roundtrips only at the supported version, so pin it there (the
-   generator never produces another version). *)
+(* Hello's version field roundtrips like any other integer; the
+   generator pins it to the current version for simplicity. *)
 let prop_client_roundtrip =
   QCheck.Test.make ~count:500
     ~name:"xnet: client-encode = server-decode (roundtrip)"
@@ -215,12 +227,14 @@ let raw_connect srv =
   set_binary_mode_out oc true;
   (fd, ic, oc)
 
-let raw_hello oc ic =
+let raw_hello ?(version = Xnet.Proto.version) oc ic =
   Xnet.Proto.write_frame oc
     (Xnet.Proto.encode_client
-       (Xnet.Proto.Hello { user = "torture"; client = "t_xnet" }));
+       (Xnet.Proto.Hello { version; user = "torture"; client = "t_xnet" }));
   match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
-  | Xnet.Proto.Ready _ -> ()
+  | Xnet.Proto.Ready { version = negotiated; _ } ->
+      check Alcotest.int "negotiated version" (min version Xnet.Proto.version)
+        negotiated
   | _ -> Alcotest.fail "expected Ready"
 
 let expect_err_frame ~code ic =
@@ -285,20 +299,38 @@ let torture_tests =
                      (Xnet.Proto.Exec
                         { src = "SELECT 1"; b = Xnet.Proto.no_bindings }));
                 expect_err_frame ~code:"XQDB0006" ic)));
-    tc "wrong protocol version in Hello is refused" (fun () ->
+    tc "newer client negotiates down; version 0 Hello is refused"
+      (fun () ->
+        with_server (fun _db srv ->
+            (* a hypothetical v99 client is served at the server's own
+               version (negotiation = min) *)
+            let fd, ic, oc = raw_connect srv in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> raw_hello ~version:99 oc ic);
+            (* version 0 is not a protocol version at all *)
+            let fd, ic, oc = raw_connect srv in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let buf = Buffer.create 16 in
+                Buffer.add_char buf '\x01';
+                Buffer.add_int32_be buf 0l;
+                Buffer.add_int32_be buf 0l;
+                Buffer.add_int32_be buf 0l;
+                Xnet.Proto.write_frame oc (Buffer.contents buf);
+                expect_err_frame ~code:"XQDB0006" ic)));
+    tc "transaction frames on a v1-negotiated session are refused"
+      (fun () ->
         with_server (fun _db srv ->
             let fd, ic, oc = raw_connect srv in
             Fun.protect
               ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
               (fun () ->
-                (* hand-build a Hello with version 99: tag 0x01, u32 99,
-                   then two empty strings *)
-                let buf = Buffer.create 16 in
-                Buffer.add_char buf '\x01';
-                Buffer.add_int32_be buf 99l;
-                Buffer.add_int32_be buf 0l;
-                Buffer.add_int32_be buf 0l;
-                Xnet.Proto.write_frame oc (Buffer.contents buf);
+                raw_hello ~version:1 oc ic;
+                Xnet.Proto.write_frame oc
+                  (Xnet.Proto.encode_client
+                     (Xnet.Proto.Begin { mode = Xnet.Proto.Read_write }));
                 expect_err_frame ~code:"XQDB0006" ic)));
   ]
 
@@ -473,37 +505,249 @@ let session_tests =
                   ])));
   ]
 
-(* Lockorder hygiene: with the thread-id provider installed (by
-   Server.start), concurrent sessions must not fabricate phantom
-   cross-thread edges between the server's own locks — and above all no
-   cycle between "xnet.engine" and "xnet.sessions", which are never
-   nested by construction. *)
-let lockorder_tests =
+(* ------------------------------------------------------------------ *)
+(* Wire v2: transactions, snapshot isolation, streaming cursors         *)
+(* ------------------------------------------------------------------ *)
+
+let count_rows (o : Xnet.Client.okay) =
+  match o.Xnet.Client.payload with
+  | Xnet.Proto.Wrows { rows; _ } -> List.length rows
+  | Xnet.Proto.Witems items -> List.length items
+
+let product_count c =
+  count_rows (Xnet.Client.exec c "SELECT id FROM products")
+
+let txn_tests =
   [
-    tc "no lock-order cycle between server locks under concurrency"
+    tc "wire transaction: read-your-writes, isolation, conflict, commit"
       (fun () ->
         with_server (fun _db srv ->
+            with_client srv (fun a ->
+                with_client srv (fun b ->
+                    let n0 = product_count b in
+                    Xnet.Client.txn_begin a;
+                    ignore
+                      (Xnet.Client.exec a
+                         "INSERT INTO products VALUES ('tx-1', 'wire txn')");
+                    (* the writer reads its own uncommitted statement *)
+                    check Alcotest.int "read-your-writes" (n0 + 1)
+                      (product_count a);
+                    (* the other session still reads the pre-transaction
+                       snapshot *)
+                    check Alcotest.int "isolated" n0 (product_count b);
+                    (* a second read-write transaction is refused while
+                       the first holds the writer slot *)
+                    expect_error "XQDB0007" (fun () ->
+                        Xnet.Client.txn_begin b);
+                    Xnet.Client.txn_commit a;
+                    check Alcotest.int "visible after commit" (n0 + 1)
+                      (product_count b);
+                    (* rollback undoes rows *)
+                    Xnet.Client.txn_begin a;
+                    ignore
+                      (Xnet.Client.exec a
+                         "INSERT INTO products VALUES ('tx-2', 'doomed')");
+                    Xnet.Client.txn_rollback a;
+                    check Alcotest.int "rolled back" (n0 + 1)
+                      (product_count b);
+                    check Alcotest.int "rolled back (writer view)" (n0 + 1)
+                      (product_count a);
+                    (* commit without an open transaction is an error the
+                       session survives *)
+                    expect_error "XQDB0007" (fun () ->
+                        Xnet.Client.txn_commit a);
+                    ignore (product_count a)))));
+    tc "read-only wire transaction pins its snapshot" (fun () ->
+        with_server (fun _db srv ->
+            with_client srv (fun a ->
+                with_client srv (fun b ->
+                    Xnet.Client.txn_begin ~mode:Xnet.Proto.Read_only b;
+                    let n = product_count b in
+                    ignore
+                      (Xnet.Client.exec a
+                         "INSERT INTO products VALUES ('ro-1', 'autocommit')");
+                    check Alcotest.int "snapshot pinned across a's commit" n
+                      (product_count b);
+                    (* writes are refused inside a read-only transaction *)
+                    expect_error "XQDB0007" (fun () ->
+                        Xnet.Client.exec b
+                          "INSERT INTO products VALUES ('ro-2', 'nope')");
+                    Xnet.Client.txn_commit b;
+                    check Alcotest.int "fresh snapshot after commit" (n + 1)
+                      (product_count b)))));
+    tc "disconnect mid-transaction rolls it back" (fun () ->
+        with_server (fun _db srv ->
+            let n0 =
+              with_client srv (fun c -> product_count c)
+            in
+            let fd, ic, oc = raw_connect srv in
+            raw_hello oc ic;
+            Xnet.Proto.write_frame oc
+              (Xnet.Proto.encode_client
+                 (Xnet.Proto.Begin { mode = Xnet.Proto.Read_write }));
+            (match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
+            | Xnet.Proto.Okay _ -> ()
+            | _ -> Alcotest.fail "expected Okay after Begin");
+            Xnet.Proto.write_frame oc
+              (Xnet.Proto.encode_client
+                 (Xnet.Proto.Exec
+                    {
+                      src =
+                        "INSERT INTO products VALUES ('dc-1', 'vanishing')";
+                      b = Xnet.Proto.no_bindings;
+                    }));
+            (match Xnet.Proto.decode_server (Xnet.Proto.read_frame ic) with
+            | Xnet.Proto.Okay _ -> ()
+            | _ -> Alcotest.fail "expected Okay after Exec");
+            (* vanish without Commit: the server must roll back and
+               release the writer slot *)
+            Unix.close fd;
+            Alcotest.(check bool)
+              "session reaped" true
+              (eventually (fun () -> Xnet.Server.active_sessions srv = 0));
+            with_client srv (fun c ->
+                check Alcotest.int "insert rolled back" n0 (product_count c);
+                (* the writer slot is free again *)
+                Xnet.Client.txn_begin c;
+                Xnet.Client.txn_rollback c)));
+    tc "100k-row cursor streams: first batch beats the full drain"
+      (fun () ->
+        with_server (fun db srv ->
+            (* build the big table directly on the shared engine — the
+               wire is not the thing under test here *)
+            ignore (Engine.exec db "CREATE TABLE big (a integer)");
+            for chunk = 0 to 99 do
+              let vals =
+                String.concat ", "
+                  (List.init 1000 (fun i ->
+                       Printf.sprintf "(%d)" ((chunk * 1000) + i)))
+              in
+              ignore (Engine.exec db ("INSERT INTO big VALUES " ^ vals))
+            done;
+            with_client srv (fun c ->
+                let t0 = Unix.gettimeofday () in
+                let cursor, _cols =
+                  Xnet.Client.open_cursor c "SELECT a FROM big"
+                in
+                let first, finished =
+                  Xnet.Client.fetch c ~cursor ~max:10
+                in
+                let t_first = Unix.gettimeofday () -. t0 in
+                check Alcotest.int "first batch size" 10 (List.length first);
+                check Alcotest.bool "not finished" false finished;
+                let t1 = Unix.gettimeofday () in
+                let drained = ref (List.length first) in
+                let fin = ref false in
+                while not !fin do
+                  let elems, f = Xnet.Client.fetch c ~cursor ~max:20000 in
+                  drained := !drained + List.length elems;
+                  fin := f
+                done;
+                let t_drain = Unix.gettimeofday () -. t1 in
+                check Alcotest.int "all rows" 100_000 !drained;
+                (* a cursor that materialized at open would pay the full
+                   100k-row cost before the first batch; a streaming one
+                   pays ~10 rows. The margin is huge, so the timing
+                   assertion is safe even on loaded CI machines. *)
+                Alcotest.(check bool)
+                  (Printf.sprintf
+                     "first batch (%.1f ms) faster than full drain (%.1f ms)"
+                     (1000. *. t_first) (1000. *. t_drain))
+                  true
+                  (t_first < t_drain))));
+    tc "reader session completes probes while a bulk load runs" (fun () ->
+        with_server (fun _db srv ->
+            let writer_done = Atomic.make false in
+            let writer_err = ref None in
+            let writer =
+              Thread.create
+                (fun () ->
+                  (try
+                     with_client srv (fun w ->
+                         for k = 1 to 40 do
+                           ignore
+                             (Xnet.Client.exec w
+                                (Printf.sprintf
+                                   "INSERT INTO orders VALUES (%d, \
+                                    '<order><custid>%d</custid>\
+                                    <lineitem price=\"9.5\">\
+                                    <product><id>bulk</id></product>\
+                                    </lineitem></order>')"
+                                   (1000 + k) k))
+                         done)
+                   with e -> writer_err := Some e);
+                  Atomic.set writer_done true)
+                ()
+            in
+            (* the reader's probes run to completion while the load is
+               in flight; every count it sees is a committed snapshot *)
+            with_client srv (fun r ->
+                let last = ref (-1) in
+                let overlapped = ref false in
+                while not (Atomic.get writer_done) do
+                  let n =
+                    count_rows
+                      (Xnet.Client.exec r "SELECT ordid FROM orders")
+                  in
+                  if not (Atomic.get writer_done) then overlapped := true;
+                  Alcotest.(check bool)
+                    "monotonic committed counts" true (n >= !last);
+                  last := n
+                done;
+                Thread.join writer;
+                (match !writer_err with
+                | Some e -> raise e
+                | None -> ());
+                Alcotest.(check bool)
+                  "probes overlapped the load" true !overlapped;
+                check Alcotest.int "final count" (30 + 40)
+                  (count_rows
+                     (Xnet.Client.exec r "SELECT ordid FROM orders")))));
+  ]
+
+(* Lockorder hygiene: with the thread-id provider installed (by
+   Server.start), concurrent sessions must not fabricate phantom
+   cross-thread edges — no cycle may involve the session-table lock or
+   any of the engine's transaction-era locks (writer slot, snapshot
+   pointer, compile lock), whose order is fixed by construction
+   (engine.writer > engine.compile > engine.snapshot, "xnet.sessions"
+   never nested with any of them). *)
+let lockorder_tests =
+  [
+    tc "no lock-order cycle between server and engine locks under \
+        concurrency" (fun () ->
+        with_server (fun _db srv ->
             let threads =
-              List.init 4 (fun _ ->
+              List.init 4 (fun i ->
                   Thread.create
                     (fun () ->
                       with_client srv (fun c ->
-                          for _ = 1 to 5 do
+                          for j = 1 to 5 do
                             ignore
-                              (Xnet.Client.exec c "SELECT ordid FROM orders")
+                              (Xnet.Client.exec c "SELECT ordid FROM orders");
+                            (* mix writes in so the writer/snapshot locks
+                               see traffic from several threads *)
+                            ignore
+                              (Xnet.Client.exec c
+                                 (Printf.sprintf
+                                    "INSERT INTO products VALUES \
+                                     ('lk-%d-%d', 'lock order')" i j))
                           done))
                     ())
             in
             List.iter Thread.join threads;
             let cycles = Xpar.Lockorder.cycles () in
+            let watched =
+              [
+                "xnet.sessions"; "engine.writer"; "engine.snapshot";
+                "engine.compile";
+              ]
+            in
             let server_cycle =
-              List.exists
-                (List.exists (fun n ->
-                     n = "xnet.engine" || n = "xnet.sessions"))
-                cycles
+              List.exists (List.exists (fun n -> List.mem n watched)) cycles
             in
             Alcotest.(check bool)
-              "no potential deadlock involving server locks" false
+              "no potential deadlock involving server or engine locks" false
               server_cycle));
   ]
 
@@ -515,5 +759,6 @@ let suite =
         [ prop_client_roundtrip; prop_server_roundtrip; prop_decoder_total ] );
     ("xnet:torture", torture_tests);
     ("xnet:session", session_tests);
+    ("xnet:txn", txn_tests);
     ("xnet:lockorder", lockorder_tests);
   ]

@@ -67,7 +67,7 @@ let t_json () =
 let idx_db ?(n_orders = 60) () =
   let db = paper_db ~n_orders () in
   List.iter
-    (fun s -> ignore (Engine.sql db s))
+    (fun s -> ignore (sql db s))
     [
       "CREATE INDEX li_price ON orders(orddoc) USING XMLPATTERN \
        '//lineitem/@price' AS DOUBLE";
@@ -87,8 +87,8 @@ let counters_of db run =
 
 let c_assoc name c = List.assoc name c
 
-let xq_run db src () = List.length (fst (Engine.xquery db src))
-let sql_run db src () = List.length (Engine.sql db src).Sqlxml.Sql_exec.rrows
+let xq_run db src () = List.length (fst (xquery db src))
+let sql_run db src () = List.length (sql db src).Sqlxml.Sql_exec.rrows
 
 let q1 = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>990]"
 let q2 = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>990]"
@@ -98,8 +98,8 @@ let q2 = "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@*>990]"
 let t_disabled_zero_overhead () =
   let db = idx_db () in
   check Alcotest.bool "off by default" false (Engine.profiling db);
-  ignore (Engine.xquery db q1);
-  ignore (Engine.sql db "SELECT ordid FROM orders");
+  ignore (xquery db q1);
+  ignore (sql db "SELECT ordid FROM orders");
   let p = Engine.profile db in
   List.iter
     (fun (name, v) -> check Alcotest.int ("counter " ^ name) 0 v)
@@ -180,7 +180,7 @@ let t_eligible_pairs () =
 let t_operator_tree () =
   let db = idx_db () in
   Engine.set_profiling db true;
-  ignore (Engine.xquery db q1);
+  ignore (xquery db q1);
   let p = Engine.profile db in
   let report = Xprof.report p in
   Engine.set_profiling db false;
@@ -203,7 +203,7 @@ let t_governor_headroom () =
       max_depth = Some 100;
     };
   Engine.set_profiling db true;
-  ignore (Engine.xquery db q2);
+  ignore (xquery db q2);
   let p = Engine.profile db in
   let gov = p.Xprof.governor in
   check Alcotest.bool "governor snapshot present" true (gov <> []);
@@ -217,7 +217,7 @@ let t_governor_headroom () =
   check Alcotest.bool "steps metered" true
     (List.exists (fun (n, used, _) -> n = "steps" && used > 0) gov);
   Engine.set_limits db Xdm.Limits.unlimited;
-  ignore (Engine.xquery db q2);
+  ignore (xquery db q2);
   check Alcotest.bool "unarmed statement has no snapshot" true
     (p.Xprof.governor = []);
   Engine.set_profiling db false
@@ -226,8 +226,8 @@ let t_governor_headroom () =
 let t_registry_accumulates () =
   let db = idx_db () in
   Engine.set_profiling db true;
-  ignore (Engine.xquery db q1);
-  ignore (Engine.sql db "SELECT ordid FROM orders");
+  ignore (xquery db q1);
+  ignore (sql db "SELECT ordid FROM orders");
   Engine.set_profiling db false;
   let r = Engine.registry db in
   check Alcotest.int "statements_total" 2
@@ -243,7 +243,7 @@ let t_registry_accumulates () =
 let t_profile_json () =
   let db = idx_db () in
   Engine.set_profiling db true;
-  ignore (Engine.xquery db q1);
+  ignore (xquery db q1);
   let js = Xprof.Json.to_string (Xprof.to_json (Engine.profile db)) in
   Engine.set_profiling db false;
   List.iter
@@ -271,9 +271,9 @@ let prop_profiling_transparent =
            "db2-fn:xmlcolumn('ORDERS.ORDDOC')//order[lineitem/@price>%d]"
            threshold
        in
-       let plain = Engine.to_xml (fst (Engine.xquery db src)) in
+       let plain = Engine.to_xml (fst (xquery db src)) in
        Engine.set_profiling db true;
-       let profiled = Engine.to_xml (fst (Engine.xquery db src)) in
+       let profiled = Engine.to_xml (fst (xquery db src)) in
        Engine.set_profiling db false;
        plain = profiled)
 
