@@ -1313,6 +1313,111 @@ let parallel_suite ~quick ~out () =
   Printf.printf "spliced \"parallel\" section into %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Structural suite (--suite structural): the "structural" section of  *)
+(* BENCH_micro.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** A deterministic document of [fanout]^[depth] shape: nested [s]
+    sections bottoming out in [id] leaves, so [//id/ancestor::*] touches
+    every level on the way back up. *)
+let struct_doc ~depth ~fanout seed =
+  let b = Buffer.create 256 in
+  let rec go d k =
+    if d = 0 then Buffer.add_string b (Printf.sprintf "<id>%d</id>" (seed + k))
+    else begin
+      Buffer.add_string b (Printf.sprintf "<s i=\"%d\">" k);
+      for c = 0 to fanout - 1 do
+        go (d - 1) ((k * fanout) + c)
+      done;
+      Buffer.add_string b "</s>"
+    end
+  in
+  go depth 0;
+  Buffer.contents b
+
+(** Reverse-axis latency, structural join vs tree-walk, at three document
+    sizes. The query [//id/ancestor::*] is the staircase join's best
+    case: navigation re-walks a parent chain per context node where the
+    join's early-stop makes the whole axis amortized linear. Splices the
+    ["structural"] section into [out]; the CI gate reads [ok] — at the
+    largest tier the structural p50 must not exceed the tree-walk p50
+    (the ISSUE-level claim that the encoding pays for itself where
+    documents are deep). *)
+let structural_suite ~quick ~out () =
+  let iters = if quick then 7 else 15 in
+  let tiers =
+    (* (name, docs, depth, fanout): ~13 / ~120 / ~1100 elements per doc *)
+    if quick then
+      [ ("small", 40, 2, 3); ("medium", 40, 4, 3); ("large", 12, 6, 3) ]
+    else
+      [ ("small", 80, 2, 3); ("medium", 80, 4, 3); ("large", 30, 6, 3) ]
+  in
+  let q = "db2-fn:xmlcolumn('T.D')//id/ancestor::*" in
+  Printf.printf
+    "structural suite — %s, structural join vs tree-walk at three \
+     document sizes%s\n"
+    q
+    (if quick then " (--quick)" else "");
+  let results =
+    List.map
+      (fun (name, docs, depth, fanout) ->
+        let db = Engine.create () in
+        ignore (Engine.exec db "CREATE TABLE t (a integer, d XML)");
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init docs (fun i -> struct_doc ~depth ~fanout (i * 10_000)));
+        ignore (Engine.exec db "CREATE STRUCTURAL INDEX st ON t(d)");
+        let nodes =
+          Xmlindex.Structindex.node_count
+            (List.hd (Engine.struct_indexes db))
+          / docs
+        in
+        let run () = ignore (Engine.exec db q) in
+        Engine.set_use_indexes db false;
+        run ();
+        let nav = p50_ms ~iters ~batch:1 run in
+        Engine.set_use_indexes db true;
+        run ();
+        let st = p50_ms ~iters ~batch:1 run in
+        Printf.printf
+          "  %-6s %4d docs × %5d nodes: tree-walk p50 %8.3f ms  \
+           structural p50 %8.3f ms  speedup %.2fx\n"
+          name docs nodes nav st (nav /. st);
+        flush stdout;
+        (name, docs, nodes, nav, st))
+      tiers
+  in
+  let _, _, _, nav_l, st_l =
+    List.find (fun (n, _, _, _, _) -> n = "large") results
+  in
+  let ok = st_l <= nav_l in
+  Printf.printf
+    "  gate (large tier): structural %.3f ms vs tree-walk %.3f ms — %s\n"
+    st_l nav_l
+    (if ok then "ok" else "VIOLATION");
+  let section =
+    J.Obj
+      ([
+         ("query", J.Str q);
+         ("iterations", J.Int iters);
+       ]
+      @ List.map
+          (fun (name, docs, nodes, nav, st) ->
+            ( name,
+              J.Obj
+                [
+                  ("n_docs", J.Int docs);
+                  ("nodes_per_doc", J.Int nodes);
+                  ("treewalk_p50_ms", J.Float nav);
+                  ("structural_p50_ms", J.Float st);
+                  ("speedup", J.Float (nav /. st));
+                ] ))
+          results
+      @ [ ("ok", J.Bool ok) ])
+  in
+  splice_section ~out ~key:"structural" section;
+  Printf.printf "spliced \"structural\" section into %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Durability suite (--suite durability): the "durability" section of  *)
 (* BENCH_micro.json                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -1778,10 +1883,17 @@ let () =
       in
       txn_suite ~quick ~out ();
       exit 0
+  | Some "structural" ->
+      let quick = List.mem "--quick" argv in
+      let out =
+        Option.value (arg_value "--out" argv) ~default:"BENCH_micro.json"
+      in
+      structural_suite ~quick ~out ();
+      exit 0
   | Some other ->
       Printf.eprintf
         "unknown suite %S (available: micro, parallel, prepared, durability, \
-         server, txn)\n"
+         server, txn, structural)\n"
         other;
       exit 2
   | None -> ());

@@ -104,7 +104,7 @@ let iter_embeds (stmt : SA.stmt)
     | SA.Delete { del_where; _ } -> Option.iter walk_cond del_where
     | SA.Explain inner -> walk_stmt inner
     | SA.CreateTable _ | SA.CreateXmlIndex _ | SA.CreateRelIndex _
-    | SA.DropIndex _ ->
+    | SA.CreateStructIndex _ | SA.DropIndex _ ->
         ()
   in
   walk_stmt stmt

@@ -540,9 +540,14 @@ and infer_step st env ploc (cur : seqtype) (s : step) : seqtype =
         | Self, Kind KAnyNode -> in_item
         | Self, Name _ -> (
             match in_item with ITAtomic _ | ITItem -> ITElement | it -> it)
-        | Parent, _ -> ITAnyNode
-        | (Child | Descendant | DescOrSelf), Name _ -> ITElement
-        | (Child | Descendant | DescOrSelf), Kind KAnyNode -> ITAnyNode
+        | (Parent | Ancestor | AncestorOrSelf), Kind KAnyNode -> ITAnyNode
+        | ( ( Child | Descendant | DescOrSelf | Parent | Ancestor
+            | AncestorOrSelf | FollowingSibling | PrecedingSibling ),
+            Name _ ) ->
+            ITElement
+        | (Child | Descendant | DescOrSelf | FollowingSibling | PrecedingSibling),
+          Kind KAnyNode ->
+            ITAnyNode
       in
       let at_most_one_per_item =
         match (axis, test) with

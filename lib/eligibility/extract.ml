@@ -172,9 +172,11 @@ let rec extend_with_steps env (dp : dpath) (steps : step list) : dpath option
       | Descendant ->
           Option.bind (mk ~attr:false ~extra_gap:true) (fun dp ->
               extend_with_steps env dp rest)
-      | Self | DescOrSelf | Parent ->
-          (* self/parent/desc-or-self-with-test navigation: give up on
-             this path (conservative) *)
+      | Self | DescOrSelf | Parent | Ancestor | AncestorOrSelf
+      | FollowingSibling | PrecedingSibling ->
+          (* self/desc-or-self-with-test and reverse/sibling navigation:
+             give up on this path (conservative — the structural index,
+             not the path-value index, owns those axes) *)
           None)
   | SExpr { expr; preds } :: rest -> (
       (* transparent value steps: casts and data() *)
@@ -629,3 +631,102 @@ let analyze ?(xml_params : (string * string) list = [])
     }
   in
   P.simplify (analyze_result env q.body)
+
+(* ------------------------------------------------------------------ *)
+(* Structural-axis survey                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Visit every expression and step of a query (pre-order, source
+    order); the shared chassis of the structural surveys below. *)
+let survey ~(on_expr : expr -> unit) ~(on_step : step -> unit) (q : query) :
+    unit =
+  let rec go (e : expr) =
+    on_expr e;
+    match e with
+    | ELit _ | EVar _ | EContext -> ()
+    | ESeq es -> List.iter go es
+    | EPath (_, steps) -> List.iter go_step steps
+    | EFlwor (clauses, ret) ->
+        List.iter
+          (function
+            | CFor binds | CLet binds -> List.iter (fun (_, e) -> go e) binds
+            | CWhere e -> go e
+            | COrder keys -> List.iter (fun (e, _) -> go e) keys)
+          clauses;
+        go ret
+    | EQuant (_, binds, sat) ->
+        List.iter (fun (_, e) -> go e) binds;
+        go sat
+    | EIf (c, t, f) ->
+        go c;
+        go t;
+        go f
+    | EAnd (a, b)
+    | EOr (a, b)
+    | EGCmp (_, a, b)
+    | EVCmp (_, a, b)
+    | ENCmp (_, a, b)
+    | EArith (_, a, b)
+    | ERange (a, b)
+    | EUnion (a, b)
+    | EIntersect (a, b)
+    | EExcept (a, b) ->
+        go a;
+        go b
+    | ENeg a | ECast (a, _) | ECastable (a, _) | EInstanceOf (a, _) -> go a
+    | ECall { args; _ } -> List.iter go args
+    | EElem c ->
+        List.iter
+          (fun (_, pieces) ->
+            List.iter (function APExpr e -> go e | APText _ -> ()) pieces)
+          c.cattrs;
+        List.iter (function CPExpr e -> go e | CPText _ -> ()) c.ccontent
+    | EElemComp { cn_expr; cbody; _ } ->
+        Option.iter go cn_expr;
+        go cbody
+    | EAttrComp { an_expr; abody; _ } ->
+        Option.iter go an_expr;
+        go abody
+    | ETextComp e -> go e
+  and go_step s =
+    on_step s;
+    match s with
+    | SAxis { preds; _ } -> List.iter go preds
+    | SExpr { expr; preds } ->
+        go expr;
+        List.iter go preds
+  in
+  go q.body
+
+(** The reverse and sibling axes used anywhere in a query, in first-use
+    order — the steps only a structural index can index-accelerate
+    (tree-walked otherwise). Feeds the planner's [nav-axis] EXPLAIN
+    notes and the advisor's structural-index tip. *)
+let reverse_axes (q : query) : Xquery.Ast.axis list =
+  let seen = ref [] in
+  let add a = if not (List.mem a !seen) then seen := a :: !seen in
+  survey q
+    ~on_expr:(fun _ -> ())
+    ~on_step:(function
+      | SAxis { axis; _ } ->
+          if Xquery.Ast.is_reverse_or_sibling axis then add axis
+      | SExpr _ -> ());
+  List.rev !seen
+
+(** The stored collections ("TABLE.COLUMN") a query reads through
+    [db2-fn:xmlcolumn]/[fn:collection] literals, in first-use order. *)
+let collections (q : query) : string list =
+  let seen = ref [] in
+  let add c = if not (List.mem c !seen) then seen := c :: !seen in
+  survey q
+    ~on_step:(fun _ -> ())
+    ~on_expr:(function
+      | ECall
+          {
+            prefix = "db2-fn" | "" | "fn";
+            local = "xmlcolumn" | "collection";
+            args = [ ELit (Xdm.Atomic.Str c) ];
+          } ->
+          add c
+      | _ -> ());
+  List.rev !seen

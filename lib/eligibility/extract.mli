@@ -27,3 +27,13 @@ val analyze :
   ?mode:[ `Value | `Exists ] ->
   Xquery.Ast.query ->
   Predicate.t
+
+(** The reverse and sibling axes used anywhere in a query, in first-use
+    order — the steps only a structural index can index-accelerate
+    (tree-walked otherwise). Feeds the planner's [nav-axis] EXPLAIN
+    notes and the advisor's structural-index tip. *)
+val reverse_axes : Xquery.Ast.query -> Xquery.Ast.axis list
+
+(** The stored collections ("TABLE.COLUMN") a query reads through
+    [db2-fn:xmlcolumn]/[fn:collection] literals, in first-use order. *)
+val collections : Xquery.Ast.query -> string list

@@ -8,7 +8,9 @@
     [{tip; title; detail}] records for the tip-numbered findings. *)
 
 type advice = {
-  tip : int;  (** 1–12 = the paper's Tips; 13 = Section 3.10 (between) *)
+  tip : int;
+      (** 1–12 = the paper's Tips; 13 = Section 3.10 (between); 14 =
+          structural-index advice (reverse/sibling axes) *)
   title : string;
   detail : string;
 }

@@ -159,11 +159,11 @@ let open_db ?(sync = true) ?(count = no_count) ~data_dir ~mk ~apply () =
     let gen = init_dir data_dir in
     cleanup_orphans data_dir gen;
     let snap = snapshot_path data_dir gen in
-    let db, xindexes, rindexes =
+    let db, xindexes, rindexes, sdefs =
       if Sys.file_exists snap then Wal.Snapshot.load ~count ~path:snap ()
-      else (Storage.Database.create (), [], [])
+      else (Storage.Database.create (), [], [], [])
     in
-    let ctx = mk db xindexes rindexes in
+    let ctx = mk db xindexes rindexes sdefs in
     let wpath = wal_path data_dir gen in
     let res = Wal.replay ~apply:(apply ctx) wpath in
     let wal = Wal.open_log ~sync ~count ~keep:res.Wal.committed_end wpath in
@@ -245,11 +245,11 @@ let journal_table t (tbl : Storage.Table.t) =
 (* Checkpoint & shutdown                                                *)
 (* ------------------------------------------------------------------ *)
 
-let checkpoint t ~db ~xindexes ~rindexes =
+let checkpoint t ~db ~xindexes ~rindexes ~sindexes =
   Faultinject.hit "checkpoint.begin";
   let next = t.gen + 1 in
   Wal.Snapshot.save ~count:t.count ~path:(snapshot_path t.data_dir next) db
-    xindexes rindexes;
+    xindexes rindexes sindexes;
   Faultinject.hit "checkpoint.end";
   (* the rename is the commit point of the checkpoint *)
   write_manifest t.data_dir next;

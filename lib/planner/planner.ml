@@ -14,10 +14,12 @@
 module P = Eligibility.Predicate
 module M = Eligibility.Match_index
 module X = Xmlindex.Xindex
+module S = Xmlindex.Structindex
 
 type catalog = {
   db : Storage.Database.t;
   indexes : X.t list;
+  sindexes : S.t list;  (** structural (pre/post) node-encoding indexes *)
 }
 
 type t = {
@@ -509,6 +511,188 @@ let compiled_setup ?(prof = Xprof.disabled) ?(use_indexes = true)
   in
   (Xquery.Ctx.bind_all ctx vars, plan_t, meter)
 
+(* ------------------------------------------------------------------ *)
+(* Structural-join execution                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Is the query body a predicate-free axis pipeline over one stored
+    collection — [db2-fn:xmlcolumn('T.C')/step/step/...] with every step
+    a bare axis? That is the [PStructJoin] shape: each step becomes one
+    structural (interval/staircase) join over the collection's node
+    encoding. Returns the collection, the first (collection-producing)
+    step and the axis descriptors. *)
+let struct_shape (body : Xquery.Ast.expr) :
+    (string * Xquery.Ast.step * (Xquery.Ast.axis * Xquery.Ast.nodetest) list)
+    option =
+  match body with
+  | Xquery.Ast.EPath
+      ( Xquery.Ast.Relative,
+        (Xquery.Ast.SExpr
+           {
+             expr =
+               Xquery.Ast.ECall
+                 {
+                   prefix = "db2-fn" | "";
+                   local = "xmlcolumn" | "collection";
+                   args = [ Xquery.Ast.ELit (Xdm.Atomic.Str coll) ];
+                 };
+             preds = [];
+           } as first)
+        :: (_ :: _ as rest) ) ->
+      let rec axes acc = function
+        | [] -> Some (List.rev acc)
+        | Xquery.Ast.SAxis { axis; test; preds = [] } :: tl ->
+            axes ((axis, test) :: acc) tl
+        | _ -> None
+      in
+      Option.map (fun steps -> (coll, first, steps)) (axes [] rest)
+  | _ -> None
+
+let sindex_for (cat : catalog) (coll : string) : S.t option =
+  List.find_opt
+    (fun (s : S.t) -> norm (S.collection_of_def s.S.def) = norm coll)
+    cat.sindexes
+
+(** Execute a compiled query through the structural index when its body
+    has the [PStructJoin] shape and the collection is covered. Each
+    document's steps run as array joins over its (pre, post, parent,
+    level) encoding; a document without an encoding (e.g. replaced after
+    an MVCC snapshot was taken) falls back to tree-walk evaluation, so
+    the result is always exactly the navigational one. Documents are
+    independent, so parallelism chunks them like {!Xquery.Eval.eval_par}
+    — the order-preserving merge keeps output byte-identical. Returns
+    [None] when the shape or the index is missing. *)
+let try_structural ~(prof : Xprof.t) ~parallelism ?chunk_size (cat : catalog)
+    (ctx : Xquery.Ctx.t) (c : compiled) (plan_t : t) :
+    (Xdm.Item.seq * t) option =
+  match struct_shape c.c_query.Xquery.Ast.body with
+  | None -> None
+  | Some (coll, first, steps) -> (
+      match sindex_for cat coll with
+      | None -> None
+      | Some sidx ->
+          let iname = sidx.S.def.S.iname in
+          let nav_steps =
+            List.map
+              (fun (axis, test) -> Xquery.Ast.SAxis { axis; test; preds = [] })
+              steps
+          in
+          let per_doc (cctx : Xquery.Ctx.t) (it : Xdm.Item.t) : Xdm.Item.seq =
+            match it with
+            | Xdm.Item.N root -> (
+                match
+                  S.query ~prof:cctx.Xquery.Ctx.prof sidx root steps
+                with
+                | Some nodes ->
+                    List.map Xdm.Item.of_node (Xdm.Item.doc_order_dedup nodes)
+                | None -> Xquery.Eval.eval_steps cctx [ it ] nav_steps)
+            | Xdm.Item.A _ ->
+                (* not a node: let the tree-walk evaluator raise its
+                   usual mixed-path type error *)
+                Xquery.Eval.eval_steps cctx [ it ] nav_steps
+          in
+          let result =
+            Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
+                let docs =
+                  Xquery.Eval.eval ctx
+                    (Xquery.Ast.EPath (Xquery.Ast.Relative, [ first ]))
+                in
+                Xprof.spanned ~rows:List.length prof
+                  ("PSTRUCTJOIN " ^ iname)
+                  (fun () ->
+                    match docs with
+                    | ([] | [ _ ]) when parallelism > 1 ->
+                        List.concat_map (per_doc ctx) docs
+                    | _ when parallelism <= 1 ->
+                        List.concat_map (per_doc ctx) docs
+                    | _ ->
+                        let profiled = ctx.Xquery.Ctx.prof.Xprof.on in
+                        let slots =
+                          Xpar.map_chunks ~parallelism ?chunk_size
+                            (fun _ chunk ->
+                              let cprof =
+                                if profiled then begin
+                                  let p = Xprof.create () in
+                                  Xprof.enable p true;
+                                  p
+                                end
+                                else Xprof.disabled
+                              in
+                              let cctx =
+                                {
+                                  ctx with
+                                  Xquery.Ctx.meter =
+                                    Xdm.Limits.fork ctx.Xquery.Ctx.meter;
+                                  prof = cprof;
+                                }
+                              in
+                              let out =
+                                List.concat_map (per_doc cctx)
+                                  (Array.to_list chunk)
+                              in
+                              (cprof, out))
+                            (Array.of_list docs)
+                        in
+                        Xprof.par ctx.Xquery.Ctx.prof
+                          ~chunks:(Array.length slots);
+                        let err = ref None in
+                        let outs =
+                          Array.fold_left
+                            (fun acc slot ->
+                              match slot with
+                              | Ok (cprof, out) ->
+                                  if profiled then
+                                    Xprof.absorb ~into:ctx.Xquery.Ctx.prof
+                                      cprof;
+                                  out :: acc
+                              | Error e ->
+                                  if Option.is_none !err then err := Some e;
+                                  acc)
+                            [] slots
+                        in
+                        (match !err with Some e -> raise e | None -> ());
+                        List.concat (List.rev outs)))
+          in
+          let step_notes =
+            List.map
+              (fun (axis, test) ->
+                Printf.sprintf "  PSTRUCTJOIN %s::%s via %s"
+                  (Xquery.Ast.axis_name axis)
+                  (Xquery.Ast.nodetest_to_string test)
+                  iname)
+              steps
+          in
+          let notes =
+            Printf.sprintf
+              "collection %s: structural join over %s (%d axis steps, %d \
+               encoded docs)"
+              coll iname (List.length steps) (S.doc_count sidx)
+            :: step_notes
+          in
+          Some
+            ( result,
+              {
+                plan_t with
+                notes = plan_t.notes @ notes;
+                indexes_used =
+                  List.sort_uniq compare (iname :: plan_t.indexes_used);
+              } ))
+
+(** Make the structural-vs-navigation choice visible: when a query walks
+    a reverse or sibling axis without a structural join, say so in the
+    plan notes (one [nav-axis] line per distinct axis). *)
+let nav_axis_notes (c : compiled) (plan_t : t) : t =
+  match Eligibility.Extract.reverse_axes c.c_query with
+  | [] -> plan_t
+  | axes ->
+      let notes =
+        List.map
+          (fun a ->
+            Printf.sprintf "nav-axis: %s (tree-walk)" (Xquery.Ast.axis_name a))
+          axes
+      in
+      { plan_t with notes = plan_t.notes @ notes }
+
 (** Plan and run a compiled query under runtime parameter bindings —
     [run_xquery] minus the parse/resolve/analyze front half. *)
 let execute_compiled ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
@@ -517,12 +701,23 @@ let execute_compiled ?(limits = Xdm.Limits.unlimited) ?(prof = Xprof.disabled)
   let ctx, plan_t, meter =
     compiled_setup ~prof ?use_indexes ?vars ~parallelism ~limits cat c
   in
-  let result =
-    Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
-        if parallelism > 1 then
-          Xquery.Eval.eval_par ~parallelism ?chunk_size ctx
-            c.c_query.Xquery.Ast.body
-        else Xquery.Eval.eval ctx c.c_query.Xquery.Ast.body)
+  let structural =
+    if Option.value use_indexes ~default:true then
+      try_structural ~prof ~parallelism ?chunk_size cat ctx c plan_t
+    else None
+  in
+  let result, plan_t =
+    match structural with
+    | Some (items, plan') -> (items, plan')
+    | None ->
+        let r =
+          Xprof.spanned ~rows:List.length prof "XQUERY" (fun () ->
+              if parallelism > 1 then
+                Xquery.Eval.eval_par ~parallelism ?chunk_size ctx
+                  c.c_query.Xquery.Ast.body
+              else Xquery.Eval.eval ctx c.c_query.Xquery.Ast.body)
+        in
+        (r, nav_axis_notes c plan_t)
   in
   Xprof.set_governor prof (Xdm.Limits.usage meter);
   (result, plan_t)
@@ -538,7 +733,17 @@ let execute_compiled_seq ?(limits = Xdm.Limits.unlimited)
   let ctx, plan_t, meter =
     compiled_setup ~prof ?use_indexes ?vars ~limits cat c
   in
-  (Xquery.Eval.eval_seq ctx c.c_query.Xquery.Ast.body, plan_t, meter)
+  let structural =
+    if Option.value use_indexes ~default:true then
+      try_structural ~prof ~parallelism:1 cat ctx c plan_t
+    else None
+  in
+  match structural with
+  | Some (items, plan') -> (List.to_seq items, plan', meter)
+  | None ->
+      ( Xquery.Eval.eval_seq ctx c.c_query.Xquery.Ast.body,
+        nav_axis_notes c plan_t,
+        meter )
 
 (** Execute without any index use (the baseline collection scan). *)
 let run_xquery_noindex ?(limits = Xdm.Limits.unlimited)

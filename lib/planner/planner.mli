@@ -10,6 +10,8 @@
 type catalog = {
   db : Storage.Database.t;
   indexes : Xmlindex.Xindex.t list;
+  sindexes : Xmlindex.Structindex.t list;
+      (** structural (pre/post) node-encoding indexes *)
 }
 
 (** A plan: per-collection row restrictions plus its EXPLAIN trace. *)

@@ -104,6 +104,11 @@ type stmt =
       ci_vtype : Xmlindex.Xindex.vtype;
     }
   | CreateRelIndex of { cr_name : string; cr_table : string; cr_column : string }
+  | CreateStructIndex of {
+      cs_name : string;
+      cs_table : string;
+      cs_column : string;
+    }  (** CREATE STRUCTURAL INDEX: pre/post node-encoding table *)
   | Insert of string * sexpr list list
   | Update of {
       upd_table : string;

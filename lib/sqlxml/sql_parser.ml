@@ -494,6 +494,16 @@ let create_stmt p : stmt =
     expect p L.RPar;
     CreateTable (name, List.rev !cols)
   end
+  else if accept_kw p "STRUCTURAL" then begin
+    eat_kw p "INDEX";
+    let iname = ident p in
+    eat_kw p "ON";
+    let table = ident p in
+    expect p L.LPar;
+    let column = ident p in
+    expect p L.RPar;
+    CreateStructIndex { cs_name = iname; cs_table = table; cs_column = column }
+  end
   else begin
     ignore (accept_kw p "UNIQUE");
     eat_kw p "INDEX";

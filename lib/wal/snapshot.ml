@@ -18,7 +18,10 @@ open Storage
 module C = Pager.Codec
 
 let magic = "XQDBSNAP"
-let format_version = 1
+
+(* v2 appends the structural-index definition list (the encodings
+   themselves are derived data, rebuilt from the reloaded documents). *)
+let format_version = 2
 
 let format_error fmt =
   Xdm.Xerror.raise_err "XQDB0005" fmt
@@ -228,14 +231,35 @@ let g_rindex r : Xmlindex.Rel_index.t =
   in
   Xmlindex.Rel_index.of_entries ~iname ~table ~column entries
 
+(* Structural indexes persist as bare definitions: the pre/post encoding
+   tables are keyed by node ids, which do not survive serialization, so
+   the loader's caller re-encodes the freshly parsed documents instead
+   (a linear walk — cheaper than remapping every array entry). *)
+let enc_sindex buf (idx : Xmlindex.Structindex.t) =
+  let d = idx.Xmlindex.Structindex.def in
+  C.str buf d.Xmlindex.Structindex.iname;
+  C.str buf d.Xmlindex.Structindex.table;
+  C.str buf d.Xmlindex.Structindex.column
+
+let g_sindex r : Xmlindex.Structindex.def =
+  let iname = C.g_str r in
+  let table = C.g_str r in
+  let column = C.g_str r in
+  { Xmlindex.Structindex.iname; table; column }
+
 let encode_catalog buf db (xindexes : Xmlindex.Xindex.t list)
-    (rindexes : Xmlindex.Rel_index.t list) =
+    (rindexes : Xmlindex.Rel_index.t list)
+    (sindexes : Xmlindex.Structindex.t list) =
   C.list enc_table buf (Database.tables db);
   C.list (enc_xindex db) buf xindexes;
-  C.list enc_rindex buf rindexes
+  C.list enc_rindex buf rindexes;
+  C.list enc_sindex buf sindexes
 
 let decode_catalog data :
-    Database.t * Xmlindex.Xindex.t list * Xmlindex.Rel_index.t list =
+    Database.t
+    * Xmlindex.Xindex.t list
+    * Xmlindex.Rel_index.t list
+    * Xmlindex.Structindex.def list =
   let r = C.reader data in
   let tables = C.g_list g_table r in
   let db = Database.create () in
@@ -245,7 +269,8 @@ let decode_catalog data :
     tables;
   let xindexes = C.g_list (g_xindex db) r in
   let rindexes = C.g_list g_rindex r in
-  (db, xindexes, rindexes)
+  let sdefs = C.g_list g_sindex r in
+  (db, xindexes, rindexes, sdefs)
 
 (* ------------------------------------------------------------------ *)
 (* Page-file header                                                    *)
@@ -257,7 +282,7 @@ let no_count (_ : string) = ()
 
 (** Write a full snapshot of [db] (plus indexes) to [path]. *)
 let save ?(page_size = Pager.default_page_size) ?(pool_pages = Pager.default_pool_pages)
-    ?(count = no_count) ~path db xindexes rindexes =
+    ?(count = no_count) ~path db xindexes rindexes sindexes =
   let p = Pager.openfile ~page_size ~pool_pages ~count ~truncate:true path in
   Fun.protect
     ~finally:(fun () -> Pager.close p)
@@ -265,7 +290,7 @@ let save ?(page_size = Pager.default_page_size) ?(pool_pages = Pager.default_poo
       let hdr = Pager.alloc p in
       assert (hdr = 0);
       let buf = Buffer.create 65536 in
-      encode_catalog buf db xindexes rindexes;
+      encode_catalog buf db xindexes rindexes sindexes;
       let head = Pager.Blob.write p (Buffer.contents buf) in
       let hb = Buffer.create header_len in
       Buffer.add_string hb magic;
@@ -278,7 +303,10 @@ let save ?(page_size = Pager.default_page_size) ?(pool_pages = Pager.default_poo
 (** Load a snapshot; raises a coded [XQDB0005] error on an unrecognized
     or incompatible format and on structural corruption. *)
 let load ?(pool_pages = Pager.default_pool_pages) ?(count = no_count) ~path () :
-    Database.t * Xmlindex.Xindex.t list * Xmlindex.Rel_index.t list =
+    Database.t
+    * Xmlindex.Xindex.t list
+    * Xmlindex.Rel_index.t list
+    * Xmlindex.Structindex.def list =
   (* The header fixes the page size, so read it with plain file I/O
      before opening the pager. *)
   let hdr =

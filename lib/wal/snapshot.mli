@@ -16,7 +16,8 @@ val format_version : int
 
 (** Write a full snapshot of [db] (plus indexes) to [path], truncating
     any previous file. [count] is the Xprof counter hook threaded to the
-    pager. *)
+    pager. Structural indexes persist as definitions only — their
+    encodings are node-id-keyed derived data, rebuilt on load. *)
 val save :
   ?page_size:int ->
   ?pool_pages:int ->
@@ -25,13 +26,19 @@ val save :
   Storage.Database.t ->
   Xmlindex.Xindex.t list ->
   Xmlindex.Rel_index.t list ->
+  Xmlindex.Structindex.t list ->
   unit
 
 (** Load a snapshot; raises a coded [XQDB0005] error on an unrecognized
-    or incompatible format and on structural corruption. *)
+    or incompatible format and on structural corruption. The caller
+    re-installs structural indexes from the returned definitions
+    (re-encoding the freshly parsed documents). *)
 val load :
   ?pool_pages:int ->
   ?count:(string -> unit) ->
   path:string ->
   unit ->
-  Storage.Database.t * Xmlindex.Xindex.t list * Xmlindex.Rel_index.t list
+  Storage.Database.t
+  * Xmlindex.Xindex.t list
+  * Xmlindex.Rel_index.t list
+  * Xmlindex.Structindex.def list

@@ -106,7 +106,11 @@ let of_string (src : string) : t =
             invalid
               "descendant-or-self:: with a test is not supported in \
                XMLPATTERN; use // or descendant::"
-        | Parent -> invalid "parent axis not allowed in XMLPATTERN")
+        | Parent -> invalid "parent axis not allowed in XMLPATTERN"
+        | Ancestor | AncestorOrSelf | FollowingSibling | PrecedingSibling ->
+            invalid "%s axis not allowed in XMLPATTERN (reverse and \
+                     sibling axes are served by structural indexes)"
+              (axis_name axis))
     | SExpr _ :: _ -> invalid "XMLPATTERN cannot contain general expressions"
   in
   let steps = go ~gap:false [] steps in

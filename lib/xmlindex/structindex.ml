@@ -1,0 +1,381 @@
+(** Structural node-encoding index: (pre, post, parent-pre, level) per
+    node, the classic interval encoding of the structural-join family.
+
+    Each stored document gets one {!enc}: arrays indexed by the node's
+    *preorder rank* within its tree, walked in {!Xdm.Node.renumber}
+    order (node, attributes, children) so preorder rank order is
+    document order. The derived laws the consistency checker validates:
+
+    - [descendant(x)] ⇔ [pre x < pre y ≤ end x] — a subtree is a
+      contiguous preorder interval, closed by [endp] (its last preorder
+      rank);
+    - [post parent > post child] and [level child = level parent + 1];
+    - ancestor queries follow [parent] pointers; sibling queries hop
+      subtrees with [endp + 1].
+
+    Axis steps evaluate as merges over these sorted arrays: a context
+    set (bit array in preorder) goes in, the axis result set comes out,
+    with staircase pruning on the descendant axes (covered context nodes
+    contribute nothing). That answers the reverse and sibling axes —
+    which the path-value {!Xindex} cannot express — in one pass per
+    document, without materializing intermediate node lists.
+
+    Encodings are keyed by the *root node's id*. Node trees are shared
+    by reference across MVCC table snapshots (only row records are
+    copied), so a reader snapshot keeps resolving its documents'
+    encodings while a writer loads more; a missing encoding (e.g. the
+    document was replaced after the snapshot) falls back to tree-walk
+    evaluation per document, never to a wrong answer. The table of
+    encodings is guarded by [latch]; the arrays themselves are immutable
+    once built. *)
+
+open Xquery.Ast
+module Node = Xdm.Node
+module Qname = Xdm.Qname
+
+type def = { iname : string; table : string; column : string }
+
+(** "TABLE.COLUMN", the collection a def serves. *)
+let collection_of_def (d : def) = d.table ^ "." ^ d.column
+
+(* preorder-indexed; all arrays share length = node count of the tree *)
+type enc = {
+  nodes : Node.t array;  (** preorder rank → node *)
+  post : int array;  (** postorder rank *)
+  parent : int array;  (** preorder rank of parent; -1 at the root *)
+  level : int array;  (** depth; 0 at the root *)
+  kind : int array;  (** {!kind_code} of the node kind *)
+  endp : int array;  (** last preorder rank of the subtree *)
+}
+
+type stats = { mutable probes : int; mutable entries : int }
+
+type t = {
+  def : def;
+  latch : Xpar.Lock.t;
+      (** guards [encs] (arrays are immutable once in); named so it
+          participates in lock-order/deadlock tracking *)
+  encs : (int, enc) Hashtbl.t;  (** root node id → encoding *)
+  stats : stats;
+  prof : Xprof.t;  (** shared statement profile, set by the engine *)
+}
+
+let fresh_stats () = { probes = 0; entries = 0 }
+
+let create ?(prof = Xprof.disabled) (def : def) : t =
+  {
+    def;
+    latch = Xpar.Lock.create ~name:"structindex.encs" ();
+    encs = Hashtbl.create 64;
+    stats = fresh_stats ();
+    prof;
+  }
+
+let locked t f = Xpar.Lock.with_lock t.latch f
+
+let doc_count t = locked t (fun () -> Hashtbl.length t.encs)
+let stats t = (t.stats.probes, t.stats.entries)
+
+(** Total encoded nodes across every document in the table. *)
+let node_count t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> acc + Array.length e.nodes) t.encs 0)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let k_document = 0
+let k_element = 1
+let k_attribute = 2
+let k_text = 3
+let k_comment = 4
+let k_pi = 5
+
+let kind_code = function
+  | Node.Document -> k_document
+  | Node.Element -> k_element
+  | Node.Attribute -> k_attribute
+  | Node.Text -> k_text
+  | Node.Comment -> k_comment
+  | Node.Pi -> k_pi
+
+let rec tree_size (n : Node.t) =
+  List.fold_left
+    (fun acc c -> acc + tree_size c)
+    (1 + List.length n.Node.attrs)
+    n.Node.children
+
+(** Encode one document. Pure — safe to run in parallel backfill chunks;
+    installing the result into the index is the caller's (single-
+    threaded) job. *)
+let encode_doc (root : Node.t) : enc =
+  let n = tree_size root in
+  let e =
+    {
+      nodes = Array.make n root;
+      post = Array.make n 0;
+      parent = Array.make n (-1);
+      level = Array.make n 0;
+      kind = Array.make n 0;
+      endp = Array.make n 0;
+    }
+  in
+  let pre = ref 0 and post = ref 0 in
+  let rec go depth parent_pre (node : Node.t) =
+    let p = !pre in
+    incr pre;
+    e.nodes.(p) <- node;
+    e.parent.(p) <- parent_pre;
+    e.level.(p) <- depth;
+    e.kind.(p) <- kind_code node.Node.kind;
+    List.iter (go (depth + 1) p) node.Node.attrs;
+    List.iter (go (depth + 1) p) node.Node.children;
+    e.endp.(p) <- !pre - 1;
+    e.post.(p) <- !post;
+    incr post
+  in
+  go 0 (-1) root;
+  e
+
+(** Install a precomputed encoding (parallel backfill's apply phase). *)
+let install t (root : Node.t) (e : enc) =
+  locked t (fun () -> Hashtbl.replace t.encs root.Node.id e)
+
+(** Encode and install one document (hook path). *)
+let insert_doc t (root : Node.t) =
+  Faultinject.hit "structindex.insert_doc";
+  install t root (encode_doc root)
+
+let remove_doc t (root : Node.t) =
+  Faultinject.hit "structindex.remove_doc";
+  locked t (fun () -> Hashtbl.remove t.encs root.Node.id)
+
+let find t (root : Node.t) : enc option =
+  locked t (fun () -> Hashtbl.find_opt t.encs root.Node.id)
+
+(* ------------------------------------------------------------------ *)
+(* Axis-step joins                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** One axis step as a merge over the preorder arrays: context marks in,
+    candidate marks out (node tests are applied by the caller). Returns
+    the marks and the number of candidates touched. *)
+let axis_candidates (e : enc) (axis : axis) (ctx : bool array) :
+    bool array * int =
+  let n = Array.length e.nodes in
+  let out = Array.make n false in
+  let touched = ref 0 in
+  let mark j =
+    if not out.(j) then begin
+      out.(j) <- true;
+      incr touched
+    end
+  in
+  (match axis with
+  | Self ->
+      for j = 0 to n - 1 do
+        if ctx.(j) then mark j
+      done
+  | Child ->
+      (* structural join on the parent pointer: both sides sorted by pre *)
+      for j = 0 to n - 1 do
+        let p = e.parent.(j) in
+        if p >= 0 && ctx.(p) && e.kind.(j) <> k_attribute then mark j
+      done
+  | Attr ->
+      for j = 0 to n - 1 do
+        let p = e.parent.(j) in
+        if p >= 0 && ctx.(p) && e.kind.(j) = k_attribute then mark j
+      done
+  | Descendant | DescOrSelf ->
+      (* staircase join: contexts arrive in preorder; a context inside
+         an already-emitted interval is covered and skipped *)
+      let i = ref 0 in
+      while !i < n do
+        if ctx.(!i) then begin
+          if axis = DescOrSelf then mark !i;
+          for j = !i + 1 to e.endp.(!i) do
+            if e.kind.(j) <> k_attribute then mark j
+          done;
+          (* DescOrSelf must still self-mark covered contexts; only the
+             pure descendant scan may skip the whole interval *)
+          if axis = Descendant then i := e.endp.(!i) + 1 else incr i
+        end
+        else incr i
+      done
+  | Parent ->
+      for j = 0 to n - 1 do
+        if ctx.(j) && e.parent.(j) >= 0 then mark e.parent.(j)
+      done
+  | Ancestor | AncestorOrSelf ->
+      for j = 0 to n - 1 do
+        if ctx.(j) then begin
+          if axis = AncestorOrSelf then mark j;
+          let p = ref e.parent.(j) in
+          (* stop at the first already-marked ancestor: its own chain is
+             done (amortizes the walk to O(n) over all contexts) *)
+          while !p >= 0 && not out.(!p) do
+            mark !p;
+            p := e.parent.(!p)
+          done
+        end
+      done
+  | FollowingSibling ->
+      for j = 0 to n - 1 do
+        if ctx.(j) && e.kind.(j) <> k_attribute && e.parent.(j) >= 0 then begin
+          let k = ref (e.endp.(j) + 1) in
+          let continue = ref true in
+          while !continue && !k < n && e.parent.(!k) = e.parent.(j) do
+            (* an earlier context sibling already marked the rest *)
+            if out.(!k) then continue := false
+            else begin
+              mark !k;
+              k := e.endp.(!k) + 1
+            end
+          done
+        end
+      done
+  | PrecedingSibling ->
+      for j = 0 to n - 1 do
+        if ctx.(j) && e.kind.(j) <> k_attribute && e.parent.(j) >= 0 then begin
+          (* first sibling: just past the parent's attributes *)
+          let k = ref (e.parent.(j) + 1) in
+          while !k < n && e.kind.(!k) = k_attribute do
+            k := !k + 1
+          done;
+          while !k < j do
+            mark !k;
+            k := e.endp.(!k) + 1
+          done
+        end
+      done);
+  (out, !touched)
+
+(** Replicates {!Xquery.Eval.node_test_matches}: name tests select the
+    principal node kind of the axis. *)
+let test_matches (e : enc) (axis : axis) (test : nodetest) (j : int) : bool =
+  match test with
+  | Kind KAnyNode -> true
+  | Kind KText -> e.kind.(j) = k_text
+  | Kind KComment -> e.kind.(j) = k_comment
+  | Kind KDocument -> e.kind.(j) = k_document
+  | Kind (KPi None) -> e.kind.(j) = k_pi
+  | Kind (KPi (Some target)) ->
+      e.kind.(j) = k_pi
+      && (match e.nodes.(j).Node.name with
+         | Some q -> q.Qname.local = target
+         | None -> false)
+  | Name nt -> (
+      let principal_ok =
+        match axis with
+        | Attr -> e.kind.(j) = k_attribute
+        | _ -> e.kind.(j) = k_element
+      in
+      principal_ok
+      &&
+      match (nt, e.nodes.(j).Node.name) with
+      | TStar, _ -> true
+      | TName q, Some nq -> Qname.equal q nq
+      | TNsStar { uri; _ }, Some nq -> String.equal nq.Qname.uri uri
+      | TLocalStar l, Some nq -> String.equal nq.Qname.local l
+      | _, None -> false)
+
+(** Evaluate a chain of predicate-free axis steps over one document,
+    starting from its root. Returns the result nodes in preorder
+    (= document order within the tree), or [None] when the document has
+    no encoding (caller falls back to tree-walk evaluation). *)
+let query ?(prof = Xprof.disabled) t (root : Node.t)
+    (steps : (axis * nodetest) list) : Node.t list option =
+  match find t root with
+  | None -> None
+  | Some e ->
+      let n = Array.length e.nodes in
+      let ctx = Array.make n false in
+      ctx.(0) <- true;
+      let scanned = ref 0 in
+      let marks =
+        List.fold_left
+          (fun ctx (axis, test) ->
+            let out, touched = axis_candidates e axis ctx in
+            for j = 0 to n - 1 do
+              if out.(j) && not (test_matches e axis test j) then
+                out.(j) <- false
+            done;
+            scanned := !scanned + touched;
+            t.stats.probes <- t.stats.probes + 1;
+            Xprof.struct_probe prof;
+            out)
+          ctx steps
+      in
+      t.stats.entries <- t.stats.entries + !scanned;
+      Xprof.struct_entries prof !scanned;
+      let acc = ref [] in
+      for j = n - 1 downto 0 do
+        if marks.(j) then acc := e.nodes.(j) :: !acc
+      done;
+      Some !acc
+
+(* ------------------------------------------------------------------ *)
+(* Consistency checking                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Validate the index against the live documents of its column: every
+    document encoded, no stale encodings, and each encoding both matches
+    a fresh walk of the tree and satisfies the interval laws. Returns
+    human-readable problems (empty = consistent). *)
+let check_consistency t (docs : Node.t list) : string list =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  let live = Hashtbl.create 64 in
+  List.iter (fun (d : Node.t) -> Hashtbl.replace live d.Node.id ()) docs;
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun id _ ->
+          if not (Hashtbl.mem live id) then
+            add "stale encoding for dropped document (root id %d)" id)
+        t.encs);
+  List.iter
+    (fun (root : Node.t) ->
+      match find t root with
+      | None -> add "missing encoding for document (root id %d)" root.Node.id
+      | Some e ->
+          let fresh = encode_doc root in
+          let n = Array.length e.nodes in
+          if n <> Array.length fresh.nodes then
+            add "doc %d: encoding has %d nodes, tree has %d" root.Node.id n
+              (Array.length fresh.nodes)
+          else
+            for j = 0 to n - 1 do
+              if e.nodes.(j).Node.id <> fresh.nodes.(j).Node.id then
+                add "doc %d: pre %d encodes node %d, tree walk finds %d"
+                  root.Node.id j e.nodes.(j).Node.id fresh.nodes.(j).Node.id;
+              if
+                e.post.(j) <> fresh.post.(j)
+                || e.parent.(j) <> fresh.parent.(j)
+                || e.level.(j) <> fresh.level.(j)
+                || e.kind.(j) <> fresh.kind.(j)
+                || e.endp.(j) <> fresh.endp.(j)
+              then add "doc %d: pre %d encoding differs from tree" root.Node.id j;
+              (* interval laws *)
+              let p = e.parent.(j) in
+              if j = 0 then begin
+                if p <> -1 || e.level.(j) <> 0 then
+                  add "doc %d: root must have parent -1, level 0" root.Node.id
+              end
+              else if p < 0 || p >= j then
+                add "doc %d: pre %d has non-ancestor parent %d" root.Node.id j p
+              else begin
+                if not (j > p && j <= e.endp.(p)) then
+                  add "doc %d: pre %d outside parent %d's interval (%d,%d]"
+                    root.Node.id j p p e.endp.(p);
+                if e.level.(j) <> e.level.(p) + 1 then
+                  add "doc %d: pre %d level %d, parent level %d" root.Node.id j
+                    e.level.(j) e.level.(p);
+                if e.post.(j) >= e.post.(p) then
+                  add "doc %d: pre %d post %d not before parent post %d"
+                    root.Node.id j e.post.(j) e.post.(p)
+              end
+            done)
+    docs;
+  List.rev !problems

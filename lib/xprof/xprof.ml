@@ -290,6 +290,9 @@ type t = {
   mutable docs_scanned : int;
   mutable index_probes : int;
   mutable index_entries_scanned : int;
+  mutable struct_probes : int;  (** structural-join axis steps executed *)
+  mutable struct_entries : int;
+      (** encoding-table slots touched by structural joins *)
   mutable btree_page_reads : int;
   mutable btree_splits : int;
   mutable undo_entries : int;
@@ -320,6 +323,8 @@ let create () =
     docs_scanned = 0;
     index_probes = 0;
     index_entries_scanned = 0;
+    struct_probes = 0;
+    struct_entries = 0;
     btree_page_reads = 0;
     btree_splits = 0;
     undo_entries = 0;
@@ -351,6 +356,8 @@ let reset p =
   p.docs_scanned <- 0;
   p.index_probes <- 0;
   p.index_entries_scanned <- 0;
+  p.struct_probes <- 0;
+  p.struct_entries <- 0;
   p.btree_page_reads <- 0;
   p.btree_splits <- 0;
   p.undo_entries <- 0;
@@ -387,6 +394,13 @@ let probe p = if p.on then p.index_probes <- p.index_probes + 1
 
 let entry p =
   if p.on then p.index_entries_scanned <- p.index_entries_scanned + 1
+
+(** Charge one structural-join axis step. *)
+let struct_probe p = if p.on then p.struct_probes <- p.struct_probes + 1
+
+(** Charge [n] encoding-table slots touched by structural joins. *)
+let struct_entries p n =
+  if p.on then p.struct_entries <- p.struct_entries + n
 
 let page_read p = if p.on then p.btree_page_reads <- p.btree_page_reads + 1
 let split p = if p.on then p.btree_splits <- p.btree_splits + 1
@@ -469,6 +483,8 @@ let absorb ~into:(p : t) (child : t) =
     p.index_probes <- p.index_probes + child.index_probes;
     p.index_entries_scanned <-
       p.index_entries_scanned + child.index_entries_scanned;
+    p.struct_probes <- p.struct_probes + child.struct_probes;
+    p.struct_entries <- p.struct_entries + child.struct_entries;
     p.btree_page_reads <- p.btree_page_reads + child.btree_page_reads;
     p.btree_splits <- p.btree_splits + child.btree_splits;
     p.undo_entries <- p.undo_entries + child.undo_entries;
@@ -505,6 +521,8 @@ let counters p : (string * int) list =
     ("docs_scanned", p.docs_scanned);
     ("index_probes", p.index_probes);
     ("index_entries_scanned", p.index_entries_scanned);
+    ("struct_probes", p.struct_probes);
+    ("struct_entries", p.struct_entries);
     ("btree_page_reads", p.btree_page_reads);
     ("btree_splits", p.btree_splits);
     ("undo_entries", p.undo_entries);

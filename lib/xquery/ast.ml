@@ -15,7 +15,17 @@
 
 type atomic_type = Xdm.Atomic.atomic_type
 
-type axis = Child | Descendant | Self | DescOrSelf | Attr | Parent
+type axis =
+  | Child
+  | Descendant
+  | Self
+  | DescOrSelf
+  | Attr
+  | Parent
+  | Ancestor
+  | AncestorOrSelf
+  | FollowingSibling
+  | PrecedingSibling
 
 type nametest =
   | TName of Xdm.Qname.t  (** [uri] filled by [Static.resolve] *)
@@ -177,6 +187,19 @@ let axis_name = function
   | DescOrSelf -> "descendant-or-self"
   | Attr -> "attribute"
   | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | AncestorOrSelf -> "ancestor-or-self"
+  | FollowingSibling -> "following-sibling"
+  | PrecedingSibling -> "preceding-sibling"
+
+(** Reverse axes (and the sibling axes, which likewise escape the
+    downward XMLPATTERN fragment): the steps a structural index can
+    answer but a path-value index cannot. *)
+let is_reverse_or_sibling = function
+  | Parent | Ancestor | AncestorOrSelf | FollowingSibling | PrecedingSibling
+    ->
+      true
+  | Child | Descendant | Self | DescOrSelf | Attr -> false
 
 let nametest_to_string = function
   | TName q -> Xdm.Qname.to_string q

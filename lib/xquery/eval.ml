@@ -336,6 +336,30 @@ and axis_nodes axis (n : Node.t) : Node.t list =
   | Parent -> ( match n.Node.parent with Some p -> [ p ] | None -> [])
   | Descendant -> Node.descendants n
   | DescOrSelf -> Node.descendants_or_self n
+  (* reverse axes present candidates nearest-first (reverse document
+     order), the spec's ordering for positional predicates; the final
+     per-step sort restores document order either way *)
+  | Ancestor -> List.rev (Node.ancestors n)
+  | AncestorOrSelf -> n :: List.rev (Node.ancestors n)
+  | FollowingSibling -> snd (sibling_split n)
+  | PrecedingSibling -> List.rev (fst (sibling_split n))
+
+(** The context node's siblings, split into (before, after) in document
+    order. Attributes are not children of their element, so they have no
+    siblings — and never appear as siblings of child nodes. *)
+and sibling_split (n : Node.t) : Node.t list * Node.t list =
+  if n.Node.kind = Node.Attribute then ([], [])
+  else
+    match n.Node.parent with
+    | None -> ([], [])
+    | Some p ->
+        let rec split before = function
+          | [] -> (List.rev before, [])
+          | c :: rest ->
+              if c == n then (List.rev before, rest)
+              else split (c :: before) rest
+        in
+        split [] p.Node.children
 
 and node_test_matches axis test (n : Node.t) : bool =
   match test with

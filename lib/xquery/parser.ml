@@ -600,6 +600,10 @@ and step_expr p : step =
         | "descendant-or-self" -> DescOrSelf
         | "attribute" -> Attr
         | "parent" -> Parent
+        | "ancestor" -> Ancestor
+        | "ancestor-or-self" -> AncestorOrSelf
+        | "following-sibling" -> FollowingSibling
+        | "preceding-sibling" -> PrecedingSibling
         | a -> error p "unsupported axis %S" a
       in
       advance p;

@@ -95,6 +95,18 @@ let state db =
        (fun (a : Xmlindex.Rel_index.t) b ->
          compare a.Xmlindex.Rel_index.iname b.Xmlindex.Rel_index.iname)
        (Engine.rel_indexes db));
+  List.iter
+    (fun (i : Xmlindex.Structindex.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "sidx %s %d %d\n"
+           i.Xmlindex.Structindex.def.Xmlindex.Structindex.iname
+           (Xmlindex.Structindex.doc_count i)
+           (Xmlindex.Structindex.node_count i)))
+    (List.sort
+       (fun (a : Xmlindex.Structindex.t) b ->
+         compare a.Xmlindex.Structindex.def.Xmlindex.Structindex.iname
+           b.Xmlindex.Structindex.def.Xmlindex.Structindex.iname)
+       (Engine.struct_indexes db));
   Buffer.contents b
 
 let assert_consistent db =
@@ -158,6 +170,31 @@ let backfill_ops =
                Printf.sprintf "<a><p>%d</p><p>%d</p></a>" i (i + 1000))) );
     ("checkpoint", Engine.checkpoint);
     sqlop "CREATE INDEX ip2 ON t(d) USING XMLPATTERN '//p' AS DOUBLE";
+    sqlop "INSERT INTO t VALUES (999, '<a><p>999</p></a>')";
+  ]
+
+(* The structural (pre/post) encoding under the same torture: build the
+   index over live rows, mutate through every hook path (insert, UPDATE =
+   delete+insert, DELETE), checkpoint mid-stream. The armed
+   structindex.insert_doc / structindex.remove_doc points fire inside
+   encoding maintenance; recovery must then rebuild encodings that pass
+   [Engine.check_consistency]'s interval laws (assert_consistent above
+   runs on every recovered engine). *)
+let struct_ops =
+  [
+    sqlop "CREATE TABLE t (a integer, d XML)";
+    ( "load 25 docs",
+      fun db ->
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 25 (fun i ->
+               Printf.sprintf "<a q=\"%d\"><p>%d</p><r>%d</r></a>" i i
+                 (i + 1000))) );
+    sqlop "CREATE STRUCTURAL INDEX st ON t(d)";
+    ("checkpoint", Engine.checkpoint);
+    sqlop
+      "UPDATE t SET d = XMLQUERY('<a><p>{$D/a/p + 1}</p></a>' PASSING d AS \
+       \"D\")";
+    sqlop "DELETE FROM t WHERE a = 7";
     sqlop "INSERT INTO t VALUES (999, '<a><p>999</p></a>')";
   ]
 
@@ -312,6 +349,8 @@ let torture_tests =
     sweep_tc "UPDATE" update_ops ~par:4 ~ns:[ 1 ];
     sweep_tc "CREATE INDEX backfill" backfill_ops ~par:1 ~ns:[ 1; 7 ];
     sweep_tc "CREATE INDEX backfill" backfill_ops ~par:4 ~ns:[ 1 ];
+    sweep_tc "structural index" struct_ops ~par:1 ~ns:[ 1; 7 ];
+    sweep_tc "structural index" struct_ops ~par:4 ~ns:[ 1 ];
     txn_sweep_tc ~par:1 ~ns:[ 1; 5 ];
     txn_sweep_tc ~par:2 ~ns:[ 1 ];
     txn_sweep_tc ~par:4 ~ns:[ 1 ];
@@ -426,6 +465,45 @@ let roundtrip_tests =
         Engine.checkpoint db;
         Engine.close db;
         Engine.simulate_crash db);
+    tc "structural index survives WAL-only reopen and checkpoint round-trip"
+      (fun () ->
+        with_dir (fun dir ->
+            let db = Engine.open_db ~data_dir:dir () in
+            setup_small db;
+            ignore (sql db "CREATE STRUCTURAL INDEX st ON t(d)");
+            let q =
+              "db2-fn:xmlcolumn('T.D')//p/parent::a"
+            in
+            let expect = Engine.to_xml (Engine.outcome_items (Engine.exec db q)) in
+            let before = state db in
+            (* WAL-only: the definition replays, encodings rebuild *)
+            Engine.close db;
+            let db2 = Engine.open_db ~data_dir:dir () in
+            check Alcotest.string "state after WAL replay" before (state db2);
+            assert_consistent db2;
+            let o = Engine.exec db2 q in
+            check Alcotest.string "structural answer survives" expect
+              (Engine.to_xml (Engine.outcome_items o));
+            check Alcotest.bool "served by the structural join" true
+              (List.exists (contains_sub ~affix:"PSTRUCTJOIN") o.Engine.notes);
+            (* checkpoint: the definition rides the snapshot catalog *)
+            Engine.checkpoint db2;
+            ignore (sql db2 "INSERT INTO t VALUES (77, NULL, '<a><p>77</p></a>')");
+            let before2 = state db2 in
+            Engine.close db2;
+            let db3 = Engine.open_db ~data_dir:dir () in
+            Fun.protect
+              ~finally:(fun () -> Engine.close db3)
+              (fun () ->
+                check Alcotest.string "state after snapshot + redo" before2
+                  (state db3);
+                assert_consistent db3;
+                check Alcotest.bool "index still lists" true
+                  (List.exists
+                     (fun (i : Xmlindex.Structindex.t) ->
+                       i.Xmlindex.Structindex.def.Xmlindex.Structindex.iname
+                       = "st")
+                     (Engine.struct_indexes db3)))));
     tc "sync:false loads survive a clean close" (fun () ->
         with_dir (fun dir ->
             let db = Engine.open_db ~sync:false ~data_dir:dir () in

@@ -56,6 +56,84 @@ let ins ?txn db k =
        (Printf.sprintf "INSERT INTO t VALUES (%d, '<a><p>%d</p></a>')" k k))
 
 (* ------------------------------------------------------------------ *)
+(* Structural (pre/post) encodings under MVCC                          *)
+(* ------------------------------------------------------------------ *)
+
+let s_counts db =
+  List.map
+    (fun (i : Xmlindex.Structindex.t) ->
+      ( i.Xmlindex.Structindex.def.Xmlindex.Structindex.iname,
+        (Xmlindex.Structindex.doc_count i, Xmlindex.Structindex.node_count i)
+      ))
+    (Engine.struct_indexes db)
+
+let xml_of ?txn db src =
+  Engine.to_xml (Engine.outcome_items (Engine.exec ?txn db src))
+
+let struct_tests =
+  let sq = "db2-fn:xmlcolumn('T.D')//p/parent::a" in
+  [
+    tc "read-only txn keeps structural answers pinned during a writer load"
+      (fun () ->
+        let db = mk_db () in
+        ignore (Engine.exec db "CREATE STRUCTURAL INDEX st ON t(d)");
+        let ro = Engine.Txn.begin_ ~mode:Engine.Txn.Read_only db in
+        let pinned = xml_of ~txn:ro db sq in
+        let o = Engine.exec ~txn:ro db sq in
+        check Alcotest.bool "snapshot read is a structural join" true
+          (List.exists (contains_sub ~affix:"PSTRUCTJOIN") o.Engine.notes);
+        (* autocommit bulk load lands new docs + encodings in the live
+           engine while the reader is mid-transaction *)
+        Engine.load_documents db ~table:"t" ~column:"d"
+          (List.init 8 (fun i -> Printf.sprintf "<a><p>%d</p></a>" (100 + i)));
+        check Alcotest.string "pinned snapshot answer unchanged" pinned
+          (xml_of ~txn:ro db sq);
+        Engine.Txn.commit ro;
+        (* after the txn the implicit read sees all eleven documents *)
+        check Alcotest.bool "implicit read grew" true
+          (String.length (xml_of db sq) > String.length pinned);
+        List.iter
+          (fun (iname, diffs) ->
+            check Alcotest.(list string) (iname ^ " consistent") [] diffs)
+          (Engine.check_consistency db));
+    tc "rollback restores structural-index entries" (fun () ->
+        let db = mk_db () in
+        ignore (Engine.exec db "CREATE STRUCTURAL INDEX st ON t(d)");
+        let counts0 = s_counts db in
+        let answer0 = xml_of db sq in
+        let tx = Engine.Txn.begin_ db in
+        ins ~txn:tx db 60;
+        ignore
+          (Engine.exec ~txn:tx db
+             "UPDATE t SET d = '<a><p>999</p><p>998</p></a>' WHERE a = 1");
+        ignore (Engine.exec ~txn:tx db "DELETE FROM t WHERE a = 2");
+        Engine.Txn.rollback tx;
+        check
+          Alcotest.(list (pair string (pair int int)))
+          "doc/node counts restored" counts0 (s_counts db);
+        check Alcotest.string "structural answer restored" answer0
+          (xml_of db sq);
+        List.iter
+          (fun (iname, diffs) ->
+            check Alcotest.(list string) (iname ^ " consistent") [] diffs)
+          (Engine.check_consistency db));
+    tc "commit publishes new structural encodings" (fun () ->
+        let db = mk_db () in
+        ignore (Engine.exec db "CREATE STRUCTURAL INDEX st ON t(d)");
+        let tx = Engine.Txn.begin_ db in
+        ins ~txn:tx db 61;
+        ins ~txn:tx db 62;
+        Engine.Txn.commit tx;
+        check Alcotest.int "five docs encoded" 5
+          (Xmlindex.Structindex.doc_count
+             (List.hd (Engine.struct_indexes db)));
+        List.iter
+          (fun (iname, diffs) ->
+            check Alcotest.(list string) (iname ^ " consistent") [] diffs)
+          (Engine.check_consistency db));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Unit tests (swept over parallelism 1/2/4 where it matters)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -156,6 +234,7 @@ let unit_tests =
           Engine.Cursor.close c;
           Engine.Txn.commit ro);
     ]
+  @ struct_tests
 
 (* ------------------------------------------------------------------ *)
 (* Serializability property                                            *)

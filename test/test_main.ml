@@ -6,4 +6,4 @@ let () =
    @ T_extensions.suite @ T_robustness.suite @ T_misc.suite
    @ T_probe_prop.suite @ T_def1.suite @ T_analysis.suite @ T_xprof.suite
    @ T_prepare.suite @ T_par_diff.suite @ T_durable.suite @ T_xsan.suite
-   @ T_xnet.suite @ T_txn.suite)
+   @ T_xnet.suite @ T_txn.suite @ T_struct.suite)
